@@ -1,0 +1,41 @@
+"""Ablation — three-way vs two-way handshake (Section 7.1).
+
+DESIGN.md design choice 2: the paper reports that "attempting a two way
+handshake led to noise and frequent loss of synchronization".  Dropping
+the ready-to-receive leg lets the trojan transmit before the spy is
+listening; errors follow.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.sim.gpu import Device
+
+
+def bench_ablation_handshake(benchmark):
+    def experiment():
+        three = SynchronizedL1Channel(
+            Device(KEPLER_K40C, seed=11)).transmit_random(64, seed=13)
+        two = SynchronizedL1Channel(
+            Device(KEPLER_K40C, seed=11),
+            handshake="two-way").transmit_random(64, seed=13)
+        return three, two
+
+    three, two = run_once(benchmark, experiment)
+
+    rows = [
+        ["three-way (paper)", f"{three.ber:.3f}",
+         f"{three.bandwidth_kbps:.0f} Kbps"],
+        ["two-way (ablation)", f"{two.ber:.3f}",
+         f"{two.bandwidth_kbps:.0f} Kbps"],
+    ]
+    report(
+        benchmark,
+        "Ablation: handshake depth on the synchronized L1 channel",
+        ["protocol", "BER", "bandwidth"], rows,
+        extra={"three_way_ber": three.ber, "two_way_ber": two.ber},
+    )
+
+    assert three.error_free
+    assert two.ber > three.ber, \
+        "two-way handshake must lose synchronization (paper)"

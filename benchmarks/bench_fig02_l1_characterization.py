@@ -1,0 +1,43 @@
+"""Figure 2 — L1 constant cache latency vs array size (stride 64 B).
+
+Paper: latency is flat (~40–50 clk) while the array fits in the 2 KB L1,
+then climbs a staircase of 8 steps (one per set, 64 B wide) to the
+L2-hit plateau (~110–120 clk).  The step structure is what reveals the
+cache geometry to the attacker.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.reveng import characterize_cache, infer_cache_parameters
+
+
+def bench_fig02_l1_characterization(benchmark):
+    spec = KEPLER_K40C
+
+    def experiment():
+        return characterize_cache(spec, "l1")
+
+    points = run_once(benchmark, experiment)
+    params = infer_cache_parameters(points, stride=64)
+
+    rows = [(size, f"{lat:.1f}") for size, lat in points]
+    report(
+        benchmark,
+        "Figure 2: L1 constant cache, stride 64B (Tesla K40C)",
+        ["array bytes", "latency (clk)"], rows,
+        extra={
+            "inferred_size": params.size_bytes,
+            "inferred_line": params.line_bytes,
+            "inferred_sets": params.n_sets,
+            "inferred_ways": params.ways,
+            "paper": "2KB, 4-way, 64B lines, 8 sets",
+        },
+    )
+
+    in_cache = [lat for s, lat in points if s <= 2048]
+    saturated = [lat for s, lat in points if s >= 2048 + 8 * 64]
+    assert max(in_cache) - min(in_cache) < 5.0, "plateau must be flat"
+    assert min(saturated) > 2 * max(in_cache), "spill must double latency"
+    assert params.size_bytes == 2048
+    assert params.n_sets == 8
+    assert params.ways == 4

@@ -1,0 +1,41 @@
+"""Figure 3 — L2 constant cache latency vs array size (stride 256 B).
+
+Paper: flat (~100–110 clk) while the array fits the 32 KB L2, then
+rising steps (16 sets, 256 B lines) toward constant-memory latency.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.reveng import characterize_cache, infer_cache_parameters
+
+
+def bench_fig03_l2_characterization(benchmark):
+    spec = KEPLER_K40C
+
+    def experiment():
+        return characterize_cache(spec, "l2")
+
+    points = run_once(benchmark, experiment)
+    params = infer_cache_parameters(points, stride=256)
+
+    rows = [(size, f"{lat:.1f}") for size, lat in points[::2]]
+    report(
+        benchmark,
+        "Figure 3: L2 constant cache, stride 256B (Tesla K40C)",
+        ["array bytes", "latency (clk)"], rows,
+        extra={
+            "inferred_size": params.size_bytes,
+            "inferred_sets": params.n_sets,
+            "inferred_ways": params.ways,
+            "paper": "32KB, 8-way, 256B lines, 16 sets",
+        },
+    )
+
+    fits = [lat for s, lat in points if s <= 32 * 1024]
+    spilled = [lat for s, lat in points
+               if s >= 32 * 1024 + 16 * 256]
+    assert max(fits) < 130, "L2-resident latency must sit near 110 clk"
+    assert min(spilled) > 2 * max(fits)
+    assert params.size_bytes == 32 * 1024
+    assert params.n_sets == 16
+    assert params.ways == 8

@@ -1,0 +1,50 @@
+"""Figure 4 — error-free cache-channel bandwidth on three GPUs.
+
+Paper values (Kbps): L1 = 33 / 42 / 42 and L2 below L1 (~20) on
+Fermi / Kepler / Maxwell.  Also reproduces the Section 4.2 contention
+latencies (49 vs 112 clk on Kepler's L1).
+"""
+
+from benchmarks.support import report, run_once
+from repro.analysis import bandwidth_by_device
+from repro.arch import all_specs
+from repro.channels import L1CacheChannel, L2CacheChannel
+
+PAPER_L1 = {"Fermi": 33.0, "Kepler": 42.0, "Maxwell": 42.0}
+
+
+def bench_fig04_cache_bandwidth(benchmark):
+    def experiment():
+        l1 = bandwidth_by_device(all_specs(), L1CacheChannel,
+                                 n_bits=48, seed=7)
+        l2 = bandwidth_by_device(all_specs(), L2CacheChannel,
+                                 n_bits=48, seed=7)
+        return l1, l2
+
+    l1, l2 = run_once(benchmark, experiment)
+
+    rows = []
+    for gen in ("Fermi", "Kepler", "Maxwell"):
+        rows.append([f"L1 {gen}", f"{l1[gen].bandwidth_kbps:.1f} Kbps",
+                     f"{PAPER_L1[gen]:.0f} Kbps", f"{l1[gen].ber:.3f}"])
+    for gen in ("Fermi", "Kepler", "Maxwell"):
+        rows.append([f"L2 {gen}", f"{l2[gen].bandwidth_kbps:.1f} Kbps",
+                     "~20 Kbps", f"{l2[gen].ber:.3f}"])
+    report(
+        benchmark,
+        "Figure 4: cache channel bandwidth (error-free)",
+        ["channel", "measured", "paper", "BER"], rows,
+        extra={f"l1_{g.lower()}_kbps": round(l1[g].bandwidth_kbps, 1)
+               for g in l1} |
+              {f"l2_{g.lower()}_kbps": round(l2[g].bandwidth_kbps, 1)
+               for g in l2},
+    )
+
+    for gen, result in l1.items():
+        assert result.error_free, f"L1 {gen} must be error-free"
+        assert abs(result.bandwidth_kbps - PAPER_L1[gen]) \
+            / PAPER_L1[gen] < 0.2
+    for gen, result in l2.items():
+        assert result.error_free, f"L2 {gen} must be error-free"
+        assert result.bandwidth_kbps < l1[gen].bandwidth_kbps, \
+            "L2 must be slower than L1 (paper shape)"

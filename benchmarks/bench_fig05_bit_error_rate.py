@@ -1,0 +1,58 @@
+"""Figure 5 — bit error rate vs bandwidth for the L1 and L2 channels.
+
+Paper: reducing the per-bit iteration count raises bandwidth but the
+trojan and spy stop overlapping reliably, so the error rate climbs from
+0 at the reported error-free bandwidths (Kepler and Maxwell shown;
+Fermi behaves identically around its error-free point).
+"""
+
+from benchmarks.support import report, run_once
+from repro.analysis import ber_vs_bandwidth
+from repro.arch import KEPLER_K40C, MAXWELL_M4000
+from repro.channels import L1CacheChannel, L2CacheChannel
+
+L1_ITER_SWEEP = [20, 12, 8, 5, 3, 2]
+L2_ITER_SWEEP = [8, 5, 3, 2, 1]
+
+
+def bench_fig05_bit_error_rate(benchmark):
+    def experiment():
+        out = {}
+        for gen, spec in [("Kepler", KEPLER_K40C),
+                          ("Maxwell", MAXWELL_M4000)]:
+            out[("L1", gen)] = ber_vs_bandwidth(
+                spec,
+                lambda d, it: L1CacheChannel(d, iterations=it),
+                L1_ITER_SWEEP, n_bits=48, seed=5)
+            out[("L2", gen)] = ber_vs_bandwidth(
+                spec,
+                lambda d, it: L2CacheChannel(d, iterations=it),
+                L2_ITER_SWEEP, n_bits=48, seed=5)
+        return out
+
+    sweeps = run_once(benchmark, experiment)
+
+    rows = []
+    for (level, gen), points in sweeps.items():
+        for p in points:
+            rows.append([f"{level} {gen}", p.iterations,
+                         f"{p.bandwidth_kbps:.1f}", f"{p.ber:.3f}"])
+    report(
+        benchmark,
+        "Figure 5: BER vs bandwidth (iteration sweep)",
+        ["channel", "iters/bit", "Kbps", "BER"], rows,
+        extra={"error_free_l1_kepler_kbps": round(
+            sweeps[("L1", "Kepler")][0].bandwidth_kbps, 1)},
+    )
+
+    for key, points in sweeps.items():
+        assert points[0].ber == 0.0, f"{key}: error-free at full iters"
+        assert points[-1].bandwidth_kbps > points[0].bandwidth_kbps, \
+            f"{key}: fewer iterations must raise bandwidth"
+    # The L1 channels show the paper's error cliff within the sweep.
+    # (Our L2 channel's per-bit window exceeds the launch skew even at
+    # one iteration, so its BER stays 0 in this jitter regime — noted
+    # in EXPERIMENTS.md.)
+    for gen in ("Kepler", "Maxwell"):
+        assert sweeps[("L1", gen)][-1].ber > 0.1, \
+            f"L1 {gen}: errors at minimal iterations"

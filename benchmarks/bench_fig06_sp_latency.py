@@ -1,0 +1,67 @@
+"""Figure 6 — single-precision op latency vs warp count (12 subplots).
+
+Paper shapes reproduced per architecture:
+
+* ``__sinf``: flat at the SFU latency (26/18/15 clk) then linear steps,
+  reaching ~300/~32/~32 clk at 32 warps on Fermi/Kepler/Maxwell.
+* ``sqrt``: high plateau (100/~156/~121 clk); steep contention on Fermi.
+* ``Add``/``Mul``: flat on Kepler (no steps — too many SP units);
+  late steps (~18 and ~24 warps) on Fermi and Maxwell.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.reveng import contention_onset, latency_curve, plateau_latency
+
+WARPS = [1, 4, 8, 12, 16, 20, 24, 28, 32]
+OPS = ["sinf", "sqrt", "fadd", "fmul"]
+SPECS = [("Fermi", FERMI_C2075), ("Kepler", KEPLER_K40C),
+         ("Maxwell", MAXWELL_M4000)]
+
+
+def bench_fig06_sp_latency(benchmark):
+    def experiment():
+        return {
+            (gen, op): latency_curve(spec, op, WARPS, iterations=96)
+            for gen, spec in SPECS for op in OPS
+        }
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    for (gen, op), curve in curves.items():
+        onset = contention_onset(curve)
+        rows.append([f"{gen} {op}",
+                     f"{plateau_latency(curve):.1f}",
+                     f"{curve[-1][1]:.1f}",
+                     onset if onset is not None else "none"])
+    report(
+        benchmark,
+        "Figure 6: SP op latency vs warps (plateau / @32 warps / onset)",
+        ["subplot", "plateau clk", "latency@32", "step onset"], rows,
+        extra={"kepler_sinf_at_32": round(
+            curves[("Kepler", "sinf")][-1][1], 1)},
+    )
+
+    # Plateau levels (paper values, 15% tolerance).
+    expected_plateau = {
+        ("Fermi", "sinf"): 26, ("Kepler", "sinf"): 18,
+        ("Maxwell", "sinf"): 15,
+        ("Fermi", "fadd"): 16, ("Kepler", "fadd"): 7,
+        ("Maxwell", "fadd"): 6,
+        ("Fermi", "sqrt"): 100, ("Kepler", "sqrt"): 156,
+        ("Maxwell", "sqrt"): 121,
+    }
+    for key, value in expected_plateau.items():
+        measured = plateau_latency(curves[key])
+        assert abs(measured - value) / value < 0.15, (key, measured)
+
+    # Shape claims.
+    assert contention_onset(curves[("Kepler", "fadd")]) is None, \
+        "Kepler Add must show no steps (paper)"
+    assert contention_onset(curves[("Kepler", "sinf")]) is not None
+    onset_maxwell_add = contention_onset(curves[("Maxwell", "fadd")])
+    assert onset_maxwell_add and onset_maxwell_add >= 20, \
+        "Maxwell Add steps appear around 24 warps (paper)"
+    assert curves[("Fermi", "sinf")][-1][1] > 250, \
+        "Fermi sinf reaches ~300 clk at 32 warps (paper)"

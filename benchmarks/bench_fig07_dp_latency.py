@@ -1,0 +1,58 @@
+"""Figure 7 — double-precision Add/Mul latency vs warp count.
+
+Paper: Fermi climbs from ~18 to ~65 clk with steps from ~8 warps
+(8 DPUs per scheduler); Kepler from ~8 to ~16 clk with steps from
+~20 warps (16 DPUs per scheduler).  Maxwell is absent (zero DPUs in
+Table 1) — attempting DP there raises UnsupportedOperation.
+"""
+
+import pytest
+
+from benchmarks.support import report, run_once
+from repro.arch import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.arch.specs import UnsupportedOperation
+from repro.reveng import contention_onset, latency_curve, plateau_latency
+
+WARPS = [1, 4, 8, 12, 16, 20, 24, 28, 32]
+
+
+def bench_fig07_dp_latency(benchmark):
+    def experiment():
+        return {
+            (gen, op): latency_curve(spec, op, WARPS, iterations=96)
+            for gen, spec in [("Fermi", FERMI_C2075),
+                              ("Kepler", KEPLER_K40C)]
+            for op in ("dadd", "dmul")
+        }
+
+    curves = run_once(benchmark, experiment)
+
+    rows = []
+    for (gen, op), curve in curves.items():
+        rows.append([f"{gen} {op}",
+                     f"{plateau_latency(curve):.1f}",
+                     f"{curve[-1][1]:.1f}",
+                     contention_onset(curve)])
+    report(
+        benchmark,
+        "Figure 7: DP op latency vs warps (plateau / @32 / onset)",
+        ["subplot", "plateau clk", "latency@32", "step onset"], rows,
+        extra={"fermi_dadd_at_32": round(
+            curves[("Fermi", "dadd")][-1][1], 1)},
+    )
+
+    fermi = curves[("Fermi", "dadd")]
+    kepler = curves[("Kepler", "dadd")]
+    assert plateau_latency(fermi) == pytest.approx(18, rel=0.15)
+    assert fermi[-1][1] == pytest.approx(64, rel=0.2)
+    onset_f = contention_onset(fermi)
+    assert onset_f and 8 <= onset_f <= 14
+
+    assert plateau_latency(kepler) == pytest.approx(8, rel=0.15)
+    assert kepler[-1][1] == pytest.approx(16, rel=0.2)
+    onset_k = contention_onset(kepler)
+    assert onset_k and 18 <= onset_k <= 26
+
+    # Maxwell has no DP units (Table 1): the paper omits it entirely.
+    with pytest.raises(UnsupportedOperation):
+        MAXWELL_M4000.op_spec("dadd")

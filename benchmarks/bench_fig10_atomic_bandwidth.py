@@ -1,0 +1,50 @@
+"""Figure 10 — global atomic covert-channel bandwidth.
+
+Paper shape: Kepler/Maxwell far above Fermi (atomic units at the L2,
+~9x faster), and scenario 3 (consecutive addresses, one coalescing
+segment, fully serialized on a single atomic unit) the slowest pattern
+on every device.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import all_specs
+from repro.channels import GlobalAtomicChannel
+from repro.sim.gpu import Device
+
+
+def bench_fig10_atomic_bandwidth(benchmark):
+    def experiment():
+        out = {}
+        for spec in all_specs():
+            for scenario in (1, 2, 3):
+                device = Device(spec, seed=40 + scenario)
+                channel = GlobalAtomicChannel(device, scenario=scenario)
+                out[(spec.generation, scenario)] = \
+                    channel.transmit_random(24, seed=9)
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    rows = [[gen, f"scenario {sc}",
+             f"{r.bandwidth_kbps:.1f} Kbps", f"{r.ber:.3f}"]
+            for (gen, sc), r in results.items()]
+    report(
+        benchmark,
+        "Figure 10: global atomic channel bandwidth",
+        ["GPU", "pattern", "measured", "BER"], rows,
+        extra={f"{gen.lower()}_s{sc}_kbps": round(r.bandwidth_kbps, 1)
+               for (gen, sc), r in results.items()},
+    )
+
+    for (gen, sc), r in results.items():
+        assert r.error_free, (gen, sc)
+    for gen in ("Fermi", "Kepler", "Maxwell"):
+        s1 = results[(gen, 1)].bandwidth_kbps
+        s2 = results[(gen, 2)].bandwidth_kbps
+        s3 = results[(gen, 3)].bandwidth_kbps
+        assert s3 < s1 and s3 < s2, \
+            f"{gen}: scenario 3 must be slowest (paper)"
+    for sc in (1, 2, 3):
+        assert results[("Kepler", sc)].bandwidth_kbps > \
+            3 * results[("Fermi", sc)].bandwidth_kbps, \
+            "Kepler atomics must be far faster than Fermi's (paper)"

@@ -1,0 +1,62 @@
+"""Future-work extension — the side channel the covert channel forecasts.
+
+Section 1: "The presence of a covert channel can also forecast the
+possibility of a side-channel attack"; the conclusion lists GPU side
+channels as future work (realized a year later in the authors'
+follow-up).  This bench quantifies the forecast on the simulator: the
+prime/probe primitive that carries the covert channel recovers a
+victim's key bits with clean score separation, on both an 8-set
+(Kepler) and a 16-set (Fermi) L1.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import FERMI_C2075, KEPLER_K40C
+from repro.sidechannel import (
+    PrimeProbeAttacker,
+    TableLookupVictim,
+    recoverable_bits,
+)
+from repro.sim.gpu import Device
+
+KEY = 0b10110101
+PLAINTEXTS = list(range(0, 256, 11))
+
+
+def bench_future_sidechannel(benchmark):
+    def experiment():
+        out = {}
+        for spec in (KEPLER_K40C, FERMI_C2075):
+            device = Device(spec, seed=81)
+            victim = TableLookupVictim(device, key=KEY)
+            attacker = PrimeProbeAttacker(device, victim)
+            result = attacker.attack(plaintexts=PLAINTEXTS)
+            ranked = result.candidates()
+            out[spec.generation] = (
+                recoverable_bits(device),
+                victim.check_guess(result.best_guess_bits, result.mask),
+                result.scores[ranked[0]],
+                result.scores[ranked[1]] if len(ranked) > 1 else 0,
+                result.trials,
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    rows = [[gen, bits, correct, f"{top}/{trials}", runner_up]
+            for gen, (bits, correct, top, runner_up, trials)
+            in results.items()]
+    report(
+        benchmark,
+        "Future work: prime/probe side channel (key-bit recovery)",
+        ["GPU", "bits/byte", "recovered", "top score", "runner-up"],
+        rows,
+        extra={f"{gen.lower()}_recovered": results[gen][1]
+               for gen in results},
+    )
+
+    for gen, (bits, correct, top, runner_up, trials) in results.items():
+        assert correct, f"{gen}: key bits must be recovered"
+        assert top > 3 * max(1, runner_up), \
+            f"{gen}: score separation must be decisive"
+    assert results["Kepler"][0] == 3
+    assert results["Fermi"][0] == 4

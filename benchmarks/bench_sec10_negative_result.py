@@ -1,0 +1,101 @@
+"""Section 10 — negative result: self-contention does not transfer.
+
+The paper closes its related-work discussion with an important negative
+finding: the *self*-timing effects that power Jiang et al.'s CPU-side
+timing attacks (memory-coalescing differences) "had little measurable
+effect on the timing of a competing kernel" and so cannot be used for
+covert communication.  This bench reproduces both halves:
+
+* un-coalesced loads slow the kernel *issuing* them dramatically
+  (self-contention is large), but
+* a competing kernel's load latency barely moves (cross-contention is
+  negligible) — unlike atomics, where the cross-kernel effect is the
+  whole Section 6 channel.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def _load_latency_kernel(pattern: str, iters: int, record: bool):
+    def body(ctx):
+        base = (1 << 21) if record else 0
+        total, count = 0.0, 0
+        for i in range(iters):
+            if pattern == "coalesced":
+                addrs = [base + i * 128 + t * 4 for t in range(32)]
+            else:   # un-coalesced: one segment per thread
+                addrs = [base + i * 128 + t * 4096 for t in range(32)]
+            t0 = yield isa.ReadClock()
+            yield isa.GlobalLoad(addrs)
+            t1 = yield isa.ReadClock()
+            total += t1 - t0
+            count += 1
+        if record:
+            ctx.out["latency"] = total / count
+    return body
+
+
+def _spy_latency(device, with_trojan: bool, trojan_pattern: str) -> float:
+    spy = Kernel(_load_latency_kernel("coalesced", 30, True),
+                 KernelConfig(grid=1), name="spy", context=2)
+    kernels = [spy]
+    if with_trojan:
+        trojan = Kernel(_load_latency_kernel(trojan_pattern, 60, False),
+                        KernelConfig(grid=2, block_threads=32),
+                        name="trojan", context=1)
+        device.stream().launch(trojan)
+        kernels.append(trojan)
+    device.stream().launch(spy)
+    device.synchronize(kernels=kernels)
+    return spy.out["latency"]
+
+
+def _self_latency(device, pattern: str) -> float:
+    kernel = Kernel(_load_latency_kernel(pattern, 30, True),
+                    KernelConfig(grid=1), name="self", context=1)
+    device.launch(kernel)
+    device.synchronize()
+    return kernel.out["latency"]
+
+
+def bench_sec10_negative_result(benchmark):
+    def experiment():
+        self_coalesced = _self_latency(Device(KEPLER_K40C, seed=1),
+                                       "coalesced")
+        self_uncoalesced = _self_latency(Device(KEPLER_K40C, seed=1),
+                                         "uncoalesced")
+        spy_idle = _spy_latency(Device(KEPLER_K40C, seed=2), False, "")
+        spy_vs_coalesced = _spy_latency(Device(KEPLER_K40C, seed=2),
+                                        True, "coalesced")
+        spy_vs_uncoalesced = _spy_latency(Device(KEPLER_K40C, seed=2),
+                                          True, "uncoalesced")
+        return (self_coalesced, self_uncoalesced, spy_idle,
+                spy_vs_coalesced, spy_vs_uncoalesced)
+
+    (self_c, self_u, spy_idle, spy_c, spy_u) = run_once(benchmark,
+                                                        experiment)
+
+    rows = [
+        ["self, coalesced loads", f"{self_c:.0f} clk"],
+        ["self, un-coalesced loads", f"{self_u:.0f} clk"],
+        ["competing kernel, trojan idle", f"{spy_idle:.0f} clk"],
+        ["competing kernel, coalesced trojan", f"{spy_c:.0f} clk"],
+        ["competing kernel, un-coalesced trojan", f"{spy_u:.0f} clk"],
+    ]
+    report(
+        benchmark,
+        "Section 10 negative result: coalescing self- vs cross-effects",
+        ["measurement", "mean load latency"], rows,
+        extra={"self_ratio": round(self_u / self_c, 2),
+               "cross_ratio": round(spy_u / spy_idle, 2)},
+    )
+
+    # Self-effect is large (this is what Jiang et al.'s attack times)...
+    assert self_u > 1.15 * self_c
+    # ...but the cross-kernel effect is too small to decode bits from.
+    assert spy_u / spy_idle < 1.10
+    assert spy_c / spy_idle < 1.10

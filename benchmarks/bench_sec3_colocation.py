@@ -1,0 +1,72 @@
+"""Section 3 — reverse-engineered block placement and co-location.
+
+Regenerates the placement findings: round-robin block assignment,
+leftover co-residency of a second kernel, FIFO queueing when nothing
+fits, and round-robin warp→scheduler assignment — on all three devices
+and under the literature's alternative multiprogramming policies.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import all_specs, KEPLER_K40C
+from repro.reveng import infer_block_policy, infer_warp_schedulers
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def _sleeper(cycles=6000.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+def _colocation_under(policy: str) -> int:
+    device = Device(KEPLER_K40C, seed=2, policy=policy)
+    a = Kernel(_sleeper(), KernelConfig(grid=15), context=1)
+    b = Kernel(_sleeper(), KernelConfig(grid=15), context=2)
+    device.stream().launch(a)
+    device.stream().launch(b)
+    device.synchronize(kernels=[a, b])
+    return len(device.colocated_sms(a, b))
+
+
+def bench_sec3_colocation(benchmark):
+    def experiment():
+        reports = {spec.generation: infer_block_policy(spec)
+                   for spec in all_specs()}
+        schedulers = {spec.generation: infer_warp_schedulers(spec)
+                      for spec in all_specs()}
+        policies = {policy: _colocation_under(policy)
+                    for policy in ("leftover", "smk", "warped-slicer",
+                                   "spatial", "draining")}
+        return reports, schedulers, policies
+
+    reports, schedulers, policies = run_once(benchmark, experiment)
+
+    rows = [[gen, r.round_robin, r.leftover_coresidency,
+             r.fifo_queueing, schedulers[gen]]
+            for gen, r in reports.items()]
+    rows += [[f"policy={p}", "-", f"{n}/15 SMs co-located", "-", "-"]
+             for p, n in policies.items()]
+    report(
+        benchmark,
+        "Section 3: placement reverse engineering & policy co-location",
+        ["device/policy", "round-robin", "leftover co-residency",
+         "FIFO queueing", "warp schedulers"],
+        rows,
+        extra={"policies": policies},
+    )
+
+    for gen, r in reports.items():
+        assert r.round_robin and r.leftover_coresidency \
+            and r.fifo_queueing, gen
+    for gen, n in schedulers.items():
+        spec = next(s for s in all_specs() if s.generation == gen)
+        assert n == spec.warp_schedulers
+    # Intra-SM co-location is possible under leftover/SMK/Warped-Slicer
+    # but impossible under spatial and SM-draining multiprogramming.
+    assert policies["leftover"] == 15
+    assert policies["smk"] == 15
+    assert policies["warped-slicer"] == 15
+    assert policies["spatial"] == 0
+    assert policies["draining"] == 0

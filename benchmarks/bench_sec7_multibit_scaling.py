@@ -1,0 +1,65 @@
+"""Section 7.1 — multi-bit scaling across cache sets.
+
+Paper (Kepler L1): 2 / 4 / 6 concurrent bits improve bandwidth by
+1.8x / 2.9x / 3.8x over the synchronized single-bit channel — sublinear
+because of port contention and higher per-round miss probability.
+The L2's 14 usable data sets should give 14x in theory but deliver only
+~8x in the best case.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import (
+    L2CacheChannel,
+    MultiBitL1Channel,
+    MultiBitL2Channel,
+)
+from repro.sim.gpu import Device
+
+PAPER_RATIOS = {2: 1.8, 4: 2.9, 6: 3.8}
+
+
+def bench_sec7_multibit_scaling(benchmark):
+    def experiment():
+        l1 = {}
+        for m in (1, 2, 4, 6):
+            device = Device(KEPLER_K40C, seed=m + 1)
+            l1[m] = MultiBitL1Channel(
+                device, data_sets=m).transmit_random(72, seed=5)
+        l2_base = L2CacheChannel(
+            Device(KEPLER_K40C, seed=8)).transmit_random(24, seed=5)
+        l2_multi = MultiBitL2Channel(
+            Device(KEPLER_K40C, seed=8)).transmit_random(112, seed=5)
+        return l1, l2_base, l2_multi
+
+    l1, l2_base, l2_multi = run_once(benchmark, experiment)
+
+    rows = []
+    for m, r in l1.items():
+        ratio = r.bandwidth_kbps / l1[1].bandwidth_kbps
+        paper = PAPER_RATIOS.get(m, 1.0)
+        rows.append([f"L1 {m} bits", f"{r.bandwidth_kbps:.0f} Kbps",
+                     f"{ratio:.2f}x", f"{paper:.1f}x", f"{r.ber:.3f}"])
+    l2_ratio = l2_multi.bandwidth_kbps / l2_base.bandwidth_kbps
+    rows.append([f"L2 {l2_multi.meta['data_sets']} bits",
+                 f"{l2_multi.bandwidth_kbps:.0f} Kbps",
+                 f"{l2_ratio:.2f}x", "~8x", f"{l2_multi.ber:.3f}"])
+    report(
+        benchmark,
+        "Section 7.1: multi-bit scaling (ratio vs 1-bit channel)",
+        ["config", "bandwidth", "measured ratio", "paper ratio", "BER"],
+        rows,
+        extra={"l1_6bit_ratio": round(
+            l1[6].bandwidth_kbps / l1[1].bandwidth_kbps, 2),
+            "l2_ratio": round(l2_ratio, 2)},
+    )
+
+    for m, r in l1.items():
+        assert r.error_free, m
+    assert l2_multi.error_free
+    for m, paper in PAPER_RATIOS.items():
+        measured = l1[m].bandwidth_kbps / l1[1].bandwidth_kbps
+        assert measured < m, f"{m}-bit scaling must be sublinear"
+        assert abs(measured - paper) / paper < 0.35, (m, measured)
+    assert 3.0 < l2_ratio < 12.0, \
+        "L2 multi-bit gain is far below the 14x ideal (paper: ~8x)"

@@ -1,0 +1,69 @@
+"""Section 8 — interference and exclusive co-location.
+
+Paper: running Rodinia workloads on a third stream alongside the L1
+channel corrupts it unless the attacker forces *exclusive* co-location
+by saturating shared memory (plus blocker kernels for thread slots),
+after which communication is error-free against every workload mix and
+the bystanders simply queue until the channel finishes.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.colocation import blocker_kernel
+from repro.sim.gpu import Device
+from repro.workloads import make_kernel
+
+WORKLOADS = ["heartwall", "gaussian", "needle", "srad", "bfs"]
+
+
+def _run(exclusive: bool, victim_name: str, seed: int):
+    device = Device(KEPLER_K40C, seed=seed)
+    channel = SynchronizedL1Channel(device, exclusive=exclusive)
+    bystanders = []
+    if exclusive:
+        bystanders.append(blocker_kernel(KEPLER_K40C,
+                                         duration_cycles=3_000_000))
+    victim = make_kernel(victim_name, KEPLER_K40C, iters=250,
+                         const_base=0)
+    bystanders.append(victim)
+    result = channel.transmit_random(48, seed=11, bystanders=bystanders)
+    locked_out = not victim.done
+    device.synchronize()
+    return result, locked_out, victim.done
+
+
+def bench_sec8_noise(benchmark):
+    def experiment():
+        out = {}
+        for name in WORKLOADS:
+            out[(name, False)] = _run(False, name, seed=33)
+            out[(name, True)] = _run(True, name, seed=33)
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for (name, exclusive), (r, locked, done) in results.items():
+        rows.append([name, "exclusive" if exclusive else "open",
+                     f"{r.ber:.3f}", locked, done])
+    report(
+        benchmark,
+        "Section 8: interference vs exclusive co-location (L1 channel)",
+        ["workload", "mode", "BER", "victim locked out",
+         "victim finished"],
+        rows,
+        extra={"open_ber_heartwall":
+               results[("heartwall", False)][0].ber},
+    )
+
+    # Exclusive co-location is error-free against every workload and
+    # the bystander always completes after the channel.
+    for name in WORKLOADS:
+        r, locked, done = results[(name, True)]
+        assert r.error_free, name
+        assert locked, f"{name} must be queued while the channel runs"
+        assert done, f"{name} must complete afterwards"
+    # Without exclusion, at least the constant-memory workload
+    # (Heart Wall) corrupts the channel.
+    assert results[("heartwall", False)][0].ber > 0.02

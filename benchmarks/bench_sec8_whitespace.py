@@ -1,0 +1,74 @@
+"""Section 8 extension — whitespace-style idle-set discovery.
+
+The paper sketches (but does not build) a noise-avoidance alternative
+to exclusive co-location: scan for idle resources, announce the choice
+with a beacon, communicate there.  This bench compares the fixed-set
+synchronized channel against the whitespace channel when a bystander
+sits exactly on the fixed channel's data set.
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.channels.whitespace import WhitespaceL1Channel
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def _pinned_interferer(device, set_index: int) -> Kernel:
+    l1 = device.spec.const_l1
+    base = device.const_alloc(l1.size_bytes, align=l1.way_stride,
+                              label="interferer")
+
+    def body(ctx):
+        addrs = [base + set_index * l1.line_bytes + k * l1.way_stride
+                 for k in range(l1.ways)]
+        for _ in range(8000):
+            for a in addrs:
+                yield isa.ConstLoad(a)
+            yield isa.Sleep(60)
+
+    return Kernel(body, KernelConfig(grid=device.spec.n_sms),
+                  context=77, name="pinned-interferer")
+
+
+def _run(channel_cls, seed=73):
+    device = Device(KEPLER_K40C, seed=seed)
+    device.stream().launch(_pinned_interferer(device, set_index=2))
+    device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+    channel = channel_cls(device)
+    result = channel.transmit_random(24, seed=5)
+    device.synchronize()
+    return result
+
+
+def bench_sec8_whitespace(benchmark):
+    def experiment():
+        fixed = _run(SynchronizedL1Channel)
+        whitespace = _run(WhitespaceL1Channel)
+        clean = WhitespaceL1Channel(
+            Device(KEPLER_K40C, seed=71)).transmit_random(24, seed=5)
+        return fixed, whitespace, clean
+
+    fixed, whitespace, clean = run_once(benchmark, experiment)
+
+    rows = [
+        ["fixed-set sync channel + interferer on its set",
+         f"{fixed.ber:.3f}", f"{fixed.bandwidth_kbps:.1f} Kbps"],
+        ["whitespace channel + same interferer",
+         f"{whitespace.ber:.3f}",
+         f"{whitespace.bandwidth_kbps:.1f} Kbps"],
+        ["whitespace channel, clean device",
+         f"{clean.ber:.3f}", f"{clean.bandwidth_kbps:.1f} Kbps"],
+    ]
+    report(
+        benchmark,
+        "Section 8 extension: idle-set discovery vs a pinned bystander",
+        ["configuration", "BER", "bandwidth"], rows,
+        extra={"fixed_ber": fixed.ber, "whitespace_ber": whitespace.ber},
+    )
+
+    assert fixed.ber > 0.05, "the fixed set must suffer interference"
+    assert whitespace.error_free, "discovery must sidestep the bystander"
+    assert clean.error_free

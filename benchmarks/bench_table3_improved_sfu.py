@@ -1,0 +1,66 @@
+"""Table 3 — improved SFU channel bandwidth.
+
+Paper (baseline / parallel-per-scheduler / + parallel-per-SM):
+
+* Tesla C2075 (Fermi):   21 K / 28 K  / 380 K
+* Tesla K40C (Kepler):   24 K / 84 K  / 1.2 M
+* Quadro M4000 (Maxwell): 28 K / 100 K / 1.3 M
+"""
+
+from benchmarks.support import report, run_once
+from repro.arch import all_specs
+from repro.channels import ParallelSFUChannel, SFUChannel
+from repro.sim.gpu import Device
+
+PAPER = {
+    "Fermi": (21, 28, 380),
+    "Kepler": (24, 84, 1200),
+    "Maxwell": (28, 100, 1300),
+}
+
+
+def bench_table3_improved_sfu(benchmark):
+    def experiment():
+        out = {}
+        for spec in all_specs():
+            gen = spec.generation
+            out[(gen, "baseline")] = SFUChannel(
+                Device(spec, seed=5)).transmit_random(12, seed=9)
+            out[(gen, "schedulers")] = ParallelSFUChannel(
+                Device(spec, seed=5), per_sm=False).transmit_random(
+                    24, seed=9)
+            bits = 4 * spec.warp_schedulers * spec.n_sms
+            out[(gen, "schedulers+SMs")] = ParallelSFUChannel(
+                Device(spec, seed=5), per_sm=True).transmit_random(
+                    bits, seed=9)
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for gen in ("Fermi", "Kepler", "Maxwell"):
+        for i, stage in enumerate(("baseline", "schedulers",
+                                   "schedulers+SMs")):
+            r = results[(gen, stage)]
+            rows.append([gen, stage, f"{r.bandwidth_kbps:.0f} Kbps",
+                         f"{PAPER[gen][i]} Kbps", f"{r.ber:.3f}"])
+    report(
+        benchmark,
+        "Table 3: improved SFU channel bandwidth",
+        ["GPU", "configuration", "measured", "paper", "BER"], rows,
+        extra={f"{gen.lower()}_{stage}":
+               round(results[(gen, stage)].bandwidth_kbps, 1)
+               for (gen, stage) in results},
+    )
+
+    for key, r in results.items():
+        assert r.error_free, key
+    for gen in ("Fermi", "Kepler", "Maxwell"):
+        base = results[(gen, "baseline")].bandwidth_kbps
+        ws = results[(gen, "schedulers")].bandwidth_kbps
+        full = results[(gen, "schedulers+SMs")].bandwidth_kbps
+        assert base < ws < full
+        # Baselines match the paper within 30%.
+        assert abs(base - PAPER[gen][0]) / PAPER[gen][0] < 0.3
+        # The final stage lands within 2x of the paper's Mbps figure.
+        assert 0.5 < full / PAPER[gen][2] < 2.0

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the experiment on the simulator, prints the measured
+rows next to the paper-reported values, attaches both to
+``benchmark.extra_info``, and asserts the *shape* claims (who wins, by
+roughly what factor, where crossovers fall).  Absolute numbers are not
+expected to match a hardware testbed exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis import format_table
+
+
+def report(benchmark, title: str, headers: Sequence[str],
+           rows: Sequence[Sequence[object]],
+           extra: Dict[str, object]) -> None:
+    """Print a figure/table reproduction and attach it to the benchmark."""
+    text = format_table(headers, rows, title=title)
+    print()
+    print(text)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

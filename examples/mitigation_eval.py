@@ -1,0 +1,95 @@
+"""Evaluate the Section 9 mitigations against live channels.
+
+The paper proposes partitioning (spatial and temporal), entropy
+injection (resource assignment and timekeeping) and contention
+detection, but leaves quantitative evaluation to future work.  This
+example runs each defence against the channel it targets and prints a
+scorecard.
+
+Run:  python examples/mitigation_eval.py
+"""
+
+from repro import Device, KEPLER_K40C
+from repro.analysis import format_table
+from repro.channels import (
+    L1CacheChannel,
+    ParallelSFUChannel,
+    SynchronizedL1Channel,
+)
+from repro.mitigations import (
+    ContentionDetector,
+    context_set_partition,
+    fuzzed_clock,
+    randomized_device,
+)
+from repro.workloads import make_kernel
+
+N_BITS = 48
+
+
+def main() -> None:
+    rows = []
+
+    baseline = L1CacheChannel(
+        Device(KEPLER_K40C, seed=3)).transmit_random(N_BITS, seed=5)
+    rows.append(["none (baseline)", "L1",
+                 f"{baseline.bandwidth_kbps:.0f} Kbps",
+                 f"{baseline.ber:.3f}"])
+
+    partitioned = L1CacheChannel(
+        Device(KEPLER_K40C, seed=3,
+               cache_partition_fn=context_set_partition(2))
+    ).transmit_random(N_BITS, seed=5)
+    rows.append(["cache set partitioning", "L1", "-",
+                 f"{partitioned.ber:.3f}"])
+
+    import repro.mitigations  # noqa: F401  (registers "temporal")
+    temporal = L1CacheChannel(
+        Device(KEPLER_K40C, seed=3, policy="temporal")
+    ).transmit_random(N_BITS, seed=5)
+    rows.append(["temporal partitioning", "L1", "-",
+                 f"{temporal.ber:.3f}"])
+
+    fuzzed = L1CacheChannel(
+        Device(KEPLER_K40C, seed=3,
+               clock_model=fuzzed_clock(granularity=256.0,
+                                        jitter_cycles=120.0)),
+        iterations=4,
+    ).transmit_random(N_BITS, seed=5)
+    rows.append(["clock fuzzing (TimeWarp)", "L1 @4 iters", "-",
+                 f"{fuzzed.ber:.3f}"])
+
+    sfu_clean = ParallelSFUChannel(
+        Device(KEPLER_K40C, seed=3), per_sm=False
+    ).transmit_random(24, seed=5)
+    sfu_rand = ParallelSFUChannel(
+        randomized_device(KEPLER_K40C, seed=3), per_sm=False
+    ).transmit_random(24, seed=5)
+    rows.append(["scheduler randomization", "parallel SFU",
+                 f"(clean BER {sfu_clean.ber:.3f})",
+                 f"{sfu_rand.ber:.3f}"])
+
+    det_dev = Device(KEPLER_K40C, seed=3)
+    detector = ContentionDetector.attach(det_dev)
+    SynchronizedL1Channel(det_dev).transmit_random(24, seed=5)
+    flagged = detector.analyze().channel_detected
+
+    benign_dev = Device(KEPLER_K40C, seed=3)
+    detector2 = ContentionDetector.attach(benign_dev)
+    for name in ("heartwall", "gaussian"):
+        benign_dev.launch(make_kernel(name, KEPLER_K40C, grid=4,
+                                      iters=30))
+    benign_dev.synchronize()
+    benign_flagged = detector2.analyze().channel_detected
+
+    print(format_table(
+        ["mitigation", "channel", "bandwidth", "BER"],
+        rows,
+        title="Section 9 mitigation scorecard (Tesla K40C)",
+    ))
+    print(f"\nCC-Hunter-style detector: channel flagged = {flagged}, "
+          f"benign Rodinia mix flagged = {benign_flagged}")
+
+
+if __name__ == "__main__":
+    main()

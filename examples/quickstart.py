@@ -1,0 +1,40 @@
+"""Quickstart: a covert channel in a dozen lines.
+
+Creates a simulated Tesla K40C, establishes trojan/spy co-residency on
+all 15 SMs through the leftover block scheduler, and transmits a short
+message through contention on one set of the constant L1 cache.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Device, KEPLER_K40C
+from repro.channels import L1CacheChannel
+from repro.channels.base import bytes_from_bits
+
+MESSAGE = b"hi"
+
+
+def main() -> None:
+    device = Device(KEPLER_K40C, seed=0)
+    channel = L1CacheChannel(device)
+
+    print(f"Device: {device.spec.name} ({device.spec.generation}), "
+          f"{device.spec.n_sms} SMs @ {device.spec.clock_mhz:.0f} MHz")
+    print(f"Channel: {channel.name}, target set {channel.target_set}, "
+          f"{channel.iterations} iterations/bit")
+
+    latencies = channel.contention_latencies(rounds=2)
+    print(f"Spy probe latency: {latencies['no_contention']:.0f} clk idle "
+          f"vs {latencies['contention']:.0f} clk under contention "
+          "(paper: 49 vs 112 on Kepler)")
+
+    result = channel.transmit_bytes(MESSAGE)
+    received = bytes_from_bits(result.received)
+    print(f"Sent {MESSAGE!r} -> received {received!r}")
+    print(f"{result.n_bits} bits in {result.seconds * 1e3:.2f} ms of GPU "
+          f"time = {result.bandwidth_kbps:.1f} Kbps, BER {result.ber:.3f}")
+    assert received == MESSAGE
+
+
+if __name__ == "__main__":
+    main()

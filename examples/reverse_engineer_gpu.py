@@ -1,0 +1,74 @@
+"""Reverse engineer an 'unknown' GPU from observable behaviour only.
+
+Phase I of the paper's attack: before any communication, the attacker
+recovers the microarchitectural facts the channels depend on —
+constant-cache geometry (Wong-style stride sweeps, Figures 2–3), the
+number of warp schedulers and their round-robin assignment (contention
+probing, Section 5.1), and the block scheduler's placement policy
+(smid/clock observation, Section 3.1).
+
+Run:  python examples/reverse_engineer_gpu.py [fermi|kepler|maxwell]
+"""
+
+import sys
+
+from repro import get_spec
+from repro.reveng import (
+    characterize_cache,
+    infer_block_policy,
+    infer_cache_parameters,
+    infer_warp_schedulers,
+)
+from repro.reveng.fu_latency import latency_curve, contention_onset
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kepler"
+    spec = get_spec(name)
+    print(f"Target: {spec.name} (treating parameters as unknown)\n")
+
+    print("[1/4] Constant L1 stride sweep (Figure 2 methodology)...")
+    l1_points = characterize_cache(spec, "l1")
+    l1 = infer_cache_parameters(l1_points,
+                                stride=spec.const_l1.line_bytes)
+    print(f"      size={l1.size_bytes}B line={l1.line_bytes}B "
+          f"sets={l1.n_sets} ways={l1.ways}   "
+          f"(truth: {spec.const_l1.size_bytes}B/"
+          f"{spec.const_l1.n_sets}x{spec.const_l1.ways})")
+
+    print("[2/4] Constant L2 stride sweep (Figure 3 methodology)...")
+    l2_points = characterize_cache(spec, "l2")
+    l2 = infer_cache_parameters(l2_points, stride=256)
+    print(f"      size={l2.size_bytes}B line={l2.line_bytes}B "
+          f"sets={l2.n_sets} ways={l2.ways}")
+
+    print("[3/4] Warp scheduler count via contention probing...")
+    schedulers = infer_warp_schedulers(spec)
+    print(f"      inferred {schedulers} schedulers "
+          f"(truth: {spec.warp_schedulers})")
+    curve = latency_curve(spec, "sinf", [1, 8, 16, 24, 32],
+                          iterations=96)
+    onset = contention_onset(curve)
+    print(f"      __sinf latency {curve[0][1]:.0f} clk flat until "
+          f"~{onset} warps, {curve[-1][1]:.0f} clk at 32 warps")
+
+    print("[4/4] Block scheduler placement experiments...")
+    placement = infer_block_policy(spec)
+    print(f"      round-robin placement:   {placement.round_robin}")
+    print(f"      leftover co-residency:   "
+          f"{placement.leftover_coresidency}")
+    print(f"      FIFO queueing when full: {placement.fifo_queueing}")
+    print(f"      first kernel smids: {placement.smids_first_kernel}")
+
+    print("\nAttack plan: launch trojan and spy with "
+          f"{spec.n_sms} blocks x "
+          f"{32 * schedulers} threads each; prime/probe L1 set 0 at a "
+          f"{l1.line_bytes * l1.n_sets}B stride.")
+
+    assert l1.size_bytes == spec.const_l1.size_bytes
+    assert schedulers == spec.warp_schedulers
+    assert placement.leftover_coresidency
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Side-channel key recovery — the attack the covert channel forecasts.
+
+The paper's introduction notes that a covert channel forecasts the
+possibility of a side channel, and its conclusion lists GPU side
+channels as future work.  Here a victim kernel performs T-table-style
+secret-dependent constant-memory lookups, and an attacker — *without*
+any colluding trojan — recovers the key's set-selecting bits using the
+same prime/probe primitive the covert channel is built from.
+
+Run:  python examples/sidechannel_key_recovery.py [fermi|kepler|maxwell]
+"""
+
+import sys
+
+from repro import Device, get_spec
+from repro.sidechannel import (
+    PrimeProbeAttacker,
+    TableLookupVictim,
+    recoverable_bits,
+)
+
+SECRET_KEY = 0b10110101
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kepler"
+    device = Device(get_spec(name), seed=81)
+    bits = recoverable_bits(device)
+    print(f"Device: {device.spec.name} — L1 has "
+          f"{device.spec.const_l1.n_sets} sets, so prime/probe can "
+          f"recover {bits} key bits per byte")
+
+    victim = TableLookupVictim(device, key=SECRET_KEY)
+    attacker = PrimeProbeAttacker(device, victim)
+    print("Running chosen-plaintext trials "
+          "(prime -> victim encrypt -> probe)...")
+    result = attacker.attack(plaintexts=list(range(0, 256, 7)))
+
+    ranked = result.candidates()
+    print(f"Trials: {result.trials}; top guesses by score:")
+    for guess in ranked[:3]:
+        print(f"    key & {result.mask:#010b} == {guess & result.mask:#010b}"
+              f"   score {result.scores[guess]}")
+    correct = victim.check_guess(result.best_guess_bits, result.mask)
+    print(f"True key bits under mask: "
+          f"{SECRET_KEY & result.mask:#010b}")
+    print(f"Recovered correctly: {correct}")
+    print(f"Remaining brute-force space per byte: "
+          f"2^{8 - bits} = {1 << (8 - bits)} candidates")
+    assert correct
+
+
+if __name__ == "__main__":
+    main()

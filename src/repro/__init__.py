@@ -1,0 +1,44 @@
+"""repro — reproduction of *Constructing and Characterizing Covert
+Channels on GPGPUs* (Naghibijouybari, Khasawneh, Abu-Ghazaleh; MICRO-50,
+2017) on a discrete-event GPGPU simulator.
+
+Quickstart::
+
+    from repro import Device, KEPLER_K40C
+    from repro.channels import L1CacheChannel
+
+    device = Device(KEPLER_K40C)
+    channel = L1CacheChannel(device)
+    result = channel.transmit([1, 0, 1, 1, 0, 0, 1, 0])
+    print(result.bandwidth_kbps, "Kbps, BER", result.ber)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.arch import (
+    FERMI_C2075,
+    GPUSpec,
+    KEPLER_K40C,
+    MAXWELL_M4000,
+    all_specs,
+    get_spec,
+)
+from repro.sim import Device, Kernel, KernelConfig, Stream, isa
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Device",
+    "FERMI_C2075",
+    "GPUSpec",
+    "KEPLER_K40C",
+    "Kernel",
+    "KernelConfig",
+    "MAXWELL_M4000",
+    "Stream",
+    "all_specs",
+    "get_spec",
+    "isa",
+    "__version__",
+]

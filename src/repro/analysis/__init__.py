@@ -1,0 +1,24 @@
+"""Measurement harnesses: sweeps, report tables, plots, capacity."""
+
+from repro.analysis.sweeps import ber_vs_bandwidth, bandwidth_by_device
+from repro.analysis.tables import format_table, paper_comparison_row
+from repro.analysis.capacity import (
+    asymmetric_capacity,
+    binary_entropy,
+    bsc_capacity,
+    capacity_bps,
+)
+from repro.analysis.plots import ascii_plot, sparkline
+
+__all__ = [
+    "ascii_plot",
+    "asymmetric_capacity",
+    "bandwidth_by_device",
+    "ber_vs_bandwidth",
+    "binary_entropy",
+    "bsc_capacity",
+    "capacity_bps",
+    "format_table",
+    "paper_comparison_row",
+    "sparkline",
+]

@@ -1,0 +1,89 @@
+"""Information-theoretic channel capacity (Section 10 context).
+
+The paper compares against Hunger et al., who derive theoretical upper
+bounds on contention-channel capacity.  For a binary channel with raw
+bit rate ``B`` and symmetric bit-error probability ``p``, the Shannon
+capacity is ``B * (1 - H(p))`` with ``H`` the binary entropy — the most
+an ideal code could deliver.  For asymmetric errors (our channels flip
+0→1 and 1→0 at different rates) the general binary asymmetric-channel
+capacity applies.
+
+These helpers let benchmark output report how close a measured channel
+runs to its own theoretical ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.channels.base import ChannelResult
+from repro.noise.metrics import compare_bits
+
+
+def binary_entropy(p: float) -> float:
+    """H(p) in bits; 0 at p ∈ {0, 1}."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def bsc_capacity(p: float) -> float:
+    """Capacity (bits/use) of a binary symmetric channel with BER p."""
+    return 1.0 - binary_entropy(min(p, 1.0 - p))
+
+
+def asymmetric_capacity(p01: float, p10: float,
+                        tol: float = 1e-9) -> float:
+    """Capacity (bits/use) of a binary asymmetric channel.
+
+    ``p01`` is P(receive 1 | send 0); ``p10`` is P(receive 0 | send 1).
+    Computed by maximizing mutual information over the input
+    distribution (ternary search — I(q) is concave in q).
+    """
+    for p in (p01, p10):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+
+    def mutual_information(q: float) -> float:
+        # q = P(send 1)
+        p_r1 = q * (1 - p10) + (1 - q) * p01
+        h_out = binary_entropy(p_r1)
+        h_noise = q * binary_entropy(p10) + (1 - q) * binary_entropy(p01)
+        return h_out - h_noise
+
+    lo, hi = 0.0, 1.0
+    while hi - lo > tol:
+        m1 = lo + (hi - lo) / 3
+        m2 = hi - (hi - lo) / 3
+        if mutual_information(m1) < mutual_information(m2):
+            lo = m1
+        else:
+            hi = m2
+    return max(0.0, mutual_information((lo + hi) / 2))
+
+
+def capacity_bps(result: ChannelResult,
+                 assume_symmetric: Optional[bool] = None) -> float:
+    """Shannon capacity of a measured transmission, in bits/second.
+
+    Uses the raw signalling rate (bits over elapsed time) times the
+    per-use capacity implied by the observed error pattern.  With
+    ``assume_symmetric=None`` the error asymmetry is estimated from the
+    transmission itself (requires both symbol values in ``sent``).
+    """
+    raw_rate = result.n_bits / result.seconds if result.seconds else 0.0
+    if result.error_free:
+        return raw_rate
+    if assume_symmetric is True:
+        return raw_rate * bsc_capacity(result.ber)
+    stats = compare_bits(result.sent, result.received)
+    zeros = result.sent.count(0)
+    ones = result.n_bits - zeros
+    if zeros == 0 or ones == 0:
+        return raw_rate * bsc_capacity(result.ber)
+    p01 = stats.zero_to_one / zeros
+    p10 = stats.one_to_zero / ones
+    return raw_rate * asymmetric_capacity(p01, p10)

@@ -1,0 +1,65 @@
+"""Terminal plotting for experiment data.
+
+A small ASCII scatter/line renderer so the CLI and examples can show
+the Figure 2/3/6/7 shapes without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def ascii_plot(series: Sequence[Point], *,
+               width: int = 64, height: int = 16,
+               title: Optional[str] = None,
+               marker: str = "*") -> str:
+    """Render (x, y) points as an ASCII scatter plot."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = [p[0] for p in series]
+    ys = [p[1] for p in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_hi:.0f}"
+    label_lo = f"{y_lo:.0f}"
+    pad = max(len(label_hi), len(label_lo))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = label_hi.rjust(pad)
+        elif i == height - 1:
+            prefix = label_lo.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_lo:.0f}".ljust(width - 8) + f"{x_hi:.0f}".rjust(8)
+    lines.append(" " * pad + "  " + x_axis)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a series (for compact tables)."""
+    if not values:
+        raise ValueError("nothing to render")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values
+    )

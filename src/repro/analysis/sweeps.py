@@ -1,0 +1,65 @@
+"""Parameter-sweep harnesses shared by the benchmarks.
+
+``ber_vs_bandwidth`` regenerates the Figure 5 trade-off (lower the
+iteration count per bit, gain bandwidth, pay bit errors);
+``bandwidth_by_device`` runs one channel factory across the paper's
+three GPUs for the grouped-bar figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.arch.specs import GPUSpec
+from repro.channels.base import ChannelResult, CovertChannel, random_bits
+from repro.sim.gpu import Device
+
+#: Builds a fresh channel on a fresh device for one sweep point.
+ChannelFactory = Callable[[Device], CovertChannel]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an iterations/bandwidth/BER sweep."""
+
+    iterations: int
+    bandwidth_kbps: float
+    ber: float
+
+
+def ber_vs_bandwidth(spec: GPUSpec,
+                     factory: Callable[[Device, int], CovertChannel],
+                     iterations_list: Sequence[int], *,
+                     n_bits: int = 64,
+                     seed: int = 0) -> List[SweepPoint]:
+    """Sweep iterations-per-bit; returns (iterations, bandwidth, BER).
+
+    ``factory(device, iterations)`` must build the channel under test.
+    Each point runs on a fresh device so cache and queue state cannot
+    leak between configurations.
+    """
+    points: List[SweepPoint] = []
+    bits = random_bits(n_bits, seed=seed)
+    for idx, iters in enumerate(iterations_list):
+        device = Device(spec, seed=seed + 17 * idx + 1)
+        channel = factory(device, iters)
+        result = channel.transmit(bits)
+        points.append(SweepPoint(iterations=iters,
+                                 bandwidth_kbps=result.bandwidth_kbps,
+                                 ber=result.ber))
+    return points
+
+
+def bandwidth_by_device(specs: Sequence[GPUSpec],
+                        factory: ChannelFactory, *,
+                        n_bits: int = 64,
+                        seed: int = 0) -> Dict[str, ChannelResult]:
+    """Run one channel configuration on each device; keyed by generation."""
+    results: Dict[str, ChannelResult] = {}
+    for idx, spec in enumerate(specs):
+        device = Device(spec, seed=seed + 31 * idx + 1)
+        channel = factory(device)
+        results[spec.generation] = channel.transmit_random(n_bits,
+                                                           seed=seed)
+    return results

@@ -1,0 +1,36 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints each reproduced table/figure as rows of
+``measured`` next to ``paper`` values so EXPERIMENTS.md can be assembled
+straight from the bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_comparison_row(label: str, measured: float, paper: float,
+                         unit: str = "Kbps") -> List[str]:
+    """One row of a measured-vs-paper comparison table."""
+    ratio = measured / paper if paper else float("nan")
+    return [label, f"{measured:.1f} {unit}", f"{paper:.1f} {unit}",
+            f"{ratio:.2f}x"]

@@ -1,0 +1,40 @@
+"""Architecture specifications for the GPUs studied in the paper.
+
+The paper (Table 1 and Section 2) evaluates three NVIDIA devices:
+
+* Tesla C2075  (Fermi)
+* Tesla K40C   (Kepler)
+* Quadro M4000 (Maxwell)
+
+:mod:`repro.arch.specs` encodes their per-SM resources, cache geometry,
+instruction timing and multiprogramming limits as frozen dataclasses that
+parameterize the simulator in :mod:`repro.sim`.
+"""
+
+from repro.arch.specs import (
+    CacheSpec,
+    FERMI_C2075,
+    GPUSpec,
+    KEPLER_K40C,
+    MAXWELL_M4000,
+    MemorySpec,
+    OpSpec,
+    SPEC_BY_NAME,
+    WARP_SIZE,
+    all_specs,
+    get_spec,
+)
+
+__all__ = [
+    "CacheSpec",
+    "FERMI_C2075",
+    "GPUSpec",
+    "KEPLER_K40C",
+    "MAXWELL_M4000",
+    "MemorySpec",
+    "OpSpec",
+    "SPEC_BY_NAME",
+    "WARP_SIZE",
+    "all_specs",
+    "get_spec",
+]

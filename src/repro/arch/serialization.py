@@ -1,0 +1,65 @@
+"""Spec serialization and user-defined devices.
+
+The paper's methodology "can be used for not only Nvidia GPUs, but also
+a large class of placement algorithms"; downstream users will want to
+point the toolkit at devices we did not ship.  Specs round-trip through
+plain dictionaries (and therefore JSON), and a speculative
+Pascal-class device is provided to exercise generalization: more SMs,
+same leftover policy — the channels carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.arch.specs import (
+    CacheSpec,
+    GPUSpec,
+    KEPLER_K40C,
+    MemorySpec,
+    OpSpec,
+)
+
+
+def spec_to_dict(spec: GPUSpec) -> Dict[str, Any]:
+    """Plain-dict form of a device spec (JSON-serializable)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_dict(data: Dict[str, Any]) -> GPUSpec:
+    """Rebuild a :class:`GPUSpec` from :func:`spec_to_dict` output."""
+    payload = dict(data)
+    payload["const_l1"] = CacheSpec(**payload["const_l1"])
+    payload["const_l2"] = CacheSpec(**payload["const_l2"])
+    payload["memory"] = MemorySpec(**payload["memory"])
+    payload["ops"] = {name: OpSpec(**op)
+                      for name, op in payload["ops"].items()}
+    return GPUSpec(**payload)
+
+
+def spec_to_json(spec: GPUSpec, indent: int = 2) -> str:
+    """JSON text form of a device spec."""
+    return json.dumps(spec_to_dict(spec), indent=indent)
+
+
+def spec_from_json(text: str) -> GPUSpec:
+    """Parse a device spec from JSON text."""
+    return spec_from_dict(json.loads(text))
+
+
+#: A speculative Pascal-class device for generalization experiments:
+#: more SMs and a higher clock than the K40C, same scheduler structure
+#: and leftover policy.  Not a paper device — used to show the attack
+#: toolkit transfers to unseen configurations.
+PASCAL_LIKE = KEPLER_K40C.with_overrides(
+    name="Pascal-class (speculative)",
+    generation="Pascal",
+    n_sms=20,
+    clock_mhz=1300.0,
+    sp_units=128,
+    dp_units=64,
+    sfu_units=32,
+    launch_overhead_cycles=14000.0,
+)

@@ -1,0 +1,429 @@
+"""GPU architecture specifications.
+
+Everything the simulator needs to model one of the paper's three devices
+lives here: per-SM execution resources (Table 1 of the paper), constant
+cache geometry (Section 4.1), instruction timing calibrated against the
+latency plateaus of Figures 6 and 7, global-memory/atomic parameters
+(Section 6), and the occupancy limits that drive the leftover block
+scheduler (Section 3).
+
+The specs are plain frozen dataclasses so they can be shared, hashed and
+printed; the simulator never mutates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Tuple
+
+#: SIMT width used by every NVIDIA architecture in the paper.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and timing of one set-associative cache level.
+
+    The paper reverse engineers the constant caches with the Wong et al.
+    stride microbenchmark (Section 4.1): on Kepler/Maxwell the constant L1
+    is 2 KB, 4-way, 64 B lines; on Fermi it is 4 KB.  The constant L2 is
+    32 KB, 8-way, 256 B lines on all three devices.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    #: Latency of a hit in this level, in SM clock cycles.
+    hit_latency: float
+    #: Cycles one access occupies the cache port (throughput bound).
+    port_cycles: float = 1.0
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets (``size / (line * ways)``)."""
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def way_stride(self) -> int:
+        """Byte stride between two addresses mapping to the same set."""
+        return self.line_bytes * self.n_sets
+
+    def set_index(self, addr: int) -> int:
+        """Cache set an address maps to (physically indexed, modulo)."""
+        return (addr // self.line_bytes) % self.n_sets
+
+    def tag(self, addr: int) -> int:
+        """Tag for an address (line address above the set index)."""
+        return addr // (self.line_bytes * self.n_sets)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Timing of one arithmetic operation class.
+
+    ``unit`` names the functional-unit pool (``"sp"``, ``"dpu"``,
+    ``"sfu"``).  A warp-wide instruction occupies its scheduler's dispatch
+    port for ``WARP_SIZE * passes / units_per_scheduler`` cycles; the
+    result is available ``latency`` cycles after dispatch, plus a fixed
+    ``overhead`` for composite software sequences (``sqrt`` is an SFU
+    reciprocal plus Newton iterations on the SP units, which is why its
+    plateau sits far above its contention slope in Figure 6).
+    """
+
+    unit: str
+    latency: float
+    passes: float = 1.0
+    overhead: float = 0.0
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Global memory and atomic-unit parameters (Section 6).
+
+    On Kepler and Maxwell, atomic operations are resolved at the L2 cache
+    by a comparatively large pool of fast atomic units (the paper cites a
+    9x throughput improvement over Fermi, which resolves atomics near the
+    DRAM partitions).
+    """
+
+    #: Latency of a global load that misses all caches, in cycles.
+    load_latency: float
+    #: Number of atomic units (device wide).
+    atomic_units: int
+    #: Cycles one atomic op occupies its unit (serialization cost).
+    atomic_service: float
+    #: Fixed cycles per memory transaction (segment) issued by a warp.
+    transaction_cycles: float
+    #: Size of a coalescing segment in bytes.
+    segment_bytes: int = 256
+    #: Device-memory capacity in bytes (informational).
+    global_mem_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Full description of one GPGPU device.
+
+    Per-SM execution resource counts reproduce Table 1 of the paper:
+
+    ====================  ===============  ============  =============
+    resource              Tesla C2075      Tesla K40C    Quadro M4000
+    ====================  ===============  ============  =============
+    warp schedulers       2                4             4
+    dispatch units        2                8             8
+    SP cores              32               192           128
+    DP units              16               64            0
+    SFUs                  4                32            32
+    LD/ST units           16               32            32
+    ====================  ===============  ============  =============
+    """
+
+    name: str
+    generation: str
+    n_sms: int
+    clock_mhz: float
+
+    # --- Table 1: per-SM execution resources -------------------------
+    warp_schedulers: int
+    dispatch_units: int
+    sp_units: int
+    dp_units: int
+    sfu_units: int
+    ldst_units: int
+
+    # --- constant-memory cache hierarchy (Section 4.1) ---------------
+    const_l1: CacheSpec
+    const_l2: CacheSpec
+    #: Latency of a constant load that misses L1 and L2, in cycles.
+    const_mem_latency: float
+
+    # --- occupancy limits used by the leftover block scheduler -------
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+    shared_mem_per_sm: int
+    max_shared_mem_per_block: int
+    registers_per_sm: int
+
+    # --- host/runtime calibration ------------------------------------
+    #: Cycles from ``stream.launch`` until blocks reach the scheduler.
+    launch_overhead_cycles: float
+    #: Extra host-side cycles consumed by a stream synchronization.
+    sync_overhead_cycles: float
+    #: Std-dev (cycles) of launch-time jitter between streams.
+    launch_jitter_cycles: float
+    #: Std-dev (cycles) of a single ``clock()`` read.
+    clock_jitter_cycles: float
+
+    # --- instruction timing and memory system ------------------------
+    ops: Mapping[str, OpSpec] = field(default_factory=dict)
+    memory: MemorySpec = field(
+        default_factory=lambda: MemorySpec(400.0, 16, 4.0, 40.0)
+    )
+    const_mem_bytes: int = 64 * 1024
+    warp_size: int = WARP_SIZE
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def clock_hz(self) -> float:
+        """SM clock frequency in Hz."""
+        return self.clock_mhz * 1e6
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+    def units_per_scheduler(self, unit: str) -> float:
+        """Functional units of a type available to one warp scheduler.
+
+        The paper's key Section 5 finding is that functional-unit
+        contention is isolated per warp scheduler, even on Fermi/Kepler
+        where the units are nominally soft-shared; we therefore model the
+        pools as statically partitioned across schedulers.
+        """
+        counts = {"sp": self.sp_units, "dpu": self.dp_units,
+                  "sfu": self.sfu_units, "ldst": self.ldst_units}
+        try:
+            total = counts[unit]
+        except KeyError:
+            raise KeyError(f"unknown functional unit type: {unit!r}")
+        return total / self.warp_schedulers
+
+    @property
+    def issue_interval(self) -> float:
+        """Minimum cycles between instruction issues of one scheduler."""
+        return self.warp_schedulers / self.dispatch_units
+
+    def op_spec(self, op: str) -> OpSpec:
+        """Timing spec for an operation, raising for unsupported ops."""
+        try:
+            spec = self.ops[op]
+        except KeyError:
+            raise KeyError(f"{self.name} does not define op {op!r}")
+        if self.units_per_scheduler(spec.unit) <= 0:
+            raise UnsupportedOperation(
+                f"{self.name} has no {spec.unit.upper()} units; "
+                f"op {op!r} is unsupported (Table 1)."
+            )
+        return spec
+
+    def op_occupancy(self, op: str) -> float:
+        """Dispatch-port occupancy of one warp-wide op, in cycles.
+
+        A warp has :data:`WARP_SIZE` lanes that must be pushed through
+        ``units_per_scheduler`` pipelines, ``passes`` times; issue can
+        never be faster than the scheduler's dispatch interval.
+        """
+        spec = self.op_spec(op)
+        per_sched = self.units_per_scheduler(spec.unit)
+        occupancy = self.warp_size * spec.passes / per_sched
+        return max(occupancy, self.issue_interval)
+
+    def supports_op(self, op: str) -> bool:
+        """Whether this device can execute ``op`` at all."""
+        try:
+            self.op_spec(op)
+        except (KeyError, UnsupportedOperation):
+            return False
+        return True
+
+    def resource_table(self) -> Dict[str, int]:
+        """Row of the paper's Table 1 for this device."""
+        return {
+            "Warp Scheduler": self.warp_schedulers,
+            "Dispatch Unit": self.dispatch_units,
+            "SP": self.sp_units,
+            "DPU": self.dp_units,
+            "SFU": self.sfu_units,
+            "LD/ST": self.ldst_units,
+        }
+
+    def with_overrides(self, **kwargs) -> "GPUSpec":
+        """Copy of this spec with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+class UnsupportedOperation(RuntimeError):
+    """Raised when a kernel issues an op the device has no units for."""
+
+
+def _ops(entries: Iterable[Tuple[str, OpSpec]]) -> Dict[str, OpSpec]:
+    return dict(entries)
+
+
+# ----------------------------------------------------------------------
+# Tesla C2075 (Fermi)
+# ----------------------------------------------------------------------
+FERMI_C2075 = GPUSpec(
+    name="Tesla C2075",
+    generation="Fermi",
+    n_sms=14,
+    clock_mhz=1150.0,
+    warp_schedulers=2,
+    dispatch_units=2,
+    sp_units=32,
+    dp_units=16,
+    sfu_units=4,
+    ldst_units=16,
+    const_l1=CacheSpec(size_bytes=4096, line_bytes=64, ways=4,
+                       hit_latency=48.0, port_cycles=2.0),
+    const_l2=CacheSpec(size_bytes=32 * 1024, line_bytes=256, ways=8,
+                       hit_latency=120.0, port_cycles=4.0),
+    const_mem_latency=380.0,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    max_warps_per_sm=48,
+    shared_mem_per_sm=48 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    registers_per_sm=32768,
+    launch_overhead_cycles=24500.0,
+    sync_overhead_cycles=3000.0,
+    launch_jitter_cycles=600.0,
+    clock_jitter_cycles=3.0,
+    ops=_ops([
+        ("fadd", OpSpec(unit="sp", latency=16.0)),
+        ("fmul", OpSpec(unit="sp", latency=16.0)),
+        ("ffma", OpSpec(unit="sp", latency=18.0)),
+        ("dadd", OpSpec(unit="dpu", latency=18.0)),
+        ("dmul", OpSpec(unit="dpu", latency=18.0)),
+        ("sinf", OpSpec(unit="sfu", latency=26.0, passes=1.2)),
+        ("sqrt", OpSpec(unit="sfu", latency=40.0, passes=2.0,
+                        overhead=60.0)),
+        ("iadd", OpSpec(unit="sp", latency=16.0)),
+    ]),
+    memory=MemorySpec(
+        load_latency=500.0,
+        atomic_units=8,
+        atomic_service=9.0,
+        transaction_cycles=320.0,
+        segment_bytes=256,
+        global_mem_bytes=6 * 1024 ** 3,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Tesla K40C (Kepler)
+# ----------------------------------------------------------------------
+KEPLER_K40C = GPUSpec(
+    name="Tesla K40C",
+    generation="Kepler",
+    n_sms=15,
+    clock_mhz=745.0,
+    warp_schedulers=4,
+    dispatch_units=8,
+    sp_units=192,
+    dp_units=64,
+    sfu_units=32,
+    ldst_units=32,
+    const_l1=CacheSpec(size_bytes=2048, line_bytes=64, ways=4,
+                       hit_latency=44.0, port_cycles=1.0),
+    const_l2=CacheSpec(size_bytes=32 * 1024, line_bytes=256, ways=8,
+                       hit_latency=110.0, port_cycles=2.0),
+    const_mem_latency=350.0,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=48 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    launch_overhead_cycles=10300.0,
+    sync_overhead_cycles=1200.0,
+    launch_jitter_cycles=500.0,
+    clock_jitter_cycles=2.0,
+    ops=_ops([
+        ("fadd", OpSpec(unit="sp", latency=7.0)),
+        ("fmul", OpSpec(unit="sp", latency=7.0)),
+        ("ffma", OpSpec(unit="sp", latency=8.0)),
+        ("dadd", OpSpec(unit="dpu", latency=8.0)),
+        ("dmul", OpSpec(unit="dpu", latency=8.0)),
+        ("sinf", OpSpec(unit="sfu", latency=18.0)),
+        ("sqrt", OpSpec(unit="sfu", latency=16.0, overhead=140.0)),
+        ("iadd", OpSpec(unit="sp", latency=7.0)),
+    ]),
+    memory=MemorySpec(
+        load_latency=350.0,
+        atomic_units=32,
+        atomic_service=1.0,
+        transaction_cycles=60.0,
+        segment_bytes=256,
+        global_mem_bytes=12 * 1024 ** 3,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Quadro M4000 (Maxwell)
+# ----------------------------------------------------------------------
+MAXWELL_M4000 = GPUSpec(
+    name="Quadro M4000",
+    generation="Maxwell",
+    n_sms=13,
+    clock_mhz=773.0,
+    warp_schedulers=4,
+    dispatch_units=8,
+    sp_units=128,
+    dp_units=0,          # Table 1: Maxwell has no DP units.
+    sfu_units=32,
+    ldst_units=32,
+    const_l1=CacheSpec(size_bytes=2048, line_bytes=64, ways=4,
+                       hit_latency=44.0, port_cycles=1.0),
+    const_l2=CacheSpec(size_bytes=32 * 1024, line_bytes=256, ways=8,
+                       hit_latency=112.0, port_cycles=2.0),
+    const_mem_latency=360.0,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=96 * 1024,     # twice the per-block max (Section 8)
+    max_shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    launch_overhead_cycles=10500.0,
+    sync_overhead_cycles=1200.0,
+    launch_jitter_cycles=500.0,
+    clock_jitter_cycles=2.0,
+    ops=_ops([
+        ("fadd", OpSpec(unit="sp", latency=6.0, passes=1.2)),
+        ("fmul", OpSpec(unit="sp", latency=6.0, passes=1.2)),
+        ("ffma", OpSpec(unit="sp", latency=7.0, passes=1.2)),
+        # Double precision is defined but unexecutable: Table 1 lists
+        # zero DPUs, so op_spec() raises UnsupportedOperation.
+        ("dadd", OpSpec(unit="dpu", latency=48.0)),
+        ("dmul", OpSpec(unit="dpu", latency=48.0)),
+        ("sinf", OpSpec(unit="sfu", latency=15.0)),
+        ("sqrt", OpSpec(unit="sfu", latency=16.0, passes=2.5,
+                        overhead=105.0)),
+        ("iadd", OpSpec(unit="sp", latency=6.0, passes=1.2)),
+    ]),
+    memory=MemorySpec(
+        load_latency=380.0,
+        atomic_units=32,
+        atomic_service=1.0,
+        transaction_cycles=64.0,
+        segment_bytes=256,
+        global_mem_bytes=8 * 1024 ** 3,
+    ),
+)
+
+#: All three paper devices, keyed by short generation name.
+SPEC_BY_NAME: Dict[str, GPUSpec] = {
+    "fermi": FERMI_C2075,
+    "kepler": KEPLER_K40C,
+    "maxwell": MAXWELL_M4000,
+}
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Look up a device spec by generation (``fermi``/``kepler``/``maxwell``)
+    or by full device name (case insensitive)."""
+    key = name.strip().lower()
+    if key in SPEC_BY_NAME:
+        return SPEC_BY_NAME[key]
+    for spec in SPEC_BY_NAME.values():
+        if spec.name.lower() == key:
+            return spec
+    raise KeyError(f"unknown GPU spec: {name!r}")
+
+
+def all_specs() -> Tuple[GPUSpec, ...]:
+    """The three paper devices in paper order (Fermi, Kepler, Maxwell)."""
+    return (FERMI_C2075, KEPLER_K40C, MAXWELL_M4000)

@@ -1,0 +1,73 @@
+"""Covert channels — the paper's core contribution.
+
+Baseline channels (one kernel-launch round per bit, Sections 4–6):
+
+* :class:`~repro.channels.l1_cache.L1CacheChannel` — prime/probe on one
+  set of the per-SM constant L1 cache.
+* :class:`~repro.channels.l2_cache.L2CacheChannel` — prime/probe on one
+  set of the device-shared constant L2 (works across SMs).
+* :class:`~repro.channels.sfu.SFUChannel` — contention on the special
+  functional units through the shared warp scheduler.
+* :class:`~repro.channels.global_atomic.GlobalAtomicChannel` — contention
+  on the global-memory atomic units (three coalescing scenarios).
+
+Optimized channels (Section 7):
+
+* :class:`~repro.channels.sync.SynchronizedL1Channel` — single launch,
+  Figure 11 three-way handshake through two signalling cache sets.
+* :class:`~repro.channels.multibit.MultiBitL1Channel` — M bits per round
+  through M data sets; :class:`~repro.channels.multibit.MultiBitL2Channel`
+  probes sets with parallel warps through the shared L2.
+* :class:`~repro.channels.parallel.ParallelSMChannel` — independent
+  channel instance per SM (the 4+ Mbps configuration).
+* :class:`~repro.channels.parallel.ParallelSFUChannel` — one bit per warp
+  scheduler, optionally per SM (Table 3).
+* :class:`~repro.channels.multi_resource.MultiResourceChannel` — L1 and
+  SFU bits in the same round.
+
+Extensions beyond the paper's implementation:
+
+* :class:`~repro.channels.sync_sfu.SynchronizedSFUChannel` — the
+  Figure 11 synchronization applied to the SFU medium (the paper notes
+  this is possible but only builds it for the caches).
+* :class:`~repro.channels.reliable.ReliableLink` — framed, CRC-checked
+  stop-and-wait ARQ over a forward/reverse channel pair (the
+  error-handling-protocol direction of Maurice et al., Section 10).
+* :class:`~repro.channels.whitespace.WhitespaceL1Channel` — the
+  Section 8 "whitespace networking" idea: dynamically discover an idle
+  cache set and announce it with a beacon, sidestepping bystanders
+  without exclusive co-location.
+"""
+
+from repro.channels.base import ChannelResult, CovertChannel, random_bits
+from repro.channels.l1_cache import L1CacheChannel
+from repro.channels.l2_cache import L2CacheChannel
+from repro.channels.sfu import SFUChannel
+from repro.channels.global_atomic import GlobalAtomicChannel
+from repro.channels.sync import SynchronizedL1Channel
+from repro.channels.multibit import MultiBitL1Channel, MultiBitL2Channel
+from repro.channels.parallel import ParallelSMChannel, ParallelSFUChannel
+from repro.channels.multi_resource import MultiResourceChannel
+from repro.channels.sync_sfu import SynchronizedSFUChannel
+from repro.channels.reliable import LinkResult, ReliableLink
+from repro.channels.whitespace import WhitespaceL1Channel
+
+__all__ = [
+    "ChannelResult",
+    "CovertChannel",
+    "GlobalAtomicChannel",
+    "L1CacheChannel",
+    "L2CacheChannel",
+    "MultiBitL1Channel",
+    "MultiBitL2Channel",
+    "MultiResourceChannel",
+    "LinkResult",
+    "ParallelSFUChannel",
+    "ParallelSMChannel",
+    "ReliableLink",
+    "SFUChannel",
+    "SynchronizedL1Channel",
+    "SynchronizedSFUChannel",
+    "WhitespaceL1Channel",
+    "random_bits",
+]

@@ -1,0 +1,159 @@
+"""Common covert-channel machinery: results, bit helpers, base class."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.gpu import Device
+
+Bits = Sequence[int]
+
+
+def random_bits(n: int, seed: int = 0) -> List[int]:
+    """A reproducible random message of ``n`` bits."""
+    rng = np.random.default_rng(seed)
+    return [int(b) for b in rng.integers(0, 2, size=n)]
+
+
+def bits_from_bytes(data: bytes) -> List[int]:
+    """MSB-first bit expansion of a byte string."""
+    out: List[int] = []
+    for byte in data:
+        out.extend((byte >> (7 - i)) & 1 for i in range(8))
+    return out
+
+
+def bytes_from_bits(bits: Bits) -> bytes:
+    """Inverse of :func:`bits_from_bytes`; pads the tail with zeros."""
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        chunk = list(bits[i:i + 8]) + [0] * (8 - len(bits[i:i + 8]))
+        byte = 0
+        for b in chunk:
+            byte = (byte << 1) | (1 if b else 0)
+        out.append(byte)
+    return bytes(out)
+
+
+@dataclass
+class ChannelResult:
+    """Outcome of one covert transmission.
+
+    ``bandwidth_bps`` is payload bits over elapsed wall-clock time on the
+    simulated device — the same definition the paper uses (its reported
+    numbers are error-free bandwidths, so compare ``bandwidth_kbps`` only
+    when ``ber == 0``).
+    """
+
+    sent: List[int]
+    received: List[int]
+    start_cycle: float
+    end_cycle: float
+    clock_hz: float
+    channel: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_bits(self) -> int:
+        """Number of payload bits transmitted."""
+        return len(self.sent)
+
+    @property
+    def errors(self) -> int:
+        """Count of mismatched bits."""
+        return sum(1 for s, r in zip(self.sent, self.received) if s != r)
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate in [0, 1]."""
+        return self.errors / self.n_bits if self.n_bits else 0.0
+
+    @property
+    def error_free(self) -> bool:
+        """True when every bit decoded correctly."""
+        return self.errors == 0
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Device cycles the transmission took."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration on the simulated device."""
+        return self.elapsed_cycles / self.clock_hz
+
+    @property
+    def cycles_per_bit(self) -> float:
+        """Average cycles spent per payload bit."""
+        return self.elapsed_cycles / self.n_bits if self.n_bits else 0.0
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Payload bandwidth in bits per second."""
+        return self.n_bits / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def bandwidth_kbps(self) -> float:
+        """Payload bandwidth in Kbps (the unit of Figures 4 and 10)."""
+        return self.bandwidth_bps / 1e3
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Payload bandwidth in Mbps (the unit of Tables 2 and 3)."""
+        return self.bandwidth_bps / 1e6
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (f"{self.channel or 'channel'}: {self.n_bits} bits, "
+                f"{self.bandwidth_kbps:.1f} Kbps, BER {self.ber:.3f}")
+
+
+class CovertChannel(abc.ABC):
+    """A trojan/spy pair communicating over one contended resource."""
+
+    #: Context ids used for the communicating applications.  Separate
+    #: contexts model separate processes (MPS); bystander workloads use
+    #: other ids.
+    TROJAN_CONTEXT = 1
+    SPY_CONTEXT = 2
+
+    def __init__(self, device: Device, name: str) -> None:
+        self.device = device
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def transmit(self, bits: Bits) -> ChannelResult:
+        """Covertly transmit ``bits`` from the trojan to the spy."""
+
+    # ------------------------------------------------------------------
+    def transmit_random(self, n_bits: int, seed: int = 0,
+                        **kwargs) -> ChannelResult:
+        """Transmit a reproducible random payload of ``n_bits``.
+
+        Extra keyword arguments are forwarded to :meth:`transmit` (e.g.
+        the synchronized channels accept ``bystanders=...``).
+        """
+        return self.transmit(random_bits(n_bits, seed=seed), **kwargs)
+
+    def transmit_bytes(self, data: bytes) -> ChannelResult:
+        """Transmit a byte string (MSB-first)."""
+        return self.transmit(bits_from_bytes(data))
+
+    def _result(self, sent: Bits, received: Bits, start_cycle: float,
+                **meta: Any) -> ChannelResult:
+        """Assemble a :class:`ChannelResult` ending now."""
+        return ChannelResult(
+            sent=list(sent),
+            received=list(received),
+            start_cycle=start_cycle,
+            end_cycle=self.device.now,
+            clock_hz=self.device.spec.clock_hz,
+            channel=self.name,
+            meta=dict(meta),
+        )

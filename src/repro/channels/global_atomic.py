@@ -1,0 +1,151 @@
+"""Global-memory atomic covert channel (Section 6).
+
+Plain global loads cannot create measurable cross-kernel contention (the
+memory system has too much bandwidth), but atomics serialize at a
+bounded pool of atomic units.  The trojan hammers atomic additions to a
+pattern of addresses (or idles); the spy times its own atomics to the
+same *units* (address ranges chosen to collide modulo the unit hash).
+
+Three address-pattern scenarios, as in the paper:
+
+1. each thread updates one fixed private address (spread out),
+2. strided addresses — the warp coalesces into several segments,
+3. consecutive addresses — the whole warp lands in one segment and
+   serializes on a single atomic unit ("un-coalesced"; slowest).
+
+On Kepler/Maxwell the atomic units live at the L2 and are ~9x faster
+than Fermi's, reproducing the Figure 10 ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: Per-generation iterations tuned for reliable detection (the paper
+#: likewise tunes "the number of iterations to the minimum that will
+#: cause observable contention" per GPU).
+DEFAULT_ITERATIONS = {"Fermi": 30, "Kepler": 20, "Maxwell": 20}
+
+#: Extra sampling per scenario: fully-serialized patterns (scenario 3)
+#: produce queue-position-dependent latencies and need more samples for
+#: a stable estimate; scenario 2's many small transactions slightly more
+#: than scenario 1's.
+SCENARIO_ITER_SCALE = {1: 1.5, 2: 2.0, 3: 3.0}
+
+#: Bytes reserved in global memory for the channel's scratch arrays.
+ARRAY_SPAN = 1 << 20
+
+
+class GlobalAtomicChannel(CovertChannel):
+    """Baseline per-bit-relaunch channel through atomic-unit contention."""
+
+    def __init__(self, device: Device, *,
+                 scenario: int = 1,
+                 iterations: Optional[int] = None,
+                 trojan_warps: int = 2,
+                 trojan_grid: Optional[int] = None,
+                 name: Optional[str] = None) -> None:
+        if scenario not in (1, 2, 3):
+            raise ValueError("scenario must be 1, 2 or 3")
+        super().__init__(device, name or f"global-atomic-s{scenario}")
+        spec = device.spec
+        self.scenario = scenario
+        if iterations is None:
+            base = DEFAULT_ITERATIONS.get(spec.generation, 20)
+            iterations = round(base * SCENARIO_ITER_SCALE[scenario])
+        self.iterations = iterations
+        self.trojan_warps = trojan_warps
+        self.trojan_grid = (trojan_grid if trojan_grid is not None
+                            else spec.n_sms)
+        # Distinct arrays for spy and trojan (the paper's setup), laid
+        # out so both map onto the same atomic units: unit selection is
+        # segment % n_units, so bases that are congruent modulo
+        # n_units * segment_bytes collide unit-for-unit.
+        mem = spec.memory
+        self._unit_period = mem.segment_bytes * mem.atomic_units
+        self._trojan_base = 0
+        self._spy_base = self._round_up(ARRAY_SPAN, self._unit_period)
+        self._threshold: Optional[float] = None
+        self._streams = (device.stream(), device.stream())
+
+    @staticmethod
+    def _round_up(value: int, multiple: int) -> int:
+        return ((value + multiple - 1) // multiple) * multiple
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _trojan_body(self, ctx):
+        bit = ctx.args["bit"]
+        idle = self.device.spec.memory.transaction_cycles
+        for it in range(self.iterations * 2):
+            if bit:
+                addrs = isa.scenario_addresses(self.scenario,
+                                               self._trojan_base, it)
+                yield isa.GlobalAtomic(addrs)
+            else:
+                yield isa.Sleep(idle)
+
+    def _spy_body(self, ctx):
+        latencies: List[float] = []
+        for it in range(self.iterations):
+            addrs = isa.scenario_addresses(self.scenario,
+                                           self._spy_base, it)
+            t0 = yield isa.ReadClock()
+            yield isa.GlobalAtomic(addrs)
+            t1 = yield isa.ReadClock()
+            latencies.append(t1 - t0)
+        if ctx.block_idx == 0 and ctx.warp_in_block == 0:
+            ctx.out["latencies"] = latencies
+
+    # ------------------------------------------------------------------
+    def _send_bit(self, bit: int) -> Dict:
+        trojan = Kernel(
+            self._trojan_body,
+            KernelConfig(grid=self.trojan_grid,
+                         block_threads=32 * self.trojan_warps),
+            args={"bit": bit}, name=f"{self.name}.trojan",
+            context=self.TROJAN_CONTEXT,
+        )
+        spy = Kernel(self._spy_body, KernelConfig(grid=1, block_threads=32),
+                     name=f"{self.name}.spy", context=self.SPY_CONTEXT)
+        self._streams[0].launch(trojan)
+        self._streams[1].launch(spy)
+        self.device.synchronize(kernels=[trojan, spy])
+        return spy.out
+
+    def _mean_latency(self, spy_out: Dict) -> float:
+        lats = spy_out["latencies"]
+        return sum(lats) / len(lats)
+
+    # ------------------------------------------------------------------
+    def calibrate(self, rounds: int = 2) -> Dict[str, float]:
+        """Profile contention/no-contention latency; set the threshold."""
+        lat0 = [self._mean_latency(self._send_bit(0)) for _ in range(rounds)]
+        lat1 = [self._mean_latency(self._send_bit(1)) for _ in range(rounds)]
+        mean0 = sum(lat0) / len(lat0)
+        mean1 = sum(lat1) / len(lat1)
+        # The contended distribution has a long low tail (partial kernel
+        # overlap), while the idle distribution is tight; bias the
+        # threshold toward the idle side.
+        self._threshold = mean0 + 0.25 * (mean1 - mean0)
+        return {"no_contention": mean0, "contention": mean1,
+                "threshold": self._threshold}
+
+    def transmit(self, bits: Bits) -> ChannelResult:
+        if self._threshold is None:
+            self.calibrate()
+        start = self.device.now
+        received: List[int] = []
+        for bit in bits:
+            mean = self._mean_latency(self._send_bit(int(bit)))
+            received.append(1 if mean > self._threshold else 0)
+        return self._result(bits, received, start,
+                            scenario=self.scenario,
+                            iterations=self.iterations,
+                            threshold=self._threshold)

@@ -1,0 +1,47 @@
+"""L1 constant-cache covert channel (Section 4.2).
+
+The trojan and the spy each launch ``n_sms`` blocks so the leftover
+block scheduler co-locates one block of each on every SM; both then
+contend on a single set of that SM's constant L1 (a 2 KB array accessed
+at the 512 B way stride on Kepler touches exactly one set).
+
+The spy observes ~49 cycles per load without contention (L1 hits) and
+~112 cycles with contention (evicted to L2) on Kepler; the paper's
+error-free baseline bandwidth is 33/42/42 Kbps on Fermi/Kepler/Maxwell
+with 20 iterations per bit (Figure 4), degrading as iterations shrink
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.cache_common import BaselineCacheChannel
+from repro.sim.gpu import Device
+
+#: Iterations per bit for error-free operation (Section 4.3: ~20 on L1).
+DEFAULT_L1_ITERATIONS = 20
+
+
+class L1CacheChannel(BaselineCacheChannel):
+    """Baseline per-bit-relaunch channel through one L1 constant set."""
+
+    level = "l1"
+
+    def __init__(self, device: Device, *,
+                 iterations: int = DEFAULT_L1_ITERATIONS,
+                 target_set: int = 0,
+                 grid: Optional[int] = None,
+                 miss_fraction: float = 0.35,
+                 name: str = "l1-cache") -> None:
+        spec = device.spec
+        super().__init__(
+            device,
+            cache=spec.const_l1,
+            next_level_latency=spec.const_l2.hit_latency,
+            iterations=iterations,
+            target_set=target_set,
+            grid=grid,
+            miss_fraction=miss_fraction,
+            name=name,
+        )

@@ -1,0 +1,55 @@
+"""L2 constant-cache covert channel (Section 4.3).
+
+When the trojan and spy cannot share an SM they can still contend on the
+device-shared constant L2: a 32 KB array accessed at the 4096 B way
+stride (16 sets x 256 B lines) touches exactly one L2 set with 8 lines.
+Those same lines all collide in one 4-way L1 set, so every access also
+misses the L1 and genuinely reaches the L2 — the property that makes the
+channel work from *any* SM.
+
+The paper measures ~20 Kbps for this channel, slower than L1 both
+because L2 probes are intrinsically longer and because every block of
+both kernels funnels through the single shared L2 port.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.cache_common import BaselineCacheChannel
+from repro.sim.gpu import Device
+
+#: Iterations per bit (Section 4.3 reports 2 suffice on Kepler's L2; the
+#: larger default keeps the channel error-free on all three devices).
+DEFAULT_L2_ITERATIONS = 8
+
+
+class L2CacheChannel(BaselineCacheChannel):
+    """Baseline per-bit-relaunch channel through one L2 constant set."""
+
+    level = "l2"
+
+    def __init__(self, device: Device, *,
+                 iterations: int = DEFAULT_L2_ITERATIONS,
+                 target_set: int = 0,
+                 grid: int = 1,
+                 miss_fraction: float = 0.35,
+                 name: str = "l2-cache") -> None:
+        # Co-residency is unnecessary for the L2 (it is device-shared),
+        # so both kernels default to a single block; more blocks would
+        # only warm the shared set for each other and mask the signal.
+        spec = device.spec
+        super().__init__(
+            device,
+            cache=spec.const_l2,
+            next_level_latency=spec.const_mem_latency,
+            iterations=iterations,
+            target_set=target_set,
+            grid=grid,
+            miss_fraction=miss_fraction,
+            name=name,
+        )
+
+    def _idle_cycles_per_iteration(self) -> float:
+        # An idle trojan iteration matches a prime pass through the L2.
+        return len(self._trojan_addrs) * self.cache.hit_latency

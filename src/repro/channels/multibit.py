@@ -1,0 +1,239 @@
+"""Multi-bit cache channels (Section 7.1).
+
+The SIMT execution model lets the attacker use cache *sets* as parallel
+sub-channels.  With two sets reserved for signalling:
+
+* :class:`MultiBitL1Channel` sends M bits per synchronized round through
+  M data sets of the per-SM L1 (M = 6 on Kepler/Maxwell's 8-set L1 —
+  the configuration of Table 2, column 3).  The paper's measured scaling
+  is sublinear (1.8x / 2.9x / 3.8x for 2 / 4 / 6 bits on Kepler) because
+  the handshake is amortized but each extra set still costs probe time
+  and L1 port pressure.
+
+* :class:`MultiBitL2Channel` does the same through the 16-set shared L2
+  with *parallel warps* probing the data sets concurrently, coordinated
+  through block-shared variables.  In theory 14 data sets give 14x; the
+  paper observes only ~8x in the best case due to cache port contention
+  and bank collisions, which the L2 port model reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.channels.primitives import (
+    miss_fraction_threshold,
+    prime_set,
+    probe_set,
+    set_addresses,
+)
+from repro.channels.sync import (
+    FIRST_DATA_SET,
+    RTR_SET,
+    RTS_SET,
+    SynchronizedL1Channel,
+)
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+class MultiBitL1Channel(SynchronizedL1Channel):
+    """Synchronized L1 channel sending M bits per round through M sets."""
+
+    def __init__(self, device: Device, *,
+                 data_sets: Optional[int] = None,
+                 name: str = "multibit-l1", **kwargs) -> None:
+        if data_sets is None:
+            data_sets = device.spec.const_l1.n_sets - 2
+        super().__init__(device, data_sets=data_sets, name=name, **kwargs)
+
+
+class MultiBitL2Channel(CovertChannel):
+    """Synchronized multi-bit channel through the shared constant L2.
+
+    One coordinator warp per kernel runs the three-way handshake over L2
+    sets 0/1; ``data_sets`` data warps prime (trojan) or probe (spy)
+    their own L2 set concurrently, synchronized through block-shared
+    variables (``__shared__`` flags and counters in the CUDA original).
+    Works across SMs because all state is in the device-shared L2.
+    """
+
+    def __init__(self, device: Device, *,
+                 data_sets: Optional[int] = None,
+                 signal_repeats: int = 8,
+                 data_repeats: int = 3,
+                 poll_backoff: float = 500.0,
+                 timeout_polls: int = 60,
+                 spin_backoff: float = 160.0,
+                 name: str = "multibit-l2") -> None:
+        super().__init__(device, name)
+        spec = device.spec
+        cache = spec.const_l2
+        max_data = cache.n_sets - FIRST_DATA_SET
+        if data_sets is None:
+            data_sets = max_data
+        if not 1 <= data_sets <= max_data:
+            raise ValueError(f"data_sets must be in [1, {max_data}]")
+        self.cache = cache
+        self.data_sets = data_sets
+        self.signal_repeats = signal_repeats
+        self.data_repeats = data_repeats
+        self.poll_backoff = poll_backoff
+        self.timeout_polls = timeout_polls
+        self.spin_backoff = spin_backoff
+        self.latency_threshold = miss_fraction_threshold(
+            cache, spec.const_mem_latency
+        )
+        align = cache.way_stride
+        self._trojan_base = device.const_alloc(cache.size_bytes, align=align,
+                                               label=f"{name}.trojan")
+        self._spy_base = device.const_alloc(cache.size_bytes, align=align,
+                                            label=f"{name}.spy")
+        probe_cost = cache.ways * (cache.hit_latency + cache.port_cycles)
+        self._data_wait = (self.data_repeats * probe_cost
+                           + 2.0 * cache.ways * self.data_sets
+                           + self.poll_backoff + probe_cost + 400.0)
+
+    # ------------------------------------------------------------------
+    def _addrs(self, base: int, set_index: int) -> List[int]:
+        return set_addresses(base, self.cache, set_index)
+
+    def _signal(self, addrs: List[int]):
+        for _ in range(self.signal_repeats):
+            yield from prime_set(addrs)
+
+    def _poll(self, addrs: List[int]):
+        """Poll for a signal, then drain it (see the L1 variant): the
+        peer's remaining signal primes would otherwise leave the set
+        looking signaled and let this side race a round ahead."""
+        for _ in range(self.timeout_polls):
+            latency = yield from probe_set(addrs)
+            if latency > self.latency_threshold:
+                clean = 0
+                for _ in range(3 * self.signal_repeats):
+                    latency = yield from probe_set(addrs)
+                    if latency <= self.latency_threshold:
+                        clean += 1
+                        if clean >= 2:
+                            break
+                    else:
+                        clean = 0
+                return True
+            yield isa.Sleep(self.poll_backoff)
+        return False
+
+    def _spin_equals(self, key, value):
+        """Spin on a block-shared variable until it reaches ``value``."""
+        while True:
+            current = yield isa.SharedReadVar(key, default=-1)
+            if current is not None and current >= value:
+                return
+            yield isa.Sleep(self.spin_backoff)
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _trojan_body(self, ctx):
+        bits: List[int] = ctx.args["bits"]
+        rounds = _chunks(bits, self.data_sets)
+        w = ctx.warp_in_block
+        if w == 0:
+            rts = self._addrs(self._trojan_base, RTS_SET)
+            rtr = self._addrs(self._trojan_base, RTR_SET)
+            yield from prime_set(rtr)
+            for r, group in enumerate(rounds):
+                yield from self._signal(rts)
+                detected = yield from self._poll(rtr)
+                if not detected:
+                    yield from self._signal(rts)
+                    yield from self._poll(rtr)
+                yield isa.SharedStoreVar(("bits", r), group)
+                yield isa.SharedStoreVar("round", r)
+                yield from self._spin_equals(("done", r), self.data_sets)
+        else:
+            slot = w - 1
+            data = self._addrs(self._trojan_base, FIRST_DATA_SET + slot)
+            for r in range(len(rounds)):
+                yield from self._spin_equals("round", r)
+                group = yield isa.SharedReadVar(("bits", r))
+                if group[slot]:
+                    for _ in range(self.data_repeats):
+                        yield from prime_set(data)
+                else:
+                    yield isa.Sleep(self.data_repeats * len(data)
+                                    * self.cache.hit_latency)
+                yield isa.SharedAtomicAdd(("done", r), 1)
+
+    def _spy_body(self, ctx):
+        n_bits: int = ctx.args["n_bits"]
+        n_rounds = (n_bits + self.data_sets - 1) // self.data_sets
+        w = ctx.warp_in_block
+        if w == 0:
+            rts = self._addrs(self._spy_base, RTS_SET)
+            rtr = self._addrs(self._spy_base, RTR_SET)
+            yield from prime_set(rts)
+            for r in range(n_rounds):
+                # Wait for all data warps to restore their sets.
+                yield from self._spin_equals(("restored", r),
+                                             self.data_sets)
+                detected = yield from self._poll(rts)
+                if not detected:
+                    yield from prime_set(rtr)
+                    yield from self._poll(rts)
+                yield from self._signal(rtr)
+                yield isa.Sleep(self._data_wait)
+                yield isa.SharedStoreVar("round", r)
+                yield from self._spin_equals(("done", r), self.data_sets)
+        else:
+            slot = w - 1
+            data = self._addrs(self._spy_base, FIRST_DATA_SET + slot)
+            for r in range(n_rounds):
+                # Restore until the refill sticks: the trojan's previous
+                # data phase may still have primes in flight.
+                for _ in range(2 * self.data_repeats + 2):
+                    yield from prime_set(data)
+                    latency = yield from probe_set(data)
+                    if latency <= self.latency_threshold:
+                        break
+                yield isa.SharedAtomicAdd(("restored", r), 1)
+                yield from self._spin_equals("round", r)
+                latency = yield from probe_set(data)
+                bit = 1 if latency > self.latency_threshold else 0
+                ctx.out.setdefault("bits", {})[(r, slot)] = bit
+                yield isa.SharedAtomicAdd(("done", r), 1)
+
+    # ------------------------------------------------------------------
+    def transmit(self, bits: Bits) -> ChannelResult:
+        bits = [int(b) for b in bits]
+        start = self.device.now
+        warps = 1 + self.data_sets
+        trojan = Kernel(self._trojan_body,
+                        KernelConfig(grid=1, block_threads=32 * warps),
+                        args={"bits": bits}, name=f"{self.name}.trojan",
+                        context=self.TROJAN_CONTEXT)
+        spy = Kernel(self._spy_body,
+                     KernelConfig(grid=1, block_threads=32 * warps),
+                     args={"n_bits": len(bits)}, name=f"{self.name}.spy",
+                     context=self.SPY_CONTEXT)
+        s1, s2 = self.device.stream(), self.device.stream()
+        s1.launch(trojan)
+        s2.launch(spy)
+        self.device.synchronize(kernels=[trojan, spy])
+        per_slot: Dict = spy.out.get("bits", {})
+        received = [0] * len(bits)
+        for (r, slot), bit in per_slot.items():
+            idx = r * self.data_sets + slot
+            if idx < len(bits):
+                received[idx] = bit
+        return self._result(bits, received, start,
+                            data_sets=self.data_sets)
+
+
+def _chunks(bits: List[int], size: int) -> List[List[int]]:
+    out = []
+    for i in range(0, len(bits), size):
+        group = bits[i:i + size]
+        out.append(group + [0] * (size - len(group)))
+    return out

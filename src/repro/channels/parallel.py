@@ -1,0 +1,194 @@
+"""Parallelized channels (Sections 7.1–7.2, Tables 2 and 3).
+
+Two axes of parallelism raise bandwidth:
+
+* **Across SMs** — every SM hosts an independent trojan/spy block pair
+  (L1 state is per-SM), each carrying its own slice of the message:
+  :class:`ParallelSMChannel`.  With synchronization and multi-bit rounds
+  this is the paper's 4+ Mbps configuration.
+* **Across warp schedulers** — FU contention is isolated per scheduler,
+  so each scheduler of an SM is an independent sub-channel carrying one
+  bit per round: :class:`ParallelSFUChannel`, optionally also parallel
+  across SMs (Table 3's last column).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.channels.sync import SynchronizedL1Channel
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+class ParallelSMChannel(SynchronizedL1Channel):
+    """Synchronized multi-bit L1 channel, one message slice per SM.
+
+    Bit ``i`` travels over SM ``i % n_sms`` (both kernels derive the
+    slice from the ``%smid`` register, so no extra agreement is needed).
+    This is the configuration behind Table 2's final column (2.8 / 4.25 /
+    3.7 Mbps on Fermi / Kepler / Maxwell — the different SM counts, 14 /
+    15 / 13, are exactly the parallelism factors).
+    """
+
+    def __init__(self, device: Device, *, data_sets: Optional[int] = None,
+                 name: str = "parallel-sm-l1", **kwargs) -> None:
+        if data_sets is None:
+            data_sets = device.spec.const_l1.n_sets - 2
+        super().__init__(device, data_sets=data_sets, parallel_sm=True,
+                         name=name, **kwargs)
+
+
+class ParallelSFUChannel(CovertChannel):
+    """SFU channel parallelized across warp schedulers (and SMs).
+
+    Per communication round, the trojan's warps on scheduler ``s`` of SM
+    ``m`` run ``__sinf`` chains iff the round's bit for (m, s) is 1; the
+    spy's warps on the same scheduler observe the latency step.  Warp
+    counts are multiples of the scheduler count so the round-robin
+    assignment lines both kernels up scheduler-for-scheduler.
+    """
+
+    def __init__(self, device: Device, *,
+                 per_sm: bool = True,
+                 op: str = "sinf",
+                 warps_per_scheduler: Optional[int] = None,
+                 iterations: Optional[int] = None,
+                 ops_per_iteration: int = 24,
+                 name: Optional[str] = None) -> None:
+        super().__init__(device, name or
+                         ("parallel-sfu-sm" if per_sm else "parallel-sfu"))
+        spec = device.spec
+        self.per_sm = per_sm
+        self.op = op
+        n = spec.warp_schedulers
+        if warps_per_scheduler is None:
+            defaults = {"Fermi": 2, "Kepler": 3, "Maxwell": 3}
+            warps_per_scheduler = defaults.get(spec.generation, 3)
+        self.warps_per_scheduler = warps_per_scheduler
+        self.warps_per_block = warps_per_scheduler * n
+        if iterations is None:
+            iterations = {"Fermi": 40}.get(spec.generation, 40)
+        self.iterations = iterations
+        self.ops_per_iteration = ops_per_iteration
+        self.grid = spec.n_sms
+        self._threshold: Optional[float] = None
+        self._streams = (device.stream(), device.stream())
+
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_round(self) -> int:
+        """Independent sub-channels per kernel-launch round."""
+        n = self.device.spec.warp_schedulers
+        return n * (self.device.spec.n_sms if self.per_sm else 1)
+
+    def _scheduler_of_warp(self, warp_in_block: int) -> int:
+        return warp_in_block % self.device.spec.warp_schedulers
+
+    def _bit_index(self, smid: int, sched: int) -> int:
+        n = self.device.spec.warp_schedulers
+        if self.per_sm:
+            return smid * n + sched
+        return sched
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _trojan_body(self, ctx):
+        round_bits: List[int] = ctx.args["round_bits"]
+        sched = self._scheduler_of_warp(ctx.warp_in_block)
+        bit = round_bits[self._bit_index(ctx.smid, sched)]
+        lat = self.device.spec.op_spec(self.op).latency
+        for _ in range(self.iterations):
+            if bit:
+                for _ in range(self.ops_per_iteration):
+                    yield isa.FuOp(self.op)
+            else:
+                yield isa.Sleep(self.ops_per_iteration * lat)
+
+    def _spy_body(self, ctx):
+        sched = self._scheduler_of_warp(ctx.warp_in_block)
+        means: List[float] = []
+        for _ in range(self.iterations):
+            t0 = yield isa.ReadClock()
+            for _ in range(self.ops_per_iteration):
+                yield isa.FuOp(self.op)
+            t1 = yield isa.ReadClock()
+            means.append((t1 - t0) / self.ops_per_iteration)
+        key = (ctx.smid, sched, ctx.warp_in_block)
+        ctx.out.setdefault("latency", {})[key] = sum(means) / len(means)
+
+    # ------------------------------------------------------------------
+    def _send_round(self, round_bits: List[int]) -> Dict:
+        cfg = KernelConfig(grid=self.grid,
+                           block_threads=32 * self.warps_per_block)
+        trojan = Kernel(self._trojan_body, cfg,
+                        args={"round_bits": round_bits},
+                        name=f"{self.name}.trojan",
+                        context=self.TROJAN_CONTEXT)
+        spy = Kernel(self._spy_body, cfg, name=f"{self.name}.spy",
+                     context=self.SPY_CONTEXT)
+        self._streams[0].launch(trojan)
+        self._streams[1].launch(spy)
+        self.device.synchronize(kernels=[trojan, spy])
+        return spy.out
+
+    def _per_subchannel_latency(self, out: Dict) -> Dict[Tuple[int, int], float]:
+        acc: Dict[Tuple[int, int], List[float]] = {}
+        for (smid, sched, _w), mean in out["latency"].items():
+            acc.setdefault((smid, sched), []).append(mean)
+        return {k: sum(v) / len(v) for k, v in acc.items()}
+
+    def _decode_round(self, out: Dict) -> List[int]:
+        per_sub = self._per_subchannel_latency(out)
+        bits = [0] * self.bits_per_round
+        if self.per_sm:
+            for (smid, sched), mean in per_sub.items():
+                bits[self._bit_index(smid, sched)] = int(
+                    mean > self._threshold
+                )
+        else:
+            # All SMs replicate the same scheduler bits: majority vote.
+            votes: Dict[int, List[int]] = {}
+            for (smid, sched), mean in per_sub.items():
+                votes.setdefault(sched, []).append(
+                    int(mean > self._threshold)
+                )
+            for sched, v in votes.items():
+                bits[sched] = 1 if sum(v) * 2 >= len(v) else 0
+        return bits
+
+    # ------------------------------------------------------------------
+    def calibrate(self) -> Dict[str, float]:
+        """Send all-zeros / all-ones rounds; threshold at the midpoint."""
+        zeros = self._send_round([0] * self.bits_per_round)
+        ones = self._send_round([1] * self.bits_per_round)
+        mean0 = _mean(self._per_subchannel_latency(zeros).values())
+        mean1 = _mean(self._per_subchannel_latency(ones).values())
+        self._threshold = (mean0 + mean1) / 2.0
+        return {"no_contention": mean0, "contention": mean1,
+                "threshold": self._threshold}
+
+    def transmit(self, bits: Bits) -> ChannelResult:
+        bits = [int(b) for b in bits]
+        if self._threshold is None:
+            self.calibrate()
+        start = self.device.now
+        received: List[int] = []
+        bpr = self.bits_per_round
+        for i in range(0, len(bits), bpr):
+            group = bits[i:i + bpr]
+            padded = group + [0] * (bpr - len(group))
+            out = self._send_round(padded)
+            received.extend(self._decode_round(out)[:len(group)])
+        return self._result(bits, received, start,
+                            per_sm=self.per_sm,
+                            bits_per_round=bpr,
+                            threshold=self._threshold)
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)

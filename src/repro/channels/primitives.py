@@ -1,0 +1,66 @@
+"""Kernel-code building blocks shared by the cache channels.
+
+These are sub-generators used with ``yield from`` inside kernel bodies:
+``prime_set`` fills one cache set with the caller's lines, ``probe_set``
+re-accesses them around two ``clock()`` reads and returns the mean
+per-load latency, and ``count_misses`` classifies the probe against a
+hit/miss threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.specs import CacheSpec
+from repro.sim import isa
+
+
+def set_addresses(array_base: int, cache: CacheSpec, set_index: int,
+                  lines: int = 0) -> List[int]:
+    """Addresses inside an aligned array that map to one cache set.
+
+    ``array_base`` must be aligned to ``cache.way_stride`` so that the
+    k-th stride lands in set ``set_index`` deterministically — the same
+    layout trick the paper's kernels use (a 2 KB array accessed at a
+    512 B stride on Kepler hits a single L1 set with 4 lines).
+    """
+    if array_base % cache.way_stride != 0:
+        raise ValueError(
+            f"array base 0x{array_base:x} is not aligned to the way "
+            f"stride ({cache.way_stride}B); set targeting would be off"
+        )
+    if not 0 <= set_index < cache.n_sets:
+        raise ValueError(f"set_index {set_index} out of range")
+    n = lines or cache.ways
+    return [array_base + set_index * cache.line_bytes + k * cache.way_stride
+            for k in range(n)]
+
+
+def prime_set(addrs: List[int]):
+    """Fill a cache set by loading every way (no timing)."""
+    for a in addrs:
+        yield isa.ConstLoad(a)
+
+
+def probe_set(addrs: List[int]):
+    """Timed re-access of a set; returns mean observed cycles per load."""
+    t0 = yield isa.ReadClock()
+    for a in addrs:
+        yield isa.ConstLoad(a)
+    t1 = yield isa.ReadClock()
+    return (t1 - t0) / len(addrs)
+
+
+def probe_misses(addrs: List[int], threshold: float):
+    """Timed probe; returns True when the set looks evicted.
+
+    Decides from the mean per-load latency, exactly as a real spy must —
+    individual loads are too short to time reliably (Section 4.2).
+    """
+    latency = yield from probe_set(addrs)
+    return latency > threshold
+
+
+def miss_fraction_threshold(cache: CacheSpec, next_level_latency: float) -> float:
+    """Per-load latency separating 'set intact' from 'set evicted'."""
+    return (cache.hit_latency + next_level_latency) / 2.0

@@ -1,0 +1,177 @@
+"""Reliable transport over covert channels (extension of Section 8).
+
+The paper's related work (Maurice et al. [23]) builds an SSH connection
+over a cache covert channel using an error-handling protocol.  This
+module provides the equivalent for the GPGPU channels: a framed,
+CRC-checked, stop-and-wait ARQ link.
+
+* Frames carry ``[seq | payload | crc8]`` over the *forward* channel.
+* The receiver acknowledges each frame over a *reverse* channel (any
+  second covert channel instance — e.g. a different L1 set or the L2 —
+  with the spy/trojan roles swapped at the application level).
+* Corrupted frames (CRC failure) or corrupted ACKs trigger
+  retransmission; the sequence bit suppresses duplicates.
+
+Both directions are host-orchestrated, exactly like two colluding
+applications alternating kernel launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.channels.base import (
+    Bits,
+    CovertChannel,
+    bits_from_bytes,
+    bytes_from_bits,
+)
+from repro.noise.ecc import crc8, crc8_check
+
+#: Bits acknowledging a frame (repeated for robustness on noisy links).
+ACK_PATTERN = [1, 0, 1]
+NAK_PATTERN = [0, 1, 0]
+
+#: Fixed frame-header marker.  Without it an all-zeros wire frame (a
+#: dead channel) would parse as a valid zero payload, since the CRC of
+#: all-zero bits is itself zero.
+SYNC_HEADER = [1, 0, 1]
+
+
+@dataclass
+class LinkResult:
+    """Outcome of one reliable transfer."""
+
+    payload: bytes
+    delivered: bytes
+    frames: int
+    transmissions: int
+    retransmissions: int
+    elapsed_cycles: float
+    clock_hz: float
+    aborted: bool = False
+    frame_log: List[str] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """Whether the payload arrived intact."""
+        return not self.aborted and self.delivered == self.payload
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration on the simulated device."""
+        return self.elapsed_cycles / self.clock_hz
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second (protocol overhead excluded)."""
+        if self.seconds <= 0:
+            return 0.0
+        return 8 * len(self.delivered) / self.seconds
+
+
+class ReliableLink:
+    """Stop-and-wait ARQ over a forward + reverse covert channel pair."""
+
+    def __init__(self, forward: CovertChannel,
+                 reverse: Optional[CovertChannel] = None, *,
+                 frame_payload_bits: int = 16,
+                 max_retries: int = 8) -> None:
+        if frame_payload_bits < 1:
+            raise ValueError("frames need at least one payload bit")
+        if max_retries < 1:
+            raise ValueError("need at least one transmission attempt")
+        self.forward = forward
+        self.reverse = reverse
+        self.frame_payload_bits = frame_payload_bits
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    def _frame(self, seq: int, payload: Bits) -> List[int]:
+        body = SYNC_HEADER + [seq] + [int(b) for b in payload]
+        return body + crc8(body)
+
+    def _parse(self, frame: Bits) -> Optional[tuple]:
+        """Returns (seq, payload) for a well-formed frame, else None."""
+        frame = [int(b) for b in frame]
+        body, checksum = frame[:-8], frame[-8:]
+        if body[:len(SYNC_HEADER)] != SYNC_HEADER:
+            return None
+        if not crc8_check(body, checksum):
+            return None
+        return body[len(SYNC_HEADER)], body[len(SYNC_HEADER) + 1:]
+
+    def _acknowledge(self, ok: bool) -> bool:
+        """Send ACK/NAK over the reverse channel; returns sender's view.
+
+        Without a reverse channel the link degenerates to blind
+        retransmission-free transfer (ACKs assumed).
+        """
+        if self.reverse is None:
+            return True
+        pattern = ACK_PATTERN if ok else NAK_PATTERN
+        result = self.reverse.transmit(pattern)
+        ones = sum(result.received)
+        return ones * 2 > len(ACK_PATTERN)
+
+    # ------------------------------------------------------------------
+    def send(self, payload: bytes) -> LinkResult:
+        """Transfer ``payload`` reliably; returns the link statistics."""
+        bits = bits_from_bytes(payload)
+        start = self.forward.device.now
+        delivered_bits: List[int] = []
+        transmissions = 0
+        retransmissions = 0
+        frames = 0
+        log: List[str] = []
+        expected_seq = 0
+        aborted = False
+
+        for i in range(0, len(bits), self.frame_payload_bits):
+            chunk = bits[i:i + self.frame_payload_bits]
+            chunk = chunk + [0] * (self.frame_payload_bits - len(chunk))
+            frames += 1
+            delivered = False
+            for attempt in range(self.max_retries):
+                transmissions += 1
+                if attempt:
+                    retransmissions += 1
+                wire = self.forward.transmit(
+                    self._frame(expected_seq, chunk))
+                parsed = self._parse(wire.received)
+                ok = (parsed is not None and parsed[0] == expected_seq)
+                ack_seen = self._acknowledge(ok)
+                if ok:
+                    log.append(f"frame {frames - 1} attempt {attempt}: "
+                               "delivered")
+                    if not delivered:
+                        # The sequence bit discards duplicates caused
+                        # by lost ACKs.
+                        delivered_bits.extend(parsed[1])
+                        delivered = True
+                    if ack_seen:
+                        break
+                else:
+                    log.append(f"frame {frames - 1} attempt {attempt}: "
+                               "CRC failure")
+            if not delivered:
+                log.append(f"frame {frames - 1}: aborted after "
+                           f"{self.max_retries} attempts")
+                aborted = True
+                break
+            expected_seq ^= 1
+
+        delivered_bytes = bytes_from_bits(
+            delivered_bits[:len(bits)]) [:len(payload)]
+        return LinkResult(
+            payload=payload,
+            delivered=delivered_bytes,
+            frames=frames,
+            transmissions=transmissions,
+            retransmissions=retransmissions,
+            elapsed_cycles=self.forward.device.now - start,
+            clock_hz=self.forward.device.spec.clock_hz,
+            aborted=aborted,
+            frame_log=log,
+        )

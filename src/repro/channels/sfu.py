@@ -1,0 +1,130 @@
+"""Functional-unit (SFU) covert channel (Section 5.2).
+
+The trojan modulates pressure on the special functional units: to send
+1 it issues ``__sinf`` chains, to send 0 it idles.  The spy continuously
+times its own ``__sinf`` chain.  Because FU contention is isolated per
+warp scheduler, both kernels launch enough warps per block to cover all
+schedulers; the paper's per-architecture minima are 3 (Fermi), 12
+(Kepler) and 10 (Maxwell) warps, yielding no-contention/contention
+latencies of 41/48, 18/24 and 15/20 cycles respectively.
+
+The decode threshold is *self-calibrated*: the channel first transmits a
+known 0/1 preamble and thresholds at the midpoint, the way a real
+attacker profiles the target device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: Paper's minimum warps per block for an observable latency step.
+PAPER_SPY_WARPS = {"Fermi": 3, "Kepler": 12, "Maxwell": 10}
+
+#: Dependent ops per measurement window; large enough that clock jitter
+#: is negligible relative to the contention delta.
+DEFAULT_OPS_PER_ITERATION = 24
+
+
+class SFUChannel(CovertChannel):
+    """Baseline per-bit-relaunch channel through SFU contention."""
+
+    def __init__(self, device: Device, *,
+                 op: str = "sinf",
+                 warps_per_block: Optional[int] = None,
+                 iterations: Optional[int] = None,
+                 ops_per_iteration: int = DEFAULT_OPS_PER_ITERATION,
+                 grid: Optional[int] = None,
+                 name: str = "sfu") -> None:
+        super().__init__(device, name)
+        spec = device.spec
+        self.op = op
+        if warps_per_block is None:
+            warps_per_block = PAPER_SPY_WARPS.get(
+                spec.generation, 2 * spec.warp_schedulers
+            )
+        self.warps_per_block = warps_per_block
+        if iterations is None:
+            iterations = {"Fermi": 28}.get(spec.generation, 40)
+        self.iterations = iterations
+        self.ops_per_iteration = ops_per_iteration
+        self.grid = grid if grid is not None else spec.n_sms
+        self.decode_block = 0
+        self._threshold: Optional[float] = None
+        self._streams = (device.stream(), device.stream())
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _trojan_body(self, ctx):
+        bit = ctx.args["bit"]
+        lat = self.device.spec.op_spec(self.op).latency
+        for _ in range(self.iterations):
+            if bit:
+                for _ in range(self.ops_per_iteration):
+                    yield isa.FuOp(self.op)
+            else:
+                yield isa.Sleep(self.ops_per_iteration * lat)
+
+    def _spy_body(self, ctx):
+        means: List[float] = []
+        for _ in range(self.iterations):
+            t0 = yield isa.ReadClock()
+            for _ in range(self.ops_per_iteration):
+                yield isa.FuOp(self.op)
+            t1 = yield isa.ReadClock()
+            means.append((t1 - t0) / self.ops_per_iteration)
+        key = (ctx.block_idx, ctx.warp_in_block)
+        ctx.out.setdefault("latency", {})[key] = means
+
+    # ------------------------------------------------------------------
+    def _configs(self) -> KernelConfig:
+        return KernelConfig(grid=self.grid,
+                            block_threads=32 * self.warps_per_block)
+
+    def _send_bit(self, bit: int) -> Dict:
+        trojan = Kernel(self._trojan_body, self._configs(),
+                        args={"bit": bit}, name=f"{self.name}.trojan",
+                        context=self.TROJAN_CONTEXT)
+        spy = Kernel(self._spy_body, self._configs(),
+                     name=f"{self.name}.spy", context=self.SPY_CONTEXT)
+        self._streams[0].launch(trojan)
+        self._streams[1].launch(spy)
+        self.device.synchronize(kernels=[trojan, spy])
+        return spy.out
+
+    def _block_mean(self, spy_out: Dict, block: int) -> float:
+        vals = [sum(m) / len(m)
+                for (b, _w), m in spy_out["latency"].items() if b == block]
+        return sum(vals) / len(vals)
+
+    # ------------------------------------------------------------------
+    def calibrate(self, rounds: int = 2) -> Dict[str, float]:
+        """Measure contention/no-contention latencies; set the threshold."""
+        lat0 = [self._block_mean(self._send_bit(0), self.decode_block)
+                for _ in range(rounds)]
+        lat1 = [self._block_mean(self._send_bit(1), self.decode_block)
+                for _ in range(rounds)]
+        mean0 = sum(lat0) / len(lat0)
+        mean1 = sum(lat1) / len(lat1)
+        self._threshold = (mean0 + mean1) / 2.0
+        return {"no_contention": mean0, "contention": mean1,
+                "threshold": self._threshold}
+
+    def transmit(self, bits: Bits) -> ChannelResult:
+        if self._threshold is None:
+            self.calibrate()
+        start = self.device.now
+        received: List[int] = []
+        for bit in bits:
+            out = self._send_bit(int(bit))
+            mean = self._block_mean(out, self.decode_block)
+            received.append(1 if mean > self._threshold else 0)
+        return self._result(bits, received, start,
+                            op=self.op,
+                            warps_per_block=self.warps_per_block,
+                            threshold=self._threshold)

@@ -1,0 +1,338 @@
+"""Synchronized L1 channel — the Figure 11 protocol (Section 7.1).
+
+Instead of relaunching kernels for every bit, the trojan and spy are
+launched *once* and synchronize through the covert medium itself, using
+three cache sets:
+
+* ``RTS`` — trojan primes it to signal *ready-to-send*;
+* ``RTR`` — spy primes it to signal *ready-to-receive*;
+* ``DATA`` — trojan primes it for a 1, leaves it alone for a 0.
+
+"Waiting" on a signal set means polling it with your own lines: once the
+peer primes the set your lines miss, which both detects the signal and
+re-arms the set for the next round (cache state is a latch, so signals
+persist across scheduling skew).  Bounded poll loops time out and repeat
+the step prior to the wait, recovering from loss of synchronization
+exactly as the paper describes; a two-way handshake variant
+(``handshake="two-way"``) is provided for the ablation showing why the
+paper needed three ways.
+
+The multi-bit variant (Section 7.1, Table 2 column 3) transmits through
+M data sets per round and lives in :mod:`repro.channels.multibit`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.channels.primitives import (
+    miss_fraction_threshold,
+    prime_set,
+    probe_set,
+    set_addresses,
+)
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: Set roles within the L1 (paper: "three different sets of cache").
+RTS_SET = 0
+RTR_SET = 1
+FIRST_DATA_SET = 2
+
+
+class SynchronizedL1Channel(CovertChannel):
+    """Single-launch L1 channel with the three-way handshake protocol."""
+
+    def __init__(self, device: Device, *,
+                 data_sets: int = 1,
+                 parallel_sm: bool = False,
+                 signal_repeats: Optional[int] = None,
+                 data_repeats: Optional[int] = None,
+                 poll_backoff: float = 300.0,
+                 timeout_polls: int = 40,
+                 max_retries: int = 6,
+                 handshake: str = "three-way",
+                 grid: Optional[int] = None,
+                 exclusive: bool = False,
+                 name: str = "sync-l1") -> None:
+        super().__init__(device, name)
+        spec = device.spec
+        cache = spec.const_l1
+        if data_sets < 1 or FIRST_DATA_SET + data_sets > cache.n_sets:
+            raise ValueError(
+                f"data_sets must be in [1, {cache.n_sets - FIRST_DATA_SET}] "
+                f"for a {cache.n_sets}-set L1"
+            )
+        if handshake not in ("three-way", "two-way"):
+            raise ValueError("handshake must be 'three-way' or 'two-way'")
+        self.cache = cache
+        self.data_sets = data_sets
+        self.parallel_sm = parallel_sm
+        # Protocol pacing is tuned per device for reliability, like the
+        # paper's per-GPU iteration counts (faster clocks need more
+        # repeats for the same wall-clock margins).
+        if signal_repeats is None:
+            defaults = {"Fermi": 18, "Kepler": 9, "Maxwell": 9}
+            signal_repeats = defaults.get(
+                spec.generation, max(5, round(9 * spec.clock_mhz / 745))
+            )
+        self.signal_repeats = signal_repeats
+        if data_repeats is None:
+            data_repeats = 7 if spec.generation == "Fermi" else 4
+        self.data_repeats = data_repeats
+        self.poll_backoff = poll_backoff
+        self.timeout_polls = timeout_polls
+        self.max_retries = max_retries
+        self.handshake = handshake
+        self.grid = grid if grid is not None else spec.n_sms
+        # Exclusive co-location (Section 8): shape the kernels' shared
+        # memory demands so bystander blocks cannot be placed on our SMs.
+        self.exclusive = exclusive
+        if exclusive:
+            if (spec.max_shared_mem_per_block >= spec.shared_mem_per_sm):
+                self.spy_shared_mem = spec.max_shared_mem_per_block
+                self.trojan_shared_mem = 0
+            else:
+                self.spy_shared_mem = spec.max_shared_mem_per_block
+                self.trojan_shared_mem = spec.max_shared_mem_per_block
+        else:
+            self.spy_shared_mem = 0
+            self.trojan_shared_mem = 0
+
+        self.latency_threshold = miss_fraction_threshold(
+            cache, spec.const_l2.hit_latency
+        )
+        align = cache.way_stride
+        self._trojan_base = device.const_alloc(cache.size_bytes, align=align,
+                                               label=f"{name}.trojan")
+        self._spy_base = device.const_alloc(cache.size_bytes, align=align,
+                                            label=f"{name}.spy")
+        # Worst-case data-phase duration the spy must allow the trojan.
+        per_set = (self.data_repeats * cache.ways
+                   * (cache.hit_latency + cache.port_cycles))
+        self._data_phase_cycles = per_set * self.data_sets
+        self._data_wait = (self._data_phase_cycles
+                           + self._poll_period() + 200.0)
+        # The spy must have armed the RTS set (filled it with its own
+        # lines) before the trojan's first ready-to-send prime, or the
+        # first signal is erased and the two sides start desynchronized;
+        # the trojan therefore idles past the worst plausible launch skew.
+        self.initial_grace = 8.0 * spec.launch_jitter_cycles + 1500.0
+
+    # ------------------------------------------------------------------
+    def _poll_period(self) -> float:
+        probe = self.cache.ways * (self.cache.hit_latency
+                                   + self.cache.port_cycles)
+        return probe + self.poll_backoff
+
+    def _addrs(self, base: int, set_index: int) -> List[int]:
+        return set_addresses(base, self.cache, set_index)
+
+    def _data_set_addrs(self, base: int, slot: int) -> List[int]:
+        return self._addrs(base, FIRST_DATA_SET + slot)
+
+    # ------------------------------------------------------------------
+    # Protocol sub-generators (run inside kernel bodies)
+    # ------------------------------------------------------------------
+    def _signal(self, addrs: Sequence[int]):
+        for _ in range(self.signal_repeats):
+            yield from prime_set(list(addrs))
+
+    def _poll(self, addrs: Sequence[int]):
+        """Poll until the peer's prime is detected; True on detection.
+
+        Detection is followed by a *drain*: the peer keeps priming for a
+        while after we first notice (signals are repeated for
+        robustness), and every prime re-evicts the refill our probe just
+        performed.  Without draining, the set still looks "signaled" on
+        the next round and the consumer races one round ahead of the
+        producer — re-probe until our own lines stick.
+        """
+        addrs = list(addrs)
+        for _ in range(self.timeout_polls):
+            latency = yield from probe_set(addrs)
+            if latency > self.latency_threshold:
+                clean = 0
+                for _ in range(3 * self.signal_repeats):
+                    latency = yield from probe_set(addrs)
+                    if latency <= self.latency_threshold:
+                        clean += 1
+                        if clean >= 2:
+                            break
+                    else:
+                        clean = 0
+                return True
+            yield isa.Sleep(self.poll_backoff)
+        return False
+
+    def _restore(self, addrs: Sequence[int]):
+        """Refill a data set with our lines until the refill sticks.
+
+        The trojan's data phase may still be in flight when the next
+        round begins; a single prime pass can be re-evicted by its tail
+        primes and would read back as a stale 1 next round.
+        """
+        addrs = list(addrs)
+        for _ in range(2 * self.data_repeats + 2):
+            yield from prime_set(addrs)
+            latency = yield from probe_set(addrs)
+            if latency <= self.latency_threshold:
+                return
+
+    def _wait_with_recovery(self, poll_addrs: Sequence[int],
+                            resend, stats: Dict[str, int]):
+        """Wait for a signal; on timeout repeat the step prior and retry."""
+        for _ in range(self.max_retries):
+            detected = yield from self._poll(poll_addrs)
+            if detected:
+                return True
+            stats["timeouts"] = stats.get("timeouts", 0) + 1
+            yield from resend()
+        return False
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _chunk_for(self, bits: List[int], smid: int) -> List[int]:
+        if self.parallel_sm:
+            return bits[smid::self.device.spec.n_sms]
+        return bits
+
+    def _trojan_body(self, ctx):
+        bits: List[int] = ctx.args["bits"]
+        chunk = self._chunk_for(bits, ctx.smid)
+        rts = self._addrs(self._trojan_base, RTS_SET)
+        rtr = self._addrs(self._trojan_base, RTR_SET)
+        stats: Dict[str, int] = {}
+        # Arm the RTR set with our lines so the spy's prime is detectable.
+        yield from prime_set(rtr)
+        yield isa.Sleep(self.initial_grace)
+        for round_bits in _rounds(chunk, self.data_sets):
+            yield from self._signal(rts)
+            if self.handshake == "three-way":
+                ok = yield from self._wait_with_recovery(
+                    rtr, lambda: self._signal(rts), stats
+                )
+                if not ok:
+                    stats["aborts"] = stats.get("aborts", 0) + 1
+            ones = [i for i, b in enumerate(round_bits) if b]
+            for slot in ones:
+                data = self._data_set_addrs(self._trojan_base, slot)
+                for _ in range(self.data_repeats):
+                    yield from prime_set(data)
+            idle_sets = self.data_sets - len(ones)
+            if idle_sets:
+                per_set = self._data_phase_cycles / self.data_sets
+                yield isa.Sleep(per_set * idle_sets)
+        ctx.out.setdefault("trojan_stats", {})[ctx.smid] = stats
+
+    def _spy_body(self, ctx):
+        n_bits: int = ctx.args["n_bits"]
+        chunk_len = len(self._chunk_for([0] * n_bits, ctx.smid))
+        rts = self._addrs(self._spy_base, RTS_SET)
+        rtr = self._addrs(self._spy_base, RTR_SET)
+        data_addrs = [self._data_set_addrs(self._spy_base, s)
+                      for s in range(self.data_sets)]
+        stats: Dict[str, int] = {}
+        received: List[int] = []
+        # Arm the RTS set so the trojan's prime is detectable.
+        yield from prime_set(rts)
+        rounds = _n_rounds(chunk_len, self.data_sets)
+        for r in range(rounds):
+            for addrs in data_addrs:
+                yield from self._restore(addrs)
+            ok = yield from self._wait_with_recovery(
+                rts, lambda: prime_set(rtr), stats
+            )
+            if not ok:
+                stats["aborts"] = stats.get("aborts", 0) + 1
+            if self.handshake == "three-way":
+                yield from self._signal(rtr)
+            yield isa.Sleep(self._data_wait)
+            for addrs in data_addrs:
+                latency = yield from probe_set(addrs)
+                received.append(1 if latency > self.latency_threshold else 0)
+        ctx.out.setdefault("bits", {})[ctx.smid] = received[:chunk_len]
+        ctx.out.setdefault("spy_stats", {})[ctx.smid] = stats
+
+    # ------------------------------------------------------------------
+    def transmit(self, bits: Bits, *,
+                 bystanders: Optional[List[Kernel]] = None) -> ChannelResult:
+        """Transmit ``bits``; optionally with bystander kernels arriving
+        while the channel runs (the Section 8 interference experiment).
+
+        Bystanders are launched after the channel kernels — the leftover
+        scheduler prioritizes by launch time, which is exactly what the
+        exclusive co-location trick relies on.
+        """
+        bits = [int(b) for b in bits]
+        start = self.device.now
+        trojan = Kernel(self._trojan_body,
+                        KernelConfig(grid=self.grid, block_threads=32,
+                                     shared_mem=self.trojan_shared_mem),
+                        args={"bits": bits}, name=f"{self.name}.trojan",
+                        context=self.TROJAN_CONTEXT)
+        spy = Kernel(self._spy_body,
+                     KernelConfig(grid=self.grid, block_threads=32,
+                                  shared_mem=self.spy_shared_mem),
+                     args={"n_bits": len(bits)}, name=f"{self.name}.spy",
+                     context=self.SPY_CONTEXT)
+        s1, s2 = self.device.stream(), self.device.stream()
+        s1.launch(trojan)
+        s2.launch(spy)
+        if bystanders:
+            # Arrive once the channel kernels are safely in the queue,
+            # staggered so launch jitter cannot reorder them (the FIFO
+            # queue position is what the exclusion trick relies on).
+            spec = self.device.spec
+            self.device.host_wait(2.5 * spec.launch_overhead_cycles)
+            for kernel in bystanders:
+                self.device.stream().launch(kernel)
+                self.device.host_wait(6.0 * spec.launch_jitter_cycles)
+        self.device.synchronize(kernels=[trojan, spy])
+        received = self._merge(spy.out.get("bits", {}), len(bits))
+        return self._result(bits, received, start,
+                            data_sets=self.data_sets,
+                            parallel_sm=self.parallel_sm,
+                            handshake=self.handshake,
+                            spy_stats=spy.out.get("spy_stats", {}),
+                            trojan_stats=trojan.out.get("trojan_stats", {}))
+
+    def _merge(self, per_sm: Dict[int, List[int]], n_bits: int) -> List[int]:
+        if not per_sm:
+            return [0] * n_bits
+        if not self.parallel_sm:
+            # Every SM pair carried the full message; majority-vote over
+            # the co-resident pairs for extra robustness.
+            received = []
+            for i in range(n_bits):
+                votes = [chunk[i] for chunk in per_sm.values()
+                         if i < len(chunk)]
+                ones = sum(votes)
+                received.append(1 if votes and ones * 2 >= len(votes) else 0)
+            return received
+        received = [0] * n_bits
+        n_sms = self.device.spec.n_sms
+        for smid, chunk in per_sm.items():
+            for j, bit in enumerate(chunk):
+                idx = smid + j * n_sms
+                if idx < n_bits:
+                    received[idx] = bit
+        return received
+
+
+def _n_rounds(n_bits: int, per_round: int) -> int:
+    return (n_bits + per_round - 1) // per_round
+
+
+def _rounds(bits: List[int], per_round: int):
+    """Split a message into per-round groups, padding the final round."""
+    for i in range(0, len(bits), per_round):
+        group = bits[i:i + per_round]
+        if len(group) < per_round:
+            group = group + [0] * (per_round - len(group))
+        yield group
+    if not bits:
+        return

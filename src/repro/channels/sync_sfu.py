@@ -1,0 +1,223 @@
+"""Synchronized SFU channel (extension of Section 7.1).
+
+The paper implements its Figure 11 synchronization for the cache
+channels and notes "it is possible to implement synchronization for
+other channels as well".  This channel does exactly that for the SFU
+medium: kernels are launched once; warp 0 of each block runs the cache
+three-way handshake (two L1 signal sets), and the remaining warps carry
+the bit through SFU contention during a synchronized window —
+coordinated through block-shared variables.
+
+The decode threshold is self-calibrating: every transmission starts
+with a known 0,1 preamble.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.channels.primitives import (
+    miss_fraction_threshold,
+    prime_set,
+    probe_set,
+    set_addresses,
+)
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+RTS_SET = 0
+RTR_SET = 1
+
+
+class SynchronizedSFUChannel(CovertChannel):
+    """Single-launch SFU channel with cache-set handshaking."""
+
+    def __init__(self, device: Device, *,
+                 op: str = "sinf",
+                 window_ops: int = 40,
+                 signal_repeats: Optional[int] = None,
+                 poll_backoff: float = 300.0,
+                 timeout_polls: int = 60,
+                 spin_backoff: float = 100.0,
+                 grid: Optional[int] = None,
+                 name: str = "sync-sfu") -> None:
+        super().__init__(device, name)
+        spec = device.spec
+        self.op = op
+        self.window_ops = window_ops
+        if signal_repeats is None:
+            signal_repeats = {"Fermi": 14, "Kepler": 8,
+                              "Maxwell": 8}.get(spec.generation, 8)
+        self.signal_repeats = signal_repeats
+        self.poll_backoff = poll_backoff
+        self.timeout_polls = timeout_polls
+        self.spin_backoff = spin_backoff
+        self.grid = grid if grid is not None else spec.n_sms
+        # One coordinator warp plus data warps; total a multiple of the
+        # scheduler count so trojan and spy data warps pair up, and
+        # enough of them that the combined load crosses a latency step.
+        n = spec.warp_schedulers
+        self.warps_per_block = 4 * n
+        self.data_warps = self.warps_per_block - 1
+
+        cache = spec.const_l1
+        self.cache = cache
+        self.latency_threshold = miss_fraction_threshold(
+            cache, spec.const_l2.hit_latency)
+        align = cache.way_stride
+        self._trojan_base = device.const_alloc(
+            2 * cache.line_bytes * cache.n_sets, align=align,
+            label=f"{name}.trojan")
+        self._spy_base = device.const_alloc(
+            2 * cache.line_bytes * cache.n_sets, align=align,
+            label=f"{name}.spy")
+        op_latency = spec.op_spec(op).latency
+        self._window_cycles = self.window_ops * 3.0 * op_latency
+        self.initial_grace = 8.0 * spec.launch_jitter_cycles + 1500.0
+
+    # ------------------------------------------------------------------
+    def _addrs(self, base: int, set_index: int) -> List[int]:
+        return set_addresses(base, self.cache, set_index)
+
+    def _signal(self, addrs):
+        for _ in range(self.signal_repeats):
+            yield from prime_set(addrs)
+
+    def _poll(self, addrs):
+        for _ in range(self.timeout_polls):
+            latency = yield from probe_set(addrs)
+            if latency > self.latency_threshold:
+                return True
+            yield isa.Sleep(self.poll_backoff)
+        return False
+
+    def _drain(self, addrs):
+        """Re-probe until our refill sticks (peer's signal finished).
+
+        A single clean probe can land in the gap between two of the
+        peer's signal primes, so require several consecutive clean
+        probes before declaring the set drained.
+        """
+        clean = 0
+        for _ in range(3 * self.signal_repeats):
+            latency = yield from probe_set(addrs)
+            if latency <= self.latency_threshold:
+                clean += 1
+                if clean >= 2:
+                    return
+            else:
+                clean = 0
+
+    def _spin_equals(self, key, value):
+        while True:
+            current = yield isa.SharedReadVar(key, default=-1)
+            if current is not None and current >= value:
+                return
+            yield isa.Sleep(self.spin_backoff)
+
+    # ------------------------------------------------------------------
+    def _frame(self, bits: List[int]) -> List[int]:
+        """Payload prefixed by the 0,1 calibration preamble."""
+        return [0, 1] + bits
+
+    def _trojan_body(self, ctx):
+        bits: List[int] = ctx.args["frame"]
+        w = ctx.warp_in_block
+        if w == 0:
+            rts = self._addrs(self._trojan_base, RTS_SET)
+            rtr = self._addrs(self._trojan_base, RTR_SET)
+            yield from prime_set(rtr)
+            yield isa.Sleep(self.initial_grace)
+            for r, _bit in enumerate(bits):
+                yield from self._signal(rts)
+                yield from self._poll(rtr)
+                # Release the data warps immediately; drain the RTR set
+                # while they generate (or withhold) contention.
+                yield isa.SharedStoreVar("round", r)
+                yield from self._drain(rtr)
+                yield from self._spin_equals(("done", r),
+                                             self.data_warps)
+        else:
+            lat = self.device.spec.op_spec(self.op).latency
+            # The trojan's window is five times the spy's measurement
+            # window so handshake skew cannot break the overlap.
+            for r, bit in enumerate(bits):
+                yield from self._spin_equals("round", r)
+                if bit:
+                    for _ in range(5 * self.window_ops):
+                        yield isa.FuOp(self.op)
+                else:
+                    yield isa.Sleep(5 * self.window_ops * lat)
+                yield isa.SharedAtomicAdd(("done", r), 1)
+
+    def _spy_body(self, ctx):
+        n_rounds: int = ctx.args["n_rounds"]
+        w = ctx.warp_in_block
+        if w == 0:
+            rts = self._addrs(self._spy_base, RTS_SET)
+            rtr = self._addrs(self._spy_base, RTR_SET)
+            yield from prime_set(rts)
+            for r in range(n_rounds):
+                yield from self._poll(rts)
+                yield from self._drain(rts)
+                yield from self._signal(rtr)
+                # The signal itself gives the trojan's window time to
+                # spin up; measure immediately after.
+                yield isa.SharedStoreVar("round", r)
+                yield from self._spin_equals(("done", r),
+                                             self.data_warps)
+        else:
+            for r in range(n_rounds):
+                yield from self._spin_equals("round", r)
+                t0 = yield isa.ReadClock()
+                for _ in range(self.window_ops):
+                    yield isa.FuOp(self.op)
+                t1 = yield isa.ReadClock()
+                mean = (t1 - t0) / self.window_ops
+                ctx.out.setdefault("latency", {})[(ctx.smid, r, w)] = mean
+                yield isa.SharedAtomicAdd(("done", r), 1)
+
+    # ------------------------------------------------------------------
+    def transmit(self, bits: Bits) -> ChannelResult:
+        bits = [int(b) for b in bits]
+        frame = self._frame(bits)
+        start = self.device.now
+        cfg = KernelConfig(grid=self.grid,
+                           block_threads=32 * self.warps_per_block)
+        trojan = Kernel(self._trojan_body, cfg, args={"frame": frame},
+                        name=f"{self.name}.trojan",
+                        context=self.TROJAN_CONTEXT)
+        spy = Kernel(self._spy_body, cfg,
+                     args={"n_rounds": len(frame)},
+                     name=f"{self.name}.spy", context=self.SPY_CONTEXT)
+        s1, s2 = self.device.stream(), self.device.stream()
+        s1.launch(trojan)
+        s2.launch(spy)
+        self.device.synchronize(kernels=[trojan, spy])
+        received = self._decode(spy.out.get("latency", {}), len(frame))
+        return self._result(bits, received[2:], start,
+                            window_ops=self.window_ops)
+
+    def _decode(self, latencies: Dict, n_rounds: int) -> List[int]:
+        # Per-SM per-round mean.
+        per_sm_round: Dict[tuple, List[float]] = {}
+        for (smid, r, _w), mean in latencies.items():
+            per_sm_round.setdefault((smid, r), []).append(mean)
+        means = {k: sum(v) / len(v) for k, v in per_sm_round.items()}
+        sms = sorted({smid for smid, _ in means})
+        received: List[int] = []
+        for r in range(n_rounds):
+            votes = []
+            for smid in sms:
+                low = means.get((smid, 0))
+                high = means.get((smid, 1))
+                value = means.get((smid, r))
+                if low is None or high is None or value is None:
+                    continue
+                threshold = (low + high) / 2.0
+                votes.append(1 if value > threshold else 0)
+            ones = sum(votes)
+            received.append(1 if votes and ones * 2 >= len(votes) else 0)
+        return received

@@ -1,0 +1,232 @@
+"""Whitespace-style dynamic resource discovery (Section 8).
+
+When exclusive co-location is impossible, the paper proposes borrowing
+from whitespace wireless networking: "the sender may scan through
+available resources (e.g. cache sets) in a pre-agreed on order until it
+discovers idle ones and transmits a beacon pattern on them.  The
+receiver follows by scanning sets until it observes the beacon."
+
+:class:`WhitespaceL1Channel` implements that scheme on the L1 constant
+cache:
+
+1. Both sides scan the candidate data sets in the pre-agreed order,
+   *measuring ambient contention* on each (a set a bystander uses shows
+   miss activity even when we leave it alone).
+2. The trojan picks the first idle set and transmits the **beacon** — a
+   fixed alternating prime pattern — on it.
+3. The spy scans the candidates until it sees the beacon, locks onto
+   that set, and acknowledges; communication proceeds with the Fig. 11
+   handshake on two reserved signalling sets.
+
+This lets the channel operate error-free next to a bystander that
+happens to sit on some of the candidate sets — without the resource
+hogging of exclusive co-location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult
+from repro.channels.primitives import prime_set, probe_set
+from repro.channels.sync import (
+    FIRST_DATA_SET,
+    SynchronizedL1Channel,
+)
+from repro.sim import isa
+
+#: Beacon: this many prime bursts separated by idle gaps.  Long enough
+#: that the beacon outlives one full receiver scan sweep.
+BEACON_BURSTS = 12
+
+
+class WhitespaceL1Channel(SynchronizedL1Channel):
+    """Synchronized L1 channel that discovers an idle data set at runtime.
+
+    Candidate data sets are all sets beyond the two signalling sets; the
+    chosen set index is *not* agreed in advance — it is discovered via
+    ambient-contention scanning plus a beacon, then used for the whole
+    message.
+    """
+
+    def __init__(self, device, *,
+                 scan_probes: int = 6,
+                 busy_fraction: float = 0.34,
+                 name: str = "whitespace-l1", **kwargs) -> None:
+        kwargs.setdefault("data_sets", 1)
+        super().__init__(device, name=name, **kwargs)
+        self.scan_probes = scan_probes
+        self.busy_fraction = busy_fraction
+        self._candidates = list(range(FIRST_DATA_SET,
+                                      self.cache.n_sets))
+        # Pre-agreed discovery schedule: the sender scans during the
+        # scan window and only beacons after it; the receiver stays
+        # silent until the window ends.  Without this the two sides'
+        # scan probes masquerade as bystander traffic (and as beacons)
+        # to each other.
+        probe_cost = self.cache.ways * (self.cache.hit_latency
+                                        + self.cache.port_cycles)
+        per_candidate = (probe_cost + self.scan_probes
+                         * (self.poll_backoff + probe_cost))
+        self._scan_window = (len(self._candidates) * per_candidate
+                             + 2000.0)
+
+    # ------------------------------------------------------------------
+    # Discovery sub-generators
+    # ------------------------------------------------------------------
+    def _ambient_busy(self, base: int, set_index: int):
+        """Measure whether third-party traffic touches a set.
+
+        Prime the set with our lines, idle, then re-probe: misses mean
+        someone else is using it.
+        """
+        addrs = self._addrs(base, set_index)
+        yield from prime_set(addrs)
+        busy_hits = 0
+        for _ in range(self.scan_probes):
+            yield isa.Sleep(self.poll_backoff)
+            latency = yield from probe_set(addrs)
+            if latency > self.latency_threshold:
+                busy_hits += 1
+        return busy_hits / self.scan_probes >= self.busy_fraction
+
+    def _send_beacon(self, base: int, set_index: int):
+        """Alternating prime bursts announcing the chosen set."""
+        addrs = self._addrs(base, set_index)
+        for _ in range(BEACON_BURSTS):
+            for _ in range(self.signal_repeats):
+                yield from prime_set(addrs)
+            # The gap must fit several receiver probes, or a listener
+            # sees continuous misses and rejects the set as bystander
+            # traffic.
+            yield isa.Sleep(8.0 * self.poll_backoff)
+
+    def _listen_for_beacon(self, base: int, set_index: int,
+                           polls: int):
+        """Watch one candidate set for the beacon's burst pattern.
+
+        A beacon alternates bursts with idle gaps, so a genuine beacon
+        shows *both* misses and clean probes within the window;
+        continuous bystander traffic misses constantly and is rejected.
+        """
+        addrs = self._addrs(base, set_index)
+        yield from prime_set(addrs)
+        bursts = 0
+        cleans = 0
+        for _ in range(polls):
+            latency = yield from probe_set(addrs)
+            if latency > self.latency_threshold:
+                bursts += 1
+            else:
+                cleans += 1
+            yield isa.Sleep(self.poll_backoff)
+        return bursts >= 2 and cleans >= 2
+
+    # ------------------------------------------------------------------
+    # Kernel bodies (override the fixed-set protocol's set selection)
+    # ------------------------------------------------------------------
+    def _trojan_body(self, ctx):
+        bits: List[int] = ctx.args["bits"]
+        chunk = self._chunk_for(bits, ctx.smid)
+        rts = self._addrs(self._trojan_base, 0)
+        rtr = self._addrs(self._trojan_base, 1)
+        stats: Dict[str, int] = {}
+        yield from prime_set(rtr)
+        yield isa.Sleep(self.initial_grace)
+
+        # Phase 0: discover an idle data set during the scan window,
+        # then announce it with the beacon once the window has elapsed.
+        scan_start = yield isa.ReadClock()
+        chosen: Optional[int] = None
+        for set_index in self._candidates:
+            busy = yield from self._ambient_busy(self._trojan_base,
+                                                 set_index)
+            if not busy:
+                chosen = set_index
+                break
+        if chosen is None:
+            chosen = self._candidates[-1]
+            stats["no_idle_set"] = 1
+        now = yield isa.ReadClock()
+        remaining = scan_start + self._scan_window - now
+        if remaining > 0:
+            yield isa.Sleep(remaining)
+        yield from self._send_beacon(self._trojan_base, chosen)
+        data = self._addrs(self._trojan_base, chosen)
+
+        for round_bits in _rounds(chunk):
+            yield from self._signal(rts)
+            ok = yield from self._wait_with_recovery(
+                rtr, lambda: self._signal(rts), stats)
+            if not ok:
+                stats["aborts"] = stats.get("aborts", 0) + 1
+            if round_bits[0]:
+                for _ in range(self.data_repeats):
+                    yield from prime_set(data)
+            else:
+                yield isa.Sleep(self._data_phase_cycles)
+        ctx.out.setdefault("trojan_stats", {})[ctx.smid] = stats
+        ctx.out.setdefault("trojan_set", {})[ctx.smid] = chosen
+
+    def _spy_body(self, ctx):
+        n_bits: int = ctx.args["n_bits"]
+        chunk_len = len(self._chunk_for([0] * n_bits, ctx.smid))
+        rts = self._addrs(self._spy_base, 0)
+        rtr = self._addrs(self._spy_base, 1)
+        stats: Dict[str, int] = {}
+        received: List[int] = []
+        yield from prime_set(rts)
+
+        # Phase 0: stay silent through the sender's scan window, then
+        # scan candidates for the beacon.
+        yield isa.Sleep(self.initial_grace + self._scan_window)
+        chosen: Optional[int] = None
+        for sweep in range(3):
+            for set_index in self._candidates:
+                found = yield from self._listen_for_beacon(
+                    self._spy_base, set_index, polls=10)
+                if found:
+                    chosen = set_index
+                    break
+            if chosen is not None:
+                break
+        if chosen is None:
+            chosen = self._candidates[-1]
+            stats["beacon_missed"] = 1
+        data = self._addrs(self._spy_base, chosen)
+
+        first_round = True
+        for _ in range(chunk_len):
+            yield from self._restore(data)
+            if first_round:
+                # Before communication starts the trojan is still
+                # beaconing; be patient and send no recovery RTRs (a
+                # stale RTR would let the trojan race one round ahead).
+                ok = False
+                for _ in range(self.max_retries):
+                    ok = yield from self._poll(rts)
+                    if ok:
+                        break
+                first_round = False
+            else:
+                ok = yield from self._wait_with_recovery(
+                    rts, lambda: prime_set(rtr), stats)
+            if not ok:
+                stats["aborts"] = stats.get("aborts", 0) + 1
+            yield from self._signal(rtr)
+            yield isa.Sleep(self._data_wait)
+            latency = yield from probe_set(data)
+            received.append(1 if latency > self.latency_threshold else 0)
+        ctx.out.setdefault("bits", {})[ctx.smid] = received
+        ctx.out.setdefault("spy_stats", {})[ctx.smid] = stats
+        ctx.out.setdefault("spy_set", {})[ctx.smid] = chosen
+
+    # ------------------------------------------------------------------
+    def transmit(self, bits: Bits, **kwargs) -> ChannelResult:
+        result = super().transmit(bits, **kwargs)
+        return result
+
+
+def _rounds(bits: List[int]):
+    for b in bits:
+        yield [b]

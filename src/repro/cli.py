@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the registered experiments (every paper table/figure).
+``run <id> [...]``
+    Regenerate one or more experiments and print their tables.
+``transmit --gpu kepler --channel sync-l1 --bits 64``
+    Run one covert channel and report bandwidth/BER.
+``reveng --gpu kepler``
+    Full observable-behaviour characterization of a device.
+``specs``
+    Print the three device specifications (Table 1 + caches).
+``plot fig2 [--gpu kepler]``
+    Render a latency-curve figure as an ASCII plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import format_table
+from repro.arch import all_specs, get_spec
+from repro.sim.gpu import Device
+
+#: CLI channel name -> factory(device).
+CHANNEL_FACTORIES: Dict[str, Callable[[Device], object]] = {}
+
+
+def _register_channels() -> None:
+    from repro.channels import (
+        GlobalAtomicChannel,
+        L1CacheChannel,
+        L2CacheChannel,
+        MultiBitL1Channel,
+        MultiBitL2Channel,
+        MultiResourceChannel,
+        ParallelSFUChannel,
+        ParallelSMChannel,
+        SFUChannel,
+        SynchronizedL1Channel,
+        SynchronizedSFUChannel,
+        WhitespaceL1Channel,
+    )
+    CHANNEL_FACTORIES.update({
+        "l1": L1CacheChannel,
+        "l2": L2CacheChannel,
+        "sfu": SFUChannel,
+        "atomic-s1": lambda d: GlobalAtomicChannel(d, scenario=1),
+        "atomic-s2": lambda d: GlobalAtomicChannel(d, scenario=2),
+        "atomic-s3": lambda d: GlobalAtomicChannel(d, scenario=3),
+        "sync-l1": SynchronizedL1Channel,
+        "sync-sfu": SynchronizedSFUChannel,
+        "multibit-l1": MultiBitL1Channel,
+        "multibit-l2": MultiBitL2Channel,
+        "parallel-sm": ParallelSMChannel,
+        "parallel-sfu": ParallelSFUChannel,
+        "multi-resource": MultiResourceChannel,
+        "whitespace-l1": WhitespaceL1Channel,
+    })
+
+
+_register_channels()
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+    rows = []
+    docs = {
+        "fig2": "L1 cache latency staircase",
+        "fig3": "L2 cache latency staircase",
+        "fig4": "cache channel bandwidth",
+        "fig5": "BER vs bandwidth sweep",
+        "fig6": "SP op latency vs warps",
+        "fig7": "DP op latency vs warps",
+        "fig10": "atomic channel bandwidth",
+        "table1": "per-SM resources",
+        "table2": "improved L1 channels",
+        "table3": "improved SFU channels",
+    }
+    for exp_id in EXPERIMENTS:
+        rows.append([exp_id, docs.get(exp_id, "")])
+    print(format_table(["experiment", "description"], rows,
+                       title="Registered experiments"))
+    print("\nChannels for `transmit`:",
+          ", ".join(sorted(CHANNEL_FACTORIES)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    for exp_id in args.ids:
+        result = run_experiment(exp_id)
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_transmit(args: argparse.Namespace) -> int:
+    spec = get_spec(args.gpu)
+    try:
+        factory = CHANNEL_FACTORIES[args.channel]
+    except KeyError:
+        print(f"unknown channel {args.channel!r}; choose from "
+              f"{sorted(CHANNEL_FACTORIES)}", file=sys.stderr)
+        return 2
+    device = Device(spec, seed=args.seed)
+    channel = factory(device)
+    result = channel.transmit_random(args.bits, seed=args.seed)
+    print(f"device:    {spec.name} ({spec.generation})")
+    print(f"channel:   {channel.name}")
+    print(f"bits:      {result.n_bits}")
+    print(f"time:      {result.seconds * 1e3:.3f} ms simulated")
+    print(f"bandwidth: {result.bandwidth_kbps:.1f} Kbps")
+    print(f"BER:       {result.ber:.4f}"
+          + ("  (error-free)" if result.error_free else ""))
+    return 0 if result.error_free else 1
+
+
+def cmd_reveng(args: argparse.Namespace) -> int:
+    from repro.reveng import (
+        characterize_cache,
+        infer_block_policy,
+        infer_cache_parameters,
+        infer_warp_schedulers,
+    )
+    spec = get_spec(args.gpu)
+    print(f"characterizing {spec.name}...")
+    l1 = infer_cache_parameters(
+        characterize_cache(spec, "l1"), stride=spec.const_l1.line_bytes)
+    l2 = infer_cache_parameters(
+        characterize_cache(spec, "l2"), stride=256)
+    schedulers = infer_warp_schedulers(spec)
+    placement = infer_block_policy(spec)
+    rows = [
+        ["constant L1", f"{l1.size_bytes}B, {l1.n_sets} sets x "
+                        f"{l1.ways} ways, {l1.line_bytes}B lines"],
+        ["constant L2", f"{l2.size_bytes}B, {l2.n_sets} sets x "
+                        f"{l2.ways} ways, {l2.line_bytes}B lines"],
+        ["warp schedulers", schedulers],
+        ["block placement", "round-robin" if placement.round_robin
+         else "unknown"],
+        ["leftover co-residency", placement.leftover_coresidency],
+        ["FIFO queueing", placement.fifo_queueing],
+    ]
+    print(format_table(["property", "inferred"], rows,
+                       title=f"Reverse-engineering report: {spec.name}"))
+    return 0
+
+
+def cmd_plot(args: argparse.Namespace) -> int:
+    from repro.analysis.plots import ascii_plot
+    from repro.experiments import fig2_data, fig3_data
+    from repro.reveng import latency_curve
+    spec = get_spec(args.gpu)
+    if args.figure == "fig2":
+        series = fig2_data(spec)
+        title = f"Figure 2: L1 latency vs array bytes ({spec.name})"
+    elif args.figure == "fig3":
+        series = fig3_data(spec)
+        title = f"Figure 3: L2 latency vs array bytes ({spec.name})"
+    elif args.figure.startswith("fig6:"):
+        op = args.figure.split(":", 1)[1]
+        series = [(float(w), lat) for w, lat in
+                  latency_curve(spec, op, range(1, 33), iterations=96)]
+        title = f"Figure 6: {op} latency vs warps ({spec.name})"
+    else:
+        print("supported: fig2, fig3, fig6:<op> (e.g. fig6:sinf)",
+              file=sys.stderr)
+        return 2
+    print(ascii_plot(series, title=title))
+    return 0
+
+
+def cmd_specs(_args: argparse.Namespace) -> int:
+    rows = []
+    for spec in all_specs():
+        table = spec.resource_table()
+        rows.append([
+            spec.name, spec.generation, spec.n_sms,
+            f"{spec.clock_mhz:.0f} MHz", table["Warp Scheduler"],
+            table["SP"], table["DPU"], table["SFU"],
+        ])
+    print(format_table(
+        ["device", "generation", "SMs", "clock", "WS", "SP", "DPU",
+         "SFU"],
+        rows, title="Device specifications (paper Table 1 + Section 2)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPGPU covert channel reproduction (MICRO-50, 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate experiments")
+    p_run.add_argument("ids", nargs="+",
+                       help="experiment ids (e.g. fig4 table2)")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_tx = sub.add_parser("transmit", help="run one covert channel")
+    p_tx.add_argument("--gpu", default="kepler",
+                      help="fermi | kepler | maxwell")
+    p_tx.add_argument("--channel", default="l1",
+                      help="channel name (see `repro list`)")
+    p_tx.add_argument("--bits", type=int, default=64)
+    p_tx.add_argument("--seed", type=int, default=0)
+    p_tx.set_defaults(fn=cmd_transmit)
+
+    p_rev = sub.add_parser("reveng",
+                           help="reverse engineer a device")
+    p_rev.add_argument("--gpu", default="kepler")
+    p_rev.set_defaults(fn=cmd_reveng)
+
+    sub.add_parser("specs", help="print device specs").set_defaults(
+        fn=cmd_specs)
+
+    p_plot = sub.add_parser("plot", help="ASCII-plot a latency figure")
+    p_plot.add_argument("figure",
+                        help="fig2 | fig3 | fig6:<op> (e.g. fig6:sinf)")
+    p_plot.add_argument("--gpu", default="kepler")
+    p_plot.set_defaults(fn=cmd_plot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Co-location establishment and exclusivity (Sections 3 and 8).
+
+* :mod:`repro.colocation.planner` — crafts launch configurations so the
+  leftover block scheduler co-locates the trojan and spy on every SM
+  (and on matching warp schedulers).
+* :mod:`repro.colocation.exclusive` — resource-exhaustion configurations
+  that additionally lock bystander kernels *out* of the SMs (the
+  noise-prevention trick of Section 8), plus blocker kernels that soak
+  up remaining resources.
+"""
+
+from repro.colocation.planner import (
+    CoLocationPlan,
+    coresident_plan,
+    scheduler_aligned_threads,
+    verify_coresidency,
+)
+from repro.colocation.exclusive import (
+    ExclusivePlan,
+    blocker_kernel,
+    exclusive_plan,
+)
+
+__all__ = [
+    "CoLocationPlan",
+    "ExclusivePlan",
+    "blocker_kernel",
+    "coresident_plan",
+    "exclusive_plan",
+    "scheduler_aligned_threads",
+    "verify_coresidency",
+]

@@ -1,0 +1,84 @@
+"""Exclusive co-location via resource exhaustion (Section 8).
+
+The leftover policy is non-preemptive and FIFO, so an attacker can lock
+bystanders out of the SMs hosting the covert channel:
+
+* On Fermi/Kepler (max shared memory per block == per SM), the *spy*
+  requests the whole 48 KB of shared memory per block; the trojan
+  requests none.  Both co-locate, but any third kernel that uses even
+  one byte of shared memory queues until the spy exits.
+* On Maxwell (per-SM shared memory is twice the per-block max), both
+  the spy and the trojan request the 48 KB per-block maximum, jointly
+  saturating the 96 KB SM.
+
+``blocker_kernel`` builds the complementary trick: an innocuous kernel
+that soaks up *other* resource classes (threads/registers) so that even
+shared-memory-free bystanders cannot be placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GPUSpec, WARP_SIZE
+from repro.sim import isa
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+@dataclass(frozen=True)
+class ExclusivePlan:
+    """Launch configurations for noise-free exclusive co-location."""
+
+    trojan: KernelConfig
+    spy: KernelConfig
+    #: Human-readable note on which resource is saturated and how.
+    strategy: str
+
+
+def exclusive_plan(spec: GPUSpec, *,
+                   warps_per_scheduler: int = 1) -> ExclusivePlan:
+    """Shared-memory-saturating configurations for this device."""
+    threads = WARP_SIZE * spec.warp_schedulers * warps_per_scheduler
+    if spec.max_shared_mem_per_block >= spec.shared_mem_per_sm:
+        # Fermi / Kepler: one max-shared block saturates the SM.
+        spy = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                           shared_mem=spec.max_shared_mem_per_block)
+        trojan = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                              shared_mem=0)
+        strategy = ("spy requests the full per-SM shared memory "
+                    f"({spec.shared_mem_per_sm} B); trojan requests none")
+    else:
+        # Maxwell: per-SM is twice per-block — both ask for the maximum.
+        spy = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                           shared_mem=spec.max_shared_mem_per_block)
+        trojan = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                              shared_mem=spec.max_shared_mem_per_block)
+        strategy = ("spy and trojan each request the per-block maximum "
+                    f"({spec.max_shared_mem_per_block} B), jointly "
+                    "saturating the SM")
+    return ExclusivePlan(trojan=trojan, spy=spy, strategy=strategy)
+
+
+def blocker_kernel(spec: GPUSpec, *, reserve_threads: int = 64,
+                   duration_cycles: float = 50_000.0,
+                   context: int = 99) -> Kernel:
+    """A quiet kernel that exhausts thread slots on every SM.
+
+    Launched alongside the trojan/spy (the scheduler prioritizes kernels
+    by launch time), it occupies all thread capacity beyond
+    ``reserve_threads`` (what the channel's own blocks use) without
+    touching the caches or functional units used for communication —
+    locking out bystanders that use no shared memory.
+    """
+    threads = spec.max_threads_per_sm - reserve_threads
+    threads = max(WARP_SIZE, (threads // WARP_SIZE) * WARP_SIZE)
+    max_by_warps = (spec.max_warps_per_sm - reserve_threads // WARP_SIZE
+                    ) * WARP_SIZE
+    threads = min(threads, max_by_warps)
+
+    def body(ctx):
+        yield isa.Sleep(duration_cycles)
+
+    cfg = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                       registers_per_thread=8)
+    return Kernel(body, cfg, name="blocker", context=context)

@@ -1,0 +1,69 @@
+"""Launch-configuration planning for co-residency (Section 3.1).
+
+With the reverse-engineered leftover policy in hand, co-residency is a
+matter of arithmetic: launch each kernel with one block per SM, sized so
+a block of the *other* kernel still fits.  To additionally pair up on
+warp schedulers, warp counts are chosen as multiples of the scheduler
+count (round-robin assignment then lines the kernels up
+scheduler-for-scheduler) — e.g. on the K40C, 15 blocks of 128 threads
+per kernel put one warp of each kernel on all 4 schedulers of all
+15 SMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.specs import GPUSpec, WARP_SIZE
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+@dataclass(frozen=True)
+class CoLocationPlan:
+    """Launch configurations placing both kernels on every SM."""
+
+    trojan: KernelConfig
+    spy: KernelConfig
+    expected_sms: int
+
+
+def scheduler_aligned_threads(spec: GPUSpec,
+                              warps_per_scheduler: int = 1) -> int:
+    """Threads per block covering every warp scheduler evenly."""
+    if warps_per_scheduler < 1:
+        raise ValueError("need at least one warp per scheduler")
+    return WARP_SIZE * spec.warp_schedulers * warps_per_scheduler
+
+
+def coresident_plan(spec: GPUSpec, *,
+                    warps_per_scheduler: int = 1,
+                    shared_mem: int = 0) -> CoLocationPlan:
+    """Per-SM co-residency plan under the leftover policy.
+
+    Each kernel launches ``n_sms`` blocks; block resources are checked
+    against the SM limits so two blocks (one of each kernel) always fit.
+    """
+    threads = scheduler_aligned_threads(spec, warps_per_scheduler)
+    cfg = KernelConfig(grid=spec.n_sms, block_threads=threads,
+                       shared_mem=shared_mem)
+    if 2 * threads > spec.max_threads_per_sm:
+        raise ValueError(
+            f"{threads} threads/block cannot be co-resident twice on "
+            f"{spec.name} (limit {spec.max_threads_per_sm})"
+        )
+    if 2 * shared_mem > spec.shared_mem_per_sm:
+        raise ValueError("shared memory demand prevents co-residency")
+    return CoLocationPlan(trojan=cfg, spy=cfg, expected_sms=spec.n_sms)
+
+
+def verify_coresidency(device: Device, trojan: Kernel,
+                       spy: Kernel) -> List[int]:
+    """SMs where blocks of both kernels were resident concurrently.
+
+    Works from the kernels' observable block records (smid plus start/
+    stop clocks), i.e. the same evidence the paper's reverse-engineering
+    kernels collect.
+    """
+    return device.colocated_sms(trojan, spy)

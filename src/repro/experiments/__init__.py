@@ -1,0 +1,40 @@
+"""Programmatic regeneration of every figure and table.
+
+Each function returns the plain data series behind one element of the
+paper's evaluation, so users can re-plot or post-process them without
+going through pytest.  The registry maps experiment ids (``fig2`` …
+``table3``) to runnable entries; the CLI (``python -m repro``) exposes
+them from the command line.
+"""
+
+from repro.experiments.figures import (
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig10_data,
+)
+from repro.experiments.tables import table1_data, table2_data, table3_data
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "fig10_data",
+    "fig2_data",
+    "fig3_data",
+    "fig4_data",
+    "fig5_data",
+    "fig6_data",
+    "fig7_data",
+    "run_experiment",
+    "table1_data",
+    "table2_data",
+    "table3_data",
+]

@@ -1,0 +1,113 @@
+"""Data series behind the paper's figures.
+
+Every function runs the corresponding experiment on fresh simulated
+devices and returns plain Python data (lists/dicts of numbers) shaped
+like the figure's axes, ready for any plotting front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import ber_vs_bandwidth
+from repro.arch import (
+    FERMI_C2075,
+    GPUSpec,
+    KEPLER_K40C,
+    MAXWELL_M4000,
+    all_specs,
+)
+from repro.channels import (
+    GlobalAtomicChannel,
+    L1CacheChannel,
+    L2CacheChannel,
+)
+from repro.reveng import characterize_cache, latency_curve
+from repro.sim.gpu import Device
+
+#: (x, y) series: x = array size or warp count, y = latency in cycles.
+Series = List[Tuple[float, float]]
+
+
+def fig2_data(spec: GPUSpec = KEPLER_K40C) -> Series:
+    """Figure 2 — L1 constant cache latency vs array size, stride 64 B."""
+    return [(float(s), lat)
+            for s, lat in characterize_cache(spec, "l1")]
+
+
+def fig3_data(spec: GPUSpec = KEPLER_K40C) -> Series:
+    """Figure 3 — L2 constant cache latency vs array size, stride 256 B."""
+    return [(float(s), lat)
+            for s, lat in characterize_cache(spec, "l2")]
+
+
+def fig4_data(n_bits: int = 48, seed: int = 7) -> Dict[str, Dict[str, float]]:
+    """Figure 4 — error-free cache-channel bandwidth per device (Kbps)."""
+    out: Dict[str, Dict[str, float]] = {"L1": {}, "L2": {}}
+    for spec in all_specs():
+        d1 = Device(spec, seed=seed)
+        out["L1"][spec.generation] = L1CacheChannel(d1)\
+            .transmit_random(n_bits, seed=seed).bandwidth_kbps
+        d2 = Device(spec, seed=seed)
+        out["L2"][spec.generation] = L2CacheChannel(d2)\
+            .transmit_random(n_bits, seed=seed).bandwidth_kbps
+    return out
+
+
+def fig5_data(level: str = "l1", spec: GPUSpec = KEPLER_K40C,
+              iterations: Optional[Sequence[int]] = None,
+              n_bits: int = 48,
+              seed: int = 5) -> List[Tuple[float, float]]:
+    """Figure 5 — (bandwidth Kbps, BER) pairs from an iteration sweep."""
+    if level == "l1":
+        factory = lambda d, it: L1CacheChannel(d, iterations=it)  # noqa: E731
+        iterations = iterations or [20, 12, 8, 5, 3, 2]
+    elif level == "l2":
+        factory = lambda d, it: L2CacheChannel(d, iterations=it)  # noqa: E731
+        iterations = iterations or [8, 5, 3, 2, 1]
+    else:
+        raise ValueError("level must be 'l1' or 'l2'")
+    points = ber_vs_bandwidth(spec, factory, iterations,
+                              n_bits=n_bits, seed=seed)
+    return [(p.bandwidth_kbps, p.ber) for p in points]
+
+
+def fig6_data(warp_counts: Optional[Sequence[int]] = None,
+              iterations: int = 96) -> Dict[Tuple[str, str], Series]:
+    """Figure 6 — SP op latency vs warps, keyed by (generation, op)."""
+    warp_counts = warp_counts or [1, 4, 8, 12, 16, 20, 24, 28, 32]
+    out: Dict[Tuple[str, str], Series] = {}
+    for spec in all_specs():
+        for op in ("sinf", "sqrt", "fadd", "fmul"):
+            curve = latency_curve(spec, op, warp_counts,
+                                  iterations=iterations)
+            out[(spec.generation, op)] = [(float(w), lat)
+                                          for w, lat in curve]
+    return out
+
+
+def fig7_data(warp_counts: Optional[Sequence[int]] = None,
+              iterations: int = 96) -> Dict[Tuple[str, str], Series]:
+    """Figure 7 — DP op latency vs warps (Fermi and Kepler only)."""
+    warp_counts = warp_counts or [1, 4, 8, 12, 16, 20, 24, 28, 32]
+    out: Dict[Tuple[str, str], Series] = {}
+    for spec in (FERMI_C2075, KEPLER_K40C):
+        for op in ("dadd", "dmul"):
+            curve = latency_curve(spec, op, warp_counts,
+                                  iterations=iterations)
+            out[(spec.generation, op)] = [(float(w), lat)
+                                          for w, lat in curve]
+    return out
+
+
+def fig10_data(n_bits: int = 24,
+               seed: int = 9) -> Dict[Tuple[str, int], float]:
+    """Figure 10 — atomic channel bandwidth (Kbps) per (device, scenario)."""
+    out: Dict[Tuple[str, int], float] = {}
+    for spec in all_specs():
+        for scenario in (1, 2, 3):
+            device = Device(spec, seed=40 + scenario)
+            result = GlobalAtomicChannel(device, scenario=scenario)\
+                .transmit_random(n_bits, seed=seed)
+            out[(spec.generation, scenario)] = result.bandwidth_kbps
+    return out

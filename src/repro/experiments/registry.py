@@ -1,0 +1,145 @@
+"""Experiment registry: ids, descriptions and runnable entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.experiments import figures, tables
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result of a registry run."""
+
+    experiment_id: str
+    description: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        from repro.analysis import format_table
+        return format_table(self.headers, self.rows,
+                            title=f"{self.experiment_id}: "
+                                  f"{self.description}")
+
+
+def _series_rows(series) -> List[List[Any]]:
+    return [[x, round(y, 2)] for x, y in series]
+
+
+def _run_fig2() -> ExperimentResult:
+    return ExperimentResult(
+        "fig2", "L1 constant cache latency vs array size (stride 64B)",
+        ["array bytes", "latency (clk)"],
+        _series_rows(figures.fig2_data()))
+
+
+def _run_fig3() -> ExperimentResult:
+    return ExperimentResult(
+        "fig3", "L2 constant cache latency vs array size (stride 256B)",
+        ["array bytes", "latency (clk)"],
+        _series_rows(figures.fig3_data()))
+
+
+def _run_fig4() -> ExperimentResult:
+    data = figures.fig4_data()
+    rows = [[level, gen, round(kbps, 1)]
+            for level, per_gen in data.items()
+            for gen, kbps in per_gen.items()]
+    return ExperimentResult(
+        "fig4", "cache channel bandwidth (Kbps, error-free)",
+        ["level", "GPU", "Kbps"], rows)
+
+
+def _run_fig5() -> ExperimentResult:
+    rows = []
+    for level in ("l1", "l2"):
+        for bw, ber in figures.fig5_data(level):
+            rows.append([level.upper(), round(bw, 1), round(ber, 3)])
+    return ExperimentResult(
+        "fig5", "bit error rate vs bandwidth (iteration sweep, Kepler)",
+        ["channel", "Kbps", "BER"], rows)
+
+
+def _run_fig6() -> ExperimentResult:
+    rows = []
+    for (gen, op), series in figures.fig6_data(
+            warp_counts=[1, 8, 16, 24, 32]).items():
+        for w, lat in series:
+            rows.append([gen, op, int(w), round(lat, 1)])
+    return ExperimentResult(
+        "fig6", "SP op latency vs warp count",
+        ["GPU", "op", "warps", "latency (clk)"], rows)
+
+
+def _run_fig7() -> ExperimentResult:
+    rows = []
+    for (gen, op), series in figures.fig7_data(
+            warp_counts=[1, 8, 16, 24, 32]).items():
+        for w, lat in series:
+            rows.append([gen, op, int(w), round(lat, 1)])
+    return ExperimentResult(
+        "fig7", "DP op latency vs warp count",
+        ["GPU", "op", "warps", "latency (clk)"], rows)
+
+
+def _run_fig10() -> ExperimentResult:
+    rows = [[gen, f"scenario {sc}", round(kbps, 1)]
+            for (gen, sc), kbps in figures.fig10_data().items()]
+    return ExperimentResult(
+        "fig10", "global atomic channel bandwidth (Kbps)",
+        ["GPU", "pattern", "Kbps"], rows)
+
+
+def _run_table1() -> ExperimentResult:
+    rows = []
+    for name, table in tables.table1_data().items():
+        rows.append([name] + list(table.values()))
+    return ExperimentResult(
+        "table1", "per-SM execution resources",
+        ["GPU", "WS", "Dispatch", "SP", "DPU", "SFU", "LD/ST"], rows)
+
+
+def _run_table2() -> ExperimentResult:
+    rows = [[gen, stage, round(kbps, 1)]
+            for (gen, stage), kbps in tables.table2_data().items()]
+    return ExperimentResult(
+        "table2", "improved L1 channels (Kbps)",
+        ["GPU", "configuration", "Kbps"], rows)
+
+
+def _run_table3() -> ExperimentResult:
+    rows = [[gen, stage, round(kbps, 1)]
+            for (gen, stage), kbps in tables.table3_data().items()]
+    return ExperimentResult(
+        "table3", "improved SFU channels (Kbps)",
+        ["GPU", "configuration", "Kbps"], rows)
+
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig10": _run_fig10,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment by id (``fig2`` … ``table3``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return runner()

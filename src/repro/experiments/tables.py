@@ -1,0 +1,63 @@
+"""Data behind the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch import all_specs
+from repro.channels import (
+    L1CacheChannel,
+    MultiBitL1Channel,
+    ParallelSFUChannel,
+    ParallelSMChannel,
+    SFUChannel,
+    SynchronizedL1Channel,
+)
+from repro.sim.gpu import Device
+
+
+def table1_data() -> Dict[str, Dict[str, int]]:
+    """Table 1 — per-SM execution resources, keyed by device name."""
+    return {spec.name: spec.resource_table() for spec in all_specs()}
+
+
+def table2_data(seed: int = 3) -> Dict[Tuple[str, str], float]:
+    """Table 2 — improved L1 channel bandwidth (Kbps) per
+    (generation, configuration) with configurations ``baseline``,
+    ``sync``, ``multibit`` and ``parallel``."""
+    out: Dict[Tuple[str, str], float] = {}
+    for spec in all_specs():
+        gen = spec.generation
+        out[(gen, "baseline")] = L1CacheChannel(
+            Device(spec, seed=seed)).transmit_random(
+                48, seed=7).bandwidth_kbps
+        out[(gen, "sync")] = SynchronizedL1Channel(
+            Device(spec, seed=seed)).transmit_random(
+                64, seed=7).bandwidth_kbps
+        out[(gen, "multibit")] = MultiBitL1Channel(
+            Device(spec, seed=seed), data_sets=6).transmit_random(
+                96, seed=7).bandwidth_kbps
+        out[(gen, "parallel")] = ParallelSMChannel(
+            Device(spec, seed=seed), data_sets=6).transmit_random(
+                480, seed=7).bandwidth_kbps
+    return out
+
+
+def table3_data(seed: int = 5) -> Dict[Tuple[str, str], float]:
+    """Table 3 — SFU channel bandwidth (Kbps) per
+    (generation, configuration) with configurations ``baseline``,
+    ``schedulers`` and ``schedulers+SMs``."""
+    out: Dict[Tuple[str, str], float] = {}
+    for spec in all_specs():
+        gen = spec.generation
+        out[(gen, "baseline")] = SFUChannel(
+            Device(spec, seed=seed)).transmit_random(
+                12, seed=9).bandwidth_kbps
+        out[(gen, "schedulers")] = ParallelSFUChannel(
+            Device(spec, seed=seed), per_sm=False).transmit_random(
+                24, seed=9).bandwidth_kbps
+        bits = 4 * spec.warp_schedulers * spec.n_sms
+        out[(gen, "schedulers+SMs")] = ParallelSFUChannel(
+            Device(spec, seed=seed), per_sm=True).transmit_random(
+                bits, seed=9).bandwidth_kbps
+    return out

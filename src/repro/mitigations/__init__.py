@@ -1,0 +1,35 @@
+"""Mitigations (Section 9) — implemented as device configuration hooks.
+
+The paper sketches four mitigation families and leaves their evaluation
+to future work; we implement and evaluate all of them:
+
+* :mod:`repro.mitigations.cache_partitioning` — per-context cache set
+  partitioning (spatial partitioning).
+* :mod:`repro.mitigations.temporal_partitioning` — a block scheduler
+  that never co-schedules different contexts (temporal partitioning).
+* :mod:`repro.mitigations.scheduler_randomization` — randomized warp →
+  scheduler assignment (entropy in resource assignment).
+* :mod:`repro.mitigations.time_fuzzing` — TimeWarp-style ``clock()``
+  granularity/jitter inflation (entropy in time measurement).
+* :mod:`repro.mitigations.detector` — CC-Hunter-style contention-burst
+  alternation detector.
+"""
+
+from repro.mitigations.cache_partitioning import context_set_partition
+from repro.mitigations.scheduler_randomization import randomized_device
+from repro.mitigations.temporal_partitioning import (
+    TemporalPartitionScheduler,
+    register_temporal_policy,
+)
+from repro.mitigations.time_fuzzing import fuzzed_clock
+from repro.mitigations.detector import ContentionDetector, DetectorReport
+
+__all__ = [
+    "ContentionDetector",
+    "DetectorReport",
+    "TemporalPartitionScheduler",
+    "context_set_partition",
+    "fuzzed_clock",
+    "randomized_device",
+    "register_temporal_policy",
+]

@@ -1,0 +1,111 @@
+"""Contention-pattern detector (Section 9 / CC-Hunter, Chen et al.).
+
+Covert cache channels leave a characteristic footprint: on the
+communication set, *miss events alternate between two contexts* at a
+steady rhythm (trojan evicts spy, spy evicts trojan, round after
+round).  Benign workloads miss in their own long runs.
+
+Usage::
+
+    det = ContentionDetector.attach(device)   # traces every L1 + the L2
+    ... run workload ...
+    report = det.analyze()
+    report.flagged_sets   # [(cache_name, set_index, score), ...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.gpu import Device
+
+#: Minimum miss events on a set before it can be flagged.
+MIN_EVENTS = 24
+
+#: Alternation score above which a set is considered suspicious.
+ALTERNATION_THRESHOLD = 0.7
+
+
+@dataclass
+class SetScore:
+    """Per-set statistics extracted from a cache event trace."""
+
+    cache: str
+    set_index: int
+    misses: int
+    contexts: Tuple[int, ...]
+    alternation: float
+
+    @property
+    def suspicious(self) -> bool:
+        """Two-party, high-alternation miss train with enough events."""
+        return (self.misses >= MIN_EVENTS
+                and len(self.contexts) >= 2
+                and self.alternation >= ALTERNATION_THRESHOLD)
+
+
+@dataclass
+class DetectorReport:
+    """Outcome of one analysis pass."""
+
+    scores: List[SetScore] = field(default_factory=list)
+
+    @property
+    def flagged_sets(self) -> List[SetScore]:
+        """Sets whose miss trains look like covert communication."""
+        return [s for s in self.scores if s.suspicious]
+
+    @property
+    def channel_detected(self) -> bool:
+        """True when any set is flagged."""
+        return bool(self.flagged_sets)
+
+
+class ContentionDetector:
+    """Collects cache event traces and scores context alternation."""
+
+    def __init__(self, caches: Dict[str, object]) -> None:
+        self._caches = caches
+        for cache in caches.values():
+            cache.trace = []
+
+    @classmethod
+    def attach(cls, device: Device) -> "ContentionDetector":
+        """Enable tracing on every constant cache of a device."""
+        caches = {f"sm{sm.sm_id}.L1": sm.l1 for sm in device.sms}
+        caches["L2"] = device.const_l2
+        return cls(caches)
+
+    def detach(self) -> None:
+        """Stop tracing (drops the collected events)."""
+        for cache in self._caches.values():
+            cache.trace = None
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> DetectorReport:
+        """Score every traced set."""
+        report = DetectorReport()
+        for name, cache in self._caches.items():
+            trace = cache.trace or []
+            per_set: Dict[int, List[int]] = {}
+            for _time, set_index, context, hit in trace:
+                if not hit:
+                    per_set.setdefault(set_index, []).append(context)
+            for set_index, ctxs in per_set.items():
+                report.scores.append(SetScore(
+                    cache=name,
+                    set_index=set_index,
+                    misses=len(ctxs),
+                    contexts=tuple(sorted(set(ctxs))),
+                    alternation=_alternation(ctxs),
+                ))
+        return report
+
+
+def _alternation(contexts: List[int]) -> float:
+    """Fraction of consecutive miss pairs from different contexts."""
+    if len(contexts) < 2:
+        return 0.0
+    switches = sum(1 for a, b in zip(contexts, contexts[1:]) if a != b)
+    return switches / (len(contexts) - 1)

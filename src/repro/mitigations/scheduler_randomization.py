@@ -1,0 +1,25 @@
+"""Randomized resource assignment (Section 9, "add entropy ... to the
+assignment of the resources").
+
+Switching the warp→scheduler assignment from round-robin to random
+breaks the attacker's ability to pair trojan and spy warps scheduler-
+for-scheduler: the per-scheduler parallel SFU channel (Table 3) decodes
+garbage, and even the single-bit SFU channel loses margin because the
+spy's measuring warps no longer share schedulers with a predictable
+number of trojan warps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.specs import GPUSpec
+from repro.sim.gpu import Device
+
+
+def randomized_device(spec: GPUSpec, *, seed: int = 0,
+                      policy: str = "leftover",
+                      max_events: Optional[int] = 50_000_000) -> Device:
+    """A device whose warp→scheduler assignment is randomized."""
+    return Device(spec, seed=seed, policy=policy,
+                  scheduler_assignment="random", max_events=max_events)

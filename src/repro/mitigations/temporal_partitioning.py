@@ -1,0 +1,59 @@
+"""Temporal partitioning (Section 9, "ensuring instructions from
+different kernels do not execute in the same time period").
+
+A block scheduler that refuses to co-schedule kernels from different
+contexts anywhere on the device: a context's blocks are placed only
+when the GPU is empty or running that same context.  Covert contention
+becomes impossible (the communicating kernels never overlap), at an
+obvious utilization cost — which is why the paper calls partitioning
+performance-expensive.
+"""
+
+from __future__ import annotations
+
+from repro.sim.block_scheduler import LeftoverBlockScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.policies import POLICIES
+
+
+class TemporalPartitionScheduler(LeftoverBlockScheduler):
+    """One context at a time, device-wide, with cache flush on switch.
+
+    The flush matters: caches are persistent state, so without it a
+    trojan could still deposit a bit pattern for a spy that runs *after*
+    it (a residue channel).  Any serious temporal-partitioning defence
+    must scrub shared state at the partition boundary.
+    """
+
+    name = "temporal"
+
+    def __init__(self, device) -> None:
+        super().__init__(device)
+        self._active_context = None
+
+    def _eligible(self, sm, kernel: Kernel) -> bool:
+        for other in self.device.sms:
+            for block in other.resident_blocks:
+                if block.kernel.context != kernel.context:
+                    return False
+        return True
+
+    def dispatch(self) -> None:
+        if self.pending:
+            kernel, _ = self.pending[0]
+            device_empty = not any(sm.resident_blocks
+                                   for sm in self.device.sms)
+            if device_empty and kernel.context != self._active_context:
+                self.device.flush_caches()
+                self._active_context = kernel.context
+        super().dispatch()
+
+
+def register_temporal_policy() -> None:
+    """Make ``policy="temporal"`` available to :class:`Device`."""
+    POLICIES.setdefault("temporal", TemporalPartitionScheduler)
+
+
+# Registering at import keeps Device(policy="temporal") working for
+# anyone importing the mitigation package.
+register_temporal_policy()

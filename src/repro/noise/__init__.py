@@ -1,0 +1,32 @@
+"""Noise handling: error-correcting codes and channel-quality metrics.
+
+Section 8 lists error correction as the fallback when exclusive
+co-location is impossible; :mod:`repro.noise.ecc` provides repetition
+and Hamming(7,4) codes plus interleaving, and :mod:`repro.noise.metrics`
+the bit-error statistics used across the benchmark harness.
+"""
+
+from repro.noise.ecc import (
+    crc8,
+    crc8_check,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+    deinterleave,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.noise.metrics import BitErrorStats, compare_bits
+
+__all__ = [
+    "BitErrorStats",
+    "compare_bits",
+    "crc8",
+    "crc8_check",
+    "deinterleave",
+    "hamming74_decode",
+    "hamming74_encode",
+    "interleave",
+    "repetition_decode",
+    "repetition_encode",
+]

@@ -1,0 +1,132 @@
+"""Error-correcting codes for noisy covert channels (Section 8).
+
+The paper's primary noise strategy is prevention (exclusive
+co-location); when that is impossible it suggests "transmit error
+correcting codes with the data (sacrificing some of the bandwidth)".
+These are the standard constructions an attacker would reach for:
+
+* repetition-N with majority decode,
+* Hamming(7,4) single-error correction,
+* block interleaving to spread burst errors across codewords.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+Bits = Sequence[int]
+
+#: Generator matrix rows for Hamming(7,4): codeword layout
+#: [p1, p2, d1, p3, d2, d3, d4] with even parity.
+_PARITY_COVERAGE = {
+    0: (2, 4, 6),   # p1 covers d1, d2, d4
+    1: (2, 5, 6),   # p2 covers d1, d3, d4
+    3: (4, 5, 6),   # p3 covers d2, d3, d4
+}
+
+
+def repetition_encode(bits: Bits, n: int = 3) -> List[int]:
+    """Repeat every bit ``n`` times (``n`` odd for a unique majority)."""
+    if n < 1 or n % 2 == 0:
+        raise ValueError("repetition factor must be a positive odd number")
+    out: List[int] = []
+    for b in bits:
+        out.extend([int(b)] * n)
+    return out
+
+
+def repetition_decode(coded: Bits, n: int = 3) -> List[int]:
+    """Majority-decode a repetition-coded stream."""
+    if n < 1 or n % 2 == 0:
+        raise ValueError("repetition factor must be a positive odd number")
+    if len(coded) % n != 0:
+        raise ValueError("coded length is not a multiple of the factor")
+    out: List[int] = []
+    for i in range(0, len(coded), n):
+        ones = sum(int(b) for b in coded[i:i + n])
+        out.append(1 if ones * 2 > n else 0)
+    return out
+
+
+def hamming74_encode(bits: Bits) -> List[int]:
+    """Encode data bits (padded to a multiple of 4) as Hamming(7,4)."""
+    data = [int(b) for b in bits]
+    while len(data) % 4:
+        data.append(0)
+    out: List[int] = []
+    for i in range(0, len(data), 4):
+        d = data[i:i + 4]
+        word = [0, 0, d[0], 0, d[1], d[2], d[3]]
+        for p, covered in _PARITY_COVERAGE.items():
+            word[p] = sum(word[c] for c in covered) % 2
+        out.extend(word)
+    return out
+
+
+def hamming74_decode(coded: Bits) -> List[int]:
+    """Decode Hamming(7,4), correcting one bit error per codeword."""
+    if len(coded) % 7 != 0:
+        raise ValueError("coded length must be a multiple of 7")
+    out: List[int] = []
+    for i in range(0, len(coded), 7):
+        word = [int(b) for b in coded[i:i + 7]]
+        syndrome = 0
+        for bit_pos, (p, covered) in zip((1, 2, 4),
+                                         _PARITY_COVERAGE.items()):
+            parity = (word[p] + sum(word[c] for c in covered)) % 2
+            if parity:
+                syndrome += bit_pos
+        if syndrome:
+            word[syndrome - 1] ^= 1
+        out.extend([word[2], word[4], word[5], word[6]])
+    return out
+
+
+#: CRC-8/ATM polynomial (x^8 + x^2 + x + 1).
+_CRC8_POLY = 0x07
+
+
+def crc8(bits: Bits) -> List[int]:
+    """8-bit CRC over a bit stream (MSB-first), as a list of 8 bits."""
+    reg = 0
+    for b in bits:
+        reg ^= (int(b) & 1) << 7
+        msb = reg & 0x80
+        reg = (reg << 1) & 0xFF
+        if msb:
+            reg ^= _CRC8_POLY
+    return [(reg >> (7 - i)) & 1 for i in range(8)]
+
+
+def crc8_check(bits: Bits, checksum: Bits) -> bool:
+    """Verify a CRC-8 checksum produced by :func:`crc8`."""
+    return crc8(bits) == [int(b) for b in checksum]
+
+
+def interleave(bits: Bits, depth: int) -> List[int]:
+    """Block-interleave so a burst of ``depth`` errors spreads out."""
+    if depth < 1:
+        raise ValueError("interleave depth must be >= 1")
+    bits = [int(b) for b in bits]
+    while len(bits) % depth:
+        bits.append(0)
+    rows = len(bits) // depth
+    return [bits[r * depth + c]
+            for c in range(depth) for r in range(rows)]
+
+
+def deinterleave(bits: Bits, depth: int) -> List[int]:
+    """Inverse of :func:`interleave` (same depth, padded length)."""
+    if depth < 1:
+        raise ValueError("interleave depth must be >= 1")
+    bits = [int(b) for b in bits]
+    if len(bits) % depth:
+        raise ValueError("length must be a multiple of the depth")
+    rows = len(bits) // depth
+    out = [0] * len(bits)
+    i = 0
+    for c in range(depth):
+        for r in range(rows):
+            out[r * depth + c] = bits[i]
+            i += 1
+    return out

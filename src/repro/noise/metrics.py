@@ -1,0 +1,54 @@
+"""Bit-error statistics for channel evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+Bits = Sequence[int]
+
+
+@dataclass(frozen=True)
+class BitErrorStats:
+    """Error breakdown of one transmission."""
+
+    n_bits: int
+    errors: int
+    zero_to_one: int
+    one_to_zero: int
+    longest_burst: int
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate."""
+        return self.errors / self.n_bits if self.n_bits else 0.0
+
+    @property
+    def error_free(self) -> bool:
+        """True when no bit flipped."""
+        return self.errors == 0
+
+
+def compare_bits(sent: Bits, received: Bits) -> BitErrorStats:
+    """Compare two bit streams position by position."""
+    if len(sent) != len(received):
+        raise ValueError(
+            f"length mismatch: sent {len(sent)} vs received {len(received)}"
+        )
+    errors = zto = otz = 0
+    burst = longest = 0
+    for s, r in zip(sent, received):
+        s, r = int(s), int(r)
+        if s != r:
+            errors += 1
+            burst += 1
+            longest = max(longest, burst)
+            if s == 0:
+                zto += 1
+            else:
+                otz += 1
+        else:
+            burst = 0
+    return BitErrorStats(n_bits=len(sent), errors=errors,
+                         zero_to_one=zto, one_to_zero=otz,
+                         longest_burst=longest)

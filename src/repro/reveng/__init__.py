@@ -1,0 +1,46 @@
+"""Reverse-engineering toolkit (Sections 3, 4.1 and 5.1).
+
+The attack's first phase characterizes the target device using only
+observable behaviour — ``%smid``, ``clock()`` and crafted access
+patterns:
+
+* :mod:`repro.reveng.cache_params` — Wong et al. stride microbenchmarks
+  recovering constant cache size / line / associativity (Figures 2–3).
+* :mod:`repro.reveng.fu_latency` — functional-unit latency vs. warp
+  count sweeps (Figures 6–7) and contention-threshold extraction.
+* :mod:`repro.reveng.block_placement` — infers the block scheduler's
+  round-robin + leftover placement from smid/clock records.
+* :mod:`repro.reveng.warp_assignment` — infers the number of warp
+  schedulers and the round-robin warp assignment from which warps slow
+  down as warps are added.
+"""
+
+from repro.reveng.cache_params import (
+    CacheParams,
+    characterize_cache,
+    infer_cache_parameters,
+)
+from repro.reveng.fu_latency import (
+    contention_onset,
+    latency_curve,
+    plateau_latency,
+)
+from repro.reveng.block_placement import (
+    PlacementReport,
+    infer_block_policy,
+    observe_placement,
+)
+from repro.reveng.warp_assignment import infer_warp_schedulers
+
+__all__ = [
+    "CacheParams",
+    "PlacementReport",
+    "characterize_cache",
+    "contention_onset",
+    "infer_block_policy",
+    "infer_cache_parameters",
+    "infer_warp_schedulers",
+    "latency_curve",
+    "observe_placement",
+    "plateau_latency",
+]

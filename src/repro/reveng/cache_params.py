@@ -1,0 +1,152 @@
+"""Offline constant-cache characterization (Section 4.1, Figures 2–3).
+
+Implements the Wong et al. microbenchmark: load arrays of increasing
+size from constant memory with a fixed stride, timing a second pass
+after warming.  While the array fits, latency is flat; once it spills,
+misses appear set by set — the number of steps equals the number of
+sets, the step width equals the line size, and associativity follows
+from ``size / (line * sets)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.arch.specs import GPUSpec
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: A measured (array_size_bytes, mean_latency_cycles) point.
+LatencyPoint = Tuple[int, float]
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Cache geometry recovered from a latency sweep."""
+
+    size_bytes: int
+    line_bytes: int
+    n_sets: int
+
+    @property
+    def ways(self) -> int:
+        """Associativity implied by size, line and set count."""
+        return self.size_bytes // (self.line_bytes * self.n_sets)
+
+
+def _sweep_kernel(base: int, size: int, stride: int, repeats: int):
+    def body(ctx):
+        addrs = list(range(base, base + size, stride))
+        for a in addrs:                      # warm pass (untimed)
+            yield isa.ConstLoad(a)
+        total = 0.0
+        count = 0
+        for _ in range(repeats):
+            for a in addrs:
+                t0 = yield isa.ReadClock()
+                yield isa.ConstLoad(a)
+                t1 = yield isa.ReadClock()
+                total += t1 - t0
+                count += 1
+        ctx.out["latency"] = total / count
+    return body
+
+
+def measure_point(spec: GPUSpec, size: int, stride: int,
+                  repeats: int = 4, seed: int = 0) -> float:
+    """Mean per-load latency for one array size on a fresh device."""
+    device = Device(spec, seed=seed)
+    span = ((size + 4095) // 4096 + 1) * 4096
+    base = device.const_alloc(min(span, spec.const_mem_bytes),
+                              align=spec.const_l2.way_stride)
+    kernel = Kernel(_sweep_kernel(base, size, stride, repeats),
+                    KernelConfig(grid=1, block_threads=32))
+    device.launch(kernel)
+    device.synchronize()
+    return kernel.out["latency"]
+
+
+def characterize_cache(spec: GPUSpec, level: str = "l1", *,
+                       sizes: Optional[Sequence[int]] = None,
+                       stride: Optional[int] = None,
+                       repeats: int = 4,
+                       seed: int = 0) -> List[LatencyPoint]:
+    """Run the stride sweep for one cache level; returns (size, latency).
+
+    Defaults reproduce the paper's figures: stride 64 B around 2–3 KB for
+    the L1 (Figure 2), stride 256 B around 31–38 KB for the L2
+    (Figure 3).
+    """
+    if level == "l1":
+        cache = spec.const_l1
+        stride = stride or cache.line_bytes
+        if sizes is None:
+            lo = cache.size_bytes - 4 * cache.line_bytes * 1
+            hi = cache.size_bytes + (cache.n_sets + 4) * cache.line_bytes
+            sizes = range(lo, hi + 1, cache.line_bytes)
+    elif level == "l2":
+        cache = spec.const_l2
+        stride = stride or cache.line_bytes
+        if sizes is None:
+            lo = cache.size_bytes - 4 * cache.line_bytes
+            hi = cache.size_bytes + (cache.n_sets + 4) * cache.line_bytes
+            sizes = range(lo, hi + 1, cache.line_bytes)
+    else:
+        raise ValueError("level must be 'l1' or 'l2'")
+    return [(size, measure_point(spec, size, stride, repeats, seed))
+            for size in sizes]
+
+
+def infer_cache_parameters(points: Sequence[LatencyPoint],
+                           stride: int,
+                           plateau_tolerance: float = 0.08) -> CacheParams:
+    """Recover cache geometry from a latency sweep.
+
+    * **size** — largest array still within ``(1+tol)`` of the initial
+      plateau latency;
+    * **line size** — the sweep stride at which each new step appears
+      (the step width; equals the stride when the sweep uses the line
+      size, as the paper's does);
+    * **set count** — number of upward steps between the plateau and the
+      saturated region.
+    """
+    if len(points) < 3:
+        raise ValueError("need at least 3 sweep points")
+    sizes = [p[0] for p in points]
+    lats = [p[1] for p in points]
+    plateau = lats[0]
+    cutoff = plateau * (1.0 + plateau_tolerance)
+
+    size_idx = 0
+    for i, lat in enumerate(lats):
+        if lat <= cutoff:
+            size_idx = i
+        else:
+            break
+    cache_size = sizes[size_idx]
+
+    # Saturated latency = final value; count distinct rising levels
+    # between plateau and saturation.
+    saturated = lats[-1]
+    rising = [lat for lat in lats[size_idx + 1:]
+              if cutoff < lat < saturated * 0.98]
+    # Each spilled set adds one step of roughly equal height.
+    if rising:
+        step_height = (saturated - plateau) / (len(rising) + 1)
+        n_sets = round((saturated - plateau) / step_height) if step_height else 1
+        n_sets = len(rising) + 1
+    else:
+        n_sets = 1
+    line_bytes = stride
+    # Snap the set count to the nearest power of two (hardware caches
+    # index with address bits).
+    n_sets = 1 << max(0, round(_log2(n_sets)))
+    return CacheParams(size_bytes=cache_size, line_bytes=line_bytes,
+                       n_sets=n_sets)
+
+
+def _log2(x: float) -> float:
+    import math
+    return math.log2(max(1.0, float(x)))

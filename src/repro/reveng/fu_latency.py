@@ -1,0 +1,99 @@
+"""Functional-unit latency characterization (Section 5.1, Figures 6–7).
+
+One kernel runs a dependent chain of the target operation on an
+increasing number of warps, and warp 0's mean per-op latency (averaged
+over 128 iterations, as in the paper) is recorded.  The resulting curve
+is flat at the pipeline latency until the warps sharing warp 0's
+scheduler saturate its dispatch bandwidth, then climbs in steps — the
+step spacing in total warps equals the scheduler count, because the
+round-robin assignment adds one warp per scheduler per group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.specs import GPUSpec
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: A measured (n_warps, warp0_latency) point.
+CurvePoint = Tuple[int, float]
+
+
+def _latency_kernel(op: str, iterations: int):
+    def body(ctx):
+        t0 = yield isa.ReadClock()
+        for _ in range(iterations):
+            yield isa.FuOp(op)
+        t1 = yield isa.ReadClock()
+        if ctx.warp_in_block == 0 and ctx.block_idx == 0:
+            ctx.out["latency"] = (t1 - t0) / iterations
+    return body
+
+
+def measure_latency(spec: GPUSpec, op: str, n_warps: int, *,
+                    iterations: int = 128, seed: int = 0) -> float:
+    """Warp-0 per-op latency with ``n_warps`` resident warps."""
+    if n_warps < 1:
+        raise ValueError("need at least one warp")
+    device = Device(spec, seed=seed)
+    kernel = Kernel(_latency_kernel(op, iterations),
+                    KernelConfig(grid=1, block_threads=32 * n_warps))
+    device.launch(kernel)
+    device.synchronize()
+    return kernel.out["latency"]
+
+
+def latency_curve(spec: GPUSpec, op: str,
+                  warp_counts: Optional[Sequence[int]] = None, *,
+                  iterations: int = 128,
+                  seed: int = 0) -> List[CurvePoint]:
+    """The Figure 6/7 curve for one op on one device."""
+    if warp_counts is None:
+        warp_counts = range(1, 33)
+    return [(w, measure_latency(spec, op, w, iterations=iterations,
+                                seed=seed))
+            for w in warp_counts]
+
+
+def plateau_latency(curve: Sequence[CurvePoint]) -> float:
+    """The no-contention latency (value of the initial flat region)."""
+    if not curve:
+        raise ValueError("empty curve")
+    return curve[0][1]
+
+
+def contention_onset(curve: Sequence[CurvePoint],
+                     tolerance: float = 0.10) -> Optional[int]:
+    """First warp count whose latency exceeds the plateau by >tolerance.
+
+    Returns None if the curve never leaves the plateau (e.g. Kepler
+    single-precision Add, which has too many SP units to saturate).
+    """
+    plateau = plateau_latency(curve)
+    for n_warps, latency in curve:
+        if latency > plateau * (1.0 + tolerance):
+            return n_warps
+    return None
+
+
+def scheduler_count_from_steps(curve: Sequence[CurvePoint],
+                               tolerance: float = 0.02) -> Optional[int]:
+    """Infer the warp-scheduler count from the step spacing.
+
+    In the rising region, latency increases once every N added warps
+    (one lands on the measured warp's scheduler per group of N under
+    round-robin); the modal gap between increases is N.
+    """
+    increases: List[int] = []
+    prev_lat = None
+    for n_warps, latency in curve:
+        if prev_lat is not None and latency > prev_lat * (1 + tolerance):
+            increases.append(n_warps)
+        prev_lat = latency
+    if len(increases) < 2:
+        return None
+    gaps = [b - a for a, b in zip(increases, increases[1:])]
+    return max(set(gaps), key=gaps.count)

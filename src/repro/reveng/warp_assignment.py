@@ -1,0 +1,80 @@
+"""Warp→scheduler assignment reverse engineering (Sections 3.1, 7.2).
+
+The paper infers the round-robin warp assignment by adding warps one at
+a time and observing *which* warps slow down: with N schedulers and
+round-robin assignment, adding warp ``k`` slows exactly the warps
+``w ≡ k (mod N)``.  We reproduce that methodology: measure per-warp
+latency at ``W`` and ``W+1`` warps, take the set of slowed warps, and
+recover N as the common stride.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.specs import GPUSpec
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def _per_warp_latency_kernel(op: str, iterations: int):
+    def body(ctx):
+        t0 = yield isa.ReadClock()
+        for _ in range(iterations):
+            yield isa.FuOp(op)
+        t1 = yield isa.ReadClock()
+        ctx.out.setdefault("latency", {})[ctx.warp_in_block] = (
+            (t1 - t0) / iterations
+        )
+    return body
+
+
+def per_warp_latencies(spec: GPUSpec, op: str, n_warps: int, *,
+                       iterations: int = 96,
+                       seed: int = 0) -> Dict[int, float]:
+    """Per-warp mean op latency with ``n_warps`` resident warps."""
+    device = Device(spec, seed=seed)
+    kernel = Kernel(_per_warp_latency_kernel(op, iterations),
+                    KernelConfig(grid=1, block_threads=32 * n_warps))
+    device.launch(kernel)
+    device.synchronize()
+    return kernel.out["latency"]
+
+
+def slowed_warps(spec: GPUSpec, op: str, n_warps: int, *,
+                 tolerance: float = 0.05,
+                 seed: int = 0) -> List[int]:
+    """Warps whose latency rises when warp ``n_warps`` is added."""
+    before = per_warp_latencies(spec, op, n_warps, seed=seed)
+    after = per_warp_latencies(spec, op, n_warps + 1, seed=seed)
+    return sorted(
+        w for w in before
+        if after[w] > before[w] * (1.0 + tolerance)
+    )
+
+
+def infer_warp_schedulers(spec: GPUSpec, *, op: str = "sinf",
+                          max_warps: Optional[int] = None,
+                          seed: int = 0) -> Optional[int]:
+    """Infer the number of warp schedulers purely from contention.
+
+    Scans warp counts in the contended region; the slowed-warp sets are
+    arithmetic progressions whose stride is the scheduler count.
+    """
+    if max_warps is None:
+        max_warps = 4 * spec.warp_schedulers + 4  # attacker over-scans
+    strides: List[int] = []
+    for n_warps in range(2, max_warps):
+        slowed = slowed_warps(spec, op, n_warps, seed=seed)
+        if len(slowed) >= 2:
+            gaps = {b - a for a, b in zip(slowed, slowed[1:])}
+            if len(gaps) == 1:
+                strides.append(gaps.pop())
+        elif len(slowed) == 1 and n_warps > slowed[0]:
+            # A single slowed warp w when adding warp n means both map
+            # to the same scheduler: stride divides (n - w).
+            strides.append(n_warps - slowed[0])
+    if not strides:
+        return None
+    return max(set(strides), key=strides.count)

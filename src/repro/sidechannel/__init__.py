@@ -1,0 +1,29 @@
+"""Side-channel proof of concept (the paper's stated future work).
+
+Section 1 notes that "the presence of a covert channel can also
+forecast the possibility of a side-channel attack", and the conclusion
+lists GPU side channels as future work.  This package demonstrates the
+forecast on the simulator: a *victim* kernel performs secret-dependent
+table lookups in constant memory (the access pattern of a T-table
+cipher), and an *attacker* recovers key bits with the same prime/probe
+primitive the covert channel uses — no colluding trojan required.
+
+Like real cache attacks, recovery granularity is bounded by the cache
+geometry: probing distinguishes *sets*, so the attacker learns the
+set-selecting bits of each key byte (3 bits on an 8-set L1, 4 on
+Fermi's 16-set L1); the rest must be brute-forced.
+"""
+
+from repro.sidechannel.victim import TableLookupVictim
+from repro.sidechannel.attacker import (
+    AttackResult,
+    PrimeProbeAttacker,
+    recoverable_bits,
+)
+
+__all__ = [
+    "AttackResult",
+    "PrimeProbeAttacker",
+    "TableLookupVictim",
+    "recoverable_bits",
+]

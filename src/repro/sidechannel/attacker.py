@@ -1,0 +1,148 @@
+"""Prime/probe key-recovery attacker.
+
+Per trial (one chosen plaintext ``x``):
+
+1. **Prime** — the attacker fills every L1 set with its own lines.
+2. The **victim** encrypts ``x`` (one secret-dependent table lookup,
+   repeated for reliability).
+3. **Probe** — the attacker re-times its lines per set; the set the
+   victim touched shows misses.
+
+Cache state persists across kernel launches on an SM, so the three
+steps are separate kernels sequenced from the host — the same
+leftover-policy property the covert channels rely on.
+
+For key guess ``g``, the predicted set for plaintext ``x`` is the set
+of ``table[x ^ g]``; the guess (class) that matches the observed miss
+sets across trials is the key's set-selecting bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.channels.primitives import (
+    miss_fraction_threshold,
+    prime_set,
+    probe_set,
+    set_addresses,
+)
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sidechannel.victim import ENTRY_BYTES, TableLookupVictim
+
+#: Context id of the attacking application.
+ATTACKER_CONTEXT = 8
+
+
+def recoverable_bits(device: Device) -> int:
+    """Key bits recoverable at set granularity on this device's L1.
+
+    The lookup index selects a table *line* (``index // entries_per_
+    line``); probing resolves lines only up to their set, i.e.
+    ``log2(n_sets)`` bits of the line index.
+    """
+    return (device.spec.const_l1.n_sets - 1).bit_length()
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a key-recovery attack."""
+
+    best_guess_bits: int
+    mask: int
+    scores: Dict[int, int] = field(default_factory=dict)
+    trials: int = 0
+
+    def candidates(self) -> List[int]:
+        """Guess classes ordered by descending score."""
+        return sorted(self.scores, key=self.scores.get, reverse=True)
+
+
+class PrimeProbeAttacker:
+    """Recovers the victim key's set-selecting bits via prime/probe."""
+
+    def __init__(self, device: Device, victim: TableLookupVictim, *,
+                 decode_sm: int = 0) -> None:
+        self.device = device
+        self.victim = victim
+        self.decode_sm = decode_sm
+        spec = device.spec
+        self.cache = spec.const_l1
+        self.threshold = miss_fraction_threshold(
+            self.cache, spec.const_l2.hit_latency)
+        self._own_base = device.const_alloc(
+            self.cache.size_bytes, align=self.cache.way_stride,
+            label="attacker")
+        self._entries_per_line = self.cache.line_bytes // ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Kernel bodies
+    # ------------------------------------------------------------------
+    def _prime_kernel(self) -> Kernel:
+        def body(ctx):
+            for s in range(self.cache.n_sets):
+                yield from prime_set(
+                    set_addresses(self._own_base, self.cache, s))
+        return Kernel(body, KernelConfig(grid=self.device.spec.n_sms,
+                                         block_threads=32),
+                      name="attacker.prime", context=ATTACKER_CONTEXT)
+
+    def _probe_kernel(self) -> Kernel:
+        def body(ctx):
+            lats = {}
+            for s in range(self.cache.n_sets):
+                latency = yield from probe_set(
+                    set_addresses(self._own_base, self.cache, s))
+                lats[s] = latency
+            ctx.out.setdefault("lat", {})[ctx.smid] = lats
+        return Kernel(body, KernelConfig(grid=self.device.spec.n_sms,
+                                         block_threads=32),
+                      name="attacker.probe", context=ATTACKER_CONTEXT)
+
+    # ------------------------------------------------------------------
+    def predicted_set(self, plaintext: int, guess: int) -> int:
+        """Set the victim's lookup touches if the key were ``guess``."""
+        addr = self.victim.lookup_addr(plaintext ^ guess)
+        return self.cache.set_index(addr)
+
+    def observe(self, plaintext: int) -> Dict[int, float]:
+        """One prime → encrypt → probe trial; per-set probe latencies."""
+        device = self.device
+        device.launch(self._prime_kernel())
+        device.synchronize()
+        device.launch(self.victim.encrypt_kernel(plaintext))
+        device.synchronize()
+        probe = self._probe_kernel()
+        device.launch(probe)
+        device.synchronize()
+        return probe.out["lat"][self.decode_sm]
+
+    # ------------------------------------------------------------------
+    def attack(self, plaintexts: Optional[List[int]] = None) -> AttackResult:
+        """Run trials and score key-guess classes.
+
+        Guesses are equivalence classes over the recoverable bits: keys
+        whose lookup lines always share a set are indistinguishable, so
+        one representative per class is scored.
+        """
+        if plaintexts is None:
+            plaintexts = list(range(0, 256, 7))
+        n_sets = self.cache.n_sets
+        # Representatives: guess = class_index * entries_per_line keeps
+        # one guess per distinct line-to-set mapping.
+        reps = [c * self._entries_per_line for c in range(n_sets)]
+        scores = {g: 0 for g in reps}
+        for x in plaintexts:
+            lats = self.observe(x)
+            hot = max(lats, key=lats.get)
+            if lats[hot] <= self.threshold:
+                continue          # victim signal too weak this trial
+            for g in reps:
+                if self.predicted_set(x, g) == hot:
+                    scores[g] += 1
+        best = max(scores, key=scores.get)
+        mask = (n_sets - 1) * self._entries_per_line
+        return AttackResult(best_guess_bits=best, mask=mask,
+                            scores=scores, trials=len(plaintexts))

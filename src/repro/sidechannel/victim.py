@@ -1,0 +1,69 @@
+"""Victim application with a secret-dependent memory access pattern.
+
+Models the structure of a table-based cipher kernel (the AES T-table
+implementations attacked by Jiang et al. and Luo et al., which the
+paper cites): for each input byte ``x`` the kernel looks up
+``table[x ^ key]`` in constant memory.  The table spans multiple cache
+lines, so which L1 *set* the lookup touches depends on ``x ^ key`` —
+the leakage a prime/probe attacker harvests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: Table entry size in bytes; 8 B entries over a 2 KB table give 256
+#: entries across 32 lines (8 entries per 64 B line).
+ENTRY_BYTES = 8
+
+#: Context id of the victim application.
+VICTIM_CONTEXT = 7
+
+
+class TableLookupVictim:
+    """A key-holding application that encrypts attacker-visible inputs."""
+
+    def __init__(self, device: Device, key: int, *,
+                 lookups_per_input: int = 12,
+                 grid: Optional[int] = None) -> None:
+        if not 0 <= key <= 255:
+            raise ValueError("key must be one byte")
+        self.device = device
+        self._key = key          # private: the attacker must not read it
+        self.lookups_per_input = lookups_per_input
+        self.grid = grid if grid is not None else device.spec.n_sms
+        cache = device.spec.const_l1
+        self.table_base = device.const_alloc(
+            256 * ENTRY_BYTES, align=cache.way_stride, label="t-table"
+        )
+        self._line_bytes = cache.line_bytes
+
+    # ------------------------------------------------------------------
+    def lookup_addr(self, index: int) -> int:
+        """Constant-memory address of table entry ``index``."""
+        return self.table_base + (index % 256) * ENTRY_BYTES
+
+    def encrypt_kernel(self, input_byte: int) -> Kernel:
+        """One 'encryption' of a known input byte (chosen plaintext)."""
+        if not 0 <= input_byte <= 255:
+            raise ValueError("input must be one byte")
+        key = self._key
+        n = self.lookups_per_input
+
+        def body(ctx):
+            index = input_byte ^ key
+            addr = self.lookup_addr(index)
+            for _ in range(n):
+                yield isa.ConstLoad(addr)
+                yield isa.FuOp("fadd")        # mixing arithmetic
+        return Kernel(body, KernelConfig(grid=self.grid,
+                                         block_threads=32),
+                      name="victim.encrypt", context=VICTIM_CONTEXT)
+
+    def check_guess(self, guess_bits: int, mask: int) -> bool:
+        """Oracle used only by tests/examples to verify recovery."""
+        return (self._key & mask) == (guess_bits & mask)

@@ -1,0 +1,35 @@
+"""Discrete-event GPGPU simulator.
+
+This package is the substrate the reproduction runs on: a discrete-event
+model of an NVIDIA GPGPU detailed enough that every contention phenomenon
+the paper exploits *emerges* from simulated execution:
+
+* set-associative constant caches with LRU state (L1 per SM, shared L2),
+* warp schedulers with bounded issue/dispatch bandwidth and statically
+  partitioned functional-unit pools (the Section 5 isolation finding),
+* global-memory atomic units with a coalescing model (Section 6),
+* a round-robin "leftover" block scheduler with full occupancy
+  accounting (Section 3), plus the alternative multiprogramming policies
+  the paper discusses,
+* CUDA-style streams with kernel launch overhead and jitter, and
+* a ``clock()`` register with small-segment jitter (Section 4.2).
+
+Kernels are Python generator functions executed at warp granularity; see
+:mod:`repro.sim.kernel` for the programming model.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig, WarpContext
+from repro.sim.stream import Stream
+from repro.sim import isa
+
+__all__ = [
+    "Device",
+    "Engine",
+    "Kernel",
+    "KernelConfig",
+    "Stream",
+    "WarpContext",
+    "isa",
+]

@@ -1,0 +1,106 @@
+"""Hardware thread-block scheduler — the "leftover" policy.
+
+Section 3.1 of the paper reverse engineers NVIDIA's (unpublished) block
+placement: blocks of the first kernel are assigned to SMs mostly
+round-robin; blocks of a later kernel fill whatever capacity is *left
+over*, again round-robin; otherwise they queue FIFO until an SM frees
+resources.  The policy is deterministic and non-preemptive, which is
+exactly what the attack exploits both to force co-residency (launch
+``n_sms`` blocks per kernel) and to force *exclusive* co-residency
+(saturate a resource so third-party blocks cannot be placed, Section 8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel
+
+
+class LeftoverBlockScheduler:
+    """FIFO block queue + round-robin SM scan (current-GPU behaviour)."""
+
+    name = "leftover"
+
+    #: FIFO semantics: a block that fits nowhere stalls the queue.
+    #: Preemptive policies (SMK) override this — an evicted resident
+    #: block waiting for space must not stall newly-arrived kernels.
+    head_of_line_blocking = True
+
+    def __init__(self, device: Any) -> None:
+        self.device = device
+        self.pending: Deque[Tuple[Kernel, int]] = deque()
+        self._rr = 0
+        self._dispatching = False
+
+    # ------------------------------------------------------------------
+    def submit(self, kernel: Kernel) -> None:
+        """Enqueue all blocks of a kernel (in block order) and dispatch."""
+        kernel.submit_cycle = self.device.engine.now
+        for b in range(kernel.config.grid):
+            self.pending.append((kernel, b))
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        """Place as many queued blocks as currently fit.
+
+        Head-of-line blocking is deliberate: a block that fits nowhere
+        stalls every block behind it, faithfully modelling the FIFO,
+        non-preemptive hardware queue the paper relies on.
+        """
+        if self._dispatching:       # retirement during placement recurses
+            return
+        self._dispatching = True
+        try:
+            if self.head_of_line_blocking:
+                while self.pending:
+                    kernel, block_idx = self.pending[0]
+                    sm = self._find_sm(kernel)
+                    if sm is None:
+                        break
+                    self.pending.popleft()
+                    sm.place_block(kernel, block_idx)
+            else:
+                progress = True
+                while progress:
+                    progress = False
+                    for entry in list(self.pending):
+                        kernel, block_idx = entry
+                        sm = self._find_sm(kernel)
+                        if sm is not None:
+                            self.pending.remove(entry)
+                            sm.place_block(kernel, block_idx)
+                            progress = True
+        finally:
+            self._dispatching = False
+
+    # ------------------------------------------------------------------
+    def _find_sm(self, kernel: Kernel):
+        """Round-robin scan for the first SM with leftover capacity."""
+        sms = self.device.sms
+        n = len(sms)
+        for i in range(n):
+            sm = sms[(self._rr + i) % n]
+            if self._eligible(sm, kernel) and sm.can_accept(kernel):
+                self._rr = (sm.sm_id + 1) % n
+                return sm
+        return None
+
+    def _eligible(self, sm, kernel: Kernel) -> bool:
+        """Policy hook: may this kernel use this SM at all?"""
+        return True
+
+    # ------------------------------------------------------------------
+    def pending_kernels(self) -> List[Kernel]:
+        """Kernels with at least one block still queued."""
+        seen: List[Kernel] = []
+        for kernel, _ in self.pending:
+            if kernel not in seen:
+                seen.append(kernel)
+        return seen
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any block is waiting for placement."""
+        return bool(self.pending)

@@ -1,0 +1,105 @@
+"""Set-associative cache model with LRU replacement.
+
+Both levels of the constant-memory hierarchy (per-SM L1, device-shared
+L2) are instances of :class:`ConstCache`.  The model is *stateful*: the
+prime/probe channels of Section 4 work because the trojan's lines really
+evict the spy's lines from the modelled sets.
+
+An optional ``partition_fn`` hook supports the Section 9 set-partitioning
+mitigation: it can remap (context, set) pairs so that different contexts
+can never touch each other's sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.arch.specs import CacheSpec
+from repro.sim.resources import PipelinedPort
+
+#: Signature of a partitioning hook: (context_id, set_index, n_sets) -> set.
+PartitionFn = Callable[[int, int, int], int]
+
+
+class ConstCache:
+    """One level of the constant cache hierarchy."""
+
+    def __init__(self, spec: CacheSpec, name: str = "cache",
+                 partition_fn: Optional[PartitionFn] = None) -> None:
+        self.spec = spec
+        self.name = name
+        self.partition_fn = partition_fn
+        # Each set is a list of tags ordered LRU-first / MRU-last.
+        self._sets: List[List[int]] = [[] for _ in range(spec.n_sets)]
+        self.port = PipelinedPort(name=f"{name}.port")
+        self.hits = 0
+        self.misses = 0
+        self.set_misses: List[int] = [0] * spec.n_sets
+        #: When set to a list, every access is appended as a
+        #: ``(time, set_index, context, hit)`` tuple (the event trace the
+        #: CC-Hunter-style detector consumes).  The SM fills in the time.
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    def set_of(self, addr: int, context: int = 0) -> int:
+        """Set index an address maps to, after optional partitioning."""
+        idx = self.spec.set_index(addr)
+        if self.partition_fn is not None:
+            idx = self.partition_fn(context, idx, self.spec.n_sets)
+            if not 0 <= idx < self.spec.n_sets:
+                raise ValueError(
+                    f"partition_fn returned out-of-range set {idx}"
+                )
+        return idx
+
+    def access(self, addr: int, context: int = 0) -> bool:
+        """Access one address; returns True on hit.  Updates LRU state."""
+        idx = self.set_of(addr, context)
+        # Tag must distinguish lines from different contexts even when a
+        # partition remaps them into the same physical set.
+        tag = (self.spec.tag(addr), context if self.partition_fn else 0)
+        lines = self._sets[idx]
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            self.hits += 1
+            return True
+        if len(lines) >= self.spec.ways:
+            lines.pop(0)
+        lines.append(tag)
+        self.misses += 1
+        self.set_misses[idx] += 1
+        return False
+
+    def contains(self, addr: int, context: int = 0) -> bool:
+        """Non-destructive lookup (no LRU update, no statistics)."""
+        idx = self.set_of(addr, context)
+        tag = (self.spec.tag(addr), context if self.partition_fn else 0)
+        return tag in self._sets[idx]
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of valid lines currently in a set."""
+        return len(self._sets[set_index])
+
+    def flush(self) -> None:
+        """Invalidate all lines (statistics are preserved)."""
+        for lines in self._sets:
+            lines.clear()
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+        self.set_misses = [0] * self.spec.n_sets
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.spec
+        return (f"ConstCache({self.name}, {s.size_bytes}B, "
+                f"{s.n_sets}x{s.ways}way, line={s.line_bytes}B)")

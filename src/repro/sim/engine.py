@@ -1,0 +1,114 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: callbacks are scheduled at absolute cycle
+times on a binary heap and executed in time order (FIFO among equal
+timestamps).  The engine knows nothing about GPUs; SMs, caches and the
+block scheduler all hang their work off it.
+
+Cycle times are floats so that sub-cycle dispatch intervals (e.g. a warp
+``fadd`` occupying a Kepler scheduler for 32/48 of a cycle) compose
+exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when work remains but no event can make progress."""
+
+
+class Engine:
+    """Event-driven simulation clock.
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> eng.schedule(10, lambda: fired.append(eng.now))
+    >>> eng.run()
+    >>> fired
+    [10.0]
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_max_events", "_event_count")
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._max_events = max_events
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: {delay}")
+        self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute cycle ``time`` (``time >= now``)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed since construction."""
+        return self._event_count
+
+    def idle(self) -> bool:
+        """True when no events are queued."""
+        return not self._heap
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        self.now = time
+        self._event_count += 1
+        if self._max_events is not None and self._event_count > self._max_events:
+            raise SimulationError(
+                f"event budget exceeded ({self._max_events}); "
+                "likely a runaway kernel or protocol livelock"
+            )
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> None:
+        """Drain the event queue.
+
+        ``until`` bounds simulated time; ``stop_when`` is checked after
+        every event and stops the loop early when it returns True (the
+        queue is left intact so the run can be resumed).
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            if stop_when is not None and stop_when():
+                return
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward with no events (host-side busy time)."""
+        if time < self.now:
+            raise ValueError("cannot move the clock backwards")
+        self.now = time

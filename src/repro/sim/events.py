@@ -1,0 +1,60 @@
+"""CUDA-style events for host-side timing.
+
+The CPU-side timing attacks the paper contrasts itself against (Jiang
+et al., Section 10) measure *whole-kernel* execution time from the host.
+``Event`` reproduces the ``cudaEventRecord`` / ``cudaEventElapsedTime``
+API: an event recorded on a stream completes when all work previously
+launched on that stream has retired.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Event:
+    """A marker in a stream's work queue with a completion timestamp."""
+
+    def __init__(self, device: Any) -> None:
+        self.device = device
+        self._cycle: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record(self, stream: Any) -> "Event":
+        """Complete this event once the stream's queued work retires."""
+        tail = stream._tail
+        if tail is None or tail.done:
+            self._cycle = self.device.engine.now
+        else:
+            tail.on_complete(lambda _k: self._capture())
+        return self
+
+    def _capture(self) -> None:
+        self._cycle = self.device.engine.now
+
+    # ------------------------------------------------------------------
+    @property
+    def recorded(self) -> bool:
+        """Whether the event has completed."""
+        return self._cycle is not None
+
+    @property
+    def cycle(self) -> float:
+        """Completion time in device cycles."""
+        if self._cycle is None:
+            raise RuntimeError("event has not completed yet; "
+                               "synchronize the device first")
+        return self._cycle
+
+    def synchronize(self) -> None:
+        """Block the host until the event completes."""
+        self.device.engine.run(stop_when=lambda: self.recorded)
+        if not self.recorded:
+            from repro.sim.engine import DeadlockError
+            raise DeadlockError("event can never complete")
+
+
+def elapsed_ms(start: Event, end: Event) -> float:
+    """Milliseconds between two completed events (cudaEventElapsedTime)."""
+    cycles = end.cycle - start.cycle
+    return 1e3 * cycles / start.device.spec.clock_hz

@@ -1,0 +1,114 @@
+"""Per-scheduler functional-unit banks.
+
+The central Section 5 discovery of the paper is that functional-unit
+contention is *isolated per warp scheduler*: only warps assigned to the
+same scheduler slow each other down, because they compete for that
+scheduler's issue bandwidth and dispatch ports.  This held even on
+Fermi/Kepler where the unit pools are nominally soft-shared.  We model it
+directly: every warp scheduler owns a 1/N slice of each unit pool, with a
+dedicated dispatch port per (scheduler, unit-type) plus an issue port for
+the scheduler itself.
+
+For a dependent chain of warp-wide ops, the steady-state per-op time that
+emerges is ``max(latency, W * occupancy) + overhead`` where ``W`` is the
+number of active warps on the scheduler — which reproduces the plateau
+then linear-steps shape of Figures 6 and 7, with the step onset at
+``W = latency / occupancy`` warps per scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.specs import GPUSpec
+from repro.sim.resources import PipelinedPort
+
+
+class SchedulerFuBank:
+    """Functional units and issue bandwidth of one warp scheduler."""
+
+    def __init__(self, spec: GPUSpec, sm_id: int, sched_id: int) -> None:
+        self.spec = spec
+        self.sm_id = sm_id
+        self.sched_id = sched_id
+        prefix = f"sm{sm_id}.ws{sched_id}"
+        self.issue_port = PipelinedPort(name=f"{prefix}.issue")
+        self.unit_ports: Dict[str, PipelinedPort] = {
+            unit: PipelinedPort(name=f"{prefix}.{unit}")
+            for unit in ("sp", "dpu", "sfu", "ldst")
+        }
+
+    # ------------------------------------------------------------------
+    def fu_occupancy(self, op: str) -> float:
+        """Dispatch-port cycles one warp-wide op occupies its unit pool."""
+        op_spec = self.spec.op_spec(op)
+        per_sched = self.spec.units_per_scheduler(op_spec.unit)
+        return self.spec.warp_size * op_spec.passes / per_sched
+
+    def execute_chain(self, now: float, op: str, count: int) -> float:
+        """Run ``count`` *dependent* ops of one warp; returns finish time.
+
+        Each op first wins an issue slot from the scheduler, then
+        occupies the unit dispatch port; the next op in the chain cannot
+        issue until the previous result is available.
+        """
+        op_spec = self.spec.op_spec(op)
+        occupancy = self.fu_occupancy(op)
+        issue_interval = self.spec.issue_interval
+        port = self.unit_ports[op_spec.unit]
+        t = now
+        for _ in range(count):
+            issued = self.issue_port.acquire(t, issue_interval)
+            start = port.acquire(issued, occupancy)
+            t = start + op_spec.latency + op_spec.overhead
+        return t
+
+    def issue_only(self, now: float) -> float:
+        """Consume one bare issue slot (clock reads, control overhead)."""
+        start = self.issue_port.acquire(now, self.spec.issue_interval)
+        return start + self.spec.issue_interval
+
+    def reset(self) -> None:
+        """Clear all port queues and statistics."""
+        self.issue_port.reset()
+        for port in self.unit_ports.values():
+            port.reset()
+
+
+class SharedFuBank(SchedulerFuBank):
+    """Ablation variant: unit pools globally shared across schedulers.
+
+    Used by ``bench_ablation_scheduler_isolation`` to show that without
+    per-scheduler partitioning the contention steps of Figure 6 smear out
+    and the per-scheduler parallel SFU channel (Table 3) stops scaling.
+    """
+
+    def __init__(self, spec: GPUSpec, sm_id: int, sched_id: int,
+                 shared_ports: Dict[str, PipelinedPort]) -> None:
+        super().__init__(spec, sm_id, sched_id)
+        self.unit_ports = shared_ports
+
+    def fu_occupancy(self, op: str) -> float:
+        op_spec = self.spec.op_spec(op)
+        total_units = {
+            "sp": self.spec.sp_units, "dpu": self.spec.dp_units,
+            "sfu": self.spec.sfu_units, "ldst": self.spec.ldst_units,
+        }[op_spec.unit]
+        if total_units <= 0:
+            from repro.arch.specs import UnsupportedOperation
+            raise UnsupportedOperation(
+                f"{self.spec.name} has no {op_spec.unit} units"
+            )
+        return self.spec.warp_size * op_spec.passes / total_units
+
+
+def make_shared_banks(spec: GPUSpec, sm_id: int) -> list:
+    """Build the ablation banks: one physical pool shared by all scheds."""
+    shared = {
+        unit: PipelinedPort(name=f"sm{sm_id}.shared.{unit}")
+        for unit in ("sp", "dpu", "sfu", "ldst")
+    }
+    return [
+        SharedFuBank(spec, sm_id, ws, shared)
+        for ws in range(spec.warp_schedulers)
+    ]

@@ -1,0 +1,209 @@
+"""The simulated GPGPU device — top-level façade of the substrate.
+
+A :class:`Device` wires together the engine, SMs, constant L2, global
+memory, block scheduler and streams, and exposes the host-side API the
+attack and benchmark code drives:
+
+>>> from repro.arch import KEPLER_K40C
+>>> from repro.sim import Device, Kernel, KernelConfig, isa
+>>> dev = Device(KEPLER_K40C)
+>>> def body(ctx):
+...     t0 = yield isa.ReadClock()
+...     yield isa.FuOp("sinf")
+...     t1 = yield isa.ReadClock()
+...     ctx.out["dt"] = t1 - t0
+>>> k = dev.stream().launch(Kernel(body, KernelConfig(grid=1)))
+>>> dev.synchronize()
+>>> k.out["dt"] > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.specs import GPUSpec
+from repro.sim.cache import ConstCache, PartitionFn
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.kernel import Kernel
+from repro.sim.memory import GlobalMemory
+from repro.sim.policies import make_block_scheduler
+from repro.sim.sm import SM
+from repro.sim.stream import Stream
+from repro.sim.timing import ClockModel
+
+
+class Device:
+    """One simulated GPGPU."""
+
+    def __init__(self, spec: GPUSpec, *,
+                 seed: int = 0,
+                 policy: str = "leftover",
+                 isolated_fu_banks: bool = True,
+                 cache_partition_fn: Optional[PartitionFn] = None,
+                 scheduler_assignment: str = "round_robin",
+                 clock_model: Optional[ClockModel] = None,
+                 max_events: Optional[int] = 50_000_000) -> None:
+        if scheduler_assignment not in ("round_robin", "random"):
+            raise ValueError(
+                "scheduler_assignment must be 'round_robin' or 'random'"
+            )
+        self.spec = spec
+        self.engine = Engine(max_events=max_events)
+        self.rng = np.random.default_rng(seed)
+        self.clock = clock_model if clock_model is not None else ClockModel(
+            jitter_cycles=spec.clock_jitter_cycles, rng=self.rng
+        )
+        self.cache_partition_fn = cache_partition_fn
+        self.scheduler_assignment = scheduler_assignment
+        self.const_l2 = ConstCache(spec.const_l2, name="constL2",
+                                   partition_fn=cache_partition_fn)
+        self.memory = GlobalMemory(spec.memory)
+        self.sms: List[SM] = [
+            SM(self, i, isolated_fu_banks=isolated_fu_banks)
+            for i in range(spec.n_sms)
+        ]
+        self.block_scheduler = make_block_scheduler(policy, self)
+        self._streams: List[Stream] = []
+        self._const_ptr = 0
+        self._const_allocs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Host API
+    # ------------------------------------------------------------------
+    def stream(self) -> Stream:
+        """Create a new stream."""
+        s = Stream(self, len(self._streams))
+        self._streams.append(s)
+        return s
+
+    def launch(self, kernel: Kernel, stream: Optional[Stream] = None) -> Kernel:
+        """Launch a kernel (on a fresh stream unless one is given)."""
+        if stream is None:
+            stream = self.stream()
+        return stream.launch(kernel)
+
+    def launch_overhead(self) -> float:
+        """Sample the launch overhead for one kernel launch (with jitter)."""
+        jitter = self.rng.normal(0.0, self.spec.launch_jitter_cycles)
+        return max(
+            self.spec.launch_overhead_cycles * 0.25,
+            self.spec.launch_overhead_cycles + jitter,
+        )
+
+    def synchronize(self, stream: Optional[Stream] = None,
+                    kernels: Optional[List[Kernel]] = None) -> None:
+        """Run the device until the given work (default: all work) retires.
+
+        Raises :class:`DeadlockError` when progress stops with work still
+        outstanding — e.g. a third-party kernel starved forever by the
+        exclusive co-location trick of Section 8 while the attacker
+        kernels never terminate.
+        """
+        def outstanding() -> bool:
+            if kernels is not None:
+                return any(not k.done for k in kernels)
+            if stream is not None:
+                return not stream.idle
+            if self.block_scheduler.has_pending:
+                return True
+            return any(not s.idle for s in self._streams)
+
+        while outstanding():
+            if self.engine.idle():
+                blocked = [k.name for k in self.block_scheduler.pending_kernels()]
+                raise DeadlockError(
+                    "device idle with outstanding work; blocked kernels: "
+                    f"{blocked or 'launch queue stalled'}"
+                )
+            self.engine.step()
+        self.host_wait(self.spec.sync_overhead_cycles)
+
+    def host_wait(self, cycles: float) -> None:
+        """Advance host time; concurrent device work keeps executing."""
+        target = self.engine.now + cycles
+        flag = {"done": False}
+        self.engine.schedule_at(target, lambda: flag.update(done=True))
+        self.engine.run(stop_when=lambda: flag["done"])
+
+    # ------------------------------------------------------------------
+    # Constant memory allocation
+    # ------------------------------------------------------------------
+    def const_alloc(self, size: int, align: int = 1,
+                    label: Optional[str] = None) -> int:
+        """Reserve ``size`` bytes of constant memory; returns base address.
+
+        ``align`` lets attack code place arrays on way-stride boundaries
+        so their lines map to known cache sets (the paper's kernels do
+        the same with `__constant__` array layout).
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align < 1:
+            raise ValueError("alignment must be >= 1")
+        base = ((self._const_ptr + align - 1) // align) * align
+        if base + size > self.spec.const_mem_bytes:
+            raise MemoryError(
+                f"constant memory exhausted: need {size}B at {base}, "
+                f"capacity {self.spec.const_mem_bytes}B"
+            )
+        self._const_ptr = base + size
+        if label is not None:
+            self._const_allocs[label] = base
+        return base
+
+    def const_reset(self) -> None:
+        """Release all constant allocations (host-side bookkeeping only)."""
+        self._const_ptr = 0
+        self._const_allocs.clear()
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated cycle."""
+        return self.engine.now
+
+    def seconds_since(self, start_cycle: float) -> float:
+        """Wall-clock seconds elapsed since ``start_cycle``."""
+        return self.spec.cycles_to_seconds(self.engine.now - start_cycle)
+
+    def sm_of_block(self, kernel: Kernel, block_idx: int) -> Optional[int]:
+        """SM id a block was placed on (None while queued)."""
+        return kernel.block_records[block_idx].smid
+
+    def colocated_sms(self, a: Kernel, b: Kernel) -> List[int]:
+        """SMs where blocks of both kernels were resident *concurrently*.
+
+        Sequential reuse of an SM (one kernel after the other) is not
+        co-location — contention channels need temporal overlap.
+        """
+        def windows(kernel: Kernel):
+            out: Dict[int, List] = {}
+            for rec in kernel.block_records:
+                if rec.smid is None or rec.start_cycle is None:
+                    continue
+                stop = (rec.stop_cycle if rec.stop_cycle is not None
+                        else float("inf"))
+                out.setdefault(rec.smid, []).append(
+                    (rec.start_cycle, stop))
+            return out
+
+        win_a = windows(a)
+        win_b = windows(b)
+        shared = []
+        for smid in set(win_a) & set(win_b):
+            if any(s1 < e2 and s2 < e1
+                   for s1, e1 in win_a[smid]
+                   for s2, e2 in win_b[smid]):
+                shared.append(smid)
+        return sorted(shared)
+
+    def flush_caches(self) -> None:
+        """Invalidate L1s and the L2 (between independent experiments)."""
+        for sm in self.sms:
+            sm.l1.flush()
+        self.const_l2.flush()

@@ -1,0 +1,238 @@
+"""Warp-level instruction set for simulated kernels.
+
+Kernels (see :mod:`repro.sim.kernel`) are Python generator functions that
+``yield`` instruction objects; the SM executes each instruction, advances
+simulated time, and ``send``s the result back into the generator.  The
+instruction set covers everything the paper's attack and workload kernels
+need:
+
+=================  ====================================================
+instruction        models
+=================  ====================================================
+:class:`ReadClock` ``clock()`` — jittered cycle-counter read
+:class:`ConstLoad` a warp-wide load from constant memory (L1/L2/DRAM)
+:class:`GlobalLoad`/:class:`GlobalStore`  coalesced global accesses
+:class:`GlobalAtomic`  ``atomicAdd`` etc. through the atomic units
+:class:`SharedAccess`  a shared-memory access with bank conflicts
+:class:`FuOp`      arithmetic on SP/DPU/SFU pipes (``__sinf``, ``sqrt``…)
+:class:`Sleep`     idle cycles (predicated-off / stalled warp)
+=================  ====================================================
+
+Instruction *results* (returned by ``yield``) are :class:`MemResult` for
+memory operations (measured latency + servicing level), plain floats for
+:class:`ReadClock`, and ``None`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+class Instruction:
+    """Marker base class for everything a kernel may yield."""
+
+    __slots__ = ()
+
+
+class ReadClock(Instruction):
+    """Read the SM cycle counter (CUDA ``clock()``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ReadClock()"
+
+
+class ConstLoad(Instruction):
+    """Warp-wide load of one address from constant memory.
+
+    Constant memory is broadcast: all 32 lanes read the same address, so
+    a single cache access per instruction is the faithful model (this is
+    why the paper's prime/probe loops are written per-warp).
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        if addr < 0:
+            raise ValueError("constant address must be non-negative")
+        self.addr = addr
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstLoad(0x{self.addr:x})"
+
+
+class GlobalLoad(Instruction):
+    """Global-memory load with explicit per-thread byte addresses."""
+
+    __slots__ = ("addrs",)
+
+    def __init__(self, addrs: Sequence[int]) -> None:
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("global load needs at least one address")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GlobalLoad({len(self.addrs)} addrs)"
+
+
+class GlobalStore(Instruction):
+    """Global-memory store with explicit per-thread byte addresses."""
+
+    __slots__ = ("addrs",)
+
+    def __init__(self, addrs: Sequence[int]) -> None:
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("global store needs at least one address")
+
+
+class GlobalAtomic(Instruction):
+    """Warp-wide atomic read-modify-write (``atomicAdd`` and friends).
+
+    The three Section 6 scenarios are expressed purely through the
+    per-thread address pattern; helpers for building them live in
+    :func:`scenario_addresses`.
+    """
+
+    __slots__ = ("addrs",)
+
+    def __init__(self, addrs: Sequence[int]) -> None:
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("atomic needs at least one address")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GlobalAtomic({len(self.addrs)} addrs)"
+
+
+class SharedAccess(Instruction):
+    """Shared-memory access; ``bank_conflicts`` serializes the access."""
+
+    __slots__ = ("bank_conflicts",)
+
+    def __init__(self, bank_conflicts: int = 1) -> None:
+        if bank_conflicts < 1:
+            raise ValueError("bank_conflicts must be >= 1")
+        self.bank_conflicts = bank_conflicts
+
+
+class FuOp(Instruction):
+    """``count`` dependent arithmetic ops on one functional-unit type.
+
+    ``op`` is a key of :attr:`repro.arch.specs.GPUSpec.ops` (``fadd``,
+    ``fmul``, ``dadd``, ``dmul``, ``sinf``, ``sqrt``, ``iadd``…).
+
+    ``count > 1`` executes the chain inside a single simulation event;
+    this is faster but reserves the dispatch port for the whole chain, so
+    contention-sensitive kernels (the attack loops) should issue
+    ``count=1`` in a Python loop and let warps interleave naturally.
+    """
+
+    __slots__ = ("op", "count")
+
+    def __init__(self, op: str, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.op = op
+        self.count = count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FuOp({self.op!r}, count={self.count})"
+
+
+class SharedStoreVar(Instruction):
+    """Store a value into block-shared memory (keyed scratchpad).
+
+    Models a ``__shared__`` variable write; visible to all warps of the
+    same thread block, never across blocks or kernels.
+    """
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value) -> None:
+        self.key = key
+        self.value = value
+
+
+class SharedReadVar(Instruction):
+    """Read a block-shared variable; result is the value (or default)."""
+
+    __slots__ = ("key", "default")
+
+    def __init__(self, key, default=None) -> None:
+        self.key = key
+        self.default = default
+
+
+class SharedAtomicAdd(Instruction):
+    """Atomic add on a block-shared variable; result is the new value."""
+
+    __slots__ = ("key", "delta")
+
+    def __init__(self, key, delta: int = 1) -> None:
+        self.key = key
+        self.delta = delta
+
+
+class Sleep(Instruction):
+    """Idle for a number of cycles without touching any resource."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.cycles = cycles
+
+
+@dataclass(frozen=True)
+class MemResult:
+    """Result of a memory instruction.
+
+    ``latency`` is the *true* number of cycles the access took (what a
+    perfectly precise timer would see); attack code should instead bracket
+    accesses with :class:`ReadClock` to obtain the jittered observation.
+    ``level`` reports which level serviced a constant load (``"l1"``,
+    ``"l2"``, ``"mem"``) or ``"global"``/``"atomic"``/``"shared"``.
+    """
+
+    latency: float
+    level: str
+
+    @property
+    def hit(self) -> bool:
+        """Whether a constant load hit in the L1."""
+        return self.level == "l1"
+
+
+# ----------------------------------------------------------------------
+# Address-pattern helpers (Section 6 scenarios)
+# ----------------------------------------------------------------------
+def scenario_addresses(scenario: int, base: int, iteration: int,
+                       warp_size: int = 32, word: int = 4,
+                       spread: int = 1024) -> Tuple[int, ...]:
+    """Per-thread addresses for the paper's three atomic scenarios.
+
+    * Scenario 1 — each thread atomically updates *one particular*
+      address, far from its neighbours' (``spread`` bytes apart), fixed
+      across iterations.
+    * Scenario 2 — strided addresses, advancing each iteration; the
+      warp's accesses coalesce into several independent segments.
+    * Scenario 3 — consecutive word addresses: the whole warp lands in a
+      single coalescing segment (the "un-coalesced" atomic case that the
+      paper finds slowest, because it forfeits parallel L2 atomic units).
+    """
+    if scenario == 1:
+        return tuple(base + t * spread for t in range(warp_size))
+    if scenario == 2:
+        # One 256B segment per thread, advancing within the unit period
+        # so every iteration exercises the full set of atomic units.
+        stride = 256
+        off = (iteration % 4) * word
+        return tuple(base + off + t * stride for t in range(warp_size))
+    if scenario == 3:
+        off = (iteration % 4) * warp_size * word
+        return tuple(base + off + t * word for t in range(warp_size))
+    raise ValueError(f"unknown atomic scenario: {scenario}")

@@ -1,0 +1,189 @@
+"""Kernel programming model.
+
+A kernel is a Python generator function executed at *warp* granularity —
+one generator instance per warp, mirroring how the paper's CUDA kernels
+are reasoned about (SIMT lanes only matter for memory coalescing, which
+is expressed through per-thread address tuples in the ISA).
+
+.. code-block:: python
+
+    def spy(ctx):
+        t0 = yield isa.ReadClock()
+        for addr in range(base, base + 2048, 512):
+            yield isa.ConstLoad(addr)
+        t1 = yield isa.ReadClock()
+        ctx.out.setdefault("latency", []).append(t1 - t0)
+
+    kernel = Kernel(spy, KernelConfig(grid=15, block_threads=128),
+                    name="spy")
+
+``ctx.out`` is a host-visible dict (the moral equivalent of a results
+buffer copied back with ``cudaMemcpy``); ``ctx.smid`` is the SM the
+warp's block landed on (the ``%smid`` register the paper reads while
+reverse engineering the block scheduler).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.arch.specs import WARP_SIZE
+from repro.sim.isa import Instruction
+
+#: Type of a kernel body: a generator function taking a WarpContext.
+KernelFn = Callable[["WarpContext"], Generator[Instruction, Any, None]]
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Launch configuration (grid/block geometry and static resources)."""
+
+    grid: int
+    block_threads: int = WARP_SIZE
+    shared_mem: int = 0
+    registers_per_thread: int = 32
+
+    def __post_init__(self) -> None:
+        if self.grid < 1:
+            raise ValueError("grid must have at least one block")
+        if self.block_threads < 1:
+            raise ValueError("blocks must have at least one thread")
+        if self.shared_mem < 0 or self.registers_per_thread < 0:
+            raise ValueError("static resources cannot be negative")
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps needed to cover ``block_threads`` threads."""
+        return math.ceil(self.block_threads / WARP_SIZE)
+
+    @property
+    def registers_per_block(self) -> int:
+        """Register-file footprint of one block."""
+        return self.registers_per_thread * self.block_threads
+
+
+@dataclass
+class BlockRecord:
+    """Observable placement/timing facts about one thread block.
+
+    This is exactly the information the paper collects while reverse
+    engineering the block scheduler (Section 3.1): the ``%smid`` register
+    plus ``clock()`` at block start and end.
+    """
+
+    block_idx: int
+    smid: Optional[int] = None
+    start_cycle: Optional[float] = None
+    stop_cycle: Optional[float] = None
+
+
+class Kernel:
+    """One kernel launch: a body function plus its configuration.
+
+    A :class:`Kernel` instance is single-use — it tracks the completion
+    state of one launch.  Reuse the body/config to build a fresh one per
+    launch (they are cheap).
+    """
+
+    _next_id = 0
+
+    def __init__(self, fn: KernelFn, config: KernelConfig,
+                 args: Optional[Dict[str, Any]] = None,
+                 name: Optional[str] = None,
+                 context: int = 0) -> None:
+        self.fn = fn
+        self.config = config
+        self.args: Dict[str, Any] = dict(args or {})
+        self.name = name or getattr(fn, "__name__", "kernel")
+        #: Process/context id — kernels from different contexts are the
+        #: trojan/spy/bystander applications of the threat model.
+        self.context = context
+        self.out: Dict[str, Any] = {}
+        self.block_records: List[BlockRecord] = [
+            BlockRecord(block_idx=i) for i in range(config.grid)
+        ]
+        self.kernel_id = Kernel._next_id
+        Kernel._next_id += 1
+
+        self.submit_cycle: Optional[float] = None
+        self.complete_cycle: Optional[float] = None
+        self._blocks_done = 0
+        self._on_complete: List[Callable[["Kernel"], None]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether every block of this launch has retired."""
+        return self._blocks_done >= self.config.grid
+
+    def on_complete(self, fn: Callable[["Kernel"], None]) -> None:
+        """Register a callback fired when the kernel retires."""
+        if self.done:
+            fn(self)
+        else:
+            self._on_complete.append(fn)
+
+    def _block_retired(self, now: float) -> None:
+        """Internal: called by the SM when one of our blocks finishes."""
+        self._blocks_done += 1
+        if self.done:
+            self.complete_cycle = now
+            callbacks, self._on_complete = self._on_complete, []
+            for fn in callbacks:
+                fn(self)
+
+    def smids(self) -> List[Optional[int]]:
+        """Per-block SM ids, in block order (None if not yet placed)."""
+        return [rec.smid for rec in self.block_records]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Kernel({self.name!r}, grid={self.config.grid}, "
+                f"threads={self.config.block_threads}, ctx={self.context})")
+
+
+@dataclass
+class WarpContext:
+    """Execution context handed to each warp's generator.
+
+    Only *observable* state is exposed — what real CUDA code could learn
+    through registers and intrinsics — so the reverse-engineering modules
+    genuinely infer scheduler behaviour rather than peeking at it.
+    """
+
+    kernel: Kernel
+    block_idx: int
+    warp_in_block: int
+    smid: int
+    #: Index of this warp among all warps resident on its SM at placement
+    #: time (observable as %warpid in CUDA; used only for bookkeeping).
+    resident_warp_slot: int
+    #: Device spec quantities a kernel legitimately knows (clock rate etc.)
+    device_info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def args(self) -> Dict[str, Any]:
+        """Kernel launch arguments."""
+        return self.kernel.args
+
+    @property
+    def out(self) -> Dict[str, Any]:
+        """Host-visible output buffer (shared by all warps of the launch)."""
+        return self.kernel.out
+
+    @property
+    def thread_base(self) -> int:
+        """Global index of this warp's first thread."""
+        return (self.block_idx * self.kernel.config.block_threads
+                + self.warp_in_block * WARP_SIZE)
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps in this warp's block."""
+        return self.kernel.config.warps_per_block
+
+    @property
+    def global_warp_index(self) -> int:
+        """Index of this warp across the whole grid."""
+        return self.block_idx * self.warps_per_block + self.warp_in_block

@@ -1,0 +1,136 @@
+"""Global memory: coalescing, DRAM channels and atomic units.
+
+Section 6 of the paper finds that plain loads/stores cannot create
+reliable contention (the memory system has too much bandwidth) but that
+*atomic operations* can, because they serialize at a bounded pool of
+atomic units.  The model here reproduces both facts:
+
+* Loads coalesce per-warp into 256 B segment transactions spread across
+  several DRAM channel ports with high latency and high throughput —
+  cross-kernel queueing delay stays tiny relative to the latency, so no
+  usable signal exists.
+* Atomics are grouped by address into segment transactions, each owned
+  by one atomic unit selected by address hash.  Ops to the same unit
+  serialize (``atomic_service`` cycles each).  Kepler/Maxwell resolve
+  atomics at the L2 with many fast units; Fermi's few slow units make the
+  channel an order of magnitude slower — exactly the Figure 10 contrast.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Sequence, Tuple
+
+from repro.arch.specs import MemorySpec
+from repro.sim.resources import PipelinedPort
+
+#: Number of independent DRAM channels servicing load/store traffic.
+N_DRAM_CHANNELS = 8
+
+#: Port occupancy of one load/store segment transaction, in cycles.
+LOAD_SEGMENT_OCCUPANCY = 4.0
+
+#: Fixed per-segment overhead at an atomic unit, in cycles.
+ATOMIC_SEGMENT_OVERHEAD = 4.0
+
+
+class GlobalMemory:
+    """Device-wide global memory shared by all SMs."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+        self.channels = [
+            PipelinedPort(name=f"dram{i}") for i in range(N_DRAM_CHANNELS)
+        ]
+        self.atomic_units = [
+            PipelinedPort(name=f"atomic{i}")
+            for i in range(spec.atomic_units)
+        ]
+        #: Backing store for atomics / stores, addressed by word.
+        self._words: Dict[int, int] = defaultdict(int)
+        self.load_transactions = 0
+        self.atomic_ops = 0
+
+    # ------------------------------------------------------------------
+    def _segments(self, addrs: Sequence[int]) -> Dict[int, list]:
+        """Group addresses by coalescing segment."""
+        segs: Dict[int, list] = defaultdict(list)
+        seg_bytes = self.spec.segment_bytes
+        for a in addrs:
+            segs[a // seg_bytes].append(a)
+        return segs
+
+    def _channel_for(self, segment: int) -> PipelinedPort:
+        return self.channels[segment % len(self.channels)]
+
+    def _unit_for(self, segment: int) -> PipelinedPort:
+        return self.atomic_units[segment % len(self.atomic_units)]
+
+    # ------------------------------------------------------------------
+    def warp_load(self, now: float, addrs: Sequence[int]) -> float:
+        """Issue a coalesced warp load; returns completion time."""
+        finish = now
+        for segment in self._segments(addrs):
+            port = self._channel_for(segment)
+            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY)
+            finish = max(finish, start + self.spec.load_latency)
+            self.load_transactions += 1
+        return finish
+
+    def warp_store(self, now: float, addrs: Sequence[int]) -> float:
+        """Issue a coalesced warp store; completes at write-queue accept."""
+        finish = now
+        for segment in self._segments(addrs):
+            port = self._channel_for(segment)
+            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY)
+            # Stores retire once accepted by the channel write queue.
+            finish = max(finish, start + LOAD_SEGMENT_OCCUPANCY)
+            self.load_transactions += 1
+        return finish
+
+    def warp_atomic(self, now: float, addrs: Sequence[int]) -> float:
+        """Issue a warp-wide atomic; returns completion time.
+
+        Each unique address is one read-modify-write serialized at the
+        segment's atomic unit; the warp completes when its slowest
+        segment transaction returns.
+        """
+        finish = now
+        for segment, seg_addrs in self._segments(addrs).items():
+            unit = self._unit_for(segment)
+            unique_ops = len(set(seg_addrs))
+            occupancy = (unique_ops * self.spec.atomic_service
+                         + ATOMIC_SEGMENT_OVERHEAD)
+            start = unit.acquire(now, occupancy)
+            finish = max(
+                finish, start + occupancy + self.spec.transaction_cycles
+            )
+            self.atomic_ops += unique_ops
+            for a in set(seg_addrs):
+                self._words[a // 4] += 1
+        return finish
+
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Host-side debug read of an atomically-updated word."""
+        return self._words[addr // 4]
+
+    def reset(self) -> None:
+        """Clear all queue state, statistics and backing store."""
+        for port in self.channels:
+            port.reset()
+        for port in self.atomic_units:
+            port.reset()
+        self._words.clear()
+        self.load_transactions = 0
+        self.atomic_ops = 0
+
+
+def coalesced_transactions(addrs: Sequence[int],
+                           segment_bytes: int = 256) -> int:
+    """Number of memory transactions a warp access coalesces into.
+
+    Utility used by tests and by the reverse-engineering examples to
+    reason about access patterns the way Section 6 does.
+    """
+    return len({a // segment_bytes for a in addrs})

@@ -1,0 +1,190 @@
+"""Alternative GPU multiprogramming policies (Sections 3.2 and 8).
+
+Besides the leftover policy of current hardware, the paper analyses how
+its attack carries over to four schedulers proposed in the literature:
+
+* **SMK** (Wang et al. [41]) — simultaneous multikernel with block-level
+  preemption: new kernels may evict the most resource-hungry resident
+  blocks, which makes co-location *easier* for the attacker (one small
+  block per SM is never a preemption victim) but allows bystanders in.
+* **Warped-Slicer** (Xu et al. [44]) — dynamic intra-SM partitioning
+  without preemption; kernels are co-scheduled only when their resource
+  demands are *compatible*, so the attacker can shape the trojan/spy to
+  look compatible and exclusive.
+* **Spatial multitasking** (Adriaens et al. [1]) — disjoint SM
+  partitions per kernel: no intra-SM co-location, only inter-SM channels
+  (L2, global atomics) remain.
+* **SM draining** (Tanasic et al. [36]) — whole-SM granularity: an SM
+  runs blocks of a single kernel at a time.
+
+All four reuse the FIFO/dispatch machinery of
+:class:`~repro.sim.block_scheduler.LeftoverBlockScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.block_scheduler import LeftoverBlockScheduler
+from repro.sim.kernel import Kernel
+
+
+class SMKBlockScheduler(LeftoverBlockScheduler):
+    """Wang et al.'s simultaneous multikernel with block preemption."""
+
+    name = "smk"
+    # A preempted block waiting for space must not stall later kernels.
+    head_of_line_blocking = False
+
+    def dispatch(self) -> None:
+        super().dispatch()
+        # Anything still queued may preempt: evict the highest-usage
+        # victim block of an *earlier* kernel and retry placement.
+        made_progress = True
+        while self.pending and made_progress:
+            made_progress = False
+            kernel, _ = self.pending[0]
+            victim = self._pick_victim(kernel)
+            if victim is not None:
+                sm, block = victim
+                sm.evict_block(block)
+                # Preempted block re-queues behind the newcomer.
+                self.pending.append((block.kernel, block.block_idx))
+                super().dispatch()
+                made_progress = True
+
+    def _pick_victim(self, newcomer: Kernel) -> Optional[tuple]:
+        """Highest-resource-usage block of an earlier kernel, if any.
+
+        Only blocks of kernels *launched before* the newcomer are
+        preemption victims — otherwise an evicted hog would immediately
+        preempt its preemptor back, ping-ponging forever.
+        """
+        best = None
+        best_usage = -1.0
+        for sm in self.device.sms:
+            for block in sm.resident_blocks:
+                other = block.kernel
+                if other is newcomer:
+                    continue
+                if other.context == newcomer.context:
+                    continue  # do not preempt our own application
+                if (other.submit_cycle is None
+                        or newcomer.submit_cycle is None
+                        or other.submit_cycle >= newcomer.submit_cycle):
+                    continue  # newcomers only preempt earlier kernels
+                cfg = other.config
+                usage = (
+                    cfg.shared_mem / max(1, self.device.spec.shared_mem_per_sm)
+                    + cfg.block_threads / self.device.spec.max_threads_per_sm
+                    + cfg.registers_per_block
+                    / self.device.spec.registers_per_sm
+                )
+                if usage > best_usage:
+                    best_usage = usage
+                    best = (sm, block)
+        return best
+
+
+class WarpedSlicerBlockScheduler(LeftoverBlockScheduler):
+    """Xu et al.'s dynamic intra-SM partitioning (non-preemptive).
+
+    A kernel may join an occupied SM only if it is *compatible* with the
+    residents: the combined demand on each resource class must stay under
+    the SM limits and no single kernel may claim more than its fair share
+    of a contended resource when sharing.  Non-preemption means an
+    attacker who shapes the trojan/spy demands to complement each other
+    still gets exclusive co-location — the paper's Section 3.2 point.
+    """
+
+    name = "warped-slicer"
+
+    def _eligible(self, sm, kernel: Kernel) -> bool:
+        if not sm.resident_blocks:
+            return True
+        # Compatibility: with residents of other kernels present, the
+        # newcomer must leave at least half of every resource class the
+        # residents are actively using.
+        other = [b for b in sm.resident_blocks if b.kernel is not kernel]
+        if not other:
+            return True
+        cfg = kernel.config
+        spec = self.device.spec
+        if cfg.shared_mem and sm.used_shared:
+            if cfg.shared_mem + sm.used_shared > spec.shared_mem_per_sm:
+                return False
+            if cfg.shared_mem > spec.shared_mem_per_sm // 2 \
+                    and sm.used_shared > spec.shared_mem_per_sm // 2:
+                return False
+        if cfg.block_threads + sm.used_threads > spec.max_threads_per_sm:
+            return False
+        return True
+
+
+class SpatialBlockScheduler(LeftoverBlockScheduler):
+    """Adriaens et al.'s spatial multitasking: disjoint SM partitions.
+
+    Each application context is assigned a contiguous half of the SMs on
+    first launch (two partitions suffice for the paper's experiments).
+    Intra-SM co-location across contexts becomes impossible; only
+    device-shared resources (constant L2, atomic units) remain usable
+    for covert communication.
+    """
+
+    name = "spatial"
+
+    def __init__(self, device: Any) -> None:
+        super().__init__(device)
+        self._partition_of: dict = {}
+
+    def _partition(self, context: int) -> range:
+        if context not in self._partition_of:
+            n = len(self.device.sms)
+            half = max(1, n // 2)
+            if len(self._partition_of) == 0:
+                self._partition_of[context] = range(0, half)
+            elif len(self._partition_of) == 1:
+                self._partition_of[context] = range(half, n)
+            else:
+                # Further contexts share the second partition.
+                self._partition_of[context] = range(half, n)
+        return self._partition_of[context]
+
+    def _eligible(self, sm, kernel: Kernel) -> bool:
+        return sm.sm_id in self._partition(kernel.context)
+
+
+class DrainingBlockScheduler(LeftoverBlockScheduler):
+    """Tanasic et al.'s whole-SM multiprogramming.
+
+    An SM hosts blocks of one kernel at a time; a new kernel must wait
+    for an SM to drain completely.  No intra-SM co-location ever occurs.
+    """
+
+    name = "draining"
+
+    def _eligible(self, sm, kernel: Kernel) -> bool:
+        return (not sm.resident_blocks
+                or all(b.kernel is kernel for b in sm.resident_blocks))
+
+
+#: Registry used by :class:`repro.sim.gpu.Device`.
+POLICIES = {
+    "leftover": LeftoverBlockScheduler,
+    "smk": SMKBlockScheduler,
+    "warped-slicer": WarpedSlicerBlockScheduler,
+    "spatial": SpatialBlockScheduler,
+    "draining": DrainingBlockScheduler,
+}
+
+
+def make_block_scheduler(policy: str, device: Any):
+    """Instantiate a block scheduler by policy name."""
+    try:
+        cls = POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown multiprogramming policy {policy!r}; "
+            f"choose from {sorted(POLICIES)}"
+        )
+    return cls(device)

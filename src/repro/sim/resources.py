@@ -1,0 +1,82 @@
+"""Contended-resource primitives.
+
+Contention channels are, at bottom, queueing at bounded hardware
+resources.  Two primitives cover everything in the paper:
+
+* :class:`PipelinedPort` — a resource that accepts a new request every
+  ``occupancy`` cycles but whose results return ``latency`` cycles later
+  (dispatch ports of warp schedulers, cache ports, DRAM channels).
+* :class:`UtilizationMeter` — bookkeeping for occupancy statistics, used
+  by the mitigation detector (CC-Hunter style) and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class PipelinedPort:
+    """A pipelined server: one request per ``occupancy`` cycles.
+
+    ``acquire(now, occupancy)`` returns the cycle at which the request
+    actually starts service; the caller adds its own latency on top.
+    Requests queue in arrival order, which is exactly the round-robin
+    service the paper observes for warps sharing a scheduler.
+    """
+
+    __slots__ = ("name", "free_at", "busy_cycles", "requests")
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self.free_at: float = 0.0
+        self.busy_cycles: float = 0.0
+        self.requests: int = 0
+
+    def acquire(self, now: float, occupancy: float) -> float:
+        """Reserve the port for ``occupancy`` cycles; return start time."""
+        if occupancy < 0:
+            raise ValueError("occupancy must be non-negative")
+        start = now if now > self.free_at else self.free_at
+        self.free_at = start + occupancy
+        self.busy_cycles += occupancy
+        self.requests += 1
+        return start
+
+    def wait_time(self, now: float) -> float:
+        """Cycles a request issued now would wait before service."""
+        return max(0.0, self.free_at - now)
+
+    def reset(self) -> None:
+        """Clear queue state and statistics."""
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+        self.requests = 0
+
+
+class UtilizationMeter:
+    """Records (time, value) samples of a resource's utilization.
+
+    The contention detector in :mod:`repro.mitigations.detector` consumes
+    these traces to look for the alternating bursty pattern that covert
+    timing channels produce.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample."""
+        self.samples.append((time, value))
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean sample value within ``[start, end)`` (0.0 when empty)."""
+        vals = [v for t, v in self.samples if start <= t < end]
+        if not vals:
+            return 0.0
+        return sum(vals) / len(vals)
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        self.samples.clear()

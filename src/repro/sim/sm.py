@@ -1,0 +1,271 @@
+"""Streaming Multiprocessor model.
+
+Each SM owns: its resident-block resource accounting (threads, warps,
+blocks, shared memory, registers), a constant L1 cache, one functional
+unit bank per warp scheduler, a shared-memory port, and the warp driver
+that steps kernel-body generators through the discrete-event engine.
+
+Warp→scheduler assignment is round-robin (the Section 3.1 reverse
+engineering result); the Section 9 mitigation can switch it to random.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.arch.specs import GPUSpec
+from repro.sim import isa
+from repro.sim.cache import ConstCache
+from repro.sim.functional_units import SchedulerFuBank, make_shared_banks
+from repro.sim.kernel import Kernel, WarpContext
+from repro.sim.resources import PipelinedPort
+from repro.sim.warp import ResidentBlock, Warp
+
+#: Latency of a shared-memory access with no bank conflicts, in cycles.
+SHARED_LATENCY = 28.0
+
+#: Minimum simulated cost of a clock() read, in cycles.
+CLOCK_READ_COST = 2.0
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, device: Any, sm_id: int,
+                 isolated_fu_banks: bool = True) -> None:
+        self.device = device
+        self.spec: GPUSpec = device.spec
+        self.sm_id = sm_id
+        self.l1 = ConstCache(self.spec.const_l1, name=f"sm{sm_id}.constL1",
+                             partition_fn=device.cache_partition_fn)
+        if isolated_fu_banks:
+            self.fu_banks: List[SchedulerFuBank] = [
+                SchedulerFuBank(self.spec, sm_id, ws)
+                for ws in range(self.spec.warp_schedulers)
+            ]
+        else:
+            self.fu_banks = make_shared_banks(self.spec, sm_id)
+        self.shared_port = PipelinedPort(name=f"sm{sm_id}.shared")
+
+        # Occupancy accounting -----------------------------------------
+        self.resident_blocks: List[ResidentBlock] = []
+        self.used_threads = 0
+        self.used_warps = 0
+        self.used_shared = 0
+        self.used_registers = 0
+        self._warp_rr = 0  # round-robin warp->scheduler counter
+
+    # ------------------------------------------------------------------
+    # Occupancy / placement
+    # ------------------------------------------------------------------
+    def can_accept(self, kernel: Kernel) -> bool:
+        """Whether one more block of ``kernel`` fits on this SM."""
+        cfg = kernel.config
+        if cfg.shared_mem > self.spec.max_shared_mem_per_block:
+            return False
+        return (
+            len(self.resident_blocks) + 1 <= self.spec.max_blocks_per_sm
+            and self.used_threads + cfg.block_threads
+            <= self.spec.max_threads_per_sm
+            and self.used_warps + cfg.warps_per_block
+            <= self.spec.max_warps_per_sm
+            and self.used_shared + cfg.shared_mem
+            <= self.spec.shared_mem_per_sm
+            and self.used_registers + cfg.registers_per_block
+            <= self.spec.registers_per_sm
+        )
+
+    def place_block(self, kernel: Kernel, block_idx: int) -> ResidentBlock:
+        """Place one block; spawns and starts all of its warps."""
+        if not self.can_accept(kernel):
+            raise RuntimeError(
+                f"SM{self.sm_id} cannot accept block {block_idx} of "
+                f"{kernel.name}"
+            )
+        cfg = kernel.config
+        block = ResidentBlock(kernel, block_idx)
+        self.resident_blocks.append(block)
+        self.used_threads += cfg.block_threads
+        self.used_warps += cfg.warps_per_block
+        self.used_shared += cfg.shared_mem
+        self.used_registers += cfg.registers_per_block
+
+        now = self.device.engine.now
+        record = kernel.block_records[block_idx]
+        record.smid = self.sm_id
+        record.start_cycle = now
+
+        for w in range(cfg.warps_per_block):
+            sched = self._assign_scheduler()
+            warp = Warp(kernel, block_idx, w, self.sm_id, sched)
+            block.warps.append(warp)
+            self._start_warp(warp, block)
+        return block
+
+    def _assign_scheduler(self) -> int:
+        """Pick the warp scheduler for the next warp (Section 3.1)."""
+        n = self.spec.warp_schedulers
+        if self.device.scheduler_assignment == "random":
+            return int(self.device.rng.integers(0, n))
+        sched = self._warp_rr % n
+        self._warp_rr += 1
+        return sched
+
+    def _retire_block(self, block: ResidentBlock) -> None:
+        cfg = block.kernel.config
+        self.resident_blocks.remove(block)
+        self.used_threads -= cfg.block_threads
+        self.used_warps -= cfg.warps_per_block
+        self.used_shared -= cfg.shared_mem
+        self.used_registers -= cfg.registers_per_block
+        now = self.device.engine.now
+        block.kernel.block_records[block.block_idx].stop_cycle = now
+        block.kernel._block_retired(now)
+        self.device.block_scheduler.dispatch()
+
+    def evict_block(self, block: ResidentBlock) -> None:
+        """Preempt a resident block (SMK policy, Section 3.2).
+
+        Our context switch restarts the block from scratch when it is
+        re-placed (the paper's SMK saves/restores state; restarting
+        preserves the co-location semantics the attack cares about).
+        """
+        for warp in block.warps:
+            warp.cancelled = True
+        cfg = block.kernel.config
+        self.resident_blocks.remove(block)
+        self.used_threads -= cfg.block_threads
+        self.used_warps -= cfg.warps_per_block
+        self.used_shared -= cfg.shared_mem
+        self.used_registers -= cfg.registers_per_block
+        record = block.kernel.block_records[block.block_idx]
+        record.smid = None
+        record.start_cycle = None
+
+    # ------------------------------------------------------------------
+    # Warp driving
+    # ------------------------------------------------------------------
+    def _start_warp(self, warp: Warp, block: ResidentBlock) -> None:
+        ctx = WarpContext(
+            kernel=warp.kernel,
+            block_idx=warp.block_idx,
+            warp_in_block=warp.warp_in_block,
+            smid=self.sm_id,
+            resident_warp_slot=self.used_warps - 1,
+            device_info={
+                "clock_mhz": self.spec.clock_mhz,
+                "n_sms": self.spec.n_sms,
+                "warp_schedulers": self.spec.warp_schedulers,
+                "name": self.spec.name,
+            },
+        )
+        warp.gen = warp.kernel.fn(ctx)
+        # The first step happens "now" — warps begin executing as soon
+        # as the block lands on the SM.
+        self.device.engine.schedule(0.0, lambda: self._step_warp(warp, block, None))
+
+    def _step_warp(self, warp: Warp, block: ResidentBlock,
+                   result: Any) -> None:
+        if warp.cancelled:
+            return
+        try:
+            instr = warp.gen.send(result)
+        except StopIteration:
+            warp.done = True
+            if block.warp_finished():
+                self._retire_block(block)
+            return
+        finish, res = self._execute(warp, block, instr)
+        self.device.engine.schedule_at(
+            finish, lambda: self._step_warp(warp, block, res)
+        )
+
+    # ------------------------------------------------------------------
+    # Instruction execution
+    # ------------------------------------------------------------------
+    def _execute(self, warp: Warp, block: ResidentBlock,
+                 instr: isa.Instruction) -> Tuple[float, Any]:
+        now = self.device.engine.now
+        bank = self.fu_banks[warp.scheduler_id]
+
+        if isinstance(instr, isa.FuOp):
+            finish = bank.execute_chain(now, instr.op, instr.count)
+            return finish, None
+
+        if isinstance(instr, isa.ReadClock):
+            finish = max(bank.issue_only(now), now + CLOCK_READ_COST)
+            return finish, self.device.clock.read(finish)
+
+        if isinstance(instr, isa.ConstLoad):
+            return self._const_load(now, warp, instr.addr)
+
+        if isinstance(instr, isa.GlobalLoad):
+            finish = self.device.memory.warp_load(now, instr.addrs)
+            return finish, isa.MemResult(finish - now, "global")
+
+        if isinstance(instr, isa.GlobalStore):
+            finish = self.device.memory.warp_store(now, instr.addrs)
+            return finish, isa.MemResult(finish - now, "global")
+
+        if isinstance(instr, isa.GlobalAtomic):
+            finish = self.device.memory.warp_atomic(now, instr.addrs)
+            return finish, isa.MemResult(finish - now, "atomic")
+
+        if isinstance(instr, isa.SharedAccess):
+            start = self.shared_port.acquire(
+                now, float(instr.bank_conflicts)
+            )
+            finish = start + SHARED_LATENCY * instr.bank_conflicts
+            return finish, isa.MemResult(finish - now, "shared")
+
+        if isinstance(instr, isa.SharedStoreVar):
+            start = self.shared_port.acquire(now, 1.0)
+            block.shared_vars[instr.key] = instr.value
+            return start + SHARED_LATENCY, None
+
+        if isinstance(instr, isa.SharedReadVar):
+            start = self.shared_port.acquire(now, 1.0)
+            value = block.shared_vars.get(instr.key, instr.default)
+            return start + SHARED_LATENCY, value
+
+        if isinstance(instr, isa.SharedAtomicAdd):
+            start = self.shared_port.acquire(now, 2.0)
+            value = block.shared_vars.get(instr.key, 0) + instr.delta
+            block.shared_vars[instr.key] = value
+            return start + SHARED_LATENCY, value
+
+        if isinstance(instr, isa.Sleep):
+            return now + instr.cycles, None
+
+        raise TypeError(f"kernel yielded a non-instruction: {instr!r}")
+
+    def _const_load(self, now: float, warp: Warp,
+                    addr: int) -> Tuple[float, isa.MemResult]:
+        ctx_id = warp.kernel.context
+        l1 = self.l1
+        start1 = l1.port.acquire(now, l1.spec.port_cycles)
+        l1_hit = l1.access(addr, context=ctx_id)
+        if l1.trace is not None:
+            l1.trace.append((now, l1.set_of(addr, ctx_id), ctx_id, l1_hit))
+        if l1_hit:
+            finish = start1 + l1.spec.hit_latency
+            return finish, isa.MemResult(finish - now, "l1")
+        l2 = self.device.const_l2
+        start2 = l2.port.acquire(start1, l2.spec.port_cycles)
+        l2_hit = l2.access(addr, context=ctx_id)
+        if l2.trace is not None:
+            l2.trace.append((now, l2.set_of(addr, ctx_id), ctx_id, l2_hit))
+        if l2_hit:
+            finish = start2 + l2.spec.hit_latency
+            return finish, isa.MemResult(finish - now, "l2")
+        finish = start2 + self.spec.const_mem_latency
+        return finish, isa.MemResult(finish - now, "mem")
+
+    # ------------------------------------------------------------------
+    def resident_contexts(self) -> set:
+        """Context ids of all kernels currently resident on this SM."""
+        return {b.kernel.context for b in self.resident_blocks}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SM{self.sm_id}(blocks={len(self.resident_blocks)}, "
+                f"warps={self.used_warps}, shared={self.used_shared})")

@@ -1,0 +1,60 @@
+"""CUDA-style streams.
+
+The paper uses streams for multiprogramming ("to provide a uniform
+implementation including Fermi GPUs, we utilized streams"): kernels on
+different streams may run concurrently; kernels on the same stream
+serialize.  Launching costs real time (``launch_overhead_cycles`` plus
+jitter), which is precisely the overhead the synchronized channel of
+Section 7 eliminates by launching the trojan and spy exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.kernel import Kernel
+
+
+class Stream:
+    """An in-order launch queue sharing the device with other streams."""
+
+    def __init__(self, device: Any, stream_id: int) -> None:
+        self.device = device
+        self.stream_id = stream_id
+        self._tail: Optional[Kernel] = None
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Kernel) -> Kernel:
+        """Asynchronously launch a kernel on this stream.
+
+        Returns the kernel immediately (host code continues); the blocks
+        reach the block scheduler after the launch overhead, and after
+        any previous kernel on this stream has retired.
+        """
+        device = self.device
+        overhead = device.launch_overhead()
+
+        def submit() -> None:
+            device.block_scheduler.submit(kernel)
+
+        prev = self._tail
+        self._tail = kernel
+        if prev is None or prev.done:
+            device.engine.schedule(overhead, submit)
+        else:
+            prev.on_complete(
+                lambda _k: device.engine.schedule(overhead, submit)
+            )
+        return kernel
+
+    def synchronize(self) -> None:
+        """Block host until every kernel launched on this stream retired."""
+        self.device.synchronize(stream=self)
+
+    @property
+    def idle(self) -> bool:
+        """Whether the last kernel launched on this stream has retired."""
+        return self._tail is None or self._tail.done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.stream_id}, idle={self.idle})"

@@ -1,0 +1,45 @@
+"""Timing observation model for the ``clock()`` register.
+
+Section 4.2 of the paper notes that ``clock()`` "returns inconsistent
+results if the size of the code segment being timed is small", which is
+one of the two factors forcing the attacker to iterate each bit ~20
+times.  We model a clock read as the true cycle count plus small
+Gaussian jitter, optionally quantized to a granularity (the TimeWarp
+mitigation in Section 9 works by inflating exactly these two knobs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ClockModel:
+    """Jittered, optionally quantized reads of the SM cycle counter."""
+
+    def __init__(self, jitter_cycles: float = 0.0,
+                 granularity: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.jitter_cycles = float(jitter_cycles)
+        self.granularity = float(granularity)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def read(self, now: float) -> float:
+        """Observe the cycle counter at simulated time ``now``."""
+        value = now
+        if self.jitter_cycles > 0.0:
+            value += self._rng.normal(0.0, self.jitter_cycles)
+        if self.granularity != 1.0:
+            value = (value // self.granularity) * self.granularity
+        return value
+
+    def fuzzed(self, extra_jitter: float, granularity: float) -> "ClockModel":
+        """Derived clock with inflated noise (TimeWarp-style mitigation)."""
+        return ClockModel(
+            jitter_cycles=self.jitter_cycles + extra_jitter,
+            granularity=max(self.granularity, granularity),
+            rng=self._rng,
+        )

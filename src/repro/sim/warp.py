@@ -1,0 +1,60 @@
+"""Warp and block runtime state.
+
+A :class:`Warp` binds one generator instance of a kernel body to the SM
+and warp scheduler it was assigned to; a :class:`ResidentBlock` tracks
+the warps of one placed thread block so the SM can retire it (and free
+its resources) when the last warp finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.kernel import Kernel
+
+
+class Warp:
+    """One resident warp: a kernel-body generator plus its placement."""
+
+    __slots__ = ("kernel", "block_idx", "warp_in_block", "sm_id",
+                 "scheduler_id", "gen", "done", "cancelled")
+
+    def __init__(self, kernel: Kernel, block_idx: int, warp_in_block: int,
+                 sm_id: int, scheduler_id: int) -> None:
+        self.kernel = kernel
+        self.block_idx = block_idx
+        self.warp_in_block = warp_in_block
+        self.sm_id = sm_id
+        self.scheduler_id = scheduler_id
+        self.gen: Optional[Generator] = None
+        self.done = False
+        #: Set when the block is preempted (SMK policy); pending events
+        #: for a cancelled warp become no-ops.
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Warp({self.kernel.name}, blk={self.block_idx}, "
+                f"w={self.warp_in_block}, sm={self.sm_id}, "
+                f"ws={self.scheduler_id})")
+
+
+class ResidentBlock:
+    """A thread block placed on an SM, tracking warp completion."""
+
+    __slots__ = ("kernel", "block_idx", "warps", "warps_remaining",
+                 "shared_vars")
+
+    def __init__(self, kernel: Kernel, block_idx: int) -> None:
+        self.kernel = kernel
+        self.block_idx = block_idx
+        self.warps: list = []
+        self.warps_remaining = kernel.config.warps_per_block
+        #: Block-shared scratchpad (``__shared__`` variables).
+        self.shared_vars: dict = {}
+
+    def warp_finished(self) -> bool:
+        """Mark one warp retired; True when the whole block is done."""
+        self.warps_remaining -= 1
+        if self.warps_remaining < 0:
+            raise RuntimeError("block retired more warps than it has")
+        return self.warps_remaining == 0

@@ -1,0 +1,17 @@
+"""Interference workloads.
+
+Synthetic analogues of the Rodinia benchmark suite the paper runs on a
+third stream to evaluate noise (Section 8).  Each app reproduces the
+resource signature that matters to the covert channels: Heart Wall uses
+constant memory (and would trash the L1 channel if co-located), Needle
+and HotSpot use shared memory, BFS hammers atomics, and so on.
+"""
+
+from repro.workloads.rodinia import (
+    APPS,
+    app_names,
+    make_kernel,
+    random_mix,
+)
+
+__all__ = ["APPS", "app_names", "make_kernel", "random_mix"]

@@ -1,0 +1,198 @@
+"""Synthetic Rodinia-like interference applications (Section 8).
+
+The paper validates exclusive co-location by running Rodinia apps on a
+third stream alongside the covert channel.  We reproduce each app as a
+small kernel with the same *resource signature* — which resources it
+leans on and whether it uses shared memory (the resource the exclusion
+trick saturates) or constant memory (the resource the L1 channel uses):
+
+==============  ==========================  ============  =============
+app             dominant resource           shared mem    constant mem
+==============  ==========================  ============  =============
+heartwall       constant cache sweeps       no            **yes**
+gaussian        SP floating point           no            no
+needle          shared memory               **yes**       no
+hotspot         shared memory + SP          **yes**       no
+srad            global-memory streaming     no            no
+bfs             global atomics              no            no
+lud             SP/DP mixed arithmetic      no            no
+kmeans          global loads + SP           no            no
+backprop        shared memory + SP          **yes**       no
+pathfinder      shared memory               **yes**       no
+==============  ==========================  ============  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.specs import GPUSpec
+from repro.sim import isa
+from repro.sim.kernel import Kernel, KernelConfig
+
+#: Context id space for bystander applications.
+BYSTANDER_CONTEXT_BASE = 100
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of one synthetic app."""
+
+    name: str
+    body_factory: Callable[[GPUSpec, int], Callable]
+    shared_mem: int
+    block_threads: int = 64
+    uses_constant: bool = False
+
+
+def _heartwall(spec: GPUSpec, iters: int):
+    """Constant-memory-heavy tracker: sweeps the whole constant L1."""
+    l1 = spec.const_l1
+
+    def body(ctx):
+        base = ctx.args.get("const_base", 0)
+        for _ in range(iters):
+            for addr in range(base, base + l1.size_bytes, l1.line_bytes):
+                yield isa.ConstLoad(addr)
+            yield isa.FuOp("fadd", count=8)
+    return body
+
+
+def _gaussian(spec: GPUSpec, iters: int):
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.FuOp("fmul", count=16)
+            yield isa.FuOp("fadd", count=16)
+    return body
+
+
+def _needle(spec: GPUSpec, iters: int):
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.SharedAccess(bank_conflicts=1)
+            yield isa.SharedAccess(bank_conflicts=2)
+            yield isa.FuOp("iadd", count=4)
+    return body
+
+
+def _hotspot(spec: GPUSpec, iters: int):
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.SharedAccess()
+            yield isa.FuOp("fadd", count=8)
+            yield isa.FuOp("fmul", count=8)
+    return body
+
+
+def _srad(spec: GPUSpec, iters: int):
+    def body(ctx):
+        base = ctx.thread_base * 4
+        for i in range(iters):
+            addrs = [base + ((i * 128 + t * 4) % (1 << 20))
+                     for t in range(32)]
+            yield isa.GlobalLoad(addrs)
+            yield isa.FuOp("fmul", count=4)
+    return body
+
+
+def _bfs(spec: GPUSpec, iters: int):
+    def body(ctx):
+        base = (1 << 22) + ctx.thread_base * 4
+        for i in range(iters):
+            addrs = isa.scenario_addresses(2, base, i)
+            yield isa.GlobalAtomic(addrs)
+    return body
+
+
+def _lud(spec: GPUSpec, iters: int):
+    op = "dmul" if spec.supports_op("dmul") else "fmul"
+
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.FuOp(op, count=8)
+            yield isa.FuOp("fadd", count=8)
+    return body
+
+
+def _kmeans(spec: GPUSpec, iters: int):
+    def body(ctx):
+        base = (1 << 23) + ctx.thread_base * 4
+        for i in range(iters):
+            addrs = [base + (i % 64) * 256 + t * 4 for t in range(32)]
+            yield isa.GlobalLoad(addrs)
+            yield isa.FuOp("fadd", count=8)
+    return body
+
+
+def _backprop(spec: GPUSpec, iters: int):
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.SharedAccess()
+            yield isa.FuOp("fmul", count=12)
+    return body
+
+
+def _pathfinder(spec: GPUSpec, iters: int):
+    def body(ctx):
+        for _ in range(iters):
+            yield isa.SharedAccess(bank_conflicts=2)
+            yield isa.FuOp("iadd", count=6)
+    return body
+
+
+APPS: Dict[str, AppSpec] = {
+    "heartwall": AppSpec("heartwall", _heartwall, shared_mem=0,
+                         uses_constant=True),
+    "gaussian": AppSpec("gaussian", _gaussian, shared_mem=0),
+    "needle": AppSpec("needle", _needle, shared_mem=16 * 1024),
+    "hotspot": AppSpec("hotspot", _hotspot, shared_mem=12 * 1024),
+    "srad": AppSpec("srad", _srad, shared_mem=0),
+    "bfs": AppSpec("bfs", _bfs, shared_mem=0),
+    "lud": AppSpec("lud", _lud, shared_mem=4 * 1024),
+    "kmeans": AppSpec("kmeans", _kmeans, shared_mem=0),
+    "backprop": AppSpec("backprop", _backprop, shared_mem=8 * 1024),
+    "pathfinder": AppSpec("pathfinder", _pathfinder,
+                          shared_mem=14 * 1024),
+}
+
+
+def app_names() -> List[str]:
+    """All synthetic Rodinia app names."""
+    return sorted(APPS)
+
+
+def make_kernel(name: str, spec: GPUSpec, *,
+                grid: Optional[int] = None,
+                iters: int = 40,
+                context: Optional[int] = None,
+                const_base: int = 0) -> Kernel:
+    """Instantiate one interference kernel.
+
+    ``const_base`` points Heart Wall's constant sweeps at a region; aim
+    it at the channel's arrays to model worst-case cache interference.
+    """
+    try:
+        app = APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; choose from {app_names()}")
+    cfg = KernelConfig(
+        grid=grid if grid is not None else spec.n_sms,
+        block_threads=app.block_threads,
+        shared_mem=app.shared_mem,
+    )
+    ctx_id = (context if context is not None
+              else BYSTANDER_CONTEXT_BASE + sorted(APPS).index(name))
+    return Kernel(app.body_factory(spec, iters), cfg,
+                  args={"const_base": const_base},
+                  name=f"rodinia.{name}", context=ctx_id)
+
+
+def random_mix(spec: GPUSpec, n: int, *, seed: int = 0,
+               iters: int = 40) -> List[Kernel]:
+    """A reproducible random mixture of ``n`` interference kernels."""
+    rng = np.random.default_rng(seed)
+    names = rng.choice(app_names(), size=n)
+    return [make_kernel(str(name), spec, iters=iters) for name in names]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.arch import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.sim.gpu import Device
+
+
+@pytest.fixture
+def kepler() -> Device:
+    """Fresh Tesla K40C device."""
+    return Device(KEPLER_K40C, seed=1)
+
+
+@pytest.fixture
+def fermi() -> Device:
+    """Fresh Tesla C2075 device."""
+    return Device(FERMI_C2075, seed=1)
+
+
+@pytest.fixture
+def maxwell() -> Device:
+    """Fresh Quadro M4000 device."""
+    return Device(MAXWELL_M4000, seed=1)
+
+
+@pytest.fixture(params=["fermi", "kepler", "maxwell"])
+def any_device(request) -> Device:
+    """One fresh device per paper architecture."""
+    spec = {"fermi": FERMI_C2075, "kepler": KEPLER_K40C,
+            "maxwell": MAXWELL_M4000}[request.param]
+    return Device(spec, seed=1)

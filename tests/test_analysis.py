@@ -1,0 +1,55 @@
+"""Analysis harness tests: sweeps and report tables."""
+
+import pytest
+
+from repro.analysis import (
+    bandwidth_by_device,
+    ber_vs_bandwidth,
+    format_table,
+    paper_comparison_row,
+)
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C
+from repro.channels import L1CacheChannel
+
+
+class TestBerSweep:
+    def test_figure5_shape(self):
+        """Fewer iterations -> more bandwidth, more errors (Figure 5)."""
+        points = ber_vs_bandwidth(
+            KEPLER_K40C,
+            lambda device, iters: L1CacheChannel(device,
+                                                 iterations=iters),
+            [20, 3], n_bits=48, seed=2,
+        )
+        assert points[0].iterations == 20
+        assert points[0].ber == 0.0
+        assert points[1].bandwidth_kbps > points[0].bandwidth_kbps
+        assert points[1].ber > points[0].ber
+
+
+class TestBandwidthByDevice:
+    def test_runs_each_spec(self):
+        results = bandwidth_by_device(
+            [FERMI_C2075, KEPLER_K40C],
+            lambda device: L1CacheChannel(device),
+            n_bits=16, seed=3,
+        )
+        assert set(results) == {"Fermi", "Kepler"}
+        assert all(r.error_free for r in results.values())
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "333" in lines[4]
+
+    def test_paper_comparison_row(self):
+        row = paper_comparison_row("L1", 41.0, 42.0)
+        assert row[0] == "L1"
+        assert "41.0" in row[1]
+        assert "0.98x" in row[3]

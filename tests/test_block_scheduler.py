@@ -1,0 +1,100 @@
+"""Leftover block-scheduler tests (Section 3.1 behaviour)."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def sleeper(cycles=2000.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+class TestRoundRobin:
+    def test_single_kernel_spreads_round_robin(self, kepler):
+        k = Kernel(sleeper(), KernelConfig(grid=15))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert k.smids() == list(range(15))
+
+    def test_wraps_past_sm_count(self, kepler):
+        k = Kernel(sleeper(), KernelConfig(grid=20))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert k.smids()[:15] == list(range(15))
+        assert k.smids()[15:] == list(range(5))
+
+    def test_second_kernel_fills_leftover(self, kepler):
+        k1 = Kernel(sleeper(8000), KernelConfig(grid=15), context=1)
+        k2 = Kernel(sleeper(8000), KernelConfig(grid=15), context=2)
+        kepler.stream().launch(k1)
+        kepler.stream().launch(k2)
+        kepler.synchronize(kernels=[k1, k2])
+        assert kepler.colocated_sms(k1, k2) == list(range(15))
+
+
+class TestQueueing:
+    def test_blocks_queue_when_no_capacity(self, kepler):
+        hog = Kernel(sleeper(9000), KernelConfig(
+            grid=15, shared_mem=KEPLER_K40C.max_shared_mem_per_block),
+            context=1)
+        late = Kernel(sleeper(500), KernelConfig(grid=1, shared_mem=64),
+                      context=2)
+        kepler.stream().launch(hog)
+        kepler.stream().launch(late)
+        kepler.synchronize(kernels=[hog, late])
+        hog_first_end = min(r.stop_cycle for r in hog.block_records)
+        assert late.block_records[0].start_cycle >= hog_first_end
+
+    def test_head_of_line_blocking(self, kepler):
+        """A block that fits nowhere stalls everything behind it —
+        the FIFO property the exclusion trick exploits."""
+        hog = Kernel(sleeper(9000), KernelConfig(
+            grid=15, shared_mem=KEPLER_K40C.max_shared_mem_per_block),
+            context=1)
+        blocked = Kernel(sleeper(100), KernelConfig(grid=1, shared_mem=1),
+                         context=2)
+        small = Kernel(sleeper(100), KernelConfig(grid=1), context=3)
+        kepler.stream().launch(hog)
+        kepler.stream().launch(blocked)
+        kepler.host_wait(3 * KEPLER_K40C.launch_jitter_cycles * 6)
+        kepler.stream().launch(small)
+        kepler.synchronize(kernels=[hog, blocked, small])
+        # `small` would fit (no shared memory) but must wait behind
+        # `blocked` in the FIFO queue.
+        hog_first_end = min(r.stop_cycle for r in hog.block_records)
+        assert small.block_records[0].start_cycle >= hog_first_end
+
+    def test_pending_kernels_listing(self, kepler):
+        hog = Kernel(sleeper(50000), KernelConfig(
+            grid=15, shared_mem=KEPLER_K40C.max_shared_mem_per_block),
+            context=1, name="hog")
+        late = Kernel(sleeper(100), KernelConfig(grid=1, shared_mem=64),
+                      context=2, name="late")
+        kepler.stream().launch(hog)
+        kepler.stream().launch(late)
+        kepler.engine.run(until=kepler.spec.launch_overhead_cycles * 4)
+        sched = kepler.block_scheduler
+        assert sched.has_pending
+        assert [k.name for k in sched.pending_kernels()] == ["late"]
+
+
+class TestSubmitBookkeeping:
+    def test_submit_cycle_recorded(self, kepler):
+        k = Kernel(sleeper(), KernelConfig(grid=1))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert k.submit_cycle is not None
+        assert k.submit_cycle >= KEPLER_K40C.launch_overhead_cycles * 0.25
+        assert k.complete_cycle > k.submit_cycle
+
+    def test_block_start_stop_recorded(self, kepler):
+        k = Kernel(sleeper(1234), KernelConfig(grid=2))
+        kepler.launch(k)
+        kepler.synchronize()
+        for rec in k.block_records:
+            assert rec.stop_cycle - rec.start_cycle >= 1234

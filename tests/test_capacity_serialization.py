@@ -1,0 +1,113 @@
+"""Tests for capacity analysis and spec serialization."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.capacity import (
+    asymmetric_capacity,
+    binary_entropy,
+    bsc_capacity,
+    capacity_bps,
+)
+from repro.arch import KEPLER_K40C, all_specs
+from repro.arch.serialization import (
+    PASCAL_LIKE,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.channels.base import ChannelResult
+
+
+def _result(sent, received, cycles=1000.0):
+    return ChannelResult(sent=sent, received=received,
+                         start_cycle=0.0, end_cycle=cycles,
+                         clock_hz=1e6)
+
+
+class TestEntropyAndCapacity:
+    def test_entropy_endpoints(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    @given(st.floats(0.0, 1.0))
+    def test_entropy_bounds(self, p):
+        assert 0.0 <= binary_entropy(p) <= 1.0 + 1e-12
+
+    def test_bsc_capacity(self):
+        assert bsc_capacity(0.0) == pytest.approx(1.0)
+        assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert bsc_capacity(0.11) == pytest.approx(0.5, abs=0.01)
+
+    def test_asymmetric_reduces_to_symmetric(self):
+        assert asymmetric_capacity(0.1, 0.1) == pytest.approx(
+            bsc_capacity(0.1), abs=1e-4)
+
+    def test_z_channel_beats_symmetric(self):
+        """A Z-channel (errors only one way) carries more than a BSC
+        with the same average error rate."""
+        assert asymmetric_capacity(0.2, 0.0) > bsc_capacity(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+        with pytest.raises(ValueError):
+            asymmetric_capacity(-0.1, 0.0)
+
+
+class TestCapacityBps:
+    def test_error_free_equals_raw_rate(self):
+        result = _result([1, 0] * 8, [1, 0] * 8, cycles=16e6)
+        assert capacity_bps(result) == pytest.approx(1.0)
+
+    def test_errors_reduce_capacity(self):
+        sent = [1, 0] * 20
+        received = list(sent)
+        received[0] ^= 1
+        received[3] ^= 1
+        noisy = _result(sent, received, cycles=40e6)
+        clean = _result(sent, sent, cycles=40e6)
+        assert capacity_bps(noisy) < capacity_bps(clean)
+
+    def test_symmetric_assumption(self):
+        sent = [1, 0] * 20
+        received = list(sent)
+        received[0] ^= 1
+        result = _result(sent, received, cycles=40e6)
+        assert capacity_bps(result, assume_symmetric=True) == \
+            pytest.approx(capacity_bps(result), rel=0.2)
+
+
+class TestSpecSerialization:
+    @pytest.mark.parametrize("spec", all_specs(),
+                             ids=lambda s: s.generation)
+    def test_dict_roundtrip(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_json_roundtrip(self):
+        rebuilt = spec_from_json(spec_to_json(KEPLER_K40C))
+        assert rebuilt == KEPLER_K40C
+        assert rebuilt.op_occupancy("sinf") == \
+            KEPLER_K40C.op_occupancy("sinf")
+
+    def test_pascal_like_device_runs_channels(self):
+        """Generalization: the attack toolkit works on a device we
+        never calibrated against."""
+        from repro.channels import L1CacheChannel
+        from repro.sim.gpu import Device
+
+        device = Device(PASCAL_LIKE, seed=3)
+        result = L1CacheChannel(device).transmit_random(16, seed=5)
+        assert result.error_free
+        assert PASCAL_LIKE.n_sms == 20
+
+    def test_pascal_like_placement_still_leftover(self):
+        from repro.reveng import infer_block_policy
+
+        report = infer_block_policy(PASCAL_LIKE)
+        assert report.round_robin
+        assert report.leftover_coresidency

@@ -1,0 +1,60 @@
+"""Global-atomic covert-channel tests (Section 6, Figure 10)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C
+from repro.channels import GlobalAtomicChannel
+from repro.sim.gpu import Device
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("scenario", [1, 2, 3])
+    def test_error_free(self, scenario):
+        device = Device(KEPLER_K40C, seed=scenario)
+        channel = GlobalAtomicChannel(device, scenario=scenario)
+        result = channel.transmit_random(16, seed=5)
+        assert result.error_free
+
+    def test_invalid_scenario_rejected(self, kepler):
+        with pytest.raises(ValueError):
+            GlobalAtomicChannel(kepler, scenario=0)
+
+    def test_scenario3_slowest(self):
+        """Paper: 'scenario 3 results in the lowest achievable covert
+        channel bandwidth'."""
+        bw = {}
+        for sc in (1, 2, 3):
+            device = Device(KEPLER_K40C, seed=sc + 10)
+            result = GlobalAtomicChannel(device, scenario=sc)\
+                .transmit_random(16, seed=5)
+            bw[sc] = result.bandwidth_kbps
+        assert bw[3] < bw[1]
+        assert bw[3] < bw[2]
+
+    def test_contention_distinguishable(self, kepler):
+        channel = GlobalAtomicChannel(kepler, scenario=1)
+        cal = channel.calibrate()
+        assert cal["contention"] > 2 * cal["no_contention"]
+
+
+class TestFermiVsKepler:
+    def test_fermi_much_slower(self):
+        """Figure 10: Fermi's atomic channel is an order of magnitude
+        below Kepler's (atomics at memory vs at the L2)."""
+        d_f = Device(FERMI_C2075, seed=3)
+        r_f = GlobalAtomicChannel(d_f, scenario=1).transmit_random(
+            8, seed=5)
+        d_k = Device(KEPLER_K40C, seed=3)
+        r_k = GlobalAtomicChannel(d_k, scenario=1).transmit_random(
+            8, seed=5)
+        assert r_k.bandwidth_kbps > 3 * r_f.bandwidth_kbps
+
+    def test_iterations_scaled_per_scenario(self, kepler):
+        c1 = GlobalAtomicChannel(kepler, scenario=1)
+        device2 = Device(KEPLER_K40C, seed=2)
+        c3 = GlobalAtomicChannel(device2, scenario=3)
+        assert c3.iterations > c1.iterations
+
+    def test_explicit_iterations_respected(self, kepler):
+        channel = GlobalAtomicChannel(kepler, scenario=1, iterations=7)
+        assert channel.iterations == 7

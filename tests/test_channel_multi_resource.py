@@ -1,0 +1,26 @@
+"""Multi-resource (L1 + SFU) channel tests (Section 7)."""
+
+import pytest
+
+from repro.channels import MultiResourceChannel
+
+
+class TestMultiResource:
+    def test_error_free(self, kepler):
+        result = MultiResourceChannel(kepler).transmit_random(16, seed=3)
+        assert result.error_free
+
+    def test_bandwidth_near_paper(self, kepler):
+        """Section 7: two concurrent bits give 56 Kbps on Kepler."""
+        result = MultiResourceChannel(kepler).transmit_random(24, seed=5)
+        assert result.error_free
+        assert result.bandwidth_kbps == pytest.approx(56, rel=0.25)
+
+    def test_odd_length_message(self, kepler):
+        result = MultiResourceChannel(kepler).transmit([1, 0, 1])
+        assert result.n_bits == 3
+        assert result.error_free
+
+    def test_calibration_separates_sfu_levels(self, kepler):
+        cal = MultiResourceChannel(kepler).calibrate()
+        assert cal["contention"] > cal["no_contention"]

@@ -1,0 +1,108 @@
+"""Multi-bit and parallel channel tests (Section 7, Tables 2–3)."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels import (
+    MultiBitL1Channel,
+    MultiBitL2Channel,
+    ParallelSFUChannel,
+    ParallelSMChannel,
+    SynchronizedL1Channel,
+)
+from repro.sim.gpu import Device
+
+
+class TestMultiBitL1:
+    def test_error_free_six_sets(self, kepler):
+        channel = MultiBitL1Channel(kepler)      # 6 data sets on Kepler
+        assert channel.data_sets == 6
+        result = channel.transmit_random(60, seed=3)
+        assert result.error_free
+
+    def test_sublinear_scaling(self):
+        """Section 7.1: 2/4/6 bits give 1.8x/2.9x/3.8x on Kepler."""
+        bw = {}
+        for m in (1, 2, 4, 6):
+            device = Device(KEPLER_K40C, seed=m)
+            channel = MultiBitL1Channel(device, data_sets=m)
+            bw[m] = channel.transmit_random(48, seed=5).bandwidth_kbps
+        assert 1.4 < bw[2] / bw[1] < 2.0
+        assert 2.2 < bw[4] / bw[1] < 3.5
+        assert 3.0 < bw[6] / bw[1] < 4.6
+
+    def test_message_not_multiple_of_round(self, kepler):
+        channel = MultiBitL1Channel(kepler, data_sets=6)
+        result = channel.transmit_random(13, seed=2)  # 3 rounds, padded
+        assert result.n_bits == 13
+        assert result.error_free
+
+
+class TestMultiBitL2:
+    def test_error_free(self, kepler):
+        channel = MultiBitL2Channel(kepler)
+        assert channel.data_sets == 14
+        result = channel.transmit_random(56, seed=3)
+        assert result.error_free
+
+    def test_improvement_bounded_by_port_contention(self):
+        """Paper: in theory 16x, observed only ~8x."""
+        from repro.channels import L2CacheChannel
+        d1 = Device(KEPLER_K40C, seed=7)
+        base = L2CacheChannel(d1).transmit_random(24, seed=5)
+        d2 = Device(KEPLER_K40C, seed=7)
+        multi = MultiBitL2Channel(d2).transmit_random(56, seed=5)
+        ratio = multi.bandwidth_kbps / base.bandwidth_kbps
+        assert 3.0 < ratio < 12.0
+
+    def test_data_sets_validation(self, kepler):
+        with pytest.raises(ValueError):
+            MultiBitL2Channel(kepler, data_sets=15)   # 16-set L2, 2 rsvd
+
+
+class TestParallelSM:
+    def test_error_free_and_multi_mbps(self, kepler):
+        """Table 2 final column: Kepler reaches ~4.25 Mbps."""
+        channel = ParallelSMChannel(kepler, data_sets=6)
+        result = channel.transmit_random(360, seed=3)
+        assert result.error_free
+        assert result.bandwidth_mbps == pytest.approx(4.25, rel=0.25)
+
+    def test_bits_distributed_across_sms(self, kepler):
+        channel = ParallelSMChannel(kepler, data_sets=6)
+        assert channel.parallel_sm
+        result = channel.transmit_random(30, seed=2)
+        assert result.error_free
+
+
+class TestParallelSFU:
+    def test_per_scheduler_bits(self, kepler):
+        channel = ParallelSFUChannel(kepler, per_sm=False)
+        assert channel.bits_per_round == 4
+        result = channel.transmit_random(16, seed=3)
+        assert result.error_free
+
+    def test_per_sm_and_scheduler_bits(self, kepler):
+        channel = ParallelSFUChannel(kepler, per_sm=True)
+        assert channel.bits_per_round == 60
+        result = channel.transmit_random(120, seed=3)
+        assert result.error_free
+
+    def test_warps_aligned_to_schedulers(self, kepler):
+        channel = ParallelSFUChannel(kepler)
+        assert channel.warps_per_block % KEPLER_K40C.warp_schedulers == 0
+
+    def test_parallelism_raises_bandwidth(self):
+        from repro.channels import SFUChannel
+        d0 = Device(KEPLER_K40C, seed=4)
+        base = SFUChannel(d0).transmit_random(8, seed=6)
+        d1 = Device(KEPLER_K40C, seed=4)
+        ws = ParallelSFUChannel(d1, per_sm=False).transmit_random(
+            16, seed=6)
+        d2 = Device(KEPLER_K40C, seed=4)
+        full = ParallelSFUChannel(d2, per_sm=True).transmit_random(
+            120, seed=6)
+        assert base.bandwidth_kbps < ws.bandwidth_kbps \
+            < full.bandwidth_kbps
+        # Table 3 Kepler shape: 24K -> ~84K -> ~1.2M.
+        assert full.bandwidth_mbps == pytest.approx(1.2, rel=0.35)

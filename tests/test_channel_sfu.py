@@ -1,0 +1,53 @@
+"""SFU covert-channel tests (Section 5.2)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.channels import SFUChannel
+from repro.sim.gpu import Device
+
+
+class TestCalibration:
+    def test_kepler_latencies_match_paper(self, kepler):
+        """Section 5.2: 18 clk idle vs 24 clk contended on Kepler."""
+        cal = SFUChannel(kepler).calibrate()
+        assert cal["no_contention"] == pytest.approx(18, abs=2)
+        assert cal["contention"] == pytest.approx(24, abs=3)
+
+    def test_maxwell_latencies_match_paper(self, maxwell):
+        """Section 5.2: 15 vs 20 clk on Maxwell."""
+        cal = SFUChannel(maxwell).calibrate()
+        assert cal["no_contention"] == pytest.approx(15, abs=2)
+        assert cal["contention"] == pytest.approx(20, abs=3)
+
+    def test_paper_warp_counts_used(self, kepler, fermi, maxwell):
+        assert SFUChannel(kepler).warps_per_block == 12
+        assert SFUChannel(fermi).warps_per_block == 3
+        assert SFUChannel(maxwell).warps_per_block == 10
+
+
+class TestTransmission:
+    def test_error_free(self, kepler):
+        result = SFUChannel(kepler).transmit_random(16, seed=3)
+        assert result.error_free
+
+    def test_bandwidth_near_paper(self):
+        """Section 5.2: 21 / 24 / 28 Kbps on Fermi / Kepler / Maxwell."""
+        for spec, expected in [(FERMI_C2075, 21), (KEPLER_K40C, 24),
+                               (MAXWELL_M4000, 28)]:
+            device = Device(spec, seed=5)
+            result = SFUChannel(device).transmit_random(16, seed=9)
+            assert result.error_free
+            assert result.bandwidth_kbps == pytest.approx(
+                expected, rel=0.3)
+
+    def test_transmit_calibrates_lazily(self, kepler):
+        channel = SFUChannel(kepler)
+        assert channel._threshold is None
+        channel.transmit([1, 0])
+        assert channel._threshold is not None
+
+    def test_metadata(self, kepler):
+        result = SFUChannel(kepler).transmit([1])
+        assert result.meta["op"] == "sinf"
+        assert result.meta["warps_per_block"] == 12

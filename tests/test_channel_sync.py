@@ -1,0 +1,75 @@
+"""Synchronized-channel tests (Section 7.1, Figure 11)."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels import L1CacheChannel, SynchronizedL1Channel
+from repro.sim.gpu import Device
+
+
+class TestProtocol:
+    def test_error_free(self, kepler):
+        channel = SynchronizedL1Channel(kepler)
+        result = channel.transmit_random(48, seed=7)
+        assert result.error_free
+
+    def test_no_timeouts_in_clean_conditions(self, kepler):
+        result = SynchronizedL1Channel(kepler).transmit_random(32, seed=3)
+        for stats in result.meta["spy_stats"].values():
+            assert stats.get("timeouts", 0) == 0
+
+    def test_faster_than_baseline(self):
+        """Table 2: synchronization lifts Kepler from 42 to 75 Kbps."""
+        d1 = Device(KEPLER_K40C, seed=5)
+        base = L1CacheChannel(d1).transmit_random(32, seed=2)
+        d2 = Device(KEPLER_K40C, seed=5)
+        sync = SynchronizedL1Channel(d2).transmit_random(32, seed=2)
+        assert sync.error_free and base.error_free
+        assert sync.bandwidth_kbps > 1.4 * base.bandwidth_kbps
+
+    def test_kepler_bandwidth_near_paper(self, kepler):
+        result = SynchronizedL1Channel(kepler).transmit_random(64, seed=9)
+        assert result.bandwidth_kbps == pytest.approx(75, rel=0.2)
+
+    def test_single_launch_per_kernel(self, kepler):
+        """The whole message moves in one kernel launch pair."""
+        channel = SynchronizedL1Channel(kepler)
+        result = channel.transmit_random(64, seed=1)
+        # Per-bit cost must be far below a per-bit relaunch round
+        # (launch overhead plus host synchronization).
+        relaunch_round = (KEPLER_K40C.launch_overhead_cycles
+                          + KEPLER_K40C.sync_overhead_cycles)
+        assert result.cycles_per_bit < 0.95 * relaunch_round
+
+    def test_all_patterns(self, kepler):
+        channel = SynchronizedL1Channel(kepler)
+        for pattern in ([0] * 10, [1] * 10, [1, 0] * 5, [1, 1, 0] * 3):
+            assert channel.transmit(pattern).error_free
+
+    def test_data_sets_validation(self, kepler):
+        with pytest.raises(ValueError):
+            SynchronizedL1Channel(kepler, data_sets=0)
+        with pytest.raises(ValueError):
+            SynchronizedL1Channel(kepler, data_sets=7)   # 8-set L1
+
+    def test_handshake_validation(self, kepler):
+        with pytest.raises(ValueError):
+            SynchronizedL1Channel(kepler, handshake="four-way")
+
+
+class TestTwoWayAblation:
+    def test_two_way_handshake_less_reliable(self):
+        """The paper found a two-way handshake loses synchronization;
+        dropping the RTR leg lets the trojan race ahead of the spy."""
+        d3 = Device(KEPLER_K40C, seed=11)
+        three = SynchronizedL1Channel(d3).transmit_random(48, seed=13)
+        d2 = Device(KEPLER_K40C, seed=11)
+        two = SynchronizedL1Channel(
+            d2, handshake="two-way").transmit_random(48, seed=13)
+        assert three.error_free
+        assert two.ber > three.ber
+
+    def test_handshake_recorded_in_meta(self, kepler):
+        result = SynchronizedL1Channel(
+            kepler, handshake="two-way").transmit([1, 0])
+        assert result.meta["handshake"] == "two-way"

@@ -1,0 +1,110 @@
+"""Whitespace (dynamic idle-set discovery) channel tests (Section 8)."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.channels.whitespace import WhitespaceL1Channel
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def pinned_interferer(device, set_index: int, iters: int = 8000,
+                      context: int = 77) -> Kernel:
+    """A bystander that continuously hammers one L1 set on every SM."""
+    l1 = device.spec.const_l1
+    base = device.const_alloc(l1.size_bytes, align=l1.way_stride,
+                              label="interferer")
+
+    def body(ctx):
+        addrs = [base + set_index * l1.line_bytes + k * l1.way_stride
+                 for k in range(l1.ways)]
+        for _ in range(iters):
+            for a in addrs:
+                yield isa.ConstLoad(a)
+            yield isa.Sleep(60)
+
+    return Kernel(body, KernelConfig(grid=device.spec.n_sms),
+                  context=context, name="pinned-interferer")
+
+
+class TestCleanDevice:
+    def test_error_free_and_sets_agree(self, kepler):
+        channel = WhitespaceL1Channel(kepler)
+        result = channel.transmit_random(24, seed=5)
+        assert result.error_free
+
+    def test_discovers_first_candidate_when_idle(self, kepler):
+        channel = WhitespaceL1Channel(kepler)
+        bits = [1, 0, 1]
+        t = Kernel(channel._trojan_body,
+                   KernelConfig(grid=15, block_threads=32),
+                   args={"bits": bits}, context=1)
+        s = Kernel(channel._spy_body,
+                   KernelConfig(grid=15, block_threads=32),
+                   args={"n_bits": 3}, context=2)
+        kepler.stream().launch(t)
+        kepler.stream().launch(s)
+        kepler.synchronize(kernels=[t, s])
+        # With nothing else on the device both sides settle on the
+        # first candidate set, on every SM.
+        assert set(t.out["trojan_set"].values()) == {2}
+        assert set(s.out["spy_set"].values()) == {2}
+
+
+class TestBusyCandidateSet:
+    def _run(self, channel_cls, seed=73):
+        device = Device(KEPLER_K40C, seed=seed)
+        # Interferer resident BEFORE the channel launches, pinned to
+        # the first candidate set (set 2).
+        interferer = pinned_interferer(device, set_index=2)
+        device.stream().launch(interferer)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+        channel = channel_cls(device)
+        result = channel.transmit_random(24, seed=5)
+        device.synchronize()
+        return result, channel
+
+    def test_whitespace_channel_avoids_busy_set(self):
+        result, channel = self._run(WhitespaceL1Channel)
+        assert result.error_free
+        trojan_sets = set(result.meta.get("trojan_stats", {}))
+        assert trojan_sets  # ran on every SM
+
+    def test_fixed_set_channel_suffers(self):
+        """The plain synchronized channel is pinned to set 2 (its first
+        data set) and takes errors from the same interferer."""
+        result, _ = self._run(SynchronizedL1Channel)
+        assert result.ber > 0.05
+
+    def test_both_sides_pick_the_same_alternative(self):
+        device = Device(KEPLER_K40C, seed=73)
+        interferer = pinned_interferer(device, set_index=2)
+        device.stream().launch(interferer)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+        channel = WhitespaceL1Channel(device)
+        bits = [1, 0, 1, 1]
+        t = Kernel(channel._trojan_body,
+                   KernelConfig(grid=15, block_threads=32),
+                   args={"bits": bits}, context=1)
+        s = Kernel(channel._spy_body,
+                   KernelConfig(grid=15, block_threads=32),
+                   args={"n_bits": 4}, context=2)
+        device.stream().launch(t)
+        device.stream().launch(s)
+        device.synchronize(kernels=[t, s])
+        for smid, t_set in t.out["trojan_set"].items():
+            assert t_set != 2, "trojan must avoid the busy set"
+            assert s.out["spy_set"][smid] == t_set, \
+                "spy must lock onto the trojan's beaconed set"
+        device.synchronize()
+
+
+class TestParameters:
+    def test_scan_parameters_exposed(self, kepler):
+        channel = WhitespaceL1Channel(kepler, scan_probes=4,
+                                      busy_fraction=0.5)
+        assert channel.scan_probes == 4
+        assert channel.busy_fraction == 0.5
+        assert channel.data_sets == 1

@@ -1,0 +1,122 @@
+"""Co-location planner and exclusive co-location tests (Sections 3, 8)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.colocation import (
+    blocker_kernel,
+    coresident_plan,
+    exclusive_plan,
+    scheduler_aligned_threads,
+    verify_coresidency,
+)
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def sleeper(cycles=5000.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+class TestPlanner:
+    def test_scheduler_aligned_threads(self):
+        assert scheduler_aligned_threads(KEPLER_K40C) == 128
+        assert scheduler_aligned_threads(FERMI_C2075) == 64
+        assert scheduler_aligned_threads(KEPLER_K40C, 3) == 384
+
+    def test_paper_example_k40c(self):
+        """Section 3.1: 15 blocks x 4 warps puts one warp of each kernel
+        on every scheduler of every SM of the K40C."""
+        plan = coresident_plan(KEPLER_K40C)
+        assert plan.trojan.grid == 15
+        assert plan.trojan.block_threads == 128
+        assert plan.expected_sms == 15
+
+    def test_plan_achieves_coresidency(self):
+        device = Device(KEPLER_K40C, seed=2)
+        plan = coresident_plan(KEPLER_K40C)
+        t = Kernel(sleeper(), plan.trojan, context=1)
+        s = Kernel(sleeper(), plan.spy, context=2)
+        device.stream().launch(t)
+        device.stream().launch(s)
+        device.synchronize(kernels=[t, s])
+        assert verify_coresidency(device, t, s) == list(range(15))
+
+    def test_oversized_plan_rejected(self):
+        with pytest.raises(ValueError):
+            coresident_plan(KEPLER_K40C, warps_per_scheduler=10)
+        with pytest.raises(ValueError):
+            coresident_plan(
+                KEPLER_K40C,
+                shared_mem=KEPLER_K40C.shared_mem_per_sm // 2 + 1)
+
+
+class TestExclusivePlan:
+    def test_fermi_kepler_strategy(self):
+        for spec in (FERMI_C2075, KEPLER_K40C):
+            plan = exclusive_plan(spec)
+            assert plan.spy.shared_mem == spec.max_shared_mem_per_block
+            assert plan.trojan.shared_mem == 0
+
+    def test_maxwell_strategy(self):
+        """Section 8: on Maxwell both kernels request the per-block max."""
+        plan = exclusive_plan(MAXWELL_M4000)
+        assert plan.spy.shared_mem == 48 * 1024
+        assert plan.trojan.shared_mem == 48 * 1024
+
+    def test_plan_blocks_shared_memory_users(self):
+        device = Device(KEPLER_K40C, seed=2)
+        plan = exclusive_plan(KEPLER_K40C)
+        spy = Kernel(sleeper(20000), plan.spy, context=2)
+        trojan = Kernel(sleeper(20000), plan.trojan, context=1)
+        victim = Kernel(sleeper(500), KernelConfig(grid=1, shared_mem=256),
+                        context=3)
+        device.stream().launch(trojan)
+        device.stream().launch(spy)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+        device.stream().launch(victim)
+        device.synchronize(kernels=[trojan, spy])
+        assert not victim.done           # locked out while channel ran
+        device.synchronize()
+        assert victim.done               # completes afterwards
+
+    def test_exclusive_kernels_still_coresident(self):
+        device = Device(KEPLER_K40C, seed=2)
+        plan = exclusive_plan(KEPLER_K40C)
+        spy = Kernel(sleeper(), plan.spy, context=2)
+        trojan = Kernel(sleeper(), plan.trojan, context=1)
+        device.stream().launch(trojan)
+        device.stream().launch(spy)
+        device.synchronize(kernels=[trojan, spy])
+        assert verify_coresidency(device, trojan, spy) == list(range(15))
+
+
+class TestBlockerKernel:
+    def test_blocker_exhausts_thread_slots(self):
+        device = Device(KEPLER_K40C, seed=2)
+        plan = exclusive_plan(KEPLER_K40C)
+        trojan = Kernel(sleeper(30000), plan.trojan, context=1)
+        spy = Kernel(sleeper(30000), plan.spy, context=2)
+        blocker = blocker_kernel(KEPLER_K40C, duration_cycles=30000)
+        victim = Kernel(sleeper(500), KernelConfig(grid=1), context=3)
+        device.stream().launch(trojan)
+        device.stream().launch(spy)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+        device.stream().launch(blocker)
+        device.host_wait(6 * KEPLER_K40C.launch_jitter_cycles)
+        device.stream().launch(victim)
+        device.synchronize(kernels=[trojan, spy])
+        assert not victim.done
+        device.synchronize()
+        assert victim.done
+
+    def test_blocker_fits_on_every_architecture(self):
+        for spec in (FERMI_C2075, KEPLER_K40C, MAXWELL_M4000):
+            device = Device(spec, seed=1)
+            blocker = blocker_kernel(spec, duration_cycles=100)
+            device.launch(blocker)
+            device.synchronize()
+            assert blocker.done

@@ -1,0 +1,110 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(30, lambda: order.append("c"))
+        eng.schedule(10, lambda: order.append("a"))
+        eng.schedule(20, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.schedule(7, lambda i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(12.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [12.5]
+        assert eng.now == 12.5
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        eng = Engine()
+        seen = []
+
+        def first():
+            eng.schedule(5, lambda: seen.append(eng.now))
+
+        eng.schedule(10, first)
+        eng.run()
+        assert seen == [15]
+
+
+class TestRunControl:
+    def test_run_until_leaves_queue_intact(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(100, lambda: fired.append(1))
+        eng.run(until=50)
+        assert fired == []
+        assert eng.now == 50
+        assert eng.pending_events == 1
+        eng.run()
+        assert fired == [1]
+
+    def test_stop_when(self):
+        eng = Engine()
+        fired = []
+        for i in range(10):
+            eng.schedule(i + 1, lambda i=i: fired.append(i))
+        eng.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+        assert eng.pending_events == 7
+
+    def test_step_on_empty_queue(self):
+        assert Engine().step() is False
+
+    def test_idle(self):
+        eng = Engine()
+        assert eng.idle()
+        eng.schedule(1, lambda: None)
+        assert not eng.idle()
+
+    def test_advance_to(self):
+        eng = Engine()
+        eng.advance_to(42.0)
+        assert eng.now == 42.0
+        with pytest.raises(ValueError):
+            eng.advance_to(10.0)
+
+    def test_event_budget_guards_runaway(self):
+        eng = Engine(max_events=10)
+
+        def loop():
+            eng.schedule(1, loop)
+
+        eng.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_events_executed_counter(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule(i, lambda: None)
+        eng.run()
+        assert eng.events_executed == 4

@@ -1,0 +1,89 @@
+"""Tests for the experiments registry and the CLI."""
+
+import pytest
+
+from repro.cli import CHANNEL_FACTORIES, main
+from repro.experiments import (
+    EXPERIMENTS,
+    fig4_data,
+    run_experiment,
+    table1_data,
+)
+
+
+class TestRegistry:
+    def test_all_paper_elements_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10",
+            "table1", "table2", "table3",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_table1(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+        assert len(result.rows) == 3
+        assert "Tesla K40C" in result.render()
+
+    def test_fig4_data_shape(self):
+        data = fig4_data(n_bits=16, seed=3)
+        assert set(data) == {"L1", "L2"}
+        assert set(data["L1"]) == {"Fermi", "Kepler", "Maxwell"}
+        assert all(v > 0 for v in data["L1"].values())
+
+    def test_table1_data_matches_specs(self):
+        data = table1_data()
+        assert data["Tesla K40C"]["SP"] == 192
+        assert data["Quadro M4000"]["DPU"] == 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table2" in out
+
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla K40C" in out and "745" in out
+
+    def test_transmit_error_free_exit_code(self, capsys):
+        code = main(["transmit", "--gpu", "kepler", "--channel", "l1",
+                     "--bits", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "error-free" in out
+
+    def test_transmit_unknown_channel(self, capsys):
+        assert main(["transmit", "--channel", "warp-vote"]) == 2
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "per-SM" in out
+
+    def test_channel_catalog_covers_all_channels(self):
+        expected = {"l1", "l2", "sfu", "sync-l1", "sync-sfu",
+                    "multibit-l1", "multibit-l2", "parallel-sm",
+                    "parallel-sfu", "multi-resource", "atomic-s1",
+                    "atomic-s2", "atomic-s3", "whitespace-l1"}
+        assert expected == set(CHANNEL_FACTORIES)
+
+
+class TestCliPlot:
+    def test_plot_fig2(self, capsys):
+        assert main(["plot", "fig2", "--gpu", "kepler"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "*" in out
+
+    def test_plot_fig6_op(self, capsys):
+        assert main(["plot", "fig6:sinf"]) == 0
+        out = capsys.readouterr().out
+        assert "sinf" in out
+
+    def test_plot_unknown_figure(self):
+        assert main(["plot", "fig42"]) == 2

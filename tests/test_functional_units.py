@@ -1,0 +1,109 @@
+"""Functional-unit bank tests — the Section 5 contention model."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.arch.specs import UnsupportedOperation
+from repro.sim.functional_units import SchedulerFuBank, make_shared_banks
+
+
+class TestSingleWarp:
+    def test_sinf_latency_at_one_warp(self):
+        bank = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        finish = bank.execute_chain(0.0, "sinf", 1)
+        assert finish == pytest.approx(18.0)
+
+    def test_chain_is_dependent(self):
+        bank = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        finish = bank.execute_chain(0.0, "sinf", 10)
+        assert finish == pytest.approx(180.0)
+
+    def test_sqrt_includes_overhead(self):
+        bank = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        finish = bank.execute_chain(0.0, "sqrt", 1)
+        assert finish == pytest.approx(16.0 + 140.0)
+
+    def test_unsupported_op_raises(self):
+        bank = SchedulerFuBank(MAXWELL_M4000, 0, 0)
+        with pytest.raises(UnsupportedOperation):
+            bank.execute_chain(0.0, "dadd", 1)
+
+
+class TestContention:
+    def _steady_per_op(self, spec, op, n_warps, ops=64):
+        """Steady-state per-op time for warp 0 among n interleaved warps."""
+        bank = SchedulerFuBank(spec, 0, 0)
+        finish_times = [0.0] * n_warps
+        for _ in range(ops):
+            order = sorted(range(n_warps), key=lambda w: finish_times[w])
+            for w in order:
+                finish_times[w] = bank.execute_chain(
+                    finish_times[w], op, 1)
+        return finish_times[0] / ops
+
+    def test_plateau_until_saturation(self):
+        # Kepler sinf: occupancy 4, latency 18 -> flat through 4 warps.
+        assert self._steady_per_op(KEPLER_K40C, "sinf", 4) == \
+            pytest.approx(18.0, rel=0.05)
+
+    def test_linear_growth_past_saturation(self):
+        # 8 warps on one scheduler: 8 * 4 = 32 cycles per op.
+        assert self._steady_per_op(KEPLER_K40C, "sinf", 8) == \
+            pytest.approx(32.0, rel=0.1)
+
+    def test_kepler_fadd_never_saturates_at_8_warps(self):
+        # Paper: Kepler SP Add shows no latency steps (Figure 6).
+        assert self._steady_per_op(KEPLER_K40C, "fadd", 8) == \
+            pytest.approx(7.0, rel=0.1)
+
+    def test_fermi_sfu_saturates_early(self):
+        # Fermi: 2 SFUs per scheduler — 4 warps already contend hard.
+        solo = self._steady_per_op(FERMI_C2075, "sinf", 1)
+        four = self._steady_per_op(FERMI_C2075, "sinf", 4)
+        assert four > 2.5 * solo
+
+
+class TestSchedulerIsolation:
+    """The paper's key finding: contention is isolated per scheduler."""
+
+    def test_different_banks_do_not_interact(self):
+        b0 = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        b1 = SchedulerFuBank(KEPLER_K40C, 0, 1)
+        t = 0.0
+        for _ in range(32):
+            t = b0.execute_chain(t, "sinf", 1)
+        # Scheduler 1 is unaffected by scheduler 0's load.
+        assert b1.execute_chain(0.0, "sinf", 1) == pytest.approx(18.0)
+
+    def test_shared_banks_do_interact(self):
+        """Ablation: globally-shared pools couple the schedulers."""
+        banks = make_shared_banks(FERMI_C2075, 0)
+        t = 0.0
+        for _ in range(64):
+            t = banks[0].execute_chain(t, "sinf", 1)
+        # Under the shared-pool ablation the other scheduler queues
+        # behind scheduler 0's chain.
+        other = banks[1].execute_chain(t - 1.0, "sinf", 1) - (t - 1.0)
+        solo = SchedulerFuBank(FERMI_C2075, 0, 1).execute_chain(
+            0.0, "sinf", 1)
+        assert other >= solo
+
+    def test_shared_bank_occupancy_uses_full_pool(self):
+        shared = make_shared_banks(KEPLER_K40C, 0)[0]
+        isolated = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        assert shared.fu_occupancy("sinf") == pytest.approx(
+            isolated.fu_occupancy("sinf") / 4)
+
+
+class TestIssuePort:
+    def test_issue_only_consumes_slot(self):
+        bank = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        t1 = bank.issue_only(0.0)
+        t2 = bank.issue_only(0.0)
+        assert t2 > t1 >= 0.5
+
+    def test_reset(self):
+        bank = SchedulerFuBank(KEPLER_K40C, 0, 0)
+        bank.execute_chain(0.0, "sinf", 4)
+        bank.reset()
+        assert bank.execute_chain(0.0, "sinf", 1) == pytest.approx(18.0)

@@ -1,0 +1,106 @@
+"""Tests for ISA validation, CUDA-style events and ASCII plots."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot, sparkline
+from repro.sim import isa
+from repro.sim.events import Event, elapsed_ms
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+class TestIsaValidation:
+    def test_negative_const_addr_rejected(self):
+        with pytest.raises(ValueError):
+            isa.ConstLoad(-1)
+
+    def test_fuop_count_positive(self):
+        with pytest.raises(ValueError):
+            isa.FuOp("sinf", count=0)
+
+    def test_sleep_nonnegative(self):
+        with pytest.raises(ValueError):
+            isa.Sleep(-1.0)
+
+    def test_shared_access_conflicts_positive(self):
+        with pytest.raises(ValueError):
+            isa.SharedAccess(bank_conflicts=0)
+
+    def test_memresult_hit_property(self):
+        assert isa.MemResult(44.0, "l1").hit
+        assert not isa.MemResult(110.0, "l2").hit
+
+    def test_instructions_are_marked(self):
+        for instr in (isa.ReadClock(), isa.ConstLoad(0),
+                      isa.GlobalLoad([0]), isa.GlobalAtomic([0]),
+                      isa.SharedAccess(), isa.FuOp("sinf"),
+                      isa.Sleep(1), isa.SharedStoreVar("k", 1),
+                      isa.SharedReadVar("k"), isa.SharedAtomicAdd("k")):
+            assert isinstance(instr, isa.Instruction)
+
+
+class TestEvents:
+    def _sleeper(self, cycles):
+        def body(ctx):
+            yield isa.Sleep(cycles)
+        return body
+
+    def test_host_side_kernel_timing(self, kepler):
+        """The Jiang-et-al-style measurement: time a kernel from the
+        host by bracketing it with events."""
+        stream = kepler.stream()
+        start = Event(kepler).record(stream)
+        stream.launch(Kernel(self._sleeper(74500.0),
+                             KernelConfig(grid=1)))
+        end = Event(kepler).record(stream)
+        kepler.synchronize()
+        ms = elapsed_ms(start, end)
+        # 74500 cycles at 745 MHz is 0.1 ms, plus launch overhead.
+        assert 0.1 < ms < 0.2
+
+    def test_event_on_idle_stream_completes_immediately(self, kepler):
+        stream = kepler.stream()
+        event = Event(kepler).record(stream)
+        assert event.recorded
+        assert event.cycle == kepler.now
+
+    def test_unrecorded_event_raises(self, kepler):
+        event = Event(kepler)
+        with pytest.raises(RuntimeError):
+            _ = event.cycle
+
+    def test_event_synchronize(self, kepler):
+        stream = kepler.stream()
+        stream.launch(Kernel(self._sleeper(5000.0), KernelConfig(grid=1)))
+        event = Event(kepler).record(stream)
+        event.synchronize()
+        assert event.recorded
+
+
+class TestPlots:
+    def test_ascii_plot_contains_markers_and_labels(self):
+        series = [(float(x), float(x * x)) for x in range(10)]
+        text = ascii_plot(series, title="parabola")
+        assert "parabola" in text
+        assert "*" in text
+        assert "81" in text         # y max label
+        assert "9" in text          # x max label
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        text = ascii_plot([(0.0, 5.0), (1.0, 5.0)])
+        assert "*" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_tiny_plot_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([(0, 0)], width=2, height=2)
+
+    def test_sparkline_shape(self):
+        line = sparkline([1, 2, 3, 2, 1])
+        assert len(line) == 5
+        assert line[0] == line[-1]
+        assert line[2] == "█"

@@ -1,0 +1,110 @@
+"""Kernel / launch-config / warp-context tests."""
+
+import pytest
+
+from repro.sim import isa
+from repro.sim.kernel import BlockRecord, Kernel, KernelConfig, WarpContext
+
+
+def noop(ctx):
+    yield isa.Sleep(1.0)
+
+
+class TestKernelConfig:
+    def test_warps_per_block(self):
+        assert KernelConfig(grid=1, block_threads=32).warps_per_block == 1
+        assert KernelConfig(grid=1, block_threads=33).warps_per_block == 2
+        assert KernelConfig(grid=1, block_threads=128).warps_per_block == 4
+
+    def test_registers_per_block(self):
+        cfg = KernelConfig(grid=1, block_threads=64,
+                           registers_per_thread=40)
+        assert cfg.registers_per_block == 2560
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelConfig(grid=0)
+        with pytest.raises(ValueError):
+            KernelConfig(grid=1, block_threads=0)
+        with pytest.raises(ValueError):
+            KernelConfig(grid=1, shared_mem=-1)
+
+    def test_frozen(self):
+        cfg = KernelConfig(grid=1)
+        with pytest.raises(Exception):
+            cfg.grid = 2
+
+
+class TestKernel:
+    def test_block_records_created(self):
+        k = Kernel(noop, KernelConfig(grid=3))
+        assert len(k.block_records) == 3
+        assert all(isinstance(r, BlockRecord) for r in k.block_records)
+        assert k.smids() == [None, None, None]
+
+    def test_name_defaults_to_function_name(self):
+        assert Kernel(noop, KernelConfig(grid=1)).name == "noop"
+
+    def test_not_done_initially(self):
+        assert not Kernel(noop, KernelConfig(grid=1)).done
+
+    def test_on_complete_fires(self, kepler):
+        k = Kernel(noop, KernelConfig(grid=1))
+        seen = []
+        k.on_complete(lambda kk: seen.append(kk.name))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert seen == ["noop"]
+        assert k.done
+
+    def test_on_complete_after_done_fires_immediately(self, kepler):
+        k = Kernel(noop, KernelConfig(grid=1))
+        kepler.launch(k)
+        kepler.synchronize()
+        seen = []
+        k.on_complete(lambda kk: seen.append(1))
+        assert seen == [1]
+
+    def test_unique_ids(self):
+        a = Kernel(noop, KernelConfig(grid=1))
+        b = Kernel(noop, KernelConfig(grid=1))
+        assert a.kernel_id != b.kernel_id
+
+
+class TestWarpContext:
+    def test_observable_fields(self, kepler):
+        seen = {}
+
+        def body(ctx):
+            seen[(ctx.block_idx, ctx.warp_in_block)] = (
+                ctx.smid, ctx.thread_base, ctx.global_warp_index)
+            yield isa.Sleep(1.0)
+
+        k = Kernel(body, KernelConfig(grid=2, block_threads=64))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert seen[(0, 0)] == (0, 0, 0)
+        assert seen[(0, 1)] == (0, 32, 1)
+        assert seen[(1, 0)] == (1, 64, 2)
+
+    def test_args_and_out_shared(self, kepler):
+        def body(ctx):
+            ctx.out.setdefault("vals", []).append(ctx.args["x"])
+            yield isa.Sleep(1.0)
+
+        k = Kernel(body, KernelConfig(grid=2), args={"x": 7})
+        kepler.launch(k)
+        kepler.synchronize()
+        assert k.out["vals"] == [7, 7]
+
+    def test_device_info_exposed(self, kepler):
+        seen = {}
+
+        def body(ctx):
+            seen.update(ctx.device_info)
+            yield isa.Sleep(1.0)
+
+        kepler.launch(Kernel(body, KernelConfig(grid=1)))
+        kepler.synchronize()
+        assert seen["n_sms"] == 15
+        assert seen["warp_schedulers"] == 4

@@ -1,0 +1,128 @@
+"""Global memory / atomic unit tests (Section 6 mechanics)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C
+from repro.sim import isa
+from repro.sim.memory import GlobalMemory, coalesced_transactions
+
+
+def kepler_mem() -> GlobalMemory:
+    return GlobalMemory(KEPLER_K40C.memory)
+
+
+def fermi_mem() -> GlobalMemory:
+    return GlobalMemory(FERMI_C2075.memory)
+
+
+class TestCoalescing:
+    def test_consecutive_words_one_transaction(self):
+        addrs = [t * 4 for t in range(32)]
+        assert coalesced_transactions(addrs) == 1
+
+    def test_strided_by_segment(self):
+        addrs = [t * 256 for t in range(32)]
+        assert coalesced_transactions(addrs) == 32
+
+    def test_scenario_address_shapes(self):
+        s1 = isa.scenario_addresses(1, 0, 0)
+        s2 = isa.scenario_addresses(2, 0, 0)
+        s3 = isa.scenario_addresses(3, 0, 0)
+        assert coalesced_transactions(s3) == 1          # fully packed
+        assert coalesced_transactions(s2) == 32         # one per thread
+        assert coalesced_transactions(s1) > 1
+
+    def test_scenario1_fixed_across_iterations(self):
+        assert (isa.scenario_addresses(1, 0, 0)
+                == isa.scenario_addresses(1, 0, 5))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            isa.scenario_addresses(4, 0, 0)
+
+
+class TestLoads:
+    def test_load_latency(self):
+        mem = kepler_mem()
+        addrs = [t * 4 for t in range(32)]
+        finish = mem.warp_load(0.0, addrs)
+        assert finish == pytest.approx(KEPLER_K40C.memory.load_latency)
+
+    def test_loads_have_no_usable_contention(self):
+        """Section 6: plain loads can't create reliable contention —
+        queueing delay is tiny relative to the load latency."""
+        mem = kepler_mem()
+        addrs = [t * 4 for t in range(32)]
+        solo = mem.warp_load(0.0, addrs)
+        mem2 = kepler_mem()
+        for w in range(16):                      # heavy competing traffic
+            base = w * 4096 + w * 256            # spread across channels
+            mem2.warp_load(0.0, [base + t * 4 for t in range(32)])
+        contended = mem2.warp_load(0.0, addrs)
+        assert (contended - solo) / solo < 0.1
+
+    def test_store_retires_at_queue_accept(self):
+        mem = kepler_mem()
+        finish = mem.warp_store(0.0, [0])
+        assert finish < KEPLER_K40C.memory.load_latency
+
+
+class TestAtomics:
+    def test_single_segment_serializes(self):
+        mem = kepler_mem()
+        packed = isa.scenario_addresses(3, 0, 0)
+        spread = isa.scenario_addresses(2, 0, 0)
+        t_packed = mem.warp_atomic(0.0, packed)
+        mem2 = kepler_mem()
+        t_spread = mem2.warp_atomic(0.0, spread)
+        assert t_packed > t_spread
+
+    def test_atomic_contention_visible(self):
+        """Competing warps on the same units inflate latency — the
+        signal the Section 6 channel decodes."""
+        mem = kepler_mem()
+        addrs = isa.scenario_addresses(3, 0, 0)
+        solo = mem.warp_atomic(0.0, addrs)
+        mem2 = kepler_mem()
+        for _ in range(8):
+            mem2.warp_atomic(0.0, addrs)
+        contended = mem2.warp_atomic(0.0, addrs) - 0.0
+        assert contended > 2 * solo
+
+    def test_fermi_atomics_much_slower(self):
+        """Kepler's L2 atomic units are ~9x faster (Section 6)."""
+        k = kepler_mem().warp_atomic(0.0, isa.scenario_addresses(3, 0, 0))
+        f = fermi_mem().warp_atomic(0.0, isa.scenario_addresses(3, 0, 0))
+        assert f > 3 * k
+
+    def test_duplicate_addresses_collapse(self):
+        mem = kepler_mem()
+        t_dup = mem.warp_atomic(0.0, [0] * 32)
+        mem2 = kepler_mem()
+        t_unique = mem2.warp_atomic(0.0, [t * 4 for t in range(32)])
+        assert t_dup < t_unique
+
+    def test_backing_store_updates(self):
+        mem = kepler_mem()
+        mem.warp_atomic(0.0, [128, 128, 132])
+        assert mem.read_word(128) == 1
+        assert mem.read_word(132) == 1
+
+    def test_reset(self):
+        mem = kepler_mem()
+        mem.warp_atomic(0.0, [0])
+        mem.warp_load(0.0, [0])
+        mem.reset()
+        assert mem.atomic_ops == 0
+        assert mem.load_transactions == 0
+        assert mem.read_word(0) == 0
+
+
+class TestValidation:
+    def test_empty_addr_lists_rejected(self):
+        with pytest.raises(ValueError):
+            isa.GlobalLoad([])
+        with pytest.raises(ValueError):
+            isa.GlobalAtomic([])
+        with pytest.raises(ValueError):
+            isa.GlobalStore([])

@@ -1,0 +1,145 @@
+"""Alternative multiprogramming policy tests (Sections 3.2 and 8)."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.policies import POLICIES, make_block_scheduler
+
+
+def sleeper(cycles=5000.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+def device(policy):
+    return Device(KEPLER_K40C, seed=1, policy=policy)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        for name in ("leftover", "smk", "warped-slicer", "spatial",
+                     "draining"):
+            assert name in POLICIES
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            Device(KEPLER_K40C, policy="fair-share")
+
+
+class TestSMK:
+    """Wang et al.: preemptive — co-location easy, small blocks safe."""
+
+    def test_newcomer_preempts_resource_hog(self):
+        dev = device("smk")
+        hog = Kernel(sleeper(1e6), KernelConfig(
+            grid=15, shared_mem=KEPLER_K40C.max_shared_mem_per_block),
+            context=1, name="hog")
+        small = Kernel(sleeper(2000), KernelConfig(grid=15, shared_mem=512),
+                       context=2, name="small")
+        dev.stream().launch(hog)
+        dev.stream().launch(small)
+        dev.synchronize(kernels=[small])
+        # The small kernel ran to completion despite the hog's
+        # saturation — impossible under the leftover policy.
+        assert small.done
+
+    def test_same_context_not_preempted(self):
+        dev = device("smk")
+        a = Kernel(sleeper(5000), KernelConfig(
+            grid=15, shared_mem=KEPLER_K40C.max_shared_mem_per_block),
+            context=1)
+        b = Kernel(sleeper(1000), KernelConfig(grid=15, shared_mem=512),
+                   context=1)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        # b had to wait for a (no preemption inside one application).
+        assert min(r.start_cycle for r in b.block_records) >= \
+            min(r.stop_cycle for r in a.block_records)
+
+
+class TestWarpedSlicer:
+    """Xu et al.: compatibility-gated intra-SM sharing, non-preemptive."""
+
+    def test_compatible_kernels_colocate(self):
+        dev = device("warped-slicer")
+        a = Kernel(sleeper(8000), KernelConfig(grid=15, shared_mem=16384),
+                   context=1)
+        b = Kernel(sleeper(8000), KernelConfig(grid=15, shared_mem=0),
+                   context=2)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        assert dev.colocated_sms(a, b) == list(range(15))
+
+    def test_incompatible_kernels_do_not_share(self):
+        dev = device("warped-slicer")
+        a = Kernel(sleeper(8000), KernelConfig(grid=15, shared_mem=30000),
+                   context=1)
+        b = Kernel(sleeper(8000), KernelConfig(grid=15, shared_mem=30000),
+                   context=2)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        # Incompatible demands: b's blocks waited for a's to drain
+        # rather than sharing SMs concurrently.
+        assert min(r.start_cycle for r in b.block_records) >= \
+            min(r.stop_cycle for r in a.block_records)
+
+
+class TestSpatial:
+    """Adriaens et al.: disjoint SM partitions — no intra-SM channels."""
+
+    def test_contexts_get_disjoint_sms(self):
+        dev = device("spatial")
+        a = Kernel(sleeper(8000), KernelConfig(grid=7), context=1)
+        b = Kernel(sleeper(8000), KernelConfig(grid=7), context=2)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        sms_a = set(a.smids())
+        sms_b = set(b.smids())
+        assert sms_a.isdisjoint(sms_b)
+        assert max(sms_a) < min(sms_b)
+
+
+class TestDraining:
+    """Tanasic et al.: whole-SM granularity."""
+
+    def test_no_intra_sm_mixing(self):
+        dev = device("draining")
+        a = Kernel(sleeper(8000), KernelConfig(grid=10), context=1)
+        b = Kernel(sleeper(8000), KernelConfig(grid=10), context=2)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        assert dev.colocated_sms(a, b) == []
+
+    def test_same_kernel_can_stack_blocks(self):
+        dev = device("draining")
+        a = Kernel(sleeper(5000), KernelConfig(grid=30), context=1)
+        dev.stream().launch(a)
+        dev.synchronize()
+        assert a.done
+
+
+class TestTemporal:
+    """Mitigation policy: one context at a time, with cache flush."""
+
+    def test_contexts_never_overlap(self):
+        import repro.mitigations  # registers the policy
+        dev = device("temporal")
+        a = Kernel(sleeper(5000), KernelConfig(grid=15), context=1)
+        b = Kernel(sleeper(5000), KernelConfig(grid=15), context=2)
+        dev.stream().launch(a)
+        dev.stream().launch(b)
+        dev.synchronize(kernels=[a, b])
+        a_window = (min(r.start_cycle for r in a.block_records),
+                    max(r.stop_cycle for r in a.block_records))
+        b_window = (min(r.start_cycle for r in b.block_records),
+                    max(r.stop_cycle for r in b.block_records))
+        assert a_window[1] <= b_window[0] or b_window[1] <= a_window[0]

@@ -1,0 +1,97 @@
+"""Attack behaviour under alternative multiprogramming (Section 3.2).
+
+The paper analyses how co-location and the channels carry over to the
+literature's proposed schedulers; these tests pin the analysed claims.
+"""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels import L2CacheChannel, SynchronizedL1Channel
+from repro.colocation import blocker_kernel
+from repro.sim.gpu import Device
+
+
+class TestSMKEasesColocation:
+    """Wang et al.: preemption lets the attacker onto a busy device."""
+
+    def _sleeper(self, cycles):
+        from repro.sim import isa
+
+        def body(ctx):
+            yield isa.Sleep(cycles)
+        return body
+
+    def test_attacker_kernels_preempt_busy_device(self):
+        """Under SMK the attacker's kernels run (and co-locate) while
+        the hog is still nominally resident — co-location is easy."""
+        from repro.sim.kernel import Kernel, KernelConfig
+        device = Device(KEPLER_K40C, seed=7, policy="smk")
+        hog = blocker_kernel(KEPLER_K40C, duration_cycles=3_000_000,
+                             reserve_threads=0, context=50)
+        device.stream().launch(hog)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+
+        trojan = Kernel(self._sleeper(20_000), KernelConfig(grid=4),
+                        context=1)
+        spy = Kernel(self._sleeper(20_000), KernelConfig(grid=4),
+                     context=2)
+        device.stream().launch(trojan)
+        device.stream().launch(spy)
+        device.synchronize(kernels=[trojan, spy])
+        assert not hog.done, "attacker ran while the hog was resident"
+        assert device.colocated_sms(trojan, spy), \
+            "trojan and spy co-located via preemption"
+        device.synchronize()
+
+    def test_leftover_policy_blocks_instead(self):
+        """Same scenario under current hardware: the kernels queue
+        until the hog frees an SM (non-preemptive FIFO)."""
+        from repro.sim.kernel import Kernel, KernelConfig
+        device = Device(KEPLER_K40C, seed=7, policy="leftover")
+        hog = blocker_kernel(KEPLER_K40C, duration_cycles=1_500_000,
+                             reserve_threads=0, context=50)
+        device.stream().launch(hog)
+        device.host_wait(3 * KEPLER_K40C.launch_overhead_cycles)
+
+        trojan = Kernel(self._sleeper(20_000), KernelConfig(grid=4),
+                        context=1)
+        device.stream().launch(trojan)
+        device.synchronize(kernels=[trojan])
+        first_hog_end = min(r.stop_cycle for r in hog.block_records)
+        assert min(r.start_cycle for r in trojan.block_records) \
+            >= first_hog_end
+
+    def test_small_blocks_are_not_preemption_victims(self):
+        """Paper: one small block per SM guarantees the attacker's
+        kernels are never the highest-resource-usage victims."""
+        device = Device(KEPLER_K40C, seed=7, policy="smk")
+        channel = SynchronizedL1Channel(device)
+        # Launch a greedy latecomer mid-transfer via bystanders.
+        greedy = blocker_kernel(KEPLER_K40C, duration_cycles=100_000,
+                                context=60)
+        result = channel.transmit_random(24, seed=9,
+                                         bystanders=[greedy])
+        device.synchronize()
+        # The channel's 32-thread blocks were never victims: error-free.
+        assert result.error_free
+
+
+class TestInterSMChannelsSurviveSpatialPolicies:
+    """Adriaens / Tanasic: no intra-SM co-location, but the L2 channel
+    works across SMs (the paper's Section 3.2 fallback)."""
+
+    @pytest.mark.parametrize("policy", ["spatial", "draining"])
+    def test_l2_channel_works(self, policy):
+        device = Device(KEPLER_K40C, seed=5, policy=policy)
+        channel = L2CacheChannel(device)
+        result = channel.transmit_random(16, seed=3)
+        assert result.error_free
+
+    @pytest.mark.parametrize("policy", ["spatial"])
+    def test_l1_channel_dies(self, policy):
+        """Without intra-SM co-location the per-SM L1 carries nothing."""
+        device = Device(KEPLER_K40C, seed=5, policy=policy)
+        from repro.channels import L1CacheChannel
+        result = L1CacheChannel(device).transmit_random(32, seed=3)
+        assert result.ber > 0.3

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.specs import CacheSpec, KEPLER_K40C
+from repro.channels.base import bits_from_bytes, bytes_from_bits
+from repro.noise import (
+    compare_bits,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+    repetition_decode,
+    repetition_encode,
+)
+from repro.sim.cache import ConstCache
+from repro.sim.engine import Engine
+from repro.sim.memory import coalesced_transactions
+from repro.sim.resources import PipelinedPort
+
+bits_st = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestEccProperties:
+    @given(bits_st, st.sampled_from([1, 3, 5, 7]))
+    def test_repetition_roundtrip(self, bits, n):
+        assert repetition_decode(repetition_encode(bits, n), n) == bits
+
+    @given(bits_st)
+    def test_hamming_roundtrip_prefix(self, bits):
+        decoded = hamming74_decode(hamming74_encode(bits))
+        assert decoded[:len(bits)] == bits
+        assert all(b == 0 for b in decoded[len(bits):])
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=4),
+           st.integers(0, 6))
+    def test_hamming_corrects_every_single_error(self, data, pos):
+        coded = hamming74_encode(data)
+        coded[pos] ^= 1
+        assert hamming74_decode(coded) == data
+
+    @given(bits_st, st.integers(1, 8))
+    def test_interleave_roundtrip(self, bits, depth):
+        coded = interleave(bits, depth)
+        recovered = deinterleave(coded, depth)
+        assert recovered[:len(bits)] == bits
+
+    @given(bits_st)
+    def test_bits_bytes_roundtrip(self, bits):
+        data = bytes_from_bits(bits)
+        recovered = bits_from_bytes(data)
+        assert recovered[:len(bits)] == bits
+        assert all(b == 0 for b in recovered[len(bits):])
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        cache = ConstCache(CacheSpec(2048, 64, 4, 44.0))
+        for a in addrs:
+            cache.access(a)
+        for s in range(cache.spec.n_sets):
+            assert 0 <= cache.occupancy(s) <= 4
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_immediate_reaccess_always_hits(self, addrs):
+        cache = ConstCache(CacheSpec(2048, 64, 4, 44.0))
+        for a in addrs:
+            cache.access(a)
+            assert cache.contains(a)
+            assert cache.access(a)
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_hit_miss_accounting(self, addrs):
+        cache = ConstCache(CacheSpec(2048, 64, 4, 44.0))
+        for a in addrs:
+            cache.access(a)
+        assert cache.hits + cache.misses == len(addrs)
+        assert sum(cache.set_misses) == cache.misses
+
+    @given(st.integers(0, 1 << 24))
+    def test_set_index_in_range(self, addr):
+        spec = KEPLER_K40C.const_l1
+        assert 0 <= spec.set_index(addr) < spec.n_sets
+
+    @given(st.integers(0, 1 << 20), st.integers(1, 8))
+    def test_way_stride_preserves_set(self, addr, k):
+        spec = KEPLER_K40C.const_l1
+        assert spec.set_index(addr) == spec.set_index(
+            addr + k * spec.way_stride)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(d, lambda d=d: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestPortProperties:
+    @given(st.lists(st.tuples(st.floats(0, 1000, allow_nan=False),
+                              st.floats(0, 50, allow_nan=False)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_service_never_overlaps(self, reqs):
+        port = PipelinedPort()
+        reqs = sorted(reqs)              # arrivals in time order
+        intervals = []
+        for now, occ in reqs:
+            start = port.acquire(now, occ)
+            assert start >= now
+            intervals.append((start, start + occ))
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+
+class TestCoalescingProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_transaction_count_bounds(self, addrs):
+        n = coalesced_transactions(addrs)
+        assert 1 <= n <= len(addrs)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+    def test_permutation_invariant(self, addrs):
+        assert coalesced_transactions(addrs) == coalesced_transactions(
+            list(reversed(addrs)))
+
+
+class TestMetricsProperties:
+    @given(bits_st)
+    def test_identical_streams_error_free(self, bits):
+        assert compare_bits(bits, bits).error_free
+
+    @given(bits_st)
+    def test_inverted_streams_all_errors(self, bits):
+        flipped = [1 - b for b in bits]
+        stats = compare_bits(bits, flipped)
+        assert stats.errors == len(bits)
+        assert stats.zero_to_one + stats.one_to_zero == len(bits)

@@ -1,0 +1,76 @@
+"""Property-based tests for the extension modules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.reliable import ReliableLink, SYNC_HEADER
+from repro.noise.ecc import crc8, crc8_check
+
+bits_st = st.lists(st.integers(0, 1), min_size=1, max_size=40)
+
+
+class _NullChannel:
+    """Frame/parse tests need a link object but no device."""
+    device = None
+
+
+def _link(payload_bits=16):
+    link = ReliableLink.__new__(ReliableLink)
+    link.forward = None
+    link.reverse = None
+    link.frame_payload_bits = payload_bits
+    link.max_retries = 1
+    return link
+
+
+class TestFrameProperties:
+    @given(st.integers(0, 1), bits_st)
+    def test_frame_parse_roundtrip(self, seq, payload):
+        link = _link(len(payload))
+        frame = link._frame(seq, payload)
+        parsed = link._parse(frame)
+        assert parsed is not None
+        assert parsed[0] == seq
+        assert parsed[1] == payload
+
+    @given(st.integers(0, 1), bits_st, st.data())
+    @settings(max_examples=120)
+    def test_any_single_flip_rejected(self, seq, payload, data):
+        """Flipping any single wire bit must reject the frame: header
+        flips fail the sync check, and CRC-8 detects every single-bit
+        error in the covered body/checksum."""
+        link = _link(len(payload))
+        frame = link._frame(seq, payload)
+        pos = data.draw(st.integers(0, len(frame) - 1))
+        corrupted = list(frame)
+        corrupted[pos] ^= 1
+        assert link._parse(corrupted) is None
+
+    @given(bits_st)
+    def test_all_zero_wire_rejected(self, payload):
+        """A dead channel (all zeros) must never parse as a frame."""
+        link = _link(len(payload))
+        frame_len = len(link._frame(0, payload))
+        assert link._parse([0] * frame_len) is None
+
+    def test_sync_header_nonzero(self):
+        assert any(SYNC_HEADER)
+
+
+class TestCrcProperties:
+    @given(bits_st)
+    def test_crc_verifies_clean_stream(self, bits):
+        assert crc8_check(bits, crc8(bits))
+
+    @given(bits_st, st.data())
+    @settings(max_examples=120)
+    def test_crc_detects_any_single_flip(self, bits, data):
+        checksum = crc8(bits)
+        pos = data.draw(st.integers(0, len(bits) - 1))
+        corrupted = list(bits)
+        corrupted[pos] ^= 1
+        assert not crc8_check(corrupted, checksum)
+
+    @given(bits_st)
+    def test_crc_is_deterministic(self, bits):
+        assert crc8(bits) == crc8(list(bits))
+        assert len(crc8(bits)) == 8

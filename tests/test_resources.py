@@ -1,0 +1,71 @@
+"""Resource-server primitive tests."""
+
+import pytest
+
+from repro.sim.resources import PipelinedPort, UtilizationMeter
+
+
+class TestPipelinedPort:
+    def test_idle_port_serves_immediately(self):
+        port = PipelinedPort()
+        assert port.acquire(100.0, 4.0) == 100.0
+
+    def test_busy_port_queues(self):
+        port = PipelinedPort()
+        port.acquire(0.0, 10.0)
+        assert port.acquire(0.0, 10.0) == 10.0
+        assert port.acquire(0.0, 10.0) == 20.0
+
+    def test_idle_gap_resets(self):
+        port = PipelinedPort()
+        port.acquire(0.0, 5.0)
+        assert port.acquire(100.0, 5.0) == 100.0
+
+    def test_contention_emerges_from_interleaving(self):
+        """Two clients at the same instant see serialized service."""
+        port = PipelinedPort()
+        a = port.acquire(0.0, 3.0)
+        b = port.acquire(0.0, 3.0)
+        assert (a, b) == (0.0, 3.0)
+
+    def test_wait_time(self):
+        port = PipelinedPort()
+        port.acquire(0.0, 8.0)
+        assert port.wait_time(2.0) == 6.0
+        assert port.wait_time(20.0) == 0.0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedPort().acquire(0.0, -1.0)
+
+    def test_statistics(self):
+        port = PipelinedPort()
+        port.acquire(0.0, 2.0)
+        port.acquire(0.0, 3.0)
+        assert port.requests == 2
+        assert port.busy_cycles == 5.0
+
+    def test_reset(self):
+        port = PipelinedPort()
+        port.acquire(0.0, 2.0)
+        port.reset()
+        assert port.free_at == 0.0
+        assert port.requests == 0
+
+
+class TestUtilizationMeter:
+    def test_window_mean(self):
+        meter = UtilizationMeter()
+        meter.record(0.0, 1.0)
+        meter.record(5.0, 3.0)
+        meter.record(15.0, 100.0)
+        assert meter.window_mean(0.0, 10.0) == 2.0
+
+    def test_empty_window(self):
+        assert UtilizationMeter().window_mean(0, 10) == 0.0
+
+    def test_clear(self):
+        meter = UtilizationMeter()
+        meter.record(0.0, 1.0)
+        meter.clear()
+        assert meter.samples == []

@@ -1,0 +1,56 @@
+"""Cache characterization tests (Section 4.1, Figures 2–3)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.reveng import characterize_cache, infer_cache_parameters
+from repro.reveng.cache_params import measure_point
+
+
+class TestSweepShape:
+    def test_l1_plateau_then_staircase(self):
+        pts = characterize_cache(KEPLER_K40C, "l1")
+        lats = [lat for _, lat in pts]
+        sizes = [s for s, _ in pts]
+        in_cache = [lat for s, lat in pts if s <= 2048]
+        spilled = [lat for s, lat in pts if s >= 2048 + 8 * 64]
+        # Flat within capacity, saturated once every set spills.
+        assert max(in_cache) - min(in_cache) < 5.0
+        assert min(spilled) > 2 * max(in_cache)
+        # Monotonic (within tolerance) through the staircase.
+        rising = [lat for s, lat in pts if 2048 <= s <= 2048 + 8 * 64]
+        assert all(b >= a - 2.0 for a, b in zip(rising, rising[1:]))
+
+    def test_l2_spill_reaches_memory_latency(self):
+        lat_fit = measure_point(KEPLER_K40C, 31 * 1024, 256)
+        lat_spill = measure_point(KEPLER_K40C, 37 * 1024, 256)
+        assert lat_fit < 130
+        assert lat_spill > 300
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_cache(KEPLER_K40C, "l3")
+
+
+class TestInference:
+    @pytest.mark.parametrize("spec", [FERMI_C2075, KEPLER_K40C,
+                                      MAXWELL_M4000],
+                             ids=["fermi", "kepler", "maxwell"])
+    def test_l1_parameters_recovered(self, spec):
+        pts = characterize_cache(spec, "l1")
+        params = infer_cache_parameters(pts, stride=spec.const_l1.line_bytes)
+        assert params.size_bytes == spec.const_l1.size_bytes
+        assert params.line_bytes == spec.const_l1.line_bytes
+        assert params.n_sets == spec.const_l1.n_sets
+        assert params.ways == spec.const_l1.ways
+
+    def test_l2_parameters_recovered(self):
+        pts = characterize_cache(KEPLER_K40C, "l2")
+        params = infer_cache_parameters(pts, stride=256)
+        assert params.size_bytes == 32 * 1024
+        assert params.n_sets == 16
+        assert params.ways == 8
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            infer_cache_parameters([(2048, 44.0)], stride=64)

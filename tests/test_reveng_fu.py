@@ -1,0 +1,87 @@
+"""FU latency characterization tests (Section 5.1, Figures 6–7)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.reveng import contention_onset, latency_curve, plateau_latency
+from repro.reveng.fu_latency import (
+    measure_latency,
+    scheduler_count_from_steps,
+)
+
+WARPS = [1, 2, 4, 8, 12, 16, 20, 24, 28, 32]
+
+
+class TestPlateaus:
+    """Plateau latencies must sit near the paper's Figure 6/7 values."""
+
+    @pytest.mark.parametrize("spec,op,expected", [
+        (KEPLER_K40C, "sinf", 18.0),
+        (MAXWELL_M4000, "sinf", 15.0),
+        (FERMI_C2075, "sinf", 26.0),
+        (KEPLER_K40C, "fadd", 7.0),
+        (MAXWELL_M4000, "fadd", 6.0),
+        (FERMI_C2075, "fadd", 16.0),
+        (KEPLER_K40C, "dadd", 8.0),
+        (FERMI_C2075, "dadd", 18.0),
+    ], ids=lambda v: getattr(v, "generation", v))
+    def test_single_warp_latency(self, spec, op, expected):
+        assert measure_latency(spec, op, 1) == pytest.approx(
+            expected, rel=0.1)
+
+    def test_sqrt_plateaus(self):
+        # Paper: ~100 on Fermi, ~150 on Kepler, ~120 on Maxwell.
+        assert measure_latency(FERMI_C2075, "sqrt", 1) == pytest.approx(
+            100, rel=0.15)
+        assert measure_latency(KEPLER_K40C, "sqrt", 1) == pytest.approx(
+            156, rel=0.15)
+        assert measure_latency(MAXWELL_M4000, "sqrt", 1) == pytest.approx(
+            121, rel=0.15)
+
+
+class TestContentionShape:
+    def test_kepler_sinf_curve(self):
+        curve = latency_curve(KEPLER_K40C, "sinf", WARPS, iterations=96)
+        assert plateau_latency(curve) == pytest.approx(18.0, rel=0.1)
+        onset = contention_onset(curve)
+        # Saturation at latency/occupancy = 4.5 warps/sched ~ 18 warps.
+        assert onset is not None and 16 <= onset <= 24
+        # 32 warps (8/scheduler) -> ~32 cycles.
+        assert curve[-1][1] == pytest.approx(32.0, rel=0.15)
+
+    def test_kepler_fadd_has_no_steps(self):
+        """Paper: Kepler SP Add/Mul show no visible latency steps."""
+        curve = latency_curve(KEPLER_K40C, "fadd", WARPS, iterations=96)
+        assert contention_onset(curve) is None
+
+    def test_maxwell_fadd_steps_late(self):
+        """Paper: Maxwell Add steps appear around 24 warps."""
+        curve = latency_curve(MAXWELL_M4000, "fadd", WARPS,
+                              iterations=96)
+        onset = contention_onset(curve)
+        assert onset is not None and 20 <= onset <= 32
+
+    def test_fermi_dadd_matches_figure7(self):
+        curve = latency_curve(FERMI_C2075, "dadd", WARPS, iterations=96)
+        onset = contention_onset(curve)
+        assert onset is not None and 8 <= onset <= 14
+        assert curve[-1][1] == pytest.approx(64.0, rel=0.15)
+
+    def test_monotone_nondecreasing(self):
+        curve = latency_curve(KEPLER_K40C, "sinf", WARPS, iterations=96)
+        lats = [lat for _, lat in curve]
+        assert all(b >= a - 1.0 for a, b in zip(lats, lats[1:]))
+
+
+class TestSchedulerCountInference:
+    @pytest.mark.parametrize("spec", [FERMI_C2075, KEPLER_K40C,
+                                      MAXWELL_M4000],
+                             ids=["fermi", "kepler", "maxwell"])
+    def test_step_spacing_reveals_scheduler_count(self, spec):
+        curve = latency_curve(spec, "sinf", range(1, 33), iterations=96)
+        inferred = scheduler_count_from_steps(curve)
+        assert inferred == spec.warp_schedulers
+
+    def test_flat_curve_yields_none(self):
+        curve = latency_curve(KEPLER_K40C, "fadd", WARPS, iterations=96)
+        assert scheduler_count_from_steps(curve) is None

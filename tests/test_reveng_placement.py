@@ -1,0 +1,56 @@
+"""Block-placement and warp-assignment reverse engineering tests."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000
+from repro.reveng import (
+    infer_block_policy,
+    infer_warp_schedulers,
+    observe_placement,
+)
+
+
+class TestObservePlacement:
+    def test_round_robin_smids(self):
+        smids = observe_placement(KEPLER_K40C, 15)
+        assert smids == list(range(15))
+
+    def test_fewer_blocks_than_sms(self):
+        smids = observe_placement(KEPLER_K40C, 4)
+        assert smids == [0, 1, 2, 3]
+
+    def test_shared_memory_limits_placement(self):
+        smids = observe_placement(
+            KEPLER_K40C, 2,
+            shared_mem=KEPLER_K40C.max_shared_mem_per_block)
+        assert smids == [0, 1]
+
+
+class TestInferBlockPolicy:
+    @pytest.mark.parametrize("spec", [FERMI_C2075, KEPLER_K40C,
+                                      MAXWELL_M4000],
+                             ids=["fermi", "kepler", "maxwell"])
+    def test_all_findings_hold(self, spec):
+        report = infer_block_policy(spec)
+        assert report.round_robin
+        assert report.leftover_coresidency
+        assert report.fifo_queueing
+        assert len(report.smids_first_kernel) == spec.n_sms
+
+
+class TestInferWarpSchedulers:
+    @pytest.mark.parametrize("spec", [FERMI_C2075, KEPLER_K40C,
+                                      MAXWELL_M4000],
+                             ids=["fermi", "kepler", "maxwell"])
+    def test_scheduler_count_recovered(self, spec):
+        assert infer_warp_schedulers(spec) == spec.warp_schedulers
+
+    def test_randomized_assignment_defeats_inference(self):
+        """Under the Section 9 randomization mitigation the stride
+        structure disappears — inference returns a wrong/no answer."""
+        from repro.reveng.warp_assignment import slowed_warps
+        # With round-robin, the slowed set is a clean progression.
+        clean = slowed_warps(KEPLER_K40C, "sinf", 20)
+        assert clean
+        stride = {b - a for a, b in zip(clean, clean[1:])}
+        assert stride == {KEPLER_K40C.warp_schedulers} or len(clean) == 1

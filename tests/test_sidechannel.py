@@ -1,0 +1,76 @@
+"""Side-channel proof-of-concept tests (paper future work)."""
+
+import pytest
+
+from repro.arch.specs import FERMI_C2075, KEPLER_K40C
+from repro.sidechannel import (
+    PrimeProbeAttacker,
+    TableLookupVictim,
+    recoverable_bits,
+)
+from repro.sim.gpu import Device
+
+
+class TestVictim:
+    def test_key_validation(self, kepler):
+        with pytest.raises(ValueError):
+            TableLookupVictim(kepler, key=256)
+        with pytest.raises(ValueError):
+            TableLookupVictim(kepler, key=-1)
+
+    def test_input_validation(self, kepler):
+        victim = TableLookupVictim(kepler, key=3)
+        with pytest.raises(ValueError):
+            victim.encrypt_kernel(300)
+
+    def test_lookup_addr_secret_dependent(self, kepler):
+        victim = TableLookupVictim(kepler, key=0)
+        assert victim.lookup_addr(0) != victim.lookup_addr(9)
+        # 8 entries share a 64B line.
+        assert victim.lookup_addr(0) // 64 == victim.lookup_addr(7) // 64
+
+    def test_oracle(self, kepler):
+        victim = TableLookupVictim(kepler, key=0b111000)
+        assert victim.check_guess(0b111000, 0b111000)
+        assert not victim.check_guess(0, 0b111000)
+
+
+class TestRecovery:
+    def test_recoverable_bits_by_architecture(self):
+        assert recoverable_bits(Device(KEPLER_K40C, seed=1)) == 3
+        assert recoverable_bits(Device(FERMI_C2075, seed=1)) == 4
+
+    @pytest.mark.parametrize("key", [0b00000000, 0b00101000,
+                                     0b10110101, 0b11111111])
+    def test_recovers_set_selecting_bits(self, key):
+        device = Device(KEPLER_K40C, seed=81)
+        victim = TableLookupVictim(device, key=key)
+        attacker = PrimeProbeAttacker(device, victim)
+        result = attacker.attack(plaintexts=list(range(0, 256, 11)))
+        assert victim.check_guess(result.best_guess_bits, result.mask)
+
+    def test_scores_cleanly_separated(self):
+        device = Device(KEPLER_K40C, seed=81)
+        victim = TableLookupVictim(device, key=0b01010101)
+        attacker = PrimeProbeAttacker(device, victim)
+        result = attacker.attack(plaintexts=list(range(0, 256, 11)))
+        ranked = result.candidates()
+        assert result.scores[ranked[0]] > 3 * max(
+            1, result.scores[ranked[1]])
+
+    def test_fermi_recovers_four_bits(self):
+        device = Device(FERMI_C2075, seed=81)
+        victim = TableLookupVictim(device, key=0b01011000)
+        attacker = PrimeProbeAttacker(device, victim)
+        result = attacker.attack(plaintexts=list(range(0, 256, 11)))
+        assert bin(result.mask).count("1") == 4
+        assert victim.check_guess(result.best_guess_bits, result.mask)
+
+    def test_prediction_consistency(self, kepler):
+        victim = TableLookupVictim(kepler, key=0)
+        attacker = PrimeProbeAttacker(kepler, victim)
+        # The prediction function mirrors the victim's real mapping.
+        for x in (0, 5, 100, 255):
+            addr = victim.lookup_addr(x ^ 0b1000)
+            assert attacker.predicted_set(x, 0b1000) == \
+                kepler.spec.const_l1.set_index(addr)

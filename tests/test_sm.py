@@ -1,0 +1,205 @@
+"""SM tests: occupancy accounting, warp assignment, instruction exec."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def sleeper(cycles=100.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+class TestOccupancyAccounting:
+    def test_resources_tracked_and_freed(self, kepler):
+        k = Kernel(sleeper(100_000), KernelConfig(grid=1, block_threads=256,
+                                                  shared_mem=1024,
+                                                  registers_per_thread=32))
+        kepler.launch(k)
+        kepler.engine.run(until=kepler.spec.launch_overhead_cycles * 2.5)
+        sm = kepler.sms[0]
+        assert sm.used_threads == 256
+        assert sm.used_warps == 8
+        assert sm.used_shared == 1024
+        assert sm.used_registers == 256 * 32
+        kepler.synchronize()
+        assert sm.used_threads == 0
+        assert sm.used_warps == 0
+        assert sm.used_shared == 0
+        assert sm.used_registers == 0
+        assert sm.resident_blocks == []
+
+    def test_can_accept_limits(self, kepler):
+        sm = kepler.sms[0]
+        too_many_threads = Kernel(sleeper(), KernelConfig(
+            grid=1, block_threads=KEPLER_K40C.max_threads_per_sm + 32))
+        assert not sm.can_accept(too_many_threads)
+        too_much_shared = Kernel(sleeper(), KernelConfig(
+            grid=1, shared_mem=KEPLER_K40C.max_shared_mem_per_block + 1))
+        assert not sm.can_accept(too_much_shared)
+        fits = Kernel(sleeper(), KernelConfig(grid=1))
+        assert sm.can_accept(fits)
+
+    def test_place_block_rejected_when_full(self, kepler):
+        sm = kepler.sms[0]
+        hog = Kernel(sleeper(1e6), KernelConfig(
+            grid=1, shared_mem=KEPLER_K40C.max_shared_mem_per_block))
+        sm.place_block(hog, 0)
+        rival = Kernel(sleeper(), KernelConfig(grid=1, shared_mem=1))
+        with pytest.raises(RuntimeError):
+            sm.place_block(rival, 0)
+
+
+class TestWarpSchedulerAssignment:
+    def test_round_robin_within_block(self, kepler):
+        k = Kernel(sleeper(), KernelConfig(grid=1, block_threads=32 * 8))
+        kepler.launch(k)
+        kepler.synchronize()
+        # Warps were assigned via the per-SM round-robin counter.
+        # (The block retired, but we re-place to inspect assignment.)
+        dev = Device(KEPLER_K40C, seed=1)
+        block = dev.sms[0].place_block(
+            Kernel(sleeper(), KernelConfig(grid=1, block_threads=32 * 8)), 0)
+        scheds = [w.scheduler_id for w in block.warps]
+        assert scheds == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_round_robin_continues_across_blocks(self):
+        dev = Device(KEPLER_K40C, seed=1)
+        sm = dev.sms[0]
+        b1 = sm.place_block(
+            Kernel(sleeper(1e6), KernelConfig(grid=1, block_threads=96)), 0)
+        b2 = sm.place_block(
+            Kernel(sleeper(1e6), KernelConfig(grid=1, block_threads=96)), 0)
+        assert [w.scheduler_id for w in b1.warps] == [0, 1, 2]
+        assert [w.scheduler_id for w in b2.warps] == [3, 0, 1]
+
+    def test_random_assignment_mode(self):
+        dev = Device(KEPLER_K40C, seed=3,
+                     scheduler_assignment="random")
+        sm = dev.sms[0]
+        block = sm.place_block(
+            Kernel(sleeper(1e6), KernelConfig(grid=1, block_threads=512)), 0)
+        scheds = [w.scheduler_id for w in block.warps]
+        assert scheds != sorted(scheds) or len(set(scheds)) < 4 or \
+            scheds != [i % 4 for i in range(16)]
+
+    def test_invalid_assignment_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Device(KEPLER_K40C, scheduler_assignment="hash")
+
+
+class TestInstructionExecution:
+    def _run(self, device, body, threads=32):
+        k = Kernel(body, KernelConfig(grid=1, block_threads=threads))
+        device.launch(k)
+        device.synchronize()
+        return k
+
+    def test_clock_monotonic(self, kepler):
+        def body(ctx):
+            t0 = yield isa.ReadClock()
+            yield isa.Sleep(500)
+            t1 = yield isa.ReadClock()
+            ctx.out["dt"] = t1 - t0
+
+        k = self._run(kepler, body)
+        assert 450 < k.out["dt"] < 560
+
+    def test_const_load_levels(self, kepler):
+        def body(ctx):
+            r1 = yield isa.ConstLoad(0)
+            r2 = yield isa.ConstLoad(0)
+            ctx.out["levels"] = (r1.level, r2.level)
+            ctx.out["lat"] = (r1.latency, r2.latency)
+
+        k = self._run(kepler, body)
+        assert k.out["levels"] == ("mem", "l1")
+        assert k.out["lat"][1] < k.out["lat"][0]
+
+    def test_const_load_l2_level(self, kepler):
+        def body(ctx):
+            yield isa.ConstLoad(0)               # now in L1 + L2
+            for k in range(1, 5):                # evict L1 set 0
+                yield isa.ConstLoad(k * 512)
+            r = yield isa.ConstLoad(0)
+            ctx.out["level"] = r.level
+
+        k = self._run(kepler, body)
+        assert k.out["level"] == "l2"
+
+    def test_shared_vars_across_warps(self, kepler):
+        def body(ctx):
+            if ctx.warp_in_block == 0:
+                yield isa.SharedStoreVar("flag", 42)
+                yield isa.Sleep(2000)
+                total = yield isa.SharedReadVar("count", default=0)
+                ctx.out["total"] = total
+            else:
+                yield isa.Sleep(500)
+                val = yield isa.SharedReadVar("flag")
+                assert val == 42
+                yield isa.SharedAtomicAdd("count", 1)
+
+        k = self._run(kepler, body, threads=32 * 4)
+        assert k.out["total"] == 3
+
+    def test_shared_vars_not_visible_across_blocks(self, kepler):
+        def body(ctx):
+            if ctx.block_idx == 0:
+                yield isa.SharedStoreVar("x", 1)
+            else:
+                yield isa.Sleep(3000)
+                val = yield isa.SharedReadVar("x", default="absent")
+                ctx.out["other_block_sees"] = val
+
+        k = Kernel(body, KernelConfig(grid=2))
+        kepler.launch(k)
+        kepler.synchronize()
+        assert k.out["other_block_sees"] == "absent"
+
+    def test_fuop_count_chain(self, kepler):
+        def body(ctx):
+            t0 = yield isa.ReadClock()
+            yield isa.FuOp("sinf", count=10)
+            t1 = yield isa.ReadClock()
+            ctx.out["dt"] = t1 - t0
+
+        k = self._run(kepler, body)
+        assert k.out["dt"] == pytest.approx(180.0, abs=15)
+
+    def test_non_instruction_yield_raises(self, kepler):
+        def body(ctx):
+            yield "not an instruction"
+
+        k = Kernel(body, KernelConfig(grid=1))
+        kepler.launch(k)
+        with pytest.raises(TypeError):
+            kepler.synchronize()
+
+    def test_global_ops_return_memresult(self, kepler):
+        def body(ctx):
+            r1 = yield isa.GlobalLoad([t * 4 for t in range(32)])
+            r2 = yield isa.GlobalAtomic([0])
+            r3 = yield isa.SharedAccess(bank_conflicts=2)
+            ctx.out["levels"] = (r1.level, r2.level, r3.level)
+
+        k = self._run(kepler, body)
+        assert k.out["levels"] == ("global", "atomic", "shared")
+
+
+class TestBlockEviction:
+    def test_evict_frees_resources_and_cancels_warps(self):
+        dev = Device(KEPLER_K40C, seed=1)
+        sm = dev.sms[0]
+        k = Kernel(sleeper(1e9), KernelConfig(grid=1, block_threads=64))
+        block = sm.place_block(k, 0)
+        sm.evict_block(block)
+        assert sm.used_threads == 0
+        assert all(w.cancelled for w in block.warps)
+        assert k.block_records[0].smid is None
+        dev.engine.run()          # pending warp events are no-ops
+        assert not k.done

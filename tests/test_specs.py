@@ -1,0 +1,147 @@
+"""Architecture-spec tests: Table 1 values and derived quantities."""
+
+import pytest
+
+from repro.arch import (
+    FERMI_C2075,
+    KEPLER_K40C,
+    MAXWELL_M4000,
+    all_specs,
+    get_spec,
+)
+from repro.arch.specs import CacheSpec, UnsupportedOperation, WARP_SIZE
+
+
+class TestTable1:
+    """Per-SM resource counts must match the paper's Table 1 verbatim."""
+
+    def test_fermi_row(self):
+        assert FERMI_C2075.resource_table() == {
+            "Warp Scheduler": 2, "Dispatch Unit": 2, "SP": 32,
+            "DPU": 16, "SFU": 4, "LD/ST": 16,
+        }
+
+    def test_kepler_row(self):
+        assert KEPLER_K40C.resource_table() == {
+            "Warp Scheduler": 4, "Dispatch Unit": 8, "SP": 192,
+            "DPU": 64, "SFU": 32, "LD/ST": 32,
+        }
+
+    def test_maxwell_row(self):
+        assert MAXWELL_M4000.resource_table() == {
+            "Warp Scheduler": 4, "Dispatch Unit": 8, "SP": 128,
+            "DPU": 0, "SFU": 32, "LD/ST": 32,
+        }
+
+
+class TestCacheGeometry:
+    """Section 4.1 reverse-engineered constant cache parameters."""
+
+    def test_kepler_l1(self):
+        l1 = KEPLER_K40C.const_l1
+        assert (l1.size_bytes, l1.ways, l1.line_bytes) == (2048, 4, 64)
+        assert l1.n_sets == 8
+        assert l1.way_stride == 512     # the paper's priming stride
+
+    def test_fermi_l1_is_4kb(self):
+        assert FERMI_C2075.const_l1.size_bytes == 4096
+        assert FERMI_C2075.const_l1.n_sets == 16
+
+    def test_l2_same_on_all_generations(self):
+        for spec in all_specs():
+            l2 = spec.const_l2
+            assert (l2.size_bytes, l2.ways, l2.line_bytes) == (
+                32 * 1024, 8, 256)
+            assert l2.n_sets == 16
+            assert l2.way_stride == 4096   # the paper's L2 stride
+
+    def test_set_index_wraps(self):
+        l1 = KEPLER_K40C.const_l1
+        assert l1.set_index(0) == 0
+        assert l1.set_index(64) == 1
+        assert l1.set_index(512) == 0
+        assert l1.set_index(576) == 1
+
+    def test_tag_distinguishes_same_set_lines(self):
+        l1 = KEPLER_K40C.const_l1
+        assert l1.tag(0) != l1.tag(512)
+        assert l1.set_index(0) == l1.set_index(512)
+
+
+class TestDerivedQuantities:
+    def test_units_per_scheduler(self):
+        assert KEPLER_K40C.units_per_scheduler("sfu") == 8
+        assert FERMI_C2075.units_per_scheduler("sfu") == 2
+        assert MAXWELL_M4000.units_per_scheduler("sp") == 32
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(KeyError):
+            KEPLER_K40C.units_per_scheduler("tensor")
+
+    def test_issue_interval(self):
+        assert FERMI_C2075.issue_interval == 1.0
+        assert KEPLER_K40C.issue_interval == 0.5
+
+    def test_op_occupancy_sinf(self):
+        # 32 lanes / 8 SFUs per scheduler = 4 cycles on Kepler.
+        assert KEPLER_K40C.op_occupancy("sinf") == pytest.approx(4.0)
+        # Fermi: 32 * 1.2 passes / 2 SFUs per scheduler.
+        assert FERMI_C2075.op_occupancy("sinf") == pytest.approx(19.2)
+
+    def test_occupancy_clamped_to_issue_interval(self):
+        # Kepler fadd: 32/48 < issue interval 0.5 -> clamp.
+        assert KEPLER_K40C.op_occupancy("fadd") == pytest.approx(
+            32.0 / 48.0)
+
+    def test_maxwell_has_no_double_precision(self):
+        with pytest.raises(UnsupportedOperation):
+            MAXWELL_M4000.op_spec("dadd")
+        assert not MAXWELL_M4000.supports_op("dadd")
+        assert MAXWELL_M4000.supports_op("fadd")
+
+    def test_unknown_op_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            KEPLER_K40C.op_spec("fma4")
+
+    def test_cycles_to_seconds(self):
+        assert KEPLER_K40C.cycles_to_seconds(745e6) == pytest.approx(1.0)
+
+    def test_sm_counts(self):
+        assert FERMI_C2075.n_sms == 14
+        assert KEPLER_K40C.n_sms == 15
+        assert MAXWELL_M4000.n_sms == 13
+
+
+class TestSpecLookup:
+    def test_get_by_generation(self):
+        assert get_spec("kepler") is KEPLER_K40C
+        assert get_spec("FERMI") is FERMI_C2075
+
+    def test_get_by_device_name(self):
+        assert get_spec("Tesla K40C") is KEPLER_K40C
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("volta")
+
+    def test_with_overrides(self):
+        small = KEPLER_K40C.with_overrides(n_sms=2)
+        assert small.n_sms == 2
+        assert KEPLER_K40C.n_sms == 15
+
+    def test_warp_size(self):
+        assert WARP_SIZE == 32
+        assert all(s.warp_size == 32 for s in all_specs())
+
+
+class TestMaxwellSharedMemoryAsymmetry:
+    """Section 8: Maxwell's per-SM shared memory is twice the per-block
+    maximum (the basis of its exclusive co-location variant)."""
+
+    def test_maxwell(self):
+        assert (MAXWELL_M4000.shared_mem_per_sm
+                == 2 * MAXWELL_M4000.max_shared_mem_per_block)
+
+    def test_fermi_kepler_equal(self):
+        for spec in (FERMI_C2075, KEPLER_K40C):
+            assert spec.shared_mem_per_sm == spec.max_shared_mem_per_block

@@ -1,0 +1,122 @@
+"""Stream semantics and Device façade tests."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.sim import isa
+from repro.sim.engine import DeadlockError
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def sleeper(cycles=1000.0):
+    def body(ctx):
+        yield isa.Sleep(cycles)
+    return body
+
+
+class TestStreams:
+    def test_same_stream_serializes(self, kepler):
+        s = kepler.stream()
+        a = Kernel(sleeper(5000), KernelConfig(grid=1))
+        b = Kernel(sleeper(5000), KernelConfig(grid=1))
+        s.launch(a)
+        s.launch(b)
+        kepler.synchronize()
+        assert b.block_records[0].start_cycle >= \
+            a.block_records[0].stop_cycle
+
+    def test_different_streams_overlap(self, kepler):
+        a = Kernel(sleeper(20000), KernelConfig(grid=1))
+        b = Kernel(sleeper(20000), KernelConfig(grid=1))
+        kepler.stream().launch(a)
+        kepler.stream().launch(b)
+        kepler.synchronize()
+        a_start = a.block_records[0].start_cycle
+        b_start = b.block_records[0].start_cycle
+        a_stop = a.block_records[0].stop_cycle
+        assert b_start < a_stop and a_start < b.block_records[0].stop_cycle
+
+    def test_launch_costs_overhead(self, kepler):
+        k = Kernel(sleeper(), KernelConfig(grid=1))
+        kepler.stream().launch(k)
+        kepler.synchronize()
+        assert k.block_records[0].start_cycle >= \
+            0.25 * KEPLER_K40C.launch_overhead_cycles
+
+    def test_stream_idle_flag(self, kepler):
+        s = kepler.stream()
+        assert s.idle
+        k = s.launch(Kernel(sleeper(), KernelConfig(grid=1)))
+        assert not s.idle
+        kepler.synchronize()
+        assert s.idle
+
+    def test_stream_synchronize(self, kepler):
+        s = kepler.stream()
+        k = s.launch(Kernel(sleeper(), KernelConfig(grid=1)))
+        s.synchronize()
+        assert k.done
+
+
+class TestDevice:
+    def test_synchronize_specific_kernels(self, kepler):
+        fast = Kernel(sleeper(100), KernelConfig(grid=1))
+        slow = Kernel(sleeper(500000), KernelConfig(grid=1))
+        kepler.stream().launch(slow)
+        kepler.stream().launch(fast)
+        kepler.synchronize(kernels=[fast])
+        assert fast.done
+        assert not slow.done
+        kepler.synchronize()
+        assert slow.done
+
+    def test_deadlock_detection(self, kepler):
+        """A kernel that can never be placed raises DeadlockError."""
+        giant = Kernel(sleeper(), KernelConfig(
+            grid=1, block_threads=KEPLER_K40C.max_threads_per_sm + 64))
+        kepler.launch(giant)
+        with pytest.raises(DeadlockError):
+            kepler.synchronize()
+
+    def test_host_wait_lets_device_progress(self, kepler):
+        k = Kernel(sleeper(1000), KernelConfig(grid=1))
+        kepler.launch(k)
+        kepler.host_wait(10 * KEPLER_K40C.launch_overhead_cycles)
+        assert k.done
+
+    def test_seconds_since(self, kepler):
+        start = kepler.now
+        kepler.host_wait(KEPLER_K40C.clock_mhz * 1e6)  # one second
+        assert kepler.seconds_since(start) == pytest.approx(1.0)
+
+    def test_flush_caches(self, kepler):
+        kepler.sms[0].l1.access(0)
+        kepler.const_l2.access(0)
+        kepler.flush_caches()
+        assert not kepler.sms[0].l1.contains(0)
+        assert not kepler.const_l2.contains(0)
+
+
+class TestConstAllocator:
+    def test_alignment(self, kepler):
+        a = kepler.const_alloc(100, align=512)
+        b = kepler.const_alloc(100, align=512)
+        assert a % 512 == 0 and b % 512 == 0
+        assert b >= a + 100
+
+    def test_exhaustion(self, kepler):
+        kepler.const_alloc(60 * 1024)
+        with pytest.raises(MemoryError):
+            kepler.const_alloc(8 * 1024)
+
+    def test_validation(self, kepler):
+        with pytest.raises(ValueError):
+            kepler.const_alloc(0)
+        with pytest.raises(ValueError):
+            kepler.const_alloc(16, align=0)
+
+    def test_reset(self, kepler):
+        kepler.const_alloc(60 * 1024, label="big")
+        kepler.const_reset()
+        assert kepler.const_alloc(60 * 1024) is not None

@@ -1,0 +1,50 @@
+"""Clock model tests (Section 4.2 jitter + Section 9 fuzzing)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.timing import ClockModel
+
+
+class TestClockModel:
+    def test_noiseless_identity(self):
+        clock = ClockModel(jitter_cycles=0.0)
+        assert clock.read(123.4) == 123.4
+
+    def test_jitter_varies_reads(self):
+        clock = ClockModel(jitter_cycles=3.0,
+                           rng=np.random.default_rng(0))
+        reads = [clock.read(1000.0) for _ in range(50)]
+        assert len(set(reads)) > 1
+        assert abs(np.mean(reads) - 1000.0) < 3.0
+
+    def test_jitter_small_relative_to_long_segments(self):
+        """Why the paper iterates ~20 times: jitter averages out over
+        long timed segments but corrupts short ones."""
+        clock = ClockModel(jitter_cycles=3.0,
+                           rng=np.random.default_rng(1))
+        short_err = np.mean([abs((clock.read(10.0) - clock.read(0.0)) - 10)
+                             for _ in range(200)])
+        long_err = np.mean([abs((clock.read(4000.0) - clock.read(0.0))
+                                - 4000) for _ in range(200)])
+        assert short_err / 10.0 > long_err / 4000.0
+
+    def test_granularity_quantizes(self):
+        clock = ClockModel(granularity=64.0)
+        assert clock.read(130.0) == 128.0
+        assert clock.read(63.9) == 0.0
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            ClockModel(granularity=0.0)
+
+    def test_fuzzed_inflates_noise(self):
+        base = ClockModel(jitter_cycles=2.0)
+        fuzzed = base.fuzzed(extra_jitter=30.0, granularity=64.0)
+        assert fuzzed.jitter_cycles == 32.0
+        assert fuzzed.granularity == 64.0
+
+    def test_fuzzed_keeps_larger_granularity(self):
+        base = ClockModel(granularity=128.0)
+        fuzzed = base.fuzzed(extra_jitter=0.0, granularity=64.0)
+        assert fuzzed.granularity == 128.0

@@ -1,0 +1,60 @@
+"""Interference workload (synthetic Rodinia) tests."""
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C, MAXWELL_M4000
+from repro.workloads import APPS, app_names, make_kernel, random_mix
+from repro.sim.gpu import Device
+
+
+class TestConstruction:
+    def test_ten_apps_available(self):
+        assert len(app_names()) == 10
+        assert "heartwall" in app_names()
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            make_kernel("nbody", KEPLER_K40C)
+
+    def test_resource_signatures(self):
+        assert APPS["heartwall"].uses_constant
+        assert APPS["needle"].shared_mem > 0
+        assert APPS["bfs"].shared_mem == 0
+
+    def test_distinct_contexts(self):
+        a = make_kernel("gaussian", KEPLER_K40C)
+        b = make_kernel("needle", KEPLER_K40C)
+        assert a.context != b.context
+        assert a.context >= 100   # bystander context space
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_every_app_runs_to_completion(self, name):
+        device = Device(KEPLER_K40C, seed=1)
+        kernel = make_kernel(name, KEPLER_K40C, grid=2, iters=5)
+        device.launch(kernel)
+        device.synchronize()
+        assert kernel.done
+
+    def test_dp_app_degrades_gracefully_on_maxwell(self):
+        """lud uses DP where available, SP on Maxwell (no DPUs)."""
+        device = Device(MAXWELL_M4000, seed=1)
+        kernel = make_kernel("lud", MAXWELL_M4000, grid=1, iters=3)
+        device.launch(kernel)
+        device.synchronize()
+        assert kernel.done
+
+    def test_heartwall_pollutes_constant_cache(self):
+        device = Device(KEPLER_K40C, seed=1)
+        kernel = make_kernel("heartwall", KEPLER_K40C, grid=1, iters=3)
+        device.launch(kernel)
+        device.synchronize()
+        sm = device.sms[0]
+        assert sm.l1.misses > 0
+
+    def test_random_mix_reproducible(self):
+        a = random_mix(KEPLER_K40C, 5, seed=3)
+        b = random_mix(KEPLER_K40C, 5, seed=3)
+        assert [k.name for k in a] == [k.name for k in b]
+        assert len(a) == 5
