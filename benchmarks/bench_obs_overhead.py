@@ -1,0 +1,73 @@
+"""Observability overhead — wall-clock cost of metrics and tracing.
+
+Runs the synchronized L1 channel at three observability levels and
+reports the relative slowdown against the unobserved baseline.  The
+shape claim mirrors the tier-1 guard in ``tests/test_obs_overhead.py``:
+with observability *off* the instrumentation layer must stay within 5%
+of an uninstrumented run, while "metrics" and "full" are allowed (and
+expected) to cost real time in exchange for the data they collect.
+
+Run with ``pytest benchmarks/bench_obs_overhead.py --benchmark-only``.
+"""
+
+import time
+
+from benchmarks.support import report
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.obs import ObserveConfig
+from repro.sim.gpu import Device
+
+BITS = 16
+LEVELS = [
+    ("off", None),
+    ("metrics", "metrics"),
+    ("full", ObserveConfig(metrics=True, trace=True, trace_capacity=1 << 18)),
+]
+
+
+def run_channel(observe):
+    device = Device(KEPLER_K40C, seed=3, observe=observe)
+    result = SynchronizedL1Channel(device).transmit_random(BITS, seed=5)
+    return device, result
+
+
+def timed(observe, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        run_channel(observe)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_observability_overhead(benchmark):
+    timings = {}
+
+    def experiment():
+        timings["baseline"] = timed(None)
+        for name, observe in LEVELS:
+            timings[name] = timed(observe)
+        return timings
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    base = timings.pop("baseline")
+    rows = [[name, f"{t * 1e3:.1f}", f"{t / base:.2f}x"]
+            for name, t in timings.items()]
+    device, _ = run_channel("full")
+    rows.append(["(full: events emitted)",
+                 str(device.obs.tracer.emitted), "-"])
+    report(
+        benchmark,
+        "Observability overhead vs unobserved baseline "
+        f"(sync-l1, {BITS} bits)",
+        ["level", "wall ms", "slowdown"], rows,
+        extra={name: round(t / base, 3) for name, t in timings.items()},
+    )
+
+    # "off" re-times the same code path twice, so anything beyond noise
+    # would indicate a guard regression; 1.10 leaves CI jitter headroom
+    # for what the component-level tier-1 test bounds at 1.05.
+    assert timings["off"] / base <= 1.10
+    assert timings["metrics"] / base < 5.0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -147,8 +147,14 @@ class CovertChannel(abc.ABC):
 
     def _result(self, sent: Bits, received: Bits, start_cycle: float,
                 **meta: Any) -> ChannelResult:
-        """Assemble a :class:`ChannelResult` ending now."""
-        return ChannelResult(
+        """Assemble a :class:`ChannelResult` ending now.
+
+        When the device is observed, per-channel protocol statistics
+        (bits sent, bit errors, retransmissions, cycles per bit) are
+        recorded on the metrics registry and the whole transmission
+        becomes one span on the ``channel`` trace track.
+        """
+        result = ChannelResult(
             sent=list(sent),
             received=list(received),
             start_cycle=start_cycle,
@@ -157,3 +163,20 @@ class CovertChannel(abc.ABC):
             channel=self.name,
             meta=dict(meta),
         )
+        obs = self.device.obs
+        if obs.metrics_on:
+            reg = obs.registry
+            prefix = f"channel.{self.name}"
+            reg.counter(f"{prefix}.bits_sent").inc(result.n_bits)
+            reg.counter(f"{prefix}.bit_errors").inc(result.errors)
+            reg.counter(f"{prefix}.retries").inc(
+                meta.get("retransmissions", 0))
+            if result.n_bits:
+                reg.histogram(f"{prefix}.cycles_per_bit").observe(
+                    result.cycles_per_bit)
+        if obs.trace_on:
+            obs.tracer.complete(
+                self.name, "channel", "channel", start_cycle,
+                result.elapsed_cycles, bits=result.n_bits,
+                ber=result.ber)
+        return result

@@ -14,7 +14,6 @@ both kernels funnels through the single shared L2 port.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.channels.cache_common import BaselineCacheChannel
 from repro.sim.gpu import Device

@@ -15,6 +15,11 @@ Commands
     Print the three device specifications (Table 1 + caches).
 ``plot fig2 [--gpu kepler]``
     Render a latency-curve figure as an ASCII plot.
+``trace --gpu kepler --channel sync-l1 --bits 16 --out trace.json``
+    Run one channel fully observed and export a Chrome trace-event file
+    (open in ``chrome://tracing`` or https://ui.perfetto.dev).
+``stats <channel> [--out metrics.csv]``
+    Run one channel with metrics on and print the instrument table.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import format_table
-from repro.arch import all_specs, get_spec
+from repro.arch import SPEC_BY_NAME, all_specs, get_spec
 from repro.sim.gpu import Device
 
 #: CLI channel name -> factory(device).
@@ -67,6 +72,28 @@ def _register_channels() -> None:
 _register_channels()
 
 
+class CliError(Exception):
+    """User-facing CLI error: printed as one line, exit status 2."""
+
+
+def _resolve_spec(name: str):
+    """Look up a GPU spec; unknown names become a one-line CliError."""
+    try:
+        return get_spec(name)
+    except KeyError:
+        raise CliError(f"unknown GPU {name!r}; choose from "
+                       f"{', '.join(sorted(SPEC_BY_NAME))}")
+
+
+def _resolve_channel(name: str) -> Callable[[Device], object]:
+    """Look up a channel factory with the same friendly failure mode."""
+    try:
+        return CHANNEL_FACTORIES[name]
+    except KeyError:
+        raise CliError(f"unknown channel {name!r}; choose from "
+                       f"{', '.join(sorted(CHANNEL_FACTORIES))}")
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
     rows = []
@@ -101,13 +128,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_transmit(args: argparse.Namespace) -> int:
-    spec = get_spec(args.gpu)
-    try:
-        factory = CHANNEL_FACTORIES[args.channel]
-    except KeyError:
-        print(f"unknown channel {args.channel!r}; choose from "
-              f"{sorted(CHANNEL_FACTORIES)}", file=sys.stderr)
-        return 2
+    spec = _resolve_spec(args.gpu)
+    factory = _resolve_channel(args.channel)
     device = Device(spec, seed=args.seed)
     channel = factory(device)
     result = channel.transmit_random(args.bits, seed=args.seed)
@@ -128,7 +150,7 @@ def cmd_reveng(args: argparse.Namespace) -> int:
         infer_cache_parameters,
         infer_warp_schedulers,
     )
-    spec = get_spec(args.gpu)
+    spec = _resolve_spec(args.gpu)
     print(f"characterizing {spec.name}...")
     l1 = infer_cache_parameters(
         characterize_cache(spec, "l1"), stride=spec.const_l1.line_bytes)
@@ -156,7 +178,7 @@ def cmd_plot(args: argparse.Namespace) -> int:
     from repro.analysis.plots import ascii_plot
     from repro.experiments import fig2_data, fig3_data
     from repro.reveng import latency_curve
-    spec = get_spec(args.gpu)
+    spec = _resolve_spec(args.gpu)
     if args.figure == "fig2":
         series = fig2_data(spec)
         title = f"Figure 2: L1 latency vs array bytes ({spec.name})"
@@ -173,6 +195,60 @@ def cmd_plot(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     print(ascii_plot(series, title=title))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import ascii_timeline, write_chrome_trace
+    from repro.obs.core import ObserveConfig
+    spec = _resolve_spec(args.gpu)
+    factory = _resolve_channel(args.channel)
+    device = Device(spec, seed=args.seed,
+                    observe=ObserveConfig(trace_capacity=args.capacity))
+    channel = factory(device)
+    result = channel.transmit_random(args.bits, seed=args.seed)
+    doc = write_chrome_trace(
+        args.out, device, channel=channel.name, bits=result.n_bits,
+        ber=result.ber, bandwidth_kbps=result.bandwidth_kbps)
+    tracer = device.obs.tracer
+    print(f"device:    {spec.name} ({spec.generation})")
+    print(f"channel:   {channel.name}  "
+          f"({result.n_bits} bits, BER {result.ber:.4f})")
+    print(f"trace:     {args.out}  "
+          f"({len(doc['traceEvents'])} records, "
+          f"{tracer.dropped} dropped)")
+    if args.timeline:
+        print()
+        print(ascii_timeline(device))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import write_metrics_csv
+    spec = _resolve_spec(args.gpu)
+    factory = _resolve_channel(args.target)
+    device = Device(spec, seed=args.seed, observe="metrics")
+    channel = factory(device)
+    result = channel.transmit_random(args.bits, seed=args.seed)
+    snapshot = device.obs.snapshot()
+    rows = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            rendered = ", ".join(f"{k}={v:g}" for k, v in
+                                 sorted(value.items()) if v)
+            if not rendered:
+                continue
+            rows.append([name, rendered])
+        elif value:
+            rows.append([name, f"{value:g}"])
+    print(format_table(
+        ["instrument", "value"], rows,
+        title=f"{channel.name} on {spec.name}: {result.n_bits} bits, "
+              f"{result.bandwidth_kbps:.1f} Kbps, BER {result.ber:.3f}"))
+    if args.out:
+        write_metrics_csv(args.out, device, channel=channel.name,
+                          bits=result.n_bits, ber=result.ber)
+        print(f"\nwrote {args.out}")
     return 0
 
 
@@ -229,13 +305,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig2 | fig3 | fig6:<op> (e.g. fig6:sinf)")
     p_plot.add_argument("--gpu", default="kepler")
     p_plot.set_defaults(fn=cmd_plot)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a channel and export a Chrome trace")
+    p_trace.add_argument("--gpu", default="kepler",
+                         help="fermi | kepler | maxwell")
+    p_trace.add_argument("--channel", default="sync-l1",
+                         help="channel name (see `repro list`)")
+    p_trace.add_argument("--bits", type=int, default=16)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path for the trace-event JSON")
+    p_trace.add_argument("--capacity", type=int, default=262_144,
+                         help="trace ring-buffer capacity, in events")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="also print an ASCII timeline summary")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a channel with metrics and print instruments")
+    p_stats.add_argument("target",
+                         help="channel name (see `repro list`)")
+    p_stats.add_argument("--gpu", default="kepler")
+    p_stats.add_argument("--bits", type=int, default=32)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--out", default=None,
+                         help="also write the snapshot as CSV")
+    p_stats.set_defaults(fn=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

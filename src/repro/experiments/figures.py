@@ -14,7 +14,6 @@ from repro.arch import (
     FERMI_C2075,
     GPUSpec,
     KEPLER_K40C,
-    MAXWELL_M4000,
     all_specs,
 )
 from repro.channels import (

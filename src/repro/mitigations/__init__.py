@@ -22,11 +22,18 @@ from repro.mitigations.temporal_partitioning import (
     register_temporal_policy,
 )
 from repro.mitigations.time_fuzzing import fuzzed_clock
-from repro.mitigations.detector import ContentionDetector, DetectorReport
+from repro.mitigations.detector import (
+    ContentionDetector,
+    DetectorReport,
+    SetScore,
+    score_streams,
+)
 
 __all__ = [
     "ContentionDetector",
     "DetectorReport",
+    "SetScore",
+    "score_streams",
     "TemporalPartitionScheduler",
     "context_set_partition",
     "fuzzed_clock",

@@ -5,9 +5,16 @@ communication set, *miss events alternate between two contexts* at a
 steady rhythm (trojan evicts spy, spy evicts trojan, round after
 round).  Benign workloads miss in their own long runs.
 
+The detector consumes the device's observability layer rather than
+bespoke probes: :meth:`ContentionDetector.attach` starts the cache
+access capture on ``device.obs`` (every constant cache streams
+:class:`~repro.obs.core.CacheAccess` records), and :meth:`analyze`
+scores those streams and stamps the report with a metrics snapshot of
+the same run.
+
 Usage::
 
-    det = ContentionDetector.attach(device)   # traces every L1 + the L2
+    det = ContentionDetector.attach(device)   # streams every L1 + the L2
     ... run workload ...
     report = det.analyze()
     report.flagged_sets   # [(cache_name, set_index, score), ...]
@@ -16,7 +23,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.gpu import Device
 
@@ -29,7 +36,7 @@ ALTERNATION_THRESHOLD = 0.7
 
 @dataclass
 class SetScore:
-    """Per-set statistics extracted from a cache event trace."""
+    """Per-set statistics extracted from a cache event stream."""
 
     cache: str
     set_index: int
@@ -50,6 +57,9 @@ class DetectorReport:
     """Outcome of one analysis pass."""
 
     scores: List[SetScore] = field(default_factory=list)
+    #: Device-wide metrics snapshot taken at analysis time (miss totals,
+    #: port pressure) — context for a security operator triaging a flag.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def flagged_sets(self) -> List[SetScore]:
@@ -62,44 +72,67 @@ class DetectorReport:
         return bool(self.flagged_sets)
 
 
-class ContentionDetector:
-    """Collects cache event traces and scores context alternation."""
+def score_streams(streams: Dict[str, Iterable[tuple]]) -> List[SetScore]:
+    """Score per-set context alternation in cache access streams.
 
-    def __init__(self, caches: Dict[str, object]) -> None:
+    ``streams`` maps a cache name to an iterable of ``(time, set_index,
+    context, hit)`` records (:class:`~repro.obs.core.CacheAccess` or
+    plain tuples).  Pure function so it can run on captured streams,
+    exported traces, or synthetic fixtures alike.
+    """
+    scores: List[SetScore] = []
+    for name, stream in streams.items():
+        per_set: Dict[int, List[int]] = {}
+        for _time, set_index, context, hit in stream:
+            if not hit:
+                per_set.setdefault(set_index, []).append(context)
+        for set_index, ctxs in per_set.items():
+            scores.append(SetScore(
+                cache=name,
+                set_index=set_index,
+                misses=len(ctxs),
+                contexts=tuple(sorted(set(ctxs))),
+                alternation=_alternation(ctxs),
+            ))
+    return scores
+
+
+class ContentionDetector:
+    """Scores context alternation in the obs layer's cache streams."""
+
+    def __init__(self, caches: Dict[str, object],
+                 device: Optional[Device] = None) -> None:
         self._caches = caches
+        self._device = device
         for cache in caches.values():
-            cache.trace = []
+            if cache.trace is None:
+                cache.trace = []
 
     @classmethod
     def attach(cls, device: Device) -> "ContentionDetector":
-        """Enable tracing on every constant cache of a device."""
-        caches = {f"sm{sm.sm_id}.L1": sm.l1 for sm in device.sms}
-        caches["L2"] = device.const_l2
-        return cls(caches)
+        """Start the cache-access capture on every cache of a device."""
+        return cls(device.obs.start_cache_capture(), device=device)
 
     def detach(self) -> None:
-        """Stop tracing (drops the collected events)."""
-        for cache in self._caches.values():
-            cache.trace = None
+        """Stop the capture (drops the collected events)."""
+        if self._device is not None:
+            self._device.obs.stop_cache_capture()
+        else:
+            for cache in self._caches.values():
+                cache.trace = None
 
     # ------------------------------------------------------------------
     def analyze(self) -> DetectorReport:
-        """Score every traced set."""
-        report = DetectorReport()
-        for name, cache in self._caches.items():
-            trace = cache.trace or []
-            per_set: Dict[int, List[int]] = {}
-            for _time, set_index, context, hit in trace:
-                if not hit:
-                    per_set.setdefault(set_index, []).append(context)
-            for set_index, ctxs in per_set.items():
-                report.scores.append(SetScore(
-                    cache=name,
-                    set_index=set_index,
-                    misses=len(ctxs),
-                    contexts=tuple(sorted(set(ctxs))),
-                    alternation=_alternation(ctxs),
-                ))
+        """Score every captured stream."""
+        streams = {name: cache.trace or []
+                   for name, cache in self._caches.items()}
+        report = DetectorReport(scores=score_streams(streams))
+        if self._device is not None:
+            snapshot = self._device.obs.snapshot()
+            report.metrics = {
+                name: value for name, value in snapshot.items()
+                if name.endswith((".hits", ".misses"))
+            }
         return report
 
 

@@ -1,0 +1,68 @@
+"""Unified instrumentation layer: metrics, tracing, exporters.
+
+The covert channels in this repo are *inferred* from indirect latency
+observations; this package is the direct view — what the simulated
+hardware actually did.  It provides:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram instruments and
+  the per-device :class:`MetricsRegistry` (null fast path when off).
+* :mod:`repro.obs.trace` — ring-buffered structured :class:`Tracer`
+  with named tracks and span support.
+* :mod:`repro.obs.core` — the :class:`DeviceObservability` facade that
+  ``Device(observe=...)`` constructs and the simulator emits into.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (``chrome://tracing``
+  / Perfetto), metrics CSV and an ASCII timeline.
+* :mod:`repro.obs.provenance` — spec/seed/git-rev stamps embedded in
+  every export.
+
+See ``docs/observability.md`` for the instrument catalogue.
+"""
+
+from repro.obs.core import (
+    CacheAccess,
+    DeviceObservability,
+    ObserveConfig,
+    coerce_observe,
+)
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    metrics_csv,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.provenance import build_provenance, git_revision
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "CacheAccess",
+    "Counter",
+    "DeviceObservability",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TRACER",
+    "ObserveConfig",
+    "TraceEvent",
+    "Tracer",
+    "ascii_timeline",
+    "build_provenance",
+    "chrome_trace",
+    "coerce_observe",
+    "git_revision",
+    "metrics_csv",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]

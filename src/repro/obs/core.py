@@ -1,0 +1,198 @@
+"""Per-device observability facade.
+
+One :class:`DeviceObservability` object hangs off every
+:class:`~repro.sim.gpu.Device` as ``device.obs``.  It owns the metrics
+registry and the tracer, exposes the two hot-path flags the simulator
+guards its emit points with (``metrics_on`` / ``trace_on``), and knows
+how to *pull* the statistics the substrate already keeps for free
+(pipelined-port busy cycles, engine event counts, cache hit/miss) into
+one combined snapshot.
+
+Configuration is the ``observe=`` knob on ``Device``:
+
+* ``None`` / ``False`` / ``"off"`` — everything disabled (the default;
+  near-zero overhead, guarded by a tier-1 benchmark).
+* ``"metrics"`` — counters/gauges/histograms only.
+* ``"trace"`` — event tracing only.
+* ``True`` / ``"on"`` / ``"full"`` — both.
+* an :class:`ObserveConfig` for explicit control (e.g. ring capacity).
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, NULL_TRACER, Tracer
+
+__all__ = ["CacheAccess", "ObserveConfig", "DeviceObservability"]
+
+#: One constant-cache access, as recorded on ``cache.trace`` while a
+#: capture is active.  A plain tuple subclass so legacy consumers that
+#: unpack ``(time, set_index, context, hit)`` keep working.
+CacheAccess = namedtuple("CacheAccess", "time set_index context hit")
+
+
+@dataclass(frozen=True)
+class ObserveConfig:
+    """Explicit observability configuration."""
+
+    metrics: bool = True
+    trace: bool = True
+    trace_capacity: int = DEFAULT_CAPACITY
+
+    #: Emit an engine queue-depth counter sample every N engine events
+    #: while tracing (0 disables the sampler).
+    engine_sample_every: int = 4096
+
+
+#: String aliases accepted by ``Device(observe=...)``.
+_PRESETS: Dict[str, ObserveConfig] = {
+    "off": ObserveConfig(metrics=False, trace=False),
+    "metrics": ObserveConfig(metrics=True, trace=False),
+    "trace": ObserveConfig(metrics=False, trace=True),
+    "on": ObserveConfig(metrics=True, trace=True),
+    "full": ObserveConfig(metrics=True, trace=True),
+}
+
+
+def coerce_observe(observe: Union[None, bool, str, ObserveConfig]
+                   ) -> ObserveConfig:
+    """Normalize the ``Device(observe=...)`` knob to a config."""
+    if observe is None or observe is False:
+        return _PRESETS["off"]
+    if observe is True:
+        return _PRESETS["full"]
+    if isinstance(observe, ObserveConfig):
+        return observe
+    if isinstance(observe, str):
+        try:
+            return _PRESETS[observe.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown observe preset {observe!r}; choose from "
+                f"{sorted(_PRESETS)} or pass an ObserveConfig"
+            )
+    raise TypeError("observe must be None, bool, str or ObserveConfig, "
+                    f"got {type(observe).__name__}")
+
+
+class DeviceObservability:
+    """Metrics registry + tracer + pull-based stat collection."""
+
+    def __init__(self, device: Any,
+                 observe: Union[None, bool, str, ObserveConfig] = None
+                 ) -> None:
+        self.device = device
+        self.config = coerce_observe(observe)
+        self.registry = MetricsRegistry(enabled=self.config.metrics)
+        if self.config.trace:
+            self.tracer: Any = Tracer(clock=lambda: device.engine.now,
+                                      capacity=self.config.trace_capacity)
+        else:
+            self.tracer = NULL_TRACER
+        #: Hot-path flags — the simulator guards every push-style emit
+        #: point on these two plain attributes.
+        self.metrics_on = self.config.metrics
+        self.trace_on = self.config.trace
+        #: name -> cache, set while a cache-access capture is active
+        #: (the detector's event stream).
+        self._captured_caches: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether any observability feature is on."""
+        return self.metrics_on or self.trace_on
+
+    # ------------------------------------------------------------------
+    # Cache-access capture (the detector's event stream)
+    # ------------------------------------------------------------------
+    def start_cache_capture(self) -> Dict[str, Any]:
+        """Begin recording every constant-cache access on every cache.
+
+        Returns the ``name -> cache`` map whose ``cache.trace`` lists
+        fill with :class:`CacheAccess` records.  Independent of the
+        ``observe=`` knob so the Section 9 detector can always attach.
+        """
+        device = self.device
+        caches = {f"sm{sm.sm_id}.L1": sm.l1 for sm in device.sms}
+        caches["L2"] = device.const_l2
+        for cache in caches.values():
+            cache.trace = []
+        self._captured_caches = caches
+        return caches
+
+    def stop_cache_capture(self) -> None:
+        """Stop recording cache accesses (drops collected events)."""
+        if self._captured_caches is None:
+            return
+        for cache in self._captured_caches.values():
+            cache.trace = None
+        self._captured_caches = None
+
+    def cache_events(self) -> Dict[str, list]:
+        """Captured access streams by cache name (empty when inactive)."""
+        if self._captured_caches is None:
+            return {}
+        return {name: list(cache.trace or [])
+                for name, cache in self._captured_caches.items()}
+
+    # ------------------------------------------------------------------
+    # Pull-based collection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Combined metric values: registry + substrate statistics.
+
+        Push-style instruments (only populated when metrics are on) come
+        from the registry; the rest is read directly off the structures
+        the simulator maintains anyway — port busy cycles and request
+        counts, cache hit/miss, engine event totals — so a snapshot is
+        meaningful even on an ``observe="off"`` device.
+        """
+        device = self.device
+        out: Dict[str, Any] = dict(self.registry.snapshot())
+        engine = device.engine
+        out["engine.now"] = engine.now
+        out["engine.events_executed"] = float(engine.events_executed)
+        out["engine.pending_events"] = float(engine.pending_events)
+        for cache in self._all_caches().values():
+            out[f"{cache.name}.hits"] = float(cache.hits)
+            out[f"{cache.name}.misses"] = float(cache.misses)
+            out.update(self._port_stats(cache.port))
+        mem = device.memory
+        out["memory.load_transactions"] = float(mem.load_transactions)
+        out["memory.atomic_ops"] = float(mem.atomic_ops)
+        for port in mem.channels:
+            out.update(self._port_stats(port))
+        for port in mem.atomic_units:
+            out.update(self._port_stats(port))
+        for sm in device.sms:
+            for bank in sm.fu_banks:
+                out.update(self._port_stats(bank.issue_port))
+                for port in bank.unit_ports.values():
+                    out.update(self._port_stats(port))
+            out.update(self._port_stats(sm.shared_port))
+        out["scheduler.pending_blocks"] = float(
+            len(device.block_scheduler.pending))
+        return out
+
+    @staticmethod
+    def _port_stats(port: Any) -> Dict[str, float]:
+        return {
+            f"{port.name}.busy_cycles": port.busy_cycles,
+            f"{port.name}.requests": float(port.requests),
+        }
+
+    def _all_caches(self) -> Dict[str, Any]:
+        caches = {sm.l1.name: sm.l1 for sm in self.device.sms}
+        caches[self.device.const_l2.name] = self.device.const_l2
+        return caches
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset push instruments and clear the trace buffer."""
+        self.registry.reset()
+        self.tracer.clear()

@@ -1,0 +1,190 @@
+"""Exporters: Chrome trace-event JSON, metrics CSV, ASCII timeline.
+
+The Chrome format is the JSON-object flavour described in the
+trace-event spec: a ``traceEvents`` array plus free-form metadata.  Load
+the file in ``chrome://tracing`` or https://ui.perfetto.dev.  Tracks map
+to process/thread rows by their dotted names: the first component
+(``sm3`` of ``sm3.ws1``) becomes the process, the full track the
+thread, so every SM gets its own swim-lane group with one lane per warp
+scheduler / cache / port underneath.
+
+Timestamps convert from device cycles to microseconds using the spec
+clock so durations in the viewer are real (simulated) time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.obs.provenance import build_provenance
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_csv",
+    "write_metrics_csv",
+    "ascii_timeline",
+]
+
+
+def _track_ids(tracks: List[str]) -> Dict[str, Tuple[int, int]]:
+    """Assign (pid, tid) per track: first dotted component = process."""
+    by_process: Dict[str, List[str]] = {}
+    for track in sorted(set(tracks)):
+        by_process.setdefault(track.split(".", 1)[0], []).append(track)
+    ids: Dict[str, Tuple[int, int]] = {}
+    for pid, process in enumerate(sorted(by_process), start=1):
+        for tid, track in enumerate(by_process[process], start=1):
+            ids[track] = (pid, tid)
+    return ids
+
+
+def chrome_trace(device: Any, **extra_provenance: Any) -> Dict[str, Any]:
+    """Render a device's trace buffer as a Chrome trace-event object."""
+    tracer = device.obs.tracer
+    events: List[TraceEvent] = tracer.events()
+    ids = _track_ids([e.track for e in events])
+    cycles_to_us = 1.0 / device.spec.clock_mhz
+
+    trace_events: List[Dict[str, Any]] = []
+    seen_processes = set()
+    for track, (pid, tid) in sorted(ids.items()):
+        process = track.split(".", 1)[0]
+        if process not in seen_processes:
+            seen_processes.add(process)
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+
+    for event in events:
+        pid, tid = ids[event.track]
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.ts * cycles_to_us,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(event.args),
+        }
+        if event.ph == "X":
+            record["dur"] = event.dur * cycles_to_us
+        elif event.ph == "i":
+            record["s"] = "t"
+        trace_events.append(record)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": build_provenance(
+            device,
+            trace_events_emitted=tracer.emitted,
+            trace_events_dropped=tracer.dropped,
+            **extra_provenance,
+        ),
+    }
+
+
+def write_chrome_trace(path: str, device: Any,
+                       **extra_provenance: Any) -> Dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    doc = chrome_trace(device, **extra_provenance)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Metrics CSV
+# ----------------------------------------------------------------------
+def _flatten(snapshot: Mapping[str, Any]) -> List[Tuple[str, float]]:
+    rows: List[Tuple[str, float]] = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, Mapping):
+            rows.extend((f"{name}.{k}", float(v))
+                        for k, v in sorted(value.items()))
+        else:
+            rows.append((name, float(value)))
+    return rows
+
+
+def metrics_csv(device: Any, *, skip_zero: bool = True,
+                **extra_provenance: Any) -> str:
+    """CSV dump of the combined metrics snapshot, with provenance.
+
+    Provenance rides along as ``# key=value`` comment lines so a single
+    file stays self-describing.  ``skip_zero`` drops never-touched
+    instruments (most port counters on an idle device).
+    """
+    out = io.StringIO()
+    for key, value in sorted(
+            build_provenance(device, **extra_provenance).items()):
+        out.write(f"# {key}={value}\n")
+    out.write("metric,value\n")
+    for name, value in _flatten(device.obs.snapshot()):
+        if skip_zero and value == 0.0:
+            continue
+        out.write(f"{name},{value:g}\n")
+    return out.getvalue()
+
+
+def write_metrics_csv(path: str, device: Any,
+                      **kwargs: Any) -> str:
+    """Write :func:`metrics_csv` output to ``path``; returns the text."""
+    text = metrics_csv(device, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# ASCII timeline
+# ----------------------------------------------------------------------
+def ascii_timeline(device: Any, *, width: int = 64,
+                   max_tracks: int = 24) -> str:
+    """One sparkline of activity density per track, busiest first.
+
+    The poor man's Perfetto: each track's duration events are binned
+    over the traced interval and rendered with the same block glyphs
+    :func:`repro.analysis.plots.sparkline` uses, so a trace can be
+    eyeballed without leaving the terminal.
+    """
+    from repro.analysis.plots import sparkline
+
+    events = [e for e in device.obs.tracer.events() if e.ph == "X"]
+    if not events:
+        return "(no duration events traced)"
+    t0 = min(e.ts for e in events)
+    t1 = max(e.ts + e.dur for e in events)
+    span = (t1 - t0) or 1.0
+    bin_width = span / width
+
+    density: Dict[str, List[float]] = {}
+    for event in events:
+        bins = density.setdefault(event.track, [0.0] * width)
+        lo = int((event.ts - t0) / bin_width)
+        hi = int((event.ts + event.dur - t0) / bin_width)
+        for b in range(max(lo, 0), min(hi, width - 1) + 1):
+            bin_start = t0 + b * bin_width
+            overlap = (min(event.ts + event.dur, bin_start + bin_width)
+                       - max(event.ts, bin_start))
+            if overlap > 0:
+                bins[b] += overlap
+
+    busiest = sorted(density, key=lambda tr: -sum(density[tr]))
+    pad = max(len(tr) for tr in busiest[:max_tracks])
+    lines = [f"timeline: cycles {t0:.0f}..{t1:.0f} "
+             f"({len(events)} events, {len(density)} tracks)"]
+    for track in busiest[:max_tracks]:
+        lines.append(f"{track.rjust(pad)} |{sparkline(density[track])}|")
+    if len(busiest) > max_tracks:
+        lines.append(f"... {len(busiest) - max_tracks} more tracks")
+    return "\n".join(lines)

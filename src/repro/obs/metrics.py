@@ -1,0 +1,305 @@
+"""Metrics primitives and the per-device registry.
+
+Three instrument kinds cover everything the simulator wants to count:
+
+* :class:`Counter` — a monotonically increasing total (cache hits,
+  blocks placed, bits sent).
+* :class:`Gauge` — a point-in-time level (block-queue depth, resident
+  warps).
+* :class:`Histogram` — a distribution summarized into exponential
+  buckets plus count/sum/min/max (atomic wait time, launch overhead,
+  cycles per bit).
+
+Every instrument lives in a :class:`MetricsRegistry` owned by one
+:class:`~repro.sim.gpu.Device`.  When the registry is *disabled* (the
+default), instrument lookups return shared null singletons whose methods
+are no-ops — the hot simulator paths pay one attribute check and
+nothing else, which is what keeps the observability-off overhead inside
+the tier-1 <5% guard (see ``tests/test_obs_overhead.py``).
+
+Always-on instruments (the constant-cache hit/miss counters the seed
+code kept as raw ints) are created directly and *adopted* into the
+registry with :meth:`MetricsRegistry.register`, so they show up in
+snapshots and resets regardless of the enable flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    #: Real instruments record; the null singletons advertise False so
+    #: callers can skip expensive argument construction.
+    enabled = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the total."""
+        self.value = 0.0
+
+    def snapshot(self) -> float:
+        """Current total."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A level that can move both ways."""
+
+    __slots__ = ("name", "value", "peak")
+
+    enabled = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the level up."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the level down."""
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the level and the recorded peak."""
+        self.value = 0.0
+        self.peak = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current level and peak."""
+        return {"value": self.value, "peak": self.peak}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, peak={self.peak})"
+
+
+#: Default histogram bucket upper bounds (cycles): exponential, covering
+#: everything from one issue slot to a whole slow kernel.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    enabled = True
+
+    def __init__(self, name: str,
+                 bounds: Tuple[float, ...] = DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics (min/max are 0.0 when empty)."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name}, n={self.count}, "
+                f"mean={self.mean:.2f})")
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind.
+
+    All mutating methods are empty and all reads return zeros, so code
+    holding one can call it unconditionally; the per-call cost is a
+    plain no-op method dispatch.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    name = "null"
+    value = 0.0
+    peak = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> float:
+        return 0.0
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+Instrument = Union[Counter, Gauge, Histogram, _NullInstrument]
+
+
+class MetricsRegistry:
+    """Name → instrument map with a disable fast path.
+
+    >>> reg = MetricsRegistry(enabled=True)
+    >>> reg.counter("cache.hits").inc()
+    >>> reg.snapshot()["cache.hits"]
+    1.0
+
+    Lookups are get-or-create; a disabled registry hands out the shared
+    null singletons instead of creating anything, so instruments fetched
+    at :class:`~repro.sim.gpu.Device` construction time cost nothing at
+    runtime.  Adopted (always-on) instruments registered via
+    :meth:`register` are snapshotted and reset regardless of the flag.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, Instrument] = {}
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Hand out real instruments from subsequent lookups."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Hand out null instruments from subsequent lookups.
+
+        Already-created instruments stay registered (and keep counting
+        if their holders retain them); toggle before wiring a device to
+        get the true zero-overhead path.
+        """
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, cls, null, **kwargs) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            return existing
+        if not self.enabled:
+            return null
+        instrument = cls(name, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter (null singleton when disabled)."""
+        return self._get_or_create(name, Counter, NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge (null singleton when disabled)."""
+        return self._get_or_create(name, Gauge, NULL_GAUGE)
+
+    def histogram(self, name: str,
+                  bounds: Tuple[float, ...] = DEFAULT_BOUNDS) -> Histogram:
+        """Get or create a histogram (null singleton when disabled)."""
+        return self._get_or_create(name, Histogram, NULL_HISTOGRAM,
+                                   bounds=bounds)
+
+    def register(self, instrument: Instrument,
+                 name: Optional[str] = None) -> Instrument:
+        """Adopt an externally created (always-on) instrument."""
+        key = name or instrument.name
+        self._instruments[key] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[Tuple[str, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> Dict[str, Union[float, Dict[str, float]]]:
+        """Current value of every registered instrument, by name."""
+        return {name: inst.snapshot() for name, inst in self}
+
+    def reset(self) -> None:
+        """Reset every registered instrument (values, not registration)."""
+        for _name, inst in self:
+            inst.reset()

@@ -1,0 +1,62 @@
+"""Provenance stamps for exported artifacts.
+
+Every export (Chrome trace, metrics CSV, ASCII timeline) embeds the
+facts needed to reproduce it, mirroring the reporting convention of
+``EXPERIMENTS.md``: device spec, seed, simulator version, and the git
+revision of the working tree that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Any, Dict, Optional
+
+__all__ = ["git_revision", "build_provenance"]
+
+_GIT_REV_CACHE: Dict[str, Optional[str]] = {}
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Short git revision (cached; None outside a repo).
+
+    Defaults to the checkout this package was imported from, not the
+    process working directory, so exports are stamped with the code
+    revision regardless of where the CLI runs.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    key = cwd
+    if key not in _GIT_REV_CACHE:
+        try:
+            rev = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=cwd, capture_output=True, text=True, timeout=5,
+            )
+            _GIT_REV_CACHE[key] = (rev.stdout.strip()
+                                   if rev.returncode == 0 else None)
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV_CACHE[key] = None
+    return _GIT_REV_CACHE[key]
+
+
+def build_provenance(device: Any, **extra: Any) -> Dict[str, Any]:
+    """Reproducibility stamp for one device run.
+
+    ``extra`` lets callers add run-specific facts (channel name, bit
+    count, experiment id).
+    """
+    from repro import __version__
+
+    stamp: Dict[str, Any] = {
+        "spec": device.spec.name,
+        "generation": device.spec.generation,
+        "seed": device.seed,
+        "policy": device.block_scheduler.name,
+        "simulated_cycles": device.engine.now,
+        "events_executed": device.engine.events_executed,
+        "repro_version": __version__,
+        "git_rev": git_revision() or "unknown",
+    }
+    stamp.update(extra)
+    return stamp

@@ -1,0 +1,160 @@
+"""Ring-buffered structured event tracing.
+
+The tracer records what the simulator *did* — per-instruction execution
+on each warp scheduler, block residency per SM, kernel lifetimes per
+stream, atomic-unit service — as timestamped events on named *tracks*.
+Tracks use dotted names (``sm3.ws1``, ``atomic0``, ``stream2``); the
+Chrome-trace exporter in :mod:`repro.obs.export` turns the first dotted
+component into a process row and the full name into a thread row, which
+is how every SM gets its own track in ``chrome://tracing``/Perfetto.
+
+Events go into a bounded ring buffer (oldest dropped first, with a
+``dropped`` count) so tracing a long run can never exhaust memory.  All
+emit points in the simulator are explicit ``if tracer.enabled:`` guards
+— no monkey-patching — and the :data:`NULL_TRACER` singleton keeps the
+disabled path to a single attribute check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+#: Default ring-buffer capacity, in events.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``ph`` follows the Chrome trace-event phase vocabulary: ``"X"`` for
+    a complete (duration) event, ``"i"`` for an instant, ``"C"`` for a
+    counter sample.  ``ts`` and ``dur`` are in device cycles; exporters
+    convert to their own time unit.
+    """
+
+    ts: float
+    name: str
+    cat: str
+    track: str
+    ph: str = "X"
+    dur: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded recorder of :class:`TraceEvent` objects.
+
+    ``clock`` supplies the current cycle (normally the device engine's
+    ``now``) for emit points that do not pass an explicit timestamp.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float],
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def _push(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        self.emitted += 1
+
+    def complete(self, name: str, cat: str, track: str, ts: float,
+                 dur: float, **args: Any) -> None:
+        """Record a duration event covering ``[ts, ts + dur]``."""
+        self._push(TraceEvent(ts=ts, name=name, cat=cat, track=track,
+                              ph="X", dur=dur, args=args))
+
+    def instant(self, name: str, cat: str, track: str,
+                ts: Optional[float] = None, **args: Any) -> None:
+        """Record a point-in-time event (now unless ``ts`` is given)."""
+        self._push(TraceEvent(ts=self.clock() if ts is None else ts,
+                              name=name, cat=cat, track=track, ph="i",
+                              args=args))
+
+    def sample(self, name: str, track: str,
+               ts: Optional[float] = None, **values: float) -> None:
+        """Record a counter sample (stacked-area track in Chrome)."""
+        self._push(TraceEvent(ts=self.clock() if ts is None else ts,
+                              name=name, cat="counter", track=track,
+                              ph="C", args=dict(values)))
+
+    @contextmanager
+    def span(self, name: str, cat: str, track: str,
+             **args: Any) -> Iterator[None]:
+        """Record the simulated duration of a ``with`` block."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.complete(name, cat, track, start,
+                          self.clock() - start, **args)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """Buffered events in emission order (oldest first)."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def tracks(self) -> List[str]:
+        """Distinct track names present in the buffer, sorted."""
+        return sorted({e.track for e in self._buffer})
+
+    def clear(self) -> None:
+        """Drop all buffered events and the drop/emit statistics."""
+        self._buffer.clear()
+        self.dropped = 0
+        self.emitted = 0
+
+
+class _NullTracer:
+    """Disabled tracer: every method is a no-op."""
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+    emitted = 0
+
+    def complete(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def instant(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    def sample(self, *a: Any, **kw: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, *a: Any, **kw: Any) -> Iterator[None]:
+        yield
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def tracks(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()

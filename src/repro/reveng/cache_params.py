@@ -11,7 +11,7 @@ from ``size / (line * sets)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.specs import GPUSpec
 from repro.sim import isa

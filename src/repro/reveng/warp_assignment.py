@@ -10,7 +10,7 @@ recover N as the common stride.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.arch.specs import GPUSpec
 from repro.sim import isa

@@ -13,7 +13,7 @@ exactly what the attack exploits both to force co-residency (launch
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Tuple
 
 from repro.sim.kernel import Kernel
 
@@ -40,6 +40,15 @@ class LeftoverBlockScheduler:
         kernel.submit_cycle = self.device.engine.now
         for b in range(kernel.config.grid):
             self.pending.append((kernel, b))
+        obs = self.device.obs
+        if obs.metrics_on:
+            obs.registry.counter("scheduler.kernels_submitted").inc()
+            obs.registry.gauge("scheduler.queue_depth").set(
+                len(self.pending))
+        if obs.trace_on:
+            obs.tracer.instant(
+                f"submit {kernel.name}", "scheduler", "blocksched",
+                grid=kernel.config.grid, context=kernel.context)
         self.dispatch()
 
     def dispatch(self) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.arch.specs import CacheSpec
+from repro.obs.metrics import Counter
 from repro.sim.resources import PipelinedPort
 
 #: Signature of a partitioning hook: (context_id, set_index, n_sets) -> set.
@@ -32,12 +33,16 @@ class ConstCache:
         # Each set is a list of tags ordered LRU-first / MRU-last.
         self._sets: List[List[int]] = [[] for _ in range(spec.n_sets)]
         self.port = PipelinedPort(name=f"{name}.port")
-        self.hits = 0
-        self.misses = 0
+        #: Always-on instruments (adopted into the device registry so
+        #: snapshots and Device.reset_stats() cover them).
+        self.hit_counter = Counter(f"{name}.hits")
+        self.miss_counter = Counter(f"{name}.misses")
         self.set_misses: List[int] = [0] * spec.n_sets
         #: When set to a list, every access is appended as a
-        #: ``(time, set_index, context, hit)`` tuple (the event trace the
-        #: CC-Hunter-style detector consumes).  The SM fills in the time.
+        #: ``(time, set_index, context, hit)`` record (the event stream
+        #: the CC-Hunter-style detector consumes; see
+        #: :class:`repro.obs.core.CacheAccess`).  The SM fills in the
+        #: time.
         self.trace = None
 
     # ------------------------------------------------------------------
@@ -62,12 +67,12 @@ class ConstCache:
         if tag in lines:
             lines.remove(tag)
             lines.append(tag)
-            self.hits += 1
+            self.hit_counter.value += 1
             return True
         if len(lines) >= self.spec.ways:
             lines.pop(0)
         lines.append(tag)
-        self.misses += 1
+        self.miss_counter.value += 1
         self.set_misses[idx] += 1
         return False
 
@@ -88,11 +93,21 @@ class ConstCache:
 
     def reset_stats(self) -> None:
         """Zero hit/miss counters."""
-        self.hits = 0
-        self.misses = 0
+        self.hit_counter.reset()
+        self.miss_counter.reset()
         self.set_misses = [0] * self.spec.n_sets
 
     # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Total accesses that hit (all sets, all contexts)."""
+        return int(self.hit_counter.value)
+
+    @property
+    def misses(self) -> int:
+        """Total accesses that missed."""
+        return int(self.miss_counter.value)
+
     @property
     def miss_rate(self) -> float:
         """Fraction of accesses that missed (0.0 when unused)."""

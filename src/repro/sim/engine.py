@@ -35,7 +35,8 @@ class Engine:
     [10.0]
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_max_events", "_event_count")
+    __slots__ = ("now", "_heap", "_seq", "_max_events", "_event_count",
+                 "profile_hook")
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self.now: float = 0.0
@@ -43,6 +44,10 @@ class Engine:
         self._seq = 0
         self._max_events = max_events
         self._event_count = 0
+        #: Optional observability tap called as ``hook(engine)`` after
+        #: every executed event.  The engine stays GPU-agnostic: the
+        #: device's obs layer installs a sampler here when tracing.
+        self.profile_hook: Optional[Callable[["Engine"], None]] = None
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
@@ -89,6 +94,8 @@ class Engine:
                 "likely a runaway kernel or protocol livelock"
             )
         fn()
+        if self.profile_hook is not None:
+            self.profile_hook(self)
         return True
 
     def run(self, until: Optional[float] = None,

@@ -18,10 +18,16 @@ then linear-steps shape of Figures 6 and 7, with the step onset at
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.arch.specs import GPUSpec
 from repro.sim.resources import PipelinedPort
+
+#: Per-unit metrics bundle a device wires onto a bank when its metrics
+#: registry is enabled: unit -> (ops, issue_stall, dispatch_stall)
+#: counters.  ``None`` (the default) keeps the hot loop free of any
+#: instrumentation beyond two local float adds.
+BankMetrics = Dict[str, Tuple[object, object, object]]
 
 
 class SchedulerFuBank:
@@ -37,6 +43,7 @@ class SchedulerFuBank:
             unit: PipelinedPort(name=f"{prefix}.{unit}")
             for unit in ("sp", "dpu", "sfu", "ldst")
         }
+        self.metrics: Optional[BankMetrics] = None
 
     # ------------------------------------------------------------------
     def fu_occupancy(self, op: str) -> float:
@@ -57,10 +64,19 @@ class SchedulerFuBank:
         issue_interval = self.spec.issue_interval
         port = self.unit_ports[op_spec.unit]
         t = now
+        issue_stall = 0.0
+        dispatch_stall = 0.0
         for _ in range(count):
             issued = self.issue_port.acquire(t, issue_interval)
             start = port.acquire(issued, occupancy)
+            issue_stall += issued - t
+            dispatch_stall += start - issued
             t = start + op_spec.latency + op_spec.overhead
+        if self.metrics is not None:
+            ops, istall, dstall = self.metrics[op_spec.unit]
+            ops.inc(count)
+            istall.inc(issue_stall)
+            dstall.inc(dispatch_stall)
         return t
 
     def issue_only(self, now: float) -> float:
@@ -73,6 +89,12 @@ class SchedulerFuBank:
         self.issue_port.reset()
         for port in self.unit_ports.values():
             port.reset()
+
+    def reset_stats(self) -> None:
+        """Zero port statistics; queue timing state is untouched."""
+        self.issue_port.reset_stats()
+        for port in self.unit_ports.values():
+            port.reset_stats()
 
 
 class SharedFuBank(SchedulerFuBank):

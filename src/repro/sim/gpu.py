@@ -20,11 +20,12 @@ True
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.arch.specs import GPUSpec
+from repro.obs.core import DeviceObservability, ObserveConfig
 from repro.sim.cache import ConstCache, PartitionFn
 from repro.sim.engine import DeadlockError, Engine
 from repro.sim.kernel import Kernel
@@ -45,12 +46,15 @@ class Device:
                  cache_partition_fn: Optional[PartitionFn] = None,
                  scheduler_assignment: str = "round_robin",
                  clock_model: Optional[ClockModel] = None,
-                 max_events: Optional[int] = 50_000_000) -> None:
+                 max_events: Optional[int] = 50_000_000,
+                 observe: Union[None, bool, str, ObserveConfig] = None
+                 ) -> None:
         if scheduler_assignment not in ("round_robin", "random"):
             raise ValueError(
                 "scheduler_assignment must be 'round_robin' or 'random'"
             )
         self.spec = spec
+        self.seed = seed
         self.engine = Engine(max_events=max_events)
         self.rng = np.random.default_rng(seed)
         self.clock = clock_model if clock_model is not None else ClockModel(
@@ -58,9 +62,11 @@ class Device:
         )
         self.cache_partition_fn = cache_partition_fn
         self.scheduler_assignment = scheduler_assignment
+        self.obs = DeviceObservability(self, observe)
         self.const_l2 = ConstCache(spec.const_l2, name="constL2",
                                    partition_fn=cache_partition_fn)
         self.memory = GlobalMemory(spec.memory)
+        self.memory.obs = self.obs
         self.sms: List[SM] = [
             SM(self, i, isolated_fu_banks=isolated_fu_banks)
             for i in range(spec.n_sms)
@@ -69,6 +75,39 @@ class Device:
         self._streams: List[Stream] = []
         self._const_ptr = 0
         self._const_allocs: Dict[str, int] = {}
+        self._wire_observability()
+
+    def _wire_observability(self) -> None:
+        """Adopt always-on instruments and push wiring into subsystems."""
+        obs = self.obs
+        registry = obs.registry
+        for cache in [self.const_l2] + [sm.l1 for sm in self.sms]:
+            registry.register(cache.hit_counter)
+            registry.register(cache.miss_counter)
+        if obs.metrics_on:
+            # One aggregated (ops, issue stall, dispatch stall) counter
+            # triple per unit type, shared by every scheduler bank.
+            triples = {
+                unit: (registry.counter(f"fu.{unit}.ops"),
+                       registry.counter(f"fu.{unit}.issue_stall_cycles"),
+                       registry.counter(f"fu.{unit}.dispatch_stall_cycles"))
+                for unit in ("sp", "dpu", "sfu", "ldst")
+            }
+            instr_counter = registry.counter("warp.instructions")
+            for sm in self.sms:
+                sm.instr_counter = instr_counter
+                for bank in sm.fu_banks:
+                    bank.metrics = triples
+        if obs.trace_on and obs.config.engine_sample_every > 0:
+            every = obs.config.engine_sample_every
+            tracer = obs.tracer
+
+            def sample(engine: Engine) -> None:
+                if engine.events_executed % every == 0:
+                    tracer.sample("engine", "engine", ts=engine.now,
+                                  pending=float(engine.pending_events))
+
+            self.engine.profile_hook = sample
 
     # ------------------------------------------------------------------
     # Host API
@@ -207,3 +246,22 @@ class Device:
         for sm in self.sms:
             sm.l1.flush()
         self.const_l2.flush()
+
+    def reset_stats(self) -> None:
+        """Zero every instrument on the device in one call.
+
+        Covers the caches (L1s + L2), functional-unit and shared-memory
+        ports, DRAM channels and atomic units, the metrics registry and
+        the trace buffer.  Simulation *state* (cache contents, port
+        queue timing, clock) is untouched, so experiments can reset
+        between epochs without perturbing what they measure — and can't
+        accidentally mix epochs by resetting only the caches.
+        """
+        for sm in self.sms:
+            sm.l1.reset_stats()
+            sm.shared_port.reset_stats()
+            for bank in sm.fu_banks:
+                bank.reset_stats()
+        self.const_l2.reset_stats()
+        self.memory.reset_stats()
+        self.obs.reset()

@@ -19,7 +19,7 @@ atomic units.  The model here reproduces both facts:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.arch.specs import MemorySpec
 from repro.sim.resources import PipelinedPort
@@ -50,6 +50,9 @@ class GlobalMemory:
         self._words: Dict[int, int] = defaultdict(int)
         self.load_transactions = 0
         self.atomic_ops = 0
+        #: Observability facade (set by the owning Device); None keeps
+        #: every emit point a single identity check.
+        self.obs = None
 
     # ------------------------------------------------------------------
     def _segments(self, addrs: Sequence[int]) -> Dict[int, list]:
@@ -95,6 +98,7 @@ class GlobalMemory:
         segment's atomic unit; the warp completes when its slowest
         segment transaction returns.
         """
+        obs = self.obs
         finish = now
         for segment, seg_addrs in self._segments(addrs).items():
             unit = self._unit_for(segment)
@@ -108,6 +112,17 @@ class GlobalMemory:
             self.atomic_ops += unique_ops
             for a in set(seg_addrs):
                 self._words[a // 4] += 1
+            if obs is not None and obs.metrics_on:
+                reg = obs.registry
+                reg.histogram("memory.atomic.queue_wait").observe(
+                    start - now)
+                reg.histogram("memory.atomic.service").observe(occupancy)
+                reg.gauge("memory.atomic.queue_depth").set(
+                    unit.wait_time(now) / max(occupancy, 1.0))
+            if obs is not None and obs.trace_on:
+                obs.tracer.complete(
+                    "atomic", "memory", unit.name, start, occupancy,
+                    ops=unique_ops, waited=start - now)
         return finish
 
     # ------------------------------------------------------------------
@@ -122,6 +137,15 @@ class GlobalMemory:
         for port in self.atomic_units:
             port.reset()
         self._words.clear()
+        self.load_transactions = 0
+        self.atomic_ops = 0
+
+    def reset_stats(self) -> None:
+        """Zero statistics; queue timing and backing store survive."""
+        for port in self.channels:
+            port.reset_stats()
+        for port in self.atomic_units:
+            port.reset_stats()
         self.load_transactions = 0
         self.atomic_ops = 0
 

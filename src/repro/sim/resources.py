@@ -49,6 +49,15 @@ class PipelinedPort:
     def reset(self) -> None:
         """Clear queue state and statistics."""
         self.free_at = 0.0
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the statistics without disturbing queue state.
+
+        ``Device.reset_stats`` uses this between experiment epochs:
+        in-flight timing (``free_at``) must be preserved or the reset
+        itself would perturb the simulation.
+        """
         self.busy_cycles = 0.0
         self.requests = 0
 

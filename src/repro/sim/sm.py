@@ -11,9 +11,10 @@ engineering result); the Section 9 mitigation can switch it to random.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.arch.specs import GPUSpec
+from repro.obs.core import CacheAccess
 from repro.sim import isa
 from repro.sim.cache import ConstCache
 from repro.sim.functional_units import SchedulerFuBank, make_shared_banks
@@ -46,6 +47,9 @@ class SM:
         else:
             self.fu_banks = make_shared_banks(self.spec, sm_id)
         self.shared_port = PipelinedPort(name=f"sm{sm_id}.shared")
+        #: Per-instruction counter, wired by the Device when metrics are
+        #: on; None keeps the disabled path to one identity check.
+        self.instr_counter = None
 
         # Occupancy accounting -----------------------------------------
         self.resident_blocks: List[ResidentBlock] = []
@@ -95,6 +99,12 @@ class SM:
         record.smid = self.sm_id
         record.start_cycle = now
 
+        obs = self.device.obs
+        if obs.metrics_on:
+            obs.registry.counter("scheduler.blocks_placed").inc()
+            obs.registry.gauge(f"sm{self.sm_id}.resident_warps").set(
+                self.used_warps + cfg.warps_per_block)
+
         for w in range(cfg.warps_per_block):
             sched = self._assign_scheduler()
             warp = Warp(kernel, block_idx, w, self.sm_id, sched)
@@ -119,7 +129,15 @@ class SM:
         self.used_shared -= cfg.shared_mem
         self.used_registers -= cfg.registers_per_block
         now = self.device.engine.now
-        block.kernel.block_records[block.block_idx].stop_cycle = now
+        record = block.kernel.block_records[block.block_idx]
+        record.stop_cycle = now
+        obs = self.device.obs
+        if obs.trace_on and record.start_cycle is not None:
+            obs.tracer.complete(
+                f"{block.kernel.name}[{block.block_idx}]", "block",
+                f"sm{self.sm_id}", record.start_cycle,
+                now - record.start_cycle,
+                kernel=block.kernel.name, context=block.kernel.context)
         block.kernel._block_retired(now)
         self.device.block_scheduler.dispatch()
 
@@ -186,6 +204,22 @@ class SM:
     def _execute(self, warp: Warp, block: ResidentBlock,
                  instr: isa.Instruction) -> Tuple[float, Any]:
         now = self.device.engine.now
+        finish, res = self._execute_instr(warp, block, instr, now)
+        if self.instr_counter is not None:
+            self.instr_counter.inc()
+        obs = self.device.obs
+        if obs.trace_on:
+            name = instr.op if isinstance(instr, isa.FuOp) \
+                else type(instr).__name__
+            obs.tracer.complete(
+                name, "instr",
+                f"sm{self.sm_id}.ws{warp.scheduler_id}", now, finish - now,
+                kernel=warp.kernel.name, warp=warp.warp_in_block)
+        return finish, res
+
+    def _execute_instr(self, warp: Warp, block: ResidentBlock,
+                       instr: isa.Instruction, now: float
+                       ) -> Tuple[float, Any]:
         bank = self.fu_banks[warp.scheduler_id]
 
         if isinstance(instr, isa.FuOp):
@@ -246,7 +280,8 @@ class SM:
         start1 = l1.port.acquire(now, l1.spec.port_cycles)
         l1_hit = l1.access(addr, context=ctx_id)
         if l1.trace is not None:
-            l1.trace.append((now, l1.set_of(addr, ctx_id), ctx_id, l1_hit))
+            l1.trace.append(CacheAccess(
+                now, l1.set_of(addr, ctx_id), ctx_id, l1_hit))
         if l1_hit:
             finish = start1 + l1.spec.hit_latency
             return finish, isa.MemResult(finish - now, "l1")
@@ -254,7 +289,8 @@ class SM:
         start2 = l2.port.acquire(start1, l2.spec.port_cycles)
         l2_hit = l2.access(addr, context=ctx_id)
         if l2.trace is not None:
-            l2.trace.append((now, l2.set_of(addr, ctx_id), ctx_id, l2_hit))
+            l2.trace.append(CacheAccess(
+                now, l2.set_of(addr, ctx_id), ctx_id, l2_hit))
         if l2_hit:
             finish = start2 + l2.spec.hit_latency
             return finish, isa.MemResult(finish - now, "l2")

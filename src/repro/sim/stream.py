@@ -33,6 +33,24 @@ class Stream:
         """
         device = self.device
         overhead = device.launch_overhead()
+        obs = device.obs
+        if obs.metrics_on:
+            obs.registry.counter("stream.kernels_launched").inc()
+            obs.registry.histogram("stream.launch_overhead").observe(
+                overhead)
+        if obs.trace_on:
+            # One lane per stream showing each kernel from launch-queue
+            # submission to retirement.
+            launched = device.engine.now
+            track = f"stream{self.stream_id}"
+
+            def emit(k: Kernel) -> None:
+                obs.tracer.complete(
+                    k.name, "kernel", track, launched,
+                    device.engine.now - launched,
+                    context=k.context, grid=k.config.grid)
+
+            kernel.on_complete(emit)
 
         def submit() -> None:
             device.block_scheduler.submit(kernel)

@@ -8,7 +8,7 @@ its resources) when the last warp finishes.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Generator, Optional
 
 from repro.sim.kernel import Kernel
 

@@ -1,6 +1,5 @@
 """Analysis harness tests: sweeps and report tables."""
 
-import pytest
 
 from repro.analysis import (
     bandwidth_by_device,

@@ -1,10 +1,8 @@
 """Leftover block-scheduler tests (Section 3.1 behaviour)."""
 
-import pytest
 
 from repro.arch.specs import KEPLER_K40C
 from repro.sim import isa
-from repro.sim.gpu import Device
 from repro.sim.kernel import Kernel, KernelConfig
 
 

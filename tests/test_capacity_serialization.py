@@ -1,6 +1,5 @@
 """Tests for capacity analysis and spec serialization."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

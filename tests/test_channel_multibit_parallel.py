@@ -8,7 +8,6 @@ from repro.channels import (
     MultiBitL2Channel,
     ParallelSFUChannel,
     ParallelSMChannel,
-    SynchronizedL1Channel,
 )
 from repro.sim.gpu import Device
 

@@ -1,6 +1,5 @@
 """Whitespace (dynamic idle-set discovery) channel tests (Section 8)."""
 
-import pytest
 
 from repro.arch.specs import KEPLER_K40C
 from repro.channels import SynchronizedL1Channel

@@ -1,6 +1,5 @@
 """End-to-end integration tests: the full attack pipeline."""
 
-import pytest
 
 from repro.arch.specs import KEPLER_K40C
 from repro.channels import (
@@ -8,7 +7,7 @@ from repro.channels import (
     SynchronizedL1Channel,
     random_bits,
 )
-from repro.channels.base import bits_from_bytes, bytes_from_bits
+from repro.channels.base import bytes_from_bits
 from repro.colocation import blocker_kernel
 from repro.reveng import (
     characterize_cache,

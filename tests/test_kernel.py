@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import isa
-from repro.sim.kernel import BlockRecord, Kernel, KernelConfig, WarpContext
+from repro.sim.kernel import BlockRecord, Kernel, KernelConfig
 
 
 def noop(ctx):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.noise import (
-    BitErrorStats,
     compare_bits,
     deinterleave,
     hamming74_decode,

@@ -1,0 +1,68 @@
+"""CLI observability commands and friendly error handling."""
+
+import json
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--gpu", "kepler", "--channel", "sync-l1",
+                   "--bits", "4", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["channel"] == "sync-l1"
+        assert doc["otherData"]["bits"] == 4
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        assert str(out) in capsys.readouterr().out
+
+    def test_trace_timeline_flag(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--channel", "l1", "--bits", "2",
+                   "--out", str(out), "--timeline"])
+        assert rc == 0
+        assert "timeline:" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_prints_instrument_table(self, capsys, tmp_path):
+        csv_path = tmp_path / "m.csv"
+        rc = main(["stats", "sync-l1", "--bits", "4",
+                   "--out", str(csv_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "instrument" in out
+        assert "channel.sync-l1.bits_sent" in out
+        text = csv_path.read_text()
+        assert text.startswith("# ")
+        assert "metric,value" in text
+
+
+class TestFriendlyErrors:
+    def test_unknown_channel_lists_valid_names(self, capsys):
+        rc = main(["transmit", "--channel", "l3"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1          # one-line error
+        assert "unknown channel 'l3'" in err
+        assert "sync-l1" in err
+
+    def test_unknown_gpu_lists_valid_names(self, capsys):
+        rc = main(["transmit", "--gpu", "volta"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown GPU 'volta'" in err
+        assert "kepler" in err
+
+    def test_stats_unknown_target(self, capsys):
+        rc = main(["stats", "nonesuch"])
+        assert rc == 2
+        assert "unknown channel" in capsys.readouterr().err
+
+    def test_trace_unknown_gpu(self, capsys):
+        rc = main(["trace", "--gpu", "turing"])
+        assert rc == 2
+        assert "unknown GPU" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Detector-on-observability equivalence with the legacy implementation."""
+
+from typing import Dict, List, Tuple
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.mitigations import ContentionDetector, score_streams
+from repro.sim.gpu import Device
+
+
+def legacy_analyze(streams: Dict[str, list]) -> List[Tuple]:
+    """The seed detector's scoring, verbatim, as a reference oracle.
+
+    Groups misses per set, then scores two-party alternation — kept
+    here so the refactored detector (which consumes the obs layer's
+    cache-access streams) can be regression-checked against it.
+    """
+    out = []
+    for name, trace in streams.items():
+        per_set: Dict[int, List[int]] = {}
+        for _time, set_index, context, hit in trace:
+            if not hit:
+                per_set.setdefault(set_index, []).append(context)
+        for set_index, ctxs in per_set.items():
+            if len(ctxs) < 2:
+                alternation = 0.0
+            else:
+                switches = sum(1 for a, b in zip(ctxs, ctxs[1:])
+                               if a != b)
+                alternation = switches / (len(ctxs) - 1)
+            out.append((name, set_index, len(ctxs),
+                        tuple(sorted(set(ctxs))), alternation))
+    return sorted(out)
+
+
+def test_detector_matches_legacy_on_l1_channel_run():
+    device = Device(KEPLER_K40C, seed=3)
+    detector = ContentionDetector.attach(device)
+    SynchronizedL1Channel(device).transmit_random(24, seed=5)
+
+    streams = device.obs.cache_events()
+    assert streams, "capture must be active while attached"
+
+    report = detector.analyze()
+    new = sorted((s.cache, s.set_index, s.misses, s.contexts,
+                  s.alternation) for s in report.scores)
+    assert new == legacy_analyze(streams)
+    assert report.channel_detected
+    flagged = {(s.cache, s.set_index) for s in report.flagged_sets}
+    legacy_flagged = {(name, set_index)
+                      for name, set_index, misses, ctxs, alt
+                      in legacy_analyze(streams)
+                      if misses >= 24 and len(ctxs) >= 2 and alt >= 0.7}
+    assert flagged == legacy_flagged
+
+
+def test_report_carries_metrics_snapshot():
+    device = Device(KEPLER_K40C, seed=3)
+    detector = ContentionDetector.attach(device)
+    SynchronizedL1Channel(device).transmit_random(8, seed=5)
+    report = detector.analyze()
+    assert report.metrics                      # miss totals ride along
+    assert all(k.endswith((".hits", ".misses")) for k in report.metrics)
+    total_misses = sum(v for k, v in report.metrics.items()
+                       if k.endswith(".misses"))
+    assert total_misses >= sum(s.misses for s in report.scores
+                               if s.cache.endswith("L1"))
+
+
+def test_detach_via_obs_clears_capture():
+    device = Device(KEPLER_K40C, seed=3)
+    detector = ContentionDetector.attach(device)
+    assert device.sms[0].l1.trace == []
+    detector.detach()
+    assert device.sms[0].l1.trace is None
+    assert device.obs.cache_events() == {}
+
+
+def test_score_streams_pure_function():
+    stream = [(0.0, 3, 1, False), (1.0, 3, 2, False),
+              (2.0, 3, 1, False), (3.0, 3, 2, True)]
+    (score,) = score_streams({"L1": stream})
+    assert score.set_index == 3
+    assert score.misses == 3
+    assert score.contexts == (1, 2)
+    assert score.alternation == 1.0

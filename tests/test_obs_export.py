@@ -1,0 +1,107 @@
+"""Exporters: Chrome trace-event schema, metrics CSV, ASCII timeline."""
+
+import json
+
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.obs import (
+    ascii_timeline,
+    build_provenance,
+    chrome_trace,
+    metrics_csv,
+    write_chrome_trace,
+)
+from repro.sim.gpu import Device
+
+
+def traced_device(bits=4):
+    device = Device(KEPLER_K40C, seed=3, observe="full")
+    SynchronizedL1Channel(device).transmit_random(bits, seed=5)
+    return device
+
+
+class TestChromeTrace:
+    def test_schema_round_trips_through_json(self, tmp_path):
+        device = traced_device()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), device)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_per_sm_process_tracks(self):
+        doc = chrome_trace(traced_device())
+        processes = {e["args"]["name"] for e in doc["traceEvents"]
+                     if e["name"] == "process_name"}
+        n_sms = KEPLER_K40C.n_sms
+        assert {f"sm{i}" for i in range(n_sms)} <= processes
+        threads = {e["args"]["name"] for e in doc["traceEvents"]
+                   if e["name"] == "thread_name"}
+        assert "sm0.ws0" in threads
+
+    def test_timestamps_are_microseconds(self):
+        device = traced_device()
+        doc = chrome_trace(device)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        max_ts = max(e["ts"] + e["dur"] for e in xs)
+        expected_us = device.engine.now / device.spec.clock_mhz
+        assert max_ts <= expected_us * 1.001
+
+    def test_provenance_stamp(self):
+        doc = chrome_trace(traced_device(), experiment="unit-test")
+        other = doc["otherData"]
+        assert other["spec"] == "Tesla K40C"
+        assert other["seed"] == 3
+        assert other["experiment"] == "unit-test"
+        assert "git_rev" in other and "repro_version" in other
+        assert other["trace_events_emitted"] > 0
+
+
+class TestMetricsCsv:
+    def test_header_provenance_and_rows(self):
+        device = traced_device()
+        text = metrics_csv(device)
+        lines = text.splitlines()
+        comments = [ln for ln in lines if ln.startswith("# ")]
+        assert any(ln.startswith("# spec=") for ln in comments)
+        assert any(ln.startswith("# git_rev=") for ln in comments)
+        body = [ln for ln in lines if not ln.startswith("#")]
+        assert body[0] == "metric,value"
+        assert len(body) > 5
+        for line in body[1:]:
+            name, value = line.rsplit(",", 1)
+            float(value)            # every value parses
+
+    def test_skip_zero_filters_idle_instruments(self):
+        device = Device(KEPLER_K40C, seed=1, observe="metrics")
+        dense = metrics_csv(device, skip_zero=False)
+        sparse = metrics_csv(device, skip_zero=True)
+        assert len(dense.splitlines()) > len(sparse.splitlines())
+
+
+class TestAsciiTimeline:
+    def test_renders_busiest_tracks(self):
+        out = ascii_timeline(traced_device(), max_tracks=5)
+        lines = out.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert len(lines) <= 7          # header + 5 tracks + "more" line
+        assert any("|" in ln for ln in lines[1:])
+
+    def test_empty_trace(self):
+        device = Device(KEPLER_K40C, seed=1, observe="trace")
+        assert "no duration events" in ascii_timeline(device)
+
+
+class TestProvenance:
+    def test_build_provenance_fields(self):
+        device = Device(KEPLER_K40C, seed=9)
+        stamp = build_provenance(device, note="x")
+        assert stamp["seed"] == 9
+        assert stamp["generation"] == "Kepler"
+        assert stamp["policy"] == "leftover"
+        assert stamp["note"] == "x"

@@ -1,0 +1,182 @@
+"""Metrics registry: instrument semantics, enable/disable, device wiring."""
+
+import pytest
+
+from repro.arch import KEPLER_K40C
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim import isa
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        c.reset()
+        assert c.value == 0.0
+
+    def test_gauge_tracks_peak(self):
+        g = Gauge("g")
+        g.set(4)
+        g.inc(3)
+        g.dec(6)
+        assert g.value == 1
+        assert g.peak == 7
+        g.reset()
+        assert g.snapshot() == {"value": 0.0, "peak": 0.0}
+
+    def test_histogram_summary(self):
+        h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+        assert snap["mean"] == pytest.approx(138.875)
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_disabled_registry_hands_out_nulls(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a")
+        assert c is NULL_COUNTER
+        assert not c.enabled
+        c.inc(100)                      # no-op, no error
+        assert reg.histogram("h") is NULL_HISTOGRAM
+        assert reg.snapshot() == {}
+
+    def test_enable_disable_toggle(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("x") is NULL_COUNTER
+        reg.enable()
+        real = reg.counter("x")
+        assert real is not NULL_COUNTER
+        real.inc()
+        reg.disable()
+        # Already-created instruments remain registered and visible.
+        assert reg.counter("x") is real
+        assert reg.counter("y") is NULL_COUNTER
+        assert reg.snapshot() == {"x": 1.0}
+
+    def test_adopted_instruments_snapshot_and_reset(self):
+        reg = MetricsRegistry(enabled=False)
+        c = Counter("adopted")
+        reg.register(c)
+        c.inc(7)
+        assert reg.snapshot()["adopted"] == 7.0
+        reg.reset()
+        assert c.value == 0.0
+
+
+def _run_fu_kernel(device, op="sinf", count=32):
+    def body(ctx):
+        yield isa.FuOp(op, count)
+    device.launch(Kernel(body, KernelConfig(grid=2)))
+    device.synchronize()
+
+
+class TestDeviceWiring:
+    def test_observe_off_by_default(self):
+        device = Device(KEPLER_K40C)
+        assert not device.obs.metrics_on
+        assert not device.obs.trace_on
+        # Cache counters still work (always-on instruments).
+        device.sms[0].l1.access(0)
+        assert device.sms[0].l1.misses == 1
+
+    def test_metrics_capture_fu_and_scheduler(self):
+        device = Device(KEPLER_K40C, seed=1, observe="metrics")
+        _run_fu_kernel(device)
+        snap = device.obs.snapshot()
+        assert snap["fu.sfu.ops"] == 64.0
+        assert snap["warp.instructions"] >= 2
+        assert snap["scheduler.blocks_placed"] == 2.0
+        assert snap["scheduler.kernels_submitted"] == 1.0
+        assert snap["stream.kernels_launched"] == 1.0
+        assert snap["stream.launch_overhead"]["count"] == 1.0
+
+    def test_snapshot_works_without_observe(self):
+        """Pull-based stats are readable even on an unobserved device."""
+        device = Device(KEPLER_K40C, seed=1)
+        _run_fu_kernel(device)
+        snap = device.obs.snapshot()
+        assert snap["engine.events_executed"] > 0
+        assert "fu.sfu.ops" not in snap      # push instrument: off
+        assert snap["sm0.ws0.sfu.busy_cycles"] > 0   # pulled from port
+
+    def test_atomic_instruments(self):
+        device = Device(KEPLER_K40C, seed=1, observe="metrics")
+
+        def body(ctx):
+            yield isa.GlobalAtomic(tuple([0] * 32))
+        device.launch(Kernel(body, KernelConfig(grid=1)))
+        device.synchronize()
+        snap = device.obs.snapshot()
+        assert snap["memory.atomic.service"]["count"] == 1.0
+        assert snap["memory.atomic.queue_wait"]["count"] == 1.0
+
+    def test_channel_protocol_stats(self):
+        from repro.channels import L1CacheChannel
+        device = Device(KEPLER_K40C, seed=3, observe="metrics")
+        result = L1CacheChannel(device).transmit_random(8, seed=5)
+        snap = device.obs.snapshot()
+        assert snap["channel.l1-cache.bits_sent"] == 8.0
+        assert snap["channel.l1-cache.bit_errors"] == float(result.errors)
+        assert snap["channel.l1-cache.cycles_per_bit"]["count"] == 1.0
+
+
+class TestDeviceResetStats:
+    def test_resets_every_instrument_family(self):
+        from repro.channels import GlobalAtomicChannel
+        device = Device(KEPLER_K40C, seed=3, observe="metrics")
+        GlobalAtomicChannel(device, scenario=1).transmit_random(4, seed=5)
+        snap = device.obs.snapshot()
+        assert snap["memory.atomic_ops"] > 0
+        device.reset_stats()
+        snap = device.obs.snapshot()
+        # Cache, FU-port, memory and registry instruments all zeroed.
+        assert all(v == 0.0 for k, v in snap.items()
+                   if k.endswith((".hits", ".misses", ".busy_cycles",
+                                  ".requests")))
+        assert snap["memory.atomic_ops"] == 0.0
+        assert snap["memory.load_transactions"] == 0.0
+        assert snap["fu.sp.ops"] == 0.0
+
+    def test_reset_stats_preserves_simulation_state(self):
+        device = Device(KEPLER_K40C, seed=1)
+        cache = device.sms[0].l1
+        cache.access(0)
+        port_free = device.sms[0].fu_banks[0].issue_port.acquire(0.0, 4.0)
+        device.reset_stats()
+        assert cache.contains(0)                 # contents survive
+        assert device.sms[0].fu_banks[0].issue_port.free_at == \
+            port_free + 4.0                      # queue timing survives
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_observe_values_rejected(self):
+        with pytest.raises(ValueError):
+            Device(KEPLER_K40C, observe="everything")
+        with pytest.raises(TypeError):
+            Device(KEPLER_K40C, observe=42)

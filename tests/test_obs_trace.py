@@ -1,0 +1,126 @@
+"""Tracer: ring buffer, spans, null fast path, simulator emit points."""
+
+from repro.arch import KEPLER_K40C
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim import isa
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+def make_tracer(capacity=16):
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], capacity=capacity)
+    return tracer, clock
+
+
+class TestTracer:
+    def test_complete_and_instant(self):
+        tracer, clock = make_tracer()
+        tracer.complete("op", "instr", "sm0.ws0", ts=5.0, dur=2.0, warp=3)
+        clock["now"] = 9.0
+        tracer.instant("mark", "debug", "sm0")
+        events = tracer.events()
+        assert [e.ph for e in events] == ["X", "i"]
+        assert events[0].dur == 2.0
+        assert events[0].args == {"warp": 3}
+        assert events[1].ts == 9.0
+
+    def test_span_measures_clock_delta(self):
+        tracer, clock = make_tracer()
+        with tracer.span("tx", "channel", "channel", bits=4):
+            clock["now"] = 100.0
+        (event,) = tracer.events()
+        assert event.ts == 0.0
+        assert event.dur == 100.0
+        assert event.args == {"bits": 4}
+
+    def test_ring_buffer_overflow_drops_oldest(self):
+        tracer, _ = make_tracer(capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}", "t", "trk", ts=float(i))
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert tracer.emitted == 10
+        assert [e.name for e in tracer.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_clear(self):
+        tracer, _ = make_tracer(capacity=2)
+        for i in range(5):
+            tracer.instant("e", "t", "trk", ts=0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.events() == []
+
+    def test_tracks_sorted_unique(self):
+        tracer, _ = make_tracer()
+        tracer.instant("a", "t", "b", ts=0.0)
+        tracer.instant("a", "t", "a", ts=0.0)
+        tracer.instant("a", "t", "b", ts=0.0)
+        assert tracer.tracks() == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_all_methods_noop(self):
+        NULL_TRACER.complete("x", "c", "t", 0.0, 1.0)
+        NULL_TRACER.instant("x", "c", "t")
+        NULL_TRACER.sample("x", "t", v=1.0)
+        with NULL_TRACER.span("x", "c", "t"):
+            pass
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events() == []
+
+
+class TestDeviceEmitPoints:
+    def run_device(self, **kwargs):
+        device = Device(KEPLER_K40C, seed=1, observe="trace", **kwargs)
+
+        def body(ctx):
+            yield isa.FuOp("fadd", 4)
+            yield isa.ConstLoad(0)
+        device.launch(Kernel(body, KernelConfig(grid=3), name="probe"))
+        device.synchronize()
+        return device
+
+    def test_per_sm_and_per_scheduler_tracks(self):
+        device = self.run_device()
+        tracks = device.obs.tracer.tracks()
+        assert "sm0" in tracks            # block residency lane
+        assert "sm0.ws0" in tracks        # instruction lane
+        assert "blocksched" in tracks
+        assert "stream0" in tracks
+
+    def test_instruction_events_have_kernel_args(self):
+        device = self.run_device()
+        instrs = [e for e in device.obs.tracer.events()
+                  if e.cat == "instr"]
+        assert instrs
+        assert all(e.args["kernel"] == "probe" for e in instrs)
+        assert {e.name for e in instrs} == {"fadd", "ConstLoad"}
+
+    def test_kernel_lifetime_span_on_stream_track(self):
+        device = self.run_device()
+        kernels = [e for e in device.obs.tracer.events()
+                   if e.cat == "kernel"]
+        assert len(kernels) == 1
+        assert kernels[0].name == "probe"
+        assert kernels[0].dur > 0
+
+    def test_block_events_cover_block_records(self):
+        device = self.run_device()
+        blocks = [e for e in device.obs.tracer.events()
+                  if e.cat == "block"]
+        assert len(blocks) == 3
+        assert {e.track for e in blocks} == {"sm0", "sm1", "sm2"}
+
+    def test_trace_off_emits_nothing(self):
+        device = Device(KEPLER_K40C, seed=1)
+
+        def body(ctx):
+            yield isa.FuOp("fadd", 4)
+        device.launch(Kernel(body, KernelConfig(grid=1)))
+        device.synchronize()
+        assert device.obs.tracer is NULL_TRACER
+        assert device.obs.tracer.events() == []
+        assert device.engine.profile_hook is None

@@ -6,7 +6,7 @@ from repro.arch.specs import KEPLER_K40C
 from repro.sim import isa
 from repro.sim.gpu import Device
 from repro.sim.kernel import Kernel, KernelConfig
-from repro.sim.policies import POLICIES, make_block_scheduler
+from repro.sim.policies import POLICIES
 
 
 def sleeper(cycles=5000.0):
@@ -131,7 +131,7 @@ class TestTemporal:
     """Mitigation policy: one context at a time, with cache flush."""
 
     def test_contexts_never_overlap(self):
-        import repro.mitigations  # registers the policy
+        import repro.mitigations  # noqa: F401 - registers the policy
         dev = device("temporal")
         a = Kernel(sleeper(5000), KernelConfig(grid=15), context=1)
         b = Kernel(sleeper(5000), KernelConfig(grid=15), context=2)

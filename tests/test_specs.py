@@ -9,7 +9,7 @@ from repro.arch import (
     all_specs,
     get_spec,
 )
-from repro.arch.specs import CacheSpec, UnsupportedOperation, WARP_SIZE
+from repro.arch.specs import UnsupportedOperation, WARP_SIZE
 
 
 class TestTable1:

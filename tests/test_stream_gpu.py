@@ -5,7 +5,6 @@ import pytest
 from repro.arch.specs import KEPLER_K40C
 from repro.sim import isa
 from repro.sim.engine import DeadlockError
-from repro.sim.gpu import Device
 from repro.sim.kernel import Kernel, KernelConfig
 
 
