@@ -1,0 +1,148 @@
+"""Runner throughput: pool speedup and cache replay.
+
+Measures the acceptance claims of the parallel runner on the full
+registry grid:
+
+* a ``--jobs N`` cold sweep beats a ``--jobs 1`` cold sweep when the
+  machine actually has the cores (the assertion scales with
+  ``os.cpu_count()`` so single-core CI boxes still pass);
+* a warm sweep (every cell cached) is at least 5x faster than a cold
+  one, regardless of core count;
+* all three sweeps return identical results.
+
+Runs under pytest-benchmark like every other bench, and standalone for
+the nightly CI job::
+
+    python -m benchmarks.bench_runner --profile paper --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Optional
+
+from benchmarks.support import report, run_once
+from repro.experiments import EXPERIMENTS
+from repro.runner import ResultCache, expand_grid, run_tasks
+
+#: Minimum warm-over-cold speedup the cache must deliver.
+WARM_SPEEDUP = 5.0
+
+
+def measure(profile: str = "smoke", jobs: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> dict:
+    """Run the registry cold (serial), cold (pooled), then warm.
+
+    Returns wall-clock timings, outcome counts and the three
+    :class:`~repro.runner.SweepReport` objects.
+    """
+    tasks = expand_grid(list(EXPERIMENTS), profile=profile)
+    jobs = jobs if jobs is not None else min(4, os.cpu_count() or 1)
+    tmp = cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+    owns_tmp = cache_dir is None
+    try:
+        cache = ResultCache(tmp)
+        start = time.perf_counter()
+        serial = run_tasks(tasks, jobs=1, cache=None)
+        t_serial = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold = run_tasks(tasks, jobs=jobs, cache=cache)
+        t_cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_tasks(tasks, jobs=jobs, cache=cache)
+        t_warm = time.perf_counter() - start
+    finally:
+        if owns_tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "tasks": len(tasks),
+        "jobs": jobs,
+        "profile": profile,
+        "t_serial": t_serial,
+        "t_cold": t_cold,
+        "t_warm": t_warm,
+        "serial": serial,
+        "cold": cold,
+        "warm": warm,
+    }
+
+
+def check(m: dict) -> None:
+    """Assert the runner's speedup and determinism contract."""
+    serial, cold, warm = m["serial"], m["cold"], m["warm"]
+    assert serial.ok, [f.error for f in serial.failures]
+    assert cold.ok, [f.error for f in cold.failures]
+    assert warm.ok, [f.error for f in warm.failures]
+    assert warm.counts()["cache"] == m["tasks"], \
+        "warm sweep must replay every cell from the cache"
+    for a, b, c in zip(serial.results, cold.results, warm.results):
+        assert a == b == c, "serial/pool/cache results must agree"
+    assert m["t_cold"] / m["t_warm"] >= WARM_SPEEDUP, (
+        f"warm replay must be >={WARM_SPEEDUP}x faster than cold "
+        f"(cold {m['t_cold']:.2f}s, warm {m['t_warm']:.2f}s)")
+    cores = os.cpu_count() or 1
+    if m["jobs"] >= 4 and cores >= 4:
+        assert m["t_serial"] / m["t_cold"] >= 2.0, (
+            f"jobs={m['jobs']} cold sweep must be >=2x faster than "
+            f"serial on {cores} cores (serial {m['t_serial']:.2f}s, "
+            f"cold {m['t_cold']:.2f}s)")
+    elif m["jobs"] >= 2 and cores >= 2:
+        assert m["t_serial"] / m["t_cold"] >= 1.2
+
+
+def _rows(m: dict):
+    return [
+        ["cold, jobs=1 (serial)", f"{m['t_serial']:.2f}s",
+         f"{m['serial'].counts()['ran']} ran"],
+        [f"cold, jobs={m['jobs']} (pool)", f"{m['t_cold']:.2f}s",
+         f"{m['cold'].counts()['ran']} ran"],
+        [f"warm, jobs={m['jobs']} (cache)", f"{m['t_warm']:.2f}s",
+         f"{m['warm'].counts()['cache']} cached"],
+    ]
+
+
+def bench_runner_speedup(benchmark):
+    m = run_once(benchmark, measure)
+    report(
+        benchmark,
+        f"runner: {m['tasks']} tasks, profile={m['profile']}",
+        ["sweep", "wall time", "outcomes"], _rows(m),
+        extra={"t_serial": round(m["t_serial"], 2),
+               "t_cold": round(m["t_cold"], 2),
+               "t_warm": round(m["t_warm"], 3),
+               "warm_speedup": round(m["t_cold"] / m["t_warm"], 1),
+               "jobs": m["jobs"]},
+    )
+    check(m)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cold-vs-warm runner benchmark (nightly CI)")
+    parser.add_argument("--profile", default="smoke",
+                        choices=("paper", "smoke"))
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+    m = measure(profile=args.profile, jobs=args.jobs)
+    for row in _rows(m):
+        print("  ".join(str(cell) for cell in row))
+    print(f"warm speedup: {m['t_cold'] / m['t_warm']:.1f}x "
+          f"(required >={WARM_SPEEDUP}x)")
+    try:
+        check(m)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ expected to match a hardware testbed exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis import format_table
 
@@ -29,3 +29,27 @@ def report(benchmark, title: str, headers: Sequence[str],
 def run_once(benchmark, fn):
     """Execute an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def cached_experiment(experiment_id: str, *,
+                      gpu: Optional[str] = None,
+                      seed: Optional[int] = None,
+                      profile: str = "paper",
+                      cache=None):
+    """Registry experiment through the runner's result cache.
+
+    Benchmarks that only need a registry result (rather than driving
+    channels directly) go through here so repeated benchmark runs
+    replay from ``~/.cache/repro`` instead of re-simulating.  Pass
+    ``cache=None`` behaviour off with a throwaway ``ResultCache`` in a
+    temp dir, or an explicit cache to share entries with the CLI.
+    """
+    from repro.runner import ResultCache, Task, run_tasks
+
+    report_ = run_tasks([Task(experiment_id, gpu, seed, profile)],
+                        jobs=1,
+                        cache=cache if cache is not None
+                        else ResultCache())
+    if not report_.ok:
+        raise RuntimeError(report_.failures[0].error)
+    return report_.results[0]

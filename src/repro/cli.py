@@ -5,8 +5,16 @@ Commands
 
 ``list``
     Show the registered experiments (every paper table/figure).
-``run <id> [...]``
-    Regenerate one or more experiments and print their tables.
+``run <id> [...]`` / ``run --all --jobs 4``
+    Regenerate experiments and print their tables.  Runs fan out over
+    worker processes (``--jobs``) and completed results are replayed
+    from the on-disk cache (``--no-cache``/``--refresh`` to opt out;
+    ``--cache-dir`` to relocate it).
+``sweep --gpus fermi,kepler,maxwell --seeds 0..9 --jobs 8``
+    Run an (experiment x GPU x seed) grid through the parallel runner
+    and print a structured status report.
+``cache`` / ``cache --clear``
+    Inspect or empty the result cache.
 ``transmit --gpu kepler --channel sync-l1 --bits 64``
     Run one covert channel and report bandwidth/BER.
 ``reveng --gpu kepler``
@@ -25,6 +33,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -96,21 +105,8 @@ def _resolve_channel(name: str) -> Callable[[Device], object]:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
-    rows = []
-    docs = {
-        "fig2": "L1 cache latency staircase",
-        "fig3": "L2 cache latency staircase",
-        "fig4": "cache channel bandwidth",
-        "fig5": "BER vs bandwidth sweep",
-        "fig6": "SP op latency vs warps",
-        "fig7": "DP op latency vs warps",
-        "fig10": "atomic channel bandwidth",
-        "table1": "per-SM resources",
-        "table2": "improved L1 channels",
-        "table3": "improved SFU channels",
-    }
-    for exp_id in EXPERIMENTS:
-        rows.append([exp_id, docs.get(exp_id, "")])
+    rows = [[exp_id, entry.description]
+            for exp_id, entry in EXPERIMENTS.items()]
     print(format_table(["experiment", "description"], rows,
                        title="Registered experiments"))
     print("\nChannels for `transmit`:",
@@ -118,12 +114,88 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cache(args: argparse.Namespace):
+    """Result cache per the shared cache flags (None when disabled)."""
+    from repro.runner import ResultCache
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
+    """Expand and execute a grid per the shared runner flags."""
+    from repro.experiments import EXPERIMENTS
+    from repro.runner import expand_grid, run_tasks, stderr_reporter
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise CliError(f"unknown experiment {exp_id!r}; "
+                           f"available: {', '.join(EXPERIMENTS)}")
+    tasks = expand_grid(ids, gpus=gpus, seeds=seeds,
+                        profile=args.profile)
+    reporter = stderr_reporter(len(tasks)) if len(tasks) > 1 else None
+    jobs = args.jobs if args.jobs is not None else \
+        max(1, min(os.cpu_count() or 1, len(tasks)))
+    return run_tasks(
+        tasks,
+        jobs=jobs,
+        cache=_build_cache(args),
+        refresh=args.refresh,
+        timeout=args.timeout,
+        reporter=reporter,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments import run_experiment
-    for exp_id in args.ids:
-        result = run_experiment(exp_id)
-        print(result.render())
-        print()
+    from repro.experiments import EXPERIMENTS
+    if args.all:
+        ids = list(EXPERIMENTS)
+    elif args.ids:
+        ids = args.ids
+    else:
+        raise CliError("name experiments to run, or pass --all")
+    if args.gpu is not None:
+        _resolve_spec(args.gpu)
+    gpus = [args.gpu] if args.gpu is not None else None
+    seeds = [args.seed] if args.seed is not None else None
+    report = _sweep_tasks(args, ids, gpus, seeds)
+    for outcome in report.outcomes:
+        if outcome.ok:
+            print(outcome.result.render())
+            print()
+    for outcome in report.failures:
+        print(f"error: {outcome.task.label()} failed after "
+              f"{outcome.attempts} attempt(s): {outcome.error}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.runner import parse_seeds
+    ids = (list(EXPERIMENTS) if args.experiments in (None, "all")
+           else [e.strip() for e in args.experiments.split(",")
+                 if e.strip()])
+    gpus = [g.strip() for g in args.gpus.split(",") if g.strip()]
+    for gpu in gpus:
+        _resolve_spec(gpu)
+    try:
+        seeds = parse_seeds(args.seeds)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    report = _sweep_tasks(args, ids, gpus, seeds)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear(args.experiment)
+        scope = args.experiment or "all experiments"
+        print(f"removed {removed} cached result(s) for {scope}")
+        return 0
+    print(cache.stats().render())
     return 0
 
 
@@ -278,10 +350,60 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiments").set_defaults(
         fn=cmd_list)
 
+    def add_runner_flags(p: argparse.ArgumentParser,
+                         default_timeout=None) -> None:
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU, "
+                            "capped at the task count)")
+        p.add_argument("--profile", default="paper",
+                       choices=["paper", "smoke"],
+                       help="run size: paper fidelity or fast smoke")
+        p.add_argument("--cache-dir", default=None,
+                       help="result cache root (default "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+        p.add_argument("--refresh", action="store_true",
+                       help="recompute even on a cache hit (and "
+                            "repopulate the cache)")
+        p.add_argument("--timeout", type=float, default=default_timeout,
+                       help="per-task timeout in seconds")
+
     p_run = sub.add_parser("run", help="regenerate experiments")
-    p_run.add_argument("ids", nargs="+",
+    p_run.add_argument("ids", nargs="*",
                        help="experiment ids (e.g. fig4 table2)")
+    p_run.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
+    p_run.add_argument("--gpu", default=None,
+                       help="restrict to one device (default: the "
+                            "paper's device set per experiment)")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="re-seed devices and messages (default: "
+                            "paper calibration)")
+    add_runner_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an (experiment x GPU x seed) grid")
+    p_sweep.add_argument("--experiments", default="all",
+                         help="comma-separated ids, or 'all'")
+    p_sweep.add_argument("--gpus", default="fermi,kepler,maxwell",
+                         help="comma-separated device names")
+    p_sweep.add_argument("--seeds", default="0",
+                         help="seed list/range, e.g. 0..9 or 1,4,7")
+    add_runner_flags(p_sweep, default_timeout=900.0)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the result cache")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache root (default $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete cached results")
+    p_cache.add_argument("--experiment", default=None,
+                         help="with --clear: only this experiment's")
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_tx = sub.add_parser("transmit", help="run one covert channel")
     p_tx.add_argument("--gpu", default="kepler",

@@ -19,13 +19,17 @@ from repro.experiments.figures import (
 from repro.experiments.tables import table1_data, table2_data, table3_data
 from repro.experiments.registry import (
     EXPERIMENTS,
+    PROFILES,
+    Experiment,
     ExperimentResult,
     run_experiment,
 )
 
 __all__ = [
     "EXPERIMENTS",
+    "Experiment",
     "ExperimentResult",
+    "PROFILES",
     "fig10_data",
     "fig2_data",
     "fig3_data",

@@ -28,22 +28,24 @@ from repro.sim.gpu import Device
 Series = List[Tuple[float, float]]
 
 
-def fig2_data(spec: GPUSpec = KEPLER_K40C) -> Series:
+def fig2_data(spec: GPUSpec = KEPLER_K40C, seed: int = 0) -> Series:
     """Figure 2 — L1 constant cache latency vs array size, stride 64 B."""
     return [(float(s), lat)
-            for s, lat in characterize_cache(spec, "l1")]
+            for s, lat in characterize_cache(spec, "l1", seed=seed)]
 
 
-def fig3_data(spec: GPUSpec = KEPLER_K40C) -> Series:
+def fig3_data(spec: GPUSpec = KEPLER_K40C, seed: int = 0) -> Series:
     """Figure 3 — L2 constant cache latency vs array size, stride 256 B."""
     return [(float(s), lat)
-            for s, lat in characterize_cache(spec, "l2")]
+            for s, lat in characterize_cache(spec, "l2", seed=seed)]
 
 
-def fig4_data(n_bits: int = 48, seed: int = 7) -> Dict[str, Dict[str, float]]:
+def fig4_data(n_bits: int = 48, seed: int = 7,
+              specs: Optional[Sequence[GPUSpec]] = None
+              ) -> Dict[str, Dict[str, float]]:
     """Figure 4 — error-free cache-channel bandwidth per device (Kbps)."""
     out: Dict[str, Dict[str, float]] = {"L1": {}, "L2": {}}
-    for spec in all_specs():
+    for spec in (specs if specs is not None else all_specs()):
         d1 = Device(spec, seed=seed)
         out["L1"][spec.generation] = L1CacheChannel(d1)\
             .transmit_random(n_bits, seed=seed).bandwidth_kbps
@@ -72,11 +74,13 @@ def fig5_data(level: str = "l1", spec: GPUSpec = KEPLER_K40C,
 
 
 def fig6_data(warp_counts: Optional[Sequence[int]] = None,
-              iterations: int = 96) -> Dict[Tuple[str, str], Series]:
+              iterations: int = 96,
+              specs: Optional[Sequence[GPUSpec]] = None
+              ) -> Dict[Tuple[str, str], Series]:
     """Figure 6 — SP op latency vs warps, keyed by (generation, op)."""
     warp_counts = warp_counts or [1, 4, 8, 12, 16, 20, 24, 28, 32]
     out: Dict[Tuple[str, str], Series] = {}
-    for spec in all_specs():
+    for spec in (specs if specs is not None else all_specs()):
         for op in ("sinf", "sqrt", "fadd", "fmul"):
             curve = latency_curve(spec, op, warp_counts,
                                   iterations=iterations)
@@ -86,12 +90,23 @@ def fig6_data(warp_counts: Optional[Sequence[int]] = None,
 
 
 def fig7_data(warp_counts: Optional[Sequence[int]] = None,
-              iterations: int = 96) -> Dict[Tuple[str, str], Series]:
-    """Figure 7 — DP op latency vs warps (Fermi and Kepler only)."""
+              iterations: int = 96,
+              specs: Optional[Sequence[GPUSpec]] = None
+              ) -> Dict[Tuple[str, str], Optional[Series]]:
+    """Figure 7 — DP op latency vs warps (Fermi and Kepler only).
+
+    With an explicit ``specs`` list, a device without DP units maps to
+    ``None`` instead of raising, mirroring the paper's "Maxwell absent
+    (no DPUs)" panel and keeping grid sweeps alive.
+    """
     warp_counts = warp_counts or [1, 4, 8, 12, 16, 20, 24, 28, 32]
-    out: Dict[Tuple[str, str], Series] = {}
-    for spec in (FERMI_C2075, KEPLER_K40C):
+    out: Dict[Tuple[str, str], Optional[Series]] = {}
+    for spec in (specs if specs is not None
+                 else (FERMI_C2075, KEPLER_K40C)):
         for op in ("dadd", "dmul"):
+            if not spec.supports_op(op):
+                out[(spec.generation, op)] = None
+                continue
             curve = latency_curve(spec, op, warp_counts,
                                   iterations=iterations)
             out[(spec.generation, op)] = [(float(w), lat)
@@ -99,14 +114,21 @@ def fig7_data(warp_counts: Optional[Sequence[int]] = None,
     return out
 
 
-def fig10_data(n_bits: int = 24,
-               seed: int = 9) -> Dict[Tuple[str, int], float]:
-    """Figure 10 — atomic channel bandwidth (Kbps) per (device, scenario)."""
+def fig10_data(n_bits: int = 24, seed: Optional[int] = None,
+               specs: Optional[Sequence[GPUSpec]] = None
+               ) -> Dict[Tuple[str, int], float]:
+    """Figure 10 — atomic channel bandwidth (Kbps) per (device, scenario).
+
+    ``seed=None`` reproduces the paper calibration (device seeds
+    ``40+scenario``, message seed 9); an explicit seed re-seeds both so
+    a seed sweep exercises genuinely different runs.
+    """
     out: Dict[Tuple[str, int], float] = {}
-    for spec in all_specs():
+    for spec in (specs if specs is not None else all_specs()):
         for scenario in (1, 2, 3):
-            device = Device(spec, seed=40 + scenario)
+            device_seed = (40 if seed is None else 100 * seed) + scenario
+            device = Device(spec, seed=device_seed)
             result = GlobalAtomicChannel(device, scenario=scenario)\
-                .transmit_random(n_bits, seed=seed)
+                .transmit_random(n_bits, seed=9 if seed is None else seed)
             out[(spec.generation, scenario)] = result.bandwidth_kbps
     return out

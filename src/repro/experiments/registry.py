@@ -1,50 +1,105 @@
-"""Experiment registry: ids, descriptions and runnable entries."""
+"""Experiment registry: ids, descriptions and runnable entries.
+
+Every entry accepts the same ``(spec, seed, profile)`` triple so the
+sweep runner (:mod:`repro.runner`) can iterate the whole registry over
+a ``(experiment x GPU x seed)`` grid:
+
+* ``spec=None`` / ``seed=None`` reproduce the paper configuration that
+  EXPERIMENTS.md documents (every device the figure covers, the
+  calibrated seeds);
+* an explicit spec restricts multi-device experiments to that one
+  device; an explicit seed re-seeds both the simulated devices and the
+  transmitted messages;
+* ``profile`` selects run size: ``"paper"`` is full fidelity,
+  ``"smoke"`` shrinks bit counts and sweep points for fast functional
+  passes (CI, the registry-through-pool tests).
+
+Results are plain picklable dataclasses carrying their own provenance,
+so they can cross process boundaries and be replayed from the on-disk
+cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.arch import GPUSpec, KEPLER_K40C
+from repro.arch.specs import UnsupportedOperation
 from repro.experiments import figures, tables
+
+#: Supported run profiles, in decreasing fidelity.
+PROFILES = ("paper", "smoke")
 
 
 @dataclass
 class ExperimentResult:
-    """Uniform result of a registry run."""
+    """Uniform result of a registry run.
+
+    Picklable by construction (plain fields, no device references), so
+    it can return from pool workers and live in the result cache.
+    ``provenance`` records what produced it: code version, spec
+    fingerprint, seed and profile (see :func:`run_experiment`).
+    """
 
     experiment_id: str
     description: str
     headers: List[str]
     rows: List[List[Any]] = field(default_factory=list)
+    spec_name: Optional[str] = None
+    seed: Optional[int] = None
+    profile: str = "paper"
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         """Fixed-width text rendering."""
         from repro.analysis import format_table
+        scope = f" [{self.spec_name}]" if self.spec_name else ""
         return format_table(self.headers, self.rows,
-                            title=f"{self.experiment_id}: "
+                            title=f"{self.experiment_id}{scope}: "
                                   f"{self.description}")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: id, description, runnable entry."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[Optional[GPUSpec], Optional[int], str],
+                     ExperimentResult]
 
 
 def _series_rows(series) -> List[List[Any]]:
     return [[x, round(y, 2)] for x, y in series]
 
 
-def _run_fig2() -> ExperimentResult:
+def _specs_arg(spec: Optional[GPUSpec]):
+    """Spec restriction for multi-device data functions."""
+    return None if spec is None else [spec]
+
+
+def _run_fig2(spec, seed, profile) -> ExperimentResult:
+    series = figures.fig2_data(spec if spec is not None else KEPLER_K40C,
+                               seed=seed if seed is not None else 0)
     return ExperimentResult(
         "fig2", "L1 constant cache latency vs array size (stride 64B)",
-        ["array bytes", "latency (clk)"],
-        _series_rows(figures.fig2_data()))
+        ["array bytes", "latency (clk)"], _series_rows(series))
 
 
-def _run_fig3() -> ExperimentResult:
+def _run_fig3(spec, seed, profile) -> ExperimentResult:
+    series = figures.fig3_data(spec if spec is not None else KEPLER_K40C,
+                               seed=seed if seed is not None else 0)
     return ExperimentResult(
         "fig3", "L2 constant cache latency vs array size (stride 256B)",
-        ["array bytes", "latency (clk)"],
-        _series_rows(figures.fig3_data()))
+        ["array bytes", "latency (clk)"], _series_rows(series))
 
 
-def _run_fig4() -> ExperimentResult:
-    data = figures.fig4_data()
+def _run_fig4(spec, seed, profile) -> ExperimentResult:
+    data = figures.fig4_data(
+        n_bits=12 if profile == "smoke" else 48,
+        seed=seed if seed is not None else 7,
+        specs=_specs_arg(spec))
     rows = [[level, gen, round(kbps, 1)]
             for level, per_gen in data.items()
             for gen, kbps in per_gen.items()]
@@ -53,20 +108,31 @@ def _run_fig4() -> ExperimentResult:
         ["level", "GPU", "Kbps"], rows)
 
 
-def _run_fig5() -> ExperimentResult:
+def _run_fig5(spec, seed, profile) -> ExperimentResult:
+    smoke = profile == "smoke"
+    iterations = {"l1": [20, 5, 2], "l2": [8, 2]} if smoke else {}
     rows = []
     for level in ("l1", "l2"):
-        for bw, ber in figures.fig5_data(level):
+        points = figures.fig5_data(
+            level,
+            spec=spec if spec is not None else KEPLER_K40C,
+            iterations=iterations.get(level),
+            n_bits=16 if smoke else 48,
+            seed=seed if seed is not None else 5)
+        for bw, ber in points:
             rows.append([level.upper(), round(bw, 1), round(ber, 3)])
     return ExperimentResult(
-        "fig5", "bit error rate vs bandwidth (iteration sweep, Kepler)",
+        "fig5", "bit error rate vs bandwidth (iteration sweep)",
         ["channel", "Kbps", "BER"], rows)
 
 
-def _run_fig6() -> ExperimentResult:
+def _run_fig6(spec, seed, profile) -> ExperimentResult:
+    smoke = profile == "smoke"
     rows = []
     for (gen, op), series in figures.fig6_data(
-            warp_counts=[1, 8, 16, 24, 32]).items():
+            warp_counts=[1, 16, 32] if smoke else [1, 8, 16, 24, 32],
+            iterations=48 if smoke else 96,
+            specs=_specs_arg(spec)).items():
         for w, lat in series:
             rows.append([gen, op, int(w), round(lat, 1)])
     return ExperimentResult(
@@ -74,10 +140,19 @@ def _run_fig6() -> ExperimentResult:
         ["GPU", "op", "warps", "latency (clk)"], rows)
 
 
-def _run_fig7() -> ExperimentResult:
+def _run_fig7(spec, seed, profile) -> ExperimentResult:
+    smoke = profile == "smoke"
     rows = []
     for (gen, op), series in figures.fig7_data(
-            warp_counts=[1, 8, 16, 24, 32]).items():
+            warp_counts=[1, 16, 32] if smoke else [1, 8, 16, 24, 32],
+            iterations=48 if smoke else 96,
+            specs=_specs_arg(spec)).items():
+        if series is None:
+            # Maxwell: Table 1 lists zero DPUs, so DP ops raise
+            # UnsupportedOperation — recorded, not fatal, so grid
+            # sweeps over all devices survive (EXPERIMENTS.md Fig 7).
+            rows.append([gen, op, "-", "unsupported"])
+            continue
         for w, lat in series:
             rows.append([gen, op, int(w), round(lat, 1)])
     return ExperimentResult(
@@ -85,61 +160,106 @@ def _run_fig7() -> ExperimentResult:
         ["GPU", "op", "warps", "latency (clk)"], rows)
 
 
-def _run_fig10() -> ExperimentResult:
+def _run_fig10(spec, seed, profile) -> ExperimentResult:
     rows = [[gen, f"scenario {sc}", round(kbps, 1)]
-            for (gen, sc), kbps in figures.fig10_data().items()]
+            for (gen, sc), kbps in figures.fig10_data(
+                n_bits=6 if profile == "smoke" else 24,
+                seed=seed,
+                specs=_specs_arg(spec)).items()]
     return ExperimentResult(
         "fig10", "global atomic channel bandwidth (Kbps)",
         ["GPU", "pattern", "Kbps"], rows)
 
 
-def _run_table1() -> ExperimentResult:
+def _run_table1(spec, seed, profile) -> ExperimentResult:
     rows = []
-    for name, table in tables.table1_data().items():
+    for name, table in tables.table1_data(
+            specs=_specs_arg(spec)).items():
         rows.append([name] + list(table.values()))
     return ExperimentResult(
         "table1", "per-SM execution resources",
         ["GPU", "WS", "Dispatch", "SP", "DPU", "SFU", "LD/ST"], rows)
 
 
-def _run_table2() -> ExperimentResult:
+def _run_table2(spec, seed, profile) -> ExperimentResult:
     rows = [[gen, stage, round(kbps, 1)]
-            for (gen, stage), kbps in tables.table2_data().items()]
+            for (gen, stage), kbps in tables.table2_data(
+                seed=seed if seed is not None else 3,
+                specs=_specs_arg(spec),
+                profile=profile).items()]
     return ExperimentResult(
         "table2", "improved L1 channels (Kbps)",
         ["GPU", "configuration", "Kbps"], rows)
 
 
-def _run_table3() -> ExperimentResult:
+def _run_table3(spec, seed, profile) -> ExperimentResult:
     rows = [[gen, stage, round(kbps, 1)]
-            for (gen, stage), kbps in tables.table3_data().items()]
+            for (gen, stage), kbps in tables.table3_data(
+                seed=seed if seed is not None else 5,
+                specs=_specs_arg(spec),
+                profile=profile).items()]
     return ExperimentResult(
         "table3", "improved SFU channels (Kbps)",
         ["GPU", "configuration", "Kbps"], rows)
 
 
-#: Experiment id -> (description, runner).
-EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
-    "fig2": _run_fig2,
-    "fig3": _run_fig3,
-    "fig4": _run_fig4,
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7,
-    "fig10": _run_fig10,
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "table3": _run_table3,
+#: Experiment id -> registered entry, in paper order.
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.experiment_id: exp for exp in (
+        Experiment("fig2", "L1 cache latency staircase", _run_fig2),
+        Experiment("fig3", "L2 cache latency staircase", _run_fig3),
+        Experiment("fig4", "cache channel bandwidth", _run_fig4),
+        Experiment("fig5", "BER vs bandwidth sweep", _run_fig5),
+        Experiment("fig6", "SP op latency vs warps", _run_fig6),
+        Experiment("fig7", "DP op latency vs warps", _run_fig7),
+        Experiment("fig10", "atomic channel bandwidth", _run_fig10),
+        Experiment("table1", "per-SM resources", _run_table1),
+        Experiment("table2", "improved L1 channels", _run_table2),
+        Experiment("table3", "improved SFU channels", _run_table3),
+    )
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one registered experiment by id (``fig2`` … ``table3``)."""
+def run_experiment(experiment_id: str,
+                   spec: Optional[GPUSpec] = None,
+                   seed: Optional[int] = None,
+                   profile: str = "paper") -> ExperimentResult:
+    """Run one registered experiment by id (``fig2`` ... ``table3``).
+
+    With no arguments this reproduces the paper configuration exactly
+    as before; ``spec``/``seed``/``profile`` select one grid cell (see
+    the module docstring).  The returned result is stamped with its
+    provenance so cached copies remain self-describing.
+    """
     try:
-        runner = EXPERIMENTS[experiment_id]
+        entry = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(EXPERIMENTS)}"
         )
-    return runner()
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; "
+                         f"choose from {PROFILES}")
+    try:
+        result = entry.runner(spec, seed, profile)
+    except UnsupportedOperation as exc:
+        # A spec restriction can make an experiment impossible (e.g.
+        # any DP experiment on Maxwell); report it as a structured
+        # result so sweeps aggregate it instead of crashing.
+        result = ExperimentResult(
+            experiment_id, entry.description,
+            ["GPU", "note"],
+            [[spec.generation if spec else "-", str(exc)]])
+    result.spec_name = spec.name if spec is not None else None
+    result.seed = seed
+    result.profile = profile
+    from repro.obs.provenance import code_version
+    from repro.runner.keys import spec_fingerprint
+    result.provenance = {
+        "code_version": code_version(),
+        "spec_fingerprint": spec_fingerprint(spec),
+        "seed": seed,
+        "profile": profile,
+    }
+    return result

@@ -1,10 +1,18 @@
-"""Data behind the paper's tables."""
+"""Data behind the paper's tables.
+
+Each function accepts an optional ``specs`` restriction (default: all
+three paper devices) and a ``profile``: ``"paper"`` uses the bit counts
+EXPERIMENTS.md was measured at, ``"smoke"`` shrinks them for fast
+functional passes.  Bandwidth estimates are bit-count independent to
+first order (launch overhead amortizes), but only the paper profile is
+pinned by the golden suite.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.arch import all_specs
+from repro.arch import GPUSpec, all_specs
 from repro.channels import (
     L1CacheChannel,
     MultiBitL1Channel,
@@ -15,49 +23,73 @@ from repro.channels import (
 )
 from repro.sim.gpu import Device
 
+#: (baseline, sync, multibit, parallel) bit counts per profile.
+_TABLE2_BITS = {"paper": (48, 64, 96, 480), "smoke": (16, 16, 48, 120)}
+#: (baseline, schedulers, streams-per-SM-factor, iterations) per
+#: profile.  ``iterations=None`` keeps each channel's paper-calibrated
+#: count; smoke shortens the contention loops as well as the messages.
+_TABLE3_BITS = {"paper": (12, 24, 4, None), "smoke": (6, 8, 1, 8)}
 
-def table1_data() -> Dict[str, Dict[str, int]]:
+
+def _selected(specs: Optional[Sequence[GPUSpec]]):
+    return specs if specs is not None else all_specs()
+
+
+def table1_data(specs: Optional[Sequence[GPUSpec]] = None
+                ) -> Dict[str, Dict[str, int]]:
     """Table 1 — per-SM execution resources, keyed by device name."""
-    return {spec.name: spec.resource_table() for spec in all_specs()}
+    return {spec.name: spec.resource_table()
+            for spec in _selected(specs)}
 
 
-def table2_data(seed: int = 3) -> Dict[Tuple[str, str], float]:
+def table2_data(seed: int = 3,
+                specs: Optional[Sequence[GPUSpec]] = None,
+                profile: str = "paper"
+                ) -> Dict[Tuple[str, str], float]:
     """Table 2 — improved L1 channel bandwidth (Kbps) per
     (generation, configuration) with configurations ``baseline``,
     ``sync``, ``multibit`` and ``parallel``."""
+    base_bits, sync_bits, multi_bits, par_bits = _TABLE2_BITS[profile]
     out: Dict[Tuple[str, str], float] = {}
-    for spec in all_specs():
+    for spec in _selected(specs):
         gen = spec.generation
         out[(gen, "baseline")] = L1CacheChannel(
             Device(spec, seed=seed)).transmit_random(
-                48, seed=7).bandwidth_kbps
+                base_bits, seed=7).bandwidth_kbps
         out[(gen, "sync")] = SynchronizedL1Channel(
             Device(spec, seed=seed)).transmit_random(
-                64, seed=7).bandwidth_kbps
+                sync_bits, seed=7).bandwidth_kbps
         out[(gen, "multibit")] = MultiBitL1Channel(
             Device(spec, seed=seed), data_sets=6).transmit_random(
-                96, seed=7).bandwidth_kbps
+                multi_bits, seed=7).bandwidth_kbps
         out[(gen, "parallel")] = ParallelSMChannel(
             Device(spec, seed=seed), data_sets=6).transmit_random(
-                480, seed=7).bandwidth_kbps
+                par_bits, seed=7).bandwidth_kbps
     return out
 
 
-def table3_data(seed: int = 5) -> Dict[Tuple[str, str], float]:
+def table3_data(seed: int = 5,
+                specs: Optional[Sequence[GPUSpec]] = None,
+                profile: str = "paper"
+                ) -> Dict[Tuple[str, str], float]:
     """Table 3 — SFU channel bandwidth (Kbps) per
     (generation, configuration) with configurations ``baseline``,
     ``schedulers`` and ``schedulers+SMs``."""
+    base_bits, sched_bits, sm_factor, iterations = _TABLE3_BITS[profile]
     out: Dict[Tuple[str, str], float] = {}
-    for spec in all_specs():
+    for spec in _selected(specs):
         gen = spec.generation
         out[(gen, "baseline")] = SFUChannel(
-            Device(spec, seed=seed)).transmit_random(
-                12, seed=9).bandwidth_kbps
+            Device(spec, seed=seed),
+            iterations=iterations).transmit_random(
+                base_bits, seed=9).bandwidth_kbps
         out[(gen, "schedulers")] = ParallelSFUChannel(
-            Device(spec, seed=seed), per_sm=False).transmit_random(
-                24, seed=9).bandwidth_kbps
-        bits = 4 * spec.warp_schedulers * spec.n_sms
+            Device(spec, seed=seed), per_sm=False,
+            iterations=iterations).transmit_random(
+                sched_bits, seed=9).bandwidth_kbps
+        bits = sm_factor * spec.warp_schedulers * spec.n_sms
         out[(gen, "schedulers+SMs")] = ParallelSFUChannel(
-            Device(spec, seed=seed), per_sm=True).transmit_random(
+            Device(spec, seed=seed), per_sm=True,
+            iterations=iterations).transmit_random(
                 bits, seed=9).bandwidth_kbps
     return out

@@ -40,7 +40,7 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
 )
-from repro.obs.provenance import build_provenance, git_revision
+from repro.obs.provenance import build_provenance, code_version, git_revision
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "ascii_timeline",
     "build_provenance",
     "chrome_trace",
+    "code_version",
     "coerce_observe",
     "git_revision",
     "metrics_csv",

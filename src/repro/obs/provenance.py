@@ -12,7 +12,7 @@ import os
 import subprocess
 from typing import Any, Dict, Optional
 
-__all__ = ["git_revision", "build_provenance"]
+__all__ = ["git_revision", "code_version", "build_provenance"]
 
 _GIT_REV_CACHE: Dict[str, Optional[str]] = {}
 
@@ -38,6 +38,23 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
         except (OSError, subprocess.SubprocessError):
             _GIT_REV_CACHE[key] = None
     return _GIT_REV_CACHE[key]
+
+
+def code_version() -> str:
+    """Single string identifying the code that produced a result.
+
+    Combines the package version with the git revision of the working
+    tree; the experiment runner folds it into cache keys so results
+    computed by older code are never replayed as current.  Overridable
+    via ``REPRO_CODE_VERSION`` for environments without git metadata
+    (wheels, containers) that still want cache invalidation on deploy.
+    """
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    from repro import __version__
+
+    return f"{__version__}+{git_revision() or 'unknown'}"
 
 
 def build_provenance(device: Any, **extra: Any) -> Dict[str, Any]:

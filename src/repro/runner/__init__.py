@@ -1,0 +1,48 @@
+"""Parallel experiment runner with an on-disk result cache.
+
+The paper's evaluation is a grid of ``(experiment x GPU x seed)`` runs;
+this package fans that grid out over worker processes and memoizes every
+completed :class:`~repro.experiments.ExperimentResult` under a
+content-addressed key, so re-running a sweep replays finished cells
+instantly.  See ``docs/runner.md`` for the cache layout and
+invalidation rules.
+
+Quick use::
+
+    from repro.runner import ResultCache, expand_grid, run_tasks
+
+    tasks = expand_grid(["fig4", "table2"],
+                        gpus=["fermi", "kepler", "maxwell"],
+                        seeds=range(4))
+    report = run_tasks(tasks, jobs=4, cache=ResultCache())
+    for result in report.results:
+        print(result.render())
+"""
+
+from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runner.grid import Task, expand_grid, parse_seeds
+from repro.runner.keys import cache_key, spec_fingerprint
+from repro.runner.pool import (
+    SweepReport,
+    TaskOutcome,
+    run_all,
+    run_tasks,
+)
+from repro.runner.progress import ProgressReporter, stderr_reporter
+
+__all__ = [
+    "CacheStats",
+    "ProgressReporter",
+    "ResultCache",
+    "SweepReport",
+    "Task",
+    "TaskOutcome",
+    "cache_key",
+    "default_cache_dir",
+    "expand_grid",
+    "parse_seeds",
+    "run_all",
+    "run_tasks",
+    "spec_fingerprint",
+    "stderr_reporter",
+]

@@ -1,0 +1,134 @@
+"""On-disk result cache for experiment runs.
+
+Layout (see ``docs/runner.md``)::
+
+    <root>/
+        fig4/
+            3f1c...e9.pkl      # pickled ExperimentResult, keyed by
+            77ab...02.pkl      # runner.keys.cache_key(...)
+        table2/
+            ...
+
+The root defaults to ``$REPRO_CACHE_DIR``, falling back to
+``$XDG_CACHE_HOME/repro`` and finally ``~/.cache/repro``.  Entries are
+written atomically (temp file + ``os.replace``) so a crashed or killed
+sweep never leaves a half-written pickle behind; unreadable entries are
+deleted and treated as misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ResultCache", "CacheStats", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary of what a cache currently holds."""
+
+    entries: int
+    bytes: int
+    root: str
+
+    def render(self) -> str:
+        return (f"{self.entries} cached result(s), "
+                f"{self.bytes / 1024:.1f} KiB in {self.root}")
+
+
+class ResultCache:
+    """Pickle store addressed by :func:`repro.runner.keys.cache_key`."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, experiment_id: str, key: str) -> Path:
+        """File an entry lives at (grouped per experiment for clarity)."""
+        return self.root / experiment_id / f"{key}.pkl"
+
+    def get(self, experiment_id: str, key: str):
+        """Cached result or None; corrupt entries are evicted."""
+        path = self.path_for(experiment_id, key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # A truncated or stale-format pickle is worthless: drop it
+            # so the slot is recomputed instead of failing every run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, experiment_id: str, key: str, result) -> Path:
+        """Atomically store a result; returns the entry path."""
+        path = self.path_for(experiment_id, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self, experiment_id: Optional[str] = None) -> int:
+        """Delete entries (all, or one experiment's); returns the count."""
+        removed = 0
+        for path in self._entries(experiment_id):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size currently on disk."""
+        entries = list(self._entries(None))
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(entries=len(entries), bytes=total,
+                          root=str(self.root))
+
+    def _entries(self, experiment_id: Optional[str]):
+        base = self.root if experiment_id is None \
+            else self.root / experiment_id
+        if not base.is_dir():
+            return
+        yield from sorted(base.glob("*.pkl")) if experiment_id \
+            else sorted(base.glob("*/*.pkl"))

@@ -1,0 +1,87 @@
+"""Sweep grids: the ``(experiment x GPU x seed)`` task space.
+
+A :class:`Task` is deliberately tiny and made of plain strings/ints so
+it pickles cheaply into worker processes; the worker resolves the GPU
+name back to a :class:`~repro.arch.GPUSpec` via the registry.  ``gpu``
+and ``seed`` of ``None`` mean "the experiment's paper defaults" — the
+exact configuration EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Task", "expand_grid", "parse_seeds"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One cell of a sweep grid."""
+
+    experiment_id: str
+    gpu: Optional[str] = None
+    seed: Optional[int] = None
+    profile: str = "paper"
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        parts = [self.experiment_id]
+        if self.gpu is not None:
+            parts.append(self.gpu)
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.profile != "paper":
+            parts.append(self.profile)
+        return " ".join(parts)
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Parse a seed expression: ``"3"``, ``"0..9"`` or ``"1,4,7"``.
+
+    Ranges are inclusive on both ends, matching the CLI documentation
+    (``--seeds 0..9`` is ten runs).
+    """
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            lo_text, _, hi_text = part.partition("..")
+            try:
+                lo, hi = int(lo_text), int(hi_text)
+            except ValueError:
+                raise ValueError(f"bad seed range {part!r}; "
+                                 f"expected e.g. 0..9")
+            if hi < lo:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            try:
+                seeds.append(int(part))
+            except ValueError:
+                raise ValueError(f"bad seed {part!r}; expected an "
+                                 f"integer, a..b range, or a,b,c list")
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    # Stable de-duplication keeps "0..3,2" from running seed 2 twice.
+    return list(dict.fromkeys(seeds))
+
+
+def expand_grid(experiments: Sequence[str],
+                gpus: Optional[Iterable[Optional[str]]] = None,
+                seeds: Optional[Iterable[Optional[int]]] = None,
+                profile: str = "paper") -> List[Task]:
+    """Full cross product of the three sweep axes, in a stable order.
+
+    ``gpus``/``seeds`` of None collapse that axis to the paper default
+    (a single ``None`` entry), so ``expand_grid(ids)`` reproduces what
+    ``repro run <ids>`` has always done — once per experiment.
+    """
+    gpu_axis = list(gpus) if gpus is not None else [None]
+    seed_axis = list(seeds) if seeds is not None else [None]
+    return [Task(exp, gpu, seed, profile)
+            for exp in experiments
+            for gpu in gpu_axis
+            for seed in seed_axis]

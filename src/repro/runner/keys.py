@@ -1,0 +1,59 @@
+"""Content-addressed cache keys for experiment results.
+
+A cached result may be replayed only when *everything* that could change
+its value is identical: the experiment, the device specification, the
+seed, the run profile, and the code that computed it.  All five are
+folded into one SHA-256 digest; any change to any component yields a
+different key, so stale entries are never served — they are simply never
+looked up again (see ``docs/runner.md`` for the invalidation rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.arch import GPUSpec
+from repro.arch.serialization import spec_to_dict
+from repro.obs.provenance import code_version
+
+__all__ = ["spec_fingerprint", "cache_key"]
+
+
+def _digest(payload: object) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_fingerprint(spec: Optional[GPUSpec]) -> str:
+    """Stable content hash of a device spec (``"default"`` for None).
+
+    Hashes the full serialized spec, not its name, so two specs that
+    share a name but differ in any field (an ablation built with
+    :meth:`GPUSpec.with_overrides`, say) never collide.
+    """
+    if spec is None:
+        return "default"
+    return _digest(spec_to_dict(spec))[:16]
+
+
+def cache_key(experiment_id: str,
+              spec: Optional[GPUSpec] = None,
+              seed: Optional[int] = None,
+              profile: str = "paper",
+              version: Optional[str] = None) -> str:
+    """Cache key for one ``(experiment, spec, seed, profile)`` run.
+
+    ``version`` defaults to :func:`repro.obs.provenance.code_version`,
+    which ties every entry to the package version and git revision that
+    produced it.
+    """
+    return _digest({
+        "experiment": experiment_id,
+        "spec": spec_fingerprint(spec),
+        "seed": seed,
+        "profile": profile,
+        "version": version if version is not None else code_version(),
+    })

@@ -1,0 +1,310 @@
+"""Process-parallel execution of experiment sweeps.
+
+``run_tasks`` fans a list of :class:`~repro.runner.grid.Task` cells out
+over a :class:`concurrent.futures.ProcessPoolExecutor` (or runs them
+in-process for ``jobs=1``), consulting an optional
+:class:`~repro.runner.cache.ResultCache` first and writing fresh results
+back.  Robustness guarantees:
+
+* **per-task timeout** — enforced *inside* the worker with
+  ``SIGALRM``, so one wedged simulation turns into a recorded failure
+  instead of hanging the sweep; a parent-side watchdog (twice the task
+  timeout) backstops workers stuck beyond the reach of signals;
+* **retry-once** — a failed or timed-out task is resubmitted
+  (``retries`` attempts beyond the first) before being declared failed;
+* **partial aggregation** — failures are collected alongside results;
+  the sweep always returns a full :class:`SweepReport` rather than
+  dying on the first error.
+
+Workers receive only plain ``Task`` tuples (strings and ints) and
+re-resolve specs and experiments from their own registry import, so
+nothing fragile crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.grid import Task
+from repro.runner.keys import cache_key
+from repro.runner.progress import ProgressReporter
+
+__all__ = ["TaskOutcome", "SweepReport", "run_tasks", "run_all"]
+
+#: Extra seconds the parent waits beyond the worker's own deadline
+#: before declaring a worker lost (SIGALRM could not fire, e.g. a
+#: wedged C extension).
+_WATCHDOG_GRACE = 30.0
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one grid cell."""
+
+    task: Task
+    result: object = None
+    #: ``"ran"`` (computed), ``"cache"`` (replayed) or ``"failed"``.
+    source: str = "ran"
+    seconds: float = 0.0
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.source != "failed"
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of a sweep: every outcome, in grid order."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+
+    @property
+    def results(self) -> List[object]:
+        """Successful results only, in grid order."""
+        return [o.result for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> Dict[str, int]:
+        out = {"ran": 0, "cache": 0, "failed": 0}
+        for o in self.outcomes:
+            out[o.source] = out.get(o.source, 0) + 1
+        return out
+
+    def render(self) -> str:
+        """Status table for the whole sweep."""
+        from repro.analysis import format_table
+        rows = []
+        for o in self.outcomes:
+            rows.append([o.task.label(), o.source,
+                         f"{o.seconds:.2f}s", o.attempts,
+                         (o.error or "")[:60]])
+        counts = self.counts()
+        title = (f"sweep: {counts['ran']} ran, {counts['cache']} "
+                 f"cached, {counts['failed']} failed")
+        return format_table(
+            ["task", "status", "time", "attempts", "error"], rows,
+            title=title)
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its per-task wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise TaskTimeout("per-task timeout expired")
+
+
+def _execute(task: Task, timeout: Optional[float]) -> object:
+    """Run one task to an ExperimentResult (worker side).
+
+    The timeout uses ``SIGALRM``, which is only available on the main
+    thread of a POSIX process — exactly where pool workers run tasks.
+    Elsewhere (Windows, nested threads) the timeout degrades to the
+    parent-side watchdog.
+    """
+    from repro.arch import get_spec
+    from repro.experiments import run_experiment
+
+    spec = get_spec(task.gpu) if task.gpu is not None else None
+    can_alarm = (timeout is not None and timeout > 0
+                 and hasattr(signal, "SIGALRM")
+                 and threading.current_thread()
+                 is threading.main_thread())
+    if not can_alarm:
+        return run_experiment(task.experiment_id, spec=spec,
+                              seed=task.seed, profile=task.profile)
+    old = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_experiment(task.experiment_id, spec=spec,
+                              seed=task.seed, profile=task.profile)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _worker(payload: Tuple[Task, Optional[float]]):
+    """Module-level pool entry point (must be picklable)."""
+    import time
+    task, timeout = payload
+    start = time.perf_counter()
+    result = _execute(task, timeout)
+    return result, time.perf_counter() - start
+
+
+def _format_error(exc: BaseException) -> str:
+    lines = traceback.format_exception_only(type(exc), exc)
+    return lines[-1].strip() if lines else repr(exc)
+
+
+def _resolve_spec_for_key(task: Task):
+    from repro.arch import get_spec
+    return get_spec(task.gpu) if task.gpu is not None else None
+
+
+def run_tasks(tasks: Sequence[Task], *,
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              refresh: bool = False,
+              timeout: Optional[float] = None,
+              retries: int = 1,
+              reporter: Optional[ProgressReporter] = None,
+              mp_context=None) -> SweepReport:
+    """Execute a sweep grid; never raises for individual task failures.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; default ``os.cpu_count()``.  ``1`` runs
+        everything in-process (no pool, no pickling round-trip).
+    cache:
+        Optional :class:`ResultCache`.  Hits are replayed without
+        running anything; fresh results are written back.  ``None``
+        disables caching entirely.
+    refresh:
+        Ignore existing entries but still write fresh ones
+        (``--refresh``: recompute and repopulate).
+    timeout:
+        Per-task wall-clock budget in seconds (each attempt gets the
+        full budget).
+    retries:
+        Additional attempts after a failure/timeout (default 1: the
+        "retry once" of the sweep contract).
+    """
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if reporter is None:
+        reporter = ProgressReporter(len(tasks))  # silent collector
+
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    pending: List[Tuple[int, Task]] = []
+
+    # Phase 1: serve cache hits instantly, collect the misses.
+    for index, task in enumerate(tasks):
+        key = None
+        if cache is not None:
+            key = cache_key(task.experiment_id,
+                            _resolve_spec_for_key(task),
+                            task.seed, task.profile)
+        if cache is not None and not refresh:
+            hit = cache.get(task.experiment_id, key)
+            if hit is not None:
+                outcomes[index] = TaskOutcome(task, hit, "cache", 0.0)
+                reporter.task_done(task, "cache", 0.0)
+                continue
+        pending.append((index, task))
+
+    def record(index: int, task: Task, result, seconds: float,
+               attempts: int) -> None:
+        if cache is not None:
+            key = cache_key(task.experiment_id,
+                            _resolve_spec_for_key(task),
+                            task.seed, task.profile)
+            cache.put(task.experiment_id, key, result)
+        outcomes[index] = TaskOutcome(task, result, "ran", seconds,
+                                      attempts)
+        reporter.task_done(task, "ran", seconds, attempts)
+
+    def record_failure(index: int, task: Task, error: str,
+                       seconds: float, attempts: int) -> None:
+        outcomes[index] = TaskOutcome(task, None, "failed", seconds,
+                                      attempts, error)
+        reporter.task_done(task, "failed", seconds, attempts, error)
+
+    if jobs == 1:
+        _run_serial(pending, timeout, retries, record, record_failure)
+    else:
+        _run_pool(pending, jobs, timeout, retries, record,
+                  record_failure, mp_context)
+    return SweepReport([o for o in outcomes if o is not None])
+
+
+def _run_serial(pending, timeout, retries, record, record_failure):
+    import time
+    for index, task in pending:
+        for attempt in range(1, retries + 2):
+            start = time.perf_counter()
+            try:
+                result = _execute(task, timeout)
+            except BaseException as exc:  # noqa: BLE001 — aggregated
+                seconds = time.perf_counter() - start
+                if attempt > retries:
+                    record_failure(index, task, _format_error(exc),
+                                   seconds, attempt)
+            else:
+                record(index, task, result,
+                       time.perf_counter() - start, attempt)
+                break
+
+
+def _run_pool(pending, jobs, timeout, retries, record, record_failure,
+              mp_context):
+    if not pending:
+        return
+    watchdog = None if timeout is None else timeout + _WATCHDOG_GRACE
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=mp_context) as pool:
+        futures = {}
+        attempts = {}
+        for index, task in pending:
+            attempts[index] = 1
+            futures[pool.submit(_worker, (task, timeout))] = \
+                (index, task)
+        while futures:
+            done, _ = wait(futures, timeout=watchdog,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # Nothing completed within the watchdog window: the
+                # remaining workers are beyond rescue.  Record every
+                # outstanding task as failed and stop waiting.
+                for future, (index, task) in futures.items():
+                    future.cancel()
+                    record_failure(index, task,
+                                   "worker unresponsive (watchdog)",
+                                   watchdog or 0.0, attempts[index])
+                pool.shutdown(wait=False, cancel_futures=True)
+                return
+            for future in done:
+                index, task = futures.pop(future)
+                try:
+                    result, seconds = future.result()
+                except BaseException as exc:  # noqa: BLE001
+                    if attempts[index] <= retries:
+                        attempts[index] += 1
+                        futures[pool.submit(_worker,
+                                            (task, timeout))] = \
+                            (index, task)
+                    else:
+                        record_failure(index, task,
+                                       _format_error(exc), 0.0,
+                                       attempts[index])
+                else:
+                    record(index, task, result, seconds,
+                           attempts[index])
+
+
+def run_all(experiment_ids: Optional[Sequence[str]] = None,
+            **kwargs) -> SweepReport:
+    """Run the whole registry (or a subset) through :func:`run_tasks`."""
+    from repro.experiments import EXPERIMENTS
+    from repro.runner.grid import expand_grid
+    ids = list(experiment_ids) if experiment_ids is not None \
+        else list(EXPERIMENTS)
+    return run_tasks(expand_grid(ids), **kwargs)

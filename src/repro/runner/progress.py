@@ -1,0 +1,62 @@
+"""Structured progress and failure reporting for sweeps.
+
+The reporter is a plain callback object so the pool driver stays free
+of I/O policy: the CLI hands it a stream, tests hand it nothing and
+read the collected records afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional
+
+from repro.runner.grid import Task
+
+__all__ = ["ProgressReporter"]
+
+#: Outcome sources, in display order.
+_SOURCES = ("ran", "cache", "failed")
+
+
+class ProgressReporter:
+    """Collects per-task progress records, optionally echoing them.
+
+    ``stream=None`` keeps it silent (library/test use); the CLI passes
+    ``sys.stderr`` so progress never pollutes the result tables on
+    stdout.
+    """
+
+    def __init__(self, total: int, stream: Optional[IO[str]] = None
+                 ) -> None:
+        self.total = total
+        self.stream = stream
+        self.records: List[str] = []
+        self.counts = {source: 0 for source in _SOURCES}
+
+    def task_done(self, task: Task, source: str, seconds: float,
+                  attempts: int = 1,
+                  error: Optional[str] = None) -> None:
+        """Record one finished task (``source``: ran/cache/failed)."""
+        self.counts[source] = self.counts.get(source, 0) + 1
+        done = sum(self.counts.values())
+        note = ""
+        if attempts > 1:
+            note = f" (attempt {attempts})"
+        if error:
+            note += f": {error}"
+        line = (f"[{done}/{self.total}] {task.label()} — "
+                f"{source}{note} in {seconds:.2f}s")
+        self.records.append(line)
+        if self.stream is not None:
+            print(line, file=self.stream, flush=True)
+
+    def summary(self) -> str:
+        """One-line aggregate, e.g. ``12 tasks: 8 ran, 3 cached, 1 failed``."""
+        return (f"{self.total} tasks: {self.counts['ran']} ran, "
+                f"{self.counts['cache']} cached, "
+                f"{self.counts['failed']} failed")
+
+
+def stderr_reporter(total: int) -> ProgressReporter:
+    """Reporter echoing to stderr (the CLI default)."""
+    return ProgressReporter(total, stream=sys.stderr)

@@ -1,0 +1,247 @@
+"""Unit and property tests for repro.noise.ecc.
+
+Covers the constructions Section 8's "transmit error correcting codes
+with the data" strategy reaches for: repetition/majority, Hamming(7,4),
+CRC-8 framing (previously untested) and block interleaving.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.ecc import (
+    crc8,
+    crc8_check,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+    repetition_decode,
+    repetition_encode,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1),
+                     min_size=0, max_size=64)
+
+
+def _byte_bits(data: bytes):
+    return [(b >> (7 - i)) & 1 for b in data for i in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# CRC-8
+# ---------------------------------------------------------------------------
+
+class TestCrc8:
+    def test_known_check_value(self):
+        # CRC-8/ATM ("CRC-8" in the catalogues): check("123456789")
+        # is 0xF4.
+        out = crc8(_byte_bits(b"123456789"))
+        assert out == [1, 1, 1, 1, 0, 1, 0, 0]
+
+    def test_known_small_vectors(self):
+        assert crc8([]) == [0] * 8
+        assert crc8([0] * 8) == [0] * 8
+        # A single 1 bit leaves exactly the polynomial 0x07.
+        assert crc8([1]) == [0, 0, 0, 0, 0, 1, 1, 1]
+        assert crc8([1] * 8) == [1, 1, 1, 1, 0, 0, 1, 1]   # 0xF3
+
+    def test_check_round_trip(self):
+        msg = _byte_bits(b"\xde\xad\xbe\xef")
+        assert crc8_check(msg, crc8(msg))
+        assert not crc8_check(msg + [0], crc8(msg))
+
+    def test_detects_all_single_bit_errors(self):
+        msg = _byte_bits(b"\x42\x00\xff\x17")
+        checksum = crc8(msg)
+        for i in range(len(msg)):
+            corrupted = list(msg)
+            corrupted[i] ^= 1
+            assert not crc8_check(corrupted, checksum), i
+        for i in range(8):
+            bad_sum = list(checksum)
+            bad_sum[i] ^= 1
+            assert not crc8_check(msg, bad_sum), i
+
+    def test_detects_all_double_bit_errors(self):
+        # x^8+x^2+x+1 detects every 2-bit error within its period;
+        # a 24-bit message (+8 CRC bits) sits comfortably inside it.
+        msg = _byte_bits(b"\xa5\x3c\x99")
+        frame = list(msg) + crc8(msg)
+        for i, j in itertools.combinations(range(len(frame)), 2):
+            corrupted = list(frame)
+            corrupted[i] ^= 1
+            corrupted[j] ^= 1
+            assert not crc8_check(corrupted[:-8], corrupted[-8:]), (i, j)
+
+    @given(bit_lists)
+    def test_checksum_is_deterministic_8_bits(self, bits):
+        out = crc8(bits)
+        assert len(out) == 8
+        assert all(b in (0, 1) for b in out)
+        assert out == crc8(bits)
+        assert crc8_check(bits, out)
+
+
+# ---------------------------------------------------------------------------
+# Repetition code
+# ---------------------------------------------------------------------------
+
+class TestRepetition:
+    def test_encode_repeats(self):
+        assert repetition_encode([1, 0], n=3) == [1, 1, 1, 0, 0, 0]
+
+    def test_round_trip(self):
+        msg = [1, 0, 1, 1, 0]
+        assert repetition_decode(repetition_encode(msg, n=5), n=5) == msg
+
+    def test_majority_corrects_minority_errors(self):
+        coded = repetition_encode([1, 0], n=5)
+        coded[0] ^= 1
+        coded[3] ^= 1   # two of five flips in the first group
+        coded[7] ^= 1   # one of five in the second
+        assert repetition_decode(coded, n=5) == [1, 0]
+
+    @pytest.mark.parametrize("n", [0, 2, 4, -3])
+    def test_rejects_even_or_nonpositive_factor(self, n):
+        with pytest.raises(ValueError):
+            repetition_encode([1], n=n)
+        with pytest.raises(ValueError):
+            repetition_decode([1, 1], n=n)
+
+    def test_rejects_partial_group(self):
+        with pytest.raises(ValueError):
+            repetition_decode([1, 1], n=3)
+
+    @given(bit_lists, st.sampled_from([1, 3, 5, 7]))
+    def test_round_trip_property(self, bits, n):
+        assert repetition_decode(repetition_encode(bits, n), n) == \
+            [int(b) for b in bits]
+
+
+# ---------------------------------------------------------------------------
+# Hamming(7,4)
+# ---------------------------------------------------------------------------
+
+class TestHamming74:
+    def test_round_trip_multiple_of_four(self):
+        msg = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert hamming74_decode(hamming74_encode(msg)) == msg
+
+    def test_pads_to_multiple_of_four(self):
+        coded = hamming74_encode([1, 0, 1])
+        assert len(coded) == 7
+        assert hamming74_decode(coded) == [1, 0, 1, 0]
+
+    def test_corrects_any_single_error_per_codeword(self):
+        for word in ([0, 0, 0, 0], [1, 1, 1, 1], [1, 0, 1, 0],
+                     [0, 1, 1, 0]):
+            coded = hamming74_encode(word)
+            for i in range(7):
+                corrupted = list(coded)
+                corrupted[i] ^= 1
+                assert hamming74_decode(corrupted) == word, (word, i)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            hamming74_decode([0] * 6)
+
+    @given(bit_lists)
+    @settings(max_examples=50)
+    def test_round_trip_property(self, bits):
+        padded = [int(b) for b in bits]
+        while len(padded) % 4:
+            padded.append(0)
+        assert hamming74_decode(hamming74_encode(bits)) == padded
+
+
+# ---------------------------------------------------------------------------
+# Interleaving
+# ---------------------------------------------------------------------------
+
+class TestInterleave:
+    def test_round_trip(self):
+        msg = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        assert deinterleave(interleave(msg, 3), 3) == msg
+
+    def test_round_trip_pads(self):
+        msg = [1, 0, 1, 1, 0]
+        assert deinterleave(interleave(msg, 4), 4) == msg + [0, 0, 0]
+
+    def test_burst_spreads_across_codewords(self):
+        depth = 4
+        msg = [0] * 32
+        coded = interleave(msg, depth)
+        # A burst of `depth` consecutive flips in the channel...
+        for i in range(8, 8 + depth):
+            coded[i] ^= 1
+        errors = [i for i, b in enumerate(deinterleave(coded, depth))
+                  if b]
+        assert len(errors) == depth
+        # ...lands at least `depth` apart after deinterleaving, so a
+        # depth-spaced codeword sees at most one of them.
+        gaps = [b - a for a, b in zip(errors, errors[1:])]
+        assert all(gap >= depth for gap in gaps)
+
+    @pytest.mark.parametrize("depth", [0, -1])
+    def test_rejects_bad_depth(self, depth):
+        with pytest.raises(ValueError):
+            interleave([1], depth)
+        with pytest.raises(ValueError):
+            deinterleave([1], depth)
+
+    def test_deinterleave_rejects_partial_block(self):
+        with pytest.raises(ValueError):
+            deinterleave([1, 0, 1], 2)
+
+    @given(bit_lists, st.integers(min_value=1, max_value=8))
+    def test_round_trip_property(self, bits, depth):
+        padded = [int(b) for b in bits]
+        while len(padded) % depth:
+            padded.append(0)
+        assert deinterleave(interleave(bits, depth), depth) == padded
+
+
+# ---------------------------------------------------------------------------
+# End-to-end error-injection pipelines
+# ---------------------------------------------------------------------------
+
+class TestPipelines:
+    def test_repetition_over_binary_symmetric_channel(self):
+        # Seeded BSC with 32 flips over 320 coded bits; no group
+        # collects a 3-of-5 majority, so majority decode recovers all.
+        rng = random.Random(1)
+        msg = [rng.randint(0, 1) for _ in range(64)]
+        coded = repetition_encode(msg, n=5)
+        received = [b ^ (1 if rng.random() < 0.08 else 0)
+                    for b in coded]
+        assert sum(a != b for a, b in zip(coded, received)) == 32
+        assert repetition_decode(received, n=5) == msg
+
+    def test_interleaved_hamming_survives_burst(self):
+        # 32 data bits -> 56 coded bits -> 8 interleaver rows: a
+        # full-depth burst stays inside one column, so each Hamming
+        # codeword sees at most one flip.
+        msg = [random.Random(3).randint(0, 1) for _ in range(32)]
+        depth = 7
+        channel = interleave(hamming74_encode(msg), depth)
+        for i in range(depth):          # one full-depth burst
+            channel[i] ^= 1
+        decoded = hamming74_decode(deinterleave(channel, depth))
+        assert decoded == msg
+
+    def test_crc_frames_flag_residual_errors(self):
+        msg = [1, 0, 1, 1, 0, 0, 1, 0]
+        frame = msg + crc8(msg)
+        coded = repetition_encode(frame, n=3)
+        # 2/3 flips in one group defeat the majority vote; the CRC
+        # catches what the inner code missed (the ReliableLink ARQ
+        # trigger).
+        coded[0] ^= 1
+        coded[1] ^= 1
+        decoded = repetition_decode(coded, n=3)
+        assert decoded != frame
+        assert not crc8_check(decoded[:-8], decoded[-8:])

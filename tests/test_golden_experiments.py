@@ -1,0 +1,505 @@
+"""Golden-number regression suite pinned to EXPERIMENTS.md.
+
+Every "measured" number EXPERIMENTS.md reports is encoded here as an
+assertion with an explicit tolerance, so any simulator change that
+moves a published result fails loudly instead of silently drifting the
+documentation.  The fixtures run each experiment once, at the exact
+paper configuration the registry's ``paper`` profile uses (same specs,
+seeds, bit counts), so these numbers are the ones ``repro run --all``
+caches and the ones EXPERIMENTS.md tabulates.
+
+Tolerances (the simulator is deterministic for fixed seeds, so these
+only need to absorb benign refactors and float-ordering noise):
+
+* ``REL_LAT`` (2%) — latency staircases and plateaus (Figs 2/3/6/7);
+* ``REL_BW`` (5%) — channel bandwidths (Figs 4/5/10, Tables 2/3),
+  looser because bandwidth divides by a jittered elapsed time;
+* BERs, step counts, cache geometry and Table 1 resource counts are
+  exact.
+
+Coverage map for EXPERIMENTS.md sections (heavier section-level
+reproductions stay pinned by their benchmarks, which assert the same
+claims; the cheap ones are additionally pinned here):
+
+======================================  ================================
+EXPERIMENTS.md entry                    pinned by
+======================================  ================================
+Figures 2-7, 10, Tables 1-3             this module (golden fixtures)
+Section 3 placement / policies          ``test_sec3_*`` here (+ bench)
+Section 7.1 multi-bit scaling           ``test_sec7_multibit_*`` here
+Section 10 negative result              ``test_sec10_*`` here (+ bench)
+Section 7 multi-resource (~76 s)        ``bench_sec7_multi_resource``
+Section 8 noise / exclusive mode        ``bench_sec8_noise``
+Section 9 mitigations                   ``bench_sec9_mitigations``
+Ablations / extensions                  ``bench_ablation_*`` et al.
+======================================  ================================
+"""
+
+import pytest
+
+from repro.arch import FERMI_C2075, KEPLER_K40C, MAXWELL_M4000, all_specs
+from repro.channels import (
+    L2CacheChannel,
+    MultiBitL1Channel,
+    MultiBitL2Channel,
+)
+from repro.experiments import (
+    fig2_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig10_data,
+    table1_data,
+    table2_data,
+    table3_data,
+)
+from repro.reveng import (
+    infer_block_policy,
+    infer_cache_parameters,
+    infer_warp_schedulers,
+)
+from repro.sim.gpu import Device
+
+#: Relative tolerance for pinned latencies (cycles).
+REL_LAT = 0.02
+#: Relative tolerance for pinned bandwidths (Kbps).
+REL_BW = 0.05
+
+SPECS = {"Fermi": FERMI_C2075, "Kepler": KEPLER_K40C,
+         "Maxwell": MAXWELL_M4000}
+
+
+def lat(expected):
+    return pytest.approx(expected, rel=REL_LAT)
+
+
+def bw(expected):
+    return pytest.approx(expected, rel=REL_BW)
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: one run per dataset, at the registry's paper configuration.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig2():
+    return fig2_data()          # Kepler, seed 0
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return fig3_data()          # Kepler, seed 0
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_data()          # 48 bits, seed 7, all devices
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return {level: fig5_data(level) for level in ("l1", "l2")}
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_data(warp_counts=[1, 8, 16, 24, 32], iterations=96)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_data(warp_counts=[1, 8, 16, 24, 32], iterations=96)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_data()         # 24 bits, paper calibration seeds
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_data()        # seed 3, paper bit counts
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return table3_data()        # seed 5, paper bit counts
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — L1 constant cache characterization (EXPERIMENTS.md table).
+# ---------------------------------------------------------------------------
+
+def test_fig2_plateau_and_saturation(fig2):
+    by_size = dict(fig2)
+    # "plateau latency ~45 clk" below the 2048 B cache size...
+    for size in (1792, 1856, 1920, 1984, 2048):
+        assert by_size[size] == lat(45.6), size
+    # ..."saturated latency ~112 clk" once every set spills.
+    for size in (2560, 2624, 2688, 2752, 2816):
+        assert by_size[size] == lat(111.7), size
+
+
+def test_fig2_staircase(fig2):
+    by_size = dict(fig2)
+    # "staircase onset 2048 B": the first post-plateau point jumps.
+    assert by_size[2112] == lat(55.6)
+    # One upward step per set, monotone until saturation.
+    rising = [by_size[s] for s in range(2048, 2624, 64)]
+    assert rising == sorted(rising)
+    # "steps (= sets) 8": 8 steps of 64 B between 2048 B and 2560 B.
+    assert by_size[2560] == lat(111.6)
+
+
+def test_fig2_inferred_geometry(fig2):
+    # "inferred geometry: 2 KB, 4-way, 64 B lines — identical".
+    points = [(int(s), y) for s, y in fig2]
+    geom = infer_cache_parameters(points, stride=64)
+    assert (geom.size_bytes, geom.n_sets, geom.ways,
+            geom.line_bytes) == (2048, 8, 4, 64)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — L2 constant cache characterization.
+# ---------------------------------------------------------------------------
+
+def test_fig3_plateau_and_saturation(fig3):
+    by_size = dict(fig3)
+    # "plateau latency ~112 clk" up to the 32 KB cache size.
+    for size in (31744, 32256, 32768):
+        assert by_size[size] == lat(111.8), size
+    # Saturates at the constant-memory latency (~350 clk) by 37 KB,
+    # the documented deviation from the paper's still-climbing plot.
+    for size in (36864, 37376, 37888):
+        assert by_size[size] == lat(351.8), size
+
+
+def test_fig3_staircase(fig3):
+    by_size = dict(fig3)
+    # "staircase onset 32 KB".
+    assert by_size[33024] == lat(128.6)
+    rising = [by_size[s] for s in range(32768, 37120, 256)]
+    assert rising == sorted(rising)
+
+
+def test_fig3_inferred_geometry(fig3):
+    # "inferred geometry: 32 KB, 8-way, 256 B lines — identical".
+    points = [(int(s), y) for s, y in fig3]
+    geom = infer_cache_parameters(points, stride=256)
+    assert (geom.size_bytes, geom.n_sets, geom.ways,
+            geom.line_bytes) == (32768, 16, 8, 256)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — cache channel bandwidth (error-free).
+# ---------------------------------------------------------------------------
+
+def test_fig4_l1_bandwidth(fig4):
+    # "L1, Fermi / Kepler / Maxwell: 33.1 / 41.0 / 42.0" (Kbps, doc
+    # rounds; pins are the exact simulator output).
+    assert fig4["L1"]["Fermi"] == bw(32.8)
+    assert fig4["L1"]["Kepler"] == bw(40.7)
+    assert fig4["L1"]["Maxwell"] == bw(41.8)
+
+
+def test_fig4_l2_bandwidth(fig4):
+    # "L2 (all devices): 26-29" — slower than L1 everywhere (shape),
+    # overshooting the paper's ~20 Kbps (documented deviation).
+    assert fig4["L2"]["Fermi"] == bw(24.8)
+    assert fig4["L2"]["Kepler"] == bw(25.8)
+    assert fig4["L2"]["Maxwell"] == bw(26.1)
+    for gen in SPECS:
+        assert fig4["L2"][gen] < fig4["L1"][gen], gen
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — bit error rate vs bandwidth (Kepler iteration sweep).
+# ---------------------------------------------------------------------------
+
+def test_fig5_l1_ber_curve(fig5):
+    points = fig5["l1"]
+    # BER = 0 at the paper's error-free operating point (20 its/bit),
+    # rising monotonically as iterations shrink and bandwidth grows.
+    expected = [(42.1, 0.0), (48.8, 0.0), (53.4, 0.125),
+                (56.3, 0.1458), (58.4, 0.2083), (59.1, 0.2708)]
+    assert len(points) == len(expected)
+    for (got_bw, got_ber), (exp_bw, exp_ber) in zip(points, expected):
+        assert got_bw == bw(exp_bw)
+        assert got_ber == pytest.approx(exp_ber, abs=1e-3)
+    bands = [p[0] for p in points]
+    bers = [p[1] for p in points]
+    assert bands == sorted(bands)
+    assert bers == sorted(bers)
+
+
+def test_fig5_l2_stays_error_free(fig5):
+    points = fig5["l2"]
+    # Documented deviation: our L2 window exceeds the modelled launch
+    # skew even at 1 iteration, so BER stays 0 across the sweep.
+    expected_bw = [27.4, 34.1, 40.8, 44.8, 50.2]
+    assert len(points) == len(expected_bw)
+    for (got_bw, got_ber), exp_bw in zip(points, expected_bw):
+        assert got_bw == bw(exp_bw)
+        assert got_ber == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — SP operation latency vs warp count.
+# ---------------------------------------------------------------------------
+
+#: (generation, op) -> {warps: latency} pins from EXPERIMENTS.md
+#: ("26 -> 305", "18 -> 32 onset 20", "15 -> 32", "flat 7.0", ...).
+FIG6_GOLDEN = {
+    ("Fermi", "sinf"): {1: 26.0, 8: 76.3, 16: 152.3, 32: 304.5},
+    ("Fermi", "sqrt"): {1: 100.0, 16: 254.5, 32: 507.9},
+    ("Fermi", "fadd"): {1: 16.0, 16: 16.1, 24: 24.0, 32: 32.0},
+    ("Kepler", "sinf"): {1: 18.0, 16: 18.0, 24: 24.0, 32: 31.9},
+    ("Kepler", "sqrt"): {1: 156.0, 32: 156.1},
+    ("Kepler", "fadd"): {1: 7.0, 16: 7.0, 32: 7.1},
+    ("Maxwell", "sinf"): {1: 15.0, 16: 16.0, 24: 23.9, 32: 31.9},
+    ("Maxwell", "sqrt"): {1: 121.0, 32: 121.1},
+    ("Maxwell", "fadd"): {1: 6.0, 16: 6.0, 24: 7.2, 32: 9.6},
+}
+
+
+def test_fig6_latency_pins(fig6):
+    for (gen, op), pins in FIG6_GOLDEN.items():
+        curve = dict(fig6[(gen, op)])
+        for warps, expected in pins.items():
+            assert curve[warps] == lat(expected), (gen, op, warps)
+
+
+def test_fig6_fmul_matches_fadd(fig6):
+    # Add and Mul run on the same SP pipeline in every generation.
+    for gen in SPECS:
+        assert fig6[(gen, "fmul")] == fig6[(gen, "fadd")], gen
+
+
+def test_fig6_kepler_add_has_no_contention_steps(fig6):
+    # "Kepler Add/Mul: flat, no steps" — 192 SP units swallow 32 warps.
+    lats = [y for _, y in fig6[("Kepler", "fadd")]]
+    assert max(lats) - min(lats) < 0.5
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — DP operation latency vs warp count.
+# ---------------------------------------------------------------------------
+
+FIG7_GOLDEN = {
+    ("Fermi", "dadd"): {1: 18.0, 8: 18.0, 16: 31.9, 24: 47.8, 32: 63.7},
+    ("Kepler", "dadd"): {1: 8.0, 16: 8.0, 24: 12.0, 32: 16.0},
+}
+
+
+def test_fig7_latency_pins(fig7):
+    for (gen, op), pins in FIG7_GOLDEN.items():
+        curve = dict(fig7[(gen, op)])
+        for warps, expected in pins.items():
+            assert curve[warps] == lat(expected), (gen, op, warps)
+    for gen in ("Fermi", "Kepler"):
+        assert fig7[(gen, "dmul")] == fig7[(gen, "dadd")], gen
+
+
+def test_fig7_maxwell_unsupported(fig7):
+    # "Maxwell: absent (no DPUs) — UnsupportedOperation".
+    assert ("Maxwell", "dadd") not in fig7
+    restricted = fig7_data(warp_counts=[1, 32], iterations=48,
+                           specs=[MAXWELL_M4000])
+    assert restricted[("Maxwell", "dadd")] is None
+    assert restricted[("Maxwell", "dmul")] is None
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — global atomic channel bandwidth.
+# ---------------------------------------------------------------------------
+
+#: generation -> (s1, s2, s3) Kbps.
+FIG10_GOLDEN = {
+    "Fermi": (2.93, 7.23, 2.08),
+    "Kepler": (20.12, 35.38, 12.73),
+    "Maxwell": (22.67, 38.08, 14.57),
+}
+
+
+def test_fig10_bandwidth_pins(fig10):
+    for gen, pins in FIG10_GOLDEN.items():
+        for scenario, expected in zip((1, 2, 3), pins):
+            assert fig10[(gen, scenario)] == bw(expected), \
+                (gen, scenario)
+
+
+def test_fig10_shape_claims(fig10):
+    for gen in SPECS:
+        s1, s2, s3 = (fig10[(gen, s)] for s in (1, 2, 3))
+        # Scenario 3 (one coalesced segment -> one atomic unit) is the
+        # slowest everywhere — the only ordering the paper asserts.
+        assert s3 < s1 and s3 < s2, gen
+    # Fermi sits far below Kepler/Maxwell (atomics at memory vs at
+    # the L2; the paper's 9x throughput note).  Measured ratios:
+    # 6.9x / 4.9x / 6.1x per scenario.
+    for scenario in (1, 2, 3):
+        assert fig10[("Kepler", scenario)] > \
+            4 * fig10[("Fermi", scenario)], scenario
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — per-SM execution resources (exact).
+# ---------------------------------------------------------------------------
+
+TABLE1_GOLDEN = {
+    "Tesla C2075": {"Warp Scheduler": 2, "Dispatch Unit": 2, "SP": 32,
+                    "DPU": 16, "SFU": 4, "LD/ST": 16},
+    "Tesla K40C": {"Warp Scheduler": 4, "Dispatch Unit": 8, "SP": 192,
+                   "DPU": 64, "SFU": 32, "LD/ST": 32},
+    "Quadro M4000": {"Warp Scheduler": 4, "Dispatch Unit": 8,
+                     "SP": 128, "DPU": 0, "SFU": 32, "LD/ST": 32},
+}
+
+
+def test_table1_resources_exact():
+    assert table1_data() == TABLE1_GOLDEN
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — improved L1 channels.
+# ---------------------------------------------------------------------------
+
+#: generation -> (baseline, sync, multibit, parallel) Kbps.
+TABLE2_GOLDEN = {
+    "Fermi": (33.0, 53.9, 261.4, 2988.9),
+    "Kepler": (40.8, 70.8, 295.6, 3448.1),
+    "Maxwell": (42.3, 72.2, 304.1, 3114.2),
+}
+
+TABLE2_STAGES = ("baseline", "sync", "multibit", "parallel")
+
+
+def test_table2_bandwidth_pins(table2):
+    for gen, pins in TABLE2_GOLDEN.items():
+        for stage, expected in zip(TABLE2_STAGES, pins):
+            assert table2[(gen, stage)] == bw(expected), (gen, stage)
+
+
+def test_table2_every_stage_improves(table2):
+    for gen in SPECS:
+        stages = [table2[(gen, s)] for s in TABLE2_STAGES]
+        assert stages == sorted(stages), gen
+        # Parallelism factor tracks the SM count (the paper's claim).
+        spec = SPECS[gen]
+        assert stages[3] / stages[2] > 0.6 * spec.n_sms, gen
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — improved SFU channels.
+# ---------------------------------------------------------------------------
+
+#: generation -> (baseline, schedulers, schedulers+SMs) Kbps.
+TABLE3_GOLDEN = {
+    "Fermi": (18.3, 23.5, 319.9),
+    "Kepler": (22.3, 85.9, 1288.9),
+    "Maxwell": (26.0, 89.4, 1162.7),
+}
+
+TABLE3_STAGES = ("baseline", "schedulers", "schedulers+SMs")
+
+
+def test_table3_bandwidth_pins(table3):
+    for gen, pins in TABLE3_GOLDEN.items():
+        for stage, expected in zip(TABLE3_STAGES, pins):
+            assert table3[(gen, stage)] == bw(expected), (gen, stage)
+
+
+def test_table3_parallelism_shape(table3):
+    for gen in SPECS:
+        base, sched, sms = (table3[(gen, s)] for s in TABLE3_STAGES)
+        assert base < sched < sms, gen
+    # Kepler/Maxwell's 4 schedulers buy ~4x; Fermi's 2 buy far less
+    # (its SFU contention window dominates) — the table's shape.
+    assert table3[("Kepler", "schedulers")] > \
+        3 * table3[("Kepler", "baseline")]
+    assert table3[("Fermi", "schedulers")] < \
+        2 * table3[("Fermi", "baseline")]
+
+
+# ---------------------------------------------------------------------------
+# Section 3 — placement reverse engineering & policy co-location.
+# ---------------------------------------------------------------------------
+
+def test_sec3_placement_recovered_on_all_devices():
+    for spec in all_specs():
+        rep = infer_block_policy(spec)
+        assert rep.round_robin, spec.generation
+        assert rep.leftover_coresidency, spec.generation
+        assert rep.fifo_queueing, spec.generation
+        assert infer_warp_schedulers(spec) == spec.warp_schedulers
+
+
+def test_sec3_colocation_by_policy():
+    from benchmarks.bench_sec3_colocation import _colocation_under
+    # "leftover/SMK/Warped-Slicer permit intra-SM co-location (15/15
+    # SMs); spatial and SM-draining forbid it (0/15)".
+    assert _colocation_under("leftover") == 15
+    assert _colocation_under("smk") == 15
+    assert _colocation_under("warped-slicer") == 15
+    assert _colocation_under("spatial") == 0
+    assert _colocation_under("draining") == 0
+
+
+# ---------------------------------------------------------------------------
+# Section 7.1 — multi-bit scaling & L2 parallelism.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def multibit_scaling():
+    l1 = {}
+    for m in (1, 2, 4, 6):
+        device = Device(KEPLER_K40C, seed=m + 1)
+        l1[m] = MultiBitL1Channel(device, data_sets=m)\
+            .transmit_random(72, seed=5)
+    l2_base = L2CacheChannel(
+        Device(KEPLER_K40C, seed=8)).transmit_random(24, seed=5)
+    l2_multi = MultiBitL2Channel(
+        Device(KEPLER_K40C, seed=8)).transmit_random(112, seed=5)
+    return l1, l2_base, l2_multi
+
+
+def test_sec7_multibit_l1_scaling(multibit_scaling):
+    l1, _, _ = multibit_scaling
+    # "paper 1.8x / 2.9x / 3.8x for 2/4/6 bits: measured ~1.9x /
+    # ~3.5x / ~4.1x — sublinear as in the paper".
+    golden = {2: 1.93, 4: 3.46, 6: 4.09}
+    for m, expected in golden.items():
+        ratio = l1[m].bandwidth_kbps / l1[1].bandwidth_kbps
+        assert ratio == pytest.approx(expected, rel=REL_BW), m
+        assert ratio < m, f"{m}-bit scaling must stay sublinear"
+        assert l1[m].error_free, m
+
+
+def test_sec7_multibit_l2_parallelism(multibit_scaling):
+    _, l2_base, l2_multi = multibit_scaling
+    # "L2 multi-bit: ~6x — bounded well below the 16x ideal".
+    ratio = l2_multi.bandwidth_kbps / l2_base.bandwidth_kbps
+    assert ratio == pytest.approx(6.0, rel=0.15)
+    assert l2_multi.error_free
+
+
+# ---------------------------------------------------------------------------
+# Section 10 — negative result: self-contention does not transfer.
+# ---------------------------------------------------------------------------
+
+def test_sec10_coalescing_self_vs_cross():
+    from benchmarks.bench_sec10_negative_result import (
+        _self_latency,
+        _spy_latency,
+    )
+    self_c = _self_latency(Device(KEPLER_K40C, seed=1), "coalesced")
+    self_u = _self_latency(Device(KEPLER_K40C, seed=1), "uncoalesced")
+    spy_idle = _spy_latency(Device(KEPLER_K40C, seed=2), False, "")
+    spy_u = _spy_latency(Device(KEPLER_K40C, seed=2), True,
+                         "uncoalesced")
+    # "Un-coalesced loads slow their own kernel ~35%... but move a
+    # competing kernel's load latency <10% — too weak to decode."
+    assert self_u / self_c == pytest.approx(1.35, abs=0.15)
+    assert spy_u / spy_idle < 1.10

@@ -1,0 +1,436 @@
+"""Tests for the parallel experiment runner (repro.runner).
+
+Covers the contract ISSUE-level acceptance hangs on:
+
+* cache keys change with every input that can change a result
+  (experiment, spec, seed, profile, code version) and nothing else;
+* the on-disk cache round-trips results, evicts corruption, and
+  replays byte-identical data;
+* serial, pooled and cache-replayed sweeps produce identical results
+  (object equality and canonical JSON);
+* every registry entry survives the ``(spec, seed)`` grid through a
+  real worker pool;
+* per-task timeout, retry-once and partial aggregation all hold.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import pickle
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.experiments.registry as registry
+from repro.arch import FERMI_C2075, KEPLER_K40C
+from repro.experiments import EXPERIMENTS, ExperimentResult
+from repro.runner import (
+    CacheStats,
+    ProgressReporter,
+    ResultCache,
+    SweepReport,
+    Task,
+    TaskOutcome,
+    cache_key,
+    default_cache_dir,
+    expand_grid,
+    parse_seeds,
+    run_all,
+    run_tasks,
+    spec_fingerprint,
+)
+
+FORK = multiprocessing.get_context("fork")
+
+
+def canonical_json(result: ExperimentResult) -> str:
+    """Canonical byte-stable form (pickle bytes can legally differ
+    between equal objects due to memoization)."""
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        a = cache_key("fig2", KEPLER_K40C, 3, "paper", version="v1")
+        b = cache_key("fig2", KEPLER_K40C, 3, "paper", version="v1")
+        assert a == b
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+    def test_every_component_changes_the_key(self):
+        base = dict(spec=KEPLER_K40C, seed=3, profile="paper",
+                    version="v1")
+        keys = {
+            "base": cache_key("fig2", **base),
+            "experiment": cache_key("fig3", **base),
+            "spec": cache_key("fig2", **{**base, "spec": FERMI_C2075}),
+            "no-spec": cache_key("fig2", **{**base, "spec": None}),
+            "seed": cache_key("fig2", **{**base, "seed": 4}),
+            "no-seed": cache_key("fig2", **{**base, "seed": None}),
+            "profile": cache_key("fig2", **{**base,
+                                            "profile": "smoke"}),
+            "version": cache_key("fig2", **{**base, "version": "v2"}),
+        }
+        assert len(set(keys.values())) == len(keys)
+
+    def test_spec_fingerprint(self):
+        assert spec_fingerprint(None) == "default"
+        assert spec_fingerprint(KEPLER_K40C) != \
+            spec_fingerprint(FERMI_C2075)
+        assert spec_fingerprint(KEPLER_K40C) == \
+            spec_fingerprint(KEPLER_K40C)
+
+    def test_code_version_env_override(self, monkeypatch):
+        from repro.obs import code_version
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-a")
+        assert code_version() == "pinned-a"
+        key_a = cache_key("fig2", None, 0, "paper")
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned-b")
+        key_b = cache_key("fig2", None, 0, "paper")
+        assert key_a != key_b
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_seed_injective(self, seed_a, seed_b):
+        key_a = cache_key("fig2", None, seed_a, "paper", version="v")
+        key_b = cache_key("fig2", None, seed_b, "paper", version="v")
+        assert (key_a == key_b) == (seed_a == seed_b)
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+def _result(experiment_id="fig2", rows=None) -> ExperimentResult:
+    return ExperimentResult(experiment_id, "test", ["x", "y"],
+                            rows if rows is not None else [[1, 2.0]])
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stored = _result()
+        cache.put("fig2", "k" * 64, stored)
+        loaded = cache.get("fig2", "k" * 64)
+        assert loaded == stored
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_miss_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("fig2", "absent") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_corrupt_entry_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("fig2", "bad")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("fig2", "bad") is None
+        assert not path.exists()
+        assert cache.misses == 1
+
+    def test_clear_scoped_and_global(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig2", "a", _result())
+        cache.put("fig2", "b", _result())
+        cache.put("table1", "c", _result("table1"))
+        assert cache.clear("fig2") == 2
+        assert cache.stats().entries == 1
+        assert cache.clear() == 1
+        assert cache.stats().entries == 0
+
+    def test_stats_render(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fig2", "a", _result())
+        stats = cache.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.entries == 1
+        assert stats.bytes > 0
+        assert "1 cached result" in stats.render()
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        assert default_cache_dir() == tmp_path / "x"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "y"))
+        assert default_cache_dir() == tmp_path / "y" / "repro"
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion and seed parsing
+# ---------------------------------------------------------------------------
+
+class TestGrid:
+    def test_parse_single_and_list(self):
+        assert parse_seeds("3") == [3]
+        assert parse_seeds("1,4,7") == [1, 4, 7]
+
+    def test_parse_range_inclusive(self):
+        assert parse_seeds("0..3") == [0, 1, 2, 3]
+
+    def test_parse_dedup_stable(self):
+        assert parse_seeds("0..3,2,0") == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("bad", ["", "a", "1..b", "5..2", ","])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_seeds(bad)
+
+    @given(st.lists(st.integers(min_value=0, max_value=999),
+                    min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_parse_round_trip_property(self, seeds):
+        text = ",".join(str(s) for s in seeds)
+        assert parse_seeds(text) == list(dict.fromkeys(seeds))
+
+    def test_expand_defaults_collapse(self):
+        tasks = expand_grid(["fig2"])
+        assert tasks == [Task("fig2")]
+        assert tasks[0].label() == "fig2"
+
+    def test_expand_full_product(self):
+        tasks = expand_grid(["fig2", "table1"],
+                            gpus=["kepler", "fermi"],
+                            seeds=[0, 1], profile="smoke")
+        assert len(tasks) == 8
+        assert all(t.profile == "smoke" for t in tasks)
+        assert Task("table1", "fermi", 1, "smoke") in tasks
+        assert tasks[0].label() == "fig2 kepler seed=0 smoke"
+
+
+# ---------------------------------------------------------------------------
+# Progress reporting
+# ---------------------------------------------------------------------------
+
+def test_progress_reporter_counts_and_summary():
+    reporter = ProgressReporter(total=3)
+    reporter.task_done(Task("fig2"), "ran", 1.0)
+    reporter.task_done(Task("fig3"), "cache", 0.0)
+    reporter.task_done(Task("fig4"), "failed", 2.0, attempts=2,
+                       error="boom")
+    assert reporter.counts == {"ran": 1, "cache": 1, "failed": 1}
+    assert len(reporter.records) == 3
+    assert "attempt 2" in reporter.records[-1]
+    assert "boom" in reporter.records[-1]
+    assert reporter.summary() == "3 tasks: 1 ran, 1 cached, 1 failed"
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial == pool == cache replay
+# ---------------------------------------------------------------------------
+
+SMALL_GRID = expand_grid(["fig2", "table1"], gpus=["kepler"],
+                         seeds=[0], profile="smoke")
+
+
+class TestDeterminism:
+    def test_serial_pool_and_cache_agree(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "det-test")
+        serial = run_tasks(SMALL_GRID, jobs=1, cache=None)
+        pooled = run_tasks(SMALL_GRID, jobs=2, cache=None,
+                           mp_context=FORK)
+        cache = ResultCache(tmp_path)
+        cold = run_tasks(SMALL_GRID, jobs=1, cache=cache)
+        warm = run_tasks(SMALL_GRID, jobs=1, cache=cache)
+
+        assert serial.ok and pooled.ok and cold.ok and warm.ok
+        assert warm.counts() == {"ran": 0, "cache": len(SMALL_GRID),
+                                 "failed": 0}
+        for a, b, c, d in zip(serial.results, pooled.results,
+                              cold.results, warm.results):
+            assert a == b == c == d
+            assert canonical_json(a) == canonical_json(b) \
+                == canonical_json(c) == canonical_json(d)
+
+    def test_results_pickle_round_trip(self):
+        report = run_tasks(SMALL_GRID[:1], jobs=1)
+        result = report.results[0]
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert canonical_json(clone) == canonical_json(result)
+
+    def test_refresh_recomputes_but_repopulates(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "refresh-test")
+        cache = ResultCache(tmp_path)
+        run_tasks(SMALL_GRID, jobs=1, cache=cache)
+        refreshed = run_tasks(SMALL_GRID, jobs=1, cache=cache,
+                              refresh=True)
+        assert refreshed.counts()["ran"] == len(SMALL_GRID)
+        warm = run_tasks(SMALL_GRID, jobs=1, cache=cache)
+        assert warm.counts()["cache"] == len(SMALL_GRID)
+
+    def test_code_version_bump_invalidates(self, tmp_path,
+                                           monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-old")
+        run_tasks(SMALL_GRID, jobs=1, cache=cache)
+        monkeypatch.setenv("REPRO_CODE_VERSION", "v-new")
+        rerun = run_tasks(SMALL_GRID, jobs=1, cache=cache)
+        # Old entries are never served under the new version.
+        assert rerun.counts()["cache"] == 0
+        assert rerun.counts()["ran"] == len(SMALL_GRID)
+
+
+# ---------------------------------------------------------------------------
+# The whole registry through a real pool
+# ---------------------------------------------------------------------------
+
+def test_every_registry_entry_through_pool(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pool-test")
+    tasks = expand_grid(list(EXPERIMENTS), profile="smoke")
+    report = run_tasks(tasks, jobs=2, mp_context=FORK)
+    assert report.ok, [f.error for f in report.failures]
+    assert len(report.results) == len(EXPERIMENTS)
+    for result in report.results:
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, result.experiment_id
+        assert result.profile == "smoke"
+        assert result.provenance["code_version"] == "pool-test"
+        # Everything that crossed the process boundary re-pickles.
+        assert pickle.loads(pickle.dumps(result)) == result
+
+
+def test_every_registry_entry_accepts_spec_and_seed():
+    # The uniform (spec, seed) contract, in-process for speed: every
+    # entry must accept an explicit device and seed without blowing
+    # up, including the DP experiment on the DPU-less Maxwell.
+    from repro.experiments import run_experiment
+    from repro.arch import MAXWELL_M4000
+    for experiment_id in EXPERIMENTS:
+        result = run_experiment(experiment_id, spec=MAXWELL_M4000,
+                                seed=1, profile="smoke")
+        assert result.spec_name == MAXWELL_M4000.name
+        assert result.seed == 1
+        assert result.rows
+
+
+def test_run_all_subset():
+    report = run_all(["table1"], jobs=1)
+    assert report.ok
+    assert report.results[0].experiment_id == "table1"
+
+
+# ---------------------------------------------------------------------------
+# Failure handling: timeout, retry, partial aggregation
+# ---------------------------------------------------------------------------
+
+def _hang_runner(spec, seed, profile):
+    time.sleep(60)
+    return registry.ExperimentResult("hang", "never", [], [])
+
+
+def _boom_runner(spec, seed, profile):
+    raise RuntimeError("kaboom")
+
+
+def _flaky_runner_factory(marker_path):
+    def runner(spec, seed, profile):
+        if not marker_path.exists():
+            marker_path.write_text("tried")
+            raise RuntimeError("first attempt fails")
+        return registry.ExperimentResult("flaky", "ok", ["x"], [[1]])
+    return runner
+
+
+def _fake(experiment_id, runner):
+    return registry.Experiment(experiment_id, "injected test entry",
+                               runner)
+
+
+class TestFailureHandling:
+    def test_serial_timeout(self, monkeypatch):
+        monkeypatch.setitem(registry.EXPERIMENTS, "hang",
+                            _fake("hang", _hang_runner))
+        start = time.perf_counter()
+        report = run_tasks([Task("hang")], jobs=1, timeout=0.3,
+                           retries=1)
+        elapsed = time.perf_counter() - start
+        assert not report.ok
+        outcome = report.outcomes[0]
+        assert outcome.source == "failed"
+        assert outcome.attempts == 2          # retried once
+        assert "timeout" in outcome.error.lower()
+        assert elapsed < 10
+
+    def test_pool_timeout(self, monkeypatch):
+        monkeypatch.setitem(registry.EXPERIMENTS, "hang",
+                            _fake("hang", _hang_runner))
+        report = run_tasks([Task("hang")], jobs=2, timeout=0.3,
+                           retries=1, mp_context=FORK)
+        assert not report.ok
+        assert report.outcomes[0].attempts == 2
+        assert "timeout" in report.outcomes[0].error.lower()
+
+    def test_retry_succeeds_on_second_attempt(self, tmp_path,
+                                              monkeypatch):
+        runner = _flaky_runner_factory(tmp_path / "marker")
+        monkeypatch.setitem(registry.EXPERIMENTS, "flaky",
+                            _fake("flaky", runner))
+        report = run_tasks([Task("flaky")], jobs=1, retries=1)
+        assert report.ok
+        assert report.outcomes[0].attempts == 2
+        assert report.outcomes[0].source == "ran"
+
+    def test_partial_aggregation(self, monkeypatch):
+        monkeypatch.setitem(registry.EXPERIMENTS, "boom",
+                            _fake("boom", _boom_runner))
+        report = run_tasks([Task("table1"), Task("boom")], jobs=2,
+                           retries=1, mp_context=FORK)
+        assert not report.ok
+        assert len(report.results) == 1
+        assert report.results[0].experiment_id == "table1"
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.task.experiment_id == "boom"
+        assert failure.attempts == 2
+        assert "kaboom" in failure.error
+
+    def test_unknown_experiment_is_a_recorded_failure(self):
+        report = run_tasks([Task("not-an-experiment")], jobs=1,
+                           retries=0)
+        assert not report.ok
+        assert "not-an-experiment" in report.failures[0].error
+
+    def test_unknown_gpu_is_a_recorded_failure(self):
+        report = run_tasks([Task("table1", gpu="volta")], jobs=1,
+                           retries=0)
+        assert not report.ok
+
+    def test_failures_never_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(registry.EXPERIMENTS, "boom",
+                            _fake("boom", _boom_runner))
+        cache = ResultCache(tmp_path)
+        run_tasks([Task("boom")], jobs=1, retries=0, cache=cache)
+        assert cache.stats().entries == 0
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            run_tasks([], jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# SweepReport rendering
+# ---------------------------------------------------------------------------
+
+def test_sweep_report_render_and_counts():
+    outcomes = [
+        TaskOutcome(Task("fig2"), _result(), "ran", 1.25),
+        TaskOutcome(Task("fig3", "kepler", 2), _result("fig3"),
+                    "cache", 0.0),
+        TaskOutcome(Task("fig4"), None, "failed", 0.5, 2, "exploded"),
+    ]
+    report = SweepReport(outcomes)
+    assert report.counts() == {"ran": 1, "cache": 1, "failed": 1}
+    text = report.render()
+    assert "1 ran, 1 cached, 1 failed" in text
+    assert "fig3 kepler seed=2" in text
+    assert "exploded" in text
+    assert not report.ok
+    assert report.outcomes[0].ok and not report.outcomes[2].ok

@@ -74,3 +74,40 @@ class TestRecovery:
             addr = victim.lookup_addr(x ^ 0b1000)
             assert attacker.predicted_set(x, 0b1000) == \
                 kepler.spec.const_l1.set_index(addr)
+
+
+class TestObservation:
+    def test_observe_elevates_victim_set(self):
+        device = Device(KEPLER_K40C, seed=81)
+        victim = TableLookupVictim(device, key=0b101)
+        attacker = PrimeProbeAttacker(device, victim)
+        probe = attacker.observe(7)
+        # One latency reading per L1 set.
+        assert sorted(probe) == list(range(8))
+        # The set the victim's lookup touched shows the contention
+        # penalty; the attacker's untouched lines stay near the hit
+        # latency.
+        hot = max(probe, key=probe.get)
+        assert hot == attacker.predicted_set(7, 0b101)
+        cold = [lat for s, lat in probe.items() if s != hot]
+        assert probe[hot] > 2 * max(cold)
+
+    def test_attack_records_trials_and_mask(self):
+        device = Device(KEPLER_K40C, seed=81)
+        victim = TableLookupVictim(device, key=0b11)
+        attacker = PrimeProbeAttacker(device, victim)
+        result = attacker.attack(plaintexts=[0, 11, 22])
+        assert result.trials == 3
+        # The recovered mask resolves exactly the set-selecting bits.
+        assert bin(result.mask).count("1") == recoverable_bits(
+            Device(KEPLER_K40C, seed=1))
+
+    def test_maxwell_recoverable_bits(self):
+        from repro.arch import MAXWELL_M4000
+        assert recoverable_bits(Device(MAXWELL_M4000, seed=1)) == 3
+
+    def test_candidates_ranked_by_score(self):
+        from repro.sidechannel import AttackResult
+        result = AttackResult(best_guess_bits=2, mask=0b111,
+                              scores={0: 1, 1: 5, 2: 9, 3: 3})
+        assert result.candidates() == [2, 1, 3, 0]
