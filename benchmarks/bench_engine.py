@@ -1,0 +1,147 @@
+"""Engine fast-path benchmark — cycle skipping vs the reference engines.
+
+Runs the paper-profile L2 covert channel (Kepler, 48 bits) through the
+three engine modes and asserts two things:
+
+* **speed** — the default ``fast`` engine must beat the cycle-by-cycle
+  ``tick`` oracle by at least :data:`SPEEDUP_FLOOR` (it typically wins
+  by well over an order of magnitude, and also beats the
+  per-instruction ``events`` engine);
+* **identity** — all three modes must produce bit-identical results:
+  same BER, same received bits, same final simulated clock, same cache
+  hit/miss counts, same ``events_executed``.
+
+Run under pytest with ``pytest benchmarks/bench_engine.py
+--benchmark-only``, or standalone (nightly CI) with
+``python -m benchmarks.bench_engine [--json out.json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import L2CacheChannel
+from repro.sim.gpu import ENGINE_MODES, Device
+
+#: Minimum fast-engine speedup over the tick oracle (acceptance floor).
+SPEEDUP_FLOOR = 3.0
+
+#: Paper-profile message: 48 alternating bits, as in the golden suite.
+BITS = [1, 0] * 24
+SEED = 1
+
+#: Wall-clock repetitions per mode (best-of); the tick oracle is run
+#: once — it simulates every cycle and one pass is already ~100x the
+#: fast engine's total budget.
+REPS = {"fast": 5, "events": 5, "tick": 1}
+
+
+def _run(mode: str) -> dict:
+    device = Device(KEPLER_K40C, seed=SEED, engine=mode)
+    result = L2CacheChannel(device).transmit(BITS)
+    return {
+        "ber": result.ber,
+        "received": list(result.received),
+        "final_clock": device.engine.now,
+        "events_executed": device.engine.events_executed,
+        "l2_hits": device.const_l2.hits,
+        "l2_misses": device.const_l2.misses,
+    }
+
+
+def measure() -> dict:
+    """Time every engine mode and collect its result fingerprint."""
+    m: dict = {"workload": "l2_cache_channel", "gpu": "kepler",
+               "bits": len(BITS), "seed": SEED}
+    for mode in ENGINE_MODES:
+        best = float("inf")
+        fingerprint = None
+        for _ in range(REPS[mode]):
+            start = time.perf_counter()
+            fingerprint = _run(mode)
+            best = min(best, time.perf_counter() - start)
+        m[f"t_{mode}"] = best
+        m[f"result_{mode}"] = fingerprint
+    m["speedup_vs_tick"] = m["t_tick"] / m["t_fast"]
+    m["speedup_vs_events"] = m["t_events"] / m["t_fast"]
+    return m
+
+
+def check(m: dict) -> None:
+    """Assert the identity and speed claims on a measurement."""
+    for mode in ("events", "tick"):
+        assert m[f"result_{mode}"] == m["result_fast"], (
+            f"fast engine diverged from {mode} engine: "
+            f"{m['result_fast']} != {m[f'result_{mode}']}"
+        )
+    assert m["result_fast"]["ber"] == 0.0, (
+        f"paper-profile L2 channel should be error-free, "
+        f"got BER {m['result_fast']['ber']}"
+    )
+    assert m["speedup_vs_tick"] >= SPEEDUP_FLOOR, (
+        f"fast engine only {m['speedup_vs_tick']:.1f}x over the tick "
+        f"oracle (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def _rows(m: dict):
+    rows = []
+    for mode in ENGINE_MODES:
+        rows.append([mode, f"{1e3 * m[f't_{mode}']:.1f}",
+                     f"{m[f't_{mode}'] / m['t_fast']:.1f}x",
+                     m[f"result_{mode}"]["ber"],
+                     m[f"result_{mode}"]["events_executed"]])
+    return rows
+
+
+def bench_engine(benchmark):
+    m = run_once(benchmark, measure)
+    report(
+        benchmark,
+        "Engine modes on the paper-profile L2 channel "
+        f"(Kepler, {len(BITS)} bits)",
+        ["engine", "wall ms", "vs fast", "ber", "events"],
+        _rows(m),
+        extra={
+            "speedup_vs_tick": m["speedup_vs_tick"],
+            "speedup_vs_events": m["speedup_vs_events"],
+            "t_fast_s": m["t_fast"],
+            "t_events_s": m["t_events"],
+            "t_tick_s": m["t_tick"],
+        },
+    )
+    check(m)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="engine fast-path benchmark (nightly CI)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the measurement dict as JSON")
+    args = parser.parse_args(argv)
+    m = measure()
+    for row in _rows(m):
+        print("  ".join(str(cell) for cell in row))
+    print(f"speedup: {m['speedup_vs_tick']:.1f}x vs tick, "
+          f"{m['speedup_vs_events']:.1f}x vs events "
+          f"(required >={SPEEDUP_FLOOR}x vs tick)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(m, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    try:
+        check(m)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ the nightly CI job::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import sys
@@ -129,12 +130,24 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", default="smoke",
                         choices=("paper", "smoke"))
     parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the timing summary as JSON")
     args = parser.parse_args(argv)
     m = measure(profile=args.profile, jobs=args.jobs)
     for row in _rows(m):
         print("  ".join(str(cell) for cell in row))
     print(f"warm speedup: {m['t_cold'] / m['t_warm']:.1f}x "
           f"(required >={WARM_SPEEDUP}x)")
+    if args.json:
+        summary = {
+            "tasks": m["tasks"], "jobs": m["jobs"],
+            "profile": m["profile"], "t_serial": m["t_serial"],
+            "t_cold": m["t_cold"], "t_warm": m["t_warm"],
+            "warm_speedup": m["t_cold"] / m["t_warm"],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     try:
         check(m)
     except AssertionError as exc:

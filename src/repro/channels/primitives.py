@@ -36,18 +36,38 @@ def set_addresses(array_base: int, cache: CacheSpec, set_index: int,
             for k in range(n)]
 
 
+#: Memoized ConstLoad instruction lists, keyed by address tuple.
+#: Instructions are immutable value objects, so the prime/probe loops —
+#: which replay the same few address sets thousands of times per
+#: transmission — can reuse one instruction list instead of allocating
+#: a fresh object per load.  The key space is the handful of attack
+#: arrays an experiment targets, so the table stays tiny.
+_CONST_LOADS: dict = {}
+
+#: Shared ReadClock instance (the instruction carries no state).
+_READ_CLOCK = isa.ReadClock()
+
+
+def _const_loads(addrs: List[int]) -> list:
+    key = tuple(addrs)
+    instrs = _CONST_LOADS.get(key)
+    if instrs is None:
+        instrs = _CONST_LOADS[key] = [isa.ConstLoad(a) for a in key]
+    return instrs
+
+
 def prime_set(addrs: List[int]):
     """Fill a cache set by loading every way (no timing)."""
-    for a in addrs:
-        yield isa.ConstLoad(a)
+    for instr in _const_loads(addrs):
+        yield instr
 
 
 def probe_set(addrs: List[int]):
     """Timed re-access of a set; returns mean observed cycles per load."""
-    t0 = yield isa.ReadClock()
-    for a in addrs:
-        yield isa.ConstLoad(a)
-    t1 = yield isa.ReadClock()
+    t0 = yield _READ_CLOCK
+    for instr in _const_loads(addrs):
+        yield instr
+    t1 = yield _READ_CLOCK
     return (t1 - t0) / len(addrs)
 
 

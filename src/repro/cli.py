@@ -360,7 +360,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run size: paper fidelity or fast smoke")
         p.add_argument("--cache-dir", default=None,
                        help="result cache root (default "
-                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+                            "$REPRO_CACHE_DIR, else $XDG_CACHE_HOME/repro, "
+                            "else ~/.cache/repro)")
         p.add_argument("--no-cache", action="store_true",
                        help="neither read nor write the result cache")
         p.add_argument("--refresh", action="store_true",
@@ -397,8 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the result cache")
     p_cache.add_argument("--cache-dir", default=None,
-                         help="cache root (default $REPRO_CACHE_DIR "
-                              "or ~/.cache/repro)")
+                         help="cache root (default $REPRO_CACHE_DIR, "
+                              "else $XDG_CACHE_HOME/repro, "
+                              "else ~/.cache/repro)")
     p_cache.add_argument("--clear", action="store_true",
                          help="delete cached results")
     p_cache.add_argument("--experiment", default=None,

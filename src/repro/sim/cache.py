@@ -1,13 +1,20 @@
-"""Set-associative cache model with LRU replacement.
+"""Set-associative cache model with LRU replacement (paper §4.1).
 
-Both levels of the constant-memory hierarchy (per-SM L1, device-shared
-L2) are instances of :class:`ConstCache`.  The model is *stateful*: the
-prime/probe channels of Section 4 work because the trojan's lines really
-evict the spy's lines from the modelled sets.
+Both levels of the constant-memory hierarchy the paper reverse engineers
+in Section 4.1 (per-SM L1, device-shared L2) are instances of
+:class:`ConstCache`.  The model is *stateful*: the prime/probe channels
+of Section 4 work because the trojan's lines really evict the spy's
+lines from the modelled sets.
 
 An optional ``partition_fn`` hook supports the Section 9 set-partitioning
 mitigation: it can remap (context, set) pairs so that different contexts
 can never touch each other's sets.
+
+Hot-path notes: every constant load funnels through :meth:`access`, so
+the geometry divisors are precomputed at construction and, when no
+partition hook is installed, tags are plain ints (no per-access tuple
+allocation).  With a partition hook the tag is ``(line_tag, context)``
+so remapped contexts can never alias each other's lines.
 """
 
 from __future__ import annotations
@@ -25,14 +32,24 @@ PartitionFn = Callable[[int, int, int], int]
 class ConstCache:
     """One level of the constant cache hierarchy."""
 
+    __slots__ = ("spec", "name", "partition_fn", "_sets", "port",
+                 "hit_counter", "miss_counter", "set_misses", "trace",
+                 "_line_bytes", "_n_sets", "_ways", "_tag_div")
+
     def __init__(self, spec: CacheSpec, name: str = "cache",
                  partition_fn: Optional[PartitionFn] = None) -> None:
         self.spec = spec
         self.name = name
         self.partition_fn = partition_fn
         # Each set is a list of tags ordered LRU-first / MRU-last.
-        self._sets: List[List[int]] = [[] for _ in range(spec.n_sets)]
+        self._sets: List[list] = [[] for _ in range(spec.n_sets)]
         self.port = PipelinedPort(name=f"{name}.port")
+        # Geometry, precomputed off the spec properties (each property
+        # re-derives from size/line/ways — too slow for the access loop).
+        self._line_bytes = spec.line_bytes
+        self._n_sets = spec.n_sets
+        self._ways = spec.ways
+        self._tag_div = spec.line_bytes * spec.n_sets
         #: Always-on instruments (adopted into the device registry so
         #: snapshots and Device.reset_stats() cover them).
         self.hit_counter = Counter(f"{name}.hits")
@@ -48,10 +65,10 @@ class ConstCache:
     # ------------------------------------------------------------------
     def set_of(self, addr: int, context: int = 0) -> int:
         """Set index an address maps to, after optional partitioning."""
-        idx = self.spec.set_index(addr)
+        idx = (addr // self._line_bytes) % self._n_sets
         if self.partition_fn is not None:
-            idx = self.partition_fn(context, idx, self.spec.n_sets)
-            if not 0 <= idx < self.spec.n_sets:
+            idx = self.partition_fn(context, idx, self._n_sets)
+            if not 0 <= idx < self._n_sets:
                 raise ValueError(
                     f"partition_fn returned out-of-range set {idx}"
                 )
@@ -59,17 +76,21 @@ class ConstCache:
 
     def access(self, addr: int, context: int = 0) -> bool:
         """Access one address; returns True on hit.  Updates LRU state."""
-        idx = self.set_of(addr, context)
-        # Tag must distinguish lines from different contexts even when a
-        # partition remaps them into the same physical set.
-        tag = (self.spec.tag(addr), context if self.partition_fn else 0)
+        if self.partition_fn is None:
+            idx = (addr // self._line_bytes) % self._n_sets
+            tag = addr // self._tag_div
+        else:
+            idx = self.set_of(addr, context)
+            # Tag must distinguish lines from different contexts even
+            # when a partition remaps them into the same physical set.
+            tag = (addr // self._tag_div, context)
         lines = self._sets[idx]
         if tag in lines:
             lines.remove(tag)
             lines.append(tag)
             self.hit_counter.value += 1
             return True
-        if len(lines) >= self.spec.ways:
+        if len(lines) >= self._ways:
             lines.pop(0)
         lines.append(tag)
         self.miss_counter.value += 1
@@ -78,8 +99,12 @@ class ConstCache:
 
     def contains(self, addr: int, context: int = 0) -> bool:
         """Non-destructive lookup (no LRU update, no statistics)."""
-        idx = self.set_of(addr, context)
-        tag = (self.spec.tag(addr), context if self.partition_fn else 0)
+        if self.partition_fn is None:
+            idx = (addr // self._line_bytes) % self._n_sets
+            tag = addr // self._tag_div
+        else:
+            idx = self.set_of(addr, context)
+            tag = (addr // self._tag_div, context)
         return tag in self._sets[idx]
 
     def occupancy(self, set_index: int) -> int:
@@ -95,7 +120,7 @@ class ConstCache:
         """Zero hit/miss counters."""
         self.hit_counter.reset()
         self.miss_counter.reset()
-        self.set_misses = [0] * self.spec.n_sets
+        self.set_misses = [0] * self._n_sets
 
     # ------------------------------------------------------------------
     @property

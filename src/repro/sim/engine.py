@@ -3,16 +3,32 @@
 A minimal, fast event loop: callbacks are scheduled at absolute cycle
 times on a binary heap and executed in time order (FIFO among equal
 timestamps).  The engine knows nothing about GPUs; SMs, caches and the
-block scheduler all hang their work off it.
+block scheduler all hang their work off it — it is the timing substrate
+under every contention model of the paper (Sections 5-7).
 
 Cycle times are floats so that sub-cycle dispatch intervals (e.g. a warp
 ``fadd`` occupying a Kepler scheduler for 32/48 of a cycle) compose
 exactly.
+
+Two engines share this module:
+
+* :class:`Engine` — the production event loop.  The SM's fast path
+  (``Device(engine="fast")``) additionally *bursts* a warp's
+  instructions inline, jumping ``now`` straight to each completion time
+  while no other event is due — the cycle-skipping described in
+  docs/simulator.md.  The engine cooperates by exposing the burst
+  horizon (``_horizon``) that ``run(until=...)`` narrows.
+* :class:`TickEngine` — a cycle-by-cycle reference oracle
+  (``Device(engine="tick")``): the clock only ever advances one whole
+  cycle at a time, executing events as their cycle arrives.  It is
+  deliberately slow and exists so differential tests can prove the fast
+  path never changes an observable timing.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, List, Optional, Tuple
 
 
@@ -36,7 +52,7 @@ class Engine:
     """
 
     __slots__ = ("now", "_heap", "_seq", "_max_events", "_event_count",
-                 "profile_hook")
+                 "_horizon", "profile_hook")
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self.now: float = 0.0
@@ -44,6 +60,11 @@ class Engine:
         self._seq = 0
         self._max_events = max_events
         self._event_count = 0
+        #: Time bound the SM fast path must not burst past.  Infinite
+        #: except while ``run(until=...)`` is draining, so that inline
+        #: bursts leave exactly the same pending work behind as
+        #: event-at-a-time execution would.
+        self._horizon: float = math.inf
         #: Optional observability tap called as ``hook(engine)`` after
         #: every executed event.  The engine stays GPU-agnostic: the
         #: device's obs layer installs a sampler here when tracing.
@@ -106,16 +127,83 @@ class Engine:
         every event and stops the loop early when it returns True (the
         queue is left intact so the run can be resumed).
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
+        if until is None:
+            while self._heap:
+                self.step()
+                if stop_when is not None and stop_when():
+                    return
+            return
+        prev_horizon = self._horizon
+        self._horizon = until
+        try:
+            while self._heap:
+                if self._heap[0][0] > until:
+                    self.now = until
+                    return
+                self.step()
+                if stop_when is not None and stop_when():
+                    return
+        finally:
+            self._horizon = prev_horizon
+
+    def run_flag(self, flag: List[bool]) -> None:
+        """Drain events until ``flag[0]`` turns true (fast-path sync).
+
+        A tight version of ``run(stop_when=...)`` for the flag-cell
+        completion protocol ``Device.synchronize`` uses on the fast
+        path: no per-event closure call, just a list-cell read.  Returns
+        with ``flag[0]`` still false when the queue drains first — the
+        caller decides whether that is a deadlock.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        max_events = self._max_events
+        hook = self.profile_hook
+        while not flag[0]:
+            if not heap:
                 return
-            self.step()
-            if stop_when is not None and stop_when():
-                return
+            time, _, fn = pop(heap)
+            self.now = time
+            self._event_count += 1
+            if max_events is not None and self._event_count > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a runaway kernel or protocol livelock"
+                )
+            fn()
+            if hook is not None:
+                hook(self)
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward with no events (host-side busy time)."""
         if time < self.now:
             raise ValueError("cannot move the clock backwards")
         self.now = time
+
+
+class TickEngine(Engine):
+    """Cycle-by-cycle reference engine (the debugging oracle).
+
+    ``step()`` executes the next event only if it is due within the
+    current cycle; otherwise the clock advances exactly one cycle and
+    no event runs.  Every simulated cycle is therefore visited, which
+    is what "tick-by-tick" means in the differential tests: the fast
+    engine must produce bit-identical results while skipping all the
+    empty cycles this engine grinds through.
+
+    Idle ticks do not count toward ``events_executed`` or the
+    ``max_events`` budget, so event accounting matches :class:`Engine`
+    exactly.
+    """
+
+    __slots__ = ()
+
+    def step(self) -> bool:
+        """Advance one cycle, executing the next event if it is due."""
+        if not self._heap:
+            return False
+        next_cycle = math.floor(self.now) + 1.0
+        if self._heap[0][0] <= next_cycle:
+            return super().step()
+        self.now = next_cycle
+        return True

@@ -15,6 +15,8 @@ from typing import Any, Optional
 class Event:
     """A marker in a stream's work queue with a completion timestamp."""
 
+    __slots__ = ("device", "_cycle")
+
     def __init__(self, device: Any) -> None:
         self.device = device
         self._cycle: Optional[float] = None

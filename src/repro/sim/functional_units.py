@@ -33,6 +33,9 @@ BankMetrics = Dict[str, Tuple[object, object, object]]
 class SchedulerFuBank:
     """Functional units and issue bandwidth of one warp scheduler."""
 
+    __slots__ = ("spec", "sm_id", "sched_id", "issue_port", "unit_ports",
+                 "metrics", "_issue_interval", "_plans")
+
     def __init__(self, spec: GPUSpec, sm_id: int, sched_id: int) -> None:
         self.spec = spec
         self.sm_id = sm_id
@@ -44,6 +47,12 @@ class SchedulerFuBank:
             for unit in ("sp", "dpu", "sfu", "ldst")
         }
         self.metrics: Optional[BankMetrics] = None
+        self._issue_interval = spec.issue_interval
+        # Lazily memoized per-op execution plans:
+        # op -> (unit_port, occupancy, latency, overhead, unit).  The
+        # spec lookups (dict fetch + two derived quantities) would
+        # otherwise be repaid on every instruction of a dependent chain.
+        self._plans: dict = {}
 
     # ------------------------------------------------------------------
     def fu_occupancy(self, op: str) -> float:
@@ -52,6 +61,18 @@ class SchedulerFuBank:
         per_sched = self.spec.units_per_scheduler(op_spec.unit)
         return self.spec.warp_size * op_spec.passes / per_sched
 
+    def _plan(self, op: str) -> tuple:
+        """Resolve and memoize the execution plan for one op kind.
+
+        Unsupported ops are *not* cached so they raise on every attempt
+        (``op_spec`` raises ``UnsupportedOperation``/``KeyError``).
+        """
+        op_spec = self.spec.op_spec(op)
+        plan = (self.unit_ports[op_spec.unit], self.fu_occupancy(op),
+                op_spec.latency, op_spec.overhead, op_spec.unit)
+        self._plans[op] = plan
+        return plan
+
     def execute_chain(self, now: float, op: str, count: int) -> float:
         """Run ``count`` *dependent* ops of one warp; returns finish time.
 
@@ -59,30 +80,49 @@ class SchedulerFuBank:
         occupies the unit dispatch port; the next op in the chain cannot
         issue until the previous result is available.
         """
-        op_spec = self.spec.op_spec(op)
-        occupancy = self.fu_occupancy(op)
-        issue_interval = self.spec.issue_interval
-        port = self.unit_ports[op_spec.unit]
+        plan = self._plans.get(op)
+        if plan is None:
+            plan = self._plan(op)
+        port, occupancy, latency, overhead, unit = plan
+        interval = self._issue_interval
+        iport = self.issue_port
+        metrics = self.metrics
+        if metrics is None:
+            # Hot path: the two acquire() calls inlined, statistics
+            # folded into one bulk update after the chain.
+            t = now
+            for _ in range(count):
+                free = iport.free_at
+                issued = t if t > free else free
+                iport.free_at = issued + interval
+                free = port.free_at
+                start = issued if issued > free else free
+                port.free_at = start + occupancy
+                t = start + latency + overhead
+            iport.busy_cycles += interval * count
+            iport.requests += count
+            port.busy_cycles += occupancy * count
+            port.requests += count
+            return t
         t = now
         issue_stall = 0.0
         dispatch_stall = 0.0
         for _ in range(count):
-            issued = self.issue_port.acquire(t, issue_interval)
+            issued = iport.acquire(t, interval)
             start = port.acquire(issued, occupancy)
             issue_stall += issued - t
             dispatch_stall += start - issued
-            t = start + op_spec.latency + op_spec.overhead
-        if self.metrics is not None:
-            ops, istall, dstall = self.metrics[op_spec.unit]
-            ops.inc(count)
-            istall.inc(issue_stall)
-            dstall.inc(dispatch_stall)
+            t = start + latency + overhead
+        ops, istall, dstall = metrics[unit]
+        ops.inc(count)
+        istall.inc(issue_stall)
+        dstall.inc(dispatch_stall)
         return t
 
     def issue_only(self, now: float) -> float:
         """Consume one bare issue slot (clock reads, control overhead)."""
-        start = self.issue_port.acquire(now, self.spec.issue_interval)
-        return start + self.spec.issue_interval
+        start = self.issue_port.acquire(now, self._issue_interval)
+        return start + self._issue_interval
 
     def reset(self) -> None:
         """Clear all port queues and statistics."""
@@ -104,6 +144,8 @@ class SharedFuBank(SchedulerFuBank):
     per-scheduler partitioning the contention steps of Figure 6 smear out
     and the per-scheduler parallel SFU channel (Table 3) stops scaling.
     """
+
+    __slots__ = ()
 
     def __init__(self, spec: GPUSpec, sm_id: int, sched_id: int,
                  shared_ports: Dict[str, PipelinedPort]) -> None:

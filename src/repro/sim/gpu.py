@@ -1,8 +1,10 @@
 """The simulated GPGPU device — top-level façade of the substrate.
 
 A :class:`Device` wires together the engine, SMs, constant L2, global
-memory, block scheduler and streams, and exposes the host-side API the
-attack and benchmark code drives:
+memory, block scheduler and streams — the shared hardware whose
+contention the paper's channels exploit (Section 4: caches; Section 6:
+SM functional units; Section 7: atomics) — and exposes the host-side
+API the attack and benchmark code drives:
 
 >>> from repro.arch import KEPLER_K40C
 >>> from repro.sim import Device, Kernel, KernelConfig, isa
@@ -20,6 +22,7 @@ True
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -27,13 +30,21 @@ import numpy as np
 from repro.arch.specs import GPUSpec
 from repro.obs.core import DeviceObservability, ObserveConfig
 from repro.sim.cache import ConstCache, PartitionFn
-from repro.sim.engine import DeadlockError, Engine
+from repro.sim.engine import DeadlockError, Engine, TickEngine
 from repro.sim.kernel import Kernel
 from repro.sim.memory import GlobalMemory
 from repro.sim.policies import make_block_scheduler
 from repro.sim.sm import SM
 from repro.sim.stream import Stream
 from repro.sim.timing import ClockModel
+
+#: Engine execution modes, from fastest to slowest:
+#: ``fast`` (default) bursts warp instructions inline and skips the
+#: clock straight to completion times; ``events`` schedules one heap
+#: event per instruction (the readable reference); ``tick`` advances
+#: the clock one cycle at a time (the debugging oracle).  All three are
+#: bit-identical in every observable timing.
+ENGINE_MODES = ("fast", "events", "tick")
 
 
 class Device:
@@ -47,15 +58,24 @@ class Device:
                  scheduler_assignment: str = "round_robin",
                  clock_model: Optional[ClockModel] = None,
                  max_events: Optional[int] = 50_000_000,
-                 observe: Union[None, bool, str, ObserveConfig] = None
+                 observe: Union[None, bool, str, ObserveConfig] = None,
+                 engine: Optional[str] = None
                  ) -> None:
         if scheduler_assignment not in ("round_robin", "random"):
             raise ValueError(
                 "scheduler_assignment must be 'round_robin' or 'random'"
             )
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
+        if engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+            )
         self.spec = spec
         self.seed = seed
-        self.engine = Engine(max_events=max_events)
+        self.engine_mode = engine
+        engine_cls = TickEngine if engine == "tick" else Engine
+        self.engine = engine_cls(max_events=max_events)
         self.rng = np.random.default_rng(seed)
         self.clock = clock_model if clock_model is not None else ClockModel(
             jitter_cycles=spec.clock_jitter_cycles, rng=self.rng
@@ -76,6 +96,13 @@ class Device:
         self._const_ptr = 0
         self._const_allocs: Dict[str, int] = {}
         self._wire_observability()
+        #: Whether SMs drive warps through the cycle-skipping burst
+        #: loop.  Decided after observability wiring: when the engine
+        #: sampler hook is installed (trace mode with
+        #: ``engine_sample_every > 0``) the per-event tap must see every
+        #: event, so warps fall back to the reference driver.
+        self._fast_warps = (engine == "fast"
+                            and self.engine.profile_hook is None)
 
     def _wire_observability(self) -> None:
         """Adopt always-on instruments and push wiring into subsystems."""
@@ -141,28 +168,77 @@ class Device:
         exclusive co-location trick of Section 8 while the attacker
         kernels never terminate.
         """
-        def outstanding() -> bool:
-            if kernels is not None:
-                return any(not k.done for k in kernels)
-            if stream is not None:
-                return not stream.idle
-            if self.block_scheduler.has_pending:
-                return True
-            return any(not s.idle for s in self._streams)
+        if self._fast_warps:
+            self._synchronize_fast(stream, kernels)
+        else:
+            def outstanding() -> bool:
+                if kernels is not None:
+                    return any(not k.done for k in kernels)
+                if stream is not None:
+                    return not stream.idle
+                if self.block_scheduler.has_pending:
+                    return True
+                return any(not s.idle for s in self._streams)
 
-        while outstanding():
-            if self.engine.idle():
-                blocked = [k.name for k in self.block_scheduler.pending_kernels()]
-                raise DeadlockError(
-                    "device idle with outstanding work; blocked kernels: "
-                    f"{blocked or 'launch queue stalled'}"
-                )
-            self.engine.step()
+            while outstanding():
+                if self.engine.idle():
+                    self._raise_deadlock()
+                self.engine.step()
         self.host_wait(self.spec.sync_overhead_cycles)
+
+    def _synchronize_fast(self, stream: Optional[Stream],
+                          kernels: Optional[List[Kernel]]) -> None:
+        """Flag-based synchronize for the fast engine.
+
+        Instead of re-evaluating an ``outstanding()`` closure after
+        every event, snapshot the kernels being waited on, count them
+        down from completion callbacks, and drain the heap with the
+        engine's tight :meth:`~repro.sim.engine.Engine.run_flag` loop.
+        Every kernel queued at the block scheduler is (a predecessor
+        of) some stream's tail, so watching the non-idle tails covers
+        all outstanding work in the default case.
+        """
+        if kernels is not None:
+            watch = [k for k in kernels if not k.done]
+        elif stream is not None:
+            watch = [] if stream.idle else [stream._tail]
+        else:
+            watch = [s._tail for s in self._streams if not s.idle]
+        if not watch:
+            return
+        flag = [False]
+        remaining = [len(watch)]
+
+        def completed(_k: Kernel) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                flag[0] = True
+
+        for k in watch:
+            k.on_complete(completed)
+        self.engine.run_flag(flag)
+        if not flag[0]:
+            self._raise_deadlock()
+
+    def _raise_deadlock(self) -> None:
+        blocked = [k.name for k in self.block_scheduler.pending_kernels()]
+        raise DeadlockError(
+            "device idle with outstanding work; blocked kernels: "
+            f"{blocked or 'launch queue stalled'}"
+        )
 
     def host_wait(self, cycles: float) -> None:
         """Advance host time; concurrent device work keeps executing."""
         target = self.engine.now + cycles
+        if self._fast_warps:
+            flag = [False]
+
+            def arm() -> None:
+                flag[0] = True
+
+            self.engine.schedule_at(target, arm)
+            self.engine.run_flag(flag)
+            return
         flag = {"done": False}
         self.engine.schedule_at(target, lambda: flag.update(done=True))
         self.engine.run(stop_when=lambda: flag["done"])

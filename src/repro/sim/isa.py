@@ -4,7 +4,7 @@ Kernels (see :mod:`repro.sim.kernel`) are Python generator functions that
 ``yield`` instruction objects; the SM executes each instruction, advances
 simulated time, and ``send``s the result back into the generator.  The
 instruction set covers everything the paper's attack and workload kernels
-need:
+(Sections 4-7) need:
 
 =================  ====================================================
 instruction        models
@@ -25,7 +25,6 @@ memory operations (measured latency + servicing level), plain floats for
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 
@@ -187,7 +186,6 @@ class Sleep(Instruction):
         self.cycles = cycles
 
 
-@dataclass(frozen=True)
 class MemResult:
     """Result of a memory instruction.
 
@@ -196,15 +194,34 @@ class MemResult:
     accesses with :class:`ReadClock` to obtain the jittered observation.
     ``level`` reports which level serviced a constant load (``"l1"``,
     ``"l2"``, ``"mem"``) or ``"global"``/``"atomic"``/``"shared"``.
+
+    One of these is built per memory instruction, which makes its
+    constructor part of the simulator's hot path — hence a plain
+    ``__slots__`` class rather than a frozen dataclass (whose guarded
+    ``__setattr__`` costs several times more per instance).
     """
 
-    latency: float
-    level: str
+    __slots__ = ("latency", "level")
+
+    def __init__(self, latency: float, level: str) -> None:
+        self.latency = latency
+        self.level = level
 
     @property
     def hit(self) -> bool:
         """Whether a constant load hit in the L1."""
         return self.level == "l1"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemResult):
+            return NotImplemented
+        return (self.latency, self.level) == (other.latency, other.level)
+
+    def __hash__(self) -> int:
+        return hash((self.latency, self.level))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemResult(latency={self.latency!r}, level={self.level!r})"
 
 
 # ----------------------------------------------------------------------

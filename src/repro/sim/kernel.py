@@ -2,8 +2,9 @@
 
 A kernel is a Python generator function executed at *warp* granularity —
 one generator instance per warp, mirroring how the paper's CUDA kernels
-are reasoned about (SIMT lanes only matter for memory coalescing, which
-is expressed through per-thread address tuples in the ISA).
+(Sections 4-7) are reasoned about (SIMT lanes only matter for memory
+coalescing, which is expressed through per-thread address tuples in the
+ISA).
 
 .. code-block:: python
 
@@ -64,7 +65,7 @@ class KernelConfig:
         return self.registers_per_thread * self.block_threads
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockRecord:
     """Observable placement/timing facts about one thread block.
 
@@ -86,6 +87,10 @@ class Kernel:
     state of one launch.  Reuse the body/config to build a fresh one per
     launch (they are cheap).
     """
+
+    __slots__ = ("fn", "config", "args", "name", "context", "out",
+                 "block_records", "kernel_id", "submit_cycle",
+                 "complete_cycle", "_blocks_done", "_on_complete")
 
     _next_id = 0
 
@@ -143,7 +148,7 @@ class Kernel:
                 f"threads={self.config.block_threads}, ctx={self.context})")
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpContext:
     """Execution context handed to each warp's generator.
 

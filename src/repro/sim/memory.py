@@ -37,6 +37,9 @@ ATOMIC_SEGMENT_OVERHEAD = 4.0
 class GlobalMemory:
     """Device-wide global memory shared by all SMs."""
 
+    __slots__ = ("spec", "channels", "atomic_units", "_words",
+                 "load_transactions", "atomic_ops", "obs")
+
     def __init__(self, spec: MemorySpec) -> None:
         self.spec = spec
         self.channels = [
@@ -102,7 +105,8 @@ class GlobalMemory:
         finish = now
         for segment, seg_addrs in self._segments(addrs).items():
             unit = self._unit_for(segment)
-            unique_ops = len(set(seg_addrs))
+            unique_addrs = set(seg_addrs)
+            unique_ops = len(unique_addrs)
             occupancy = (unique_ops * self.spec.atomic_service
                          + ATOMIC_SEGMENT_OVERHEAD)
             start = unit.acquire(now, occupancy)
@@ -110,7 +114,7 @@ class GlobalMemory:
                 finish, start + occupancy + self.spec.transaction_cycles
             )
             self.atomic_ops += unique_ops
-            for a in set(seg_addrs):
+            for a in unique_addrs:
                 self._words[a // 4] += 1
             if obs is not None and obs.metrics_on:
                 reg = obs.registry

@@ -1,7 +1,9 @@
 """Contended-resource primitives.
 
 Contention channels are, at bottom, queueing at bounded hardware
-resources.  Two primitives cover everything in the paper:
+resources.  Two primitives cover everything in the paper (cache ports
+in Section 5, functional units in Section 6, atomic units in
+Section 7):
 
 * :class:`PipelinedPort` — a resource that accepts a new request every
   ``occupancy`` cycles but whose results return ``latency`` cycles later

@@ -1,12 +1,26 @@
-"""Streaming Multiprocessor model.
+"""Streaming Multiprocessor model (paper §5 SM contention, §4 caches).
 
 Each SM owns: its resident-block resource accounting (threads, warps,
-blocks, shared memory, registers), a constant L1 cache, one functional
-unit bank per warp scheduler, a shared-memory port, and the warp driver
-that steps kernel-body generators through the discrete-event engine.
+blocks, shared memory, registers), a constant L1 cache (§4.1), one
+functional unit bank per warp scheduler (the §5 per-scheduler contention
+domains), a shared-memory port, and the warp driver that steps
+kernel-body generators through the discrete-event engine.
 
 Warp→scheduler assignment is round-robin (the Section 3.1 reverse
 engineering result); the Section 9 mitigation can switch it to random.
+
+Two warp drivers coexist:
+
+* :meth:`SM._step_warp` — the reference driver: one heap event per
+  instruction (``Device(engine="events")`` and ``engine="tick"``).
+* :meth:`SM._drive_warp_fast` — the cycle-skipping driver
+  (``engine="fast"``, the default): while no other event is due before
+  the current instruction's completion, the warp's generator is driven
+  inline and the clock jumps straight to each finish time, skipping the
+  heap entirely.  The deferral condition (next heap event at a time
+  ``<= finish``) preserves the engine's exact FIFO-among-equals event
+  order, so both drivers produce bit-identical timing — guarded by
+  ``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from repro.arch.specs import GPUSpec
 from repro.obs.core import CacheAccess
 from repro.sim import isa
 from repro.sim.cache import ConstCache
+from repro.sim.engine import SimulationError
 from repro.sim.functional_units import SchedulerFuBank, make_shared_banks
 from repro.sim.kernel import Kernel, WarpContext
 from repro.sim.resources import PipelinedPort
@@ -32,11 +47,24 @@ CLOCK_READ_COST = 2.0
 class SM:
     """One streaming multiprocessor."""
 
+    __slots__ = ("device", "spec", "sm_id", "l1", "fu_banks",
+                 "shared_port", "instr_counter", "resident_blocks",
+                 "used_threads", "used_warps", "used_shared",
+                 "used_registers", "_warp_rr", "_device_info")
+
     def __init__(self, device: Any, sm_id: int,
                  isolated_fu_banks: bool = True) -> None:
         self.device = device
         self.spec: GPUSpec = device.spec
         self.sm_id = sm_id
+        #: Shared, read-only device_info dict handed to every
+        #: WarpContext (hoisted out of the per-warp start path).
+        self._device_info = {
+            "clock_mhz": self.spec.clock_mhz,
+            "n_sms": self.spec.n_sms,
+            "warp_schedulers": self.spec.warp_schedulers,
+            "name": self.spec.name,
+        }
         self.l1 = ConstCache(self.spec.const_l1, name=f"sm{sm_id}.constL1",
                              partition_fn=device.cache_partition_fn)
         if isolated_fu_banks:
@@ -170,17 +198,19 @@ class SM:
             warp_in_block=warp.warp_in_block,
             smid=self.sm_id,
             resident_warp_slot=self.used_warps - 1,
-            device_info={
-                "clock_mhz": self.spec.clock_mhz,
-                "n_sms": self.spec.n_sms,
-                "warp_schedulers": self.spec.warp_schedulers,
-                "name": self.spec.name,
-            },
+            device_info=self._device_info,
         )
         warp.gen = warp.kernel.fn(ctx)
         # The first step happens "now" — warps begin executing as soon
         # as the block lands on the SM.
-        self.device.engine.schedule(0.0, lambda: self._step_warp(warp, block, None))
+        if self.device._fast_warps:
+            def resume() -> None:
+                self._drive_warp_fast(warp, block)
+            warp.resume = resume
+            self.device.engine.schedule(0.0, resume)
+        else:
+            self.device.engine.schedule(
+                0.0, lambda: self._step_warp(warp, block, None))
 
     def _step_warp(self, warp: Warp, block: ResidentBlock,
                    result: Any) -> None:
@@ -197,6 +227,136 @@ class SM:
         self.device.engine.schedule_at(
             finish, lambda: self._step_warp(warp, block, res)
         )
+
+    def _drive_warp_fast(self, warp: Warp, block: ResidentBlock) -> None:
+        """Drive a warp's generator inline until the heap interferes.
+
+        The cycle-skipping burst loop: after executing an instruction
+        that completes at ``finish``, if the next heap event is due
+        *after* ``finish`` (and ``finish`` is within the engine's run
+        horizon), the clock jumps straight to ``finish`` and the same
+        generator is resumed inline — no heap push/pop, no per-step
+        closure.  Otherwise the continuation is deferred to the heap at
+        ``finish``, which reproduces the reference driver's event order
+        exactly: any event already queued at the same timestamp carries
+        a lower sequence number and therefore runs first in both modes.
+
+        Inline steps are charged to ``events_executed`` so the event
+        budget (runaway-kernel protection) and observability snapshots
+        agree with the reference engines.
+        """
+        if warp.cancelled:
+            return
+        device = self.device
+        engine = device.engine
+        heap = engine._heap
+        horizon = engine._horizon
+        max_events = engine._max_events
+        send = warp.gen.send
+        result = warp.pending
+        # Tracing/metrics keep firing identically on the fast path: the
+        # burst simply routes each instruction through the same
+        # _execute() wrapper the reference driver uses.
+        plain = self.instr_counter is None and not device.obs.trace_on
+        l1 = self.l1
+        l1_port = l1.port
+        l1_pc = l1.spec.port_cycles
+        l1_hl = l1.spec.hit_latency
+        l2 = device.const_l2
+        l2_port = l2.port
+        l2_pc = l2.spec.port_cycles
+        l2_hl = l2.spec.hit_latency
+        mem_lat = self.spec.const_mem_latency
+        bank = self.fu_banks[warp.scheduler_id]
+        issue_port = bank.issue_port
+        issue_interval = bank._issue_interval
+        clock_read = device.clock.read
+        ctx_id = warp.kernel.context
+        mem_result = isa.MemResult
+        const_load = isa.ConstLoad
+        fu_op = isa.FuOp
+        read_clock = isa.ReadClock
+        sleep = isa.Sleep
+
+        while True:
+            try:
+                instr = send(result)
+            except StopIteration:
+                warp.done = True
+                if block.warp_finished():
+                    self._retire_block(block)
+                return
+            now = engine.now
+            if plain:
+                cls = instr.__class__
+                if cls is const_load:
+                    addr = instr.addr
+                    free = l1_port.free_at
+                    start1 = now if now > free else free
+                    l1_port.free_at = start1 + l1_pc
+                    l1_port.busy_cycles += l1_pc
+                    l1_port.requests += 1
+                    l1_hit = l1.access(addr, ctx_id)
+                    if l1.trace is not None:
+                        l1.trace.append(CacheAccess(
+                            now, l1.set_of(addr, ctx_id), ctx_id, l1_hit))
+                    if l1_hit:
+                        finish = start1 + l1_hl
+                        res = mem_result(finish - now, "l1")
+                    else:
+                        free = l2_port.free_at
+                        start2 = start1 if start1 > free else free
+                        l2_port.free_at = start2 + l2_pc
+                        l2_port.busy_cycles += l2_pc
+                        l2_port.requests += 1
+                        l2_hit = l2.access(addr, ctx_id)
+                        if l2.trace is not None:
+                            l2.trace.append(CacheAccess(
+                                now, l2.set_of(addr, ctx_id), ctx_id,
+                                l2_hit))
+                        if l2_hit:
+                            finish = start2 + l2_hl
+                            res = mem_result(finish - now, "l2")
+                        else:
+                            finish = start2 + mem_lat
+                            res = mem_result(finish - now, "mem")
+                elif cls is fu_op:
+                    finish = bank.execute_chain(now, instr.op, instr.count)
+                    res = None
+                elif cls is read_clock:
+                    free = issue_port.free_at
+                    start = now if now > free else free
+                    issue_port.free_at = start + issue_interval
+                    issue_port.busy_cycles += issue_interval
+                    issue_port.requests += 1
+                    finish = start + issue_interval
+                    floor = now + CLOCK_READ_COST
+                    if floor > finish:
+                        finish = floor
+                    res = clock_read(finish)
+                elif cls is sleep:
+                    finish = now + instr.cycles
+                    res = None
+                else:
+                    finish, res = self._execute_instr(warp, block, instr,
+                                                      now)
+            else:
+                finish, res = self._execute(warp, block, instr)
+            if (heap and heap[0][0] <= finish) or finish > horizon:
+                warp.pending = res
+                engine.schedule_at(finish, warp.resume)
+                return
+            # Cycle-skip: jump the clock to the completion time and keep
+            # driving the same warp inline.
+            engine.now = finish
+            count = engine._event_count + 1
+            engine._event_count = count
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a runaway kernel or protocol livelock"
+                )
+            result = res
 
     # ------------------------------------------------------------------
     # Instruction execution

@@ -18,6 +18,8 @@ from repro.sim.kernel import Kernel
 class Stream:
     """An in-order launch queue sharing the device with other streams."""
 
+    __slots__ = ("device", "stream_id", "_tail")
+
     def __init__(self, device: Any, stream_id: int) -> None:
         self.device = device
         self.stream_id = stream_id

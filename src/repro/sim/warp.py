@@ -3,7 +3,9 @@
 A :class:`Warp` binds one generator instance of a kernel body to the SM
 and warp scheduler it was assigned to; a :class:`ResidentBlock` tracks
 the warps of one placed thread block so the SM can retire it (and free
-its resources) when the last warp finishes.
+its resources) when the last warp finishes.  Warp-to-scheduler
+assignment is the co-residency lever of the paper's SM channels
+(Sections 3.1 and 6).
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ class Warp:
     """One resident warp: a kernel-body generator plus its placement."""
 
     __slots__ = ("kernel", "block_idx", "warp_in_block", "sm_id",
-                 "scheduler_id", "gen", "done", "cancelled")
+                 "scheduler_id", "gen", "done", "cancelled",
+                 "resume", "pending")
 
     def __init__(self, kernel: Kernel, block_idx: int, warp_in_block: int,
                  sm_id: int, scheduler_id: int) -> None:
@@ -31,6 +34,11 @@ class Warp:
         #: Set when the block is preempted (SMK policy); pending events
         #: for a cancelled warp become no-ops.
         self.cancelled = False
+        #: Fast-path resume closure, created once per warp by the SM
+        #: (instead of a fresh lambda per instruction), and the
+        #: instruction result it will feed back into the generator.
+        self.resume = None
+        self.pending = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Warp({self.kernel.name}, blk={self.block_idx}, "

@@ -1,0 +1,65 @@
+"""Pin the CLI's default output locations against the documentation.
+
+docs/observability.md and docs/runner.md state where ``repro trace``,
+``repro stats`` and the result cache put their files by default; these
+tests keep the code, the ``--help`` text and the docs telling the same
+story (the three previously disagreed on the cache-root resolution
+order).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.cli import build_parser, main
+from repro.runner.cache import default_cache_dir
+
+
+def test_cache_dir_resolution_order(monkeypatch, tmp_path):
+    # 1. $REPRO_CACHE_DIR wins outright.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "override"
+    # 2. Then $XDG_CACHE_HOME/repro.
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir() == tmp_path / "xdg" / "repro"
+    # 3. Finally ~/.cache/repro.
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    assert default_cache_dir() == Path.home() / ".cache" / "repro"
+
+
+def test_cache_dir_help_matches_resolution_order():
+    # Every --cache-dir flag must describe the full three-step
+    # resolution order the code implements.
+    parser = build_parser()
+    helps = []
+    for group in parser._subparsers._group_actions:
+        for sub in group.choices.values():
+            for action in sub._actions:
+                if "--cache-dir" in action.option_strings:
+                    helps.append(action.help)
+    assert helps, "no --cache-dir flags found"
+    for text in helps:
+        assert "$REPRO_CACHE_DIR" in text
+        assert "$XDG_CACHE_HOME/repro" in text
+        assert "~/.cache/repro" in text
+
+
+def test_trace_default_out_is_cwd_trace_json():
+    parser = build_parser()
+    args = parser.parse_args(["trace"])
+    assert args.out == "trace.json"
+
+
+def test_stats_writes_no_file_without_out(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["stats", "sync-l1", "--bits", "4"]) == 0
+    assert capsys.readouterr().out  # table went to stdout...
+    assert os.listdir(tmp_path) == []  # ...and nothing hit the disk
+
+
+def test_trace_writes_default_file_in_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "--bits", "4"]) == 0
+    assert (tmp_path / "trace.json").is_file()

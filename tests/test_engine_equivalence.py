@@ -1,0 +1,292 @@
+"""Differential tests: the fast engine vs the reference engines.
+
+The cycle-skipping fast path (``Device(engine="fast")``) must be
+*bit-identical* to the per-instruction event engine (``"events"``) and
+to the cycle-by-cycle tick oracle (``"tick"``) in every observable:
+``clock()`` traces, kernel outputs, block placement/timing records,
+cache hit/miss counts, port statistics, final simulated time and even
+``events_executed``.  These tests run identical workloads through the
+modes on all three GPU specs and require exact equality — no
+tolerances — plus a hypothesis property test over randomized kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.specs import all_specs, get_spec
+from repro.channels.l1_cache import L1CacheChannel
+from repro.channels.l2_cache import L2CacheChannel
+from repro.sim import isa
+from repro.sim.engine import DeadlockError, Engine, TickEngine
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+
+SPEC_NAMES = ["fermi", "kepler", "maxwell"]
+
+
+def device_fingerprint(device, kernels=()):
+    """Everything observable about a finished run, exactly comparable."""
+    return {
+        "now": device.engine.now,
+        "events": device.engine.events_executed,
+        "pending": device.engine.pending_events,
+        "l2": (device.const_l2.hits, device.const_l2.misses,
+               device.const_l2.port.busy_cycles,
+               device.const_l2.port.requests),
+        "l1": [(sm.l1.hits, sm.l1.misses) for sm in device.sms],
+        "outs": [k.out for k in kernels],
+        "blocks": [
+            [(r.smid, r.start_cycle, r.stop_cycle)
+             for r in k.block_records]
+            for k in kernels
+        ],
+        "complete": [k.complete_cycle for k in kernels],
+    }
+
+
+# ----------------------------------------------------------------------
+# Cache channels: the paper-profile workloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gpu", SPEC_NAMES)
+def test_l2_channel_fast_vs_events(gpu):
+    bits = [1, 0, 1, 1, 0, 0, 1, 0] * 3
+    prints = {}
+    for mode in ("fast", "events"):
+        device = Device(get_spec(gpu), seed=3, engine=mode)
+        result = L2CacheChannel(device).transmit(bits)
+        prints[mode] = (result.ber, result.received,
+                        device_fingerprint(device))
+    assert prints["fast"] == prints["events"]
+
+
+@pytest.mark.parametrize("gpu", SPEC_NAMES)
+def test_l2_channel_fast_vs_tick(gpu):
+    # The tick oracle visits every simulated cycle, so keep the
+    # message short; identity must still be exact.
+    bits = [1, 0, 0, 1]
+    prints = {}
+    for mode in ("fast", "tick"):
+        device = Device(get_spec(gpu), seed=5, engine=mode)
+        result = L2CacheChannel(device).transmit(bits)
+        prints[mode] = (result.ber, result.received,
+                        device_fingerprint(device))
+    assert prints["fast"] == prints["tick"]
+
+
+def test_l1_channel_three_modes_kepler():
+    bits = [1, 1, 0, 1, 0, 0]
+    prints = {}
+    for mode in ("fast", "events", "tick"):
+        device = Device(get_spec("kepler"), seed=11, engine=mode)
+        result = L1CacheChannel(device).transmit(bits)
+        prints[mode] = (result.ber, result.received,
+                        device_fingerprint(device))
+    assert prints["fast"] == prints["events"] == prints["tick"]
+
+
+# ----------------------------------------------------------------------
+# Mixed-ISA workload: every instruction kind, multiple warps and blocks
+# ----------------------------------------------------------------------
+def _mixed_body(ctx):
+    t0 = yield isa.ReadClock()
+    base = 512 * (ctx.global_warp_index % 4)
+    for k in range(3):
+        r = yield isa.ConstLoad(base + 64 * k)
+        ctx.out.setdefault("levels", []).append(r.level)
+    yield isa.FuOp("fadd", count=2)
+    yield isa.FuOp("sinf")
+    yield isa.Sleep(17.0)
+    r = yield isa.GlobalLoad([base, base + 256, base + 4096])
+    ctx.out.setdefault("glat", []).append(r.latency)
+    yield isa.GlobalStore([base])
+    r = yield isa.GlobalAtomic([base + 32 * t for t in range(8)])
+    ctx.out.setdefault("alat", []).append(r.latency)
+    yield isa.SharedAccess(bank_conflicts=2)
+    yield isa.SharedStoreVar("x", ctx.warp_in_block)
+    v = yield isa.SharedAtomicAdd("x", 3)
+    ctx.out.setdefault("shared", []).append(v)
+    t1 = yield isa.ReadClock()
+    ctx.out.setdefault("dt", []).append(t1 - t0)
+
+
+def _run_mixed(spec, mode):
+    device = Device(spec, seed=7, engine=mode)
+    s1, s2 = device.stream(), device.stream()
+    ka = s1.launch(Kernel(_mixed_body, KernelConfig(grid=3,
+                                                    block_threads=64),
+                          name="a", context=0))
+    kb = s2.launch(Kernel(_mixed_body, KernelConfig(grid=2,
+                                                    block_threads=96),
+                          name="b", context=1))
+    device.synchronize()
+    return device_fingerprint(device, [ka, kb])
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=SPEC_NAMES)
+def test_mixed_isa_three_modes(spec):
+    fast = _run_mixed(spec, "fast")
+    assert fast == _run_mixed(spec, "events")
+    assert fast == _run_mixed(spec, "tick")
+
+
+# ----------------------------------------------------------------------
+# Bounded runs: run(until=...) must leave identical partial state
+# ----------------------------------------------------------------------
+def _until_state(mode, until):
+    device = Device(get_spec("kepler"), seed=2, engine=mode)
+    k = device.stream().launch(
+        Kernel(_mixed_body, KernelConfig(grid=2, block_threads=64),
+               name="partial"))
+    device.engine.run(until=until)
+    heap_times = sorted(t for t, _, _ in device.engine._heap)
+    return (device.engine.now, device.engine.events_executed,
+            heap_times, device_fingerprint(device, [k]))
+
+
+def test_run_until_partial_state_identical():
+    # Stop mid-kernel: the fast path must not have burst past the
+    # bound, and the deferred continuations must sit at exactly the
+    # times the reference engine would have them at.
+    for until in (10500.0, 11000.0, 12000.0):
+        assert _until_state("fast", until) == _until_state("events", until)
+
+
+# ----------------------------------------------------------------------
+# Deadlock and host-wait parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["fast", "events"])
+def test_deadlock_on_unlaunched_kernel(mode):
+    device = Device(get_spec("kepler"), seed=0, engine=mode)
+    orphan = Kernel(_mixed_body, KernelConfig(grid=1), name="orphan")
+    with pytest.raises(DeadlockError):
+        device.synchronize(kernels=[orphan])
+
+
+def test_host_wait_parity():
+    states = {}
+    for mode in ("fast", "events"):
+        device = Device(get_spec("kepler"), seed=0, engine=mode)
+        device.host_wait(123.5)
+        states[mode] = (device.engine.now,
+                        device.engine.events_executed)
+    assert states["fast"] == states["events"]
+
+
+# ----------------------------------------------------------------------
+# Engine-mode plumbing
+# ----------------------------------------------------------------------
+def test_engine_mode_selection(monkeypatch):
+    assert isinstance(Device(get_spec("kepler")).engine, Engine)
+    assert isinstance(Device(get_spec("kepler"), engine="tick").engine,
+                      TickEngine)
+    assert Device(get_spec("kepler")).engine_mode == "fast"
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "events")
+    assert Device(get_spec("kepler")).engine_mode == "events"
+    # An explicit argument wins over the environment.
+    assert Device(get_spec("kepler"),
+                  engine="fast").engine_mode == "fast"
+    with pytest.raises(ValueError):
+        Device(get_spec("kepler"), engine="warp9")
+
+
+def test_tracing_disables_burst_but_not_correctness():
+    # With the engine sampler installed the device falls back to the
+    # reference driver; results must match a fast-mode run exactly.
+    from repro.obs.core import ObserveConfig
+    bits = [1, 0, 1, 0]
+    traced = Device(get_spec("kepler"), seed=9,
+                    observe=ObserveConfig(trace=True,
+                                          engine_sample_every=64))
+    assert not traced._fast_warps
+    r_traced = L2CacheChannel(traced).transmit(bits)
+    plain = Device(get_spec("kepler"), seed=9)
+    assert plain._fast_warps
+    r_plain = L2CacheChannel(plain).transmit(bits)
+    assert r_traced.received == r_plain.received
+    assert traced.engine.now == plain.engine.now
+    assert traced.engine.events_executed == plain.engine.events_executed
+
+
+def test_tick_engine_visits_every_cycle():
+    eng = TickEngine()
+    fired = []
+    eng.schedule(5.25, lambda: fired.append(eng.now))
+    steps = 0
+    while eng.step():
+        steps += 1
+    assert fired == [5.25]
+    # 5 idle whole-cycle ticks (1..5) plus the event itself, and idle
+    # ticks are not charged to the event counter.
+    assert steps == 6
+    assert eng.events_executed == 1
+    assert eng.now == 5.25
+    assert math.floor(eng.now) + 1.0 == 6.0
+
+
+# ----------------------------------------------------------------------
+# Property test: random kernels agree across engines (satellite)
+# ----------------------------------------------------------------------
+_OPS = ("fadd", "fmul", "sinf", "iadd")
+
+
+def _random_body(instrs):
+    def body(ctx):
+        for kind, arg in instrs:
+            if kind == "const":
+                r = yield isa.ConstLoad(arg)
+                ctx.out.setdefault("hits", []).append(r.hit)
+            elif kind == "fu":
+                yield isa.FuOp(_OPS[arg % len(_OPS)])
+            elif kind == "clock":
+                t = yield isa.ReadClock()
+                ctx.out.setdefault("clocks", []).append(t)
+            elif kind == "sleep":
+                yield isa.Sleep(float(arg))
+            elif kind == "gload":
+                yield isa.GlobalLoad([arg * 8, arg * 8 + 256])
+            elif kind == "atomic":
+                yield isa.GlobalAtomic([arg * 4])
+            else:  # shared
+                yield isa.SharedAtomicAdd("v", 1)
+    return body
+
+
+_INSTR = st.tuples(
+    st.sampled_from(["const", "fu", "clock", "sleep", "gload",
+                     "atomic", "shared"]),
+    st.integers(min_value=0, max_value=4095),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    gpu=st.sampled_from(SPEC_NAMES),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    instrs_a=st.lists(_INSTR, min_size=1, max_size=24),
+    instrs_b=st.lists(_INSTR, min_size=1, max_size=24),
+    grid_a=st.integers(min_value=1, max_value=3),
+    threads_b=st.sampled_from([32, 64, 128]),
+)
+def test_random_kernels_fast_equals_events(gpu, seed, instrs_a,
+                                           instrs_b, grid_a, threads_b):
+    """Final clock, per-warp retire times and cache hits always agree."""
+    spec = get_spec(gpu)
+    prints = {}
+    for mode in ("fast", "events"):
+        device = Device(spec, seed=seed, engine=mode)
+        ka = device.stream().launch(
+            Kernel(_random_body(instrs_a),
+                   KernelConfig(grid=grid_a, block_threads=64),
+                   name="a", context=0))
+        kb = device.stream().launch(
+            Kernel(_random_body(instrs_b),
+                   KernelConfig(grid=2, block_threads=threads_b),
+                   name="b", context=1))
+        device.synchronize()
+        prints[mode] = device_fingerprint(device, [ka, kb])
+    assert prints["fast"] == prints["events"]
