@@ -89,12 +89,19 @@ def check(m: dict) -> None:
         f"warm replay must be >={WARM_SPEEDUP}x faster than cold "
         f"(cold {m['t_cold']:.2f}s, warm {m['t_warm']:.2f}s)")
     cores = os.cpu_count() or 1
-    if m["jobs"] >= 4 and cores >= 4:
+    if cores < 2:
+        # Degrade gracefully instead of asserting a speedup the
+        # hardware cannot produce: a pool of workers sharing one core
+        # runs the same simulations with extra IPC on top.
+        print(f"skipping pool-speedup gate: os.cpu_count()={cores} "
+              f"(< 2 cores; a worker pool cannot beat serial on a "
+              f"single-core machine)")
+    elif m["jobs"] >= 4 and cores >= 4:
         assert m["t_serial"] / m["t_cold"] >= 2.0, (
             f"jobs={m['jobs']} cold sweep must be >=2x faster than "
             f"serial on {cores} cores (serial {m['t_serial']:.2f}s, "
             f"cold {m['t_cold']:.2f}s)")
-    elif m["jobs"] >= 2 and cores >= 2:
+    elif m["jobs"] >= 2:
         assert m["t_serial"] / m["t_cold"] >= 1.2
 
 

@@ -1,0 +1,161 @@
+"""Snapshot warm-reuse benchmark — forked replay vs cold sweeps.
+
+Runs the paper-profile Figure 5 L1 iteration sweep three ways:
+
+* **cold** — no snapshot store; every point simulates from scratch on a
+  fork of a pristine baseline device (the default sweep path);
+* **populate** — first run against an empty
+  :class:`~repro.runner.SnapshotStore`: same simulations, plus each
+  point's end-state snapshot and payload persisted to disk;
+* **warm** — the same sweep again: every point is replayed from the
+  store after a fingerprint-verified fork of its stored end state, so
+  no channel simulation runs at all.
+
+Asserts the acceptance claims: all three produce bit-identical sweep
+points, the warm run replays every point from the store, and warm is
+at least :data:`WARM_SPEEDUP` faster than cold.
+
+Run under pytest with ``pytest benchmarks/bench_snapshot.py
+--benchmark-only``, or standalone (nightly CI) with
+``python -m benchmarks.bench_snapshot [--json out.json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Optional
+
+from benchmarks.support import report, run_once
+from repro.analysis.sweeps import ber_vs_bandwidth
+from repro.arch import KEPLER_K40C
+from repro.channels import L1CacheChannel
+from repro.runner import SnapshotStore
+
+#: Minimum warm-over-cold speedup the snapshot store must deliver.
+WARM_SPEEDUP = 2.0
+
+#: Paper-profile Figure 5 L1 sweep (same points as the golden suite).
+ITERATIONS = [20, 12, 8, 5, 3, 2]
+N_BITS = 48
+SEED = 5
+
+
+def _factory(device, iterations):
+    return L1CacheChannel(device, iterations=iterations)
+
+
+def _sweep(store: Optional[SnapshotStore] = None):
+    points = ber_vs_bandwidth(KEPLER_K40C, _factory, ITERATIONS,
+                              n_bits=N_BITS, seed=SEED,
+                              snapshots=store,
+                              snapshot_tag="bench_snapshot/l1")
+    return [[p.iterations, p.bandwidth_kbps, p.ber] for p in points]
+
+
+def measure(cache_dir: Optional[str] = None) -> dict:
+    """Time the sweep cold, populating, and warm; keep all results."""
+    m: dict = {"workload": "ber_vs_bandwidth/l1", "gpu": "kepler",
+               "bits": N_BITS, "seed": SEED,
+               "points": len(ITERATIONS)}
+    start = time.perf_counter()
+    m["result_cold"] = _sweep()
+    m["t_cold"] = time.perf_counter() - start
+
+    tmp = cache_dir or tempfile.mkdtemp(prefix="repro-bench-snap-")
+    owns_tmp = cache_dir is None
+    try:
+        store = SnapshotStore(tmp)
+        start = time.perf_counter()
+        m["result_populate"] = _sweep(store)
+        m["t_populate"] = time.perf_counter() - start
+
+        warm_store = SnapshotStore(tmp)  # fresh hit/miss counters
+        start = time.perf_counter()
+        m["result_warm"] = _sweep(warm_store)
+        m["t_warm"] = time.perf_counter() - start
+        m["warm_hits"] = warm_store.hits
+        m["warm_misses"] = warm_store.misses
+    finally:
+        if owns_tmp:
+            shutil.rmtree(tmp, ignore_errors=True)
+    m["speedup"] = m["t_cold"] / m["t_warm"]
+    return m
+
+
+def check(m: dict) -> None:
+    """Assert the identity and speed claims on a measurement."""
+    assert m["result_populate"] == m["result_cold"], (
+        "populating the store changed the sweep results: "
+        f"{m['result_populate']} != {m['result_cold']}")
+    assert m["result_warm"] == m["result_cold"], (
+        "warm replay diverged from the cold sweep: "
+        f"{m['result_warm']} != {m['result_cold']}")
+    assert m["warm_hits"] == m["points"] and m["warm_misses"] == 0, (
+        f"warm sweep must replay every point from the store "
+        f"(hits {m['warm_hits']}/{m['points']}, "
+        f"misses {m['warm_misses']})")
+    assert m["speedup"] >= WARM_SPEEDUP, (
+        f"warm replay only {m['speedup']:.1f}x over cold "
+        f"(cold {m['t_cold']:.2f}s, warm {m['t_warm']:.3f}s; "
+        f"floor {WARM_SPEEDUP}x)")
+
+
+def _rows(m: dict):
+    return [
+        ["cold (no store)", f"{1e3 * m['t_cold']:.1f}", "-"],
+        ["populate (store empty)", f"{1e3 * m['t_populate']:.1f}",
+         f"{m['points']} stored"],
+        ["warm (forked replay)", f"{1e3 * m['t_warm']:.1f}",
+         f"{m['warm_hits']} replayed"],
+    ]
+
+
+def bench_snapshot(benchmark):
+    m = run_once(benchmark, measure)
+    report(
+        benchmark,
+        f"Snapshot reuse on the Figure 5 L1 sweep "
+        f"(Kepler, {m['points']} points x {N_BITS} bits)",
+        ["sweep", "wall ms", "store"],
+        _rows(m),
+        extra={
+            "speedup": m["speedup"],
+            "t_cold_s": m["t_cold"],
+            "t_populate_s": m["t_populate"],
+            "t_warm_s": m["t_warm"],
+        },
+    )
+    check(m)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="snapshot warm-reuse benchmark (nightly CI)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the measurement dict as JSON")
+    args = parser.parse_args(argv)
+    m = measure()
+    for row in _rows(m):
+        print("  ".join(str(cell) for cell in row))
+    print(f"warm speedup: {m['speedup']:.1f}x "
+          f"(required >={WARM_SPEEDUP}x)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(m, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    try:
+        check(m)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Benchmark trajectory: one committed JSON point per PR.
+
+``BENCH_<n>.json`` at the repo root records, for each tracked
+benchmark, its wall time and its headline speedup::
+
+    {
+        "engine":   {"wall_s": 0.41, "speedup": 58.3},
+        "runner":   {"wall_s": 12.7, "speedup": 31.2},
+        "snapshot": {"wall_s": 1.21, "speedup": 83.1}
+    }
+
+* ``engine`` — fast-engine wall time on the paper-profile L2 channel;
+  speedup over the cycle-by-cycle ``tick`` oracle
+  (:mod:`benchmarks.bench_engine`);
+* ``runner`` — cold pooled registry sweep wall time; warm cache-replay
+  speedup (:mod:`benchmarks.bench_runner`);
+* ``snapshot`` — cold Figure 5 L1 sweep wall time; warm forked-replay
+  speedup through the snapshot store
+  (:mod:`benchmarks.bench_snapshot`).
+
+The nightly CI job regenerates the same artifact from the benches'
+``--json`` outputs::
+
+    python -m benchmarks.bench_engine   --json engine.json
+    python -m benchmarks.bench_runner   --json runner.json
+    python -m benchmarks.bench_snapshot --json snapshot.json
+    python -m benchmarks.trajectory --engine engine.json \
+        --runner runner.json --snapshot snapshot.json --out BENCH.json
+
+Standalone with no source files it runs the three benchmarks itself
+(slow: includes one tick-oracle pass and three registry sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional
+
+
+def _entry(wall_s: float, speedup: float) -> dict:
+    return {"wall_s": round(float(wall_s), 4),
+            "speedup": round(float(speedup), 2)}
+
+
+def from_engine(m: dict) -> dict:
+    """Trajectory entry from a ``bench_engine`` measurement dict."""
+    return _entry(m["t_fast"], m["speedup_vs_tick"])
+
+
+def from_runner(m: dict) -> dict:
+    """Trajectory entry from a ``bench_runner`` measurement/summary."""
+    speedup = m.get("warm_speedup")
+    if speedup is None:
+        speedup = m["t_cold"] / m["t_warm"]
+    return _entry(m["t_cold"], speedup)
+
+
+def from_snapshot(m: dict) -> dict:
+    """Trajectory entry from a ``bench_snapshot`` measurement dict."""
+    speedup = m.get("speedup")
+    if speedup is None:
+        speedup = m["t_cold"] / m["t_warm"]
+    return _entry(m["t_cold"], speedup)
+
+
+def _load_or_run(path: Optional[str], measure, convert) -> dict:
+    if path is not None:
+        with open(path, encoding="utf-8") as fh:
+            return convert(json.load(fh))
+    return convert(measure())
+
+
+def build(engine_json: Optional[str] = None,
+          runner_json: Optional[str] = None,
+          snapshot_json: Optional[str] = None) -> dict:
+    """Assemble the trajectory, running any benchmark not given a file."""
+    from benchmarks import bench_engine, bench_runner, bench_snapshot
+    return {
+        "engine": _load_or_run(engine_json, bench_engine.measure,
+                               from_engine),
+        "runner": _load_or_run(runner_json, bench_runner.measure,
+                               from_runner),
+        "snapshot": _load_or_run(snapshot_json, bench_snapshot.measure,
+                                 from_snapshot),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assemble the committed benchmark trajectory")
+    parser.add_argument("--engine", metavar="PATH", default=None,
+                        help="bench_engine --json output (else run it)")
+    parser.add_argument("--runner", metavar="PATH", default=None,
+                        help="bench_runner --json output (else run it)")
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="bench_snapshot --json output (else run it)")
+    parser.add_argument("--out", metavar="PATH", default="BENCH.json",
+                        help="trajectory file to write")
+    args = parser.parse_args(argv)
+    trajectory = build(args.engine, args.runner, args.snapshot)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, entry in sorted(trajectory.items()):
+        print(f"{name:>8}: {entry['wall_s']:.3f}s wall, "
+              f"{entry['speedup']:.1f}x speedup")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,16 +4,26 @@
 iteration count per bit, gain bandwidth, pay bit errors);
 ``bandwidth_by_device`` runs one channel factory across the paper's
 three GPUs for the grouped-bar figures.
+
+Each sweep warms one pristine baseline device per call and forks it
+per point via :meth:`repro.sim.gpu.Device.fork` — bit-identical to
+constructing a fresh device per point (the snapshot test suite pins
+this), but every point becomes a resumable unit: pass ``snapshots=``
+(a :class:`repro.runner.cache.SnapshotStore`) and completed points are
+persisted and replayed on the next invocation after a
+fingerprint-verified fork of their end state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.arch.specs import GPUSpec
 from repro.channels.base import ChannelResult, CovertChannel, random_bits
-from repro.sim.gpu import Device
+from repro.seeds import BER_SWEEP_STRIDE, DEVICE_SWEEP_STRIDE, derive_seed
+from repro.sim.gpu import Device, resolve_engine_mode
+from repro.sim.snapshot import memoized_point
 
 #: Builds a fresh channel on a fresh device for one sweep point.
 ChannelFactory = Callable[[Device], CovertChannel]
@@ -28,38 +38,90 @@ class SweepPoint:
     ber: float
 
 
+def _callable_tag(fn: Callable) -> str:
+    """Default snapshot-tag component naming a channel factory.
+
+    Lambdas from different call sites can share a qualname; callers
+    memoizing more than one factory per ``(spec, seed)`` should pass an
+    explicit ``snapshot_tag`` instead (``figures.fig5_data`` does).
+    """
+    return (f"{getattr(fn, '__module__', '?')}"
+            f".{getattr(fn, '__qualname__', repr(fn))}")
+
+
 def ber_vs_bandwidth(spec: GPUSpec,
                      factory: Callable[[Device, int], CovertChannel],
                      iterations_list: Sequence[int], *,
                      n_bits: int = 64,
-                     seed: int = 0) -> List[SweepPoint]:
+                     seed: int = 0,
+                     snapshots=None,
+                     snapshot_tag: Optional[str] = None
+                     ) -> List[SweepPoint]:
     """Sweep iterations-per-bit; returns (iterations, bandwidth, BER).
 
     ``factory(device, iterations)`` must build the channel under test.
-    Each point runs on a fresh device so cache and queue state cannot
-    leak between configurations.
+    Each point runs on a private fork of one pristine baseline, reseeded
+    per point, so cache and queue state cannot leak between
+    configurations.  With ``snapshots=`` set, finished points are
+    persisted and replayed across invocations.
     """
     points: List[SweepPoint] = []
     bits = random_bits(n_bits, seed=seed)
+    engine = resolve_engine_mode()
+    tag_root = snapshot_tag if snapshot_tag is not None \
+        else _callable_tag(factory)
+    baseline = None
     for idx, iters in enumerate(iterations_list):
-        device = Device(spec, seed=seed + 17 * idx + 1)
-        channel = factory(device, iters)
-        result = channel.transmit(bits)
-        points.append(SweepPoint(iterations=iters,
-                                 bandwidth_kbps=result.bandwidth_kbps,
-                                 ber=result.ber))
+        point_seed = derive_seed(seed, BER_SWEEP_STRIDE, idx)
+
+        def run(iters=iters, point_seed=point_seed):
+            nonlocal baseline
+            if baseline is None:
+                baseline = Device(spec, seed=seed).snapshot()
+            device = Device.fork(baseline, seed=point_seed)
+            channel = factory(device, iters)
+            result = channel.transmit(bits)
+            return device, SweepPoint(iterations=iters,
+                                      bandwidth_kbps=result.bandwidth_kbps,
+                                      ber=result.ber)
+
+        key = None
+        if snapshots is not None:
+            from repro.runner.keys import snapshot_key
+            key = snapshot_key(
+                spec, point_seed, engine,
+                f"{tag_root}/ber_vs_bandwidth/{n_bits}/{seed}"
+                f"/{idx}/{iters}")
+        points.append(memoized_point(snapshots, key, run))
     return points
 
 
 def bandwidth_by_device(specs: Sequence[GPUSpec],
                         factory: ChannelFactory, *,
                         n_bits: int = 64,
-                        seed: int = 0) -> Dict[str, ChannelResult]:
+                        seed: int = 0,
+                        snapshots=None,
+                        snapshot_tag: Optional[str] = None
+                        ) -> Dict[str, ChannelResult]:
     """Run one channel configuration on each device; keyed by generation."""
     results: Dict[str, ChannelResult] = {}
+    engine = resolve_engine_mode()
+    tag_root = snapshot_tag if snapshot_tag is not None \
+        else _callable_tag(factory)
     for idx, spec in enumerate(specs):
-        device = Device(spec, seed=seed + 31 * idx + 1)
-        channel = factory(device)
-        results[spec.generation] = channel.transmit_random(n_bits,
-                                                           seed=seed)
+        point_seed = derive_seed(seed, DEVICE_SWEEP_STRIDE, idx)
+
+        def run(spec=spec, point_seed=point_seed):
+            baseline = Device(spec, seed=seed).snapshot()
+            device = Device.fork(baseline, seed=point_seed)
+            channel = factory(device)
+            return device, channel.transmit_random(n_bits, seed=seed)
+
+        key = None
+        if snapshots is not None:
+            from repro.runner.keys import snapshot_key
+            key = snapshot_key(
+                spec, point_seed, engine,
+                f"{tag_root}/bandwidth_by_device/{n_bits}/{seed}/{idx}")
+        results[spec.generation] = memoized_point(snapshots, key, run)
     return results

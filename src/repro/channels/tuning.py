@@ -5,16 +5,22 @@ that will cause observable contention" — the knob behind Figure 5's
 bandwidth/BER trade-off.  :func:`tune_iterations` automates that search:
 it finds the smallest iteration count whose measured BER stays within a
 target, maximizing bandwidth subject to reliability.
+
+Probes run on per-probe forks of one pristine baseline device
+(bit-identical to fresh per-probe construction); pass ``snapshots=`` to
+persist finished probes across invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.arch.specs import GPUSpec
 from repro.channels.base import CovertChannel, random_bits
-from repro.sim.gpu import Device
+from repro.seeds import TUNING_STRIDE, derive_seed
+from repro.sim.gpu import Device, resolve_engine_mode
+from repro.sim.snapshot import memoized_point
 
 #: Builds a channel with a given iteration count on a fresh device.
 IterationsFactory = Callable[[Device, int], CovertChannel]
@@ -47,31 +53,54 @@ class TuningResult:
         return self.best.iterations
 
 
-def _evaluate(spec: GPUSpec, factory: IterationsFactory,
-              iterations: int, n_bits: int, seed: int) -> TuningPoint:
-    device = Device(spec, seed=seed + iterations)
-    channel = factory(device, iterations)
-    result = channel.transmit(random_bits(n_bits, seed=seed))
-    return TuningPoint(iterations=iterations, ber=result.ber,
-                       bandwidth_kbps=result.bandwidth_kbps)
-
-
 def tune_iterations(spec: GPUSpec, factory: IterationsFactory, *,
                     max_iterations: int = 64,
                     target_ber: float = 0.0,
                     n_bits: int = 48,
-                    seed: int = 0) -> TuningResult:
+                    seed: int = 0,
+                    snapshots=None,
+                    snapshot_tag: Optional[str] = None) -> TuningResult:
     """Binary-search the minimum reliable iteration count.
 
     The BER is monotone non-increasing in the iteration count (longer
     windows overlap more reliably), which makes bisection sound; every
-    probe runs on a fresh device so state cannot leak between points.
+    probe runs on a private reseeded fork of one pristine baseline so
+    state cannot leak between points.
     """
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
     evaluated: List[TuningPoint] = []
+    bits = random_bits(n_bits, seed=seed)
+    engine = resolve_engine_mode()
+    if snapshot_tag is None:
+        snapshot_tag = (f"{getattr(factory, '__module__', '?')}"
+                        f".{getattr(factory, '__qualname__', repr(factory))}")
+    baseline = None
 
-    top = _evaluate(spec, factory, max_iterations, n_bits, seed)
+    def probe(iterations: int) -> TuningPoint:
+        probe_seed = derive_seed(seed, TUNING_STRIDE, iterations, offset=0)
+
+        def run():
+            nonlocal baseline
+            if baseline is None:
+                baseline = Device(spec, seed=seed).snapshot()
+            device = Device.fork(baseline, seed=probe_seed)
+            channel = factory(device, iterations)
+            result = channel.transmit(bits)
+            return device, TuningPoint(iterations=iterations,
+                                       ber=result.ber,
+                                       bandwidth_kbps=result.bandwidth_kbps)
+
+        key = None
+        if snapshots is not None:
+            from repro.runner.keys import snapshot_key
+            key = snapshot_key(
+                spec, probe_seed, engine,
+                f"{snapshot_tag}/tune_iterations/{n_bits}/{seed}"
+                f"/{iterations}")
+        return memoized_point(snapshots, key, run)
+
+    top = probe(max_iterations)
     evaluated.append(top)
     if top.ber > target_ber:
         # Even the ceiling is unreliable; report it as-is.
@@ -81,7 +110,7 @@ def tune_iterations(spec: GPUSpec, factory: IterationsFactory, *,
     best = top
     while lo < hi:
         mid = (lo + hi) // 2
-        point = _evaluate(spec, factory, mid, n_bits, seed)
+        point = probe(mid)
         evaluated.append(point)
         if point.ber <= target_ber:
             best = point

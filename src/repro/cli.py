@@ -28,6 +28,9 @@ Commands
     (open in ``chrome://tracing`` or https://ui.perfetto.dev).
 ``stats <channel> [--out metrics.csv]``
     Run one channel with metrics on and print the instrument table.
+``profile fig5 [--top 25] [--trace profile.json]``
+    Run one experiment under cProfile and print the hottest functions;
+    ``--trace`` also exports the ranking as a Chrome trace-event file.
 """
 
 from __future__ import annotations
@@ -324,6 +327,40 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro.experiments import EXPERIMENTS, run_experiment
+    if args.experiment not in EXPERIMENTS:
+        raise CliError(f"unknown experiment {args.experiment!r}; "
+                       f"available: {', '.join(EXPERIMENTS)}")
+    spec = _resolve_spec(args.gpu) if args.gpu is not None else None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_experiment(args.experiment, spec=spec,
+                                seed=args.seed, profile=args.profile)
+    finally:
+        profiler.disable()
+    print(f"profiled {args.experiment} "
+          f"(profile={args.profile}"
+          + (f", gpu={args.gpu}" if args.gpu else "")
+          + (f", seed={args.seed}" if args.seed is not None else "")
+          + f"): {result.description}\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.trace:
+        from repro.obs import write_pstats_chrome_trace
+        doc = write_pstats_chrome_trace(
+            args.trace, stats, top=max(args.top, 30),
+            experiment=args.experiment, run_profile=args.profile)
+        print(f"trace:     {args.trace}  "
+              f"({len(doc['traceEvents'])} records)")
+    return 0
+
+
 def cmd_specs(_args: argparse.Namespace) -> int:
     rows = []
     for spec in all_specs():
@@ -456,6 +493,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--out", default=None,
                          help="also write the snapshot as CSV")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one experiment under cProfile")
+    p_prof.add_argument("experiment",
+                        help="experiment id (see `repro list`)")
+    p_prof.add_argument("--gpu", default=None,
+                        help="restrict to one device (default: the "
+                             "paper's device set)")
+    p_prof.add_argument("--seed", type=int, default=None,
+                        help="re-seed the run (default: paper "
+                             "calibration)")
+    p_prof.add_argument("--profile", default="smoke",
+                        choices=["paper", "smoke"],
+                        help="run size to profile (default: smoke)")
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="rows of profiler output to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "calls"],
+                        help="pstats sort order")
+    p_prof.add_argument("--trace", default=None, metavar="PATH",
+                        help="also export the hottest functions as a "
+                             "Chrome trace-event file")
+    p_prof.set_defaults(fn=cmd_profile)
     return parser
 
 

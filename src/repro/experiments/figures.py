@@ -58,8 +58,13 @@ def fig4_data(n_bits: int = 48, seed: int = 7,
 def fig5_data(level: str = "l1", spec: GPUSpec = KEPLER_K40C,
               iterations: Optional[Sequence[int]] = None,
               n_bits: int = 48,
-              seed: int = 5) -> List[Tuple[float, float]]:
-    """Figure 5 — (bandwidth Kbps, BER) pairs from an iteration sweep."""
+              seed: int = 5,
+              snapshots=None) -> List[Tuple[float, float]]:
+    """Figure 5 — (bandwidth Kbps, BER) pairs from an iteration sweep.
+
+    ``snapshots=`` (a :class:`repro.runner.cache.SnapshotStore`) makes
+    each sweep point resumable across invocations.
+    """
     if level == "l1":
         factory = lambda d, it: L1CacheChannel(d, iterations=it)  # noqa: E731
         iterations = iterations or [20, 12, 8, 5, 3, 2]
@@ -69,7 +74,9 @@ def fig5_data(level: str = "l1", spec: GPUSpec = KEPLER_K40C,
     else:
         raise ValueError("level must be 'l1' or 'l2'")
     points = ber_vs_bandwidth(spec, factory, iterations,
-                              n_bits=n_bits, seed=seed)
+                              n_bits=n_bits, seed=seed,
+                              snapshots=snapshots,
+                              snapshot_tag=f"fig5/{level}")
     return [(p.bandwidth_kbps, p.ber) for p in points]
 
 

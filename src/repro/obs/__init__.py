@@ -28,8 +28,10 @@ from repro.obs.export import (
     ascii_timeline,
     chrome_trace,
     metrics_csv,
+    pstats_chrome_trace,
     write_chrome_trace,
     write_metrics_csv,
+    write_pstats_chrome_trace,
 )
 from repro.obs.metrics import (
     Counter,
@@ -64,6 +66,8 @@ __all__ = [
     "coerce_observe",
     "git_revision",
     "metrics_csv",
+    "pstats_chrome_trace",
     "write_chrome_trace",
     "write_metrics_csv",
+    "write_pstats_chrome_trace",
 ]

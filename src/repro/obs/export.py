@@ -24,6 +24,8 @@ from repro.obs.trace import TraceEvent
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "pstats_chrome_trace",
+    "write_pstats_chrome_trace",
     "metrics_csv",
     "write_metrics_csv",
     "ascii_timeline",
@@ -97,6 +99,61 @@ def write_chrome_trace(path: str, device: Any,
                        **extra_provenance: Any) -> Dict[str, Any]:
     """Write :func:`chrome_trace` output to ``path``; returns the dict."""
     doc = chrome_trace(device, **extra_provenance)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Profiler output as a Chrome trace
+# ----------------------------------------------------------------------
+def pstats_chrome_trace(stats: Any, *, top: int = 30,
+                        **extra_provenance: Any) -> Dict[str, Any]:
+    """Render a ``pstats.Stats`` profile as a Chrome trace-event object.
+
+    A profile has no timeline, so the view is a ranking, not a trace:
+    each of the ``top`` functions by cumulative time becomes one
+    duration bar starting at t=0 on its own thread row, so bar lengths
+    compare cumulative cost directly in ``chrome://tracing`` /
+    Perfetto.  Call counts and self time ride along in ``args``.
+    Backing the ``repro profile --trace`` subcommand.
+    """
+    from repro.obs.provenance import code_version
+
+    entries = sorted(stats.stats.items(),
+                     key=lambda kv: kv[1][3], reverse=True)[:top]
+    trace_events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": "profile (ranked by cumulative time)"},
+    }]
+    for tid, (func, (cc, nc, tt, ct, _callers)) in enumerate(
+            entries, start=1):
+        filename, line, name = func
+        short = filename.rsplit("/", 1)[-1]
+        label = f"{name} ({short}:{line})" if line else name
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": f"{tid:02d} {label}"},
+        })
+        trace_events.append({
+            "name": label, "cat": "profile", "ph": "X",
+            "ts": 0.0, "dur": ct * 1e6, "pid": 1, "tid": tid,
+            "args": {"calls": nc, "primitive_calls": cc,
+                     "tottime_s": round(tt, 6),
+                     "cumtime_s": round(ct, 6)},
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"code_version": code_version(),
+                      **extra_provenance},
+    }
+
+
+def write_pstats_chrome_trace(path: str, stats: Any,
+                              **kwargs: Any) -> Dict[str, Any]:
+    """Write :func:`pstats_chrome_trace` to ``path``; returns the dict."""
+    doc = pstats_chrome_trace(stats, **kwargs)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
     return doc

@@ -15,8 +15,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.specs import GPUSpec
 from repro.sim import isa
-from repro.sim.gpu import Device
+from repro.sim.gpu import Device, resolve_engine_mode
 from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.snapshot import memoized_point
 
 #: A measured (array_size_bytes, mean_latency_cycles) point.
 LatencyPoint = Tuple[int, float]
@@ -54,10 +55,9 @@ def _sweep_kernel(base: int, size: int, stride: int, repeats: int):
     return body
 
 
-def measure_point(spec: GPUSpec, size: int, stride: int,
-                  repeats: int = 4, seed: int = 0) -> float:
-    """Mean per-load latency for one array size on a fresh device."""
-    device = Device(spec, seed=seed)
+def _measure_on(device: Device, spec: GPUSpec, size: int, stride: int,
+                repeats: int) -> float:
+    """Run one latency probe on an already-built (pristine) device."""
     span = ((size + 4095) // 4096 + 1) * 4096
     base = device.const_alloc(min(span, spec.const_mem_bytes),
                               align=spec.const_l2.way_stride)
@@ -68,16 +68,29 @@ def measure_point(spec: GPUSpec, size: int, stride: int,
     return kernel.out["latency"]
 
 
+def measure_point(spec: GPUSpec, size: int, stride: int,
+                  repeats: int = 4, seed: int = 0) -> float:
+    """Mean per-load latency for one array size on a fresh device."""
+    return _measure_on(Device(spec, seed=seed), spec, size, stride,
+                       repeats)
+
+
 def characterize_cache(spec: GPUSpec, level: str = "l1", *,
                        sizes: Optional[Sequence[int]] = None,
                        stride: Optional[int] = None,
                        repeats: int = 4,
-                       seed: int = 0) -> List[LatencyPoint]:
+                       seed: int = 0,
+                       snapshots=None) -> List[LatencyPoint]:
     """Run the stride sweep for one cache level; returns (size, latency).
 
     Defaults reproduce the paper's figures: stride 64 B around 2–3 KB for
     the L1 (Figure 2), stride 256 B around 31–38 KB for the L2
     (Figure 3).
+
+    Probes run on per-probe forks of one pristine baseline device —
+    bit-identical to :func:`measure_point`'s fresh construction — and
+    are persisted across invocations when ``snapshots=`` (a
+    :class:`repro.runner.cache.SnapshotStore`) is given.
     """
     if level == "l1":
         cache = spec.const_l1
@@ -95,8 +108,28 @@ def characterize_cache(spec: GPUSpec, level: str = "l1", *,
             sizes = range(lo, hi + 1, cache.line_bytes)
     else:
         raise ValueError("level must be 'l1' or 'l2'")
-    return [(size, measure_point(spec, size, stride, repeats, seed))
-            for size in sizes]
+
+    engine = resolve_engine_mode()
+    baseline = None
+    points: List[LatencyPoint] = []
+    for size in sizes:
+
+        def run(size=size):
+            nonlocal baseline
+            if baseline is None:
+                baseline = Device(spec, seed=seed).snapshot()
+            device = Device.fork(baseline)
+            return device, _measure_on(device, spec, size, stride,
+                                       repeats)
+
+        key = None
+        if snapshots is not None:
+            from repro.runner.keys import snapshot_key
+            key = snapshot_key(
+                spec, seed, engine,
+                f"reveng.cache_params/{level}/{size}/{stride}/{repeats}")
+        points.append((size, memoized_point(snapshots, key, run)))
+    return points
 
 
 def infer_cache_parameters(points: Sequence[LatencyPoint],

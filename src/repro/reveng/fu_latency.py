@@ -15,8 +15,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.specs import GPUSpec
 from repro.sim import isa
-from repro.sim.gpu import Device
+from repro.sim.gpu import Device, resolve_engine_mode
 from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.snapshot import memoized_point
 
 #: A measured (n_warps, warp0_latency) point.
 CurvePoint = Tuple[int, float]
@@ -33,12 +34,11 @@ def _latency_kernel(op: str, iterations: int):
     return body
 
 
-def measure_latency(spec: GPUSpec, op: str, n_warps: int, *,
-                    iterations: int = 128, seed: int = 0) -> float:
-    """Warp-0 per-op latency with ``n_warps`` resident warps."""
+def _measure_on(device: Device, op: str, n_warps: int,
+                iterations: int) -> float:
+    """Run one latency probe on an already-built (pristine) device."""
     if n_warps < 1:
         raise ValueError("need at least one warp")
-    device = Device(spec, seed=seed)
     kernel = Kernel(_latency_kernel(op, iterations),
                     KernelConfig(grid=1, block_threads=32 * n_warps))
     device.launch(kernel)
@@ -46,16 +46,47 @@ def measure_latency(spec: GPUSpec, op: str, n_warps: int, *,
     return kernel.out["latency"]
 
 
+def measure_latency(spec: GPUSpec, op: str, n_warps: int, *,
+                    iterations: int = 128, seed: int = 0) -> float:
+    """Warp-0 per-op latency with ``n_warps`` resident warps."""
+    if n_warps < 1:
+        raise ValueError("need at least one warp")
+    return _measure_on(Device(spec, seed=seed), op, n_warps, iterations)
+
+
 def latency_curve(spec: GPUSpec, op: str,
                   warp_counts: Optional[Sequence[int]] = None, *,
                   iterations: int = 128,
-                  seed: int = 0) -> List[CurvePoint]:
-    """The Figure 6/7 curve for one op on one device."""
+                  seed: int = 0,
+                  snapshots=None) -> List[CurvePoint]:
+    """The Figure 6/7 curve for one op on one device.
+
+    Probes run on per-probe forks of one pristine baseline device —
+    bit-identical to :func:`measure_latency`'s fresh construction —
+    and are persisted across invocations when ``snapshots=`` (a
+    :class:`repro.runner.cache.SnapshotStore`) is given.
+    """
     if warp_counts is None:
         warp_counts = range(1, 33)
-    return [(w, measure_latency(spec, op, w, iterations=iterations,
-                                seed=seed))
-            for w in warp_counts]
+    engine = resolve_engine_mode()
+    baseline = None
+    points: List[CurvePoint] = []
+    for w in warp_counts:
+
+        def run(w=w):
+            nonlocal baseline
+            if baseline is None:
+                baseline = Device(spec, seed=seed).snapshot()
+            device = Device.fork(baseline)
+            return device, _measure_on(device, op, w, iterations)
+
+        key = None
+        if snapshots is not None:
+            from repro.runner.keys import snapshot_key
+            key = snapshot_key(spec, seed, engine,
+                               f"reveng.fu_latency/{op}/{w}/{iterations}")
+        points.append((w, memoized_point(snapshots, key, run)))
+    return points
 
 
 def plateau_latency(curve: Sequence[CurvePoint]) -> float:

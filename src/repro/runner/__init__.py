@@ -19,9 +19,14 @@ Quick use::
         print(result.render())
 """
 
-from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runner.cache import (
+    CacheStats,
+    ResultCache,
+    SnapshotStore,
+    default_cache_dir,
+)
 from repro.runner.grid import Task, expand_grid, parse_seeds
-from repro.runner.keys import cache_key, spec_fingerprint
+from repro.runner.keys import cache_key, snapshot_key, spec_fingerprint
 from repro.runner.pool import (
     SweepReport,
     TaskOutcome,
@@ -34,10 +39,12 @@ __all__ = [
     "CacheStats",
     "ProgressReporter",
     "ResultCache",
+    "SnapshotStore",
     "SweepReport",
     "Task",
     "TaskOutcome",
     "cache_key",
+    "snapshot_key",
     "default_cache_dir",
     "expand_grid",
     "parse_seeds",

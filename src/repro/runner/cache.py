@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["ResultCache", "CacheStats", "default_cache_dir"]
+__all__ = ["ResultCache", "SnapshotStore", "CacheStats",
+           "default_cache_dir"]
 
 
 def default_cache_dir() -> Path:
@@ -132,3 +133,117 @@ class ResultCache:
             return
         yield from sorted(base.glob("*.pkl")) if experiment_id \
             else sorted(base.glob("*/*.pkl"))
+
+
+class SnapshotStore:
+    """Persisted device snapshots, one sweep point per entry.
+
+    Each entry pairs a completed point's end-state
+    :class:`~repro.sim.snapshot.DeviceSnapshot` with the payload the
+    sweep recorded for it (a ``SweepPoint``, a ``TuningPoint``, a
+    latency float), addressed by
+    :func:`repro.runner.keys.snapshot_key` — spec fingerprint, seed,
+    engine mode and a point tag.  Repeated sweep invocations then skip
+    warm-up (and the whole simulation) for every point already on disk,
+    at finer granularity than :class:`ResultCache`'s whole-experiment
+    entries: a sweep with a changed point list still replays the
+    overlapping points.
+
+    The code version lives *inside* each entry, not in its key, so
+    :meth:`get` evicts stale entries in place instead of stranding
+    them.  Consumers must still verify replays:
+    :func:`repro.sim.snapshot.memoized_point` forks the stored snapshot
+    and refuses the recorded payload unless the rebuilt device
+    reproduces the stored fingerprint exactly.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = Path(root) if root is not None else default_cache_dir()
+        self.root = base / "snapshots"
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def path_for(self, key: str) -> Path:
+        """File an entry lives at."""
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Stored entry (``{"snapshot", "payload", "version"}``) or None.
+
+        Corrupt entries and entries written by a different code version
+        are deleted and treated as misses.
+        """
+        from repro.obs.provenance import code_version
+
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.evict(key)
+            self.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("version") != code_version()):
+            self.evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, snapshot, payload=None) -> Path:
+        """Atomically store a snapshot + payload; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"snapshot": snapshot, "payload": payload,
+                 "version": snapshot.version}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def evict(self, key: str) -> None:
+        """Delete one entry (missing entries are fine)."""
+        try:
+            self.path_for(key).unlink()
+            self.evictions += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every snapshot entry; returns the count removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.pkl")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size currently on disk."""
+        entries = list(self.root.glob("*.pkl")) if self.root.is_dir() \
+            else []
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(entries=len(entries), bytes=total,
+                          root=str(self.root))

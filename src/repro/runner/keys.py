@@ -18,7 +18,7 @@ from repro.arch import GPUSpec
 from repro.arch.serialization import spec_to_dict
 from repro.obs.provenance import code_version
 
-__all__ = ["spec_fingerprint", "cache_key"]
+__all__ = ["spec_fingerprint", "cache_key", "snapshot_key"]
 
 
 def _digest(payload: object) -> str:
@@ -56,4 +56,27 @@ def cache_key(experiment_id: str,
         "seed": seed,
         "profile": profile,
         "version": version if version is not None else code_version(),
+    })
+
+
+def snapshot_key(spec: Optional[GPUSpec],
+                 seed: Optional[int],
+                 engine: str,
+                 tag: str) -> str:
+    """Address of one persisted device snapshot.
+
+    Keyed by the spec fingerprint, the device seed, the engine mode and
+    a caller-chosen ``tag`` naming the sweep point (e.g.
+    ``"ber_vs_bandwidth/48/5/0/20"``).  Unlike :func:`cache_key`, the
+    code version is deliberately *not* folded into the key: it is
+    stored inside the entry instead, so a stale snapshot occupies the
+    same slot as its replacement and
+    :meth:`repro.runner.cache.SnapshotStore.get` can *evict* it on
+    sight rather than letting dead entries accumulate forever.
+    """
+    return _digest({
+        "spec": spec_fingerprint(spec),
+        "seed": seed,
+        "engine": engine,
+        "tag": tag,
     })

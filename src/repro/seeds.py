@@ -1,0 +1,61 @@
+"""Deterministic seed derivation for sweep-shaped experiments.
+
+Every sweep needs one device seed per trial, derived from the caller's
+base seed so that (a) a given ``(base, sweep, index)`` always maps to
+the same seed — the golden-number suite pins results computed from
+these exact values — and (b) trials within one sweep, and the message
+seed (the base itself), never collide.
+
+Derivation is affine: ``base + stride * index + offset``.  Each sweep
+family owns a distinct stride (its "stream"), chosen coprime so the
+streams interleave without colliding over the index ranges any sweep
+actually uses:
+
+* :data:`BER_SWEEP_STRIDE` (17) — ``analysis.sweeps.ber_vs_bandwidth``
+  points (historically ``seed + 17 * idx + 1``);
+* :data:`DEVICE_SWEEP_STRIDE` (31) —
+  ``analysis.sweeps.bandwidth_by_device`` per-spec trials
+  (historically ``seed + 31 * idx + 1``);
+* :data:`TUNING_STRIDE` (1), with ``offset=0`` —
+  ``channels.tuning`` probes (historically ``seed + iterations``).
+
+These values are frozen: changing any of them changes every derived
+device seed and therefore every golden number.
+``tests/test_seeds.py`` pins both the formula and the collision
+guarantees.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "derive_seed",
+    "BER_SWEEP_STRIDE",
+    "DEVICE_SWEEP_STRIDE",
+    "TUNING_STRIDE",
+]
+
+#: Stream stride for BER-vs-bandwidth iteration sweeps.
+BER_SWEEP_STRIDE = 17
+
+#: Stream stride for per-device bandwidth sweeps.
+DEVICE_SWEEP_STRIDE = 31
+
+#: Stream stride for iteration-count tuning probes (index = iterations).
+TUNING_STRIDE = 1
+
+
+def derive_seed(base: int, stride: int, index: int,
+                offset: int = 1) -> int:
+    """Device seed for trial ``index`` of a sweep stream.
+
+    Returns ``base + stride * index + offset``.  The default
+    ``offset=1`` keeps every derived seed distinct from the base seed
+    (which seeds the transmitted message) even at ``index == 0``;
+    tuning passes ``offset=0`` because its index (the iteration count)
+    is always >= 1.
+    """
+    if stride < 1:
+        raise ValueError("stride must be a positive stream constant")
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return base + stride * index + offset

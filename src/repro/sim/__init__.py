@@ -21,14 +21,17 @@ Kernels are Python generator functions executed at warp granularity; see
 from repro.sim.engine import Engine
 from repro.sim.gpu import Device
 from repro.sim.kernel import Kernel, KernelConfig, WarpContext
+from repro.sim.snapshot import DeviceSnapshot, SnapshotError
 from repro.sim.stream import Stream
 from repro.sim import isa
 
 __all__ = [
     "Device",
+    "DeviceSnapshot",
     "Engine",
     "Kernel",
     "KernelConfig",
+    "SnapshotError",
     "Stream",
     "WarpContext",
     "isa",

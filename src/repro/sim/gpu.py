@@ -47,6 +47,22 @@ from repro.sim.timing import ClockModel
 ENGINE_MODES = ("fast", "events", "tick")
 
 
+def resolve_engine_mode(engine: Optional[str] = None) -> str:
+    """Engine mode an explicit argument / ``REPRO_SIM_ENGINE`` selects.
+
+    The same resolution the :class:`Device` constructor applies, callable
+    without building a device (snapshot stores key entries by engine
+    mode before any device exists).
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
+    if engine not in ENGINE_MODES:
+        raise ValueError(
+            f"engine must be one of {ENGINE_MODES}, got {engine!r}"
+        )
+    return engine
+
+
 class Device:
     """One simulated GPGPU."""
 
@@ -65,12 +81,7 @@ class Device:
             raise ValueError(
                 "scheduler_assignment must be 'round_robin' or 'random'"
             )
-        if engine is None:
-            engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
-        if engine not in ENGINE_MODES:
-            raise ValueError(
-                f"engine must be one of {ENGINE_MODES}, got {engine!r}"
-            )
+        engine = resolve_engine_mode(engine)
         self.spec = spec
         self.seed = seed
         self.engine_mode = engine
@@ -316,6 +327,34 @@ class Device:
                    for s2, e2 in win_b[smid]):
                 shared.append(smid)
         return sorted(shared)
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture the full simulation state of this (quiescent) device.
+
+        Returns a picklable, content-fingerprinted
+        :class:`~repro.sim.snapshot.DeviceSnapshot`; raises
+        :class:`~repro.sim.snapshot.SnapshotError` when the device has
+        outstanding work (synchronize first) or an unsnapshotable
+        configuration (``cache_partition_fn``, foreign clock RNG).
+        """
+        from repro.sim.snapshot import snapshot_device
+        return snapshot_device(self)
+
+    @classmethod
+    def fork(cls, snapshot, *, seed=None, engine=None) -> "Device":
+        """Build a new device carrying ``snapshot``'s exact state.
+
+        The fork is bit-identical to the captured device in every
+        observable (fingerprints match), under any engine mode.  See
+        :func:`repro.sim.snapshot.fork_device` for the ``seed``
+        override used to spawn differently-seeded trials off one
+        pristine baseline.
+        """
+        from repro.sim.snapshot import fork_device
+        return fork_device(snapshot, seed=seed, engine=engine)
 
     def flush_caches(self) -> None:
         """Invalidate L1s and the L2 (between independent experiments)."""

@@ -1,0 +1,442 @@
+"""Device snapshot/fork: capture and replay full simulation state.
+
+Sweep-shaped workloads (the Figure 5 BER/bandwidth sweep, channel
+tuning, the Section 4/5 reverse-engineering searches) run many trials
+that share an identical prefix: device construction, cache warm-up,
+handshake setup.  This module captures the *complete* observable state
+of a quiescent :class:`~repro.sim.gpu.Device` — engine clock and event
+accounting, per-SM cache arrays with LRU order, every pipelined port,
+global-memory backing store, scheduler round-robin cursors, RNG state
+and the metrics registry — into a picklable, content-fingerprinted
+:class:`DeviceSnapshot`, and rebuilds a bit-identical device from it
+(:func:`fork_device` / ``Device.fork``).
+
+Key properties:
+
+* **Quiescence required.**  The event heap holds closures, which are
+  neither picklable nor safely rebindable to a new device, so a
+  snapshot may only be taken when the device is idle: empty heap, no
+  pending blocks, all streams retired.  Anything else raises
+  :class:`SnapshotError`.  After ``device.synchronize()`` a device is
+  quiescent.
+* **Engine-mode independent.**  The heap sequence counter (``_seq``)
+  advances differently under the ``fast`` engine (inline bursts skip
+  the heap) than under ``events``/``tick``; it is captured for exact
+  restore but *excluded* from the content fingerprint, so the same
+  simulated history fingerprints identically under all three engine
+  modes.
+* **Trace ring excluded.**  The observability trace buffer is derived,
+  unbounded diagnostic output, not simulation state; forks start with
+  an empty ring.  Metrics-registry instrument values *are* restored
+  (they include the always-on cache hit/miss counters the golden
+  numbers depend on), but only cache counters participate in the
+  fingerprint so observe-mode choices never change it.
+
+See ``docs/performance.md`` for the snapshot-reuse workflow and
+``tests/test_snapshot.py`` for the bit-identity guarantees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.arch.serialization import spec_to_dict
+from repro.arch.specs import GPUSpec
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.provenance import code_version
+
+__all__ = [
+    "SnapshotError",
+    "DeviceSnapshot",
+    "snapshot_device",
+    "fork_device",
+    "memoized_point",
+]
+
+
+class SnapshotError(RuntimeError):
+    """The device cannot be snapshotted (or a snapshot failed to verify)."""
+
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Picklable capture of one quiescent device.
+
+    ``fingerprint`` is a SHA-256 over the canonical JSON form of the
+    spec, the construction config and the state payload (minus the
+    engine-mode-dependent heap sequence counter and the observability
+    extras), so two snapshots with equal fingerprints describe
+    bit-identical simulated histories.  ``version`` records the code
+    that produced the snapshot; persisted stores use it to evict stale
+    entries (:class:`repro.runner.cache.SnapshotStore`).
+    """
+
+    spec: GPUSpec
+    config: Dict[str, Any]
+    state: Dict[str, Any]
+    fingerprint: str
+    version: str
+    engine_mode: str
+
+
+# ----------------------------------------------------------------------
+# Capture
+# ----------------------------------------------------------------------
+def _port_state(port: Any) -> Tuple[float, float, int]:
+    return (port.free_at, port.busy_cycles, port.requests)
+
+def _restore_port(port: Any, state: Tuple[float, float, int]) -> None:
+    port.free_at, port.busy_cycles, port.requests = state
+
+def _cache_state(cache: Any) -> Dict[str, Any]:
+    return {
+        "sets": [list(lines) for lines in cache._sets],
+        "hits": cache.hit_counter.value,
+        "misses": cache.miss_counter.value,
+        "set_misses": list(cache.set_misses),
+        "port": _port_state(cache.port),
+    }
+
+def _restore_cache(cache: Any, state: Dict[str, Any]) -> None:
+    cache._sets = [list(lines) for lines in state["sets"]]
+    cache.hit_counter.value = state["hits"]
+    cache.miss_counter.value = state["misses"]
+    cache.set_misses = list(state["set_misses"])
+    _restore_port(cache.port, state["port"])
+
+
+def _check_quiescent(device: Any) -> None:
+    engine = device.engine
+    if not engine.idle():
+        raise SnapshotError(
+            f"device is not quiescent: {engine.pending_events} event(s) "
+            "still queued (the heap holds closures and cannot be "
+            "captured); call device.synchronize() first"
+        )
+    if device.block_scheduler.has_pending:
+        raise SnapshotError(
+            "device is not quiescent: thread blocks are still queued "
+            "at the block scheduler"
+        )
+    if any(not s.idle for s in device._streams):
+        raise SnapshotError(
+            "device is not quiescent: a stream still has an "
+            "unretired kernel"
+        )
+    if any(sm.resident_blocks for sm in device.sms):
+        raise SnapshotError(
+            "device is not quiescent: thread blocks are still "
+            "resident on an SM"
+        )
+
+
+def _check_snapshotable(device: Any) -> None:
+    from repro.sim.policies import POLICIES
+
+    if device.cache_partition_fn is not None:
+        raise SnapshotError(
+            "devices with a cache_partition_fn cannot be snapshotted: "
+            "the hook is an arbitrary callable with no stable "
+            "serialized form"
+        )
+    if device.clock._rng is not device.rng:
+        raise SnapshotError(
+            "devices with a custom clock_model RNG cannot be "
+            "snapshotted: only the default device-shared RNG wiring "
+            "has a capturable state"
+        )
+    policy = device.block_scheduler.name
+    if type(device.block_scheduler) is not POLICIES.get(policy):
+        raise SnapshotError(
+            f"block scheduler {type(device.block_scheduler).__name__} "
+            "is not a registered policy and cannot be rebuilt by fork"
+        )
+    if device.obs._captured_caches is not None:
+        raise SnapshotError(
+            "a cache-access capture is active; stop it before "
+            "snapshotting (the capture stream is transient state)"
+        )
+
+
+def _device_config(device: Any) -> Dict[str, Any]:
+    from repro.sim.functional_units import SharedFuBank
+
+    return {
+        "seed": device.seed,
+        "policy": device.block_scheduler.name,
+        "isolated_fu_banks": not isinstance(device.sms[0].fu_banks[0],
+                                            SharedFuBank),
+        "scheduler_assignment": device.scheduler_assignment,
+        "max_events": device.engine._max_events,
+        "observe": device.obs.config,
+    }
+
+
+#: Cache hit/miss counters are restored with their caches; every other
+#: registry instrument is captured here so metric state survives a fork.
+def _obs_instruments(device: Any) -> list:
+    cache_counters = {id(c.hit_counter) for c in
+                      [device.const_l2] + [sm.l1 for sm in device.sms]}
+    cache_counters |= {id(c.miss_counter) for c in
+                       [device.const_l2] + [sm.l1 for sm in device.sms]}
+    out = []
+    for name, inst in device.obs.registry:
+        if id(inst) in cache_counters:
+            continue
+        if isinstance(inst, Counter):
+            out.append((name, "counter", inst.value))
+        elif isinstance(inst, Gauge):
+            out.append((name, "gauge", (inst.value, inst.peak)))
+        elif isinstance(inst, Histogram):
+            out.append((name, "histogram",
+                        (tuple(inst.bounds), list(inst.bucket_counts),
+                         inst.count, inst.total, inst.min, inst.max)))
+    return out
+
+
+def _restore_obs_instruments(device: Any, instruments: list) -> None:
+    registry = device.obs.registry
+    for name, kind, payload in instruments:
+        if kind == "counter":
+            registry.counter(name).value = payload
+        elif kind == "gauge":
+            gauge = registry.gauge(name)
+            gauge.value, gauge.peak = payload
+        else:
+            bounds, buckets, count, total, lo, hi = payload
+            hist = registry.histogram(name, bounds=tuple(bounds))
+            hist.bucket_counts = list(buckets)
+            hist.count, hist.total = count, total
+            hist.min, hist.max = lo, hi
+
+
+def _capture_state(device: Any) -> Dict[str, Any]:
+    engine = device.engine
+    scheduler = device.block_scheduler
+    memory = device.memory
+    state: Dict[str, Any] = {
+        "engine": {"now": engine.now,
+                   "events": engine._event_count,
+                   "seq": engine._seq},
+        "rng": device.rng.bit_generator.state,
+        "clock": {"jitter": device.clock.jitter_cycles,
+                  "granularity": device.clock.granularity},
+        "const": {"ptr": device._const_ptr,
+                  "allocs": dict(device._const_allocs)},
+        "n_streams": len(device._streams),
+        "l2": _cache_state(device.const_l2),
+        "memory": {
+            "channels": [_port_state(p) for p in memory.channels],
+            "atomics": [_port_state(p) for p in memory.atomic_units],
+            "words": dict(memory._words),
+            "loads": memory.load_transactions,
+            "ops": memory.atomic_ops,
+        },
+        "sms": [
+            {
+                "l1": _cache_state(sm.l1),
+                "warp_rr": sm._warp_rr,
+                "shared_port": _port_state(sm.shared_port),
+                "banks": [
+                    {"issue": _port_state(bank.issue_port),
+                     "units": {unit: _port_state(port)
+                               for unit, port in bank.unit_ports.items()}}
+                    for bank in sm.fu_banks
+                ],
+            }
+            for sm in device.sms
+        ],
+        "scheduler": {
+            "rr": scheduler._rr,
+            "partition_of": (
+                {ctx: (r.start, r.stop) for ctx, r in
+                 scheduler._partition_of.items()}
+                if hasattr(scheduler, "_partition_of") else None
+            ),
+        },
+        "obs_instruments": _obs_instruments(device),
+    }
+    return state
+
+
+def _fingerprint(spec: GPUSpec, config: Dict[str, Any],
+                 state: Dict[str, Any]) -> str:
+    """Content hash of a capture, stable across engine modes.
+
+    Excluded on purpose: the heap sequence counter (differs between
+    ``fast`` and ``events`` for identical histories), the observe
+    config and registry extras (observability must never change what
+    counts as "the same state"), and ``max_events`` (a budget, not
+    state).
+    """
+    payload = {
+        "spec": spec_to_dict(spec),
+        "config": {k: config[k] for k in
+                   ("seed", "policy", "isolated_fu_banks",
+                    "scheduler_assignment")},
+        "engine": {"now": state["engine"]["now"],
+                   "events": state["engine"]["events"]},
+        "rng": state["rng"],
+        "clock": state["clock"],
+        "const": {"ptr": state["const"]["ptr"],
+                  "allocs": sorted(state["const"]["allocs"].items())},
+        "n_streams": state["n_streams"],
+        "l2": state["l2"],
+        "memory": {
+            "channels": state["memory"]["channels"],
+            "atomics": state["memory"]["atomics"],
+            "words": sorted(state["memory"]["words"].items()),
+            "loads": state["memory"]["loads"],
+            "ops": state["memory"]["ops"],
+        },
+        "sms": [
+            {"l1": sm["l1"], "warp_rr": sm["warp_rr"],
+             "shared_port": sm["shared_port"],
+             "banks": [{"issue": b["issue"],
+                        "units": sorted(b["units"].items())}
+                       for b in sm["banks"]]}
+            for sm in state["sms"]
+        ],
+        "scheduler": {
+            "rr": state["scheduler"]["rr"],
+            "partition_of": (
+                sorted(state["scheduler"]["partition_of"].items())
+                if state["scheduler"]["partition_of"] is not None
+                else None
+            ),
+        },
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def snapshot_device(device: Any) -> DeviceSnapshot:
+    """Capture a quiescent device; raises :class:`SnapshotError` if not."""
+    _check_quiescent(device)
+    _check_snapshotable(device)
+    config = _device_config(device)
+    state = _capture_state(device)
+    return DeviceSnapshot(
+        spec=device.spec,
+        config=config,
+        state=state,
+        fingerprint=_fingerprint(device.spec, config, state),
+        version=code_version(),
+        engine_mode=device.engine_mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+def _restore_state(device: Any, state: Dict[str, Any],
+                   reseed: bool) -> None:
+    engine = device.engine
+    engine.now = state["engine"]["now"]
+    engine._event_count = state["engine"]["events"]
+    engine._seq = state["engine"]["seq"]
+    if not reseed:
+        device.rng.bit_generator.state = state["rng"]
+    device.clock.jitter_cycles = state["clock"]["jitter"]
+    device.clock.granularity = state["clock"]["granularity"]
+    device._const_ptr = state["const"]["ptr"]
+    device._const_allocs = dict(state["const"]["allocs"])
+    for _ in range(state["n_streams"]):
+        device.stream()
+    _restore_cache(device.const_l2, state["l2"])
+    memory = device.memory
+    for port, pstate in zip(memory.channels, state["memory"]["channels"]):
+        _restore_port(port, pstate)
+    for port, pstate in zip(memory.atomic_units, state["memory"]["atomics"]):
+        _restore_port(port, pstate)
+    memory._words.clear()
+    memory._words.update(state["memory"]["words"])
+    memory.load_transactions = state["memory"]["loads"]
+    memory.atomic_ops = state["memory"]["ops"]
+    for sm, sm_state in zip(device.sms, state["sms"]):
+        _restore_cache(sm.l1, sm_state["l1"])
+        sm._warp_rr = sm_state["warp_rr"]
+        _restore_port(sm.shared_port, sm_state["shared_port"])
+        for bank, bank_state in zip(sm.fu_banks, sm_state["banks"]):
+            _restore_port(bank.issue_port, bank_state["issue"])
+            for unit, pstate in bank_state["units"].items():
+                _restore_port(bank.unit_ports[unit], pstate)
+    scheduler = device.block_scheduler
+    scheduler._rr = state["scheduler"]["rr"]
+    partition = state["scheduler"]["partition_of"]
+    if partition is not None and hasattr(scheduler, "_partition_of"):
+        scheduler._partition_of = {ctx: range(start, stop)
+                                   for ctx, (start, stop)
+                                   in partition.items()}
+    _restore_obs_instruments(device, state["obs_instruments"])
+
+
+def fork_device(snapshot: DeviceSnapshot, *,
+                seed: Optional[int] = None,
+                engine: Optional[str] = None) -> Any:
+    """Build a fresh device carrying the snapshot's exact state.
+
+    ``engine`` overrides the engine mode (snapshots are engine-mode
+    portable: a ``fast`` capture forks into an ``events`` device with
+    identical observable behaviour).  ``seed`` replaces the RNG with a
+    fresh ``default_rng(seed)`` instead of restoring the captured
+    generator state — useful for forking many differently-seeded trials
+    off one *pristine* (never-run) baseline, where a re-seeded fork is
+    bit-identical to cold-constructing ``Device(spec, seed=seed)``.
+    """
+    from repro.sim.gpu import Device
+
+    cfg = snapshot.config
+    device = Device(
+        snapshot.spec,
+        seed=cfg["seed"] if seed is None else seed,
+        policy=cfg["policy"],
+        isolated_fu_banks=cfg["isolated_fu_banks"],
+        scheduler_assignment=cfg["scheduler_assignment"],
+        max_events=cfg["max_events"],
+        observe=cfg["observe"],
+        engine=engine if engine is not None else snapshot.engine_mode,
+    )
+    _restore_state(device, snapshot.state, reseed=seed is not None)
+    return device
+
+
+# ----------------------------------------------------------------------
+# Memoized sweep points
+# ----------------------------------------------------------------------
+def memoized_point(store: Any, key: str,
+                   run: Callable[[], Tuple[Any, Any]]) -> Any:
+    """Run one sweep point through a snapshot store, if one is given.
+
+    ``run`` computes the point cold and returns ``(device, payload)``;
+    the payload is what the sweep records.  On a store hit the recorded
+    end-state snapshot is *forked and re-fingerprinted* — replay is
+    only trusted when the rebuilt device reproduces the stored
+    fingerprint bit for bit; a mismatch evicts the entry and recomputes.
+    ``store`` is duck-typed (``get``/``put``/``evict`` — see
+    :class:`repro.runner.cache.SnapshotStore`); ``None`` disables
+    memoization entirely.
+    """
+    if store is not None:
+        entry = store.get(key)
+        if entry is not None:
+            snap = entry["snapshot"]
+            try:
+                forked = fork_device(snap)
+                if snapshot_device(forked).fingerprint == snap.fingerprint:
+                    return entry["payload"]
+            except SnapshotError:
+                pass
+            store.evict(key)
+    device, payload = run()
+    if store is not None:
+        try:
+            store.put(key, snapshot_device(device), payload)
+        except SnapshotError:
+            # A non-quiescent or unsnapshotable end state is simply
+            # not memoized; the sweep still returns its result.
+            pass
+    return payload
