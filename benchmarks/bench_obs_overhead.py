@@ -1,11 +1,14 @@
 """Observability overhead — wall-clock cost of metrics and tracing.
 
-Runs the synchronized L1 channel at three observability levels and
+Runs the synchronized L1 channel at several observability levels and
 reports the relative slowdown against the unobserved baseline.  The
 shape claim mirrors the tier-1 guard in ``tests/test_obs_overhead.py``:
 with observability *off* the instrumentation layer must stay within 5%
-of an uninstrumented run, while "metrics" and "full" are allowed (and
-expected) to cost real time in exchange for the data they collect.
+of an uninstrumented run — and that includes the per-bit signal-quality
+emit points and attribution hooks, whose disabled path is a handful of
+identity checks — while "metrics", "attribution" and "full" are
+allowed (and expected) to cost real time in exchange for the data they
+collect.
 
 Run with ``pytest benchmarks/bench_obs_overhead.py --benchmark-only``.
 """
@@ -22,21 +25,24 @@ BITS = 16
 LEVELS = [
     ("off", None),
     ("metrics", "metrics"),
+    ("attribution", "metrics"),     # metrics + wait ledgers armed
     ("full", ObserveConfig(metrics=True, trace=True, trace_capacity=1 << 18)),
 ]
 
 
-def run_channel(observe):
+def run_channel(observe, attribution=False):
     device = Device(KEPLER_K40C, seed=3, observe=observe)
+    if attribution:
+        device.obs.start_attribution()
     result = SynchronizedL1Channel(device).transmit_random(BITS, seed=5)
     return device, result
 
 
-def timed(observe, reps=3):
+def timed(observe, reps=3, attribution=False):
     best = float("inf")
     for _ in range(reps):
         start = time.perf_counter()
-        run_channel(observe)
+        run_channel(observe, attribution=attribution)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -47,7 +53,8 @@ def bench_observability_overhead(benchmark):
     def experiment():
         timings["baseline"] = timed(None)
         for name, observe in LEVELS:
-            timings[name] = timed(observe)
+            timings[name] = timed(observe,
+                                  attribution=(name == "attribution"))
         return timings
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -55,6 +62,9 @@ def bench_observability_overhead(benchmark):
     base = timings.pop("baseline")
     rows = [[name, f"{t * 1e3:.1f}", f"{t / base:.2f}x"]
             for name, t in timings.items()]
+    device, result = run_channel("metrics")
+    rows.append(["(metrics: signal samples tagged)",
+                 str(len(device.obs.signal)), "-"])
     device, _ = run_channel("full")
     rows.append(["(full: events emitted)",
                  str(device.obs.tracer.emitted), "-"])
@@ -66,8 +76,11 @@ def bench_observability_overhead(benchmark):
         extra={name: round(t / base, 3) for name, t in timings.items()},
     )
 
-    # "off" re-times the same code path twice, so anything beyond noise
-    # would indicate a guard regression; 1.10 leaves CI jitter headroom
-    # for what the component-level tier-1 test bounds at 1.05.
+    # "off" re-times the same code path twice — now including the
+    # disabled per-bit signal emit points and unarmed attribution
+    # hooks — so anything beyond noise would indicate a guard
+    # regression; 1.10 leaves CI jitter headroom for what the
+    # component-level tier-1 test bounds at 1.05.
     assert timings["off"] / base <= 1.10
     assert timings["metrics"] / base < 5.0
+    assert timings["attribution"] / base < 5.0

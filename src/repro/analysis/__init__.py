@@ -9,6 +9,11 @@ from repro.analysis.capacity import (
     capacity_bps,
 )
 from repro.analysis.plots import ascii_plot, sparkline
+from repro.analysis.report import (
+    render_report_html,
+    render_report_markdown,
+    write_report,
+)
 
 __all__ = [
     "ascii_plot",
@@ -20,5 +25,8 @@ __all__ = [
     "capacity_bps",
     "format_table",
     "paper_comparison_row",
+    "render_report_html",
+    "render_report_markdown",
     "sparkline",
+    "write_report",
 ]

@@ -1,0 +1,450 @@
+"""Self-contained run-report dashboards from sweep manifests.
+
+``repro report`` feeds any number of run manifests
+(:mod:`repro.runner.manifest`) — plus optional live channel-quality and
+attribution payloads — through :func:`render_report_html` to produce a
+single HTML file with **zero external assets**: styling is one inline
+``<style>`` block and every figure is inline SVG generated here
+(class-conditional latency histograms, eye diagrams, attribution bars).
+The same data renders as plain markdown via
+:func:`render_report_markdown` for terminals and commit comments.
+
+The result tables embedded in manifests are reproduced digit-for-digit
+(the manifest stores the exact rows the experiment produced), so a
+report over a cached sweep shows the same BER/bandwidth numbers the
+golden regression suite pins.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "render_report_html",
+    "render_report_markdown",
+    "svg_attribution_bars",
+    "svg_eye_diagram",
+    "svg_histogram",
+    "write_report",
+]
+
+_CLASS0_COLOR = "#4878a8"   # bit = 0 (idle trojan)
+_CLASS1_COLOR = "#c44e52"   # bit = 1 (priming trojan)
+_ACCENT = "#2a2a2a"
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 62em; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .2em; }
+h2 { margin-top: 2em; border-bottom: 1px solid #bbb; }
+table { border-collapse: collapse; margin: .8em 0; font-size: .92em; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
+th { background: #f0f0f0; }
+tr:nth-child(even) td { background: #fafafa; }
+.meta { color: #666; font-size: .85em; }
+.flag { color: #c44e52; font-weight: bold; }
+figure { display: inline-block; margin: .6em 1.2em .6em 0;
+         vertical-align: top; }
+figcaption { font-size: .8em; color: #555; text-align: center; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Inline SVG figures
+# ----------------------------------------------------------------------
+def svg_histogram(edges: Sequence[float], counts0: Sequence[int],
+                  counts1: Sequence[int], *, width: int = 380,
+                  height: int = 140, title: str = "") -> str:
+    """Overlaid class-conditional latency histogram as inline SVG.
+
+    ``edges`` has one more entry than each counts list; bit-0 bars draw
+    behind bit-1 bars at partial opacity so overlap regions stay
+    visible.
+    """
+    bins = max(len(counts0), len(counts1))
+    if bins == 0 or len(edges) < 2:
+        return (f'<svg width="{width}" height="{height}" '
+                f'xmlns="http://www.w3.org/2000/svg">'
+                f'<text x="8" y="20" font-size="12">no samples</text>'
+                f'</svg>')
+    peak = max(list(counts0) + list(counts1) + [1])
+    pad_l, pad_b, pad_t = 6, 18, 14
+    plot_w = width - 2 * pad_l
+    plot_h = height - pad_b - pad_t
+    bar_w = plot_w / bins
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    if title:
+        parts.append(f'<text x="{width / 2:.0f}" y="11" font-size="11" '
+                     f'text-anchor="middle" fill="{_ACCENT}">'
+                     f'{_esc(title)}</text>')
+    for counts, color, opacity in ((counts0, _CLASS0_COLOR, 0.85),
+                                   (counts1, _CLASS1_COLOR, 0.65)):
+        for i, count in enumerate(counts):
+            if not count:
+                continue
+            h = plot_h * count / peak
+            x = pad_l + i * bar_w
+            y = pad_t + plot_h - h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}" '
+                f'fill-opacity="{opacity}"/>')
+    lo, hi = edges[0], edges[-1]
+    parts.append(f'<text x="{pad_l}" y="{height - 4}" font-size="10" '
+                 f'fill="#555">{lo:.0f}</text>')
+    parts.append(f'<text x="{width - pad_l}" y="{height - 4}" '
+                 f'font-size="10" text-anchor="end" fill="#555">'
+                 f'{hi:.0f} cyc</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_eye_diagram(stats: Dict[str, Any], *, width: int = 200,
+                    height: int = 140, title: str = "") -> str:
+    """Eye diagram: the two latency classes as bands, threshold as a
+    line; the open gap between the bands is the eye.
+
+    ``stats`` is a :func:`repro.obs.quality.signal_stats` mapping
+    (mean/std per class and threshold); bands span mean ± std.
+    """
+    mean0 = float(stats.get("mean0", 0.0))
+    mean1 = float(stats.get("mean1", 0.0))
+    std0 = float(stats.get("std0", 0.0))
+    std1 = float(stats.get("std1", 0.0))
+    threshold = float(stats.get("threshold", 0.0))
+    lo = min(mean0 - 2 * std0, mean1 - 2 * std1, threshold)
+    hi = max(mean0 + 2 * std0, mean1 + 2 * std1, threshold)
+    span = (hi - lo) or 1.0
+    pad_t, pad_b = 14, 6
+
+    def y(value: float) -> float:
+        frac = (value - lo) / span
+        return pad_t + (height - pad_t - pad_b) * (1.0 - frac)
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    if title:
+        parts.append(f'<text x="{width / 2:.0f}" y="11" font-size="11" '
+                     f'text-anchor="middle" fill="{_ACCENT}">'
+                     f'{_esc(title)}</text>')
+    for mean, std, color, label in ((mean0, std0, _CLASS0_COLOR, "bit 0"),
+                                    (mean1, std1, _CLASS1_COLOR, "bit 1")):
+        top = y(mean + std)
+        bottom = y(mean - std)
+        parts.append(f'<rect x="30" y="{top:.1f}" width="{width - 95}" '
+                     f'height="{max(bottom - top, 2.0):.1f}" '
+                     f'fill="{color}" fill-opacity="0.5"/>')
+        parts.append(f'<line x1="30" x2="{width - 65}" y1="{y(mean):.1f}" '
+                     f'y2="{y(mean):.1f}" stroke="{color}" '
+                     f'stroke-width="2"/>')
+        parts.append(f'<text x="{width - 60}" y="{y(mean) + 4:.1f}" '
+                     f'font-size="10" fill="{color}">{label} '
+                     f'{mean:.0f}</text>')
+    ty = y(threshold)
+    parts.append(f'<line x1="20" x2="{width - 65}" y1="{ty:.1f}" '
+                 f'y2="{ty:.1f}" stroke="{_ACCENT}" stroke-width="1.5" '
+                 f'stroke-dasharray="5,3"/>')
+    parts.append(f'<text x="{width - 60}" y="{ty + 4:.1f}" '
+                 f'font-size="10" fill="{_ACCENT}">thr {threshold:.0f}'
+                 f'</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_attribution_bars(by_context: Dict[str, Dict[str, float]], *,
+                         width: int = 420, bar_height: int = 16,
+                         title: str = "") -> str:
+    """Stacked per-context queueing bars by resource group."""
+    palette = ["#4878a8", "#c44e52", "#55a868", "#8172b3", "#ccb974",
+               "#64b5cd", "#8c8c8c"]
+    groups = sorted({g for parts in by_context.values() for g in parts})
+    color = {g: palette[i % len(palette)] for i, g in enumerate(groups)}
+    peak = max((sum(parts.values()) for parts in by_context.values()),
+               default=0.0) or 1.0
+    pad_t = 16 if title else 4
+    row_h = bar_height + 8
+    legend_h = 14 * len(groups)
+    height = pad_t + row_h * len(by_context) + legend_h + 8
+    label_w = 70
+    plot_w = width - label_w - 10
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    if title:
+        parts.append(f'<text x="{width / 2:.0f}" y="11" font-size="11" '
+                     f'text-anchor="middle" fill="{_ACCENT}">'
+                     f'{_esc(title)}</text>')
+    yy = pad_t
+    for ctx, ctx_parts in sorted(by_context.items()):
+        parts.append(f'<text x="0" y="{yy + bar_height - 3}" '
+                     f'font-size="11" fill="{_ACCENT}">{_esc(ctx)}</text>')
+        x = float(label_w)
+        for group in groups:
+            cycles = ctx_parts.get(group, 0.0)
+            if cycles <= 0:
+                continue
+            w = plot_w * cycles / peak
+            parts.append(f'<rect x="{x:.1f}" y="{yy}" width="{w:.1f}" '
+                         f'height="{bar_height}" fill="{color[group]}"/>')
+            x += w
+        parts.append(f'<text x="{x + 4:.1f}" '
+                     f'y="{yy + bar_height - 3}" font-size="10" '
+                     f'fill="#555">'
+                     f'{sum(ctx_parts.values()):.0f} cyc</text>')
+        yy += row_h
+    for i, group in enumerate(groups):
+        ly = yy + 10 + 14 * i
+        parts.append(f'<rect x="{label_w}" y="{ly - 9}" width="10" '
+                     f'height="10" fill="{color[group]}"/>')
+        parts.append(f'<text x="{label_w + 15}" y="{ly}" font-size="10" '
+                     f'fill="#555">{_esc(group)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# HTML assembly
+# ----------------------------------------------------------------------
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                caption: str = "") -> str:
+    parts = ["<table>"]
+    if caption:
+        parts.append(f"<caption>{_esc(caption)}</caption>")
+    parts.append("<tr>" + "".join(f"<th>{_esc(h)}</th>" for h in headers)
+                 + "</tr>")
+    for row in rows:
+        parts.append("<tr>" + "".join(f"<td>{_esc(_fmt(v))}</td>"
+                                      for v in row) + "</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _quality_section_html(quality: List[Dict[str, Any]]) -> List[str]:
+    out = ["<h2>Channel signal quality</h2>"]
+    for q in quality:
+        name = q.get("channel", "channel")
+        stats = q.get("stats", {})
+        out.append(f"<h3>{_esc(name)}</h3>")
+        rows = [
+            ["bits", q.get("n_bits", 0)],
+            ["tagged samples", q.get("n_samples", 0)],
+            ["BER", q.get("ber", 0.0)],
+            ["bandwidth (Kbps)", q.get("bandwidth_kbps", 0.0)],
+            ["bit-0 latency", f"{stats.get('mean0', 0)} "
+                              f"± {stats.get('std0', 0)} cyc"],
+            ["bit-1 latency", f"{stats.get('mean1', 0)} "
+                              f"± {stats.get('std1', 0)} cyc"],
+            ["threshold", stats.get("threshold", 0)],
+            ["margin", stats.get("margin", 0)],
+            ["eye height", stats.get("eye_height", 0)],
+            ["SNR", stats.get("snr", 0)],
+        ]
+        out.append(_html_table(["signal metric", "value"], rows))
+        hist = q.get("histogram", {})
+        out.append("<figure>"
+                   + svg_histogram(hist.get("edges", []),
+                                   hist.get("bit0", []),
+                                   hist.get("bit1", []),
+                                   title="spy latency by sent bit")
+                   + "<figcaption>blue: bit 0 &middot; red: bit 1"
+                     "</figcaption></figure>")
+        out.append("<figure>"
+                   + svg_eye_diagram(stats, title="eye")
+                   + "<figcaption>mean &plusmn; std per class"
+                     "</figcaption></figure>")
+        rolling = q.get("rolling_ber", [])
+        if rolling:
+            out.append(_html_table(
+                ["window"] + [str(i) for i in range(len(rolling))],
+                [["BER"] + [f"{b:.3f}" for b in rolling]],
+                caption="rolling BER over the bit stream"))
+        drift = q.get("drift", {})
+        if drift.get("drifted"):
+            out.append(f'<p class="flag">Threshold drift detected: '
+                       f'moved {_esc(drift.get("max_shift"))} cycles '
+                       f'(tolerance {_esc(drift.get("tolerance"))}).</p>')
+        elif drift:
+            out.append('<p class="meta">No threshold drift detected.'
+                       '</p>')
+    return out
+
+
+def _attribution_section_html(attribution: Dict[str, Any]) -> List[str]:
+    out = ["<h2>Contention attribution</h2>"]
+    by_context = attribution.get("by_context", {})
+    if not by_context:
+        out.append('<p class="meta">No queueing recorded.</p>')
+        return out
+    out.append("<figure>"
+               + svg_attribution_bars(by_context,
+                                      title="queueing cycles by resource")
+               + "</figure>")
+    rows = [[ctx, group, cycles]
+            for ctx, groups in by_context.items()
+            for group, cycles in sorted(groups.items(),
+                                        key=lambda kv: -kv[1])]
+    out.append(_html_table(["context", "resource", "wait cycles"], rows))
+    ports = attribution.get("by_port", {})
+    if ports:
+        port_rows = [[port, ctx, cycles]
+                     for port, waits in ports.items()
+                     for ctx, cycles in sorted(waits.items())]
+        out.append(_html_table(["port", "context", "wait cycles"],
+                               port_rows,
+                               caption="per-port drill-down"))
+    return out
+
+
+def render_report_html(manifests: List[Dict[str, Any]], *,
+                       title: str = "repro run report") -> str:
+    """One self-contained HTML dashboard over any number of manifests."""
+    from repro.obs.provenance import code_version
+
+    parts = ["<!DOCTYPE html>", '<html lang="en"><head>',
+             '<meta charset="utf-8">',
+             f"<title>{_esc(title)}</title>",
+             f"<style>{_STYLE}</style>", "</head><body>",
+             f"<h1>{_esc(title)}</h1>",
+             f'<p class="meta">rendered by {_esc(code_version())} '
+             f"over {len(manifests)} manifest(s)</p>"]
+    for i, manifest in enumerate(manifests):
+        prov = manifest.get("provenance", {})
+        counts = manifest.get("counts", {})
+        label = manifest.get("label") or f"run {i + 1}"
+        parts.append(f"<h2>Run: {_esc(label)}</h2>")
+        meta_rows = [
+            ["code version", prov.get("code_version", "unknown")],
+            ["tasks", sum(counts.values())],
+            ["ran / cached / failed",
+             f"{counts.get('ran', 0)} / {counts.get('cache', 0)} / "
+             f"{counts.get('failed', 0)}"],
+        ]
+        if manifest.get("wall_seconds") is not None:
+            meta_rows.append(["wall time",
+                              f"{manifest['wall_seconds']} s"])
+        if manifest.get("command"):
+            meta_rows.append(["command",
+                              " ".join(manifest["command"])])
+        parts.append(_html_table(["run fact", "value"], meta_rows))
+        failures = [t for t in manifest.get("tasks", [])
+                    if t.get("source") == "failed"]
+        if failures:
+            parts.append(_html_table(
+                ["task", "attempts", "error"],
+                [[t["label"], t["attempts"], t.get("error") or ""]
+                 for t in failures],
+                caption="failed tasks"))
+        for result in manifest.get("results", []):
+            scope = (f" [{result['spec_name']}]"
+                     if result.get("spec_name") else "")
+            parts.append(f"<h3>{_esc(result['experiment_id'])}{scope}: "
+                         f"{_esc(result['description'])}</h3>")
+            parts.append(_html_table(result["headers"], result["rows"]))
+        if manifest.get("quality"):
+            parts.extend(_quality_section_html(manifest["quality"]))
+        if manifest.get("attribution"):
+            parts.extend(
+                _attribution_section_html(manifest["attribution"]))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Markdown fallback
+# ----------------------------------------------------------------------
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> List[str]:
+    out = ["| " + " | ".join(str(h) for h in headers) + " |",
+           "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return out
+
+
+def render_report_markdown(manifests: List[Dict[str, Any]], *,
+                           title: str = "repro run report") -> str:
+    """Markdown rendering of the same dashboard (no figures)."""
+    from repro.obs.provenance import code_version
+
+    out = [f"# {title}", "",
+           f"_rendered by {code_version()} over "
+           f"{len(manifests)} manifest(s)_", ""]
+    for i, manifest in enumerate(manifests):
+        counts = manifest.get("counts", {})
+        label = manifest.get("label") or f"run {i + 1}"
+        out.append(f"## Run: {label}")
+        out.append("")
+        out.append(f"- tasks: {sum(counts.values())} "
+                   f"({counts.get('ran', 0)} ran, "
+                   f"{counts.get('cache', 0)} cached, "
+                   f"{counts.get('failed', 0)} failed)")
+        prov = manifest.get("provenance", {})
+        out.append(f"- code version: {prov.get('code_version', '?')}")
+        out.append("")
+        for result in manifest.get("results", []):
+            scope = (f" [{result['spec_name']}]"
+                     if result.get("spec_name") else "")
+            out.append(f"### {result['experiment_id']}{scope}: "
+                       f"{result['description']}")
+            out.append("")
+            out.extend(_md_table(result["headers"], result["rows"]))
+            out.append("")
+        for q in manifest.get("quality", []):
+            stats = q.get("stats", {})
+            out.append(f"### Signal quality: {q.get('channel')}")
+            out.append("")
+            out.extend(_md_table(
+                ["metric", "value"],
+                [["BER", q.get("ber")],
+                 ["bandwidth (Kbps)", q.get("bandwidth_kbps")],
+                 ["SNR", stats.get("snr")],
+                 ["eye height", stats.get("eye_height")],
+                 ["threshold", stats.get("threshold")],
+                 ["drifted", q.get("drift", {}).get("drifted")]]))
+            out.append("")
+        attribution = manifest.get("attribution")
+        if attribution and attribution.get("by_context"):
+            out.append("### Contention attribution")
+            out.append("")
+            out.extend(_md_table(
+                ["context", "resource", "wait cycles"],
+                [[ctx, group, cycles]
+                 for ctx, groups in attribution["by_context"].items()
+                 for group, cycles in sorted(groups.items(),
+                                             key=lambda kv: -kv[1])]))
+            out.append("")
+    return "\n".join(out)
+
+
+def write_report(path: str, manifests: List[Dict[str, Any]], *,
+                 fmt: Optional[str] = None,
+                 title: str = "repro run report") -> str:
+    """Render and write a dashboard; returns the format used.
+
+    ``fmt`` is ``"html"`` or ``"markdown"``; ``None`` infers from the
+    extension (``.md``/``.markdown`` → markdown, anything else HTML).
+    """
+    if fmt is None:
+        fmt = ("markdown" if path.endswith((".md", ".markdown"))
+               else "html")
+    if fmt not in ("html", "markdown"):
+        raise ValueError(f"unknown report format {fmt!r}; "
+                         f"choose 'html' or 'markdown'")
+    render = (render_report_html if fmt == "html"
+              else render_report_markdown)
+    text = render(manifests, title=title)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.write("\n")
+    return fmt

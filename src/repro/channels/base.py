@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -145,7 +145,22 @@ class CovertChannel(abc.ABC):
         """Transmit a byte string (MSB-first)."""
         return self.transmit(bits_from_bytes(data))
 
+    def _probe_recorder(self) -> Optional[Callable[[float], None]]:
+        """Raw probe-latency hook for kernel bodies (``record=`` arg).
+
+        Returns ``None`` on an unmetered device so the kernel hot loop
+        pays one identity check; otherwise a callable feeding each
+        observed probe latency into the
+        ``channel.<name>.probe_latency`` histogram.
+        """
+        obs = self.device.obs
+        if not obs.metrics_on:
+            return None
+        return obs.registry.histogram(
+            f"channel.{self.name}.probe_latency").observe
+
     def _result(self, sent: Bits, received: Bits, start_cycle: float,
+                bit_latencies: Optional[Sequence[Sequence[float]]] = None,
                 **meta: Any) -> ChannelResult:
         """Assemble a :class:`ChannelResult` ending now.
 
@@ -153,6 +168,13 @@ class CovertChannel(abc.ABC):
         (bits sent, bit errors, retransmissions, cycles per bit) are
         recorded on the metrics registry and the whole transmission
         becomes one span on the ``channel`` trace track.
+
+        ``bit_latencies`` aligns with ``sent``: the spy latencies
+        observed while bit ``i`` was on the wire (a sequence per bit, or
+        a bare float for single-probe channels).  On an observed device
+        they land ground-truth-tagged in ``device.obs.signal`` and this
+        transmission's slice is embedded in ``meta["signal_samples"]``
+        for :func:`repro.obs.quality.channel_quality`.
         """
         result = ChannelResult(
             sent=list(sent),
@@ -164,6 +186,14 @@ class CovertChannel(abc.ABC):
             meta=dict(meta),
         )
         obs = self.device.obs
+        signal = obs.signal
+        if signal is not None and bit_latencies is not None:
+            first = len(signal.samples)
+            for bit, lats in zip(sent, bit_latencies):
+                if isinstance(lats, (int, float)):
+                    lats = (lats,)
+                signal.record_bit(int(bit), lats)
+            result.meta["signal_samples"] = signal.samples[first:]
         if obs.metrics_on:
             reg = obs.registry
             prefix = f"channel.{self.name}"

@@ -78,9 +78,10 @@ class BaselineCacheChannel(CovertChannel):
     def _spy_body(self, ctx):
         # Warm once so a cold cache cannot masquerade as contention.
         yield from prime_set(self._spy_addrs)
+        record = self._probe_recorder()
         latencies = []
         for _ in range(self.iterations):
-            latency = yield from probe_set(self._spy_addrs)
+            latency = yield from probe_set(self._spy_addrs, record)
             latencies.append(latency)
         ctx.out.setdefault("latencies", {})[ctx.block_idx] = latencies
 
@@ -115,10 +116,18 @@ class BaselineCacheChannel(CovertChannel):
     def transmit(self, bits: Bits) -> ChannelResult:
         start = self.device.now
         received: List[int] = []
+        # Ground-truth per-bit spy latencies for the quality observatory;
+        # skipped entirely on an unobserved device.
+        bit_latencies: Optional[List[List[float]]] = (
+            [] if self.device.obs.signal is not None else None)
         for bit in bits:
             out = self._send_bit(int(bit))
             received.append(self._decode(out))
+            if bit_latencies is not None:
+                bit_latencies.append(
+                    out["latencies"][self.decode_block])
         return self._result(bits, received, start,
+                            bit_latencies=bit_latencies,
                             iterations=self.iterations,
                             level=self.level,
                             target_set=self.target_set)

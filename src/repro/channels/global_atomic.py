@@ -142,10 +142,18 @@ class GlobalAtomicChannel(CovertChannel):
             self.calibrate()
         start = self.device.now
         received: List[int] = []
+        # Per-bit spy atomic latencies for the quality observatory;
+        # skipped entirely on an unobserved device.
+        bit_latencies: Optional[List[List[float]]] = (
+            [] if self.device.obs.signal is not None else None)
         for bit in bits:
-            mean = self._mean_latency(self._send_bit(int(bit)))
+            out = self._send_bit(int(bit))
+            mean = self._mean_latency(out)
             received.append(1 if mean > self._threshold else 0)
+            if bit_latencies is not None:
+                bit_latencies.append(out["latencies"])
         return self._result(bits, received, start,
+                            bit_latencies=bit_latencies,
                             scenario=self.scenario,
                             iterations=self.iterations,
                             threshold=self._threshold)

@@ -62,13 +62,23 @@ def prime_set(addrs: List[int]):
         yield instr
 
 
-def probe_set(addrs: List[int]):
-    """Timed re-access of a set; returns mean observed cycles per load."""
+def probe_set(addrs: List[int], record=None):
+    """Timed re-access of a set; returns mean observed cycles per load.
+
+    ``record``, when given, is called with the observed latency — the
+    raw probe-stream emit point the channel-quality observatory hooks
+    (see :meth:`~repro.channels.base.CovertChannel._probe_recorder`).
+    The default ``None`` keeps the unobserved path to one identity
+    check.
+    """
     t0 = yield _READ_CLOCK
     for instr in _const_loads(addrs):
         yield instr
     t1 = yield _READ_CLOCK
-    return (t1 - t0) / len(addrs)
+    latency = (t1 - t0) / len(addrs)
+    if record is not None:
+        record(latency)
+    return latency
 
 
 def probe_misses(addrs: List[int], threshold: float):

@@ -237,6 +237,11 @@ class SynchronizedL1Channel(CovertChannel):
                       for s in range(self.data_sets)]
         stats: Dict[str, int] = {}
         received: List[int] = []
+        # Data-probe latencies for the quality observatory (the decode
+        # evidence); collected only on an observed device.
+        collect = self.device.obs.signal is not None
+        latencies: List[float] = []
+        record = self._probe_recorder()
         # Arm the RTS set so the trojan's prime is detectable.
         yield from prime_set(rts)
         rounds = _n_rounds(chunk_len, self.data_sets)
@@ -252,9 +257,14 @@ class SynchronizedL1Channel(CovertChannel):
                 yield from self._signal(rtr)
             yield isa.Sleep(self._data_wait)
             for addrs in data_addrs:
-                latency = yield from probe_set(addrs)
+                latency = yield from probe_set(addrs, record)
                 received.append(1 if latency > self.latency_threshold else 0)
+                if collect:
+                    latencies.append(latency)
         ctx.out.setdefault("bits", {})[ctx.smid] = received[:chunk_len]
+        if collect:
+            ctx.out.setdefault("latencies", {})[ctx.smid] = \
+                latencies[:chunk_len]
         ctx.out.setdefault("spy_stats", {})[ctx.smid] = stats
 
     # ------------------------------------------------------------------
@@ -293,12 +303,35 @@ class SynchronizedL1Channel(CovertChannel):
                 self.device.host_wait(6.0 * spec.launch_jitter_cycles)
         self.device.synchronize(kernels=[trojan, spy])
         received = self._merge(spy.out.get("bits", {}), len(bits))
+        bit_latencies = self._gather_latencies(
+            spy.out.get("latencies", {}), len(bits))
         return self._result(bits, received, start,
+                            bit_latencies=bit_latencies,
                             data_sets=self.data_sets,
                             parallel_sm=self.parallel_sm,
                             handshake=self.handshake,
                             spy_stats=spy.out.get("spy_stats", {}),
                             trojan_stats=trojan.out.get("trojan_stats", {}))
+
+    def _gather_latencies(self, per_sm: Dict[int, List[float]],
+                          n_bits: int) -> Optional[List[List[float]]]:
+        """Align per-SM data-probe latencies with message bit indices.
+
+        Inverse of the interleaving :meth:`_chunk_for` applied on the
+        way in; without ``parallel_sm`` every SM pair observed the whole
+        message, so each bit gets one sample per pair.  ``None`` when
+        the spy collected nothing (unobserved device).
+        """
+        if not per_sm:
+            return None
+        out: List[List[float]] = [[] for _ in range(n_bits)]
+        n_sms = self.device.spec.n_sms
+        for smid, chunk in per_sm.items():
+            for j, latency in enumerate(chunk):
+                idx = smid + j * n_sms if self.parallel_sm else j
+                if idx < n_bits:
+                    out[idx].append(latency)
+        return out
 
     def _merge(self, per_sm: Dict[int, List[int]], n_bits: int) -> List[int]:
         if not per_sm:

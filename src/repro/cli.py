@@ -26,11 +26,18 @@ Commands
 ``trace --gpu kepler --channel sync-l1 --bits 16 --out trace.json``
     Run one channel fully observed and export a Chrome trace-event file
     (open in ``chrome://tracing`` or https://ui.perfetto.dev).
-``stats <channel> [--out metrics.csv]``
-    Run one channel with metrics on and print the instrument table.
+``stats <channel> [--out metrics.csv] [--all | --skip-zero]``
+    Run one channel with metrics on and print the instrument table;
+    ``--all`` keeps zero-valued instruments, ``--skip-zero`` (the
+    default) omits them.
 ``profile fig5 [--top 25] [--trace profile.json]``
     Run one experiment under cProfile and print the hottest functions;
     ``--trace`` also exports the ranking as a Chrome trace-event file.
+``report run.json [...] [--out report.html] [--channels sync-l1]``
+    Aggregate run manifests (written by ``run``/``sweep --manifest``)
+    into a self-contained HTML dashboard — result tables, signal
+    quality, contention attribution — or markdown with ``--format
+    markdown``.  ``--channels`` adds live channel-quality probes.
 """
 
 from __future__ import annotations
@@ -126,7 +133,13 @@ def _build_cache(args: argparse.Namespace):
 
 
 def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
-    """Expand and execute a grid per the shared runner flags."""
+    """Expand and execute a grid per the shared runner flags.
+
+    With ``--manifest PATH`` the finished sweep is also written as a
+    structured run manifest (spec, seeds, outcomes, result tables,
+    wall time) for ``repro report`` to aggregate later.
+    """
+    import time
     from repro.experiments import EXPERIMENTS
     from repro.runner import expand_grid, run_tasks, stderr_reporter
     for exp_id in ids:
@@ -138,7 +151,8 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
     reporter = stderr_reporter(len(tasks)) if len(tasks) > 1 else None
     jobs = args.jobs if args.jobs is not None else \
         max(1, min(os.cpu_count() or 1, len(tasks)))
-    return run_tasks(
+    start = time.perf_counter()
+    report = run_tasks(
         tasks,
         jobs=jobs,
         cache=_build_cache(args),
@@ -146,6 +160,16 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
         timeout=args.timeout,
         reporter=reporter,
     )
+    if getattr(args, "manifest", None):
+        from repro.runner import build_manifest, write_manifest
+        manifest = build_manifest(
+            report,
+            command=getattr(args, "_argv", None),
+            wall_seconds=time.perf_counter() - start,
+            profile=args.profile)
+        write_manifest(args.manifest, manifest)
+        print(f"manifest: {args.manifest}", file=sys.stderr)
+    return report
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -310,20 +334,72 @@ def cmd_stats(args: argparse.Namespace) -> int:
     for name, value in sorted(snapshot.items()):
         if isinstance(value, dict):
             rendered = ", ".join(f"{k}={v:g}" for k, v in
-                                 sorted(value.items()) if v)
-            if not rendered:
+                                 sorted(value.items())
+                                 if v or not args.skip_zero)
+            if not rendered and args.skip_zero:
                 continue
             rows.append([name, rendered])
-        elif value:
+        elif value or not args.skip_zero:
             rows.append([name, f"{value:g}"])
     print(format_table(
         ["instrument", "value"], rows,
         title=f"{channel.name} on {spec.name}: {result.n_bits} bits, "
               f"{result.bandwidth_kbps:.1f} Kbps, BER {result.ber:.3f}"))
     if args.out:
-        write_metrics_csv(args.out, device, channel=channel.name,
-                          bits=result.n_bits, ber=result.ber)
+        write_metrics_csv(args.out, device, skip_zero=args.skip_zero,
+                          channel=channel.name, bits=result.n_bits,
+                          ber=result.ber)
         print(f"\nwrote {args.out}")
+    return 0
+
+
+def _probe_channel(args: argparse.Namespace, name: str) -> dict:
+    """Run one channel fully observed; return a manifest-shaped section
+    with its signal quality and contention attribution."""
+    from repro.obs.attribution import attribution_report
+    from repro.obs.quality import channel_quality
+    spec = _resolve_spec(args.gpu)
+    factory = _resolve_channel(name)
+    device = Device(spec, seed=args.seed, observe="metrics")
+    device.obs.start_attribution()
+    channel = factory(device)
+    result = channel.transmit_random(args.bits, seed=args.seed)
+    quality = channel_quality(result)
+    attribution = attribution_report(device)
+    device.obs.stop_attribution()
+    return {
+        "label": f"live probe: {channel.name} on {spec.name}",
+        "counts": {},
+        "tasks": [],
+        "results": [],
+        "quality": [quality.to_dict()],
+        "attribution": attribution.to_dict(),
+    }
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+    from repro.runner import load_manifest
+    sections = []
+    for path in args.manifests:
+        try:
+            manifest = load_manifest(path)
+        except (OSError, ValueError) as exc:
+            raise CliError(str(exc))
+        manifest.setdefault("label", os.path.basename(path))
+        sections.append(manifest)
+    if args.channels:
+        for name in (c.strip() for c in args.channels.split(",")):
+            if name:
+                sections.append(_probe_channel(args, name))
+    if not sections:
+        raise CliError("nothing to report: pass manifest paths "
+                       "and/or --channels")
+    fmt = "auto" if args.format == "auto" else args.format
+    fmt = write_report(args.out, sections,
+                       fmt=None if fmt == "auto" else fmt,
+                       title=args.title)
+    print(f"wrote {args.out} ({fmt}, {len(sections)} section(s))")
     return 0
 
 
@@ -406,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "repopulate the cache)")
         p.add_argument("--timeout", type=float, default=default_timeout,
                        help="per-task timeout in seconds")
+        p.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a structured run manifest (JSON) "
+                            "for `repro report`")
 
     p_run = sub.add_parser("run", help="regenerate experiments")
     p_run.add_argument("ids", nargs="*",
@@ -492,7 +571,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.add_argument("--out", default=None,
                          help="also write the snapshot as CSV")
-    p_stats.set_defaults(fn=cmd_stats)
+    zero = p_stats.add_mutually_exclusive_group()
+    zero.add_argument("--all", dest="skip_zero", action="store_false",
+                      help="include zero-valued instruments in the "
+                           "table and CSV")
+    zero.add_argument("--skip-zero", dest="skip_zero",
+                      action="store_true",
+                      help="omit zero-valued instruments (default)")
+    p_stats.set_defaults(fn=cmd_stats, skip_zero=True)
+
+    p_report = sub.add_parser(
+        "report", help="aggregate run manifests into a dashboard")
+    p_report.add_argument("manifests", nargs="*", metavar="MANIFEST",
+                          help="manifest JSON files written by "
+                               "run/sweep --manifest")
+    p_report.add_argument("--out", default="report.html",
+                          help="output path (default report.html)")
+    p_report.add_argument("--format", default="auto",
+                          choices=["auto", "html", "markdown"],
+                          help="auto infers from --out extension")
+    p_report.add_argument("--title", default="repro run report")
+    p_report.add_argument("--channels", default=None,
+                          help="comma-separated channels to live-probe "
+                               "for signal quality and contention "
+                               "attribution sections")
+    p_report.add_argument("--gpu", default="kepler",
+                          help="device for --channels probes")
+    p_report.add_argument("--bits", type=int, default=32,
+                          help="message length for --channels probes")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.set_defaults(fn=cmd_report)
 
     p_prof = sub.add_parser(
         "profile", help="run one experiment under cProfile")
@@ -522,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    # The argv that produced this run, recorded into run manifests.
+    args._argv = ["repro"] + list(argv if argv is not None
+                                  else sys.argv[1:])
     try:
         return args.fn(args)
     except CliError as exc:

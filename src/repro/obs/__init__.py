@@ -12,12 +12,22 @@ hardware actually did.  It provides:
   ``Device(observe=...)`` constructs and the simulator emits into.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (``chrome://tracing``
   / Perfetto), metrics CSV and an ASCII timeline.
+* :mod:`repro.obs.quality` — per-bit signal metrics: class-conditional
+  latency histograms, SNR/eye height, rolling BER, threshold drift.
+* :mod:`repro.obs.attribution` — decomposes observed latency into
+  per-resource queueing components via port wait ledgers.
 * :mod:`repro.obs.provenance` — spec/seed/git-rev stamps embedded in
   every export.
 
 See ``docs/observability.md`` for the instrument catalogue.
 """
 
+from repro.obs.attribution import (
+    AttributionReport,
+    attribute_waits,
+    attribution_report,
+    classify_port,
+)
 from repro.obs.core import (
     CacheAccess,
     DeviceObservability,
@@ -43,10 +53,24 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
 )
 from repro.obs.provenance import build_provenance, code_version, git_revision
+from repro.obs.quality import (
+    BitSample,
+    BitSignalRecorder,
+    ChannelQuality,
+    channel_quality,
+    detect_drift,
+    optimal_threshold,
+    rolling_ber,
+    signal_stats,
+)
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
+    "AttributionReport",
+    "BitSample",
+    "BitSignalRecorder",
     "CacheAccess",
+    "ChannelQuality",
     "Counter",
     "DeviceObservability",
     "Gauge",
@@ -60,13 +84,21 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "ascii_timeline",
+    "attribute_waits",
+    "attribution_report",
     "build_provenance",
+    "channel_quality",
     "chrome_trace",
+    "classify_port",
     "code_version",
     "coerce_observe",
+    "detect_drift",
     "git_revision",
     "metrics_csv",
+    "optimal_threshold",
     "pstats_chrome_trace",
+    "rolling_ber",
+    "signal_stats",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_pstats_chrome_trace",

@@ -1,0 +1,159 @@
+"""Contention attribution: *where* did the spy's latency come from?
+
+A spy probe reads one number — elapsed cycles — but that number is the
+sum of queueing at many distinct resources: cache ports, DRAM channels,
+atomic units, scheduler issue slots, functional-unit dispatch ports.
+The paper reasons about channels by resource ("the constant cache L1
+port", "the atomic units"); this module recovers that decomposition
+from a live simulation.
+
+Mechanics: :meth:`DeviceObservability.start_attribution` attaches an
+opt-in ``waits`` ledger (``context -> cumulative queueing cycles``) to
+every :class:`~repro.sim.resources.PipelinedPort`; each ``acquire()``
+that actually queues charges the wait to the requesting kernel context
+(``CovertChannel.TROJAN_CONTEXT`` / ``SPY_CONTEXT``).  This module
+classifies ports into resource groups by name and folds the ledgers
+into an :class:`AttributionReport`:
+
+    device.obs.start_attribution()
+    result = channel.transmit(bits)
+    report = attribution_report(device)
+    device.obs.stop_attribution()
+    print(report.render())
+
+The dominant resource group for the spy context should match the
+resource the channel is built on — anything else is a diagnostic
+(e.g. a "cache" channel whose spy mostly waits on issue slots is
+actually measuring scheduler pressure).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "AttributionReport",
+    "attribution_report",
+    "attribute_waits",
+    "classify_port",
+    "context_name",
+]
+
+#: Ordered (regex, resource group) classification rules over port names.
+#: First match wins; the names are assigned by the simulator structures
+#: themselves (``sm0.constL1.port``, ``dram3``, ``atomic1``,
+#: ``sm0.ws1.issue``, ``sm0.ws1.sfu``, ``sm0.shared``, ...).
+_PORT_CLASSES: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"^sm\d+\.constL1\b"), "l1_const_cache"),
+    (re.compile(r"^constL2\b"), "l2_const_cache"),
+    (re.compile(r"^dram\d+$"), "dram_channel"),
+    (re.compile(r"^atomic\d+$"), "atomic_unit"),
+    (re.compile(r"^sm\d+\.ws\d+\.issue$"), "scheduler_issue"),
+    (re.compile(r"^sm\d+\.(ws\d+|shared)\.(sp|dpu|sfu|ldst)$"),
+     "functional_unit"),
+    (re.compile(r"^sm\d+\.shared$"), "shared_memory"),
+]
+
+#: Human names for the well-known kernel contexts covert channels use.
+_CONTEXT_NAMES = {1: "trojan", 2: "spy", None: "(untagged)"}
+
+
+def classify_port(name: str) -> str:
+    """Resource group a port name belongs to (``"other"`` if unknown)."""
+    for pattern, group in _PORT_CLASSES:
+        if pattern.match(name):
+            return group
+    return "other"
+
+
+def context_name(context: Optional[int]) -> str:
+    """Display name for a kernel context id."""
+    return _CONTEXT_NAMES.get(context, f"context{context}")
+
+
+@dataclass
+class AttributionReport:
+    """Queueing cycles decomposed by (context, resource group).
+
+    ``by_context[ctx][group]`` is the cumulative cycles requests from
+    kernel context ``ctx`` spent queued at ports of ``group``.
+    ``by_port`` keeps the undigested ledger for drill-down.
+    """
+
+    by_context: Dict[Optional[int], Dict[str, float]] = \
+        field(default_factory=dict)
+    by_port: Dict[str, Dict[Optional[int], float]] = \
+        field(default_factory=dict)
+
+    def total(self, context: Optional[int]) -> float:
+        """All queueing cycles charged to one context."""
+        return sum(self.by_context.get(context, {}).values())
+
+    def breakdown(self, context: Optional[int]
+                  ) -> List[Tuple[str, float, float]]:
+        """``(group, cycles, fraction)`` rows, largest first."""
+        groups = self.by_context.get(context, {})
+        total = sum(groups.values())
+        rows = sorted(groups.items(), key=lambda kv: -kv[1])
+        return [(g, c, (c / total if total else 0.0)) for g, c in rows]
+
+    def dominant(self, context: Optional[int]) -> Optional[str]:
+        """Resource group this context queued at most (None if idle)."""
+        rows = self.breakdown(context)
+        return rows[0][0] if rows else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for run manifests and the report dashboard."""
+        return {
+            "by_context": {
+                context_name(ctx): {g: round(c, 3)
+                                    for g, c in groups.items()}
+                for ctx, groups in sorted(
+                    self.by_context.items(),
+                    key=lambda kv: (kv[0] is None, kv[0] or 0))
+            },
+            "by_port": {
+                port: {context_name(ctx): round(c, 3)
+                       for ctx, c in waits.items()}
+                for port, waits in sorted(self.by_port.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Terminal table of per-context queueing by resource group."""
+        if not self.by_context:
+            return "(no queueing recorded)"
+        lines = []
+        for ctx in sorted(self.by_context,
+                          key=lambda c: (c is None, c or 0)):
+            lines.append(f"{context_name(ctx)}: "
+                         f"{self.total(ctx):.0f} wait cycles")
+            for group, cycles, frac in self.breakdown(ctx):
+                lines.append(f"  {group:<18} {cycles:>12.1f}  "
+                             f"{frac * 100:5.1f}%")
+        return "\n".join(lines)
+
+
+def attribute_waits(waits: Dict[str, Dict[Optional[int], float]]
+                    ) -> AttributionReport:
+    """Fold raw ``port -> {context: cycles}`` ledgers into a report."""
+    report = AttributionReport(by_port={p: dict(w)
+                                        for p, w in waits.items()})
+    for port, ledger in waits.items():
+        group = classify_port(port)
+        for ctx, cycles in ledger.items():
+            per_ctx = report.by_context.setdefault(ctx, {})
+            per_ctx[group] = per_ctx.get(group, 0.0) + cycles
+    return report
+
+
+def attribution_report(device: Any) -> AttributionReport:
+    """Report over a device's live wait ledgers.
+
+    Requires :meth:`DeviceObservability.start_attribution` to be (or to
+    have been) active; with attribution never started this returns an
+    empty report.
+    """
+    return attribute_waits(device.obs.attribution_waits())

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import BitSignalRecorder
 from repro.obs.trace import DEFAULT_CAPACITY, NULL_TRACER, Tracer
 
 __all__ = ["CacheAccess", "ObserveConfig", "DeviceObservability"]
@@ -97,6 +98,16 @@ class DeviceObservability:
         #: point on these two plain attributes.
         self.metrics_on = self.config.metrics
         self.trace_on = self.config.trace
+        #: Per-bit signal recorder channels feed ground-truth-tagged
+        #: spy latencies into; ``None`` on an unobserved device so the
+        #: channel emit points stay a single identity check.
+        self.signal: Optional[BitSignalRecorder] = (
+            BitSignalRecorder() if self.enabled else None)
+        #: Hot-path flag for contention attribution.  When True, every
+        #: pipelined port carries a ``waits`` ledger and the cycle-
+        #: skipping inline paths route through ``acquire()`` so
+        #: per-context queueing is recorded.
+        self.attribution_on = False
         #: name -> cache, set while a cache-access capture is active
         #: (the detector's event stream).
         self._captured_caches: Optional[Dict[str, Any]] = None
@@ -139,6 +150,66 @@ class DeviceObservability:
             return {}
         return {name: list(cache.trace or [])
                 for name, cache in self._captured_caches.items()}
+
+    # ------------------------------------------------------------------
+    # Contention attribution (per-context port wait accounting)
+    # ------------------------------------------------------------------
+    def all_ports(self) -> Dict[str, Any]:
+        """Every pipelined port on the device, by name.
+
+        Cache ports, DRAM channels, atomic units, per-scheduler issue
+        and dispatch ports, and shared-memory ports — the same set
+        :meth:`snapshot` reads statistics from.
+        """
+        device = self.device
+        ports: Dict[str, Any] = {}
+        for cache in self._all_caches().values():
+            ports[cache.port.name] = cache.port
+        for port in device.memory.channels:
+            ports[port.name] = port
+        for port in device.memory.atomic_units:
+            ports[port.name] = port
+        for sm in device.sms:
+            ports[sm.shared_port.name] = sm.shared_port
+            for bank in sm.fu_banks:
+                ports[bank.issue_port.name] = bank.issue_port
+                for port in bank.unit_ports.values():
+                    ports[port.name] = port
+        return ports
+
+    def start_attribution(self) -> None:
+        """Attach a per-context wait ledger to every device port.
+
+        Independent of the ``observe=`` knob — attribution has its own
+        cost model (one dict update per *queued* acquire, nothing on
+        uncontended ones) and disables the cycle-skipping inline port
+        paths while active.  Idempotent; ledgers accumulate until
+        :meth:`stop_attribution`.
+        """
+        for port in self.all_ports().values():
+            if port.waits is None:
+                port.waits = {}
+        self.attribution_on = True
+
+    def stop_attribution(self) -> Dict[str, Dict[Optional[int], float]]:
+        """Detach all wait ledgers; returns the collected waits.
+
+        The returned mapping is ``port name -> {context: cycles}``,
+        restricted to ports that actually saw queueing.
+        """
+        collected: Dict[str, Dict[Optional[int], float]] = {}
+        for name, port in self.all_ports().items():
+            if port.waits:
+                collected[name] = dict(port.waits)
+            port.waits = None
+        self.attribution_on = False
+        return collected
+
+    def attribution_waits(self) -> Dict[str, Dict[Optional[int], float]]:
+        """Current wait ledgers without detaching (live view)."""
+        return {name: dict(port.waits)
+                for name, port in self.all_ports().items()
+                if port.waits}
 
     # ------------------------------------------------------------------
     # Pull-based collection
@@ -193,6 +264,8 @@ class DeviceObservability:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Reset push instruments and clear the trace buffer."""
+        """Reset push instruments, signal samples and the trace buffer."""
         self.registry.reset()
         self.tracer.clear()
+        if self.signal is not None:
+            self.signal.clear()

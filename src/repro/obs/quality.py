@@ -1,0 +1,393 @@
+"""Per-bit channel-quality analysis: signal separation, BER, drift.
+
+The paper characterizes every channel by two end numbers — bandwidth
+and error rate.  *Diagnosing* a noisy configuration needs the signals
+behind those numbers: what latency distribution did the spy observe for
+ground-truth 0-bits vs 1-bits, how far apart are the classes, where
+should the decision threshold sit, and does it move mid-transmission?
+
+Channels feed a :class:`BitSignalRecorder` (hanging off
+``device.obs.signal`` whenever the device is observed) with one record
+per decoded symbol: the ground-truth bit and the latency the spy
+measured for it.  Everything else in this module is pure analysis over
+those samples:
+
+* :func:`class_latencies` / :func:`latency_histogram` — class-conditional
+  latency distributions (the Section 4.2 "49 vs 112 cycles" picture).
+* :func:`optimal_threshold` — the latency cut minimizing decode errors.
+* :func:`signal_stats` — SNR, eye height and threshold margin.
+* :func:`rolling_ber` — windowed BER over the bit stream.
+* :func:`detect_drift` — flags when the optimal threshold moves between
+  windows of the transmission (e.g. a bystander arriving mid-message).
+* :func:`channel_quality` — one :class:`ChannelQuality` bundling all of
+  the above, renderable as text and serializable into run manifests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "BitSample",
+    "BitSignalRecorder",
+    "ChannelQuality",
+    "DriftReport",
+    "channel_quality",
+    "class_latencies",
+    "detect_drift",
+    "latency_histogram",
+    "optimal_threshold",
+    "rolling_ber",
+    "signal_stats",
+]
+
+
+class BitSample(NamedTuple):
+    """One decoded symbol: ground-truth bit and observed spy latency."""
+
+    index: int
+    bit: int
+    latency: float
+
+
+class BitSignalRecorder:
+    """Collects ground-truth-tagged spy latencies during a transmission.
+
+    One recorder hangs off :class:`~repro.obs.core.DeviceObservability`
+    as ``device.obs.signal`` whenever the device is observed; channels
+    append to it from their emit points (see
+    :meth:`repro.channels.base.CovertChannel._result`).  Multiple
+    latencies per bit (one per probe round, or one per co-resident SM
+    pair) are all recorded under the same bit index.
+    """
+
+    __slots__ = ("samples", "_next_index")
+
+    def __init__(self) -> None:
+        self.samples: List[BitSample] = []
+        self._next_index = 0
+
+    def record(self, bit: int, latency: float,
+               index: Optional[int] = None) -> None:
+        """Append one sample; ``index`` defaults to arrival order."""
+        if index is None:
+            index = self._next_index
+        self._next_index = index + 1
+        self.samples.append(BitSample(index, int(bit), float(latency)))
+
+    def record_bit(self, bit: int, latencies: Sequence[float]) -> None:
+        """Append every probe latency observed for one transmitted bit."""
+        index = self._next_index
+        bit = int(bit)
+        for latency in latencies:
+            self.samples.append(BitSample(index, bit, float(latency)))
+        self._next_index = index + 1
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def clear(self) -> None:
+        """Drop all samples and restart indexing."""
+        self.samples.clear()
+        self._next_index = 0
+
+
+# ----------------------------------------------------------------------
+# Class-conditional statistics
+# ----------------------------------------------------------------------
+def class_latencies(samples: Sequence[BitSample]
+                    ) -> Tuple[List[float], List[float]]:
+    """Latencies split by ground-truth class: ``(bit0, bit1)``."""
+    lat0 = [s.latency for s in samples if s.bit == 0]
+    lat1 = [s.latency for s in samples if s.bit != 0]
+    return lat0, lat1
+
+
+def latency_histogram(values: Sequence[float], *, bins: int = 24,
+                      lo: Optional[float] = None,
+                      hi: Optional[float] = None
+                      ) -> Tuple[List[float], List[int]]:
+    """Fixed-width histogram: ``(bin_edges, counts)``.
+
+    ``len(edges) == bins + 1``; empty input yields all-zero counts over
+    a degenerate [0, 1] range so renderers never special-case.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    if not values:
+        edges = [i / bins for i in range(bins + 1)]
+        return edges, [0] * bins
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = (hi - lo) or 1.0
+    edges = [lo + span * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for v in values:
+        b = int((v - lo) / span * bins)
+        if b < 0:
+            b = 0
+        elif b >= bins:
+            b = bins - 1
+        counts[b] += 1
+    return edges, counts
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(var)
+
+
+def optimal_threshold(samples: Sequence[BitSample]) -> float:
+    """Latency cut minimizing decode errors (1 decoded above the cut).
+
+    Sweeps every midpoint between adjacent distinct latencies; ties
+    resolve to the lowest-error cut closest to the midpoint between the
+    class means.  With one class absent, falls back to that class's
+    mean (no separation exists to optimize).
+    """
+    lat0, lat1 = class_latencies(samples)
+    if not lat0 or not lat1:
+        mean, _ = _mean_std(lat0 or lat1)
+        return mean
+    points = sorted({s.latency for s in samples})
+    cuts = [(points[i] + points[i + 1]) / 2.0
+            for i in range(len(points) - 1)]
+    cuts.append(points[0] - 1.0)
+    cuts.append(points[-1] + 1.0)
+    center = (_mean_std(lat0)[0] + _mean_std(lat1)[0]) / 2.0
+    best_cut, best_err = center, float("inf")
+    for cut in cuts:
+        errors = sum(1 for lat in lat0 if lat > cut)
+        errors += sum(1 for lat in lat1 if lat <= cut)
+        if errors < best_err or (errors == best_err
+                                 and abs(cut - center)
+                                 < abs(best_cut - center)):
+            best_cut, best_err = cut, errors
+    return best_cut
+
+
+def signal_stats(samples: Sequence[BitSample],
+                 threshold: Optional[float] = None) -> Dict[str, float]:
+    """Separation metrics for the two latency classes.
+
+    * ``snr`` — ``(mean1 - mean0)^2 / (var0 + var1)`` (inf when both
+      classes are noiseless, 0 when a class is missing).
+    * ``eye_height`` — ``min(bit1) - max(bit0)``: the open vertical gap
+      of the eye diagram; negative when the classes overlap.
+    * ``margin`` — distance from the decision threshold to the nearest
+      class mean; negative when the threshold sits outside the means.
+    """
+    lat0, lat1 = class_latencies(samples)
+    mean0, std0 = _mean_std(lat0)
+    mean1, std1 = _mean_std(lat1)
+    if threshold is None:
+        threshold = optimal_threshold(samples)
+    out = {
+        "n0": float(len(lat0)), "n1": float(len(lat1)),
+        "mean0": mean0, "mean1": mean1, "std0": std0, "std1": std1,
+        "threshold": threshold,
+    }
+    if not lat0 or not lat1:
+        out.update(snr=0.0, eye_height=0.0, margin=0.0)
+        return out
+    noise = std0 ** 2 + std1 ** 2
+    delta = mean1 - mean0
+    out["snr"] = (delta ** 2 / noise) if noise > 0 else float("inf")
+    out["eye_height"] = min(lat1) - max(lat0)
+    out["margin"] = min(mean1 - threshold, threshold - mean0)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Temporal structure
+# ----------------------------------------------------------------------
+def rolling_ber(sent: Sequence[int], received: Sequence[int],
+                window: int = 16) -> List[float]:
+    """BER over consecutive windows of the bit stream.
+
+    The final window may be shorter; an empty message yields ``[]``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = min(len(sent), len(received))
+    out: List[float] = []
+    for start in range(0, n, window):
+        stop = min(start + window, n)
+        errors = sum(1 for i in range(start, stop)
+                     if int(sent[i]) != int(received[i]))
+        out.append(errors / (stop - start))
+    return out
+
+
+@dataclass
+class DriftReport:
+    """Whether the optimal decision threshold moved mid-transmission."""
+
+    window_thresholds: List[float] = field(default_factory=list)
+    global_threshold: float = 0.0
+    max_shift: float = 0.0
+    #: Shift (in cycles) beyond which drift is flagged.
+    tolerance: float = 0.0
+    drifted: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "window_thresholds": [round(t, 3)
+                                  for t in self.window_thresholds],
+            "global_threshold": round(self.global_threshold, 3),
+            "max_shift": round(self.max_shift, 3),
+            "tolerance": round(self.tolerance, 3),
+            "drifted": self.drifted,
+        }
+
+
+def detect_drift(samples: Sequence[BitSample], *, windows: int = 4,
+                 rel_tolerance: float = 0.25) -> DriftReport:
+    """Flag a moving decision threshold across transmission windows.
+
+    Splits the sample stream into ``windows`` equal spans (by bit
+    index), recomputes the optimal threshold per span, and flags drift
+    when any span's threshold departs from the global one by more than
+    ``rel_tolerance`` of the class-mean separation.  Spans missing one
+    of the classes are skipped (no threshold is defined there).
+    """
+    if windows < 2:
+        raise ValueError("windows must be >= 2")
+    report = DriftReport(global_threshold=optimal_threshold(samples))
+    if not samples:
+        return report
+    lat0, lat1 = class_latencies(samples)
+    separation = abs(_mean_std(lat1)[0] - _mean_std(lat0)[0])
+    report.tolerance = rel_tolerance * separation
+    lo = min(s.index for s in samples)
+    hi = max(s.index for s in samples)
+    span = (hi - lo + 1) / windows
+    for w in range(windows):
+        lo_w = lo + w * span
+        hi_w = lo + (w + 1) * span
+        chunk = [s for s in samples if lo_w <= s.index < hi_w]
+        c0, c1 = class_latencies(chunk)
+        if not c0 or not c1:
+            continue
+        report.window_thresholds.append(optimal_threshold(chunk))
+    if report.window_thresholds and separation > 0:
+        report.max_shift = max(abs(t - report.global_threshold)
+                               for t in report.window_thresholds)
+        report.drifted = report.max_shift > report.tolerance
+    return report
+
+
+# ----------------------------------------------------------------------
+# The bundled report
+# ----------------------------------------------------------------------
+@dataclass
+class ChannelQuality:
+    """Everything the observatory knows about one transmission."""
+
+    channel: str = ""
+    n_bits: int = 0
+    n_samples: int = 0
+    ber: float = 0.0
+    bandwidth_kbps: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+    rolling: List[float] = field(default_factory=list)
+    drift: DriftReport = field(default_factory=DriftReport)
+    #: Class-conditional histograms over a shared binning:
+    #: ``(edges, counts0, counts1)``.
+    histogram: Tuple[List[float], List[int], List[int]] = \
+        field(default_factory=lambda: ([], [], []))
+
+    @property
+    def snr(self) -> float:
+        return self.stats.get("snr", 0.0)
+
+    @property
+    def eye_height(self) -> float:
+        return self.stats.get("eye_height", 0.0)
+
+    @property
+    def threshold(self) -> float:
+        return self.stats.get("threshold", 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for run manifests and the report dashboard."""
+        edges, c0, c1 = self.histogram
+        return {
+            "channel": self.channel,
+            "n_bits": self.n_bits,
+            "n_samples": self.n_samples,
+            "ber": round(self.ber, 6),
+            "bandwidth_kbps": round(self.bandwidth_kbps, 3),
+            "stats": {k: (round(v, 4) if math.isfinite(v) else "inf")
+                      for k, v in self.stats.items()},
+            "rolling_ber": [round(b, 4) for b in self.rolling],
+            "drift": self.drift.to_dict(),
+            "histogram": {"edges": [round(e, 3) for e in edges],
+                          "bit0": list(c0), "bit1": list(c1)},
+        }
+
+    def render(self) -> str:
+        """Terminal digest of the signal quality."""
+        s = self.stats
+        lines = [
+            f"channel {self.channel}: {self.n_bits} bits, "
+            f"{self.n_samples} tagged samples, BER {self.ber:.4f}",
+            f"  bit0 latency {s.get('mean0', 0.0):.1f} "
+            f"± {s.get('std0', 0.0):.1f} cycles "
+            f"({int(s.get('n0', 0))} samples)",
+            f"  bit1 latency {s.get('mean1', 0.0):.1f} "
+            f"± {s.get('std1', 0.0):.1f} cycles "
+            f"({int(s.get('n1', 0))} samples)",
+            f"  threshold {self.threshold:.1f}  "
+            f"margin {s.get('margin', 0.0):.1f}  "
+            f"eye {self.eye_height:.1f}  SNR {self.snr:.2f}",
+        ]
+        if self.rolling:
+            worst = max(self.rolling)
+            lines.append(f"  rolling BER: worst window {worst:.3f} "
+                         f"over {len(self.rolling)} window(s)")
+        if self.drift.drifted:
+            lines.append(f"  DRIFT: threshold moved {self.drift.max_shift:.1f}"
+                         f" cycles (> {self.drift.tolerance:.1f} tolerance)")
+        return "\n".join(lines)
+
+
+def channel_quality(result: Any,
+                    samples: Optional[Sequence[BitSample]] = None,
+                    *, window: int = 16, bins: int = 24,
+                    drift_windows: int = 4) -> ChannelQuality:
+    """Build a :class:`ChannelQuality` from a transmission.
+
+    ``result`` is a :class:`~repro.channels.base.ChannelResult`;
+    ``samples`` the tagged latencies (defaults to the recorder embedded
+    in the result's meta under ``"signal_samples"``, which
+    :meth:`CovertChannel._result` stores when the device is observed).
+    """
+    if samples is None:
+        samples = result.meta.get("signal_samples", [])
+    samples = list(samples)
+    stats = signal_stats(samples)
+    lat0, lat1 = class_latencies(samples)
+    both = lat0 + lat1
+    edges, _ = latency_histogram(both, bins=bins)
+    lo = edges[0]
+    hi = edges[-1]
+    _, counts0 = latency_histogram(lat0, bins=bins, lo=lo, hi=hi)
+    _, counts1 = latency_histogram(lat1, bins=bins, lo=lo, hi=hi)
+    return ChannelQuality(
+        channel=getattr(result, "channel", ""),
+        n_bits=result.n_bits,
+        n_samples=len(samples),
+        ber=result.ber,
+        bandwidth_kbps=result.bandwidth_kbps,
+        stats=stats,
+        rolling=rolling_ber(result.sent, result.received, window=window),
+        drift=detect_drift(samples, windows=drift_windows)
+        if samples else DriftReport(),
+        histogram=(edges, counts0, counts1),
+    )

@@ -27,6 +27,11 @@ from repro.runner.cache import (
 )
 from repro.runner.grid import Task, expand_grid, parse_seeds
 from repro.runner.keys import cache_key, snapshot_key, spec_fingerprint
+from repro.runner.manifest import (
+    build_manifest,
+    load_manifest,
+    write_manifest,
+)
 from repro.runner.pool import (
     SweepReport,
     TaskOutcome,
@@ -43,13 +48,16 @@ __all__ = [
     "SweepReport",
     "Task",
     "TaskOutcome",
+    "build_manifest",
     "cache_key",
     "snapshot_key",
     "default_cache_dir",
     "expand_grid",
+    "load_manifest",
     "parse_seeds",
     "run_all",
     "run_tasks",
     "spec_fingerprint",
     "stderr_reporter",
+    "write_manifest",
 ]

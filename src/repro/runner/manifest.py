@@ -1,0 +1,128 @@
+"""Run manifests: structured, self-describing records of sweep runs.
+
+A manifest is one JSON document capturing everything needed to audit —
+or re-render — a sweep after the fact: the task grid (spec names, seeds,
+profile), per-task outcomes (ran/cached/failed, wall seconds, attempts),
+the full result tables, and a provenance stamp (code version, git
+revision).  ``repro run --manifest out.json`` and ``repro sweep
+--manifest out.json`` write one; ``repro report`` aggregates any number
+of them into a dashboard (:mod:`repro.analysis.report`).
+
+The schema is versioned (``MANIFEST_VERSION``) and everything in it is
+plain JSON — no pickles — so manifests stay readable across code
+versions and can be archived as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "load_manifest",
+    "write_manifest",
+]
+
+MANIFEST_KIND = "repro-run-manifest"
+MANIFEST_VERSION = 1
+
+
+def _result_payload(result: Any) -> Dict[str, Any]:
+    """JSON form of one :class:`~repro.experiments.ExperimentResult`."""
+    return {
+        "experiment_id": result.experiment_id,
+        "description": result.description,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "spec_name": result.spec_name,
+        "seed": result.seed,
+        "profile": result.profile,
+        "provenance": dict(result.provenance),
+    }
+
+
+def _outcome_payload(outcome: Any) -> Dict[str, Any]:
+    """JSON form of one :class:`~repro.runner.pool.TaskOutcome`."""
+    task = outcome.task
+    return {
+        "label": task.label(),
+        "experiment_id": task.experiment_id,
+        "gpu": task.gpu,
+        "seed": task.seed,
+        "profile": task.profile,
+        "source": outcome.source,
+        "seconds": round(outcome.seconds, 4),
+        "attempts": outcome.attempts,
+        "error": outcome.error,
+    }
+
+
+def build_manifest(report: Any, *,
+                   command: Optional[Sequence[str]] = None,
+                   wall_seconds: Optional[float] = None,
+                   quality: Optional[List[Dict[str, Any]]] = None,
+                   attribution: Optional[Dict[str, Any]] = None,
+                   **extra: Any) -> Dict[str, Any]:
+    """Assemble a manifest from a finished sweep.
+
+    ``report`` is a :class:`~repro.runner.pool.SweepReport`;
+    ``command`` the CLI argv that produced it; ``quality`` a list of
+    :meth:`~repro.obs.quality.ChannelQuality.to_dict` payloads and
+    ``attribution`` an
+    :meth:`~repro.obs.attribution.AttributionReport.to_dict` payload
+    when channel probes ran alongside the sweep.  Extra keyword facts
+    land under ``"extra"``.
+    """
+    from repro.obs.provenance import code_version, git_revision
+
+    counts = report.counts()
+    manifest: Dict[str, Any] = {
+        "kind": MANIFEST_KIND,
+        "version": MANIFEST_VERSION,
+        "created_unix": round(time.time(), 3),
+        "provenance": {
+            "code_version": code_version(),
+            "git_rev": git_revision() or "unknown",
+        },
+        "command": list(command) if command is not None else None,
+        "wall_seconds": (round(wall_seconds, 3)
+                         if wall_seconds is not None else None),
+        "counts": counts,
+        "cache_hits": counts.get("cache", 0),
+        "tasks": [_outcome_payload(o) for o in report.outcomes],
+        "results": [_result_payload(o.result)
+                    for o in report.outcomes if o.ok],
+    }
+    if quality is not None:
+        manifest["quality"] = quality
+    if attribution is not None:
+        manifest["attribution"] = attribution
+    if extra:
+        manifest["extra"] = extra
+    return manifest
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    """Serialize a manifest as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    """Read a manifest back, validating kind and version."""
+    with open(path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if not isinstance(manifest, dict) \
+            or manifest.get("kind") != MANIFEST_KIND:
+        raise ValueError(f"{path} is not a {MANIFEST_KIND} document")
+    version = manifest.get("version")
+    if not isinstance(version, int) or version > MANIFEST_VERSION:
+        raise ValueError(
+            f"{path} has manifest version {version!r}; this code "
+            f"reads up to version {MANIFEST_VERSION}")
+    return manifest

@@ -2,13 +2,19 @@
 
 The reporter is a plain callback object so the pool driver stays free
 of I/O policy: the CLI hands it a stream, tests hand it nothing and
-read the collected records afterwards.
+read the collected records afterwards.  Progress lines carry a
+rolling-rate ETA — remaining tasks over the completion rate of the
+last few finishes, so the estimate tracks the *current* pace (cache
+hits land instantly, cold cells take seconds; a whole-run average
+would split the difference and be wrong for both).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import IO, List, Optional
+import time
+from collections import deque
+from typing import IO, Callable, List, Optional
 
 from repro.runner.grid import Task
 
@@ -17,27 +23,69 @@ __all__ = ["ProgressReporter"]
 #: Outcome sources, in display order.
 _SOURCES = ("ran", "cache", "failed")
 
+#: Completions the rolling-rate ETA window covers.
+_ETA_WINDOW = 8
+
 
 class ProgressReporter:
     """Collects per-task progress records, optionally echoing them.
 
     ``stream=None`` keeps it silent (library/test use); the CLI passes
     ``sys.stderr`` so progress never pollutes the result tables on
-    stdout.
+    stdout.  ``clock`` is injectable for deterministic ETA tests.
     """
 
-    def __init__(self, total: int, stream: Optional[IO[str]] = None
-                 ) -> None:
+    def __init__(self, total: int, stream: Optional[IO[str]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.total = total
         self.stream = stream
         self.records: List[str] = []
         self.counts = {source: 0 for source in _SOURCES}
+        #: Total attempts across all finished tasks (>= task count;
+        #: the excess is retries).
+        self.attempts = 0
+        self._clock = clock
+        self._start = clock()
+        self._window: deque = deque(maxlen=_ETA_WINDOW)
 
+    # ------------------------------------------------------------------
+    def _eta_seconds(self, done: int, now: float) -> Optional[float]:
+        """Rolling-rate estimate of seconds until the sweep finishes."""
+        remaining = self.total - done
+        if remaining <= 0 or done <= 0:
+            return None
+        if len(self._window) == self._window.maxlen:
+            # Window full: rate over the spread of the last N finishes
+            # (N timestamps bound N-1 completion intervals).
+            span = now - self._window[0]
+            completions = len(self._window) - 1
+        else:
+            span = now - self._start
+            completions = done
+        if span <= 0 or completions <= 0:
+            return 0.0
+        return remaining * span / completions
+
+    @staticmethod
+    def _format_eta(eta: float) -> str:
+        if eta >= 120.0:
+            return f"{eta / 60:.1f}m"
+        return f"{eta:.0f}s"
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first, summed over finished tasks."""
+        return self.attempts - sum(self.counts.values())
+
+    # ------------------------------------------------------------------
     def task_done(self, task: Task, source: str, seconds: float,
                   attempts: int = 1,
                   error: Optional[str] = None) -> None:
         """Record one finished task (``source``: ran/cache/failed)."""
+        now = self._clock()
         self.counts[source] = self.counts.get(source, 0) + 1
+        self.attempts += attempts
+        self._window.append(now)
         done = sum(self.counts.values())
         note = ""
         if attempts > 1:
@@ -46,15 +94,28 @@ class ProgressReporter:
             note += f": {error}"
         line = (f"[{done}/{self.total}] {task.label()} — "
                 f"{source}{note} in {seconds:.2f}s")
+        eta = self._eta_seconds(done, now)
+        if eta is not None:
+            line += f"  eta {self._format_eta(eta)}"
         self.records.append(line)
         if self.stream is not None:
             print(line, file=self.stream, flush=True)
 
     def summary(self) -> str:
-        """One-line aggregate, e.g. ``12 tasks: 8 ran, 3 cached, 1 failed``."""
-        return (f"{self.total} tasks: {self.counts['ran']} ran, "
+        """One-line aggregate with attempt accounting.
+
+        E.g. ``12 tasks: 8 ran, 3 cached, 1 failed, 2 retries
+        (14 attempts)``; the retry clause appears only when a task
+        needed more than one attempt.
+        """
+        base = (f"{self.total} tasks: {self.counts['ran']} ran, "
                 f"{self.counts['cache']} cached, "
                 f"{self.counts['failed']} failed")
+        retries = self.retries
+        if retries > 0:
+            noun = "retry" if retries == 1 else "retries"
+            base += f", {retries} {noun} ({self.attempts} attempts)"
+        return base
 
 
 def stderr_reporter(total: int) -> ProgressReporter:

@@ -117,10 +117,11 @@ class ConstCache:
             lines.clear()
 
     def reset_stats(self) -> None:
-        """Zero hit/miss counters."""
+        """Zero hit/miss counters and the port's instruments."""
         self.hit_counter.reset()
         self.miss_counter.reset()
         self.set_misses = [0] * self._n_sets
+        self.port.reset_stats()
 
     # ------------------------------------------------------------------
     @property

@@ -73,7 +73,8 @@ class SchedulerFuBank:
         self._plans[op] = plan
         return plan
 
-    def execute_chain(self, now: float, op: str, count: int) -> float:
+    def execute_chain(self, now: float, op: str, count: int,
+                      context: Optional[int] = None) -> float:
         """Run ``count`` *dependent* ops of one warp; returns finish time.
 
         Each op first wins an issue slot from the scheduler, then
@@ -87,9 +88,11 @@ class SchedulerFuBank:
         interval = self._issue_interval
         iport = self.issue_port
         metrics = self.metrics
-        if metrics is None:
+        if metrics is None and iport.waits is None:
             # Hot path: the two acquire() calls inlined, statistics
-            # folded into one bulk update after the chain.
+            # folded into one bulk update after the chain.  Attribution
+            # (``waits`` attached) routes through acquire() instead so
+            # per-context queueing is recorded.
             t = now
             for _ in range(count):
                 free = iport.free_at
@@ -108,20 +111,22 @@ class SchedulerFuBank:
         issue_stall = 0.0
         dispatch_stall = 0.0
         for _ in range(count):
-            issued = iport.acquire(t, interval)
-            start = port.acquire(issued, occupancy)
+            issued = iport.acquire(t, interval, context)
+            start = port.acquire(issued, occupancy, context)
             issue_stall += issued - t
             dispatch_stall += start - issued
             t = start + latency + overhead
-        ops, istall, dstall = metrics[unit]
-        ops.inc(count)
-        istall.inc(issue_stall)
-        dstall.inc(dispatch_stall)
+        if metrics is not None:
+            ops, istall, dstall = metrics[unit]
+            ops.inc(count)
+            istall.inc(issue_stall)
+            dstall.inc(dispatch_stall)
         return t
 
-    def issue_only(self, now: float) -> float:
+    def issue_only(self, now: float,
+                   context: Optional[int] = None) -> float:
         """Consume one bare issue slot (clock reads, control overhead)."""
-        start = self.issue_port.acquire(now, self._issue_interval)
+        start = self.issue_port.acquire(now, self._issue_interval, context)
         return start + self._issue_interval
 
     def reset(self) -> None:

@@ -19,7 +19,7 @@ atomic units.  The model here reproduces both facts:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.arch.specs import MemorySpec
 from repro.sim.resources import PipelinedPort
@@ -73,28 +73,31 @@ class GlobalMemory:
         return self.atomic_units[segment % len(self.atomic_units)]
 
     # ------------------------------------------------------------------
-    def warp_load(self, now: float, addrs: Sequence[int]) -> float:
+    def warp_load(self, now: float, addrs: Sequence[int],
+                  context: Optional[int] = None) -> float:
         """Issue a coalesced warp load; returns completion time."""
         finish = now
         for segment in self._segments(addrs):
             port = self._channel_for(segment)
-            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY)
+            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY, context)
             finish = max(finish, start + self.spec.load_latency)
             self.load_transactions += 1
         return finish
 
-    def warp_store(self, now: float, addrs: Sequence[int]) -> float:
+    def warp_store(self, now: float, addrs: Sequence[int],
+                   context: Optional[int] = None) -> float:
         """Issue a coalesced warp store; completes at write-queue accept."""
         finish = now
         for segment in self._segments(addrs):
             port = self._channel_for(segment)
-            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY)
+            start = port.acquire(now, LOAD_SEGMENT_OCCUPANCY, context)
             # Stores retire once accepted by the channel write queue.
             finish = max(finish, start + LOAD_SEGMENT_OCCUPANCY)
             self.load_transactions += 1
         return finish
 
-    def warp_atomic(self, now: float, addrs: Sequence[int]) -> float:
+    def warp_atomic(self, now: float, addrs: Sequence[int],
+                    context: Optional[int] = None) -> float:
         """Issue a warp-wide atomic; returns completion time.
 
         Each unique address is one read-modify-write serialized at the
@@ -109,7 +112,7 @@ class GlobalMemory:
             unique_ops = len(unique_addrs)
             occupancy = (unique_ops * self.spec.atomic_service
                          + ATOMIC_SEGMENT_OVERHEAD)
-            start = unit.acquire(now, occupancy)
+            start = unit.acquire(now, occupancy, context)
             finish = max(
                 finish, start + occupancy + self.spec.transaction_cycles
             )

@@ -14,7 +14,7 @@ Section 7):
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class PipelinedPort:
@@ -24,17 +24,26 @@ class PipelinedPort:
     actually starts service; the caller adds its own latency on top.
     Requests queue in arrival order, which is exactly the round-robin
     service the paper observes for warps sharing a scheduler.
+
+    ``waits`` is the opt-in contention-attribution ledger: ``None`` by
+    default (the hot path pays one identity check), or a
+    ``context -> cumulative wait cycles`` dict once
+    :meth:`~repro.obs.core.DeviceObservability.start_attribution`
+    attaches one.  Callers that know the requester pass ``context`` to
+    :meth:`acquire`; anonymous callers accumulate under ``None``.
     """
 
-    __slots__ = ("name", "free_at", "busy_cycles", "requests")
+    __slots__ = ("name", "free_at", "busy_cycles", "requests", "waits")
 
     def __init__(self, name: str = "port") -> None:
         self.name = name
         self.free_at: float = 0.0
         self.busy_cycles: float = 0.0
         self.requests: int = 0
+        self.waits: Optional[Dict[Optional[int], float]] = None
 
-    def acquire(self, now: float, occupancy: float) -> float:
+    def acquire(self, now: float, occupancy: float,
+                context: Optional[int] = None) -> float:
         """Reserve the port for ``occupancy`` cycles; return start time."""
         if occupancy < 0:
             raise ValueError("occupancy must be non-negative")
@@ -42,6 +51,9 @@ class PipelinedPort:
         self.free_at = start + occupancy
         self.busy_cycles += occupancy
         self.requests += 1
+        waits = self.waits
+        if waits is not None and start > now:
+            waits[context] = waits.get(context, 0.0) + (start - now)
         return start
 
     def wait_time(self, now: float) -> float:
@@ -62,6 +74,8 @@ class PipelinedPort:
         """
         self.busy_cycles = 0.0
         self.requests = 0
+        if self.waits is not None:
+            self.waits.clear()
 
 
 class UtilizationMeter:

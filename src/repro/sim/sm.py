@@ -256,8 +256,12 @@ class SM:
         result = warp.pending
         # Tracing/metrics keep firing identically on the fast path: the
         # burst simply routes each instruction through the same
-        # _execute() wrapper the reference driver uses.
-        plain = self.instr_counter is None and not device.obs.trace_on
+        # _execute() wrapper the reference driver uses.  Attribution
+        # needs every port acquire to go through the accounted path, so
+        # it too disables the inlined variants.
+        obs = device.obs
+        plain = (self.instr_counter is None and not obs.trace_on
+                 and not obs.attribution_on)
         l1 = self.l1
         l1_port = l1.port
         l1_pc = l1.spec.port_cycles
@@ -382,48 +386,52 @@ class SM:
                        ) -> Tuple[float, Any]:
         bank = self.fu_banks[warp.scheduler_id]
 
+        ctx_id = warp.kernel.context
+
         if isinstance(instr, isa.FuOp):
-            finish = bank.execute_chain(now, instr.op, instr.count)
+            finish = bank.execute_chain(now, instr.op, instr.count,
+                                        context=ctx_id)
             return finish, None
 
         if isinstance(instr, isa.ReadClock):
-            finish = max(bank.issue_only(now), now + CLOCK_READ_COST)
+            finish = max(bank.issue_only(now, context=ctx_id),
+                         now + CLOCK_READ_COST)
             return finish, self.device.clock.read(finish)
 
         if isinstance(instr, isa.ConstLoad):
             return self._const_load(now, warp, instr.addr)
 
         if isinstance(instr, isa.GlobalLoad):
-            finish = self.device.memory.warp_load(now, instr.addrs)
+            finish = self.device.memory.warp_load(now, instr.addrs, ctx_id)
             return finish, isa.MemResult(finish - now, "global")
 
         if isinstance(instr, isa.GlobalStore):
-            finish = self.device.memory.warp_store(now, instr.addrs)
+            finish = self.device.memory.warp_store(now, instr.addrs, ctx_id)
             return finish, isa.MemResult(finish - now, "global")
 
         if isinstance(instr, isa.GlobalAtomic):
-            finish = self.device.memory.warp_atomic(now, instr.addrs)
+            finish = self.device.memory.warp_atomic(now, instr.addrs, ctx_id)
             return finish, isa.MemResult(finish - now, "atomic")
 
         if isinstance(instr, isa.SharedAccess):
             start = self.shared_port.acquire(
-                now, float(instr.bank_conflicts)
+                now, float(instr.bank_conflicts), ctx_id
             )
             finish = start + SHARED_LATENCY * instr.bank_conflicts
             return finish, isa.MemResult(finish - now, "shared")
 
         if isinstance(instr, isa.SharedStoreVar):
-            start = self.shared_port.acquire(now, 1.0)
+            start = self.shared_port.acquire(now, 1.0, ctx_id)
             block.shared_vars[instr.key] = instr.value
             return start + SHARED_LATENCY, None
 
         if isinstance(instr, isa.SharedReadVar):
-            start = self.shared_port.acquire(now, 1.0)
+            start = self.shared_port.acquire(now, 1.0, ctx_id)
             value = block.shared_vars.get(instr.key, instr.default)
             return start + SHARED_LATENCY, value
 
         if isinstance(instr, isa.SharedAtomicAdd):
-            start = self.shared_port.acquire(now, 2.0)
+            start = self.shared_port.acquire(now, 2.0, ctx_id)
             value = block.shared_vars.get(instr.key, 0) + instr.delta
             block.shared_vars[instr.key] = value
             return start + SHARED_LATENCY, value
@@ -437,7 +445,7 @@ class SM:
                     addr: int) -> Tuple[float, isa.MemResult]:
         ctx_id = warp.kernel.context
         l1 = self.l1
-        start1 = l1.port.acquire(now, l1.spec.port_cycles)
+        start1 = l1.port.acquire(now, l1.spec.port_cycles, ctx_id)
         l1_hit = l1.access(addr, context=ctx_id)
         if l1.trace is not None:
             l1.trace.append(CacheAccess(
@@ -446,7 +454,7 @@ class SM:
             finish = start1 + l1.spec.hit_latency
             return finish, isa.MemResult(finish - now, "l1")
         l2 = self.device.const_l2
-        start2 = l2.port.acquire(start1, l2.spec.port_cycles)
+        start2 = l2.port.acquire(start1, l2.spec.port_cycles, ctx_id)
         l2_hit = l2.access(addr, context=ctx_id)
         if l2.trace is not None:
             l2.trace.append(CacheAccess(

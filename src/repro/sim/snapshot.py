@@ -159,6 +159,12 @@ def _check_snapshotable(device: Any) -> None:
             "a cache-access capture is active; stop it before "
             "snapshotting (the capture stream is transient state)"
         )
+    if device.obs.attribution_on:
+        raise SnapshotError(
+            "contention attribution is active; call "
+            "obs.stop_attribution() before snapshotting (per-context "
+            "wait ledgers are transient state a fork cannot restore)"
+        )
 
 
 def _device_config(device: Any) -> Dict[str, Any]:

@@ -63,3 +63,42 @@ def test_trace_writes_default_file_in_cwd(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
     assert main(["trace", "--bits", "4"]) == 0
     assert (tmp_path / "trace.json").is_file()
+
+
+def test_stats_skips_zero_instruments_by_default():
+    # `repro stats` mirrors metrics_csv's skip_zero=True default; the
+    # flags flip it: --all includes zeros, --skip-zero restates the
+    # default (and the pair is mutually exclusive).
+    parser = build_parser()
+    assert parser.parse_args(["stats", "sync-l1"]).skip_zero is True
+    assert parser.parse_args(
+        ["stats", "sync-l1", "--all"]).skip_zero is False
+    assert parser.parse_args(
+        ["stats", "sync-l1", "--skip-zero"]).skip_zero is True
+
+
+def test_stats_all_surfaces_zero_instruments(tmp_path, monkeypatch,
+                                             capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["stats", "l1", "--bits", "4", "--seed", "1",
+                 "--out", "skip.csv"]) == 0
+    skipped = capsys.readouterr().out
+    assert main(["stats", "l1", "--bits", "4", "--seed", "1", "--all",
+                 "--out", "all.csv"]) == 0
+    full = capsys.readouterr().out
+    # The untouched DPU dispatch ports only appear with --all, in both
+    # the table and the CSV.
+    assert "dpu" not in skipped
+    assert "dpu" in full
+    skip_csv = (tmp_path / "skip.csv").read_text()
+    all_csv = (tmp_path / "all.csv").read_text()
+    assert "dpu" not in skip_csv
+    assert "dpu" in all_csv
+    assert len(all_csv.splitlines()) > len(skip_csv.splitlines())
+
+
+def test_report_default_out_is_cwd_report_html():
+    parser = build_parser()
+    args = parser.parse_args(["report", "run.json"])
+    assert args.out == "report.html"
+    assert args.format == "auto"

@@ -96,6 +96,22 @@ class TestAsciiTimeline:
         device = Device(KEPLER_K40C, seed=1, observe="trace")
         assert "no duration events" in ascii_timeline(device)
 
+    def test_single_event_trace(self):
+        # One duration event: the degenerate span must not divide by
+        # zero and the event's track must render.
+        device = Device(KEPLER_K40C, seed=1, observe="trace")
+        device.obs.tracer.complete("solo", "unit", "track0", 100.0, 0.0)
+        out = ascii_timeline(device)
+        assert out.splitlines()[0].startswith("timeline:")
+        assert "track0" in out
+
+    def test_single_event_with_duration(self):
+        device = Device(KEPLER_K40C, seed=1, observe="trace")
+        device.obs.tracer.complete("solo", "unit", "busy", 50.0, 25.0)
+        out = ascii_timeline(device, width=16)
+        assert "busy" in out
+        assert "no duration events" not in out
+
 
 class TestProvenance:
     def test_build_provenance_fields(self):

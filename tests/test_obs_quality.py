@@ -1,0 +1,227 @@
+"""Per-bit signal metrics: recorder, separation stats, BER, drift."""
+
+import math
+
+import pytest
+
+from repro.arch import KEPLER_K40C
+from repro.channels import GlobalAtomicChannel, SynchronizedL1Channel
+from repro.channels.l1_cache import L1CacheChannel
+from repro.obs.quality import (
+    BitSample,
+    BitSignalRecorder,
+    channel_quality,
+    class_latencies,
+    detect_drift,
+    latency_histogram,
+    optimal_threshold,
+    rolling_ber,
+    signal_stats,
+)
+from repro.sim.gpu import Device
+
+
+def samples(pairs):
+    """(bit, latency) pairs -> BitSample list with arrival indices."""
+    return [BitSample(i, b, lat) for i, (b, lat) in enumerate(pairs)]
+
+
+SEPARATED = samples([(0, 50.0), (0, 52.0), (0, 48.0),
+                     (1, 110.0), (1, 112.0), (1, 108.0)])
+
+
+class TestRecorder:
+    def test_record_and_record_bit_index_together(self):
+        rec = BitSignalRecorder()
+        rec.record(1, 100.0)
+        rec.record_bit(0, [50.0, 51.0])
+        assert [s.index for s in rec.samples] == [0, 1, 1]
+        assert [s.bit for s in rec.samples] == [1, 0, 0]
+        assert len(rec) == 3
+        rec.clear()
+        assert len(rec) == 0
+        rec.record(1, 5.0)
+        assert rec.samples[0].index == 0
+
+    def test_explicit_index_advances_counter(self):
+        rec = BitSignalRecorder()
+        rec.record(0, 10.0, index=7)
+        rec.record(1, 20.0)
+        assert [s.index for s in rec.samples] == [7, 8]
+
+
+class TestSeparationStats:
+    def test_class_split(self):
+        lat0, lat1 = class_latencies(SEPARATED)
+        assert lat0 == [50.0, 52.0, 48.0]
+        assert lat1 == [110.0, 112.0, 108.0]
+
+    def test_optimal_threshold_separates_classes(self):
+        threshold = optimal_threshold(SEPARATED)
+        assert 52.0 < threshold < 108.0
+        # Perfect separation: zero decode errors at the chosen cut.
+        lat0, lat1 = class_latencies(SEPARATED)
+        assert all(lat <= threshold for lat in lat0)
+        assert all(lat > threshold for lat in lat1)
+
+    def test_optimal_threshold_minimizes_errors_with_overlap(self):
+        overlapping = samples([(0, 50.0), (0, 55.0), (0, 90.0),
+                               (1, 60.0), (1, 100.0), (1, 105.0)])
+        threshold = optimal_threshold(overlapping)
+        lat0, lat1 = class_latencies(overlapping)
+        errors = (sum(1 for v in lat0 if v > threshold)
+                  + sum(1 for v in lat1 if v <= threshold))
+        # A cut just above 90 misreads only the 60-cycle 1-bit: one
+        # error is the best any threshold achieves here.
+        assert errors == 1
+
+    def test_single_class_falls_back_to_mean(self):
+        only_zero = samples([(0, 50.0), (0, 54.0)])
+        assert optimal_threshold(only_zero) == 52.0
+
+    def test_signal_stats_fields(self):
+        stats = signal_stats(SEPARATED)
+        assert stats["n0"] == 3 and stats["n1"] == 3
+        assert stats["mean0"] == 50.0 and stats["mean1"] == 110.0
+        assert stats["eye_height"] == 108.0 - 52.0
+        assert stats["margin"] > 0
+        assert stats["snr"] > 100  # wide separation, tiny variance
+
+    def test_signal_stats_noiseless_snr_is_infinite(self):
+        clean = samples([(0, 50.0), (0, 50.0), (1, 110.0), (1, 110.0)])
+        assert math.isinf(signal_stats(clean)["snr"])
+
+    def test_signal_stats_missing_class_degrades_gracefully(self):
+        stats = signal_stats(samples([(1, 100.0)]))
+        assert stats["snr"] == 0.0
+        assert stats["eye_height"] == 0.0
+
+
+class TestHistogram:
+    def test_counts_and_edges(self):
+        edges, counts = latency_histogram([0.0, 1.0, 2.0, 9.9],
+                                          bins=10, lo=0.0, hi=10.0)
+        assert len(edges) == 11 and len(counts) == 10
+        assert sum(counts) == 4
+        assert counts == [1, 1, 1, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_empty_input_yields_zero_counts(self):
+        edges, counts = latency_histogram([], bins=4)
+        assert counts == [0, 0, 0, 0]
+        assert len(edges) == 5
+
+    def test_out_of_range_values_clamp_to_edge_bins(self):
+        _, counts = latency_histogram([-5.0, 50.0], bins=4,
+                                      lo=0.0, hi=10.0)
+        assert counts[0] == 1 and counts[-1] == 1
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            latency_histogram([1.0], bins=0)
+
+
+class TestRollingBer:
+    def test_windows(self):
+        sent = [0, 0, 1, 1, 0, 1]
+        recv = [0, 1, 1, 1, 1, 1]
+        assert rolling_ber(sent, recv, window=2) == [0.5, 0.0, 0.5]
+
+    def test_short_tail_window(self):
+        assert rolling_ber([0, 0, 0], [1, 0, 1], window=2) == [0.5, 1.0]
+
+    def test_empty_and_validation(self):
+        assert rolling_ber([], []) == []
+        with pytest.raises(ValueError):
+            rolling_ber([0], [0], window=0)
+
+
+class TestDrift:
+    def test_stationary_signal_does_not_drift(self):
+        stable = samples([(i % 2, 50.0 + 60.0 * (i % 2) + (i % 3))
+                          for i in range(64)])
+        report = detect_drift(stable, windows=4)
+        assert not report.drifted
+        assert len(report.window_thresholds) == 4
+
+    def test_midstream_shift_is_flagged(self):
+        # Halfway through, a bystander adds 80 cycles to everything:
+        # the optimal threshold moves with it.
+        drifting = []
+        for i in range(64):
+            bit = i % 2
+            base = 50.0 + 60.0 * bit
+            if i >= 32:
+                base += 80.0
+            drifting.append(BitSample(i, bit, base))
+        report = detect_drift(drifting, windows=4)
+        assert report.drifted
+        assert report.max_shift > report.tolerance
+
+    def test_empty_and_validation(self):
+        report = detect_drift([])
+        assert not report.drifted
+        with pytest.raises(ValueError):
+            detect_drift(SEPARATED, windows=1)
+
+
+class TestChannelIntegration:
+    def test_sync_l1_quality_end_to_end(self):
+        device = Device(KEPLER_K40C, seed=3, observe="metrics")
+        channel = SynchronizedL1Channel(device)
+        result = channel.transmit_random(16, seed=5)
+        assert "signal_samples" in result.meta
+        quality = channel_quality(result)
+        assert quality.channel == "sync-l1"
+        assert quality.n_bits == 16
+        assert quality.n_samples > 0
+        # Kepler L1: hit ~45 cycles vs contended ~110 — the classes
+        # must be cleanly separated (Section 4.2's 49-vs-112 picture).
+        assert quality.stats["mean1"] > quality.stats["mean0"] + 30
+        assert quality.eye_height > 0
+        assert quality.snr > 10
+        rendered = quality.render()
+        assert "sync-l1" in rendered and "SNR" in rendered
+        payload = quality.to_dict()
+        assert payload["n_bits"] == 16
+        assert len(payload["histogram"]["bit0"]) == \
+            len(payload["histogram"]["bit1"])
+
+    def test_baseline_cache_channel_collects_samples(self):
+        device = Device(KEPLER_K40C, seed=2, observe="metrics")
+        result = L1CacheChannel(device).transmit_random(6, seed=1)
+        assert len(result.meta["signal_samples"]) > 0
+
+    def test_atomic_channel_collects_samples(self):
+        device = Device(KEPLER_K40C, seed=2, observe="metrics")
+        channel = GlobalAtomicChannel(device, scenario=1)
+        result = channel.transmit_random(4, seed=1)
+        quality = channel_quality(result)
+        assert quality.n_samples == 4 * channel.iterations
+
+    def test_unobserved_device_records_nothing(self):
+        device = Device(KEPLER_K40C, seed=3)
+        assert device.obs.signal is None
+        result = SynchronizedL1Channel(device).transmit_random(8, seed=5)
+        assert "signal_samples" not in result.meta
+
+    def test_observation_does_not_change_channel_numbers(self):
+        plain = Device(KEPLER_K40C, seed=3)
+        observed = Device(KEPLER_K40C, seed=3, observe="metrics")
+        r_plain = SynchronizedL1Channel(plain).transmit_random(8, seed=5)
+        r_obs = SynchronizedL1Channel(observed).transmit_random(8, seed=5)
+        assert r_plain.ber == r_obs.ber
+        assert r_plain.elapsed_cycles == r_obs.elapsed_cycles
+
+    def test_obs_reset_clears_signal(self):
+        device = Device(KEPLER_K40C, seed=3, observe="metrics")
+        SynchronizedL1Channel(device).transmit_random(4, seed=5)
+        assert len(device.obs.signal) > 0
+        device.obs.reset()
+        assert len(device.obs.signal) == 0
+
+    def test_probe_latency_histogram_populated(self):
+        device = Device(KEPLER_K40C, seed=3, observe="metrics")
+        SynchronizedL1Channel(device).transmit_random(4, seed=5)
+        hist = device.obs.registry.histogram(
+            "channel.sync-l1.probe_latency")
+        assert hist.count > 0

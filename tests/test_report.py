@@ -1,0 +1,249 @@
+"""Run manifests and the `repro report` dashboard."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    render_report_html,
+    render_report_markdown,
+    svg_attribution_bars,
+    svg_eye_diagram,
+    svg_histogram,
+    write_report,
+)
+from repro.arch import KEPLER_K40C
+from repro.channels import SynchronizedL1Channel
+from repro.cli import main
+from repro.experiments import ExperimentResult
+from repro.obs.attribution import attribution_report
+from repro.obs.provenance import code_version
+from repro.obs.quality import channel_quality
+from repro.runner import build_manifest, load_manifest, write_manifest
+from repro.runner.grid import Task
+from repro.runner.manifest import MANIFEST_KIND, MANIFEST_VERSION
+from repro.runner.pool import SweepReport, TaskOutcome
+from repro.sim.gpu import Device
+
+
+def small_sweep() -> SweepReport:
+    """One successful cell plus one failure, with verbatim row values."""
+    ok = ExperimentResult(
+        "fig5", "BER vs iterations", ["iterations", "ber"],
+        [[20, 0.125], [12, 0.31251]], spec_name="Tesla K40C", seed=0,
+        profile="smoke", provenance={"code_version": code_version()})
+    return SweepReport(outcomes=[
+        TaskOutcome(Task("fig5", gpu="kepler", seed=0, profile="smoke"),
+                    result=ok, source="ran", seconds=1.5),
+        TaskOutcome(Task("table3", gpu="fermi", seed=0),
+                    source="failed", seconds=0.2, attempts=3,
+                    error="boom"),
+    ])
+
+
+class TestManifest:
+    def test_build_fields(self):
+        manifest = build_manifest(small_sweep(),
+                                  command=["repro", "run", "fig5"],
+                                  wall_seconds=2.5, note="unit")
+        assert manifest["kind"] == MANIFEST_KIND
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["counts"] == {"ran": 1, "cache": 0, "failed": 1}
+        assert manifest["cache_hits"] == 0
+        assert manifest["wall_seconds"] == 2.5
+        assert manifest["command"] == ["repro", "run", "fig5"]
+        assert manifest["extra"] == {"note": "unit"}
+        # Provenance is stamped on every manifest.
+        assert manifest["provenance"]["code_version"] == code_version()
+        assert "git_rev" in manifest["provenance"]
+        # Every outcome appears; only successful results embed tables.
+        assert [t["source"] for t in manifest["tasks"]] == \
+            ["ran", "failed"]
+        assert manifest["tasks"][1]["error"] == "boom"
+        assert len(manifest["results"]) == 1
+        assert manifest["results"][0]["rows"] == [[20, 0.125],
+                                                  [12, 0.31251]]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.json"
+        manifest = build_manifest(small_sweep())
+        write_manifest(str(path), manifest)
+        loaded = load_manifest(str(path))
+        assert loaded == json.loads(json.dumps(manifest))  # pure JSON
+
+    def test_load_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "not-a-manifest.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-run-manifest"):
+            load_manifest(str(path))
+
+    def test_load_rejects_future_versions(self, tmp_path):
+        path = tmp_path / "future.json"
+        manifest = build_manifest(small_sweep())
+        manifest["version"] = MANIFEST_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            load_manifest(str(path))
+
+
+def probe_manifest():
+    """Manifest with live quality + attribution sections attached."""
+    device = Device(KEPLER_K40C, seed=3, observe="metrics")
+    device.obs.start_attribution()
+    result = SynchronizedL1Channel(device).transmit_random(8, seed=5)
+    quality = channel_quality(result)
+    attribution = attribution_report(device)
+    device.obs.stop_attribution()
+    return build_manifest(small_sweep(),
+                          quality=[quality.to_dict()],
+                          attribution=attribution.to_dict())
+
+
+class TestHtmlReport:
+    def test_result_rows_render_verbatim(self):
+        html = render_report_html([build_manifest(small_sweep())])
+        # The embedded tables are the audit trail: every cell value
+        # must survive into the dashboard digit-for-digit.
+        for cell in ("0.125", "0.31251", "fig5", "Tesla K40C",
+                     "BER vs iterations"):
+            assert cell in html
+        # Failures surface too.
+        assert "boom" in html
+        assert "table3" in html
+
+    def test_self_contained(self):
+        html = render_report_html([probe_manifest()])
+        # No external assets: the only URL-shaped string allowed is
+        # the SVG namespace.
+        stripped = html.replace("http://www.w3.org/2000/svg", "")
+        assert "http" not in stripped
+        for forbidden in ("<script", "<link", "<img", "@import",
+                          "url("):
+            assert forbidden not in stripped
+
+    def test_quality_and_attribution_sections(self):
+        html = render_report_html([probe_manifest()])
+        assert "Channel signal quality" in html
+        assert "sync-l1" in html
+        assert "<svg" in html
+        assert "Contention attribution" in html
+        assert "l2_const_cache" in html
+        assert "spy" in html
+
+    def test_exporter_stamps_provenance(self):
+        html = render_report_html([build_manifest(small_sweep())])
+        md = render_report_markdown([build_manifest(small_sweep())])
+        assert code_version() in html
+        assert code_version() in md
+
+    def test_values_are_escaped(self):
+        manifest = build_manifest(small_sweep())
+        manifest["label"] = "<script>alert(1)</script>"
+        html = render_report_html([manifest])
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestMarkdownReport:
+    def test_tables_and_sections(self):
+        md = render_report_markdown([probe_manifest()])
+        assert "| iterations | ber |" in md
+        assert "| 20 | 0.125 |" in md
+        assert "Signal quality: sync-l1" in md
+        assert "Contention attribution" in md
+
+    def test_write_report_infers_format_from_extension(self, tmp_path):
+        manifests = [build_manifest(small_sweep())]
+        assert write_report(str(tmp_path / "r.md"), manifests) \
+            == "markdown"
+        assert write_report(str(tmp_path / "r.html"), manifests) \
+            == "html"
+        assert (tmp_path / "r.md").read_text().startswith("# ")
+        assert (tmp_path / "r.html").read_text().startswith("<!DOCTYPE")
+
+    def test_write_report_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown report format"):
+            write_report(str(tmp_path / "r.html"), [], fmt="pdf")
+
+
+class TestSvgFigures:
+    def test_histogram_empty(self):
+        assert "no samples" in svg_histogram([], [], [])
+
+    def test_histogram_bars(self):
+        svg = svg_histogram([0, 1, 2], [3, 0], [0, 5])
+        assert svg.count("<rect") == 2     # zero-count bins skipped
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+    def test_eye_diagram_marks_threshold(self):
+        svg = svg_eye_diagram({"mean0": 45.0, "std0": 1.0,
+                               "mean1": 110.0, "std1": 2.0,
+                               "threshold": 77.0})
+        assert "thr 77" in svg
+        assert "bit 0" in svg and "bit 1" in svg
+
+    def test_attribution_bars_legend(self):
+        svg = svg_attribution_bars(
+            {"spy": {"l1_const_cache": 80.0, "dram_channel": 20.0}})
+        assert "l1_const_cache" in svg and "dram_channel" in svg
+        assert "spy" in svg
+
+
+class TestCliRoundTrip:
+    def run_with_manifest(self, tmp_path):
+        manifest_path = tmp_path / "run.json"
+        assert main(["run", "fig2", "--gpu", "kepler", "--seed", "0",
+                     "--profile", "smoke", "--jobs", "1", "--no-cache",
+                     "--manifest", str(manifest_path)]) == 0
+        return manifest_path
+
+    def test_run_writes_manifest_and_report_renders_it(
+            self, tmp_path, capsys):
+        manifest_path = self.run_with_manifest(tmp_path)
+        manifest = load_manifest(str(manifest_path))
+        assert manifest["counts"]["ran"] == 1
+        assert manifest["command"][:3] == ["repro", "run", "fig2"]
+        assert manifest["wall_seconds"] > 0
+        capsys.readouterr()
+
+        out = tmp_path / "report.html"
+        assert main(["report", str(manifest_path),
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out.read_text()
+        # Every value the experiment produced appears verbatim: the
+        # dashboard is pinned to the same numbers the golden suite is.
+        for row in manifest["results"][0]["rows"]:
+            for cell in row:
+                assert f"{cell:g}" in html
+        stripped = html.replace("http://www.w3.org/2000/svg", "")
+        assert "http" not in stripped
+
+    def test_report_markdown_format_flag(self, tmp_path, capsys):
+        manifest_path = self.run_with_manifest(tmp_path)
+        out = tmp_path / "digest.txt"
+        assert main(["report", str(manifest_path), "--out", str(out),
+                     "--format", "markdown"]) == 0
+        assert out.read_text().startswith("# ")
+        capsys.readouterr()
+
+    def test_report_live_channel_probe(self, tmp_path, capsys):
+        out = tmp_path / "probe.html"
+        assert main(["report", "--channels", "sync-l1", "--bits", "8",
+                     "--gpu", "kepler", "--seed", "3",
+                     "--out", str(out)]) == 0
+        html = out.read_text()
+        assert "live probe: sync-l1" in html
+        assert "Contention attribution" in html
+        capsys.readouterr()
+
+    def test_report_without_inputs_errors(self, tmp_path, capsys):
+        assert main(["report", "--out",
+                     str(tmp_path / "empty.html")]) == 2
+        assert "nothing to report" in capsys.readouterr().err
+
+    def test_report_rejects_non_manifest(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["report", str(bogus)]) == 2
+        assert "not a repro-run-manifest" in capsys.readouterr().err

@@ -218,7 +218,50 @@ def test_progress_reporter_counts_and_summary():
     assert len(reporter.records) == 3
     assert "attempt 2" in reporter.records[-1]
     assert "boom" in reporter.records[-1]
-    assert reporter.summary() == "3 tasks: 1 ran, 1 cached, 1 failed"
+    assert reporter.attempts == 4
+    assert reporter.retries == 1
+    assert reporter.summary() == ("3 tasks: 1 ran, 1 cached, 1 failed, "
+                                  "1 retry (4 attempts)")
+
+
+def test_progress_reporter_summary_without_retries():
+    reporter = ProgressReporter(total=2)
+    reporter.task_done(Task("fig2"), "ran", 1.0)
+    reporter.task_done(Task("fig3"), "cache", 0.0)
+    assert reporter.retries == 0
+    assert reporter.summary() == "2 tasks: 1 ran, 1 cached, 0 failed"
+
+
+def test_progress_reporter_rolling_eta():
+    # Deterministic clock: one completion every 10 seconds.
+    ticks = iter(range(0, 1000, 10))
+    reporter = ProgressReporter(total=3, clock=lambda: float(next(ticks)))
+    reporter.task_done(Task("fig2"), "ran", 10.0)
+    reporter.task_done(Task("fig3"), "ran", 10.0)
+    reporter.task_done(Task("fig4"), "ran", 10.0)
+    # After 1 done in 10s: 2 remaining at 10 s/task -> 20s.
+    assert reporter.records[0].endswith("eta 20s")
+    # After 2 done in 20s: 1 remaining -> 10s.
+    assert reporter.records[1].endswith("eta 10s")
+    # Final line carries no ETA.
+    assert "eta" not in reporter.records[2]
+
+
+def test_progress_reporter_eta_uses_recent_rate():
+    # 8 instant cache hits then slow cold runs: the window must forget
+    # the burst once it scrolls past, not average over the whole sweep.
+    # One leading tick for the reporter's construction-time clock read.
+    times = iter([0.0] * 9 + [10.0, 20.0, 30.0, 40.0, 50.0,
+                  60.0, 70.0, 80.0, 90.0])
+    reporter = ProgressReporter(total=20,
+                                clock=lambda: float(next(times)))
+    for i in range(8):
+        reporter.task_done(Task(f"c{i}"), "cache", 0.0)
+    for i in range(9):
+        reporter.task_done(Task(f"r{i}"), "ran", 10.0)
+    # 17 done, 3 remaining; the last 8 finishes span 70s over 7
+    # intervals -> 10 s/task -> eta 30s.
+    assert reporter.records[-1].endswith("eta 30s")
 
 
 # ---------------------------------------------------------------------------
