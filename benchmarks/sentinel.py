@@ -1,0 +1,232 @@
+"""Perf-regression sentinel: fresh benchmarks vs the committed trajectory.
+
+The repo commits one ``BENCH_<n>.json`` per performance PR (see
+:mod:`benchmarks.trajectory`); the sentinel compares a *fresh* bench
+run against the latest committed point with per-metric tolerance
+bands and exits nonzero when the engine got slower — so nightly CI
+notices a quiet regression the tier-1 tests cannot see.
+
+Bands are deliberately asymmetric and generous, because trajectory
+points are recorded on whatever machine ran the PR while CI runs on
+shared runners:
+
+* ``speedup`` is a *ratio of two runs on the same machine* (fast vs
+  tick engine, warm vs cold cache, forked vs cold sweep), so it
+  transfers across hardware — a fresh speedup below
+  ``baseline * SPEEDUP_FLOOR`` is a real regression signal;
+* ``wall_s`` is absolute and machine-dependent, so it only trips at
+  ``baseline * WALL_CEILING`` — a gross slowdown, not CI jitter.
+
+Standalone (what nightly CI runs after assembling the trajectory)::
+
+    python -m benchmarks.sentinel --fresh bench-results/BENCH.json
+
+or via the CLI: ``repro bench --check [--fresh BENCH.json]``.
+Omitting ``--fresh`` runs the full benchmark suite first (slow: one
+tick-oracle pass plus several registry sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Regression",
+    "DEFAULT_TOLERANCES",
+    "compare",
+    "find_trajectories",
+    "latest_trajectory",
+    "main",
+]
+
+#: Fresh speedup below ``baseline * floor`` is a regression.
+SPEEDUP_FLOOR = 0.5
+
+#: Fresh wall seconds above ``baseline * ceiling`` is a regression.
+WALL_CEILING = 3.0
+
+#: Per-metric tolerance bands: metric -> (kind, ratio).  ``"floor"``
+#: metrics regress by falling, ``"ceiling"`` metrics by rising.
+DEFAULT_TOLERANCES: Dict[str, Tuple[str, float]] = {
+    "speedup": ("floor", SPEEDUP_FLOOR),
+    "wall_s": ("ceiling", WALL_CEILING),
+}
+
+_TRAJECTORY_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that left its tolerance band."""
+
+    bench: str          # "engine" | "runner" | "snapshot" | ...
+    metric: str         # "speedup" | "wall_s"
+    baseline: float
+    fresh: float
+    limit: float        # the band edge that was crossed
+
+    def describe(self) -> str:
+        direction = ("fell below" if self.fresh < self.limit
+                     else "rose above")
+        return (f"{self.bench}.{self.metric}: {self.fresh:g} "
+                f"{direction} the {self.limit:g} band "
+                f"(baseline {self.baseline:g})")
+
+
+def find_trajectories(root: str = ".") -> List[Path]:
+    """Committed ``BENCH_<n>.json`` files, ordered by PR number."""
+    paths = []
+    for path in Path(root).iterdir():
+        match = _TRAJECTORY_RE.match(path.name)
+        if match is not None:
+            paths.append((int(match.group(1)), path))
+    return [path for _, path in sorted(paths)]
+
+
+def latest_trajectory(root: str = ".") -> Tuple[Path, dict]:
+    """The newest committed trajectory point ``(path, data)``."""
+    paths = find_trajectories(root)
+    if not paths:
+        raise FileNotFoundError(
+            f"no BENCH_<n>.json trajectory files under {root!r}")
+    path = paths[-1]
+    with open(path, encoding="utf-8") as fh:
+        return path, json.load(fh)
+
+
+def compare(baseline: dict, fresh: dict,
+            tolerances: Optional[Dict[str, Tuple[str, float]]] = None
+            ) -> List[Regression]:
+    """Regressions of ``fresh`` against ``baseline``.
+
+    Both are trajectory dicts (``bench -> {metric: value}``).  A bench
+    present in the baseline but missing from the fresh run counts as a
+    regression of every banded metric (a benchmark that stopped
+    producing numbers must not pass silently); fresh-only benches are
+    ignored (the next committed point will carry them).
+    """
+    tolerances = tolerances if tolerances is not None \
+        else DEFAULT_TOLERANCES
+    regressions: List[Regression] = []
+    for bench, base_metrics in sorted(baseline.items()):
+        fresh_metrics = fresh.get(bench)
+        for metric, (kind, ratio) in sorted(tolerances.items()):
+            base = base_metrics.get(metric)
+            if base is None:
+                continue
+            value = None if fresh_metrics is None \
+                else fresh_metrics.get(metric)
+            if kind == "floor":
+                limit = base * ratio
+                if value is None or value < limit:
+                    regressions.append(Regression(
+                        bench, metric, base,
+                        value if value is not None else float("nan"),
+                        limit))
+            else:
+                limit = base * ratio
+                if value is None or value > limit:
+                    regressions.append(Regression(
+                        bench, metric, base,
+                        value if value is not None else float("nan"),
+                        limit))
+    return regressions
+
+
+def render(baseline_path: Path, baseline: dict, fresh: dict,
+           regressions: List[Regression]) -> str:
+    """Human-readable comparison table plus the verdict."""
+    from repro.analysis import format_table
+
+    flagged = {(r.bench, r.metric) for r in regressions}
+    rows = []
+    for bench in sorted(set(baseline) | set(fresh)):
+        base = baseline.get(bench, {})
+        new = fresh.get(bench, {})
+        for metric in ("wall_s", "speedup"):
+            b, f = base.get(metric), new.get(metric)
+            if b is None and f is None:
+                continue
+            note = "REGRESSION" if (bench, metric) in flagged else "ok"
+            rows.append([
+                f"{bench}.{metric}",
+                "-" if b is None else f"{b:g}",
+                "-" if f is None else f"{f:g}",
+                note,
+            ])
+    lines = [format_table(
+        ["metric", f"baseline ({baseline_path.name})", "fresh",
+         "verdict"],
+        rows, title="Perf-regression sentinel")]
+    if regressions:
+        lines.append("")
+        for regression in regressions:
+            lines.append(f"REGRESSION: {regression.describe()}")
+    else:
+        lines.append("\nno regressions: all metrics within bands")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh benchmark run against the "
+                    "committed BENCH_<n>.json trajectory")
+    parser.add_argument("--fresh", metavar="PATH", default=None,
+                        help="trajectory JSON of the fresh run "
+                             "(else run the full benchmark suite)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="explicit baseline trajectory (default: "
+                             "highest-numbered BENCH_<n>.json in "
+                             "--root)")
+    parser.add_argument("--root", default=".",
+                        help="directory holding BENCH_<n>.json files")
+    parser.add_argument("--speedup-floor", type=float,
+                        default=SPEEDUP_FLOOR,
+                        help="fresh/baseline speedup ratio below "
+                             "which a metric regresses")
+    parser.add_argument("--wall-ceiling", type=float,
+                        default=WALL_CEILING,
+                        help="fresh/baseline wall-time ratio above "
+                             "which a metric regresses")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the verdict as JSON")
+    args = parser.parse_args(argv)
+
+    if args.fresh is not None:
+        with open(args.fresh, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+    else:
+        from benchmarks import trajectory
+        fresh = trajectory.build()
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    else:
+        baseline_path, baseline = latest_trajectory(args.root)
+
+    tolerances = {
+        "speedup": ("floor", args.speedup_floor),
+        "wall_s": ("ceiling", args.wall_ceiling),
+    }
+    regressions = compare(baseline, fresh, tolerances)
+    print(render(baseline_path, baseline, fresh, regressions))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({
+                "baseline": str(baseline_path),
+                "fresh": fresh,
+                "regressions": [r.describe() for r in regressions],
+                "ok": not regressions,
+            }, fh, indent=2)
+            fh.write("\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

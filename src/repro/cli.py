@@ -26,10 +26,19 @@ Commands
 ``trace --gpu kepler --channel sync-l1 --bits 16 --out trace.json``
     Run one channel fully observed and export a Chrome trace-event file
     (open in ``chrome://tracing`` or https://ui.perfetto.dev).
-``stats <channel> [--out metrics.csv] [--all | --skip-zero]``
+``stats <channel> [--out metrics.csv] [--all | --skip-zero] [--json]``
     Run one channel with metrics on and print the instrument table;
     ``--all`` keeps zero-valued instruments, ``--skip-zero`` (the
-    default) omits them.
+    default) omits them; ``--json`` prints the same snapshot as one
+    machine-readable JSON object instead of the table.
+``top --log events.jsonl [--once]``
+    Live fleet dashboard over a sweep's telemetry event log (written
+    by ``run``/``sweep --telemetry``): per-worker utilization, cache
+    hit rate, tasks/s, rolling ETA, heartbeat-based stall detection.
+``bench --check [--fresh BENCH.json]``
+    Perf-regression sentinel: compare a fresh benchmark trajectory
+    against the committed ``BENCH_<n>.json`` baseline with per-metric
+    tolerance bands; exits 1 on regression.
 ``profile fig5 [--top 25] [--trace profile.json]``
     Run one experiment under cProfile and print the hottest functions;
     ``--trace`` also exports the ranking as a Chrome trace-event file.
@@ -137,7 +146,11 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
 
     With ``--manifest PATH`` the finished sweep is also written as a
     structured run manifest (spec, seeds, outcomes, result tables,
-    wall time) for ``repro report`` to aggregate later.
+    wall time) for ``repro report`` to aggregate later.  With
+    ``--telemetry PATH`` every task lifecycle event and worker
+    heartbeat appends to a JSONL log ``repro top`` can tail live;
+    with ``--trace PATH`` the merged cross-process span timeline is
+    exported as a Chrome trace-event file.
     """
     import time
     from repro.experiments import EXPERIMENTS
@@ -151,6 +164,10 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
     reporter = stderr_reporter(len(tasks)) if len(tasks) > 1 else None
     jobs = args.jobs if args.jobs is not None else \
         max(1, min(os.cpu_count() or 1, len(tasks)))
+    spans = None
+    if getattr(args, "trace", None):
+        from repro.obs import SpanTracer
+        spans = SpanTracer()
     start = time.perf_counter()
     report = run_tasks(
         tasks,
@@ -159,7 +176,15 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
         refresh=args.refresh,
         timeout=args.timeout,
         reporter=reporter,
+        spans=spans,
+        telemetry=getattr(args, "telemetry", None),
     )
+    if spans is not None:
+        from repro.obs import write_spans_chrome_trace
+        doc = write_spans_chrome_trace(
+            args.trace, spans, command=getattr(args, "_argv", None))
+        print(f"span trace: {args.trace} "
+              f"({len(doc['traceEvents'])} records)", file=sys.stderr)
     if getattr(args, "manifest", None):
         from repro.runner import build_manifest, write_manifest
         manifest = build_manifest(
@@ -329,6 +354,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
     device = Device(spec, seed=args.seed, observe="metrics")
     channel = factory(device)
     result = channel.transmit_random(args.bits, seed=args.seed)
+    if args.json:
+        import json
+        from repro.obs import metrics_json
+        doc = metrics_json(device, skip_zero=args.skip_zero,
+                           channel=channel.name, bits=result.n_bits,
+                           ber=result.ber)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if args.out:
+            write_metrics_csv(args.out, device,
+                              skip_zero=args.skip_zero,
+                              channel=channel.name,
+                              bits=result.n_bits, ber=result.ber)
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
     snapshot = device.obs.snapshot()
     rows = []
     for name, value in sorted(snapshot.items()):
@@ -385,7 +424,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         try:
             manifest = load_manifest(path)
         except (OSError, ValueError) as exc:
-            raise CliError(str(exc))
+            # One corrupt manifest (e.g. truncated by a crashed sweep)
+            # must not take down the report over the healthy ones.
+            print(f"warning: skipping {path}: {exc}", file=sys.stderr)
+            continue
         manifest.setdefault("label", os.path.basename(path))
         sections.append(manifest)
     if args.channels:
@@ -393,8 +435,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             if name:
                 sections.append(_probe_channel(args, name))
     if not sections:
-        raise CliError("nothing to report: pass manifest paths "
-                       "and/or --channels")
+        raise CliError("nothing to report: pass readable manifest "
+                       "paths and/or --channels")
     fmt = "auto" if args.format == "auto" else args.format
     fmt = write_report(args.out, sections,
                        fmt=None if fmt == "auto" else fmt,
@@ -435,6 +477,65 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(f"trace:     {args.trace}  "
               f"({len(doc['traceEvents'])} records)")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+    from repro.runner import fleet_snapshot, read_events_with_skips
+    from repro.runner import render_dashboard
+
+    def frame() -> "object":
+        try:
+            events, skipped = read_events_with_skips(args.log)
+        except OSError as exc:
+            raise CliError(f"cannot read telemetry log: {exc}")
+        view = fleet_snapshot(events, stall_after=args.stall_after)
+        view.skipped_lines = skipped
+        return view
+
+    if args.once:
+        view = frame()
+        print(render_dashboard(view))
+        return 0 if not view.stalled else 1
+    try:
+        while True:
+            view = frame()
+            text = render_dashboard(view)
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H" + text, flush=True)
+            else:
+                print(text + "\n", flush=True)
+            if view.finished:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        from benchmarks import sentinel
+    except ImportError:
+        raise CliError(
+            "the benchmarks package is not importable; run from a "
+            "repository checkout (e.g. PYTHONPATH=src python -m repro "
+            "bench) or use python -m benchmarks.sentinel directly")
+    argv = []
+    if args.fresh is not None:
+        argv += ["--fresh", args.fresh]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    argv += ["--root", args.root]
+    argv += ["--speedup-floor", str(args.speedup_floor)]
+    argv += ["--wall-ceiling", str(args.wall_ceiling)]
+    if args.json:
+        argv += ["--json", args.json]
+    if not args.check:
+        # Without --check the subcommand only renders the comparison;
+        # the sentinel's nonzero exit is the whole point of --check.
+        sentinel.main(argv)
+        return 0
+    return sentinel.main(argv)
 
 
 def cmd_specs(_args: argparse.Namespace) -> int:
@@ -485,6 +586,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--manifest", default=None, metavar="PATH",
                        help="write a structured run manifest (JSON) "
                             "for `repro report`")
+        p.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="append task lifecycle events and worker "
+                            "heartbeats to a JSONL log `repro top` "
+                            "can tail live")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="export the sweep's merged cross-process "
+                            "span timeline as a Chrome trace-event "
+                            "file")
 
     p_run = sub.add_parser("run", help="regenerate experiments")
     p_run.add_argument("ids", nargs="*",
@@ -578,7 +687,49 @@ def build_parser() -> argparse.ArgumentParser:
     zero.add_argument("--skip-zero", dest="skip_zero",
                       action="store_true",
                       help="omit zero-valued instruments (default)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the snapshot as one JSON object "
+                              "(mirrors the CSV exporter's fields) "
+                              "instead of the table")
     p_stats.set_defaults(fn=cmd_stats, skip_zero=True)
+
+    p_top = sub.add_parser(
+        "top", help="live fleet dashboard over a telemetry event log")
+    p_top.add_argument("--log", default="events.jsonl", metavar="PATH",
+                       help="telemetry JSONL written by run/sweep "
+                            "--telemetry (default events.jsonl)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot frame and exit "
+                            "(nonzero if a worker looks stalled)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds")
+    p_top.add_argument("--stall-after", type=float, default=15.0,
+                       help="heartbeat age (seconds) after which a "
+                            "busy worker is flagged as stalled")
+    p_top.set_defaults(fn=cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark trajectory perf-regression sentinel")
+    p_bench.add_argument("--check", action="store_true",
+                         help="exit nonzero when a metric leaves its "
+                              "tolerance band")
+    p_bench.add_argument("--fresh", default=None, metavar="PATH",
+                         help="trajectory JSON of a fresh bench run "
+                              "(else run the full suite: slow)")
+    p_bench.add_argument("--baseline", default=None, metavar="PATH",
+                         help="explicit baseline (default: the "
+                              "highest-numbered BENCH_<n>.json)")
+    p_bench.add_argument("--root", default=".",
+                         help="directory holding BENCH_<n>.json")
+    p_bench.add_argument("--speedup-floor", type=float, default=0.5,
+                         help="regression when fresh speedup falls "
+                              "below baseline x this ratio")
+    p_bench.add_argument("--wall-ceiling", type=float, default=3.0,
+                         help="regression when fresh wall time rises "
+                              "above baseline x this ratio")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the verdict as JSON")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_report = sub.add_parser(
         "report", help="aggregate run manifests into a dashboard")

@@ -11,7 +11,10 @@ hardware actually did.  It provides:
 * :mod:`repro.obs.core` — the :class:`DeviceObservability` facade that
   ``Device(observe=...)`` constructs and the simulator emits into.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (``chrome://tracing``
-  / Perfetto), metrics CSV and an ASCII timeline.
+  / Perfetto), metrics CSV/JSON and an ASCII timeline.
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans for sweeps:
+  a context-manager :class:`SpanTracer` whose contexts propagate into
+  pool workers and merge into one cross-process timeline.
 * :mod:`repro.obs.quality` — per-bit signal metrics: class-conditional
   latency histograms, SNR/eye height, rolling BER, threshold drift.
 * :mod:`repro.obs.attribution` — decomposes observed latency into
@@ -38,10 +41,13 @@ from repro.obs.export import (
     ascii_timeline,
     chrome_trace,
     metrics_csv,
+    metrics_json,
     pstats_chrome_trace,
+    spans_chrome_trace,
     write_chrome_trace,
     write_metrics_csv,
     write_pstats_chrome_trace,
+    write_spans_chrome_trace,
 )
 from repro.obs.metrics import (
     Counter,
@@ -63,6 +69,15 @@ from repro.obs.quality import (
     rolling_ber,
     signal_stats,
 )
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    Span,
+    SpanTracer,
+    TraceContext,
+    current_tracer,
+    new_sweep_id,
+    use_tracer,
+)
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -79,8 +94,12 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_SPAN_TRACER",
     "NULL_TRACER",
     "ObserveConfig",
+    "Span",
+    "SpanTracer",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "ascii_timeline",
@@ -92,14 +111,20 @@ __all__ = [
     "classify_port",
     "code_version",
     "coerce_observe",
+    "current_tracer",
     "detect_drift",
     "git_revision",
     "metrics_csv",
+    "metrics_json",
+    "new_sweep_id",
     "optimal_threshold",
     "pstats_chrome_trace",
     "rolling_ber",
     "signal_stats",
+    "spans_chrome_trace",
+    "use_tracer",
     "write_chrome_trace",
     "write_metrics_csv",
     "write_pstats_chrome_trace",
+    "write_spans_chrome_trace",
 ]

@@ -26,8 +26,11 @@ __all__ = [
     "write_chrome_trace",
     "pstats_chrome_trace",
     "write_pstats_chrome_trace",
+    "spans_chrome_trace",
+    "write_spans_chrome_trace",
     "metrics_csv",
     "write_metrics_csv",
+    "metrics_json",
     "ascii_timeline",
 ]
 
@@ -160,6 +163,85 @@ def write_pstats_chrome_trace(path: str, stats: Any,
 
 
 # ----------------------------------------------------------------------
+# Sweep spans as a Chrome trace
+# ----------------------------------------------------------------------
+def spans_chrome_trace(spans: Any, **extra_provenance: Any
+                       ) -> Dict[str, Any]:
+    """Render sweep spans as a merged cross-process Chrome trace.
+
+    ``spans`` is an iterable of :class:`repro.obs.spans.Span` (or a
+    :class:`~repro.obs.spans.SpanTracer`, whose ``spans()`` are taken).
+    Each recording OS process becomes one Chrome process row — the
+    parent (the one holding the sweep span) labelled ``sweep``, every
+    other pid ``worker <pid>`` — so the fan-out reads as swim-lanes:
+    the sweep bar on top, each worker's task/phase bars in its own
+    lane.  Timestamps are normalized to the earliest span start, in
+    microseconds of wall-clock time.
+    """
+    from repro.obs.provenance import code_version
+
+    if hasattr(spans, "spans"):
+        spans = spans.spans()
+    spans = list(spans)
+    if spans:
+        t0 = min(s.start for s in spans)
+        sweep_ids = sorted({s.sweep_id for s in spans})
+    else:
+        t0 = 0.0
+        sweep_ids = []
+    parent_pids = {s.pid for s in spans if s.name == "sweep"}
+
+    def role(pid: int) -> str:
+        return "sweep" if pid in parent_pids else f"worker {pid}"
+
+    pids = sorted({s.pid for s in spans},
+                  key=lambda p: (p not in parent_pids, p))
+    chrome_pid = {pid: i for i, pid in enumerate(pids, start=1)}
+
+    trace_events: List[Dict[str, Any]] = []
+    for pid in pids:
+        trace_events.append({
+            "name": "process_name", "ph": "M",
+            "pid": chrome_pid[pid], "tid": 0,
+            "args": {"name": role(pid)},
+        })
+    for s in spans:
+        args = {"sweep": s.sweep_id, **s.args}
+        if s.task_id is not None:
+            args["task"] = s.task_id
+        trace_events.append({
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": (s.start - t0) * 1e6,
+            "dur": s.seconds * 1e6,
+            "pid": chrome_pid[s.pid],
+            "tid": 1,
+            "args": args,
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "wall (monotonic, normalized to sweep start)",
+            "code_version": code_version(),
+            "sweeps": sweep_ids,
+            "span_count": len(spans),
+            **extra_provenance,
+        },
+    }
+
+
+def write_spans_chrome_trace(path: str, spans: Any,
+                             **kwargs: Any) -> Dict[str, Any]:
+    """Write :func:`spans_chrome_trace` to ``path``; returns the dict."""
+    doc = spans_chrome_trace(spans, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+# ----------------------------------------------------------------------
 # Metrics CSV
 # ----------------------------------------------------------------------
 def _flatten(snapshot: Mapping[str, Any]) -> List[Tuple[str, float]]:
@@ -200,6 +282,24 @@ def write_metrics_csv(path: str, device: Any,
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text
+
+
+def metrics_json(device: Any, *, skip_zero: bool = True,
+                 **extra_provenance: Any) -> Dict[str, Any]:
+    """JSON form of the metrics snapshot, mirroring :func:`metrics_csv`.
+
+    Same provenance, same flattened dotted metric names, same
+    ``skip_zero`` filter — but as one machine-readable object
+    (``{"provenance": {...}, "metrics": {name: value}}``) so scripts
+    consuming ``repro stats --json`` need no CSV-comment parsing.
+    """
+    return {
+        "provenance": build_provenance(device, **extra_provenance),
+        "metrics": {
+            name: value for name, value in _flatten(device.obs.snapshot())
+            if not (skip_zero and value == 0.0)
+        },
+    }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,229 @@
+"""Hierarchical wall-clock spans for the sweep pipeline.
+
+:mod:`repro.obs.trace` times what the *simulated hardware* did, in
+device cycles, inside one device.  This module times the *host-side*
+pipeline that drives many devices: a ``repro sweep`` fanning tasks out
+to worker processes, and within each task the phases that dominate its
+wall-clock cost — cache lookup, snapshot fork, simulation, result
+aggregation and serialization.
+
+Design:
+
+* a :class:`SpanTracer` is a context-manager recorder with an
+  injectable monotonic clock (deterministic tests) and a
+  :class:`TraceContext` identifying the sweep (and, inside a worker,
+  the task) every span belongs to;
+* workers receive a propagated context from
+  :func:`repro.runner.pool.run_tasks`, record spans into a local
+  tracer, and ship them back with their results; the parent
+  :meth:`~SpanTracer.extend`\\ s its own tracer so one coherent
+  cross-process timeline exists at sweep end;
+* timestamps are ``time.monotonic()`` seconds.  On Linux this is
+  ``CLOCK_MONOTONIC``, a *system-wide* clock, so spans recorded in
+  different processes on one machine merge into a single comparable
+  timeline (on platforms with per-process monotonic clocks the merged
+  view degrades gracefully: per-process offsets shift, nesting within
+  a process stays exact);
+* deep callees (e.g. :func:`repro.sim.snapshot.fork_device`) record
+  phases without any plumbing via the ambient tracer
+  (:func:`current_tracer` / :func:`use_tracer`, a ``ContextVar``);
+  when no tracer is active the ambient :data:`NULL_SPAN_TRACER` keeps
+  the disabled path to one context-variable read.
+
+Export to Chrome trace-event JSON lives in
+:func:`repro.obs.export.spans_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "NULL_SPAN_TRACER",
+    "Span",
+    "SpanTracer",
+    "TraceContext",
+    "current_tracer",
+    "new_sweep_id",
+    "span",
+    "use_tracer",
+]
+
+
+def new_sweep_id() -> str:
+    """Short unique id naming one sweep across all its processes."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity propagated from a sweep into its workers.
+
+    ``task_id`` is ``None`` for sweep-level spans recorded by the
+    parent and the task's label inside a worker.
+    """
+
+    sweep_id: str
+    task_id: Optional[str] = None
+
+    def child(self, task_id: str) -> "TraceContext":
+        """Context for one task of this sweep."""
+        return TraceContext(self.sweep_id, task_id)
+
+
+@dataclass
+class Span:
+    """One timed phase: ``[start, end]`` in monotonic seconds.
+
+    Plain picklable data — spans cross the worker process boundary
+    alongside results.  ``depth`` is the nesting level inside the
+    recording tracer (1 = top of that tracer's stack), ``pid`` the OS
+    process that recorded it.
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    sweep_id: str
+    task_id: Optional[str] = None
+    pid: int = 0
+    depth: int = 1
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    def contains(self, other: "Span") -> bool:
+        """Whether ``other`` nests inside this span's interval."""
+        return self.start <= other.start and other.end <= self.end
+
+
+class SpanTracer:
+    """Records :class:`Span` objects from ``with`` blocks.
+
+    ``clock`` must be monotonic; tests inject a fake.  The tracer is
+    cheap enough to always exist but the runner only creates one when
+    span collection was requested, so the default sweep path records
+    nothing.
+    """
+
+    enabled = True
+
+    def __init__(self, context: Optional[TraceContext] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.context = context if context is not None \
+            else TraceContext(new_sweep_id())
+        self.clock = clock
+        self._spans: List[Span] = []
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, cat: str = "phase",
+             **args: Any) -> Iterator[None]:
+        """Record the wall-clock duration of the ``with`` block."""
+        start = self.clock()
+        self._depth += 1
+        depth = self._depth
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self._spans.append(Span(
+                name=name, cat=cat, start=start, end=self.clock(),
+                sweep_id=self.context.sweep_id,
+                task_id=self.context.task_id,
+                pid=os.getpid(), depth=depth, args=args))
+
+    @contextmanager
+    def task(self, task_id: str, **args: Any) -> Iterator[None]:
+        """Record a ``task`` span with ``task_id`` stamped on every
+        span opened inside it (the serial-runner analogue of a worker's
+        child context)."""
+        previous = self.context
+        self.context = previous.child(task_id)
+        try:
+            with self.span("task", cat="task", **args):
+                yield
+        finally:
+            self.context = previous
+
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Recorded spans, in completion order."""
+        return list(self._spans)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Merge spans recorded elsewhere (a worker) into this tracer."""
+        self._spans.extend(spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _NullSpanTracer:
+    """Disabled tracer: every method is a no-op."""
+
+    enabled = False
+    context = TraceContext("off")
+
+    @contextmanager
+    def span(self, *a: Any, **kw: Any) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def task(self, *a: Any, **kw: Any) -> Iterator[None]:
+        yield
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_SPAN_TRACER = _NullSpanTracer()
+
+#: Ambient tracer for deep callees (snapshot fork, experiment phases)
+#: that should not need the tracer threaded through every signature.
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_span_tracer", default=NULL_SPAN_TRACER)
+
+
+def current_tracer():
+    """The ambient tracer (:data:`NULL_SPAN_TRACER` when none active)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[Any]:
+    """Install ``tracer`` as the ambient tracer for the ``with`` block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def span(name: str, cat: str = "phase", **args: Any) -> Iterator[None]:
+    """Record a span on the ambient tracer (no-op when none active)."""
+    with _CURRENT.get().span(name, cat, **args):
+        yield

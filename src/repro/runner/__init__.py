@@ -25,6 +25,8 @@ from repro.runner.cache import (
     SnapshotStore,
     default_cache_dir,
 )
+from repro.runner.dashboard import SweepView, WorkerView, fleet_snapshot
+from repro.runner.dashboard import render as render_dashboard
 from repro.runner.grid import Task, expand_grid, parse_seeds
 from repro.runner.keys import cache_key, snapshot_key, spec_fingerprint
 from repro.runner.manifest import (
@@ -39,6 +41,12 @@ from repro.runner.pool import (
     run_tasks,
 )
 from repro.runner.progress import ProgressReporter, stderr_reporter
+from repro.runner.telemetry import (
+    TELEMETRY_VERSION,
+    TelemetryWriter,
+    read_events,
+    read_events_with_skips,
+)
 
 __all__ = [
     "CacheStats",
@@ -46,15 +54,23 @@ __all__ = [
     "ResultCache",
     "SnapshotStore",
     "SweepReport",
+    "SweepView",
+    "TELEMETRY_VERSION",
     "Task",
     "TaskOutcome",
+    "TelemetryWriter",
+    "WorkerView",
     "build_manifest",
     "cache_key",
     "snapshot_key",
     "default_cache_dir",
     "expand_grid",
+    "fleet_snapshot",
     "load_manifest",
     "parse_seeds",
+    "read_events",
+    "read_events_with_skips",
+    "render_dashboard",
     "run_all",
     "run_tasks",
     "spec_fingerprint",

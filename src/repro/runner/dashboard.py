@@ -1,0 +1,307 @@
+"""Fleet dashboard: the ``repro top`` view over a telemetry log.
+
+Pure functions from a list of telemetry events (see
+:mod:`repro.runner.telemetry`) to an ASCII status frame, so the
+rendering is deterministic and testable with synthetic events and an
+injected "now".  The CLI tails the log by re-reading it every refresh
+— sweeps write a few events per task, so even a full paper grid is a
+few thousand lines and a re-read costs less than drawing the frame.
+
+What one frame shows:
+
+* sweep progress — done/queued counts by outcome, retries, failures;
+* throughput — overall tasks/s plus a rolling rate over the last few
+  completions (mirrors the :class:`~repro.runner.progress`
+  rolling-rate ETA: cache hits land instantly, cold cells take
+  seconds, and only the current pace predicts the rest);
+* an ETA from the rolling rate;
+* per-worker rows — current task, tasks completed, busy seconds,
+  utilization since the sweep began, and heartbeat age;
+* stall detection — a worker with an open task whose last heartbeat
+  is older than ``stall_after`` is flagged ``STALLED`` (its process is
+  alive enough to hold the task but not to pulse, or gone entirely).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["WorkerView", "SweepView", "fleet_snapshot", "render"]
+
+#: Completions the rolling task rate is computed over.
+RATE_WINDOW = 8
+
+#: Seconds of heartbeat silence after which a busy worker is stalled.
+STALL_AFTER = 15.0
+
+#: Task events that close a worker's busy interval.
+_CLOSING = ("finished", "failed", "timed_out")
+
+
+@dataclass
+class WorkerView:
+    """One worker process, as reconstructed from its events."""
+
+    pid: int
+    state: str = "idle"          # "busy" | "idle" | "stalled"
+    task: Optional[str] = None   # open task, if busy/stalled
+    done: int = 0                # tasks this worker completed
+    busy_seconds: float = 0.0
+    utilization: float = 0.0     # busy fraction of sweep elapsed
+    beat_age: Optional[float] = None  # seconds since last sign of life
+
+    @property
+    def stalled(self) -> bool:
+        return self.state == "stalled"
+
+
+@dataclass
+class SweepView:
+    """Everything one dashboard frame needs."""
+
+    sweep_id: str = "?"
+    elapsed: float = 0.0
+    finished: bool = False
+    queued: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    cache_hit_rate: Optional[float] = None
+    tasks_per_s: Optional[float] = None
+    rolling_tasks_per_s: Optional[float] = None
+    eta_seconds: Optional[float] = None
+    workers: List[WorkerView] = field(default_factory=list)
+    skipped_lines: int = 0
+
+    @property
+    def done(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def stalled(self) -> List[WorkerView]:
+        return [w for w in self.workers if w.stalled]
+
+
+def _rate(timestamps: Sequence[float]) -> Optional[float]:
+    """Completions per second over a list of completion times."""
+    if len(timestamps) < 2:
+        return None
+    span = timestamps[-1] - timestamps[0]
+    if span <= 0:
+        return None
+    return (len(timestamps) - 1) / span
+
+
+def fleet_snapshot(events: Sequence[Dict[str, Any]],
+                   now: Optional[float] = None, *,
+                   stall_after: float = STALL_AFTER,
+                   window: int = RATE_WINDOW) -> SweepView:
+    """Fold a telemetry event list into one :class:`SweepView`.
+
+    ``events`` may span several sweeps appended to one log; the view
+    covers the most recent one.  ``now`` defaults to wall time and is
+    injectable so tests (and ``--once`` snapshots of finished logs)
+    are deterministic.
+    """
+    view = SweepView(counts={"finished": 0, "cache_hit": 0,
+                             "failed": 0})
+    if not events:
+        return view
+
+    # Scope to the latest sweep in the log.
+    sweep_id = events[-1].get("sweep", "?")
+    for record in reversed(events):
+        if record.get("kind") == "sweep" \
+                and record.get("event") == "started":
+            sweep_id = record.get("sweep", sweep_id)
+            break
+    events = [e for e in events if e.get("sweep") == sweep_id]
+    if not events:
+        return view
+    view.sweep_id = str(sweep_id)
+
+    start_ts = events[0].get("ts", 0.0)
+    last_ts = events[-1].get("ts", start_ts)
+    parent_pid = events[0].get("pid")
+
+    workers: Dict[int, WorkerView] = {}
+    open_since: Dict[int, float] = {}        # pid -> busy since ts
+    open_label: Dict[int, str] = {}          # pid -> open task label
+    started_by: Dict[str, int] = {}          # task -> last starting pid
+    last_beat: Dict[int, float] = {}
+    completions: List[float] = []
+
+    def worker(pid: int) -> WorkerView:
+        return workers.setdefault(pid, WorkerView(pid))
+
+    def close_interval(pid: int, ts: float) -> None:
+        worker(pid).busy_seconds += max(ts - open_since.pop(pid), 0.0)
+        open_label.pop(pid, None)
+        worker(pid).task = None
+
+    for record in events:
+        kind = record.get("kind")
+        event = record.get("event")
+        ts = record.get("ts", last_ts)
+        pid = record.get("pid", 0)
+        task = record.get("task")
+        if kind == "sweep":
+            if event == "finished":
+                view.finished = True
+            continue
+        if kind == "heartbeat":
+            last_beat[pid] = ts
+            if task is not None and pid not in open_since:
+                # Heartbeat for a task whose `started` we never saw
+                # (log truncated at the head): adopt it.
+                w = worker(pid)
+                w.task = task
+                open_since[pid] = ts
+                open_label[pid] = task
+                started_by[task] = pid
+            continue
+        if kind != "task" or task is None:
+            continue
+        if event == "queued":
+            view.queued += 1
+        elif event == "cache_hit":
+            view.counts["cache_hit"] += 1
+            completions.append(ts)
+        elif event == "retried":
+            view.retries += 1
+        elif event == "started":
+            last_beat[pid] = ts
+            if pid in open_since:
+                # The worker moved on before the parent recorded the
+                # previous task's outcome; the old interval ends here.
+                close_interval(pid, ts)
+            w = worker(pid)
+            w.task = task
+            open_since[pid] = ts
+            open_label[pid] = task
+            started_by[task] = pid
+        elif event in _CLOSING:
+            # Close events may come from the parent (finished/failed)
+            # or the worker itself (timed_out); find the worker that
+            # holds the task open, falling back to whoever started it.
+            owner = next((p for p, label in open_label.items()
+                          if label == task), None)
+            if owner is not None:
+                close_interval(owner, ts)
+            if event == "timed_out":
+                last_beat[pid] = ts
+            else:
+                credited = owner if owner is not None \
+                    else started_by.get(task)
+                if event == "finished" and credited is not None:
+                    worker(credited).done += 1
+                view.counts["finished" if event == "finished"
+                            else "failed"] += 1
+                completions.append(ts)
+
+    if now is None:
+        # A finished sweep is viewed "as of" its last event so --once
+        # snapshots of archived logs stay reproducible.
+        now = last_ts if view.finished else time.time()
+    view.elapsed = max((last_ts if view.finished else now) - start_ts,
+                       0.0)
+
+    # Close still-open intervals at `now` for utilization purposes.
+    for pid, since in open_since.items():
+        w = workers[pid]
+        w.busy_seconds += max(now - since, 0.0)
+        w.state = "busy"
+
+    elapsed = view.elapsed or None
+    for pid, w in workers.items():
+        if elapsed:
+            w.utilization = min(w.busy_seconds / elapsed, 1.0)
+        beat = last_beat.get(pid)
+        if beat is not None:
+            w.beat_age = max(now - beat, 0.0)
+        if w.state == "busy" and not view.finished \
+                and w.beat_age is not None and w.beat_age > stall_after:
+            w.state = "stalled"
+    # The parent pid emits lifecycle events but is not a worker row
+    # unless it actually ran tasks (jobs=1).
+    view.workers = sorted(
+        (w for pid, w in workers.items()
+         if w.done or w.task or w.busy_seconds or pid != parent_pid),
+        key=lambda w: w.pid)
+
+    done = view.done
+    served = view.counts["finished"] + view.counts["failed"] \
+        + view.counts["cache_hit"]
+    if served:
+        view.cache_hit_rate = view.counts["cache_hit"] / served
+    if view.elapsed > 0 and done:
+        view.tasks_per_s = done / view.elapsed
+    view.rolling_tasks_per_s = _rate(completions[-window:])
+    remaining = max(view.queued - done, 0)
+    if not view.finished and remaining:
+        rate = view.rolling_tasks_per_s or view.tasks_per_s
+        if rate:
+            view.eta_seconds = remaining / rate
+    return view
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 120.0:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render(view: SweepView) -> str:
+    """One ASCII dashboard frame."""
+    from repro.analysis import format_table
+
+    if view.sweep_id == "?" and not view.queued:
+        return "(no telemetry events yet)"
+    counts = view.counts
+    status = "finished" if view.finished else "running"
+    head = [
+        f"sweep {view.sweep_id} [{status}] — "
+        f"{view.done}/{view.queued} tasks "
+        f"({counts['finished']} ran, {counts['cache_hit']} cached, "
+        f"{counts['failed']} failed"
+        + (f", {view.retries} retried" if view.retries else "") + ")",
+    ]
+    line = f"elapsed {_fmt_seconds(view.elapsed)}"
+    if view.tasks_per_s is not None:
+        line += f" · {view.tasks_per_s:.2f} tasks/s"
+    if view.rolling_tasks_per_s is not None:
+        line += f" (rolling {view.rolling_tasks_per_s:.2f}/s)"
+    if view.cache_hit_rate is not None:
+        line += f" · cache hit rate {view.cache_hit_rate:.0%}"
+    if view.eta_seconds is not None:
+        line += f" · eta {_fmt_seconds(view.eta_seconds)}"
+    head.append(line)
+    if view.skipped_lines:
+        head.append(f"({view.skipped_lines} undecodable log line(s) "
+                    f"skipped)")
+    stalled = view.stalled
+    if stalled:
+        pids = ", ".join(str(w.pid) for w in stalled)
+        head.append(f"STALLED worker(s): {pids} — no heartbeat; "
+                    f"check the processes")
+
+    rows = []
+    for w in view.workers:
+        rows.append([
+            w.pid,
+            w.state.upper() if w.stalled else w.state,
+            w.task or "-",
+            w.done,
+            _fmt_seconds(w.busy_seconds),
+            f"{w.utilization:.0%}",
+            _fmt_seconds(w.beat_age),
+        ])
+    if rows:
+        table = format_table(
+            ["pid", "state", "task", "done", "busy", "util", "beat"],
+            rows)
+        return "\n".join(head) + "\n\n" + table
+    return "\n".join(head)

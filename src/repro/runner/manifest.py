@@ -16,6 +16,8 @@ versions and can be archived as CI artifacts.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -107,16 +109,42 @@ def build_manifest(report: Any, *,
 
 
 def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
-    """Serialize a manifest as pretty-printed JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    """Serialize a manifest as pretty-printed JSON, atomically.
+
+    Temp file + ``os.replace`` in the destination directory, matching
+    the result cache's idiom: a sweep killed mid-write leaves either
+    the previous manifest or none — never a truncated document.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_manifest(path: str) -> Dict[str, Any]:
-    """Read a manifest back, validating kind and version."""
-    with open(path, "r", encoding="utf-8") as fh:
-        manifest = json.load(fh)
+    """Read a manifest back, validating kind and version.
+
+    Every reject mode — undecodable JSON (e.g. a file truncated by a
+    crash-mid-write under a pre-atomic writer), wrong kind, future
+    version — raises :class:`ValueError` with the offending path, so
+    callers aggregating many manifests (``repro report``) can skip the
+    bad one with a single except clause instead of dying on
+    ``JSONDecodeError``.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        try:
+            manifest = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path} is truncated or corrupt (not valid JSON: "
+                f"{exc})") from exc
     if not isinstance(manifest, dict) \
             or manifest.get("kind") != MANIFEST_KIND:
         raise ValueError(f"{path} is not a {MANIFEST_KIND} document")

@@ -19,6 +19,21 @@ back.  Robustness guarantees:
 Workers receive only plain ``Task`` tuples (strings and ints) and
 re-resolve specs and experiments from their own registry import, so
 nothing fragile crosses the process boundary.
+
+Fleet telemetry (both optional, both off by default):
+
+* ``spans=SpanTracer(...)`` — the sweep runs under a ``sweep`` span
+  with ``cache-lookup`` / ``aggregate`` / ``serialize`` child phases;
+  each worker receives a propagated :class:`~repro.obs.spans.TraceContext`
+  (sweep id, task label), records a ``task`` span (with ``simulate``
+  and, where experiments fork snapshots, ``snapshot-fork`` children)
+  into a local tracer, and ships the spans back with its result; the
+  parent merges them so one cross-process timeline exists at sweep end
+  (export via :func:`repro.obs.export.spans_chrome_trace`).
+* ``telemetry=<path or TelemetryWriter>`` — task lifecycle events
+  (queued / started / cache_hit / retried / timed_out / finished /
+  failed) plus periodic worker heartbeats append to a shared JSONL log
+  (:mod:`repro.runner.telemetry`) that ``repro top`` tails live.
 """
 
 from __future__ import annotations
@@ -28,13 +43,26 @@ import signal
 import threading
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.spans import (
+    NULL_SPAN_TRACER,
+    SpanTracer,
+    TraceContext,
+    new_sweep_id,
+    use_tracer,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.grid import Task
 from repro.runner.keys import cache_key
 from repro.runner.progress import ProgressReporter
+from repro.runner.telemetry import (
+    HEARTBEAT_INTERVAL,
+    Heartbeat,
+    TelemetryWriter,
+)
 
 __all__ = ["TaskOutcome", "SweepReport", "run_tasks", "run_all"]
 
@@ -120,6 +148,7 @@ def _execute(task: Task, timeout: Optional[float]) -> object:
     """
     from repro.arch import get_spec
     from repro.experiments import run_experiment
+    from repro.obs import spans as obs_spans
 
     spec = get_spec(task.gpu) if task.gpu is not None else None
     can_alarm = (timeout is not None and timeout > 0
@@ -127,25 +156,70 @@ def _execute(task: Task, timeout: Optional[float]) -> object:
                  and threading.current_thread()
                  is threading.main_thread())
     if not can_alarm:
-        return run_experiment(task.experiment_id, spec=spec,
-                              seed=task.seed, profile=task.profile)
+        with obs_spans.span("simulate",
+                            experiment=task.experiment_id):
+            return run_experiment(task.experiment_id, spec=spec,
+                                  seed=task.seed, profile=task.profile)
     old = signal.signal(signal.SIGALRM, _alarm_handler)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return run_experiment(task.experiment_id, spec=spec,
-                              seed=task.seed, profile=task.profile)
+        with obs_spans.span("simulate",
+                            experiment=task.experiment_id):
+            return run_experiment(task.experiment_id, spec=spec,
+                                  seed=task.seed, profile=task.profile)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, old)
 
 
-def _worker(payload: Tuple[Task, Optional[float]]):
-    """Module-level pool entry point (must be picklable)."""
+def _worker(payload: Tuple[Task, Optional[float], Dict[str, Any]]):
+    """Module-level pool entry point (must be picklable).
+
+    ``payload`` carries the task, its timeout and the propagated fleet
+    context: sweep id, attempt number, whether to record spans, and
+    the telemetry log path (``None`` disables each independently).
+    Returns ``(result, seconds, spans)`` — the worker's local spans
+    ride back with the result so the parent can merge one coherent
+    cross-process timeline.
+    """
     import time
-    task, timeout = payload
+    task, timeout, ctx = payload
+    label = task.label()
+    writer = None
+    if ctx.get("telemetry"):
+        writer = TelemetryWriter(ctx["telemetry"], ctx["sweep"])
+    tracer = None
+    if ctx.get("spans"):
+        tracer = SpanTracer(TraceContext(ctx["sweep"], label))
     start = time.perf_counter()
-    result = _execute(task, timeout)
-    return result, time.perf_counter() - start
+    try:
+        if writer is not None:
+            writer.task_event("started", label,
+                              attempt=ctx.get("attempt", 1))
+        heartbeat = (Heartbeat(writer, label,
+                               ctx.get("heartbeat", HEARTBEAT_INTERVAL))
+                     if writer is not None else nullcontext())
+        with heartbeat:
+            if tracer is not None:
+                with use_tracer(tracer), \
+                        tracer.span("task", cat="task", task=label):
+                    result = _execute(task, timeout)
+            else:
+                result = _execute(task, timeout)
+    except TaskTimeout:
+        if writer is not None:
+            writer.task_event("timed_out", label,
+                              attempt=ctx.get("attempt", 1))
+            writer.close()
+        raise
+    except BaseException:
+        if writer is not None:
+            writer.close()
+        raise
+    if writer is not None:
+        writer.close()
+    spans = tracer.spans() if tracer is not None else []
+    return result, time.perf_counter() - start, spans
 
 
 def _format_error(exc: BaseException) -> str:
@@ -158,6 +232,31 @@ def _resolve_spec_for_key(task: Task):
     return get_spec(task.gpu) if task.gpu is not None else None
 
 
+@dataclass
+class _Fleet:
+    """Per-sweep instrumentation bundle threaded through the drivers."""
+
+    sweep_id: str
+    tracer: Any = NULL_SPAN_TRACER
+    writer: Optional[TelemetryWriter] = None
+    telemetry_path: Optional[str] = None
+    heartbeat: float = HEARTBEAT_INTERVAL
+
+    def worker_ctx(self, attempt: int) -> Dict[str, Any]:
+        """The propagated context one worker attempt receives."""
+        return {
+            "sweep": self.sweep_id,
+            "attempt": attempt,
+            "spans": self.tracer.enabled,
+            "telemetry": self.telemetry_path,
+            "heartbeat": self.heartbeat,
+        }
+
+    def event(self, event: str, task: Task, **fields: Any) -> None:
+        if self.writer is not None:
+            self.writer.task_event(event, task.label(), **fields)
+
+
 def run_tasks(tasks: Sequence[Task], *,
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
@@ -165,7 +264,12 @@ def run_tasks(tasks: Sequence[Task], *,
               timeout: Optional[float] = None,
               retries: int = 1,
               reporter: Optional[ProgressReporter] = None,
-              mp_context=None) -> SweepReport:
+              mp_context=None,
+              spans: Optional[SpanTracer] = None,
+              telemetry: Union[None, str, os.PathLike,
+                               TelemetryWriter] = None,
+              sweep_id: Optional[str] = None,
+              heartbeat: float = HEARTBEAT_INTERVAL) -> SweepReport:
     """Execute a sweep grid; never raises for individual task failures.
 
     Parameters
@@ -186,6 +290,19 @@ def run_tasks(tasks: Sequence[Task], *,
     retries:
         Additional attempts after a failure/timeout (default 1: the
         "retry once" of the sweep contract).
+    spans:
+        Optional :class:`~repro.obs.spans.SpanTracer` to record the
+        sweep's hierarchical phase timeline into — including spans
+        recorded inside worker processes, merged back here.
+    telemetry:
+        Optional JSONL event-log path (or an open
+        :class:`~repro.runner.telemetry.TelemetryWriter`) receiving
+        task lifecycle events and worker heartbeats for ``repro top``.
+    sweep_id:
+        Identity stamped on spans and telemetry; autogenerated when
+        omitted.
+    heartbeat:
+        Seconds between worker heartbeats (only with ``telemetry``).
     """
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
@@ -193,23 +310,61 @@ def run_tasks(tasks: Sequence[Task], *,
     if reporter is None:
         reporter = ProgressReporter(len(tasks))  # silent collector
 
+    if sweep_id is None:
+        sweep_id = (spans.context.sweep_id if spans is not None
+                    else new_sweep_id())
+    fleet = _Fleet(sweep_id, heartbeat=heartbeat)
+    own_writer = False
+    if isinstance(telemetry, TelemetryWriter):
+        fleet.writer = telemetry
+        fleet.telemetry_path = telemetry.path
+    elif telemetry is not None:
+        fleet.writer = TelemetryWriter(telemetry, sweep_id)
+        fleet.telemetry_path = fleet.writer.path
+        own_writer = True
+    if spans is not None:
+        fleet.tracer = spans
+
+    try:
+        with fleet.tracer.span("sweep", cat="sweep", tasks=len(tasks),
+                               jobs=jobs):
+            if fleet.writer is not None:
+                fleet.writer.emit("sweep", "started", tasks=len(tasks),
+                                  jobs=jobs)
+            report = _run_sweep(tasks, jobs, cache, refresh, timeout,
+                                retries, reporter, mp_context, fleet)
+            if fleet.writer is not None:
+                fleet.writer.emit("sweep", "finished",
+                                  **report.counts())
+            return report
+    finally:
+        if own_writer:
+            fleet.writer.close()
+
+
+def _run_sweep(tasks, jobs, cache, refresh, timeout, retries, reporter,
+               mp_context, fleet: _Fleet) -> SweepReport:
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
     pending: List[Tuple[int, Task]] = []
 
     # Phase 1: serve cache hits instantly, collect the misses.
-    for index, task in enumerate(tasks):
-        key = None
-        if cache is not None:
-            key = cache_key(task.experiment_id,
-                            _resolve_spec_for_key(task),
-                            task.seed, task.profile)
-        if cache is not None and not refresh:
-            hit = cache.get(task.experiment_id, key)
-            if hit is not None:
-                outcomes[index] = TaskOutcome(task, hit, "cache", 0.0)
-                reporter.task_done(task, "cache", 0.0)
-                continue
-        pending.append((index, task))
+    with fleet.tracer.span("cache-lookup", tasks=len(tasks)):
+        for index, task in enumerate(tasks):
+            fleet.event("queued", task)
+            key = None
+            if cache is not None:
+                key = cache_key(task.experiment_id,
+                                _resolve_spec_for_key(task),
+                                task.seed, task.profile)
+            if cache is not None and not refresh:
+                hit = cache.get(task.experiment_id, key)
+                if hit is not None:
+                    outcomes[index] = TaskOutcome(task, hit, "cache",
+                                                  0.0)
+                    fleet.event("cache_hit", task)
+                    reporter.task_done(task, "cache", 0.0)
+                    continue
+            pending.append((index, task))
 
     def record(index: int, task: Task, result, seconds: float,
                attempts: int) -> None:
@@ -217,34 +372,57 @@ def run_tasks(tasks: Sequence[Task], *,
             key = cache_key(task.experiment_id,
                             _resolve_spec_for_key(task),
                             task.seed, task.profile)
-            cache.put(task.experiment_id, key, result)
+            with fleet.tracer.span("serialize", task=task.label()):
+                cache.put(task.experiment_id, key, result)
         outcomes[index] = TaskOutcome(task, result, "ran", seconds,
                                       attempts)
+        fleet.event("finished", task, seconds=round(seconds, 4),
+                    attempts=attempts)
         reporter.task_done(task, "ran", seconds, attempts)
 
     def record_failure(index: int, task: Task, error: str,
                        seconds: float, attempts: int) -> None:
         outcomes[index] = TaskOutcome(task, None, "failed", seconds,
                                       attempts, error)
+        fleet.event("failed", task, seconds=round(seconds, 4),
+                    attempts=attempts, error=error[:200])
         reporter.task_done(task, "failed", seconds, attempts, error)
 
-    if jobs == 1:
-        _run_serial(pending, timeout, retries, record, record_failure)
-    else:
-        _run_pool(pending, jobs, timeout, retries, record,
-                  record_failure, mp_context)
+    # Phase 2: drive the misses and fold completions back in.
+    with fleet.tracer.span("aggregate", pending=len(pending)):
+        if jobs == 1:
+            _run_serial(pending, timeout, retries, record,
+                        record_failure, fleet)
+        else:
+            _run_pool(pending, jobs, timeout, retries, record,
+                      record_failure, mp_context, fleet)
     return SweepReport([o for o in outcomes if o is not None])
 
 
-def _run_serial(pending, timeout, retries, record, record_failure):
+def _run_serial(pending, timeout, retries, record, record_failure,
+                fleet: _Fleet):
     import time
+    writer = fleet.writer
     for index, task in pending:
+        label = task.label()
         for attempt in range(1, retries + 2):
+            if writer is not None:
+                if attempt > 1:
+                    writer.task_event("retried", label, attempt=attempt)
+                writer.task_event("started", label, attempt=attempt)
+            heartbeat = (Heartbeat(writer, label, fleet.heartbeat)
+                         if writer is not None else nullcontext())
             start = time.perf_counter()
             try:
-                result = _execute(task, timeout)
+                with heartbeat, \
+                        use_tracer(fleet.tracer), \
+                        fleet.tracer.task(label):
+                    result = _execute(task, timeout)
             except BaseException as exc:  # noqa: BLE001 — aggregated
                 seconds = time.perf_counter() - start
+                if writer is not None and isinstance(exc, TaskTimeout):
+                    writer.task_event("timed_out", label,
+                                      attempt=attempt)
                 if attempt > retries:
                     record_failure(index, task, _format_error(exc),
                                    seconds, attempt)
@@ -255,7 +433,7 @@ def _run_serial(pending, timeout, retries, record, record_failure):
 
 
 def _run_pool(pending, jobs, timeout, retries, record, record_failure,
-              mp_context):
+              mp_context, fleet: _Fleet):
     if not pending:
         return
     watchdog = None if timeout is None else timeout + _WATCHDOG_GRACE
@@ -265,7 +443,8 @@ def _run_pool(pending, jobs, timeout, retries, record, record_failure,
         attempts = {}
         for index, task in pending:
             attempts[index] = 1
-            futures[pool.submit(_worker, (task, timeout))] = \
+            futures[pool.submit(
+                _worker, (task, timeout, fleet.worker_ctx(1)))] = \
                 (index, task)
         while futures:
             done, _ = wait(futures, timeout=watchdog,
@@ -284,18 +463,23 @@ def _run_pool(pending, jobs, timeout, retries, record, record_failure,
             for future in done:
                 index, task = futures.pop(future)
                 try:
-                    result, seconds = future.result()
+                    result, seconds, spans = future.result()
                 except BaseException as exc:  # noqa: BLE001
                     if attempts[index] <= retries:
                         attempts[index] += 1
-                        futures[pool.submit(_worker,
-                                            (task, timeout))] = \
+                        fleet.event("retried", task,
+                                    attempt=attempts[index])
+                        futures[pool.submit(
+                            _worker,
+                            (task, timeout,
+                             fleet.worker_ctx(attempts[index])))] = \
                             (index, task)
                     else:
                         record_failure(index, task,
                                        _format_error(exc), 0.0,
                                        attempts[index])
                 else:
+                    fleet.tracer.extend(spans)
                     record(index, task, result, seconds,
                            attempts[index])
 

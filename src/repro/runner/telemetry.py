@@ -1,0 +1,196 @@
+"""Structured sweep event log: schema-versioned JSONL + heartbeats.
+
+While spans (:mod:`repro.obs.spans`) answer "where did the wall-clock
+time go" after a sweep finishes, the event log answers "what is the
+fleet doing *right now*": every task lifecycle transition and a
+periodic heartbeat per busy worker land in one append-only JSONL file
+that ``repro top`` tails while the sweep is still running.
+
+Schema (``TELEMETRY_VERSION`` = 1) — one JSON object per line::
+
+    {"v": 1, "kind": "sweep",     "event": "started"|"finished", ...}
+    {"v": 1, "kind": "task",      "event": "queued"|"started"|
+                                  "cache_hit"|"retried"|"timed_out"|
+                                  "finished"|"failed", "task": <label>, ...}
+    {"v": 1, "kind": "heartbeat", "task": <label>, ...}
+
+Every record carries ``ts`` (unix seconds), ``sweep`` (the sweep id)
+and ``pid`` (the recording OS process).  Task records add ``task``
+(the task label); ``finished``/``failed`` add ``seconds`` and
+``attempts``; ``started`` adds ``attempt``.
+
+Concurrency and crash tolerance:
+
+* **atomic appends** — the writer opens the log with ``O_APPEND`` and
+  emits each record as a *single* ``os.write`` of one complete line,
+  so lines from the parent and many workers interleave but never
+  interleave *within* a line (POSIX guarantees atomicity for O_APPEND
+  writes up to ``PIPE_BUF``; records are far smaller);
+* **tolerant reads** — a process killed mid-write can still leave a
+  truncated final line (or, across exotic filesystems, a garbled one).
+  :func:`read_events` skips undecodable lines instead of raising, so a
+  dashboard tailing a live log never crashes on the in-flight tail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "TelemetryWriter",
+    "Heartbeat",
+    "read_events",
+    "read_events_with_skips",
+]
+
+#: Schema version stamped on (and checked in) every record.
+TELEMETRY_VERSION = 1
+
+#: Default seconds between worker heartbeats.
+HEARTBEAT_INTERVAL = 2.0
+
+
+class TelemetryWriter:
+    """Appends telemetry records to a JSONL log, atomically.
+
+    Safe to use concurrently from many processes on one file: each
+    record is one complete line written with a single ``os.write`` on
+    an ``O_APPEND`` descriptor.  ``clock`` is injectable for
+    deterministic tests and defaults to wall time (unlike spans, the
+    log is meant to be human-correlatable with "when did I start
+    this").
+    """
+
+    def __init__(self, path: os.PathLike, sweep_id: str,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.path = str(path)
+        self.sweep_id = sweep_id
+        self.clock = clock
+        self._fd = os.open(self.path,
+                           os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                           0o644)
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, event: Optional[str] = None,
+             **fields: Any) -> None:
+        """Append one record; never raises on a closed writer."""
+        if self._fd is None:
+            return
+        record: Dict[str, Any] = {
+            "v": TELEMETRY_VERSION,
+            "kind": kind,
+            "ts": round(self.clock(), 3),
+            "sweep": self.sweep_id,
+            "pid": os.getpid(),
+        }
+        if event is not None:
+            record["event"] = event
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def task_event(self, event: str, task: str, **fields: Any) -> None:
+        """One task lifecycle transition (queued/started/...)."""
+        self.emit("task", event, task=task, **fields)
+
+    def heartbeat(self, task: Optional[str] = None) -> None:
+        """One liveness pulse from a (possibly busy) worker."""
+        if task is None:
+            self.emit("heartbeat")
+        else:
+            self.emit("heartbeat", task=task)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            os.close(fd)
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Heartbeat:
+    """Daemon thread pulsing :meth:`TelemetryWriter.heartbeat`.
+
+    Workers start one around each task so the dashboard can tell "busy
+    and alive" from "busy and wedged": a worker whose heartbeat age
+    exceeds the stall threshold while a task is open is stalled.
+    """
+
+    def __init__(self, writer: TelemetryWriter, task: str,
+                 interval: float = HEARTBEAT_INTERVAL) -> None:
+        self._writer = writer
+        self._task = task
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._writer.heartbeat(self._task)
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval + 1.0)
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+def read_events_with_skips(path: os.PathLike, *,
+                           strict: bool = False
+                           ) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a telemetry log; returns ``(events, skipped_lines)``.
+
+    Undecodable lines — a truncated final line from a crash-mid-write,
+    stray garbage — are counted and skipped unless ``strict`` is set.
+    Records from a *newer* schema than this code knows are likewise
+    skipped (strict: raised), so an old dashboard degrades instead of
+    misreading a future schema.
+    """
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise ValueError(
+                        f"{path}: undecodable telemetry line "
+                        f"{line[:80]!r}")
+                skipped += 1
+                continue
+            if not isinstance(record, dict) \
+                    or not isinstance(record.get("v"), int) \
+                    or record["v"] > TELEMETRY_VERSION:
+                if strict:
+                    raise ValueError(
+                        f"{path}: unsupported telemetry record "
+                        f"{line[:80]!r}")
+                skipped += 1
+                continue
+            events.append(record)
+    return events, skipped
+
+
+def read_events(path: os.PathLike, *,
+                strict: bool = False) -> List[Dict[str, Any]]:
+    """Events of a telemetry log, tolerant of a corrupt trailing line."""
+    return read_events_with_skips(path, strict=strict)[0]

@@ -392,22 +392,28 @@ def fork_device(snapshot: DeviceSnapshot, *,
     generator state — useful for forking many differently-seeded trials
     off one *pristine* (never-run) baseline, where a re-seeded fork is
     bit-identical to cold-constructing ``Device(spec, seed=seed)``.
+
+    When an ambient span tracer is active (a sweep running with
+    ``spans=...``) the fork is recorded as a ``snapshot-fork`` phase;
+    otherwise the hook is one context-variable read.
     """
+    from repro.obs import spans as obs_spans
     from repro.sim.gpu import Device
 
-    cfg = snapshot.config
-    device = Device(
-        snapshot.spec,
-        seed=cfg["seed"] if seed is None else seed,
-        policy=cfg["policy"],
-        isolated_fu_banks=cfg["isolated_fu_banks"],
-        scheduler_assignment=cfg["scheduler_assignment"],
-        max_events=cfg["max_events"],
-        observe=cfg["observe"],
-        engine=engine if engine is not None else snapshot.engine_mode,
-    )
-    _restore_state(device, snapshot.state, reseed=seed is not None)
-    return device
+    with obs_spans.span("snapshot-fork", spec=snapshot.spec.name):
+        cfg = snapshot.config
+        device = Device(
+            snapshot.spec,
+            seed=cfg["seed"] if seed is None else seed,
+            policy=cfg["policy"],
+            isolated_fu_banks=cfg["isolated_fu_banks"],
+            scheduler_assignment=cfg["scheduler_assignment"],
+            max_events=cfg["max_events"],
+            observe=cfg["observe"],
+            engine=engine if engine is not None else snapshot.engine_mode,
+        )
+        _restore_state(device, snapshot.state, reseed=seed is not None)
+        return device
 
 
 # ----------------------------------------------------------------------

@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.cli import build_parser, main
 from repro.runner.cache import default_cache_dir
 
@@ -102,3 +104,68 @@ def test_report_default_out_is_cwd_report_html():
     args = parser.parse_args(["report", "run.json"])
     assert args.out == "report.html"
     assert args.format == "auto"
+
+
+def test_stats_json_defaults_off():
+    parser = build_parser()
+    assert parser.parse_args(["stats", "sync-l1"]).json is False
+    assert parser.parse_args(["stats", "sync-l1", "--json"]).json \
+        is True
+
+
+def test_stats_json_mirrors_csv(tmp_path, monkeypatch, capsys):
+    import csv
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["stats", "sync-l1", "--bits", "4", "--seed", "1",
+                 "--out", "stats.csv"]) == 0
+    capsys.readouterr()
+    assert main(["stats", "sync-l1", "--bits", "4", "--seed", "1",
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "provenance" in doc and "metrics" in doc
+    with open(tmp_path / "stats.csv", newline="") as fh:
+        rows = [r for r in csv.reader(fh)
+                if r and not r[0].startswith("#")]
+    csv_metrics = {name: float(value) for name, value in rows[1:]}
+    # Same instruments; the CSV rounds to 6 significant digits while
+    # the JSON keeps full precision.
+    assert set(doc["metrics"]) == set(csv_metrics)
+    for name, value in csv_metrics.items():
+        assert doc["metrics"][name] == pytest.approx(value, rel=1e-4)
+
+
+def test_stats_json_without_out_writes_no_file(tmp_path, monkeypatch,
+                                               capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["stats", "sync-l1", "--bits", "4", "--json"]) == 0
+    capsys.readouterr()
+    assert os.listdir(tmp_path) == []
+
+
+def test_sweep_telemetry_and_trace_default_off():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--experiments", "fig2"])
+    assert args.telemetry is None
+    assert args.trace is None
+
+
+def test_top_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["top"])
+    assert args.log == "events.jsonl"
+    assert args.once is False
+    assert args.interval == 2.0
+    assert args.stall_after == 15.0
+
+
+def test_bench_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["bench"])
+    assert args.check is False
+    assert args.fresh is None
+    assert args.baseline is None
+    assert args.root == "."
+    assert args.speedup_floor == 0.5
+    assert args.wall_ceiling == 3.0

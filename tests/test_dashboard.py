@@ -1,0 +1,251 @@
+"""`repro top`: fleet snapshot reconstruction and the ASCII frame."""
+
+import json
+
+from repro.cli import main
+from repro.runner import fleet_snapshot, render_dashboard
+from repro.runner.telemetry import TELEMETRY_VERSION
+
+
+def _ev(kind, event=None, ts=0.0, pid=1, sweep="s1", **fields):
+    record = {"v": TELEMETRY_VERSION, "kind": kind, "ts": ts,
+              "sweep": sweep, "pid": pid}
+    if event is not None:
+        record["event"] = event
+    record.update(fields)
+    return record
+
+
+def _sweep_events():
+    """Two workers (pids 2, 3), four tasks, one cache hit."""
+    return [
+        _ev("sweep", "started", ts=0.0, tasks=4, jobs=2),
+        _ev("task", "queued", ts=0.0, task="a"),
+        _ev("task", "queued", ts=0.0, task="b"),
+        _ev("task", "queued", ts=0.0, task="c"),
+        _ev("task", "queued", ts=0.0, task="d"),
+        _ev("task", "cache_hit", ts=0.1, task="a"),
+        _ev("task", "started", ts=0.5, pid=2, task="b", attempt=1),
+        _ev("task", "started", ts=0.5, pid=3, task="c", attempt=1),
+        _ev("heartbeat", ts=2.0, pid=2, task="b"),
+        _ev("task", "finished", ts=4.5, task="b", seconds=4.0,
+            attempts=1),
+        _ev("task", "started", ts=4.6, pid=2, task="d", attempt=1),
+        _ev("task", "finished", ts=6.5, task="c", seconds=6.0,
+            attempts=1),
+    ]
+
+
+class TestFleetSnapshot:
+    def test_empty_log(self):
+        view = fleet_snapshot([])
+        assert view.sweep_id == "?"
+        assert view.done == 0
+        assert view.workers == []
+        assert not view.finished
+
+    def test_progress_counts_and_cache_rate(self):
+        view = fleet_snapshot(_sweep_events(), now=8.0)
+        assert view.sweep_id == "s1"
+        assert view.queued == 4
+        assert view.counts == {"finished": 2, "cache_hit": 1,
+                               "failed": 0}
+        assert view.done == 3
+        assert not view.finished
+        assert view.cache_hit_rate == 1 / 3
+        assert view.elapsed == 8.0
+
+    def test_worker_reconstruction(self):
+        view = fleet_snapshot(_sweep_events(), now=8.0)
+        by_pid = {w.pid: w for w in view.workers}
+        assert set(by_pid) == {2, 3}
+        w2, w3 = by_pid[2], by_pid[3]
+        # Worker 2 ran b (0.5..4.5) and is still on d (4.6..now=8.0).
+        assert w2.state == "busy"
+        assert w2.task == "d"
+        assert w2.done == 1
+        assert w2.busy_seconds == (4.5 - 0.5) + (8.0 - 4.6)
+        assert w2.utilization == w2.busy_seconds / 8.0
+        # Worker 3 ran c (0.5..6.5) and is now idle.
+        assert w3.state == "idle"
+        assert w3.task is None
+        assert w3.done == 1
+        assert w3.busy_seconds == 6.0
+        # The parent (pid 1) emitted events but ran no tasks.
+        assert 1 not in by_pid
+
+    def test_worker_moving_on_closes_previous_interval(self):
+        # The worker starts its next task before the parent records
+        # the previous outcome — utilization must not double-count.
+        events = [
+            _ev("sweep", "started", ts=0.0, tasks=2, jobs=1),
+            _ev("task", "queued", ts=0.0, task="a"),
+            _ev("task", "queued", ts=0.0, task="b"),
+            _ev("task", "started", ts=1.0, pid=2, task="a"),
+            _ev("task", "started", ts=3.0, pid=2, task="b"),
+            _ev("task", "finished", ts=3.1, task="a", seconds=2.0),
+            _ev("task", "finished", ts=5.0, task="b", seconds=1.9),
+        ]
+        view = fleet_snapshot(events, now=5.0)
+        (worker,) = view.workers
+        assert worker.done == 2
+        assert worker.busy_seconds == (3.0 - 1.0) + (5.0 - 3.0)
+
+    def test_stall_detection(self):
+        events = _sweep_events()
+        # Worker 2 has task d open since ts=4.6 with no beat since.
+        view = fleet_snapshot(events, now=30.0, stall_after=15.0)
+        by_pid = {w.pid: w for w in view.workers}
+        assert by_pid[2].stalled
+        assert by_pid[2].state == "stalled"
+        assert by_pid[2].beat_age == 30.0 - 4.6
+        assert not by_pid[3].stalled
+        assert view.stalled == [by_pid[2]]
+        # A fresher heartbeat clears the stall.
+        events.append(_ev("heartbeat", ts=29.0, pid=2, task="d"))
+        view = fleet_snapshot(events, now=30.0, stall_after=15.0)
+        assert not fleet_snapshot(events, now=30.0).stalled
+        assert view.workers[0].beat_age is not None
+
+    def test_finished_sweep_is_never_stalled(self):
+        events = _sweep_events()
+        events += [
+            _ev("task", "finished", ts=9.0, task="d", seconds=4.4),
+            _ev("sweep", "finished", ts=9.0, ran=3, cache=1, failed=0),
+        ]
+        # Viewed long after the fact: "as of" the last event.
+        view = fleet_snapshot(events, now=1e9, stall_after=1.0)
+        assert view.finished
+        assert view.stalled == []
+        assert view.elapsed == 9.0
+        assert view.eta_seconds is None
+
+    def test_eta_from_rolling_rate(self):
+        events = [_ev("sweep", "started", ts=0.0, tasks=10, jobs=1)]
+        events += [_ev("task", "queued", ts=0.0, task=f"t{i}")
+                   for i in range(10)]
+        for i in range(4):
+            events.append(_ev("task", "started", ts=float(i), pid=2,
+                              task=f"t{i}"))
+            events.append(_ev("task", "finished", ts=float(i) + 1.0,
+                              task=f"t{i}", seconds=1.0))
+        view = fleet_snapshot(events, now=4.0)
+        # 4 completions at 1, 2, 3, 4 -> 1 task/s rolling; 6 remain.
+        assert view.rolling_tasks_per_s == 1.0
+        assert view.tasks_per_s == 1.0
+        assert view.eta_seconds == 6.0
+
+    def test_rolling_window_tracks_recent_pace(self):
+        events = [_ev("sweep", "started", ts=0.0, tasks=8, jobs=1)]
+        events += [_ev("task", "queued", ts=0.0, task=f"t{i}")
+                   for i in range(8)]
+        # Two slow completions, then four at 10x the pace.
+        times = [10.0, 20.0, 20.1, 20.2, 20.3, 20.4]
+        for i, ts in enumerate(times):
+            events.append(_ev("task", "finished", ts=ts, task=f"t{i}",
+                              seconds=1.0))
+        view = fleet_snapshot(events, now=20.4, window=4)
+        overall = view.tasks_per_s
+        rolling = view.rolling_tasks_per_s
+        assert rolling is not None and overall is not None
+        assert rolling > overall * 5
+
+    def test_latest_sweep_scoping(self):
+        old = [_ev("sweep", "started", ts=0.0, sweep="old", tasks=9),
+               _ev("task", "queued", ts=0.0, sweep="old", task="x")]
+        new = [_ev("sweep", "started", ts=50.0, sweep="new", tasks=1),
+               _ev("task", "queued", ts=50.0, sweep="new", task="y"),
+               _ev("task", "cache_hit", ts=50.1, sweep="new",
+                   task="y"),
+               _ev("sweep", "finished", ts=50.1, sweep="new")]
+        view = fleet_snapshot(old + new)
+        assert view.sweep_id == "new"
+        assert view.queued == 1
+        assert view.finished
+
+    def test_heartbeat_adoption_after_head_truncation(self):
+        # The log rotated away the `started` record; the heartbeat is
+        # enough to show the worker as busy.
+        events = [
+            _ev("sweep", "started", ts=0.0, tasks=2, jobs=1),
+            _ev("heartbeat", ts=5.0, pid=2, task="a"),
+        ]
+        view = fleet_snapshot(events, now=6.0)
+        (worker,) = view.workers
+        assert worker.state == "busy"
+        assert worker.task == "a"
+
+
+class TestRender:
+    def test_render_running_frame(self):
+        view = fleet_snapshot(_sweep_events(), now=8.0)
+        frame = render_dashboard(view)
+        assert "sweep s1 [running]" in frame
+        assert "3/4 tasks" in frame
+        assert "2 ran, 1 cached, 0 failed" in frame
+        assert "cache hit rate 33%" in frame
+        # Worker table with one row per worker.
+        assert "pid" in frame and "util" in frame
+        assert "\n2 " in frame and "\n3 " in frame
+
+    def test_render_flags_stalls(self):
+        view = fleet_snapshot(_sweep_events(), now=30.0,
+                              stall_after=15.0)
+        frame = render_dashboard(view)
+        assert "STALLED worker(s): 2" in frame
+
+    def test_render_empty_log(self):
+        assert "no telemetry" in render_dashboard(fleet_snapshot([]))
+
+    def test_render_notes_skipped_lines(self):
+        view = fleet_snapshot(_sweep_events(), now=8.0)
+        view.skipped_lines = 1
+        assert "1 undecodable log line(s) skipped" \
+            in render_dashboard(view)
+
+
+class TestTopCli:
+    def _write_log(self, path, events):
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+    def test_top_once_renders_snapshot(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        events = _sweep_events() + [
+            _ev("task", "finished", ts=9.0, task="d", seconds=4.4),
+            _ev("sweep", "finished", ts=9.0, ran=3, cache=1,
+                failed=0),
+        ]
+        self._write_log(log, events)
+        code = main(["top", "--log", str(log), "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep s1 [finished]" in out
+        assert "4/4 tasks" in out
+
+    def test_top_once_exits_nonzero_on_stall(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        self._write_log(log, _sweep_events())
+        code = main(["top", "--log", str(log), "--once",
+                     "--stall-after", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "STALLED" in out
+
+    def test_top_once_missing_log_fails_cleanly(self, tmp_path,
+                                                capsys):
+        code = main(["top", "--log", str(tmp_path / "nope.jsonl"),
+                     "--once"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_top_live_sweep_end_to_end(self, tmp_path, capsys):
+        # A real (serial, smoke) sweep's log renders sensibly.
+        log = tmp_path / "events.jsonl"
+        assert main(["sweep", "--experiments", "table1",
+                     "--gpus", "kepler", "--profile", "smoke",
+                     "--no-cache", "--telemetry", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["top", "--log", str(log), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "1/1 tasks" in out

@@ -1,0 +1,144 @@
+"""ProgressReporter ETA edge cases: empty sweeps, rollover, retries."""
+
+import io
+
+from repro.runner import Task
+from repro.runner.progress import ProgressReporter, stderr_reporter
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _reporter(total, clock=None, stream=None):
+    return ProgressReporter(total, stream=stream,
+                            clock=clock or FakeClock())
+
+
+class TestEtaEdges:
+    def test_zero_tasks_has_no_eta_and_clean_summary(self):
+        reporter = _reporter(0)
+        assert reporter._eta_seconds(0, 0.0) is None
+        assert reporter.summary() == \
+            "0 tasks: 0 ran, 0 cached, 0 failed"
+        assert reporter.records == []
+        assert reporter.retries == 0
+
+    def test_single_task_finishing_shows_no_eta(self):
+        clock = FakeClock()
+        reporter = _reporter(1, clock)
+        clock.advance(2.0)
+        reporter.task_done(Task("fig2"), "ran", 2.0)
+        (line,) = reporter.records
+        assert line.startswith("[1/1] fig2 — ran in 2.00s")
+        assert "eta" not in line
+
+    def test_eta_before_first_completion_is_undefined(self):
+        reporter = _reporter(5)
+        assert reporter._eta_seconds(0, 10.0) is None
+
+    def test_partial_window_uses_sweep_average(self):
+        clock = FakeClock()
+        reporter = _reporter(4, clock)
+        for _ in range(2):
+            clock.advance(3.0)
+            reporter.task_done(Task("fig2"), "ran", 3.0)
+        # 2 done in 6s -> 3 s/task -> 2 remaining -> eta 6s.
+        assert reporter._eta_seconds(2, clock.now) == 6.0
+        assert reporter.records[-1].endswith("eta 6s")
+
+    def test_full_window_tracks_recent_pace(self):
+        clock = FakeClock()
+        reporter = _reporter(20, clock)
+        # Two slow finishes age out of the 8-wide window once eight
+        # fast ones follow; the ETA must reflect only the fast pace.
+        for _ in range(2):
+            clock.advance(60.0)
+            reporter.task_done(Task("slow"), "ran", 60.0)
+        for _ in range(8):
+            clock.advance(1.0)
+            reporter.task_done(Task("fast"), "cache", 1.0)
+        eta = reporter._eta_seconds(10, clock.now)
+        # Window spans the last 8 finishes = 7 completions over 7s;
+        # 10 remain -> 10s, nowhere near the 60 s/task cold pace.
+        assert eta == 10.0
+
+    def test_clock_rollover_degrades_to_zero_eta(self):
+        # A clock that jumps backwards (suspend/resume, container
+        # migration) makes the window span non-positive; the reporter
+        # must clamp to an instant ETA rather than divide by zero or
+        # emit a negative estimate.
+        clock = FakeClock(1000.0)
+        reporter = _reporter(20, clock)
+        for _ in range(8):
+            clock.advance(1.0)
+            reporter.task_done(Task("t"), "ran", 1.0)
+        clock.now = 900.0  # rollover: now precedes every window entry
+        eta = reporter._eta_seconds(8, clock.now)
+        assert eta == 0.0
+        reporter.task_done(Task("t"), "ran", 1.0)
+        assert reporter.records[-1].endswith("eta 0s")
+
+    def test_stalled_clock_with_partial_window(self):
+        clock = FakeClock()
+        reporter = _reporter(3, clock)
+        reporter.task_done(Task("t"), "cache", 0.0)  # zero elapsed
+        assert reporter._eta_seconds(1, clock.now) == 0.0
+
+    def test_long_etas_format_in_minutes(self):
+        clock = FakeClock()
+        reporter = _reporter(100, clock)
+        clock.advance(60.0)
+        reporter.task_done(Task("t"), "ran", 60.0)
+        # 99 remaining at 60 s/task -> 99 minutes.
+        assert reporter.records[-1].endswith("eta 99.0m")
+
+
+class TestRetryAccounting:
+    def test_all_tasks_retried(self):
+        reporter = _reporter(3)
+        for i in range(3):
+            reporter.task_done(Task(f"t{i}"), "ran", 1.0, attempts=2)
+        assert reporter.retries == 3
+        assert reporter.attempts == 6
+        assert reporter.summary() == \
+            "3 tasks: 3 ran, 0 cached, 0 failed, 3 retries (6 attempts)"
+
+    def test_single_retry_uses_singular_noun(self):
+        reporter = _reporter(1)
+        reporter.task_done(Task("t"), "failed", 1.0, attempts=2,
+                           error="boom")
+        assert "1 retry (2 attempts)" in reporter.summary()
+        assert "(attempt 2): boom" in reporter.records[0]
+
+    def test_failed_retries_still_count_attempts(self):
+        reporter = _reporter(2)
+        reporter.task_done(Task("a"), "ran", 1.0)
+        reporter.task_done(Task("b"), "failed", 1.0, attempts=3)
+        assert reporter.retries == 2
+        assert reporter.counts == {"ran": 1, "cache": 0, "failed": 1}
+
+
+class TestStreams:
+    def test_silent_by_default_echoes_when_given_a_stream(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        reporter = ProgressReporter(2, stream=stream, clock=clock)
+        clock.advance(1.0)
+        reporter.task_done(Task("fig2"), "ran", 1.0)
+        assert stream.getvalue() == reporter.records[0] + "\n"
+        silent = _reporter(2)
+        silent.task_done(Task("fig2"), "ran", 1.0)
+        assert silent.records  # collected, nothing printed
+
+    def test_stderr_reporter_factory(self, capsys):
+        reporter = stderr_reporter(1)
+        reporter.task_done(Task("fig2"), "ran", 1.0)
+        assert "[1/1] fig2" in capsys.readouterr().err

@@ -85,6 +85,39 @@ class TestManifest:
         with pytest.raises(ValueError, match="version"):
             load_manifest(str(path))
 
+    def test_load_truncated_manifest_says_so(self, tmp_path):
+        # A writer killed mid-write leaves a JSON prefix; the loader
+        # must name the problem, not dump a raw JSONDecodeError.
+        path = tmp_path / "truncated.json"
+        full = json.dumps(build_manifest(small_sweep()))
+        path.write_text(full[:len(full) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_manifest(str(path))
+
+    def test_load_garbage_manifest_says_so(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_bytes(b"\x00\xffnot json at all")
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_manifest(str(path))
+
+    def test_write_is_atomic(self, tmp_path, monkeypatch):
+        # write_manifest goes through a temp file + rename, so a crash
+        # mid-serialization can never leave a half-written manifest at
+        # the destination.
+        path = tmp_path / "run.json"
+        write_manifest(str(path), build_manifest(small_sweep()))
+        original = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(json, "dump", boom)
+        with pytest.raises(RuntimeError):
+            write_manifest(str(path), build_manifest(small_sweep()))
+        # The old manifest survives intact and no temp litter remains.
+        assert path.read_text() == original
+        assert list(tmp_path.iterdir()) == [path]
+
 
 def probe_manifest():
     """Manifest with live quality + attribution sections attached."""
@@ -247,3 +280,19 @@ class TestCliRoundTrip:
         bogus.write_text("{}")
         assert main(["report", str(bogus)]) == 2
         assert "not a repro-run-manifest" in capsys.readouterr().err
+
+    def test_report_skips_corrupt_manifest_keeps_healthy(
+            self, tmp_path, capsys):
+        # One manifest from a crashed run must not sink the report for
+        # the runs that finished cleanly.
+        healthy = self.run_with_manifest(tmp_path)
+        corrupt = tmp_path / "crashed.json"
+        corrupt.write_text('{"kind": "repro-run-man')
+        out = tmp_path / "report.html"
+        capsys.readouterr()
+        assert main(["report", str(corrupt), str(healthy),
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err
+        assert "crashed.json" in captured.err
+        assert "fig2" in out.read_text()

@@ -1,0 +1,179 @@
+"""Perf-regression sentinel: tolerance bands and the CLI gate."""
+
+import json
+import math
+
+import pytest
+
+from benchmarks import sentinel
+from repro.cli import main
+
+BASELINE = {
+    "engine": {"wall_s": 2.0, "speedup": 40.0},
+    "runner": {"wall_s": 5.0, "speedup": 3.0},
+    "snapshot": {"wall_s": 1.0, "speedup": 8.0},
+}
+
+
+def _fresh(**overrides):
+    fresh = {bench: dict(metrics)
+             for bench, metrics in BASELINE.items()}
+    for bench, metrics in overrides.items():
+        fresh.setdefault(bench, {}).update(metrics)
+    return fresh
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        assert sentinel.compare(BASELINE, _fresh()) == []
+
+    def test_injected_slowdown_is_detected(self):
+        # The acceptance scenario: the engine quietly lost its edge.
+        fresh = _fresh(engine={"speedup": 40.0 * 0.4,
+                               "wall_s": 2.0 * 4.0})
+        regressions = sentinel.compare(BASELINE, fresh)
+        flagged = {(r.bench, r.metric) for r in regressions}
+        assert ("engine", "speedup") in flagged
+        assert ("engine", "wall_s") in flagged
+        speedup = next(r for r in regressions
+                       if r.metric == "speedup")
+        assert speedup.baseline == 40.0
+        assert speedup.fresh == 16.0
+        assert speedup.limit == 20.0
+        assert "fell below" in speedup.describe()
+        wall = next(r for r in regressions if r.metric == "wall_s")
+        assert wall.limit == 6.0
+        assert "rose above" in wall.describe()
+
+    def test_bands_are_generous_not_exact(self):
+        # Within-band noise — CI jitter — must not trip the gate.
+        fresh = _fresh(engine={"speedup": 40.0 * 0.6,
+                               "wall_s": 2.0 * 2.5})
+        assert sentinel.compare(BASELINE, fresh) == []
+
+    def test_improvements_never_regress(self):
+        fresh = _fresh(engine={"speedup": 400.0, "wall_s": 0.1})
+        assert sentinel.compare(BASELINE, fresh) == []
+
+    def test_missing_bench_regresses_every_banded_metric(self):
+        fresh = _fresh()
+        del fresh["snapshot"]
+        regressions = sentinel.compare(BASELINE, fresh)
+        assert {(r.bench, r.metric) for r in regressions} == \
+            {("snapshot", "speedup"), ("snapshot", "wall_s")}
+        assert all(math.isnan(r.fresh) for r in regressions)
+
+    def test_fresh_only_bench_is_ignored(self):
+        fresh = _fresh(new_bench={"wall_s": 1.0, "speedup": 2.0})
+        assert sentinel.compare(BASELINE, fresh) == []
+
+    def test_unbanded_metrics_are_ignored(self):
+        baseline = {"engine": {"ticks": 100.0}}
+        assert sentinel.compare(baseline, {"engine": {}}) == []
+
+    def test_custom_tolerances(self):
+        fresh = _fresh(engine={"speedup": 39.0})
+        tight = {"speedup": ("floor", 0.99)}
+        assert sentinel.compare(BASELINE, fresh, tight)
+        assert sentinel.compare(BASELINE, fresh) == []
+
+
+class TestTrajectoryDiscovery:
+    def test_ordered_by_pr_number_not_lexically(self, tmp_path):
+        for n in (10, 2, 4):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}")
+        (tmp_path / "BENCH.json").write_text("{}")       # no number
+        (tmp_path / "BENCH_x.json").write_text("{}")     # not a number
+        paths = sentinel.find_trajectories(tmp_path)
+        assert [p.name for p in paths] == \
+            ["BENCH_2.json", "BENCH_4.json", "BENCH_10.json"]
+
+    def test_latest_trajectory_loads_highest(self, tmp_path):
+        (tmp_path / "BENCH_2.json").write_text('{"old": {}}')
+        (tmp_path / "BENCH_3.json").write_text(
+            json.dumps(BASELINE))
+        path, data = sentinel.latest_trajectory(tmp_path)
+        assert path.name == "BENCH_3.json"
+        assert data == BASELINE
+
+    def test_no_trajectories_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            sentinel.latest_trajectory(tmp_path)
+
+    def test_repo_has_a_committed_trajectory(self):
+        # The nightly gate needs at least one committed point.
+        path, data = sentinel.latest_trajectory(".")
+        assert data  # non-empty dict of bench -> metrics
+
+
+class TestMain:
+    def _setup(self, tmp_path, fresh):
+        (tmp_path / "BENCH_1.json").write_text(json.dumps(BASELINE))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(fresh))
+        return fresh_path
+
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        fresh_path = self._setup(tmp_path, _fresh())
+        code = sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        fresh_path = self._setup(
+            tmp_path, _fresh(engine={"speedup": 1.0}))
+        code = sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION: engine.speedup" in out
+
+    def test_explicit_baseline_beats_discovery(self, tmp_path):
+        fresh_path = self._setup(tmp_path, _fresh())
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps(
+            {"engine": {"speedup": 1e9}}))
+        code = sentinel.main(["--fresh", str(fresh_path),
+                              "--baseline", str(strict),
+                              "--root", str(tmp_path)])
+        assert code == 1
+
+    def test_band_flags_are_wired(self, tmp_path):
+        fresh_path = self._setup(
+            tmp_path, _fresh(engine={"speedup": 39.0}))
+        assert sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path)]) == 0
+        assert sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path),
+                              "--speedup-floor", "0.99"]) == 1
+
+    def test_json_verdict(self, tmp_path):
+        fresh_path = self._setup(
+            tmp_path, _fresh(engine={"speedup": 1.0}))
+        verdict_path = tmp_path / "verdict.json"
+        code = sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path),
+                              "--json", str(verdict_path)])
+        verdict = json.loads(verdict_path.read_text())
+        assert code == 1
+        assert verdict["ok"] is False
+        assert verdict["baseline"].endswith("BENCH_1.json")
+        assert any("engine.speedup" in line
+                   for line in verdict["regressions"])
+
+
+class TestBenchCli:
+    def test_repro_bench_check_gates(self, tmp_path, capsys):
+        (tmp_path / "BENCH_1.json").write_text(json.dumps(BASELINE))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_fresh()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(_fresh(engine={"speedup": 1.0})))
+        assert main(["bench", "--check", "--fresh", str(good),
+                     "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--check", "--fresh", str(bad),
+                     "--root", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,290 @@
+"""Structured event log: writer/reader roundtrip + sweep lifecycle."""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+import repro.experiments.registry as registry
+from repro.runner import (
+    ResultCache,
+    TELEMETRY_VERSION,
+    Task,
+    read_events,
+    read_events_with_skips,
+    run_tasks,
+)
+from repro.runner.telemetry import Heartbeat, TelemetryWriter
+
+FORK = multiprocessing.get_context("fork")
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _hang_runner(spec, seed, profile):
+    time.sleep(60)
+    return registry.ExperimentResult("hang", "never", [], [])
+
+
+def _flaky_runner_factory(marker_path):
+    def runner(spec, seed, profile):
+        if not marker_path.exists():
+            marker_path.write_text("tried")
+            raise RuntimeError("first attempt fails")
+        return registry.ExperimentResult("flaky", "ok", ["x"], [[1]])
+    return runner
+
+
+def _fake(experiment_id, runner):
+    return registry.Experiment(experiment_id, "injected test entry",
+                               runner)
+
+
+# ---------------------------------------------------------------------------
+# Writer / reader roundtrip
+# ---------------------------------------------------------------------------
+
+class TestWriterReader:
+    def test_roundtrip_with_injected_clock(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        clock = FakeClock(1000.0)
+        with TelemetryWriter(log, "s1", clock=clock) as writer:
+            writer.emit("sweep", "started", tasks=3)
+            clock.advance(1.5)
+            writer.task_event("queued", "fig2 kepler")
+            writer.task_event("finished", "fig2 kepler",
+                              seconds=1.5, attempts=1)
+            writer.heartbeat("fig2 kepler")
+            writer.heartbeat()
+        events = read_events(log)
+        assert [e["kind"] for e in events] == \
+            ["sweep", "task", "task", "heartbeat", "heartbeat"]
+        assert all(e["v"] == TELEMETRY_VERSION for e in events)
+        assert all(e["sweep"] == "s1" for e in events)
+        assert events[0]["event"] == "started"
+        assert events[0]["tasks"] == 3
+        assert events[0]["ts"] == 1000.0
+        assert events[1]["ts"] == 1001.5
+        assert events[2]["seconds"] == 1.5
+        assert events[2]["attempts"] == 1
+        assert events[3]["task"] == "fig2 kepler"
+        assert "task" not in events[4]
+
+    def test_each_record_is_one_line(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with TelemetryWriter(log, "s1") as writer:
+            for i in range(5):
+                writer.task_event("queued", f"t{i}")
+        lines = log.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)  # each line is complete JSON
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        writer = TelemetryWriter(log, "s1")
+        writer.emit("sweep", "started")
+        writer.close()
+        writer.emit("sweep", "finished")  # silently dropped
+        writer.close()                    # idempotent
+        assert len(read_events(log)) == 1
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with TelemetryWriter(log, "s1") as writer:
+            writer.task_event("queued", "fig2")
+            writer.task_event("started", "fig2")
+        # Simulate a crash mid-write of the third record.
+        with open(log, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"kind":"task","eve')
+        events, skipped = read_events_with_skips(log)
+        assert len(events) == 2
+        assert skipped == 1
+
+    def test_corrupt_middle_line_is_skipped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        good = json.dumps({"v": 1, "kind": "task", "event": "queued",
+                           "ts": 1.0, "sweep": "s1", "pid": 1,
+                           "task": "fig2"})
+        log.write_text(good + "\n\x00garbage\x00\n" + good + "\n")
+        events, skipped = read_events_with_skips(log)
+        assert len(events) == 2
+        assert skipped == 1
+
+    def test_strict_mode_raises_on_corruption(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"not json\n')
+        with pytest.raises(ValueError, match="undecodable"):
+            read_events(log, strict=True)
+
+    def test_future_schema_versions_are_skipped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        future = json.dumps({"v": TELEMETRY_VERSION + 1,
+                             "kind": "warp-drive"})
+        current = json.dumps({"v": TELEMETRY_VERSION, "kind": "task",
+                              "event": "queued", "ts": 1.0,
+                              "sweep": "s1", "pid": 1, "task": "x"})
+        log.write_text(future + "\n" + current + "\n")
+        events, skipped = read_events_with_skips(log)
+        assert len(events) == 1
+        assert skipped == 1
+        with pytest.raises(ValueError, match="unsupported"):
+            read_events(log, strict=True)
+
+    def test_non_dict_records_are_skipped(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text('[1, 2, 3]\n"just a string"\n')
+        events, skipped = read_events_with_skips(log)
+        assert events == []
+        assert skipped == 2
+
+    def test_blank_lines_are_ignored_not_counted(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text("\n\n")
+        events, skipped = read_events_with_skips(log)
+        assert events == [] and skipped == 0
+
+    def test_missing_log_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_events(tmp_path / "nope.jsonl")
+
+
+class TestHeartbeat:
+    def test_heartbeats_pulse_while_task_open(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with TelemetryWriter(log, "s1") as writer:
+            with Heartbeat(writer, "fig2", interval=0.05):
+                time.sleep(0.3)
+        beats = [e for e in read_events(log)
+                 if e["kind"] == "heartbeat"]
+        assert len(beats) >= 2
+        assert all(b["task"] == "fig2" for b in beats)
+
+    def test_heartbeat_stops_after_exit(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        writer = TelemetryWriter(log, "s1")
+        with Heartbeat(writer, "fig2", interval=0.05):
+            time.sleep(0.12)
+        before = len(read_events(log))
+        time.sleep(0.2)
+        assert len(read_events(log)) == before
+        writer.close()
+
+
+# ---------------------------------------------------------------------------
+# Sweep lifecycle events through run_tasks
+# ---------------------------------------------------------------------------
+
+def _events(log):
+    return read_events(log)
+
+
+def _task_events(log, event):
+    return [e for e in _events(log)
+            if e["kind"] == "task" and e["event"] == event]
+
+
+class TestSweepLifecycle:
+    def test_serial_sweep_event_stream(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        tasks = [Task("fig2", profile="smoke"),
+                 Task("table1", profile="smoke")]
+        report = run_tasks(tasks, jobs=1, telemetry=log)
+        assert report.ok
+        events = _events(log)
+        sweeps = [e for e in events if e["kind"] == "sweep"]
+        assert [e["event"] for e in sweeps] == ["started", "finished"]
+        assert sweeps[0]["tasks"] == 2
+        assert sweeps[1]["ran"] == 2
+        assert len(_task_events(log, "queued")) == 2
+        assert len(_task_events(log, "started")) == 2
+        finished = _task_events(log, "finished")
+        assert len(finished) == 2
+        assert all(f["attempts"] == 1 for f in finished)
+        assert all(f["seconds"] >= 0 for f in finished)
+        # All records belong to one sweep id.
+        assert len({e["sweep"] for e in events}) == 1
+
+    def test_pool_sweep_started_events_come_from_workers(self,
+                                                         tmp_path):
+        log = tmp_path / "events.jsonl"
+        tasks = [Task("fig2", seed=s, profile="smoke")
+                 for s in range(3)]
+        report = run_tasks(tasks, jobs=2, telemetry=log,
+                           mp_context=FORK)
+        assert report.ok
+        events = _events(log)
+        parent_pid = events[0]["pid"]
+        started = _task_events(log, "started")
+        assert len(started) == 3
+        assert all(e["pid"] != parent_pid for e in started)
+        assert len(_task_events(log, "finished")) == 3
+
+    def test_cache_hits_are_logged(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        tasks = [Task("table1", profile="smoke")]
+        run_tasks(tasks, jobs=1, cache=cache)
+        report = run_tasks(tasks, jobs=1, cache=cache, telemetry=log)
+        assert report.ok
+        assert len(_task_events(log, "cache_hit")) == 1
+        assert _task_events(log, "started") == []
+
+    def test_retry_emits_retried_event(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "flaky",
+            _fake("flaky", _flaky_runner_factory(tmp_path / "marker")))
+        log = tmp_path / "events.jsonl"
+        report = run_tasks([Task("flaky")], jobs=1, retries=1,
+                           telemetry=log)
+        assert report.ok
+        retried = _task_events(log, "retried")
+        assert len(retried) == 1
+        assert retried[0]["attempt"] == 2
+        started = _task_events(log, "started")
+        assert [e["attempt"] for e in started] == [1, 2]
+        assert _task_events(log, "finished")[0]["attempts"] == 2
+
+    def test_timeout_emits_timed_out_and_failed(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setitem(registry.EXPERIMENTS, "hang",
+                            _fake("hang", _hang_runner))
+        log = tmp_path / "events.jsonl"
+        report = run_tasks([Task("hang")], jobs=1, timeout=0.3,
+                           retries=0, telemetry=log, heartbeat=0.05)
+        assert not report.ok
+        assert len(_task_events(log, "timed_out")) == 1
+        failed = _task_events(log, "failed")
+        assert len(failed) == 1
+        assert "timeout" in failed[0]["error"].lower()
+        # The hanging task pulsed while it was stuck.
+        beats = [e for e in _events(log) if e["kind"] == "heartbeat"]
+        assert beats and all(b["task"] == "hang" for b in beats)
+
+    def test_telemetry_accepts_existing_writer(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        writer = TelemetryWriter(log, "my-sweep")
+        report = run_tasks([Task("table1", profile="smoke")], jobs=1,
+                           telemetry=writer)
+        assert report.ok
+        events = _events(log)
+        assert {e["sweep"] for e in events} == {"my-sweep"}
+        # Caller-owned writers stay open for the caller to close.
+        writer.emit("sweep", "annotation")
+        writer.close()
+        assert _events(log)[-1]["event"] == "annotation"
+
+    def test_no_telemetry_no_log(self, tmp_path):
+        report = run_tasks([Task("table1", profile="smoke")], jobs=1)
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []
