@@ -306,6 +306,131 @@ def _attribution_section_html(attribution: Dict[str, Any]) -> List[str]:
     return out
 
 
+def _transfer_frame_rows(frames: List[Dict[str, Any]],
+                         limit: int = 40) -> tuple:
+    """Per-frame table rows, capped: anomalies first, then the head.
+
+    A 1 KiB transfer logs hundreds of transmissions; the interesting
+    ones are the non-delivered. Returns ``(rows, note)`` where note
+    describes any truncation (never silently dropped).
+    """
+    def row(f: Dict[str, Any]) -> List[Any]:
+        return [f.get("index"), f.get("kind"), f.get("stream"),
+                f.get("seq"), f.get("attempt"), f.get("status"),
+                f.get("wire_bits"), f.get("bit_errors"),
+                f.get("cycles")]
+
+    if len(frames) <= limit:
+        return [row(f) for f in frames], ""
+    anomalies = [f for f in frames if f.get("status") != "delivered"]
+    shown = anomalies[:limit]
+    remainder = limit - len(shown)
+    if remainder > 0:
+        shown += [f for f in frames
+                  if f.get("status") == "delivered"][:remainder]
+    shown.sort(key=lambda f: (f.get("index", 0), f.get("attempt", 0)))
+    note = (f"showing {len(shown)} of {len(frames)} transmissions "
+            f"({len(anomalies)} anomalies, all shown first)"
+            if len(anomalies) <= limit else
+            f"showing {len(shown)} of {len(frames)} transmissions "
+            f"({len(anomalies)} anomalies, truncated)")
+    return [row(f) for f in shown], note
+
+
+_FRAME_HEADERS = ["#", "kind", "stream", "seq", "attempt", "status",
+                  "wire bits", "bit errors", "cycles"]
+
+
+def _transfer_summary_rows(t: Dict[str, Any]) -> List[List[Any]]:
+    params = t.get("params", {})
+    goodput = t.get("goodput_bps", 0.0) or 0.0
+    return [
+        ["channel", t.get("channel", "?")],
+        ["status", "delivered bit-exact" if t.get("ok")
+         else ("ABORTED: " + (t.get("abort_reason") or "?")
+               if t.get("aborted") else "corrupt delivery")],
+        ["payload", f"{t.get('payload_bytes', 0)} B sent / "
+                    f"{t.get('delivered_bytes', 0)} B delivered"],
+        ["goodput", f"{goodput / 1e3:.3f} Kbps"],
+        ["wire BER", f"{t.get('wire_ber', 0.0):.5f}"],
+        ["payload BER (post-ARQ)", f"{t.get('payload_ber', 0.0):.6f}"],
+        ["frame loss", f"{t.get('frame_loss', 0.0):.4f}"],
+        ["efficiency (payload/wire)",
+         f"{t.get('efficiency', 0.0):.3f}"],
+        ["frames", f"{t.get('data_frames', 0)} data / "
+                   f"{t.get('data_transmissions', 0)} transmissions / "
+                   f"{t.get('retransmissions', 0)} retx"],
+        ["ACKs", f"{t.get('ack_transmissions', 0)} sent, "
+                 f"{t.get('ack_failures', 0)} corrupt"],
+        ["handshake attempts", t.get("handshake_attempts", "?")],
+        ["framing", f"{params.get('frame_bytes', '?')} B/frame, "
+                    f"window {params.get('window', '?')}, "
+                    f"ECC {'on' if params.get('ecc') else 'off'}"],
+        ["simulated time", f"{t.get('seconds', 0.0) * 1e3:.3f} ms"],
+    ]
+
+
+def _stream_rows(t: Dict[str, Any]) -> List[List[Any]]:
+    return [[s.get("stream"), s.get("name"), s.get("sent_bytes"),
+             s.get("delivered_bytes"),
+             "yes" if s.get("bit_exact") else "NO",
+             s.get("payload_bit_errors"),
+             (s.get("sha256") or "")[:16]]
+            for s in t.get("streams", [])]
+
+
+_STREAM_HEADERS = ["stream", "name", "sent B", "delivered B",
+                   "bit-exact", "bit errors", "sha256 (prefix)"]
+
+
+def _transfer_section_html(transfers: List[Dict[str, Any]]) -> List[str]:
+    out = ["<h2>File transfer sessions</h2>"]
+    for i, t in enumerate(transfers):
+        label = t.get("meta", {}).get("label") or (
+            f"{t.get('channel', 'channel')} session {i + 1}")
+        flag = "" if t.get("ok") else ' <span class="flag">[failed]</span>'
+        out.append(f"<h3>{_esc(label)}{flag}</h3>")
+        out.append(_html_table(["transfer fact", "value"],
+                               _transfer_summary_rows(t)))
+        if t.get("streams"):
+            out.append(_html_table(_STREAM_HEADERS, _stream_rows(t),
+                                   caption="multiplexed streams"))
+        frames = t.get("frames", [])
+        if frames:
+            rows, note = _transfer_frame_rows(frames)
+            out.append(_html_table(_FRAME_HEADERS, rows,
+                                   caption="per-frame outcomes"))
+            if note:
+                out.append(f'<p class="meta">{_esc(note)}</p>')
+        if t.get("quality"):
+            out.extend(_quality_section_html([t["quality"]]))
+    return out
+
+
+def _transfer_section_markdown(transfers: List[Dict[str, Any]]
+                               ) -> List[str]:
+    out = []
+    for i, t in enumerate(transfers):
+        label = t.get("meta", {}).get("label") or (
+            f"{t.get('channel', 'channel')} session {i + 1}")
+        out.append(f"### Transfer: {label}")
+        out.append("")
+        out.extend(_md_table(["transfer fact", "value"],
+                             _transfer_summary_rows(t)))
+        out.append("")
+        if t.get("streams"):
+            out.extend(_md_table(_STREAM_HEADERS, _stream_rows(t)))
+            out.append("")
+        frames = t.get("frames", [])
+        if frames:
+            rows, note = _transfer_frame_rows(frames, limit=20)
+            out.extend(_md_table(_FRAME_HEADERS, rows))
+            if note:
+                out.append(f"_{note}_")
+            out.append("")
+    return out
+
+
 def render_report_html(manifests: List[Dict[str, Any]], *,
                        title: str = "repro run report") -> str:
     """One self-contained HTML dashboard over any number of manifests."""
@@ -356,6 +481,8 @@ def render_report_html(manifests: List[Dict[str, Any]], *,
         if manifest.get("attribution"):
             parts.extend(
                 _attribution_section_html(manifest["attribution"]))
+        if manifest.get("transfers"):
+            parts.extend(_transfer_section_html(manifest["transfers"]))
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -413,6 +540,9 @@ def render_report_markdown(manifests: List[Dict[str, Any]], *,
                  ["threshold", stats.get("threshold")],
                  ["drifted", q.get("drift", {}).get("drifted")]]))
             out.append("")
+        if manifest.get("transfers"):
+            out.extend(
+                _transfer_section_markdown(manifest["transfers"]))
         attribution = manifest.get("attribution")
         if attribution and attribution.get("by_context"):
             out.append("### Contention attribution")

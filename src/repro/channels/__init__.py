@@ -49,7 +49,11 @@ from repro.channels.multibit import MultiBitL1Channel, MultiBitL2Channel
 from repro.channels.parallel import ParallelSMChannel, ParallelSFUChannel
 from repro.channels.multi_resource import MultiResourceChannel
 from repro.channels.sync_sfu import SynchronizedSFUChannel
-from repro.channels.reliable import LinkResult, ReliableLink
+from repro.channels.reliable import (
+    HandshakeTimeoutError,
+    LinkResult,
+    ReliableLink,
+)
 from repro.channels.whitespace import WhitespaceL1Channel
 
 __all__ = [
@@ -61,6 +65,7 @@ __all__ = [
     "MultiBitL1Channel",
     "MultiBitL2Channel",
     "MultiResourceChannel",
+    "HandshakeTimeoutError",
     "LinkResult",
     "ParallelSFUChannel",
     "ParallelSMChannel",

@@ -33,6 +33,19 @@ from repro.noise.ecc import crc8, crc8_check
 ACK_PATTERN = [1, 0, 1]
 NAK_PATTERN = [0, 1, 0]
 
+#: Link-establishment probe: distinctive, never all-zero/all-one, so a
+#: dead wire (stuck at either rail) cannot echo it back by accident.
+HANDSHAKE_PATTERN = [1, 1, 0, 1, 0, 0, 1, 0]
+
+
+class HandshakeTimeoutError(RuntimeError):
+    """Link establishment exhausted its bounded retries.
+
+    Before this existed a caller probing for a live link had no failure
+    path short of watching ``send`` burn ``max_retries`` per frame on a
+    dead wire; handshaking is bounded separately and fails loudly.
+    """
+
 #: Fixed frame-header marker.  Without it an all-zeros wire frame (a
 #: dead channel) would parse as a valid zero payload, since the CRC of
 #: all-zero bits is itself zero.
@@ -77,15 +90,41 @@ class ReliableLink:
     def __init__(self, forward: CovertChannel,
                  reverse: Optional[CovertChannel] = None, *,
                  frame_payload_bits: int = 16,
-                 max_retries: int = 8) -> None:
+                 max_retries: int = 8,
+                 handshake_retries: int = 4) -> None:
         if frame_payload_bits < 1:
             raise ValueError("frames need at least one payload bit")
         if max_retries < 1:
             raise ValueError("need at least one transmission attempt")
+        if handshake_retries < 1:
+            raise ValueError("need at least one handshake attempt")
         self.forward = forward
         self.reverse = reverse
         self.frame_payload_bits = frame_payload_bits
         self.max_retries = max_retries
+        self.handshake_retries = handshake_retries
+
+    # ------------------------------------------------------------------
+    def handshake(self) -> int:
+        """Establish the link before any payload flows; returns attempts.
+
+        One round: ship :data:`HANDSHAKE_PATTERN` over the forward
+        channel; the pattern arriving intact proves the spy decodes our
+        primes, and the reverse-channel ACK proves the feedback path.
+        Retries are **bounded** by ``handshake_retries`` — a dead or
+        partitioned wire raises :class:`HandshakeTimeoutError` instead
+        of retrying without an upper bound.
+        """
+        for attempt in range(1, self.handshake_retries + 1):
+            echo = self.forward.transmit(HANDSHAKE_PATTERN)
+            heard = [int(b) for b in echo.received]
+            if heard == HANDSHAKE_PATTERN and self._acknowledge(True):
+                return attempt
+        raise HandshakeTimeoutError(
+            f"link handshake over {self.forward.name!r} failed after "
+            f"{self.handshake_retries} attempt(s): the probe pattern "
+            f"never arrived intact (dead, jammed or partitioned "
+            f"channel)")
 
     # ------------------------------------------------------------------
     def _frame(self, seq: int, payload: Bits) -> List[int]:
@@ -116,10 +155,18 @@ class ReliableLink:
         return ones * 2 > len(ACK_PATTERN)
 
     # ------------------------------------------------------------------
-    def send(self, payload: bytes) -> LinkResult:
-        """Transfer ``payload`` reliably; returns the link statistics."""
+    def send(self, payload: bytes, *, handshake: bool = False) -> LinkResult:
+        """Transfer ``payload`` reliably; returns the link statistics.
+
+        With ``handshake=True`` the link is established first
+        (:meth:`handshake`), raising :class:`HandshakeTimeoutError`
+        when the wire is dead instead of spending ``max_retries`` per
+        frame discovering the same thing.
+        """
         bits = bits_from_bytes(payload)
         start = self.forward.device.now
+        if handshake:
+            self.handshake()
         delivered_bits: List[int] = []
         transmissions = 0
         retransmissions = 0

@@ -47,6 +47,17 @@ Commands
     into a self-contained HTML dashboard — result tables, signal
     quality, contention attribution — or markdown with ``--format
     markdown``.  ``--channels`` adds live channel-quality probes.
+``send FILE [FILE...] --channel sync-l1 --gpu kepler``
+    Stream real files end-to-end over a covert channel through the
+    transport stack (handshake, framing + CRC-8/ECC, go-back-N ARQ,
+    multiplexed streams).  ``--capture`` writes the received wire bits
+    for ``recv`` to replay; ``--manifest`` records per-frame outcomes
+    for ``repro report``; exits nonzero unless every file arrives
+    bit-exact.
+``recv capture.json [--out DIR]``
+    Replay a transfer capture through the receiver state machine,
+    write the reassembled files and verify them against the sender's
+    SHA-256 digests.
 """
 
 from __future__ import annotations
@@ -445,6 +456,155 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_transfer_channels(args: argparse.Namespace,
+                             payload_bytes: int):
+    """Forward/reverse channel pair per the `send` flags.
+
+    ``--reverse auto`` instantiates a second channel of the same family
+    on the same device with the trojan/spy roles swapped at the
+    application level (the :class:`~repro.channels.reliable.ReliableLink`
+    arrangement); ``--reverse none`` runs blind (perfect feedback
+    assumed).  Noise flags wrap the *forward* wire in a seeded
+    :class:`~repro.transport.testing.NoisyChannel`.
+    """
+    from repro.transport import NoisyChannel
+    spec = _resolve_spec(args.gpu)
+    factory = _resolve_channel(args.channel)
+    # The default 50M-event runaway guard is sized for single
+    # transmissions; a file transfer is thousands of them on one device
+    # (sync-l1 costs ~3.6k events per wire bit).  Scale the budget with
+    # the payload so big-but-honest transfers finish while a livelocked
+    # kernel still trips the guard.
+    budget = 50_000_000 + 1_000_000 * payload_bytes
+    device = Device(spec, seed=args.seed, engine=args.engine,
+                    max_events=budget,
+                    observe="metrics" if args.observe else None)
+    forward = factory(device)
+    if args.noise_flip or args.noise_drop:
+        forward = NoisyChannel(forward, flip_rate=args.noise_flip,
+                               drop_rate=args.noise_drop,
+                               seed=args.noise_seed)
+    reverse = None
+    if args.reverse == "auto":
+        reverse = factory(device)
+        reverse.name = f"{reverse.name}-rev"
+    return device, forward, reverse
+
+
+def cmd_send(args: argparse.Namespace) -> int:
+    import time
+    from repro.transport import (
+        HandshakeError,
+        SessionParams,
+        TransportSession,
+    )
+    payloads: Dict[str, bytes] = {}
+    for path in args.files:
+        name = os.path.basename(path)
+        if name in payloads:
+            raise CliError(f"duplicate stream name {name!r}; stream "
+                           f"names (file basenames) must be unique")
+        try:
+            with open(path, "rb") as fh:
+                payloads[name] = fh.read()
+        except OSError as exc:
+            raise CliError(f"cannot read {path}: {exc}")
+        if not payloads[name]:
+            raise CliError(f"{path} is empty; nothing to send")
+    device, forward, reverse = _build_transfer_channels(
+        args, sum(len(p) for p in payloads.values()))
+    try:
+        params = SessionParams(frame_bytes=args.frame_bytes,
+                               window=args.window, ecc=args.ecc)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    session = TransportSession(
+        forward, reverse, params=params, max_retries=args.retries,
+        handshake_retries=args.handshake_retries)
+    start = time.perf_counter()
+    try:
+        result = session.send(payloads)
+    except HandshakeError as exc:
+        raise CliError(str(exc))
+    except ValueError as exc:
+        # e.g. a window too wide for 8-bit go-back-N sequence numbers
+        raise CliError(str(exc))
+    wall = time.perf_counter() - start
+    print(f"device:    {device.spec.name} ({device.spec.generation}, "
+          f"engine={device.engine_mode})")
+    print(f"channel:   {forward.name}"
+          + (f" / ack via {reverse.name}" if reverse else
+             " / blind (no reverse channel)"))
+    print(f"framing:   {params.frame_bytes} B/frame, window "
+          f"{params.window}, ECC {'on' if params.ecc else 'off'}")
+    print(f"transfer:  {result.summary()}")
+    print(f"frames:    {result.stats.data_frames} data, "
+          f"{result.stats.data_transmissions} transmissions, "
+          f"{result.stats.retransmissions} retransmitted, "
+          f"frame loss {result.stats.frame_loss:.4f}")
+    print(f"time:      {result.seconds * 1e3:.3f} ms simulated, "
+          f"{wall:.2f} s wall")
+    for stream in result.streams:
+        status = "ok" if stream.ok else "CORRUPT"
+        print(f"  [{stream.stream}] {stream.name}: "
+              f"{len(stream.delivered)}/{len(stream.sent)} B {status}")
+    if result.quality:
+        stats = result.quality.get("stats", {})
+        print(f"quality:   SNR {stats.get('snr', 0):.2f}, eye height "
+              f"{stats.get('eye_height', 0):.1f} (observatory)")
+    if args.capture:
+        import json
+        with open(args.capture, "w", encoding="utf-8") as fh:
+            json.dump(result.capture_payload(), fh, indent=2)
+            fh.write("\n")
+        print(f"capture:   {args.capture} "
+              f"({len(result.capture)} wire records)")
+    if args.manifest:
+        from repro.runner import build_transfer_manifest, write_manifest
+        manifest = build_transfer_manifest(
+            [result.to_payload()],
+            command=getattr(args, "_argv", None),
+            wall_seconds=wall,
+            label=f"send {forward.name} on {device.spec.name}")
+        write_manifest(args.manifest, manifest)
+        print(f"manifest:  {args.manifest}")
+    return 0 if result.ok else 1
+
+
+def cmd_recv(args: argparse.Namespace) -> int:
+    import json
+    from repro.transport import decode_capture
+    try:
+        with open(args.capture, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CliError(f"cannot read capture: {exc}")
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{args.capture} is not valid JSON: {exc}")
+    try:
+        decoded = decode_capture(doc)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    print(f"capture:   {args.capture} ({doc.get('channel', '?')}, "
+          f"{decoded['frames_delivered']} frames delivered, "
+          f"{decoded['frames_rejected']} rejected)")
+    os.makedirs(args.out, exist_ok=True)
+    all_ok = bool(decoded["verified"])
+    for name, data in decoded["streams"].items():
+        # Stream names come from the (untrusted) capture document:
+        # flatten them so a hostile name cannot escape --out.
+        target = os.path.join(args.out, os.path.basename(name))
+        with open(target, "wb") as fh:
+            fh.write(data)
+        ok = decoded["verified"].get(name, False)
+        all_ok = all_ok and ok
+        print(f"  {target}: {len(data)} B "
+              + ("sha256 verified" if ok else "VERIFICATION FAILED"))
+    if not decoded["streams"]:
+        print("  (capture contains no streams)")
+    return 0 if all_ok else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
@@ -752,6 +912,70 @@ def build_parser() -> argparse.ArgumentParser:
                           help="message length for --channels probes")
     p_report.add_argument("--seed", type=int, default=0)
     p_report.set_defaults(fn=cmd_report)
+
+    p_send = sub.add_parser(
+        "send", help="stream files over a covert channel end-to-end")
+    p_send.add_argument("files", nargs="+", metavar="FILE",
+                        help="files to send (each becomes one "
+                             "multiplexed stream, max 16)")
+    p_send.add_argument("--gpu", default="kepler",
+                        help="fermi | kepler | maxwell")
+    p_send.add_argument("--channel", default="sync-l1",
+                        help="forward channel (see `repro list`)")
+    p_send.add_argument("--reverse", default="auto",
+                        choices=["auto", "none"],
+                        help="ACK path: auto = second channel instance "
+                             "with roles swapped; none = blind mode "
+                             "(perfect feedback assumed)")
+    p_send.add_argument("--frame-bytes", type=int, default=8,
+                        help="payload bytes per frame (1..255)")
+    p_send.add_argument("--window", type=int, default=4,
+                        help="go-back-N window in frames (1 = "
+                             "stop-and-wait; must stay below 128)")
+    p_send.add_argument("--ecc", action="store_true",
+                        help="Hamming(7,4) + interleaving on DATA "
+                             "frames")
+    p_send.add_argument("--retries", type=int, default=8,
+                        help="window retransmission attempts before "
+                             "the session aborts")
+    p_send.add_argument("--handshake-retries", type=int, default=4,
+                        help="SYN attempts before giving up on the "
+                             "link")
+    p_send.add_argument("--seed", type=int, default=0)
+    p_send.add_argument("--engine", default=None,
+                        choices=["fast", "events", "tick"],
+                        help="simulation engine (default: fast, or "
+                             "$REPRO_SIM_ENGINE)")
+    p_send.add_argument("--noise-flip", type=float, default=0.0,
+                        metavar="RATE",
+                        help="inject seeded bit flips on the forward "
+                             "wire at this per-bit rate")
+    p_send.add_argument("--noise-drop", type=float, default=0.0,
+                        metavar="RATE",
+                        help="inject seeded bit drops (deletions) on "
+                             "the forward wire")
+    p_send.add_argument("--noise-seed", type=int, default=0,
+                        help="RNG seed for the injected noise")
+    p_send.add_argument("--observe", action="store_true",
+                        help="run on an observed device and report "
+                             "session signal quality")
+    p_send.add_argument("--capture", default=None, metavar="PATH",
+                        help="write the received wire bits as a "
+                             "capture JSON for `repro recv`")
+    p_send.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write a run manifest with per-frame "
+                             "outcomes for `repro report`")
+    p_send.set_defaults(fn=cmd_send)
+
+    p_recv = sub.add_parser(
+        "recv", help="replay a transfer capture and verify the files")
+    p_recv.add_argument("capture", metavar="CAPTURE",
+                        help="capture JSON written by `repro send "
+                             "--capture`")
+    p_recv.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for the reassembled files "
+                             "(default: current directory)")
+    p_recv.set_defaults(fn=cmd_recv)
 
     p_prof = sub.add_parser(
         "profile", help="run one experiment under cProfile")

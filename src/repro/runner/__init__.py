@@ -31,6 +31,7 @@ from repro.runner.grid import Task, expand_grid, parse_seeds
 from repro.runner.keys import cache_key, snapshot_key, spec_fingerprint
 from repro.runner.manifest import (
     build_manifest,
+    build_transfer_manifest,
     load_manifest,
     write_manifest,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "TelemetryWriter",
     "WorkerView",
     "build_manifest",
+    "build_transfer_manifest",
     "cache_key",
     "snapshot_key",
     "default_cache_dir",

@@ -25,12 +25,16 @@ __all__ = [
     "MANIFEST_KIND",
     "MANIFEST_VERSION",
     "build_manifest",
+    "build_transfer_manifest",
     "load_manifest",
     "write_manifest",
 ]
 
 MANIFEST_KIND = "repro-run-manifest"
-MANIFEST_VERSION = 1
+#: Version 2 added the optional ``transfers`` section (covert transport
+#: sessions with per-frame outcome logs); version-1 documents remain
+#: fully readable.
+MANIFEST_VERSION = 2
 
 
 def _result_payload(result: Any) -> Dict[str, Any]:
@@ -103,6 +107,49 @@ def build_manifest(report: Any, *,
         manifest["quality"] = quality
     if attribution is not None:
         manifest["attribution"] = attribution
+    if extra:
+        manifest["extra"] = extra
+    return manifest
+
+
+def build_transfer_manifest(transfers: List[Dict[str, Any]], *,
+                            command: Optional[Sequence[str]] = None,
+                            wall_seconds: Optional[float] = None,
+                            label: Optional[str] = None,
+                            quality: Optional[List[Dict[str, Any]]] = None,
+                            **extra: Any) -> Dict[str, Any]:
+    """Assemble a manifest for covert transport sessions (``repro send``).
+
+    ``transfers`` is a list of
+    :meth:`~repro.transport.session.SessionResult.to_payload` payloads —
+    per-frame outcome logs included, so ``repro report`` can render a
+    transfer session frame by frame.  The document shape matches sweep
+    manifests (same kind, same provenance stamp, empty task grid), so
+    ``repro report`` aggregates transfer and sweep manifests side by
+    side.
+    """
+    from repro.obs.provenance import code_version, git_revision
+
+    manifest: Dict[str, Any] = {
+        "kind": MANIFEST_KIND,
+        "version": MANIFEST_VERSION,
+        "created_unix": round(time.time(), 3),
+        "provenance": {
+            "code_version": code_version(),
+            "git_rev": git_revision() or "unknown",
+        },
+        "command": list(command) if command is not None else None,
+        "wall_seconds": (round(wall_seconds, 3)
+                         if wall_seconds is not None else None),
+        "counts": {},
+        "tasks": [],
+        "results": [],
+        "transfers": list(transfers),
+    }
+    if label is not None:
+        manifest["label"] = label
+    if quality is not None:
+        manifest["quality"] = quality
     if extra:
         manifest["extra"] = extra
     return manifest

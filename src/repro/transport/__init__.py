@@ -1,0 +1,80 @@
+"""Covert transport stack: real payloads end-to-end over any channel.
+
+Layered like the Demaratus exemplar (raw channel → framing → protocol →
+application) above :mod:`repro.channels`:
+
+* :mod:`~repro.transport.framing` — sequenced, CRC-8-checked frames,
+  optional Hamming ECC;
+* :mod:`~repro.transport.handshake` — bounded Fig.-11-style session
+  establishment;
+* :mod:`~repro.transport.arq` — stop-and-wait / go-back-N delivery;
+* :mod:`~repro.transport.session` — multiplexed streams, goodput/BER
+  accounting, manifest + capture serialization;
+* :mod:`~repro.transport.testing` — deterministic loopback and
+  noise-injection wrappers for the property/fuzz harness.
+
+CLI: ``repro send <file>`` / ``repro recv <capture>``.
+"""
+
+from repro.transport.arq import (
+    ArqSender,
+    ArqStats,
+    FrameOutcome,
+    Receiver,
+    WireTally,
+)
+from repro.transport.framing import (
+    ACK,
+    DATA,
+    SYN,
+    SYNACK,
+    Frame,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    frame_bits_on_wire,
+)
+from repro.transport.handshake import (
+    HandshakeError,
+    SessionParams,
+    TransportError,
+    perform_handshake,
+)
+from repro.transport.session import (
+    CAPTURE_KIND,
+    CAPTURE_VERSION,
+    SessionResult,
+    StreamReport,
+    TransportSession,
+    decode_capture,
+)
+from repro.transport.testing import LoopbackChannel, NoisyChannel
+
+__all__ = [
+    "ACK",
+    "ArqSender",
+    "ArqStats",
+    "CAPTURE_KIND",
+    "CAPTURE_VERSION",
+    "DATA",
+    "Frame",
+    "FrameError",
+    "FrameOutcome",
+    "HandshakeError",
+    "LoopbackChannel",
+    "NoisyChannel",
+    "Receiver",
+    "SYN",
+    "SYNACK",
+    "SessionParams",
+    "SessionResult",
+    "StreamReport",
+    "TransportError",
+    "TransportSession",
+    "WireTally",
+    "decode_capture",
+    "decode_frame",
+    "encode_frame",
+    "frame_bits_on_wire",
+    "perform_handshake",
+]

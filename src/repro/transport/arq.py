@@ -1,0 +1,280 @@
+"""Retransmission engine: stop-and-wait / go-back-N over a covert wire.
+
+The sender pushes a window of DATA frames through the *forward* channel,
+then collects one cumulative ACK over the *reverse* channel (a second
+covert channel instance with the trojan/spy roles swapped, exactly like
+:class:`repro.channels.reliable.ReliableLink`).  A corrupt or missing
+ACK is the covert-channel analogue of a timeout: the sender goes back
+to the first unacknowledged frame and resends the window.  Retries per
+window position are bounded; exhausting them aborts the session rather
+than spinning forever on a dead wire.
+
+``window=1`` degenerates to classic stop-and-wait; larger windows
+amortize the (expensive — each ACK is a kernel-launch round) reverse
+traffic across several data frames.
+
+Both directions are host-orchestrated.  The *receiver* half is a real
+state machine (:class:`Receiver`) fed only wire bits, so the same code
+decodes a live session and replays a capture file (``repro recv``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.channels.base import CovertChannel
+from repro.transport.framing import (
+    ACK,
+    DATA,
+    MAX_SEQ,
+    Frame,
+    FrameError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "ArqSender",
+    "ArqStats",
+    "FrameOutcome",
+    "Receiver",
+    "WireTally",
+]
+
+
+@dataclass
+class FrameOutcome:
+    """One transmission attempt, as recorded into the run manifest."""
+
+    index: int            #: position in the session's frame order
+    kind: str             #: DATA / ACK / SYN / SYNACK
+    stream: int
+    seq: int
+    attempt: int          #: 0 for the first transmission of this frame
+    status: str           #: delivered | duplicate | corrupt | out-of-order
+    wire_bits: int        #: bits on the wire for this transmission
+    bit_errors: int       #: flips observed end-to-end (god's-eye view)
+    start_cycle: float
+    end_cycle: float
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-JSON form for the run manifest."""
+        return {
+            "index": self.index, "kind": self.kind,
+            "stream": self.stream, "seq": self.seq,
+            "attempt": self.attempt, "status": self.status,
+            "wire_bits": self.wire_bits, "bit_errors": self.bit_errors,
+            "cycles": round(self.end_cycle - self.start_cycle, 3),
+        }
+
+
+class WireTally:
+    """Aggregate wire statistics across every transmission of a session.
+
+    Collects totals (transmissions, bits, flips), the forward-direction
+    wire capture for ``repro recv`` replay, and the ground-truth-tagged
+    signal samples each :class:`~repro.channels.base.ChannelResult`
+    carries on an observed device, so session-level quality reporting
+    reuses :func:`repro.obs.quality.channel_quality` unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.transmissions = 0
+        self.wire_bits = 0
+        self.bit_errors = 0
+        self.sent_bits: List[int] = []
+        self.received_bits: List[int] = []
+        self.signal_samples: List[Any] = []
+        self.capture: List[Dict[str, Any]] = []
+
+    def record(self, result: Any, *, direction: str, kind: str) -> None:
+        """Fold one channel transmission into the totals."""
+        self.transmissions += 1
+        self.wire_bits += result.n_bits
+        self.bit_errors += result.errors
+        if direction == "fwd":
+            self.sent_bits.extend(result.sent)
+            self.received_bits.extend(result.received)
+            self.capture.append({
+                "kind": kind,
+                "bits": "".join(str(int(b)) for b in result.received),
+            })
+        samples = result.meta.get("signal_samples")
+        if samples:
+            self.signal_samples.extend(samples)
+
+    @property
+    def wire_ber(self) -> float:
+        """Raw bit error rate over everything that crossed the wire."""
+        return self.bit_errors / self.wire_bits if self.wire_bits else 0.0
+
+
+class Receiver:
+    """Go-back-N receiver: in-order accept, cumulative ACK, demux.
+
+    Fed nothing but wire bits, it tracks the next expected
+    session-global sequence number, appends in-order DATA payloads to
+    per-stream buffers and discards duplicates (a retransmission whose
+    original ACK was lost) and out-of-order arrivals (go-back-N keeps
+    no reorder buffer).  ``ack_frame()`` is the cumulative
+    acknowledgement the receiving application sends back.
+    """
+
+    def __init__(self, *, ecc: bool = False) -> None:
+        self.ecc = ecc
+        self.next_seq = 0
+        self.streams: Dict[int, bytearray] = {}
+        self.frames_delivered = 0
+
+    def accept(self, wire: Any) -> Tuple[str, Optional[Frame]]:
+        """Consume one received frame; returns ``(status, frame)``.
+
+        ``status`` is ``delivered`` / ``duplicate`` / ``out-of-order``
+        / ``corrupt``; ``frame`` is ``None`` exactly when corrupt.
+        Control frames (non-DATA) parse but do not advance the window.
+        """
+        try:
+            frame = decode_frame(wire, ecc=self.ecc)
+        except FrameError:
+            return "corrupt", None
+        if frame.ftype != DATA:
+            return "control", frame
+        behind = (self.next_seq - frame.seq) % MAX_SEQ
+        if frame.seq == self.next_seq:
+            self.streams.setdefault(frame.stream,
+                                    bytearray()).extend(frame.payload)
+            self.next_seq = (self.next_seq + 1) % MAX_SEQ
+            self.frames_delivered += 1
+            return "delivered", frame
+        if 0 < behind <= MAX_SEQ // 2:
+            return "duplicate", frame
+        return "out-of-order", frame
+
+    def ack_frame(self) -> Frame:
+        """Cumulative ACK: carries the next expected sequence number."""
+        return Frame(ftype=ACK, stream=0, seq=self.next_seq)
+
+    def payloads(self) -> Dict[int, bytes]:
+        """Reassembled per-stream byte strings, keyed by stream id."""
+        return {sid: bytes(buf) for sid, buf in self.streams.items()}
+
+
+@dataclass
+class ArqStats:
+    """Delivery totals for one :meth:`ArqSender.run`."""
+
+    data_frames: int = 0
+    data_transmissions: int = 0
+    retransmissions: int = 0
+    corrupt_receptions: int = 0
+    ack_transmissions: int = 0
+    ack_failures: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
+    outcomes: List[FrameOutcome] = field(default_factory=list)
+
+    @property
+    def frame_loss(self) -> float:
+        """Fraction of data-frame transmissions that did not deliver."""
+        if not self.data_transmissions:
+            return 0.0
+        lost = sum(1 for o in self.outcomes
+                   if o.kind == "DATA" and o.status != "delivered")
+        return lost / self.data_transmissions
+
+
+class ArqSender:
+    """Windowed reliable delivery of a frame list to a :class:`Receiver`."""
+
+    def __init__(self, forward: CovertChannel,
+                 reverse: Optional[CovertChannel] = None, *,
+                 ecc: bool = False, window: int = 4,
+                 max_retries: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if window >= MAX_SEQ // 2:
+            raise ValueError(
+                f"window must stay below {MAX_SEQ // 2} so 8-bit "
+                f"sequence numbers stay unambiguous")
+        if max_retries < 1:
+            raise ValueError("need at least one delivery attempt")
+        self.forward = forward
+        self.reverse = reverse
+        self.ecc = ecc
+        self.window = window
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    def _collect_ack(self, receiver: Receiver,
+                     tally: WireTally) -> Optional[int]:
+        """Ship the receiver's cumulative ACK back; None on corruption.
+
+        Without a reverse channel the sender is assumed to learn the
+        receiver's state perfectly (the blind-feedback degenerate mode
+        :class:`~repro.channels.reliable.ReliableLink` also supports).
+        """
+        if self.reverse is None:
+            return receiver.next_seq
+        wire = encode_frame(receiver.ack_frame(), ecc=self.ecc)
+        result = self.reverse.transmit(wire)
+        tally.record(result, direction="rev", kind="ACK")
+        try:
+            frame = decode_frame(result.received, ecc=self.ecc)
+        except FrameError:
+            return None
+        if frame.ftype != ACK:
+            return None
+        return frame.seq
+
+    # ------------------------------------------------------------------
+    def run(self, frames: List[Frame], receiver: Receiver,
+            tally: WireTally) -> ArqStats:
+        """Deliver ``frames`` in order; go-back-N on loss; bounded."""
+        stats = ArqStats(data_frames=len(frames))
+        attempts = [0] * len(frames)
+        base = 0
+        stalls_at_base = 0
+        device = self.forward.device
+        while base < len(frames):
+            burst = frames[base:base + self.window]
+            for offset, frame in enumerate(burst):
+                index = base + offset
+                wire = encode_frame(frame, ecc=self.ecc)
+                start = device.now
+                result = self.forward.transmit(wire)
+                tally.record(result, direction="fwd", kind=frame.kind)
+                status, _ = receiver.accept(result.received)
+                stats.data_transmissions += 1
+                if attempts[index]:
+                    stats.retransmissions += 1
+                if status == "corrupt":
+                    stats.corrupt_receptions += 1
+                stats.outcomes.append(FrameOutcome(
+                    index=index, kind=frame.kind, stream=frame.stream,
+                    seq=frame.seq, attempt=attempts[index],
+                    status=status, wire_bits=result.n_bits,
+                    bit_errors=result.errors, start_cycle=start,
+                    end_cycle=device.now))
+                attempts[index] += 1
+            acked = self._collect_ack(receiver, tally)
+            stats.ack_transmissions += 1 if self.reverse is not None else 0
+            if acked is None:
+                stats.ack_failures += 1
+                advance = 0
+            else:
+                advance = min((acked - frames[base].seq) % MAX_SEQ,
+                              len(burst))
+            if advance == 0:
+                stalls_at_base += 1
+                if stalls_at_base >= self.max_retries:
+                    stats.aborted = True
+                    stats.abort_reason = (
+                        f"frame {base} (seq {frames[base].seq}) "
+                        f"undelivered after {self.max_retries} "
+                        f"window attempts")
+                    break
+            else:
+                base += advance
+                stalls_at_base = 0
+        return stats

@@ -1,0 +1,200 @@
+"""Wire framing for the covert transport stack.
+
+The session layer (:mod:`repro.transport.session`) ships byte payloads
+over channels that only move raw bits.  This module defines the frame —
+the unit of retransmission — and a decoder hardened against everything
+a noisy covert channel does to bits in flight: flips, truncation,
+reordering, or an entirely dead wire reading as all-zeros.
+
+Frame layout (MSB-first bits)::
+
+    +----------+---------+-------+--------+-------+-------+---------+-------+
+    | preamble | version | type  | stream | seq   | len   | payload | crc8  |
+    | 8 bits   | 2 bits  | 2 bits| 4 bits | 8 bits| 8 bits| len*8   | 8 bits|
+    +----------+---------+-------+--------+-------+-------+---------+-------+
+
+* ``preamble`` — fixed ``0xA5`` marker.  Without it an idle channel
+  (all-zero wire) could parse as a valid empty frame, since the CRC-8
+  of all-zero bits is zero.
+* ``type`` — DATA / ACK / SYN / SYNACK control discrimination.
+* ``stream`` — logical stream id, the multiplexing key (16 streams).
+* ``seq`` — session-global sequence number modulo 256; the ARQ layer's
+  window is far smaller than half that, so wrap is unambiguous.
+* ``len`` — payload length in bytes (0..255).
+* ``crc8`` — CRC-8/ATM over everything after the preamble.
+
+With ECC enabled the body (everything after the preamble) is
+Hamming(7,4)-encoded and block-interleaved (:mod:`repro.noise.ecc`), so
+every codeword corrects one flip and bursts spread across codewords.
+Both ends agree on ECC out-of-band (it is a session parameter carried
+by the SYN frame).
+
+The decoder never raises anything but :class:`FrameError`; arbitrary
+garbage must be *rejected*, not crash the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.channels.base import bits_from_bytes, bytes_from_bits
+from repro.noise.ecc import (
+    crc8,
+    crc8_check,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+)
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "FRAME_TYPES",
+    "Frame",
+    "FrameError",
+    "MAX_PAYLOAD_BYTES",
+    "MAX_SEQ",
+    "MAX_STREAMS",
+    "PREAMBLE",
+    "SYN",
+    "SYNACK",
+    "decode_frame",
+    "encode_frame",
+    "frame_bits_on_wire",
+]
+
+#: Fixed frame marker (0xA5: alternating-ish, never all-zero/all-one).
+PREAMBLE: List[int] = [1, 0, 1, 0, 0, 1, 0, 1]
+
+#: Wire format version carried by every frame.
+VERSION = 1
+
+# Frame types (2 bits).
+DATA = 0
+ACK = 1
+SYN = 2
+SYNACK = 3
+FRAME_TYPES = {DATA: "DATA", ACK: "ACK", SYN: "SYN", SYNACK: "SYNACK"}
+
+MAX_STREAMS = 16
+MAX_SEQ = 256
+MAX_PAYLOAD_BYTES = 255
+
+#: Header bits after the preamble, excluding payload and CRC.
+_HEADER_BITS = 2 + 2 + 4 + 8 + 8
+_CRC_BITS = 8
+
+#: Interleave depth for the ECC path: one codeword per column, so a
+#: burst shorter than the body/7 spreads one flip per codeword.
+_ECC_DEPTH = 7
+
+
+class FrameError(ValueError):
+    """A bit string that is not a well-formed frame (reject, don't crash)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One unit of transmission: typed, sequenced, stream-tagged bytes."""
+
+    ftype: int
+    stream: int
+    seq: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.ftype not in FRAME_TYPES:
+            raise ValueError(f"unknown frame type {self.ftype}")
+        if not 0 <= self.stream < MAX_STREAMS:
+            raise ValueError(f"stream id must be in [0, {MAX_STREAMS})")
+        if not 0 <= self.seq < MAX_SEQ:
+            raise ValueError(f"seq must be in [0, {MAX_SEQ})")
+        if len(self.payload) > MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload is {len(self.payload)}B; frames carry at most "
+                f"{MAX_PAYLOAD_BYTES}B — chunk at the session layer")
+
+    @property
+    def kind(self) -> str:
+        """Human-readable frame type."""
+        return FRAME_TYPES[self.ftype]
+
+
+def _int_bits(value: int, width: int) -> List[int]:
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def _bits_int(bits: Sequence[int]) -> int:
+    value = 0
+    for b in bits:
+        value = (value << 1) | (1 if b else 0)
+    return value
+
+
+def encode_frame(frame: Frame, *, ecc: bool = False) -> List[int]:
+    """Serialize a frame to wire bits (optionally Hamming-protected)."""
+    body = (_int_bits(VERSION, 2) + _int_bits(frame.ftype, 2)
+            + _int_bits(frame.stream, 4) + _int_bits(frame.seq, 8)
+            + _int_bits(len(frame.payload), 8)
+            + bits_from_bytes(frame.payload))
+    body += crc8(body)
+    if ecc:
+        body = interleave(hamming74_encode(body), _ECC_DEPTH)
+    return PREAMBLE + body
+
+
+def frame_bits_on_wire(payload_bytes: int, *, ecc: bool = False) -> int:
+    """Wire length of a DATA frame carrying ``payload_bytes`` bytes."""
+    body = _HEADER_BITS + 8 * payload_bytes + _CRC_BITS
+    if ecc:
+        # Hamming pads to a multiple of 4 data bits, 7 wire bits each;
+        # the interleaver pads to a multiple of its depth.
+        words = (body + 3) // 4
+        coded = 7 * words
+        coded += (-coded) % _ECC_DEPTH
+        body = coded
+    return len(PREAMBLE) + body
+
+
+def decode_frame(bits: Sequence[int], *, ecc: bool = False) -> Frame:
+    """Parse wire bits back into a :class:`Frame`.
+
+    Raises :class:`FrameError` on any malformation — short/truncated
+    input, missing preamble, wrong version, bad length field, CRC
+    mismatch.  Arbitrary input never raises anything else.
+    """
+    bits = [1 if b else 0 for b in bits]
+    if len(bits) < len(PREAMBLE):
+        raise FrameError(f"frame shorter than the preamble "
+                         f"({len(bits)} bits)")
+    if bits[:len(PREAMBLE)] != PREAMBLE:
+        raise FrameError("preamble mismatch (garbage or dead wire)")
+    body = bits[len(PREAMBLE):]
+    if ecc:
+        if len(body) % _ECC_DEPTH:
+            raise FrameError("ECC body length is not a codeword multiple")
+        deinterleaved = deinterleave(body, _ECC_DEPTH)
+        # The interleaver pads with zeros to a depth multiple; drop the
+        # pad down to whole codewords before decoding.
+        whole = 7 * (len(deinterleaved) // 7)
+        body = hamming74_decode(deinterleaved[:whole])
+    if len(body) < _HEADER_BITS + _CRC_BITS:
+        raise FrameError(f"truncated header ({len(body)} body bits)")
+    version = _bits_int(body[0:2])
+    if version != VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    ftype = _bits_int(body[2:4])
+    stream = _bits_int(body[4:8])
+    seq = _bits_int(body[8:16])
+    length = _bits_int(body[16:24])
+    end = _HEADER_BITS + 8 * length
+    if len(body) < end + _CRC_BITS:
+        raise FrameError(
+            f"length field claims {length}B payload but only "
+            f"{len(body) - _HEADER_BITS - _CRC_BITS} payload bits arrived")
+    if not crc8_check(body[:end], body[end:end + _CRC_BITS]):
+        raise FrameError("CRC-8 mismatch")
+    payload = bytes_from_bits(body[_HEADER_BITS:end]) if length else b""
+    return Frame(ftype=ftype, stream=stream, seq=seq, payload=payload)

@@ -1,0 +1,130 @@
+"""Session establishment: the Figure 11 handshake lifted to frames.
+
+The paper's synchronized channels already handshake per *bit* (RTS/RTR
+cache-set signalling inside :mod:`repro.channels.sync`).  A payload
+session needs the same alignment once per *connection*: before data
+flows, sender and receiver must agree that both ends are live and on
+the framing parameters (frame size, ARQ window, ECC) the session will
+use.  That is a classic three-way exchange:
+
+1. sender ships a ``SYN`` frame carrying the proposed
+   :class:`SessionParams`;
+2. the receiver echoes them in a ``SYNACK`` over the reverse channel;
+3. the sender's first DATA frame doubles as the closing ACK (TCP-style
+   piggyback — a covert channel has no bits to waste).
+
+Control frames are never ECC-coded: parameters must decode before the
+codec they negotiate is in effect.  Every wait is bounded — a dead or
+jammed wire raises :class:`HandshakeError` after ``retries`` attempts
+instead of polling forever (the failure mode the paper's "timeout and
+repeat" recovery rule leaves open-ended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channels.base import CovertChannel
+from repro.transport.arq import WireTally
+from repro.transport.framing import (
+    MAX_PAYLOAD_BYTES,
+    SYN,
+    SYNACK,
+    Frame,
+    FrameError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "HandshakeError",
+    "SessionParams",
+    "TransportError",
+    "perform_handshake",
+]
+
+
+class TransportError(Exception):
+    """Base class for transport-stack failures."""
+
+
+class HandshakeError(TransportError):
+    """Session establishment exhausted its bounded retries."""
+
+
+@dataclass(frozen=True)
+class SessionParams:
+    """Frame/ARQ parameters both ends must agree on, SYN-encodable."""
+
+    frame_bytes: int = 8
+    window: int = 4
+    ecc: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.frame_bytes <= MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"frame_bytes must be in [1, {MAX_PAYLOAD_BYTES}]")
+        if not 1 <= self.window <= 255:
+            raise ValueError("window must be in [1, 255]")
+
+    def to_payload(self) -> bytes:
+        """Three-byte SYN payload: frame size, window, flag bits."""
+        return bytes([self.frame_bytes, self.window,
+                      1 if self.ecc else 0])
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SessionParams":
+        """Inverse of :meth:`to_payload`; raises ValueError on garbage."""
+        if len(payload) != 3:
+            raise ValueError(
+                f"SYN payload must be 3 bytes, got {len(payload)}")
+        return cls(frame_bytes=payload[0], window=payload[1],
+                   ecc=bool(payload[2] & 1))
+
+
+def perform_handshake(forward: CovertChannel,
+                      reverse: Optional[CovertChannel],
+                      params: SessionParams, *,
+                      retries: int = 4,
+                      tally: Optional[WireTally] = None) -> int:
+    """Run the SYN/SYNACK exchange; returns the attempt count (1-based).
+
+    Without a reverse channel the exchange degenerates to a one-way
+    probe: a SYN that survives the forward wire intact proves the
+    channel decodes frames, which is all blind mode can check.
+
+    Raises :class:`HandshakeError` after ``retries`` failed attempts.
+    """
+    if retries < 1:
+        raise ValueError("need at least one handshake attempt")
+    if tally is None:
+        tally = WireTally()
+    syn = Frame(ftype=SYN, stream=0, seq=0, payload=params.to_payload())
+    syn_wire = encode_frame(syn)  # control plane: never ECC
+    for attempt in range(1, retries + 1):
+        result = forward.transmit(syn_wire)
+        tally.record(result, direction="fwd", kind="SYN")
+        try:
+            heard = decode_frame(result.received)
+        except FrameError:
+            continue
+        if heard.ftype != SYN or heard.payload != params.to_payload():
+            continue
+        if reverse is None:
+            return attempt
+        echo_wire = encode_frame(
+            Frame(ftype=SYNACK, stream=0, seq=0, payload=heard.payload))
+        echo_result = reverse.transmit(echo_wire)
+        tally.record(echo_result, direction="rev", kind="SYNACK")
+        try:
+            echo = decode_frame(echo_result.received)
+        except FrameError:
+            continue
+        if echo.ftype == SYNACK and echo.payload == params.to_payload():
+            return attempt
+    raise HandshakeError(
+        f"session handshake over {forward.name!r} failed after "
+        f"{retries} attempt(s): the peer never echoed matching "
+        f"parameters (dead channel, or noise above what un-coded "
+        f"control frames survive)")

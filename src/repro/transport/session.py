@@ -1,0 +1,420 @@
+"""The covert transport session: payloads end-to-end over one channel.
+
+This is the top of the stack the ROADMAP's item 4 calls for, layered
+like the Demaratus "Covert Python" exemplar (raw channel → framing →
+protocol → application):
+
+* :mod:`repro.transport.framing` — frames with sequence numbers and
+  CRC-8, optionally Hamming(7,4)+interleaving from :mod:`repro.noise.ecc`;
+* :mod:`repro.transport.handshake` — Fig.-11-style SYN/SYNACK session
+  establishment with bounded retries;
+* :mod:`repro.transport.arq` — stop-and-wait / go-back-N retransmission;
+* this module — **multiplexed logical streams** over one physical
+  channel, chunking byte payloads into frames, round-robin interleaving
+  streams, demuxing on the far side, and accounting: goodput, wire BER,
+  frame loss, per-frame outcomes for the run manifest, and a capture
+  record that ``repro recv`` can replay through the same
+  :class:`~repro.transport.arq.Receiver` state machine.
+
+A session is host-orchestrated over any
+:class:`~repro.channels.base.CovertChannel` — every channel family ×
+architecture in the repo becomes a file-transfer scenario harness.
+Sessions run long simulations (a 1 KiB file is ~10k wire bits), which
+is exactly the workload the fast engine (PR 3) and snapshot reuse
+(PR 4) made cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.channels.base import ChannelResult, CovertChannel
+from repro.transport.arq import (
+    ArqSender,
+    ArqStats,
+    FrameOutcome,
+    Receiver,
+    WireTally,
+)
+from repro.transport.framing import (
+    DATA,
+    MAX_SEQ,
+    MAX_STREAMS,
+    Frame,
+)
+from repro.transport.handshake import (
+    SessionParams,
+    perform_handshake,
+)
+
+__all__ = [
+    "CAPTURE_KIND",
+    "CAPTURE_VERSION",
+    "SessionResult",
+    "StreamReport",
+    "TransportSession",
+    "decode_capture",
+]
+
+CAPTURE_KIND = "repro-transfer-capture"
+CAPTURE_VERSION = 1
+
+Payloads = Union[bytes, Mapping[str, bytes]]
+
+
+@dataclass
+class StreamReport:
+    """One logical stream's ground truth vs what the receiver rebuilt."""
+
+    stream: int
+    name: str
+    sent: bytes
+    delivered: bytes
+
+    @property
+    def ok(self) -> bool:
+        """Bit-exact delivery."""
+        return self.sent == self.delivered
+
+    @property
+    def payload_errors(self) -> int:
+        """Differing bits between sent and delivered payloads."""
+        errors = 8 * abs(len(self.sent) - len(self.delivered))
+        for a, b in zip(self.sent, self.delivered):
+            errors += bin(a ^ b).count("1")
+        return errors
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "stream": self.stream, "name": self.name,
+            "sent_bytes": len(self.sent),
+            "delivered_bytes": len(self.delivered),
+            "bit_exact": self.ok,
+            "payload_bit_errors": self.payload_errors,
+            "sha256": hashlib.sha256(self.sent).hexdigest(),
+        }
+
+
+@dataclass
+class SessionResult:
+    """Everything one transfer session produced, manifest-serializable."""
+
+    channel: str
+    params: SessionParams
+    streams: List[StreamReport]
+    stats: ArqStats
+    handshake_attempts: int
+    elapsed_cycles: float
+    clock_hz: float
+    wire_transmissions: int
+    wire_bits: int
+    wire_bit_errors: int
+    capture: List[Dict[str, Any]] = field(default_factory=list)
+    quality: Optional[Dict[str, Any]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Every stream delivered bit-exact and the link never aborted."""
+        return (not self.stats.aborted
+                and all(s.ok for s in self.streams))
+
+    @property
+    def aborted(self) -> bool:
+        return self.stats.aborted
+
+    @property
+    def outcomes(self) -> List[FrameOutcome]:
+        return self.stats.outcomes
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(len(s.sent) for s in self.streams)
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(len(s.delivered) for s in self.streams)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration on the simulated device."""
+        return (self.elapsed_cycles / self.clock_hz
+                if self.clock_hz else 0.0)
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per second, all overheads included."""
+        if self.seconds <= 0:
+            return 0.0
+        return 8 * self.delivered_bytes / self.seconds
+
+    @property
+    def wire_ber(self) -> float:
+        """Raw channel BER over every transmission of the session."""
+        return (self.wire_bit_errors / self.wire_bits
+                if self.wire_bits else 0.0)
+
+    @property
+    def payload_ber(self) -> float:
+        """Residual post-ARQ error rate at the payload level."""
+        bits = 8 * self.payload_bytes
+        if not bits:
+            return 0.0
+        return sum(s.payload_errors for s in self.streams) / bits
+
+    @property
+    def efficiency(self) -> float:
+        """Delivered payload bits per wire bit (protocol efficiency)."""
+        if not self.wire_bits:
+            return 0.0
+        return 8 * self.delivered_bytes / self.wire_bits
+
+    # -- serialization -------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Manifest section: the per-frame log plus end-to-end numbers."""
+        payload: Dict[str, Any] = {
+            "channel": self.channel,
+            "params": {
+                "frame_bytes": self.params.frame_bytes,
+                "window": self.params.window,
+                "ecc": self.params.ecc,
+            },
+            "ok": self.ok,
+            "aborted": self.stats.aborted,
+            "abort_reason": self.stats.abort_reason,
+            "handshake_attempts": self.handshake_attempts,
+            "payload_bytes": self.payload_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "elapsed_cycles": round(self.elapsed_cycles, 3),
+            "seconds": self.seconds,
+            "goodput_bps": self.goodput_bps,
+            "wire_ber": self.wire_ber,
+            "payload_ber": self.payload_ber,
+            "efficiency": self.efficiency,
+            "frame_loss": self.stats.frame_loss,
+            "data_frames": self.stats.data_frames,
+            "data_transmissions": self.stats.data_transmissions,
+            "retransmissions": self.stats.retransmissions,
+            "ack_transmissions": self.stats.ack_transmissions,
+            "ack_failures": self.stats.ack_failures,
+            "wire_transmissions": self.wire_transmissions,
+            "wire_bits": self.wire_bits,
+            "streams": [s.to_payload() for s in self.streams],
+            "frames": [o.to_payload() for o in self.stats.outcomes],
+        }
+        if self.quality is not None:
+            payload["quality"] = self.quality
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    def capture_payload(self) -> Dict[str, Any]:
+        """Self-contained capture document for ``repro recv`` replay."""
+        return {
+            "kind": CAPTURE_KIND,
+            "version": CAPTURE_VERSION,
+            "channel": self.channel,
+            "params": {
+                "frame_bytes": self.params.frame_bytes,
+                "window": self.params.window,
+                "ecc": self.params.ecc,
+            },
+            "streams": {
+                str(s.stream): {
+                    "name": s.name,
+                    "bytes": len(s.sent),
+                    "sha256": hashlib.sha256(s.sent).hexdigest(),
+                }
+                for s in self.streams
+            },
+            "frames": self.capture,
+            "meta": dict(self.meta),
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        status = "ok" if self.ok else (
+            "ABORTED" if self.aborted else "CORRUPT")
+        return (f"{self.channel}: {self.payload_bytes}B in "
+                f"{len(self.streams)} stream(s), "
+                f"{self.goodput_bps / 1e3:.2f} Kbps goodput, "
+                f"wire BER {self.wire_ber:.4f}, "
+                f"{self.stats.retransmissions} retx, {status}")
+
+
+class TransportSession:
+    """Ship byte payloads over a covert channel, reliably, multiplexed."""
+
+    def __init__(self, forward: CovertChannel,
+                 reverse: Optional[CovertChannel] = None, *,
+                 params: Optional[SessionParams] = None,
+                 max_retries: int = 8,
+                 handshake_retries: int = 4) -> None:
+        self.forward = forward
+        self.reverse = reverse
+        self.params = params or SessionParams()
+        self.max_retries = max_retries
+        self.handshake_retries = handshake_retries
+
+    # ------------------------------------------------------------------
+    def _normalize(self, payloads: Payloads) -> List[Tuple[str, bytes]]:
+        if isinstance(payloads, (bytes, bytearray)):
+            items = [("payload", bytes(payloads))]
+        else:
+            items = [(str(name), bytes(data))
+                     for name, data in payloads.items()]
+        if not items:
+            raise ValueError("nothing to send")
+        if len(items) > MAX_STREAMS:
+            raise ValueError(
+                f"at most {MAX_STREAMS} concurrent streams "
+                f"(got {len(items)})")
+        for name, data in items:
+            if not data:
+                raise ValueError(f"stream {name!r} is empty")
+        return items
+
+    def _mux(self, items: List[Tuple[str, bytes]]) -> List[Frame]:
+        """Chunk every stream and round-robin interleave the chunks.
+
+        Interleaving (rather than sending streams back to back) is what
+        makes the streams *concurrent*: a slow bulk stream cannot starve
+        a small control stream of wire time.
+        """
+        size = self.params.frame_bytes
+        queues = [[data[i:i + size] for i in range(0, len(data), size)]
+                  for _, data in items]
+        frames: List[Frame] = []
+        seq = 0
+        cursor = 0
+        while any(queues):
+            sid = cursor % len(queues)
+            cursor += 1
+            if not queues[sid]:
+                continue
+            chunk = queues[sid].pop(0)
+            frames.append(Frame(ftype=DATA, stream=sid,
+                                seq=seq % MAX_SEQ, payload=chunk))
+            seq += 1
+        return frames
+
+    # ------------------------------------------------------------------
+    def send(self, payloads: Payloads) -> SessionResult:
+        """Transfer ``payloads`` (bytes, or name → bytes per stream).
+
+        Raises :class:`~repro.transport.handshake.HandshakeError` when
+        the session cannot even be established; delivery trouble after
+        that is reported in the result (``aborted``/``ok``), mirroring
+        :class:`~repro.channels.reliable.ReliableLink`.
+        """
+        items = self._normalize(payloads)
+        device = self.forward.device
+        tally = WireTally()
+        start = device.now
+        attempts = perform_handshake(
+            self.forward, self.reverse, self.params,
+            retries=self.handshake_retries, tally=tally)
+        frames = self._mux(items)
+        receiver = Receiver(ecc=self.params.ecc)
+        sender = ArqSender(self.forward, self.reverse,
+                           ecc=self.params.ecc,
+                           window=self.params.window,
+                           max_retries=self.max_retries)
+        stats = sender.run(frames, receiver, tally)
+        rebuilt = receiver.payloads()
+        streams = [StreamReport(stream=sid, name=name, sent=data,
+                                delivered=rebuilt.get(sid, b""))
+                   for sid, (name, data) in enumerate(items)]
+        result = SessionResult(
+            channel=self.forward.name,
+            params=self.params,
+            streams=streams,
+            stats=stats,
+            handshake_attempts=attempts,
+            elapsed_cycles=device.now - start,
+            clock_hz=device.spec.clock_hz,
+            wire_transmissions=tally.transmissions,
+            wire_bits=tally.wire_bits,
+            wire_bit_errors=tally.bit_errors,
+            capture=tally.capture,
+        )
+        result.quality = self._session_quality(tally, result, start,
+                                               device.now)
+        return result
+
+    def _session_quality(self, tally: WireTally, result: SessionResult,
+                         start: float, end: float
+                         ) -> Optional[Dict[str, Any]]:
+        """Session-level signal quality via the channel observatory.
+
+        On an observed device every frame's
+        :class:`~repro.channels.base.ChannelResult` carried
+        ground-truth-tagged spy latencies; aggregating them into one
+        synthetic whole-session result lets
+        :func:`repro.obs.quality.channel_quality` analyze the transfer
+        exactly like a single long transmission.
+        """
+        if not tally.signal_samples:
+            return None
+        from repro.obs.quality import channel_quality
+        aggregate = ChannelResult(
+            sent=tally.sent_bits,
+            received=tally.received_bits,
+            start_cycle=start,
+            end_cycle=end,
+            clock_hz=result.clock_hz,
+            channel=f"{self.forward.name} (session)",
+            meta={"signal_samples": tally.signal_samples},
+        )
+        return channel_quality(aggregate).to_dict()
+
+
+# ----------------------------------------------------------------------
+# Capture replay (the `repro recv` decoder)
+# ----------------------------------------------------------------------
+def decode_capture(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Replay a capture document through the receiver state machine.
+
+    Returns ``{"streams": {name: bytes}, "verified": {name: bool},
+    "frames_delivered": int, "frames_rejected": int}``.  ``verified``
+    compares each rebuilt stream against the sender-side SHA-256 the
+    capture records — the receiver's own proof of bit-exactness.
+
+    Raises :class:`ValueError` on documents that are not captures.
+    """
+    if not isinstance(doc, dict) or doc.get("kind") != CAPTURE_KIND:
+        raise ValueError("not a repro-transfer-capture document")
+    version = doc.get("version")
+    if not isinstance(version, int) or version > CAPTURE_VERSION:
+        raise ValueError(f"capture version {version!r} is newer than "
+                         f"this decoder ({CAPTURE_VERSION})")
+    params = doc.get("params", {})
+    receiver = Receiver(ecc=bool(params.get("ecc", False)))
+    rejected = 0
+    for record in doc.get("frames", []):
+        bits = [1 if c == "1" else 0 for c in record.get("bits", "")]
+        status, _ = receiver.accept(bits)
+        if status == "corrupt":
+            rejected += 1
+    rebuilt = receiver.payloads()
+    streams: Dict[str, bytes] = {}
+    verified: Dict[str, bool] = {}
+    for sid_text, info in doc.get("streams", {}).items():
+        sid = int(sid_text)
+        name = info.get("name", f"stream{sid}")
+        data = rebuilt.get(sid, b"")[:int(info.get("bytes", 0))]
+        streams[name] = data
+        expected = info.get("sha256")
+        verified[name] = (
+            expected is not None
+            and hashlib.sha256(data).hexdigest() == expected
+            and len(data) == int(info.get("bytes", 0)))
+    return {
+        "streams": streams,
+        "verified": verified,
+        "frames_delivered": receiver.frames_delivered,
+        "frames_rejected": rejected,
+    }

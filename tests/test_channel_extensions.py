@@ -4,6 +4,7 @@ import pytest
 
 from repro.arch.specs import KEPLER_K40C
 from repro.channels import (
+    HandshakeTimeoutError,
     L1CacheChannel,
     ReliableLink,
     SFUChannel,
@@ -106,3 +107,30 @@ class TestReliableLink:
         result = link.send(b"z")
         assert not result.success
         assert result.aborted
+
+
+class TestReliableLinkHandshake:
+    """Regression: link establishment is bounded and fails loudly."""
+
+    def test_clean_link_establishes_first_try(self, kepler):
+        link = ReliableLink(L1CacheChannel(kepler),
+                            frame_payload_bits=8)
+        assert link.handshake() == 1
+        assert link.send(b"hi", handshake=True).success
+
+    def test_dead_channel_raises_after_bounded_retries(self):
+        """The dead-wire handshake must raise — not retry forever, and
+        not silently fall through to per-frame ARQ retries."""
+        from repro.mitigations import context_set_partition
+        device = Device(KEPLER_K40C, seed=9,
+                        cache_partition_fn=context_set_partition(2))
+        dead = L1CacheChannel(device)
+        link = ReliableLink(dead, frame_payload_bits=8,
+                            handshake_retries=3)
+        with pytest.raises(HandshakeTimeoutError) as excinfo:
+            link.send(b"z", handshake=True)
+        assert "3 attempt" in str(excinfo.value)
+
+    def test_handshake_retry_budget_is_validated(self, kepler):
+        with pytest.raises(ValueError):
+            ReliableLink(L1CacheChannel(kepler), handshake_retries=0)

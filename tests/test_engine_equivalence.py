@@ -90,6 +90,52 @@ def test_l1_channel_three_modes_kepler():
 
 
 # ----------------------------------------------------------------------
+# Golden transport transfer: the full stack, pinned across all modes
+# ----------------------------------------------------------------------
+def _golden_transfer(mode):
+    from repro.channels import SynchronizedL1Channel
+    from repro.transport import SessionParams, TransportSession
+    device = Device(get_spec("kepler"), seed=3, engine=mode)
+    forward = SynchronizedL1Channel(device)
+    reverse = SynchronizedL1Channel(device, name="sync-l1-rev")
+    session = TransportSession(
+        forward, reverse,
+        params=SessionParams(frame_bytes=4, window=2))
+    result = session.send(b"GPGPU!")
+    return result, device
+
+
+@pytest.mark.parametrize("mode", ["fast", "events", "tick"])
+def test_transport_golden_transfer(mode):
+    """A fixed payload over sync-l1 transfers bit-exact with pinned
+    protocol counts in every engine mode — goodput regressions and
+    protocol drift both trip exact literals, not tolerances."""
+    result, device = _golden_transfer(mode)
+    assert result.ok
+    assert [s.delivered for s in result.streams] == [b"GPGPU!"]
+    assert result.handshake_attempts == 1
+    assert result.stats.data_frames == 2
+    assert result.stats.data_transmissions == 2
+    assert result.stats.retransmissions == 0
+    assert result.wire_bits == 296
+    assert result.wire_bit_errors == 0
+    assert device.engine.events_executed == 1058693
+    assert result.elapsed_cycles == pytest.approx(
+        3081625.5930409273, rel=0, abs=1e-6)
+    assert result.goodput_bps == pytest.approx(11604.264996, rel=1e-9)
+    assert device_fingerprint(device)["now"] == device.engine.now
+
+
+def test_transport_golden_identical_across_modes():
+    prints = {}
+    for mode in ("fast", "events", "tick"):
+        result, device = _golden_transfer(mode)
+        prints[mode] = (result.to_payload(),
+                        device_fingerprint(device))
+    assert prints["fast"] == prints["events"] == prints["tick"]
+
+
+# ----------------------------------------------------------------------
 # Mixed-ISA workload: every instruction kind, multiple warps and blocks
 # ----------------------------------------------------------------------
 def _mixed_body(ctx):

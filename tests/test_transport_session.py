@@ -1,0 +1,293 @@
+"""Session-layer tests: handshake, multiplexing, capture replay, CLI.
+
+The lower layers are covered property-style in
+``test_transport_framing.py`` / ``test_transport_reliability.py``; this
+file exercises the stack top — sessions over loopback wires for
+protocol logic, one real covert channel end-to-end through the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.sim.gpu import Device
+from repro.transport import (
+    CAPTURE_KIND,
+    HandshakeError,
+    LoopbackChannel,
+    NoisyChannel,
+    SessionParams,
+    TransportSession,
+    decode_capture,
+)
+
+
+def _loopback_session(**kwargs):
+    device = Device(KEPLER_K40C, seed=1)
+    forward = LoopbackChannel(device)
+    reverse = LoopbackChannel(device, name="loopback-rev")
+    params = kwargs.pop("params", SessionParams())
+    return TransportSession(forward, reverse, params=params, **kwargs)
+
+
+class TestHandshake:
+    def test_clean_session_one_attempt(self):
+        result = _loopback_session().send(b"hello")
+        assert result.handshake_attempts == 1
+
+    def test_dead_wire_raises_bounded(self):
+        device = Device(KEPLER_K40C, seed=1)
+        dead = NoisyChannel(LoopbackChannel(device), flip_rate=0.5,
+                            seed=1)
+        session = TransportSession(dead, None,
+                                   params=SessionParams(),
+                                   handshake_retries=3)
+        with pytest.raises(HandshakeError) as excinfo:
+            session.send(b"unreachable")
+        assert "3 attempt" in str(excinfo.value)
+
+    def test_retry_budget_validated(self):
+        session = _loopback_session(handshake_retries=0)
+        with pytest.raises(ValueError):
+            session.send(b"x")
+
+    def test_params_survive_syn_roundtrip(self):
+        params = SessionParams(frame_bytes=19, window=7, ecc=True)
+        assert SessionParams.from_payload(params.to_payload()) == params
+        with pytest.raises(ValueError):
+            SessionParams.from_payload(b"toolong")
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SessionParams(frame_bytes=0)
+        with pytest.raises(ValueError):
+            SessionParams(window=0)
+
+
+class TestMultiplexing:
+    def test_streams_demux_bit_exact(self):
+        payloads = {
+            "alpha": bytes(range(100)),
+            "beta": b"short",
+            "gamma": b"\x00\xff" * 40,
+        }
+        result = _loopback_session().send(payloads)
+        assert result.ok
+        by_name = {s.name: s for s in result.streams}
+        for name, data in payloads.items():
+            assert by_name[name].delivered == data
+
+    def test_interleaving_shares_the_wire(self):
+        # A bulk stream must not monopolize early wire time: the small
+        # stream's frames appear before the bulk stream finishes.
+        result = _loopback_session().send(
+            {"bulk": b"B" * 200, "ctl": b"C" * 8})
+        data_frames = [o for o in result.outcomes if o.kind == "DATA"]
+        first_ctl = next(i for i, o in enumerate(data_frames)
+                         if o.stream == 1)
+        last_bulk = max(i for i, o in enumerate(data_frames)
+                        if o.stream == 0)
+        assert first_ctl < last_bulk
+
+    def test_single_bytes_payload_is_one_stream(self):
+        result = _loopback_session().send(b"plain bytes")
+        assert [s.name for s in result.streams] == ["payload"]
+
+    def test_limits_enforced(self):
+        session = _loopback_session()
+        with pytest.raises(ValueError):
+            session.send({})
+        with pytest.raises(ValueError):
+            session.send({"empty": b""})
+        with pytest.raises(ValueError):
+            session.send({f"s{i}": b"x" for i in range(17)})
+
+    def test_wide_window_rejected_not_wrapped(self):
+        # 8-bit sequence numbers: a window of 128+ would make duplicate
+        # detection ambiguous, so the ARQ layer must refuse it.
+        session = _loopback_session(
+            params=SessionParams(frame_bytes=8, window=200))
+        with pytest.raises(ValueError):
+            session.send(b"x" * 64)
+
+
+class TestCaptureReplay:
+    def test_capture_roundtrip_verifies(self):
+        payloads = {"doc.txt": b"the quick brown fox" * 11}
+        result = _loopback_session().send(payloads)
+        doc = json.loads(json.dumps(result.capture_payload()))
+        assert doc["kind"] == CAPTURE_KIND
+        decoded = decode_capture(doc)
+        assert decoded["streams"]["doc.txt"] == payloads["doc.txt"]
+        assert decoded["verified"] == {"doc.txt": True}
+        assert decoded["frames_rejected"] == 0
+
+    def test_tampered_capture_fails_verification(self):
+        result = _loopback_session().send({"f": b"payload bytes here"})
+        doc = result.capture_payload()
+        record = doc["frames"][-1]
+        record["bits"] = record["bits"][:-1] + (
+            "0" if record["bits"][-1] == "1" else "1")
+        decoded = decode_capture(doc)
+        assert decoded["verified"] == {"f": False}
+
+    def test_noisy_capture_still_decodes(self):
+        # The capture records what actually crossed the wire, corrupt
+        # transmissions included; the replayed receiver must reject
+        # exactly those and still rebuild the payload from the rest.
+        device = Device(KEPLER_K40C, seed=1)
+        forward = NoisyChannel(LoopbackChannel(device), flip_rate=0.01,
+                               seed=3)
+        session = TransportSession(
+            forward, LoopbackChannel(device, name="rev"),
+            params=SessionParams(frame_bytes=8), max_retries=20,
+            handshake_retries=10)
+        result = session.send({"n": bytes(range(128))})
+        assert result.ok
+        decoded = decode_capture(result.capture_payload())
+        assert decoded["verified"] == {"n": True}
+        assert decoded["frames_rejected"] > 0
+
+    def test_non_capture_documents_rejected(self):
+        with pytest.raises(ValueError):
+            decode_capture({"kind": "something-else"})
+        with pytest.raises(ValueError):
+            decode_capture({"kind": CAPTURE_KIND, "version": 99})
+
+
+class TestManifestAndReport:
+    def _manifest(self, tmp_path):
+        from repro.runner import build_transfer_manifest, write_manifest
+        result = _loopback_session().send({"file.bin": b"\x5a" * 64})
+        manifest = build_transfer_manifest(
+            [result.to_payload()], command=["repro", "send", "file.bin"],
+            wall_seconds=0.5, label="unit transfer")
+        path = str(tmp_path / "man.json")
+        write_manifest(path, manifest)
+        return path, result
+
+    def test_manifest_roundtrip_keeps_frame_log(self, tmp_path):
+        from repro.runner import load_manifest
+        path, result = self._manifest(tmp_path)
+        loaded = load_manifest(path)
+        transfer = loaded["transfers"][0]
+        assert transfer["ok"] is True
+        assert len(transfer["frames"]) == \
+            len(result.stats.outcomes) > 0
+        assert transfer["goodput_bps"] > 0
+        assert transfer["streams"][0]["sha256"]
+
+    def test_report_renders_transfer_sections(self, tmp_path):
+        from repro.analysis.report import (
+            render_report_html,
+            render_report_markdown,
+        )
+        from repro.runner import load_manifest
+        path, _ = self._manifest(tmp_path)
+        manifest = load_manifest(path)
+        html = render_report_html([manifest])
+        assert "File transfer sessions" in html
+        assert "multiplexed streams" in html
+        assert "per-frame outcomes" in html
+        md = render_report_markdown([manifest])
+        assert "### Transfer:" in md
+        assert "file.bin" in md
+
+    def test_frame_table_truncation_is_announced(self):
+        from repro.analysis.report import _transfer_frame_rows
+        frames = [{"index": i, "status": "delivered"}
+                  for i in range(100)]
+        frames[50]["status"] = "corrupt"
+        rows, note = _transfer_frame_rows(frames, limit=10)
+        assert len(rows) == 10
+        assert "showing 10 of 100" in note
+        # Anomalies always make the cut.
+        assert any(r[5] == "corrupt" for r in rows)
+
+
+class TestObservedQuality:
+    def test_session_quality_from_observatory(self):
+        device = Device(KEPLER_K40C, seed=1, observe="metrics")
+        session = TransportSession(
+            LoopbackChannel(device),
+            LoopbackChannel(device, name="rev"),
+            params=SessionParams())
+        result = session.send(b"observed payload")
+        assert result.quality is not None
+        assert result.quality["ber"] == 0.0
+        # A zero-jitter loopback has infinite SNR, which the quality
+        # payload JSON-serializes as the string "inf".
+        assert float(result.quality["stats"]["snr"]) > 0
+
+    def test_unobserved_session_has_no_quality(self):
+        result = _loopback_session().send(b"unobserved")
+        assert result.quality is None
+
+
+class TestCli:
+    """One real covert channel end-to-end through `repro send`/`recv`."""
+
+    def test_send_then_recv_bit_exact(self, tmp_path, capsys):
+        from repro.cli import main
+        payload = bytes(range(256))[:24] * 2  # 48 B
+        src = tmp_path / "secret.bin"
+        src.write_bytes(payload)
+        capture = tmp_path / "cap.json"
+        manifest = tmp_path / "man.json"
+        rc = main(["send", str(src), "--channel", "sync-l1",
+                   "--gpu", "kepler", "--frame-bytes", "16",
+                   "--capture", str(capture),
+                   "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok" in out
+        from repro.runner import load_manifest
+        doc = load_manifest(str(manifest))
+        assert doc["transfers"][0]["ok"] is True
+        assert doc["transfers"][0]["wire_ber"] == 0.0
+
+        outdir = tmp_path / "rx"
+        rc = main(["recv", str(capture), "--out", str(outdir)])
+        assert rc == 0
+        assert (outdir / "secret.bin").read_bytes() == payload
+        assert "sha256 verified" in capsys.readouterr().out
+
+    def test_send_rejects_bad_inputs(self, tmp_path, capsys):
+        from repro.cli import main
+        missing = tmp_path / "nope.bin"
+        assert main(["send", str(missing)]) == 2
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        assert main(["send", str(empty)]) == 2
+        some = tmp_path / "some.bin"
+        some.write_bytes(b"data")
+        assert main(["send", str(some), "--window", "200"]) == 2
+        capsys.readouterr()
+
+    def test_recv_rejects_garbage(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["recv", str(bad)]) == 2
+        notcap = tmp_path / "notcap.json"
+        notcap.write_text(json.dumps({"kind": "other"}))
+        assert main(["recv", str(notcap)]) == 2
+        capsys.readouterr()
+
+    def test_recv_flattens_hostile_stream_names(self, tmp_path,
+                                                capsys):
+        from repro.cli import main
+        result = _loopback_session().send({"innocent": b"abc"})
+        doc = result.capture_payload()
+        doc["streams"]["0"]["name"] = "../../escape.bin"
+        cap = tmp_path / "hostile.json"
+        cap.write_text(json.dumps(doc))
+        outdir = tmp_path / "sandbox"
+        main(["recv", str(cap), "--out", str(outdir)])
+        capsys.readouterr()
+        assert not (tmp_path / "escape.bin").exists()
+        assert (outdir / "escape.bin").exists()
