@@ -24,13 +24,14 @@ from repro.arch import (
     all_specs,
     get_spec,
 )
-from repro.sim import Device, Kernel, KernelConfig, Stream, isa
+from repro.sim import Device, Fabric, Kernel, KernelConfig, Stream, isa
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Device",
     "FERMI_C2075",
+    "Fabric",
     "GPUSpec",
     "KEPLER_K40C",
     "Kernel",

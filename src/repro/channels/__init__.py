@@ -37,6 +37,14 @@ Extensions beyond the paper's implementation:
   Section 8 "whitespace networking" idea: dynamically discover an idle
   cache set and announce it with a beacon, sidestepping bystanders
   without exclusive co-location.
+
+Cross-GPU channels (over a :class:`~repro.sim.fabric.Fabric`, trojan
+and spy on different devices):
+
+* :class:`~repro.channels.fabric.LinkBandwidthChannel` — interconnect
+  bandwidth contention (trojan floods the link with remote loads).
+* :class:`~repro.channels.fabric.RemoteAtomicChannel` — remote atomics
+  queueing at the spy device's atomic units.
 """
 
 from repro.channels.base import ChannelResult, CovertChannel, random_bits
@@ -55,11 +63,18 @@ from repro.channels.reliable import (
     ReliableLink,
 )
 from repro.channels.whitespace import WhitespaceL1Channel
+from repro.channels.fabric import (
+    FabricChannel,
+    LinkBandwidthChannel,
+    RemoteAtomicChannel,
+)
 
 __all__ = [
     "ChannelResult",
     "CovertChannel",
+    "FabricChannel",
     "GlobalAtomicChannel",
+    "LinkBandwidthChannel",
     "L1CacheChannel",
     "L2CacheChannel",
     "MultiBitL1Channel",
@@ -70,6 +85,7 @@ __all__ = [
     "ParallelSFUChannel",
     "ParallelSMChannel",
     "ReliableLink",
+    "RemoteAtomicChannel",
     "SFUChannel",
     "SynchronizedL1Channel",
     "SynchronizedSFUChannel",

@@ -1,0 +1,287 @@
+"""Cross-GPU covert channels over the interconnect fabric.
+
+The paper's channels modulate contention on resources inside one die;
+its follow-ons (NVBleed, "Beyond the Bridge" — PAPERS.md) rebuild the
+same trojan/spy protocol on the *multi-GPU interconnect*.  Two media,
+both over a :class:`~repro.sim.fabric.Fabric` with the trojan's
+kernels on one device and the spy's on another:
+
+* :class:`LinkBandwidthChannel` — the trojan saturates the link's data
+  direction with warp-wide remote loads (one coalescing segment per
+  lane); the spy times small remote loads the *opposite* way, whose
+  request flits queue behind the trojan's returning data segments.
+* :class:`RemoteAtomicChannel` — the trojan hammers remote atomics
+  into one hot segment of the spy device's memory; the spy times local
+  atomics on its own array laid out to collide unit-for-unit (bases
+  congruent modulo ``segment_bytes * atomic_units``), so both parties
+  serialize at the same remote atomic unit.
+
+Both follow the paper's baseline per-bit-relaunch protocol (calibrate
+a latency threshold, one kernel-launch round per bit), so everything
+built on :class:`~repro.channels.base.CovertChannel` — the quality
+observatory, the transport stack, `repro send` — works unchanged over
+a cross-GPU medium.  :meth:`FabricChannel.swapped` returns the same
+channel with trojan/spy devices exchanged, which is how the transport
+stack runs its acknowledgement path dev1→dev0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.channels.base import Bits, ChannelResult, CovertChannel
+from repro.channels.global_atomic import ARRAY_SPAN, DEFAULT_ITERATIONS
+from repro.sim import isa
+from repro.sim.fabric import Fabric
+from repro.sim.kernel import Kernel, KernelConfig
+
+
+class FabricChannel(CovertChannel):
+    """Base for trojan/spy pairs on *different* devices of one fabric.
+
+    ``self.device`` (the :class:`CovertChannel` anchor used for
+    observability, result assembly and the transport stack) is the
+    **spy** device — the receiving side, where the signal is measured.
+    """
+
+    def __init__(self, fabric: Fabric, name: str, *,
+                 trojan_device: int = 0,
+                 spy_device: int = 1) -> None:
+        n = fabric.n_devices
+        if not (0 <= trojan_device < n and 0 <= spy_device < n):
+            raise ValueError(
+                f"device ids must be in [0, {n}); got trojan="
+                f"{trojan_device}, spy={spy_device}")
+        if trojan_device == spy_device:
+            raise ValueError(
+                "trojan and spy must run on different devices (use the "
+                "single-device channels for same-die contention)")
+        super().__init__(fabric.devices[spy_device], name)
+        self.fabric = fabric
+        self.trojan_device = trojan_device
+        self.spy_device = spy_device
+        self._threshold: Optional[float] = None
+        self._streams = (fabric.devices[trojan_device].stream(),
+                         fabric.devices[spy_device].stream())
+
+    # -- subclass surface ----------------------------------------------
+    def _trojan_body(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _spy_body(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _trojan_config(self) -> KernelConfig:
+        raise NotImplementedError
+
+    def _clone_kwargs(self) -> Dict:
+        """Constructor kwargs that reproduce this channel's tuning."""
+        return {}
+
+    # ------------------------------------------------------------------
+    def swapped(self, name: Optional[str] = None) -> "FabricChannel":
+        """Same channel family with the transfer direction reversed.
+
+        The transport stack uses this for the acknowledgement path: the
+        forward channel runs trojan dev0 → spy dev1, the reverse one
+        dev1 → dev0, each side contending on its own link direction.
+        """
+        return type(self)(
+            self.fabric,
+            trojan_device=self.spy_device,
+            spy_device=self.trojan_device,
+            name=name if name is not None else f"{self.name}-rev",
+            **self._clone_kwargs())
+
+    def _send_bit(self, bit: int) -> Dict:
+        trojan = Kernel(
+            self._trojan_body, self._trojan_config(),
+            args={"bit": bit}, name=f"{self.name}.trojan",
+            context=self.TROJAN_CONTEXT,
+        )
+        spy = Kernel(self._spy_body,
+                     KernelConfig(grid=1, block_threads=32),
+                     name=f"{self.name}.spy", context=self.SPY_CONTEXT)
+        self._streams[0].launch(trojan)
+        self._streams[1].launch(spy)
+        self.fabric.synchronize(kernels=[trojan, spy])
+        return spy.out
+
+    @staticmethod
+    def _mean_latency(spy_out: Dict) -> float:
+        lats = spy_out["latencies"]
+        return sum(lats) / len(lats)
+
+    def calibrate(self, rounds: int = 2) -> Dict[str, float]:
+        """Profile contention/no-contention latency; set the threshold."""
+        lat0 = [self._mean_latency(self._send_bit(0))
+                for _ in range(rounds)]
+        lat1 = [self._mean_latency(self._send_bit(1))
+                for _ in range(rounds)]
+        mean0 = sum(lat0) / len(lat0)
+        mean1 = sum(lat1) / len(lat1)
+        # Same bias as the single-device channels: the contended
+        # distribution has a long low tail (partial kernel overlap,
+        # probes issued before the trojan's traffic is in flight).
+        self._threshold = mean0 + 0.25 * (mean1 - mean0)
+        return {"no_contention": mean0, "contention": mean1,
+                "threshold": self._threshold}
+
+    def transmit(self, bits: Bits) -> ChannelResult:
+        if self._threshold is None:
+            self.calibrate()
+        start = self.device.now
+        received: List[int] = []
+        bit_latencies: Optional[List[List[float]]] = (
+            [] if self.device.obs.signal is not None else None)
+        for bit in bits:
+            out = self._send_bit(int(bit))
+            mean = self._mean_latency(out)
+            received.append(1 if mean > self._threshold else 0)
+            if bit_latencies is not None:
+                bit_latencies.append(out["latencies"])
+        return self._result(bits, received, start,
+                            bit_latencies=bit_latencies,
+                            trojan_device=self.trojan_device,
+                            spy_device=self.spy_device,
+                            threshold=self._threshold)
+
+
+class LinkBandwidthChannel(FabricChannel):
+    """Covert channel through interconnect bandwidth contention.
+
+    Bit 1: the trojan's warps issue remote loads whose 32 lanes each
+    touch a distinct coalescing segment, so every instruction drags
+    ``32 * segment_bytes`` of data back over the link — long
+    serialization bursts on the trojan→spy *response* direction.  The
+    spy times single-segment remote loads the opposite way; its request
+    flits share that direction's port and queue behind the bursts.
+    Bit 0: the trojan sleeps and the spy sees bare round-trip latency.
+    """
+
+    def __init__(self, fabric: Fabric, *,
+                 probes: int = 8,
+                 trojan_warps: int = 2,
+                 trojan_grid: int = 2,
+                 trojan_device: int = 0,
+                 spy_device: int = 1,
+                 name: Optional[str] = None) -> None:
+        super().__init__(fabric, name or "link-bandwidth",
+                         trojan_device=trojan_device,
+                         spy_device=spy_device)
+        self.probes = probes
+        self.trojan_warps = trojan_warps
+        self.trojan_grid = trojan_grid
+        seg = self.device.spec.memory.segment_bytes
+        # Trojan reads a 32-segment stripe of the spy device's memory;
+        # the spy reads one word of the trojan device's.  Loads do not
+        # mutate, so the arrays only need to exist as address ranges.
+        self._burst_addrs = tuple(t * seg for t in range(32))
+        self._probe_addrs = (ARRAY_SPAN,)
+
+    def _clone_kwargs(self) -> Dict:
+        return {"probes": self.probes,
+                "trojan_warps": self.trojan_warps,
+                "trojan_grid": self.trojan_grid}
+
+    def _trojan_config(self) -> KernelConfig:
+        return KernelConfig(grid=self.trojan_grid,
+                            block_threads=32 * self.trojan_warps)
+
+    def _trojan_body(self, ctx):
+        bit = ctx.args["bit"]
+        peer = self.spy_device
+        idle = 2 * self.fabric.link_spec.latency
+        for _ in range(self.probes * 2):
+            if bit:
+                yield isa.RemoteGlobalLoad(peer, self._burst_addrs)
+            else:
+                yield isa.Sleep(idle)
+
+    def _spy_body(self, ctx):
+        peer = self.trojan_device
+        # Let the trojan's first bursts reach the link before sampling
+        # (remote traffic needs one traversal to arrive).
+        yield isa.Sleep(self.fabric.link_spec.latency)
+        latencies: List[float] = []
+        for _ in range(self.probes):
+            t0 = yield isa.ReadClock()
+            yield isa.RemoteGlobalLoad(peer, self._probe_addrs)
+            t1 = yield isa.ReadClock()
+            latencies.append(t1 - t0)
+        if ctx.block_idx == 0 and ctx.warp_in_block == 0:
+            ctx.out["latencies"] = latencies
+
+
+class RemoteAtomicChannel(FabricChannel):
+    """Covert channel through a *remote* device's atomic units.
+
+    Bit 1: the trojan fires warp-wide remote atomics into one hot
+    256 B segment of the spy device's memory — 32 unique addresses
+    serializing at a single remote atomic unit.  The spy times local
+    atomics on its own array, based a multiple of
+    ``segment_bytes * atomic_units`` away so its segment hashes to the
+    *same* unit; under contention its warp queues behind the trojan's
+    ~``32 * atomic_service``-cycle transactions.  Keeping the burst to
+    one segment keeps the link out of the bottleneck: the signal is
+    remote atomic-unit queueing, not bandwidth (that medium is
+    :class:`LinkBandwidthChannel`).
+    """
+
+    def __init__(self, fabric: Fabric, *,
+                 probes: Optional[int] = None,
+                 trojan_warps: int = 2,
+                 trojan_grid: Optional[int] = None,
+                 trojan_device: int = 0,
+                 spy_device: int = 1,
+                 name: Optional[str] = None) -> None:
+        super().__init__(fabric, name or "remote-atomic",
+                         trojan_device=trojan_device,
+                         spy_device=spy_device)
+        spy_spec = self.device.spec
+        if probes is None:
+            probes = DEFAULT_ITERATIONS.get(spy_spec.generation, 20)
+        self.probes = probes
+        self.trojan_warps = trojan_warps
+        self.trojan_grid = (
+            trojan_grid if trojan_grid is not None
+            else fabric.devices[trojan_device].spec.n_sms)
+        mem = spy_spec.memory
+        unit_period = mem.segment_bytes * mem.atomic_units
+        trojan_base = 0
+        spy_base = ((ARRAY_SPAN + unit_period - 1)
+                    // unit_period) * unit_period
+        # One hot segment each, colliding unit-for-unit (unit selection
+        # is segment % atomic_units and both bases are ≡ 0 mod period).
+        self._trojan_addrs = tuple(trojan_base + t * 4 for t in range(32))
+        self._spy_addrs = tuple(spy_base + t * 4 for t in range(32))
+
+    def _clone_kwargs(self) -> Dict:
+        return {"probes": self.probes,
+                "trojan_warps": self.trojan_warps,
+                "trojan_grid": self.trojan_grid}
+
+    def _trojan_config(self) -> KernelConfig:
+        return KernelConfig(grid=self.trojan_grid,
+                            block_threads=32 * self.trojan_warps)
+
+    def _trojan_body(self, ctx):
+        bit = ctx.args["bit"]
+        peer = self.spy_device
+        idle = self.device.spec.memory.transaction_cycles
+        for _ in range(self.probes * 2):
+            if bit:
+                yield isa.RemoteGlobalAtomic(peer, self._trojan_addrs)
+            else:
+                yield isa.Sleep(idle)
+
+    def _spy_body(self, ctx):
+        yield isa.Sleep(self.fabric.link_spec.latency)
+        latencies: List[float] = []
+        for _ in range(self.probes):
+            t0 = yield isa.ReadClock()
+            yield isa.GlobalAtomic(self._spy_addrs)
+            t1 = yield isa.ReadClock()
+            latencies.append(t1 - t0)
+        if ctx.block_idx == 0 and ctx.warp_in_block == 0:
+            ctx.out["latencies"] = latencies

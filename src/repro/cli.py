@@ -16,7 +16,9 @@ Commands
 ``cache`` / ``cache --clear``
     Inspect or empty the result cache.
 ``transmit --gpu kepler --channel sync-l1 --bits 64``
-    Run one covert channel and report bandwidth/BER.
+    Run one covert channel and report bandwidth/BER.  The cross-GPU
+    channels (``link-bandwidth``, ``remote-atomic``) automatically run
+    on a 2-device fabric of the selected spec.
 ``reveng --gpu kepler``
     Full observable-behaviour characterization of a device.
 ``specs``
@@ -71,8 +73,14 @@ from repro.analysis import format_table
 from repro.arch import SPEC_BY_NAME, all_specs, get_spec
 from repro.sim.gpu import Device
 
-#: CLI channel name -> factory(device).
-CHANNEL_FACTORIES: Dict[str, Callable[[Device], object]] = {}
+#: CLI channel name -> factory.  Factories for single-device channels
+#: take a :class:`Device`; factories for the cross-GPU channels (the
+#: names in :data:`FABRIC_CHANNELS`) take a :class:`~repro.sim.Fabric`.
+#: ``_build_channel`` constructs the right substrate either way.
+CHANNEL_FACTORIES: Dict[str, Callable[..., object]] = {}
+
+#: Channel names that run on a 2-device fabric instead of one device.
+FABRIC_CHANNELS = frozenset({"link-bandwidth", "remote-atomic"})
 
 
 def _register_channels() -> None:
@@ -80,11 +88,13 @@ def _register_channels() -> None:
         GlobalAtomicChannel,
         L1CacheChannel,
         L2CacheChannel,
+        LinkBandwidthChannel,
         MultiBitL1Channel,
         MultiBitL2Channel,
         MultiResourceChannel,
         ParallelSFUChannel,
         ParallelSMChannel,
+        RemoteAtomicChannel,
         SFUChannel,
         SynchronizedL1Channel,
         SynchronizedSFUChannel,
@@ -105,6 +115,8 @@ def _register_channels() -> None:
         "parallel-sfu": ParallelSFUChannel,
         "multi-resource": MultiResourceChannel,
         "whitespace-l1": WhitespaceL1Channel,
+        "link-bandwidth": LinkBandwidthChannel,
+        "remote-atomic": RemoteAtomicChannel,
     })
 
 
@@ -124,13 +136,47 @@ def _resolve_spec(name: str):
                        f"{', '.join(sorted(SPEC_BY_NAME))}")
 
 
-def _resolve_channel(name: str) -> Callable[[Device], object]:
+def _resolve_channel(name: str) -> Callable[..., object]:
     """Look up a channel factory with the same friendly failure mode."""
     try:
         return CHANNEL_FACTORIES[name]
     except KeyError:
         raise CliError(f"unknown channel {name!r}; choose from "
                        f"{', '.join(sorted(CHANNEL_FACTORIES))}")
+
+
+def _build_channel(name: str, spec, *, seed: int = 0, observe=None,
+                   engine=None, max_events=None):
+    """Instantiate a channel on the substrate it needs.
+
+    Single-device channels get one :class:`Device`; the cross-GPU
+    channels in :data:`FABRIC_CHANNELS` get a 2-device
+    :class:`~repro.sim.Fabric` of the same spec (trojan on device 0,
+    spy on device 1).  Either way the spy-side device is reachable as
+    ``channel.device``, which is all downstream code (observability,
+    transport, result assembly) relies on.
+    """
+    factory = _resolve_channel(name)
+    kwargs = {"seed": seed, "observe": observe}
+    if engine is not None:
+        kwargs["engine"] = engine
+    if max_events is not None:
+        kwargs["max_events"] = max_events
+    if name in FABRIC_CHANNELS:
+        from repro.sim import Fabric
+        return factory(Fabric(spec, **kwargs))
+    return factory(Device(spec, **kwargs))
+
+
+def _describe_device(channel) -> str:
+    """`device:` line for channel commands (fabric-aware)."""
+    spec = channel.device.spec
+    fabric = getattr(channel, "fabric", None)
+    if fabric is not None:
+        return (f"{fabric.n_devices}x {spec.name} ({spec.generation}, "
+                f"fabric: trojan dev{channel.trojan_device} -> spy "
+                f"dev{channel.spy_device})")
+    return f"{spec.name} ({spec.generation})"
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -141,6 +187,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
                        title="Registered experiments"))
     print("\nChannels for `transmit`:",
           ", ".join(sorted(CHANNEL_FACTORIES)))
+    print("Cross-GPU channels (run on a 2-device fabric):",
+          ", ".join(sorted(FABRIC_CHANNELS)))
     return 0
 
 
@@ -264,11 +312,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 def cmd_transmit(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.gpu)
-    factory = _resolve_channel(args.channel)
-    device = Device(spec, seed=args.seed)
-    channel = factory(device)
+    channel = _build_channel(args.channel, spec, seed=args.seed)
     result = channel.transmit_random(args.bits, seed=args.seed)
-    print(f"device:    {spec.name} ({spec.generation})")
+    print(f"device:    {_describe_device(channel)}")
     print(f"channel:   {channel.name}")
     print(f"bits:      {result.n_bits}")
     print(f"time:      {result.seconds * 1e3:.3f} ms simulated")
@@ -337,16 +383,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import ascii_timeline, write_chrome_trace
     from repro.obs.core import ObserveConfig
     spec = _resolve_spec(args.gpu)
-    factory = _resolve_channel(args.channel)
-    device = Device(spec, seed=args.seed,
-                    observe=ObserveConfig(trace_capacity=args.capacity))
-    channel = factory(device)
+    channel = _build_channel(
+        args.channel, spec, seed=args.seed,
+        observe=ObserveConfig(trace_capacity=args.capacity))
+    device = channel.device
     result = channel.transmit_random(args.bits, seed=args.seed)
     doc = write_chrome_trace(
         args.out, device, channel=channel.name, bits=result.n_bits,
         ber=result.ber, bandwidth_kbps=result.bandwidth_kbps)
     tracer = device.obs.tracer
-    print(f"device:    {spec.name} ({spec.generation})")
+    print(f"device:    {_describe_device(channel)}")
     print(f"channel:   {channel.name}  "
           f"({result.n_bits} bits, BER {result.ber:.4f})")
     print(f"trace:     {args.out}  "
@@ -361,9 +407,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import write_metrics_csv
     spec = _resolve_spec(args.gpu)
-    factory = _resolve_channel(args.target)
-    device = Device(spec, seed=args.seed, observe="metrics")
-    channel = factory(device)
+    channel = _build_channel(args.target, spec, seed=args.seed,
+                             observe="metrics")
+    device = channel.device
     result = channel.transmit_random(args.bits, seed=args.seed)
     if args.json:
         import json
@@ -391,9 +437,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
             rows.append([name, rendered])
         elif value or not args.skip_zero:
             rows.append([name, f"{value:g}"])
+    stats_device = (f"2x {spec.name}" if getattr(device, "fabric", None)
+                    else spec.name)
     print(format_table(
         ["instrument", "value"], rows,
-        title=f"{channel.name} on {spec.name}: {result.n_bits} bits, "
+        title=f"{channel.name} on {stats_device}: {result.n_bits} bits, "
               f"{result.bandwidth_kbps:.1f} Kbps, BER {result.ber:.3f}"))
     if args.out:
         write_metrics_csv(args.out, device, skip_zero=args.skip_zero,
@@ -409,16 +457,19 @@ def _probe_channel(args: argparse.Namespace, name: str) -> dict:
     from repro.obs.attribution import attribution_report
     from repro.obs.quality import channel_quality
     spec = _resolve_spec(args.gpu)
-    factory = _resolve_channel(name)
-    device = Device(spec, seed=args.seed, observe="metrics")
+    channel = _build_channel(name, spec, seed=args.seed,
+                             observe="metrics")
+    device = channel.device
     device.obs.start_attribution()
-    channel = factory(device)
     result = channel.transmit_random(args.bits, seed=args.seed)
     quality = channel_quality(result)
     attribution = attribution_report(device)
     device.obs.stop_attribution()
+    label_device = (f"2x {spec.name}"
+                    if getattr(channel, "fabric", None) is not None
+                    else spec.name)
     return {
-        "label": f"live probe: {channel.name} on {spec.name}",
+        "label": f"live probe: {channel.name} on {label_device}",
         "counts": {},
         "tasks": [],
         "results": [],
@@ -461,33 +512,38 @@ def _build_transfer_channels(args: argparse.Namespace,
     """Forward/reverse channel pair per the `send` flags.
 
     ``--reverse auto`` instantiates a second channel of the same family
-    on the same device with the trojan/spy roles swapped at the
-    application level (the :class:`~repro.channels.reliable.ReliableLink`
-    arrangement); ``--reverse none`` runs blind (perfect feedback
-    assumed).  Noise flags wrap the *forward* wire in a seeded
-    :class:`~repro.transport.testing.NoisyChannel`.
+    with the trojan/spy roles swapped at the application level (the
+    :class:`~repro.channels.reliable.ReliableLink` arrangement): a
+    second instance on the same device for single-device channels, a
+    direction-swapped :meth:`~repro.channels.fabric.FabricChannel.swapped`
+    pair for the cross-GPU ones.  ``--reverse none`` runs blind
+    (perfect feedback assumed).  Noise flags wrap the *forward* wire in
+    a seeded :class:`~repro.transport.testing.NoisyChannel`.
     """
     from repro.transport import NoisyChannel
     spec = _resolve_spec(args.gpu)
-    factory = _resolve_channel(args.channel)
     # The default 50M-event runaway guard is sized for single
     # transmissions; a file transfer is thousands of them on one device
     # (sync-l1 costs ~3.6k events per wire bit).  Scale the budget with
     # the payload so big-but-honest transfers finish while a livelocked
     # kernel still trips the guard.
     budget = 50_000_000 + 1_000_000 * payload_bytes
-    device = Device(spec, seed=args.seed, engine=args.engine,
-                    max_events=budget,
-                    observe="metrics" if args.observe else None)
-    forward = factory(device)
+    raw = _build_channel(args.channel, spec, seed=args.seed,
+                         engine=args.engine, max_events=budget,
+                         observe="metrics" if args.observe else None)
+    device = raw.device
+    forward = raw
     if args.noise_flip or args.noise_drop:
-        forward = NoisyChannel(forward, flip_rate=args.noise_flip,
+        forward = NoisyChannel(raw, flip_rate=args.noise_flip,
                                drop_rate=args.noise_drop,
                                seed=args.noise_seed)
     reverse = None
     if args.reverse == "auto":
-        reverse = factory(device)
-        reverse.name = f"{reverse.name}-rev"
+        if hasattr(raw, "swapped"):
+            reverse = raw.swapped()
+        else:
+            reverse = _resolve_channel(args.channel)(device)
+            reverse.name = f"{reverse.name}-rev"
     return device, forward, reverse
 
 
@@ -530,8 +586,10 @@ def cmd_send(args: argparse.Namespace) -> int:
         # e.g. a window too wide for 8-bit go-back-N sequence numbers
         raise CliError(str(exc))
     wall = time.perf_counter() - start
-    print(f"device:    {device.spec.name} ({device.spec.generation}, "
-          f"engine={device.engine_mode})")
+    fabric = getattr(device, "fabric", None)
+    devices = f"{fabric.n_devices}x " if fabric is not None else ""
+    print(f"device:    {devices}{device.spec.name} "
+          f"({device.spec.generation}, engine={device.engine_mode})")
     print(f"channel:   {forward.name}"
           + (f" / ack via {reverse.name}" if reverse else
              " / blind (no reverse channel)"))

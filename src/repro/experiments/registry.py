@@ -203,6 +203,32 @@ def _run_table3(spec, seed, profile) -> ExperimentResult:
         ["GPU", "configuration", "Kbps"], rows)
 
 
+def _run_xdev(spec, seed, profile) -> ExperimentResult:
+    """Cross-device channels on a 2-GPU fabric (beyond the paper).
+
+    The paper's channels live inside one die; this experiment runs the
+    interconnect family (link bandwidth, remote atomics) with the
+    trojan on device 0 and the spy on device 1 of a two-device fabric,
+    same protocol and metrics as Figure 10.
+    """
+    from repro.channels import LinkBandwidthChannel, RemoteAtomicChannel
+    from repro.sim import Fabric
+    dev_spec = spec if spec is not None else KEPLER_K40C
+    base_seed = seed if seed is not None else 9
+    n_bits = 8 if profile == "smoke" else 32
+    rows = []
+    for name, cls in (("link-bandwidth", LinkBandwidthChannel),
+                      ("remote-atomic", RemoteAtomicChannel)):
+        fabric = Fabric(dev_spec, seed=base_seed)
+        result = cls(fabric).transmit_random(n_bits, seed=base_seed)
+        rows.append([dev_spec.generation, name,
+                     round(result.bandwidth_kbps, 1),
+                     round(result.ber, 3)])
+    return ExperimentResult(
+        "xdev", "cross-device fabric channels (2 GPUs)",
+        ["GPU", "channel", "Kbps", "BER"], rows)
+
+
 #: Experiment id -> registered entry, in paper order.
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.experiment_id: exp for exp in (
@@ -216,6 +242,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("table1", "per-SM resources", _run_table1),
         Experiment("table2", "improved L1 channels", _run_table2),
         Experiment("table3", "improved SFU channels", _run_table3),
+        Experiment("xdev", "cross-device fabric channels", _run_xdev),
     )
 }
 
@@ -224,7 +251,7 @@ def run_experiment(experiment_id: str,
                    spec: Optional[GPUSpec] = None,
                    seed: Optional[int] = None,
                    profile: str = "paper") -> ExperimentResult:
-    """Run one registered experiment by id (``fig2`` ... ``table3``).
+    """Run one registered experiment by id (``fig2`` ... ``xdev``).
 
     With no arguments this reproduces the paper configuration exactly
     as before; ``spec``/``seed``/``profile`` select one grid cell (see

@@ -44,12 +44,14 @@ __all__ = [
 #: Ordered (regex, resource group) classification rules over port names.
 #: First match wins; the names are assigned by the simulator structures
 #: themselves (``sm0.constL1.port``, ``dram3``, ``atomic1``,
-#: ``sm0.ws1.issue``, ``sm0.ws1.sfu``, ``sm0.shared``, ...).
+#: ``sm0.ws1.issue``, ``sm0.ws1.sfu``, ``sm0.shared``,
+#: ``link0-1.fwd``, ...).
 _PORT_CLASSES: List[Tuple[re.Pattern, str]] = [
     (re.compile(r"^sm\d+\.constL1\b"), "l1_const_cache"),
     (re.compile(r"^constL2\b"), "l2_const_cache"),
     (re.compile(r"^dram\d+$"), "dram_channel"),
     (re.compile(r"^atomic\d+$"), "atomic_unit"),
+    (re.compile(r"^link\d+-\d+\.(fwd|rev)$"), "interconnect_link"),
     (re.compile(r"^sm\d+\.ws\d+\.issue$"), "scheduler_issue"),
     (re.compile(r"^sm\d+\.(ws\d+|shared)\.(sp|dpu|sfu|ldst)$"),
      "functional_unit"),

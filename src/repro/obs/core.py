@@ -175,7 +175,25 @@ class DeviceObservability:
                 ports[bank.issue_port.name] = bank.issue_port
                 for port in bank.unit_ports.values():
                     ports[port.name] = port
+        for port in self._link_ports():
+            ports[port.name] = port
         return ports
+
+    def _link_ports(self) -> list:
+        """Both directions of every fabric link incident to this device.
+
+        Empty for a standalone device.  Fabric members include their
+        links so attribution and ``snapshot()`` see interconnect
+        queueing (the ``interconnect_link`` resource group).
+        """
+        fabric = getattr(self.device, "fabric", None)
+        if fabric is None:
+            return []
+        device_id = self.device.device_id
+        return [port
+                for link in fabric.links.values()
+                if device_id in link.endpoints
+                for port in link.ports.values()]
 
     def start_attribution(self) -> None:
         """Attach a per-context wait ledger to every device port.
@@ -246,6 +264,8 @@ class DeviceObservability:
                 for port in bank.unit_ports.values():
                     out.update(self._port_stats(port))
             out.update(self._port_stats(sm.shared_port))
+        for port in self._link_ports():
+            out.update(self._port_stats(port))
         out["scheduler.pending_blocks"] = float(
             len(device.block_scheduler.pending))
         return out

@@ -17,7 +17,9 @@ actually uses:
   ``analysis.sweeps.bandwidth_by_device`` per-spec trials
   (historically ``seed + 31 * idx + 1``);
 * :data:`TUNING_STRIDE` (1), with ``offset=0`` —
-  ``channels.tuning`` probes (historically ``seed + iterations``).
+  ``channels.tuning`` probes (historically ``seed + iterations``);
+* :data:`FABRIC_DEVICE_STRIDE` (43) — per-device seeds of a
+  multi-GPU :class:`~repro.sim.fabric.Fabric` (index = device id).
 
 These values are frozen: changing any of them changes every derived
 device seed and therefore every golden number.
@@ -31,6 +33,7 @@ __all__ = [
     "derive_seed",
     "BER_SWEEP_STRIDE",
     "DEVICE_SWEEP_STRIDE",
+    "FABRIC_DEVICE_STRIDE",
     "TUNING_STRIDE",
 ]
 
@@ -42,6 +45,12 @@ DEVICE_SWEEP_STRIDE = 31
 
 #: Stream stride for iteration-count tuning probes (index = iterations).
 TUNING_STRIDE = 1
+
+#: Stream stride for per-device seeds within a multi-GPU fabric
+#: (``repro.sim.fabric.Fabric``; index = device id).  Coprime with the
+#: other strides so a fabric's members never share an RNG stream with
+#: each other, with sweep trials, or with the message seed.
+FABRIC_DEVICE_STRIDE = 43
 
 
 def derive_seed(base: int, stride: int, index: int,

@@ -19,9 +19,10 @@ Kernels are Python generator functions executed at warp granularity; see
 """
 
 from repro.sim.engine import Engine
+from repro.sim.fabric import Fabric, FabricError, Link, LinkSpec
 from repro.sim.gpu import Device
 from repro.sim.kernel import Kernel, KernelConfig, WarpContext
-from repro.sim.snapshot import DeviceSnapshot, SnapshotError
+from repro.sim.snapshot import DeviceSnapshot, FabricSnapshot, SnapshotError
 from repro.sim.stream import Stream
 from repro.sim import isa
 
@@ -29,8 +30,13 @@ __all__ = [
     "Device",
     "DeviceSnapshot",
     "Engine",
+    "Fabric",
+    "FabricError",
+    "FabricSnapshot",
     "Kernel",
     "KernelConfig",
+    "Link",
+    "LinkSpec",
     "SnapshotError",
     "Stream",
     "WarpContext",

@@ -1,0 +1,362 @@
+"""Multi-GPU fabric: N devices joined by bounded bidirectional links.
+
+The paper's channels live inside one die; its follow-ons (NVBleed,
+"Beyond the Bridge" — see PAPERS.md) move the same contention
+primitives onto the *interconnect*: NVLink/PCIe link bandwidth, remote
+atomics, memory reachable across devices.  This module provides the
+substrate for that family:
+
+* :class:`Fabric` — N :class:`~repro.sim.gpu.Device`\\ s driven by **one
+  shared event engine**, joined all-pairs by :class:`Link`\\ s.
+* :class:`Link` — a bounded bidirectional interconnect: one
+  :class:`~repro.sim.resources.PipelinedPort` per direction (bandwidth
+  contention, exactly the shape every other contended resource uses)
+  plus a fixed traversal latency.
+* Remote paths — :meth:`Fabric.remote_load` / :meth:`Fabric.remote_store`
+  / :meth:`Fabric.remote_atomic` carry a warp's coalesced segments over
+  the link, service them at the *remote* device's
+  :class:`~repro.sim.memory.GlobalMemory`, and return over the link.
+  Kernels reach them through the ``Remote*`` instructions in
+  :mod:`repro.sim.isa`.
+
+Determinism contract — the sync-period invariant
+------------------------------------------------
+
+Distributed simulators (SimBricks is the exemplar) couple component
+simulators through latency-bounded channels and stay deterministic by
+the *sync-period ≤ link-latency* invariant: a simulator may run ahead
+of its peers by at most one sync period, and because every cross-device
+message takes at least one link latency to arrive, no message can ever
+arrive in a peer's past.  This fabric is the degenerate (and strongest)
+form of that design: all devices share **one** event heap, so the
+"sync period" is effectively zero and cross-device event ordering is
+the engine's FIFO-among-equals heap order — bit-identical across the
+``fast``/``events``/``tick`` engine modes.  The invariant is still
+validated at construction (``sync_period <= link.latency``) because it
+is the contract any future *distributed* engine must keep to preserve
+these exact timings; see ``docs/fabric.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.specs import GPUSpec
+from repro.seeds import FABRIC_DEVICE_STRIDE, derive_seed
+from repro.sim.engine import Engine, TickEngine
+from repro.sim.gpu import Device, resolve_engine_mode
+from repro.sim.resources import PipelinedPort
+
+__all__ = ["FabricError", "LinkSpec", "Link", "Fabric"]
+
+#: Default shared event budget for a fabric (two devices' worth of the
+#: single-device default).
+DEFAULT_FABRIC_MAX_EVENTS = 100_000_000
+
+
+class FabricError(RuntimeError):
+    """Invalid fabric construction or an invalid cross-device request."""
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Parameters of one interconnect link (both directions alike).
+
+    Defaults model a PCIe-3.0-x16-class interconnect at GPU core clock:
+    ~12 GB/s per direction at ~750 MHz is 16 B/cycle, and a one-way
+    traversal (serialization + switch + DMA setup) on the order of a
+    microsecond is ~700 cycles.  ``flit_bytes`` is the size of a
+    control message (a read request or a write/atomic acknowledgement);
+    data always moves in whole coalescing segments.
+    """
+
+    latency: float = 700.0
+    bytes_per_cycle: float = 16.0
+    flit_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ValueError("link latency must be positive")
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.flit_bytes <= 0:
+            raise ValueError("flit_bytes must be positive")
+
+    def occupancy(self, nbytes: float) -> float:
+        """Cycles ``nbytes`` occupies one direction of the link."""
+        return nbytes / self.bytes_per_cycle
+
+
+class Link:
+    """One bidirectional link between two devices.
+
+    Each direction is an independent :class:`PipelinedPort` (named
+    ``link{a}-{b}.fwd`` for a→b and ``link{a}-{b}.rev`` for b→a), so
+    traffic in opposite directions never queues against itself — but
+    two kernels pushing data the same way contend exactly like warps
+    sharing an SFU dispatch port.  The attribution layer classifies
+    these port names into the ``interconnect_link`` resource group.
+    """
+
+    __slots__ = ("spec", "endpoints", "ports")
+
+    def __init__(self, spec: LinkSpec, a: int, b: int) -> None:
+        if a == b:
+            raise FabricError("a link needs two distinct endpoints")
+        a, b = (a, b) if a < b else (b, a)
+        self.spec = spec
+        self.endpoints: Tuple[int, int] = (a, b)
+        self.ports: Dict[Tuple[int, int], PipelinedPort] = {
+            (a, b): PipelinedPort(name=f"link{a}-{b}.fwd"),
+            (b, a): PipelinedPort(name=f"link{a}-{b}.rev"),
+        }
+
+    def traverse(self, src: int, dst: int, now: float, nbytes: float,
+                 context: Optional[int] = None) -> float:
+        """Send ``nbytes`` from ``src`` to ``dst``; returns arrival time.
+
+        The payload first acquires the direction's port for its
+        serialization time (queueing behind in-flight transfers — the
+        contention the link-bandwidth channel modulates), then spends
+        the fixed traversal latency in flight.
+        """
+        try:
+            port = self.ports[(src, dst)]
+        except KeyError:
+            raise FabricError(
+                f"link {self.endpoints} does not connect {src}->{dst}")
+        occupancy = self.spec.occupancy(nbytes)
+        start = port.acquire(now, occupancy, context)
+        return start + occupancy + self.spec.latency
+
+    def reset_stats(self) -> None:
+        """Zero per-direction statistics; in-flight timing survives."""
+        for port in self.ports.values():
+            port.reset_stats()
+
+
+class Fabric:
+    """N simulated GPGPUs on one shared event engine, joined by links.
+
+    >>> from repro.arch import KEPLER_K40C
+    >>> from repro.sim.fabric import Fabric
+    >>> fabric = Fabric(KEPLER_K40C, 2)
+    >>> fabric.devices[0].fabric is fabric
+    True
+    >>> fabric.devices[0].engine is fabric.devices[1].engine
+    True
+
+    ``spec`` may be one :class:`GPUSpec` (replicated ``n_devices``
+    times — the homogeneous DGX-style box) or a sequence of specs (a
+    heterogeneous fabric).  Per-device seeds derive from ``seed`` via
+    the frozen :data:`~repro.seeds.FABRIC_DEVICE_STRIDE` stream so a
+    fabric's devices never share RNG streams with each other or with
+    the transmitted message.
+    """
+
+    def __init__(self, spec: Union[GPUSpec, Sequence[GPUSpec]],
+                 n_devices: Optional[int] = None, *,
+                 seed: int = 0,
+                 link: Optional[LinkSpec] = None,
+                 sync_period: Optional[float] = None,
+                 engine: Optional[str] = None,
+                 max_events: Optional[int] = DEFAULT_FABRIC_MAX_EVENTS,
+                 observe=None) -> None:
+        if isinstance(spec, GPUSpec):
+            specs = [spec] * (2 if n_devices is None else n_devices)
+        else:
+            specs = list(spec)
+            if n_devices is not None and n_devices != len(specs):
+                raise FabricError(
+                    f"n_devices={n_devices} contradicts the "
+                    f"{len(specs)} specs given")
+        if len(specs) < 2:
+            raise FabricError("a fabric needs at least 2 devices")
+        self.link_spec = link if link is not None else LinkSpec()
+        if sync_period is None:
+            sync_period = self.link_spec.latency
+        if not 0 < sync_period <= self.link_spec.latency:
+            raise FabricError(
+                f"sync_period ({sync_period}) must be in "
+                f"(0, link latency ({self.link_spec.latency})]: a device "
+                "running further ahead than one link traversal could "
+                "receive a remote request in its simulated past, making "
+                "cross-device event order engine-dependent")
+        self.sync_period = sync_period
+        self.seed = seed
+        self.engine_mode = resolve_engine_mode(engine)
+        engine_cls = TickEngine if self.engine_mode == "tick" else Engine
+        #: The one shared engine every member device schedules on.
+        self.engine = engine_cls(max_events=max_events)
+        self.devices: List[Device] = [
+            Device(dev_spec,
+                   seed=derive_seed(seed, FABRIC_DEVICE_STRIDE, i),
+                   max_events=max_events,
+                   observe=observe,
+                   engine=self.engine_mode,
+                   fabric=self,
+                   device_id=i)
+            for i, dev_spec in enumerate(specs)
+        ]
+        #: ``(i, j)`` with ``i < j`` -> the link joining devices i and j.
+        self.links: Dict[Tuple[int, int], Link] = {
+            (i, j): Link(self.link_spec, i, j)
+            for i in range(len(specs))
+            for j in range(i + 1, len(specs))
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_devices(self) -> int:
+        """Number of member devices."""
+        return len(self.devices)
+
+    @property
+    def now(self) -> float:
+        """Current simulated cycle (shared by every member device)."""
+        return self.engine.now
+
+    def link(self, a: int, b: int) -> Link:
+        """The link joining devices ``a`` and ``b``."""
+        key = (a, b) if a < b else (b, a)
+        try:
+            return self.links[key]
+        except KeyError:
+            raise FabricError(f"no link between devices {a} and {b} "
+                              f"(fabric has {self.n_devices} devices)")
+
+    def _check_device(self, device_id: int) -> Device:
+        if not 0 <= device_id < len(self.devices):
+            raise FabricError(
+                f"no device {device_id} in a {self.n_devices}-device "
+                "fabric")
+        return self.devices[device_id]
+
+    # ------------------------------------------------------------------
+    # Remote memory paths
+    # ------------------------------------------------------------------
+    def _segments(self, peer: Device, addrs: Sequence[int]) -> int:
+        seg_bytes = peer.spec.memory.segment_bytes
+        return len({a // seg_bytes for a in addrs})
+
+    def remote_load(self, src: int, dst: int, now: float,
+                    addrs: Sequence[int],
+                    context: Optional[int] = None) -> float:
+        """A warp on ``src`` loads from ``dst``'s global memory.
+
+        Request flits travel src→dst, the access services at the remote
+        :class:`~repro.sim.memory.GlobalMemory` (contending with the
+        remote device's own traffic), and the data segments return
+        dst→src.  Returns the completion time.
+        """
+        peer = self._check_device(dst)
+        if src == dst:
+            return peer.memory.warp_load(now, addrs, context)
+        link = self.link(src, dst)
+        nseg = self._segments(peer, addrs)
+        arrive = link.traverse(src, dst, now,
+                               nseg * self.link_spec.flit_bytes, context)
+        served = peer.memory.warp_load(arrive, addrs, context)
+        return link.traverse(dst, src, served,
+                             nseg * peer.spec.memory.segment_bytes,
+                             context)
+
+    def remote_store(self, src: int, dst: int, now: float,
+                     addrs: Sequence[int],
+                     context: Optional[int] = None) -> float:
+        """A warp on ``src`` stores to ``dst``'s global memory.
+
+        Data segments travel src→dst, retire at the remote write queue,
+        and a flit-sized acknowledgement returns (release semantics:
+        the issuing warp observes remote completion, not fire-and-
+        forget).
+        """
+        peer = self._check_device(dst)
+        if src == dst:
+            return peer.memory.warp_store(now, addrs, context)
+        link = self.link(src, dst)
+        nseg = self._segments(peer, addrs)
+        arrive = link.traverse(src, dst, now,
+                               nseg * peer.spec.memory.segment_bytes,
+                               context)
+        served = peer.memory.warp_store(arrive, addrs, context)
+        return link.traverse(dst, src, served,
+                             nseg * self.link_spec.flit_bytes, context)
+
+    def remote_atomic(self, src: int, dst: int, now: float,
+                      addrs: Sequence[int],
+                      context: Optional[int] = None) -> float:
+        """A warp on ``src`` atomically updates ``dst``'s global memory.
+
+        Operand segments travel src→dst, serialize at the *remote*
+        atomic units (the contention the remote-atomic channel
+        modulates), and a flit-sized completion returns.
+        """
+        peer = self._check_device(dst)
+        if src == dst:
+            return peer.memory.warp_atomic(now, addrs, context)
+        link = self.link(src, dst)
+        nseg = self._segments(peer, addrs)
+        arrive = link.traverse(src, dst, now,
+                               nseg * peer.spec.memory.segment_bytes,
+                               context)
+        served = peer.memory.warp_atomic(arrive, addrs, context)
+        return link.traverse(dst, src, served,
+                             nseg * self.link_spec.flit_bytes, context)
+
+    # ------------------------------------------------------------------
+    # Host API
+    # ------------------------------------------------------------------
+    def synchronize(self, kernels=None) -> None:
+        """Run the fabric until the given work (default: all) retires.
+
+        With ``kernels`` (possibly spanning devices — the shared heap
+        executes every device's events regardless of which member
+        drains it) this waits for exactly those kernels; without, it
+        drains every member device in turn.
+        """
+        if kernels is not None:
+            self.devices[0].synchronize(kernels=kernels)
+            return
+        for device in self.devices:
+            device.synchronize()
+
+    def flush_caches(self) -> None:
+        """Invalidate every member device's constant caches."""
+        for device in self.devices:
+            device.flush_caches()
+
+    def reset_stats(self) -> None:
+        """Zero every instrument on every device and every link."""
+        for device in self.devices:
+            device.reset_stats()
+        for link in self.links.values():
+            link.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture the full state of this (quiescent) fabric.
+
+        Returns a picklable, content-fingerprinted
+        :class:`~repro.sim.snapshot.FabricSnapshot`; member devices
+        cannot be snapshotted individually
+        (``device.snapshot()`` raises
+        :class:`~repro.sim.snapshot.SnapshotError` for fabric members —
+        their link and engine state is shared).
+        """
+        from repro.sim.snapshot import snapshot_fabric
+        return snapshot_fabric(self)
+
+    @classmethod
+    def fork(cls, snapshot, *, engine: Optional[str] = None) -> "Fabric":
+        """Build a new fabric carrying ``snapshot``'s exact state."""
+        from repro.sim.snapshot import fork_fabric
+        return fork_fabric(snapshot, engine=engine)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "+".join(d.spec.generation for d in self.devices)
+        return (f"Fabric({names}, links={len(self.links)}, "
+                f"engine={self.engine_mode})")

@@ -23,7 +23,7 @@ True
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -75,7 +75,9 @@ class Device:
                  clock_model: Optional[ClockModel] = None,
                  max_events: Optional[int] = 50_000_000,
                  observe: Union[None, bool, str, ObserveConfig] = None,
-                 engine: Optional[str] = None
+                 engine: Optional[str] = None,
+                 fabric: Optional[Any] = None,
+                 device_id: int = 0
                  ) -> None:
         if scheduler_assignment not in ("round_robin", "random"):
             raise ValueError(
@@ -85,8 +87,23 @@ class Device:
         self.spec = spec
         self.seed = seed
         self.engine_mode = engine
-        engine_cls = TickEngine if engine == "tick" else Engine
-        self.engine = engine_cls(max_events=max_events)
+        #: Owning :class:`~repro.sim.fabric.Fabric` (None for a
+        #: standalone device) and this device's index within it.  Wired
+        #: by the Fabric constructor, not meant to be passed directly.
+        self.fabric = fabric
+        self.device_id = device_id
+        if fabric is not None:
+            if engine != fabric.engine_mode:
+                raise ValueError(
+                    f"device engine mode {engine!r} must match its "
+                    f"fabric's ({fabric.engine_mode!r}): members share "
+                    "one event engine")
+            # Members share the fabric's engine so cross-device event
+            # ordering is the one heap's deterministic FIFO order.
+            self.engine = fabric.engine
+        else:
+            engine_cls = TickEngine if engine == "tick" else Engine
+            self.engine = engine_cls(max_events=max_events)
         self.rng = np.random.default_rng(seed)
         self.clock = clock_model if clock_model is not None else ClockModel(
             jitter_cycles=spec.clock_jitter_cycles, rng=self.rng
@@ -136,7 +153,12 @@ class Device:
                 sm.instr_counter = instr_counter
                 for bank in sm.fu_banks:
                     bank.metrics = triples
-        if obs.trace_on and obs.config.engine_sample_every > 0:
+        if (obs.trace_on and obs.config.engine_sample_every > 0
+                and self.engine.profile_hook is None):
+            # On a fabric's shared engine only the first member installs
+            # the sampler (one tap per engine); later members see the
+            # hook set and fall back to the reference warp driver too,
+            # keeping every member's event stream identical.
             every = obs.config.engine_sample_every
             tracer = obs.tracer
 

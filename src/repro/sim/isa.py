@@ -16,6 +16,8 @@ instruction        models
 :class:`SharedAccess`  a shared-memory access with bank conflicts
 :class:`FuOp`      arithmetic on SP/DPU/SFU pipes (``__sinf``, ``sqrt``…)
 :class:`Sleep`     idle cycles (predicated-off / stalled warp)
+:class:`RemoteGlobalLoad`/:class:`RemoteGlobalStore`/:class:`RemoteGlobalAtomic`
+\\                  peer-device accesses over a fabric link (multi-GPU)
 =================  ====================================================
 
 Instruction *results* (returned by ``yield``) are :class:`MemResult` for
@@ -104,6 +106,67 @@ class GlobalAtomic(Instruction):
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"GlobalAtomic({len(self.addrs)} addrs)"
+
+
+class RemoteGlobalLoad(Instruction):
+    """Load from a *peer device's* global memory over the fabric.
+
+    Requires the issuing device to be a member of a
+    :class:`~repro.sim.fabric.Fabric`; ``peer`` is the target device
+    index.  The access traverses the link (queueing behind in-flight
+    transfers), services at the remote memory, and the data segments
+    return over the link — see :meth:`repro.sim.fabric.Fabric.remote_load`.
+    """
+
+    __slots__ = ("peer", "addrs")
+
+    def __init__(self, peer: int, addrs: Sequence[int]) -> None:
+        if peer < 0:
+            raise ValueError("peer device index must be non-negative")
+        self.peer = peer
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("remote load needs at least one address")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RemoteGlobalLoad(peer={self.peer}, {len(self.addrs)} addrs)"
+
+
+class RemoteGlobalStore(Instruction):
+    """Store to a peer device's global memory over the fabric."""
+
+    __slots__ = ("peer", "addrs")
+
+    def __init__(self, peer: int, addrs: Sequence[int]) -> None:
+        if peer < 0:
+            raise ValueError("peer device index must be non-negative")
+        self.peer = peer
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("remote store needs at least one address")
+
+
+class RemoteGlobalAtomic(Instruction):
+    """Atomic read-modify-write on a peer device's global memory.
+
+    Serializes at the *remote* device's atomic units after traversing
+    the link — the NVBleed-style contention medium of the
+    ``remote-atomic`` cross-device channel.
+    """
+
+    __slots__ = ("peer", "addrs")
+
+    def __init__(self, peer: int, addrs: Sequence[int]) -> None:
+        if peer < 0:
+            raise ValueError("peer device index must be non-negative")
+        self.peer = peer
+        self.addrs: Tuple[int, ...] = tuple(addrs)
+        if not self.addrs:
+            raise ValueError("remote atomic needs at least one address")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"RemoteGlobalAtomic(peer={self.peer}, "
+                f"{len(self.addrs)} addrs)")
 
 
 class SharedAccess(Instruction):

@@ -413,6 +413,24 @@ class SM:
             finish = self.device.memory.warp_atomic(now, instr.addrs, ctx_id)
             return finish, isa.MemResult(finish - now, "atomic")
 
+        if isinstance(instr, isa.RemoteGlobalLoad):
+            fabric = self._fabric_for(instr)
+            finish = fabric.remote_load(self.device.device_id, instr.peer,
+                                        now, instr.addrs, ctx_id)
+            return finish, isa.MemResult(finish - now, "remote")
+
+        if isinstance(instr, isa.RemoteGlobalStore):
+            fabric = self._fabric_for(instr)
+            finish = fabric.remote_store(self.device.device_id, instr.peer,
+                                         now, instr.addrs, ctx_id)
+            return finish, isa.MemResult(finish - now, "remote")
+
+        if isinstance(instr, isa.RemoteGlobalAtomic):
+            fabric = self._fabric_for(instr)
+            finish = fabric.remote_atomic(self.device.device_id, instr.peer,
+                                          now, instr.addrs, ctx_id)
+            return finish, isa.MemResult(finish - now, "remote-atomic")
+
         if isinstance(instr, isa.SharedAccess):
             start = self.shared_port.acquire(
                 now, float(instr.bank_conflicts), ctx_id
@@ -440,6 +458,15 @@ class SM:
             return now + instr.cycles, None
 
         raise TypeError(f"kernel yielded a non-instruction: {instr!r}")
+
+    def _fabric_for(self, instr: isa.Instruction):
+        fabric = self.device.fabric
+        if fabric is None:
+            raise SimulationError(
+                f"{type(instr).__name__} requires the device to be a "
+                "member of a Fabric (see repro.sim.fabric); standalone "
+                "devices have no interconnect")
+        return fabric
 
     def _const_load(self, now: float, warp: Warp,
                     addr: int) -> Tuple[float, isa.MemResult]:

@@ -51,8 +51,11 @@ from repro.obs.provenance import code_version
 __all__ = [
     "SnapshotError",
     "DeviceSnapshot",
+    "FabricSnapshot",
     "snapshot_device",
     "fork_device",
+    "snapshot_fabric",
+    "fork_fabric",
     "memoized_point",
 ]
 
@@ -321,6 +324,12 @@ def _fingerprint(spec: GPUSpec, config: Dict[str, Any],
 
 def snapshot_device(device: Any) -> DeviceSnapshot:
     """Capture a quiescent device; raises :class:`SnapshotError` if not."""
+    if getattr(device, "fabric", None) is not None:
+        raise SnapshotError(
+            f"device {device.device_id} is a member of a fabric; its "
+            "engine and link state are shared with its peers, so a "
+            "single-device capture would be incomplete — snapshot the "
+            "whole fabric instead (Fabric.snapshot())")
     _check_quiescent(device)
     _check_snapshotable(device)
     config = _device_config(device)
@@ -414,6 +423,110 @@ def fork_device(snapshot: DeviceSnapshot, *,
         )
         _restore_state(device, snapshot.state, reseed=seed is not None)
         return device
+
+
+# ----------------------------------------------------------------------
+# Fabric snapshot / fork
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FabricSnapshot:
+    """Picklable capture of one quiescent multi-device fabric.
+
+    Holds every member device's state payload plus the per-direction
+    link port timing; ``fingerprint`` covers the member fingerprints,
+    the link states and the fabric topology/link parameters, with the
+    same engine-mode independence as :class:`DeviceSnapshot`.
+    """
+
+    specs: Tuple[GPUSpec, ...]
+    config: Dict[str, Any]
+    device_states: Tuple[Dict[str, Any], ...]
+    links: Dict[str, Any]
+    fingerprint: str
+    version: str
+    engine_mode: str
+
+
+def snapshot_fabric(fabric: Any) -> FabricSnapshot:
+    """Capture a quiescent fabric; raises :class:`SnapshotError` if not.
+
+    Quiescence and snapshotability are checked per member device (the
+    shared heap must be empty, every stream retired on every device,
+    no active attribution ledgers anywhere).
+    """
+    for device in fabric.devices:
+        _check_quiescent(device)
+        _check_snapshotable(device)
+    device_states = tuple(_capture_state(d) for d in fabric.devices)
+    device_fingerprints = [
+        _fingerprint(d.spec, _device_config(d), state)
+        for d, state in zip(fabric.devices, device_states)
+    ]
+    links = {
+        f"{i}-{j}": {("fwd" if src == i else "rev"): _port_state(port)
+                     for (src, _dst), port in link.ports.items()}
+        for (i, j), link in fabric.links.items()
+    }
+    spec = fabric.link_spec
+    config = {
+        "seed": fabric.seed,
+        "n_devices": fabric.n_devices,
+        "link": {"latency": spec.latency,
+                 "bytes_per_cycle": spec.bytes_per_cycle,
+                 "flit_bytes": spec.flit_bytes},
+        "sync_period": fabric.sync_period,
+        "max_events": fabric.engine._max_events,
+        "observe": fabric.devices[0].obs.config,
+    }
+    payload = {
+        "devices": device_fingerprints,
+        "links": {key: sorted(ports.items())
+                  for key, ports in sorted(links.items())},
+        "link_spec": config["link"],
+        "sync_period": config["sync_period"],
+        "seed": config["seed"],
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return FabricSnapshot(
+        specs=tuple(d.spec for d in fabric.devices),
+        config=config,
+        device_states=device_states,
+        links=links,
+        fingerprint=hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        version=code_version(),
+        engine_mode=fabric.engine_mode,
+    )
+
+
+def fork_fabric(snapshot: FabricSnapshot, *,
+                engine: Optional[str] = None) -> Any:
+    """Build a fresh fabric carrying the snapshot's exact state.
+
+    Like :func:`fork_device`, snapshots are engine-mode portable; the
+    restored fabric reproduces the captured fingerprint bit for bit
+    (``tests/test_fabric.py`` round-trips it).
+    """
+    from repro.sim.fabric import Fabric, LinkSpec
+
+    cfg = snapshot.config
+    fabric = Fabric(
+        list(snapshot.specs),
+        seed=cfg["seed"],
+        link=LinkSpec(**cfg["link"]),
+        sync_period=cfg["sync_period"],
+        max_events=cfg["max_events"],
+        observe=cfg["observe"],
+        engine=engine if engine is not None else snapshot.engine_mode,
+    )
+    for device, state in zip(fabric.devices, snapshot.device_states):
+        # Every member captured the same shared-engine counters, so the
+        # repeated engine restore is idempotent.
+        _restore_state(device, state, reseed=False)
+    for (i, j), link in fabric.links.items():
+        stored = snapshot.links[f"{i}-{j}"]
+        for (src, _dst), port in link.ports.items():
+            _restore_port(port, stored["fwd" if src == i else "rev"])
+    return fabric
 
 
 # ----------------------------------------------------------------------

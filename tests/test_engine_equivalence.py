@@ -136,6 +136,73 @@ def test_transport_golden_identical_across_modes():
 
 
 # ----------------------------------------------------------------------
+# Fabric runs: cross-device channels, pinned across all three modes
+# ----------------------------------------------------------------------
+def _fabric_fingerprint(fabric, kernels=()):
+    prints = [device_fingerprint(d) for d in fabric.devices]
+    links = {
+        f"{a}-{b}": (port.busy_cycles, port.requests, port.free_at)
+        for (a, b), link in sorted(fabric.links.items())
+        for port in link.ports.values()
+    }
+    return {"devices": prints, "links": links,
+            "outs": [k.out for k in kernels]}
+
+
+@pytest.mark.parametrize("channel_name", ["link-bandwidth",
+                                          "remote-atomic"])
+def test_fabric_channel_three_modes(channel_name):
+    """A cross-device transmission is bit-identical in every engine
+    mode, down to per-device engine state and link port statistics."""
+    from repro.channels import LinkBandwidthChannel, RemoteAtomicChannel
+    from repro.sim import Fabric
+    cls = {"link-bandwidth": LinkBandwidthChannel,
+           "remote-atomic": RemoteAtomicChannel}[channel_name]
+    bits = [1, 0, 0, 1, 1, 0]
+    prints = {}
+    for mode in ("fast", "events", "tick"):
+        fabric = Fabric(get_spec("kepler"), seed=7, engine=mode)
+        result = cls(fabric).transmit(bits)
+        prints[mode] = (result.ber, result.received,
+                        _fabric_fingerprint(fabric))
+    assert prints["fast"] == prints["events"] == prints["tick"]
+    assert prints["fast"][0] == 0.0
+
+
+def test_fabric_remote_traffic_three_modes():
+    """Raw remote loads/stores/atomics leave identical state in every
+    mode — covers the sync-period invariant's determinism claim at the
+    instruction level, not just through a channel."""
+    from repro.sim import Fabric
+
+    def hammer(ctx):
+        peer = ctx.args["peer"]
+        t0 = yield isa.ReadClock()
+        yield isa.RemoteGlobalStore(peer, [64, 320])
+        r = yield isa.RemoteGlobalLoad(peer, [64, 320, 8192])
+        ctx.out.setdefault("lat", []).append(r.latency)
+        yield isa.RemoteGlobalAtomic(peer, [128 + 4 * t
+                                            for t in range(8)])
+        t1 = yield isa.ReadClock()
+        ctx.out.setdefault("dt", []).append(t1 - t0)
+
+    prints = {}
+    for mode in ("fast", "events", "tick"):
+        fabric = Fabric(get_spec("kepler"), n_devices=3, seed=4,
+                        engine=mode)
+        kernels = [
+            fabric.devices[i].stream().launch(
+                Kernel(hammer, KernelConfig(grid=2, block_threads=64),
+                       args={"peer": (i + 1) % 3}, name=f"k{i}",
+                       context=i + 1))
+            for i in range(3)
+        ]
+        fabric.synchronize()
+        prints[mode] = _fabric_fingerprint(fabric, kernels)
+    assert prints["fast"] == prints["events"] == prints["tick"]
+
+
+# ----------------------------------------------------------------------
 # Mixed-ISA workload: every instruction kind, multiple warps and blocks
 # ----------------------------------------------------------------------
 def _mixed_body(ctx):

@@ -15,7 +15,7 @@ class TestRegistry:
     def test_all_paper_elements_registered(self):
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig10",
-            "table1", "table2", "table3",
+            "table1", "table2", "table3", "xdev",
         }
 
     def test_unknown_experiment_rejected(self):
@@ -70,7 +70,8 @@ class TestCli:
         expected = {"l1", "l2", "sfu", "sync-l1", "sync-sfu",
                     "multibit-l1", "multibit-l2", "parallel-sm",
                     "parallel-sfu", "multi-resource", "atomic-s1",
-                    "atomic-s2", "atomic-s3", "whitespace-l1"}
+                    "atomic-s2", "atomic-s3", "whitespace-l1",
+                    "link-bandwidth", "remote-atomic"}
         assert expected == set(CHANNEL_FACTORIES)
 
 

@@ -1,0 +1,338 @@
+"""Multi-GPU fabric: links, remote paths, channels, snapshots.
+
+Deterministic unit coverage for :mod:`repro.sim.fabric` and the
+cross-device channel family — construction validation (including the
+sync-period ≤ link-latency invariant), link-port queueing order,
+remote load/store/atomic semantics, snapshot refusal for member
+devices and fabric snapshot round-trips, attribution of link waits,
+and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import FERMI_C2075, KEPLER_K40C
+from repro.channels import LinkBandwidthChannel, RemoteAtomicChannel
+from repro.sim import Fabric, FabricError, isa
+from repro.sim.engine import SimulationError
+from repro.sim.fabric import Link, LinkSpec
+from repro.sim.gpu import Device
+from repro.sim.kernel import Kernel, KernelConfig
+from repro.sim.snapshot import SnapshotError
+
+
+# ----------------------------------------------------------------------
+# Construction and the sync-period invariant
+# ----------------------------------------------------------------------
+def test_fabric_needs_two_devices():
+    with pytest.raises(FabricError, match="at least 2"):
+        Fabric(KEPLER_K40C, 1)
+    with pytest.raises(FabricError, match="at least 2"):
+        Fabric([KEPLER_K40C])
+
+
+def test_fabric_n_devices_must_match_specs():
+    with pytest.raises(FabricError, match="contradicts"):
+        Fabric([KEPLER_K40C, KEPLER_K40C], 3)
+
+
+def test_sync_period_invariant_enforced():
+    # A device running ahead of its peers by more than one link
+    # traversal could receive a remote request in its past.
+    with pytest.raises(FabricError, match="sync_period"):
+        Fabric(KEPLER_K40C, 2, sync_period=701.0)
+    with pytest.raises(FabricError, match="sync_period"):
+        Fabric(KEPLER_K40C, 2, sync_period=0.0)
+    # At exactly one link latency (the SimBricks bound) it is legal.
+    fabric = Fabric(KEPLER_K40C, 2, sync_period=700.0)
+    assert fabric.sync_period == 700.0
+    # And the default is the link latency itself.
+    custom = Fabric(KEPLER_K40C, 2, link=LinkSpec(latency=50.0))
+    assert custom.sync_period == 50.0
+
+
+def test_members_share_one_engine_with_distinct_seeds():
+    fabric = Fabric(KEPLER_K40C, 3, seed=5)
+    engines = {id(d.engine) for d in fabric.devices}
+    assert engines == {id(fabric.engine)}
+    assert all(d.fabric is fabric for d in fabric.devices)
+    assert [d.device_id for d in fabric.devices] == [0, 1, 2]
+    # seed + 43 * i + 1, frozen by test_seeds.py.
+    assert [d.seed for d in fabric.devices] == [6, 49, 92]
+
+
+def test_heterogeneous_fabric():
+    fabric = Fabric([FERMI_C2075, KEPLER_K40C], seed=1)
+    assert [d.spec.generation for d in fabric.devices] == \
+        ["Fermi", "Kepler"]
+    assert (0, 1) in fabric.links
+
+
+def test_all_pairs_links():
+    fabric = Fabric(KEPLER_K40C, 3)
+    assert set(fabric.links) == {(0, 1), (0, 2), (1, 2)}
+    assert fabric.link(2, 0) is fabric.link(0, 2)
+    with pytest.raises(FabricError, match="no link"):
+        fabric.link(0, 7)
+
+
+def test_link_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(latency=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(bytes_per_cycle=-1.0)
+    with pytest.raises(ValueError):
+        LinkSpec(flit_bytes=0)
+    with pytest.raises(FabricError, match="distinct"):
+        Link(LinkSpec(), 1, 1)
+
+
+# ----------------------------------------------------------------------
+# Link traversal: latency, serialization, queueing order
+# ----------------------------------------------------------------------
+def test_traverse_timing_and_queueing():
+    spec = LinkSpec(latency=100.0, bytes_per_cycle=16.0)
+    link = Link(spec, 0, 1)
+    # 256 B at 16 B/cycle serializes for 16 cycles then flies 100.
+    assert link.traverse(0, 1, 0.0, 256) == 116.0
+    # A second transfer the same way queues behind the first's
+    # serialization window: starts at 16, arrives at 132.
+    assert link.traverse(0, 1, 0.0, 256) == 132.0
+    # The reverse direction is an independent port — no queueing.
+    assert link.traverse(1, 0, 0.0, 256) == 116.0
+    with pytest.raises(FabricError, match="does not connect"):
+        link.traverse(0, 2, 0.0, 64)
+    fwd = link.ports[(0, 1)]
+    assert (fwd.requests, fwd.busy_cycles) == (2, 32.0)
+    link.reset_stats()
+    assert (fwd.requests, fwd.busy_cycles) == (0, 0.0)
+
+
+def test_remote_request_cannot_arrive_in_the_past():
+    # The serialization + latency path means any remote access lands at
+    # least one link latency after issue — the physical fact the sync
+    # invariant encodes.
+    fabric = Fabric(KEPLER_K40C, 2)
+    done = fabric.remote_load(0, 1, 1000.0, [0])
+    assert done >= 1000.0 + 2 * fabric.link_spec.latency
+
+
+# ----------------------------------------------------------------------
+# Remote memory semantics
+# ----------------------------------------------------------------------
+def test_remote_atomic_mutates_peer_memory_and_store_retires():
+    fabric = Fabric(KEPLER_K40C, 2)
+
+    def trojan(ctx):
+        r = yield isa.RemoteGlobalStore(1, [64])
+        ctx.out["store_level"] = r.level
+        yield isa.RemoteGlobalAtomic(1, [128])
+
+    k = fabric.devices[0].stream().launch(
+        Kernel(trojan, KernelConfig(grid=1, block_threads=32),
+               name="t"))
+    fabric.synchronize(kernels=[k])
+    assert k.out["store_level"] == "remote"
+    # The atomic incremented the *peer's* word once per issuing warp;
+    # the trojan's own memory is untouched.
+    assert fabric.devices[1].memory.read_word(128) != 0
+    assert fabric.devices[0].memory.read_word(128) == 0
+    # The store rode the link: data segments out, a flit ack back.
+    link = fabric.link(0, 1)
+    assert link.ports[(0, 1)].requests > 0
+    assert link.ports[(1, 0)].requests > 0
+
+
+def test_remote_paths_fall_through_locally_when_src_is_dst():
+    fabric = Fabric(KEPLER_K40C, 2, seed=2)
+    local = Device(KEPLER_K40C, seed=fabric.devices[0].seed)
+    t_fab = fabric.remote_load(0, 0, 0.0, [0, 256])
+    t_loc = local.memory.warp_load(0.0, [0, 256])
+    assert t_fab == t_loc
+    # No link traffic for a same-device access.
+    port = fabric.link(0, 1).ports[(0, 1)]
+    assert port.requests == 0
+
+
+def test_remote_access_to_unknown_device_rejected():
+    fabric = Fabric(KEPLER_K40C, 2)
+    with pytest.raises(FabricError, match="no device 5"):
+        fabric.remote_load(0, 5, 0.0, [0])
+
+
+def test_remote_instructions_require_a_fabric():
+    device = Device(KEPLER_K40C)
+
+    def body(ctx):
+        yield isa.RemoteGlobalLoad(1, [0])
+
+    device.stream().launch(
+        Kernel(body, KernelConfig(grid=1, block_threads=32), name="k"))
+    with pytest.raises(SimulationError, match="member of a Fabric"):
+        device.synchronize()
+
+
+def test_remote_instruction_validation():
+    with pytest.raises(ValueError):
+        isa.RemoteGlobalLoad(-1, [0])
+    with pytest.raises(ValueError):
+        isa.RemoteGlobalStore(1, [])
+    with pytest.raises(ValueError):
+        isa.RemoteGlobalAtomic(-2, [4])
+
+
+# ----------------------------------------------------------------------
+# Snapshots: member refusal, fabric round-trip
+# ----------------------------------------------------------------------
+def test_member_device_snapshot_refused():
+    fabric = Fabric(KEPLER_K40C, 2)
+    with pytest.raises(SnapshotError, match="member of a fabric"):
+        fabric.devices[0].snapshot()
+
+
+def _run_some_traffic(fabric):
+    channel = LinkBandwidthChannel(fabric, probes=2)
+    channel.transmit([1, 0])
+
+
+def test_fabric_snapshot_round_trip():
+    fabric = Fabric(KEPLER_K40C, 2, seed=4)
+    _run_some_traffic(fabric)
+    snap = fabric.snapshot()
+    forked = Fabric.fork(snap)
+    assert forked.snapshot().fingerprint == snap.fingerprint
+    assert forked.now == fabric.now
+    # The fork evolves identically: same traffic, same fingerprint.
+    _run_some_traffic(fabric)
+    _run_some_traffic(forked)
+    assert forked.snapshot().fingerprint == \
+        fabric.snapshot().fingerprint
+
+
+def test_fabric_snapshot_fingerprint_engine_independent():
+    prints = {}
+    for mode in ("fast", "events"):
+        fabric = Fabric(KEPLER_K40C, 2, seed=4, engine=mode)
+        _run_some_traffic(fabric)
+        prints[mode] = fabric.snapshot().fingerprint
+    assert prints["fast"] == prints["events"]
+    # A cross-mode fork also lands on the same state.
+    fabric = Fabric(KEPLER_K40C, 2, seed=4, engine="fast")
+    _run_some_traffic(fabric)
+    forked = Fabric.fork(fabric.snapshot(), engine="events")
+    assert forked.engine_mode == "events"
+    assert forked.snapshot().fingerprint == prints["fast"]
+
+
+# ----------------------------------------------------------------------
+# Observability: link ports in snapshots and attribution
+# ----------------------------------------------------------------------
+def test_classify_link_ports():
+    from repro.obs.attribution import classify_port
+    assert classify_port("link0-1.fwd") == "interconnect_link"
+    assert classify_port("link2-3.rev") == "interconnect_link"
+    assert classify_port("link0-1.odd") == "other"
+
+
+def test_link_waits_attributed_to_interconnect():
+    from repro.obs.attribution import attribution_report
+    fabric = Fabric(KEPLER_K40C, 2, seed=3)
+    channel = LinkBandwidthChannel(fabric)
+    spy_dev = channel.device
+    spy_dev.obs.start_attribution()
+    result = channel.transmit([1, 1, 0, 1])
+    report = attribution_report(spy_dev)
+    spy_dev.obs.stop_attribution()
+    assert result.ber == 0.0
+    # Both parties' dominant queueing is the interconnect itself.
+    assert report.dominant(channel.TROJAN_CONTEXT) == \
+        "interconnect_link"
+    assert report.dominant(channel.SPY_CONTEXT) == "interconnect_link"
+
+
+def test_stats_snapshot_includes_link_ports():
+    fabric = Fabric(KEPLER_K40C, 2, seed=3)
+    RemoteAtomicChannel(fabric, probes=2).transmit([1])
+    snap = fabric.devices[1].obs.snapshot()
+    assert snap["link0-1.fwd.requests"] > 0
+    # A standalone device reports no link instruments.
+    alone = Device(KEPLER_K40C).obs.snapshot()
+    assert not any(k.startswith("link") for k in alone)
+
+
+# ----------------------------------------------------------------------
+# Cross-device channels
+# ----------------------------------------------------------------------
+def test_channel_rejects_bad_device_ids():
+    fabric = Fabric(KEPLER_K40C, 2)
+    with pytest.raises(ValueError, match="different devices"):
+        LinkBandwidthChannel(fabric, trojan_device=1, spy_device=1)
+    with pytest.raises(ValueError, match="in \\[0, 2\\)"):
+        RemoteAtomicChannel(fabric, spy_device=2)
+
+
+@pytest.mark.parametrize("cls", [LinkBandwidthChannel,
+                                 RemoteAtomicChannel])
+def test_channel_transmits_error_free(cls):
+    fabric = Fabric(KEPLER_K40C, seed=7)
+    channel = cls(fabric)
+    assert channel.device is fabric.devices[1]
+    cal = channel.calibrate()
+    assert cal["contention"] > cal["no_contention"]
+    result = channel.transmit([1, 0, 1, 1, 0, 0, 1, 0])
+    assert result.ber == 0.0
+    assert result.meta["trojan_device"] == 0
+    assert result.meta["spy_device"] == 1
+
+
+def test_channel_swapped_reverses_direction():
+    fabric = Fabric(KEPLER_K40C, seed=7)
+    forward = LinkBandwidthChannel(fabric, probes=4)
+    reverse = forward.swapped()
+    assert isinstance(reverse, LinkBandwidthChannel)
+    assert (reverse.trojan_device, reverse.spy_device) == (1, 0)
+    assert reverse.device is fabric.devices[0]
+    assert reverse.name == "link-bandwidth-rev"
+    assert reverse.probes == 4
+    result = reverse.transmit([1, 0, 1, 0])
+    assert result.ber == 0.0
+
+
+def test_remote_atomic_channel_on_fermi():
+    # Fermi's atomics are ~9x slower, so the remote-atomic contention
+    # signal is even stronger; the channel must still decode cleanly.
+    fabric = Fabric(FERMI_C2075, seed=7)
+    result = RemoteAtomicChannel(fabric, probes=8).transmit([1, 0, 1])
+    assert result.ber == 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_build_channel_fabric_and_device():
+    from repro.cli import FABRIC_CHANNELS, _build_channel
+    assert FABRIC_CHANNELS == {"link-bandwidth", "remote-atomic"}
+    channel = _build_channel("remote-atomic", KEPLER_K40C, seed=1)
+    assert channel.fabric.n_devices == 2
+    assert channel.device is channel.fabric.devices[1]
+    plain = _build_channel("l1", KEPLER_K40C, seed=1)
+    assert getattr(plain, "fabric", None) is None
+
+
+def test_cli_transmit_fabric_channel(capsys):
+    from repro.cli import main
+    assert main(["transmit", "--gpu", "kepler", "--channel",
+                 "link-bandwidth", "--bits", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "fabric: trojan dev0 -> spy dev1" in out
+    assert "BER:       0.0000" in out
+
+
+def test_xdev_experiment_registered():
+    from repro.experiments import EXPERIMENTS, run_experiment
+    assert "xdev" in EXPERIMENTS
+    result = run_experiment("xdev", profile="smoke")
+    assert {row[1] for row in result.rows} == \
+        {"link-bandwidth", "remote-atomic"}
+    assert all(row[3] == 0.0 for row in result.rows)

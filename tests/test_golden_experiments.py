@@ -424,6 +424,29 @@ def test_table3_parallelism_shape(table3):
 
 
 # ---------------------------------------------------------------------------
+# Cross-device fabric channels (EXPERIMENTS.md cross-device section).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def xdev():
+    from repro.experiments import run_experiment
+    result = run_experiment("xdev")   # 2x Kepler fabric, seed 9, 32 bits
+    return {row[1]: (row[2], row[3]) for row in result.rows}
+
+
+def test_xdev_bandwidth_pins(xdev):
+    # "link-bandwidth 13.9 Kbps, remote-atomic 14.6 Kbps on a 2-GPU
+    # Kepler fabric, both error-free" — the EXPERIMENTS.md numbers.
+    assert xdev["link-bandwidth"][0] == bw(13.9)
+    assert xdev["remote-atomic"][0] == bw(14.6)
+
+
+def test_xdev_error_free(xdev):
+    for channel, (_, ber) in xdev.items():
+        assert ber == 0.0, channel
+
+
+# ---------------------------------------------------------------------------
 # Section 3 — placement reverse engineering & policy co-location.
 # ---------------------------------------------------------------------------
 

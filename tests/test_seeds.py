@@ -13,6 +13,7 @@ import pytest
 from repro.seeds import (
     BER_SWEEP_STRIDE,
     DEVICE_SWEEP_STRIDE,
+    FABRIC_DEVICE_STRIDE,
     TUNING_STRIDE,
     derive_seed,
 )
@@ -22,6 +23,16 @@ def test_stream_strides_are_frozen():
     assert BER_SWEEP_STRIDE == 17
     assert DEVICE_SWEEP_STRIDE == 31
     assert TUNING_STRIDE == 1
+    assert FABRIC_DEVICE_STRIDE == 43
+
+
+def test_fabric_member_seeds():
+    # Fabric members are seeded seed + 43 * device_id + 1; the xdev
+    # golden numbers depend on these exact values.
+    for seed in (0, 9):
+        for device_id in range(4):
+            assert derive_seed(seed, FABRIC_DEVICE_STRIDE, device_id) \
+                == seed + 43 * device_id + 1
 
 
 def test_reproduces_historic_ber_sweep_seeds():
@@ -49,7 +60,8 @@ def test_reproduces_historic_tuning_seeds():
 
 
 def test_no_collisions_within_a_stream():
-    for stride in (BER_SWEEP_STRIDE, DEVICE_SWEEP_STRIDE, TUNING_STRIDE):
+    for stride in (BER_SWEEP_STRIDE, DEVICE_SWEEP_STRIDE, TUNING_STRIDE,
+                   FABRIC_DEVICE_STRIDE):
         seeds = [derive_seed(0, stride, i) for i in range(64)]
         assert len(set(seeds)) == len(seeds)
 
