@@ -1,0 +1,169 @@
+"""Batched lockstep engine benchmark — replica fleets vs sequential runs.
+
+The Monte-Carlo workload (Figure 5 error bars over seeds) is K
+transmissions of the same message under K derived seeds.  This
+benchmark runs it both ways on the paper-profile L1 channel (Kepler,
+48 bits, 16 replicas):
+
+* **sequential** — 16 independent ``fast``-engine devices, one
+  transmit each (what a sweep loop does today);
+* **batched** — one :class:`repro.sim.batch.ReplicaBatch` of 16
+  devices driven in bit-level lockstep through the ``batched``
+  engine's compiled stretch runner.
+
+and asserts two things:
+
+* **identity** — every replica's received bits and final clock are
+  bit-identical between the two ways (the batch must be a pure
+  acceleration);
+* **speed** — the batch must beat the sequential loop by at least
+  :data:`SPEEDUP_FLOOR` (it typically wins by ~7x; plan compilation,
+  the native library and per-stretch buffers all amortize across the
+  fleet).
+
+Run under pytest with ``pytest benchmarks/bench_batched.py
+--benchmark-only``, or standalone (nightly CI) with
+``python -m benchmarks.bench_batched [--json out.json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from benchmarks.support import report, run_once
+from repro.arch import KEPLER_K40C
+from repro.channels import L1CacheChannel
+from repro.seeds import REPLICA_STRIDE, derive_seed
+from repro.sim.batch import ReplicaBatch
+from repro.sim.gpu import Device
+
+#: Minimum batch-of-K speedup over K sequential fast runs (acceptance
+#: floor; the tentpole's headline claim).
+SPEEDUP_FLOOR = 5.0
+
+#: Paper-profile Monte-Carlo point: 16 replicas, 48 alternating bits.
+BATCH = 16
+BITS = [1, 0] * 24
+BASE_SEED = 0
+ITERATIONS = 24
+
+
+def _channel(device: Device) -> L1CacheChannel:
+    return L1CacheChannel(device, iterations=ITERATIONS)
+
+
+def _fingerprints(results) -> list:
+    return [{"received": list(r.received), "ber": r.ber,
+             "end_cycle": r.end_cycle} for r in results]
+
+
+def measure() -> dict:
+    """Time both ways and collect per-replica result fingerprints."""
+    seeds = [derive_seed(BASE_SEED, REPLICA_STRIDE, i)
+             for i in range(BATCH)]
+
+    # Warm process-wide state both paths share (plan memo, native .so)
+    # so the comparison is steady-state, not first-call compilation.
+    ReplicaBatch(KEPLER_K40C, batch=1, base_seed=BASE_SEED).transmit(
+        _channel, BITS[:2])
+
+    start = time.perf_counter()
+    sequential = []
+    for seed in seeds:
+        device = Device(KEPLER_K40C, seed=seed, engine="fast")
+        sequential.append(_channel(device).transmit(BITS))
+    t_sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fleet = ReplicaBatch(KEPLER_K40C, batch=BATCH, base_seed=BASE_SEED)
+    batched = fleet.transmit(_channel, BITS)
+    t_batched = time.perf_counter() - start
+
+    return {
+        "workload": "l1_cache_channel_monte_carlo",
+        "gpu": "kepler",
+        "batch": BATCH,
+        "bits": len(BITS),
+        "base_seed": BASE_SEED,
+        "seeds": seeds,
+        "t_sequential": t_sequential,
+        "t_batched": t_batched,
+        "speedup": t_sequential / t_batched,
+        "result_sequential": _fingerprints(sequential),
+        "result_batched": _fingerprints(batched),
+    }
+
+
+def check(m: dict) -> None:
+    """Assert the identity and speed claims on a measurement."""
+    assert m["result_batched"] == m["result_sequential"], (
+        "batched replicas diverged from sequential fast runs: "
+        f"{m['result_batched']} != {m['result_sequential']}"
+    )
+    assert all(r["ber"] == 0.0 for r in m["result_batched"]), (
+        "paper-profile L1 channel should be error-free on every seed"
+    )
+    assert m["speedup"] >= SPEEDUP_FLOOR, (
+        f"batch-of-{m['batch']} only {m['speedup']:.1f}x over "
+        f"{m['batch']} sequential fast runs (floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def _rows(m: dict):
+    per_seq = m["t_sequential"] / m["batch"]
+    per_bat = m["t_batched"] / m["batch"]
+    return [
+        ["sequential fast", f"{1e3 * m['t_sequential']:.1f}",
+         f"{1e3 * per_seq:.1f}", "1.0x"],
+        ["batched fleet", f"{1e3 * m['t_batched']:.1f}",
+         f"{1e3 * per_bat:.1f}", f"{m['speedup']:.1f}x"],
+    ]
+
+
+def bench_batched(benchmark):
+    m = run_once(benchmark, measure)
+    report(
+        benchmark,
+        f"Monte-Carlo fleet on the paper-profile L1 channel "
+        f"(Kepler, {m['batch']} replicas x {m['bits']} bits)",
+        ["strategy", "wall ms", "ms/replica", "speedup"],
+        _rows(m),
+        extra={
+            "speedup": m["speedup"],
+            "t_sequential_s": m["t_sequential"],
+            "t_batched_s": m["t_batched"],
+            "batch": m["batch"],
+        },
+    )
+    check(m)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="batched lockstep engine benchmark (nightly CI)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the measurement dict as JSON")
+    args = parser.parse_args(argv)
+    m = measure()
+    for row in _rows(m):
+        print("  ".join(str(cell) for cell in row))
+    print(f"speedup: {m['speedup']:.1f}x for batch-of-{m['batch']} "
+          f"vs sequential (required >={SPEEDUP_FLOOR}x)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(m, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    try:
+        check(m)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

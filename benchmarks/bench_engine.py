@@ -38,7 +38,7 @@ SEED = 1
 #: Wall-clock repetitions per mode (best-of); the tick oracle is run
 #: once — it simulates every cycle and one pass is already ~100x the
 #: fast engine's total budget.
-REPS = {"fast": 5, "events": 5, "tick": 1}
+REPS = {"fast": 5, "batched": 5, "events": 5, "tick": 1}
 
 
 def _run(mode: str) -> dict:
@@ -74,7 +74,7 @@ def measure() -> dict:
 
 def check(m: dict) -> None:
     """Assert the identity and speed claims on a measurement."""
-    for mode in ("events", "tick"):
+    for mode in ("batched", "events", "tick"):
         assert m[f"result_{mode}"] == m["result_fast"], (
             f"fast engine diverged from {mode} engine: "
             f"{m['result_fast']} != {m[f'result_{mode}']}"

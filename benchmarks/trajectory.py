@@ -5,6 +5,7 @@ benchmark, its wall time and its headline speedup::
 
     {
         "engine":   {"wall_s": 0.41, "speedup": 58.3},
+        "batched":  {"wall_s": 0.71, "speedup": 7.4},
         "runner":   {"wall_s": 12.7, "speedup": 31.2},
         "snapshot": {"wall_s": 1.21, "speedup": 83.1}
     }
@@ -12,6 +13,9 @@ benchmark, its wall time and its headline speedup::
 * ``engine`` — fast-engine wall time on the paper-profile L2 channel;
   speedup over the cycle-by-cycle ``tick`` oracle
   (:mod:`benchmarks.bench_engine`);
+* ``batched`` — batch-of-16 Monte-Carlo fleet wall time on the L1
+  channel; speedup over 16 sequential fast runs
+  (:mod:`benchmarks.bench_batched`);
 * ``runner`` — cold pooled registry sweep wall time; warm cache-replay
   speedup (:mod:`benchmarks.bench_runner`);
 * ``snapshot`` — cold Figure 5 L1 sweep wall time; warm forked-replay
@@ -22,12 +26,14 @@ The nightly CI job regenerates the same artifact from the benches'
 ``--json`` outputs::
 
     python -m benchmarks.bench_engine   --json engine.json
+    python -m benchmarks.bench_batched  --json batched.json
     python -m benchmarks.bench_runner   --json runner.json
     python -m benchmarks.bench_snapshot --json snapshot.json
     python -m benchmarks.trajectory --engine engine.json \
-        --runner runner.json --snapshot snapshot.json --out BENCH.json
+        --batched batched.json --runner runner.json \
+        --snapshot snapshot.json --out BENCH.json
 
-Standalone with no source files it runs the three benchmarks itself
+Standalone with no source files it runs the four benchmarks itself
 (slow: includes one tick-oracle pass and three registry sweeps).
 """
 
@@ -46,6 +52,11 @@ def _entry(wall_s: float, speedup: float) -> dict:
 def from_engine(m: dict) -> dict:
     """Trajectory entry from a ``bench_engine`` measurement dict."""
     return _entry(m["t_fast"], m["speedup_vs_tick"])
+
+
+def from_batched(m: dict) -> dict:
+    """Trajectory entry from a ``bench_batched`` measurement dict."""
+    return _entry(m["t_batched"], m["speedup"])
 
 
 def from_runner(m: dict) -> dict:
@@ -73,12 +84,16 @@ def _load_or_run(path: Optional[str], measure, convert) -> dict:
 
 def build(engine_json: Optional[str] = None,
           runner_json: Optional[str] = None,
-          snapshot_json: Optional[str] = None) -> dict:
+          snapshot_json: Optional[str] = None,
+          batched_json: Optional[str] = None) -> dict:
     """Assemble the trajectory, running any benchmark not given a file."""
-    from benchmarks import bench_engine, bench_runner, bench_snapshot
+    from benchmarks import (bench_batched, bench_engine, bench_runner,
+                            bench_snapshot)
     return {
         "engine": _load_or_run(engine_json, bench_engine.measure,
                                from_engine),
+        "batched": _load_or_run(batched_json, bench_batched.measure,
+                                from_batched),
         "runner": _load_or_run(runner_json, bench_runner.measure,
                                from_runner),
         "snapshot": _load_or_run(snapshot_json, bench_snapshot.measure,
@@ -91,6 +106,8 @@ def main(argv=None) -> int:
         description="assemble the committed benchmark trajectory")
     parser.add_argument("--engine", metavar="PATH", default=None,
                         help="bench_engine --json output (else run it)")
+    parser.add_argument("--batched", metavar="PATH", default=None,
+                        help="bench_batched --json output (else run it)")
     parser.add_argument("--runner", metavar="PATH", default=None,
                         help="bench_runner --json output (else run it)")
     parser.add_argument("--snapshot", metavar="PATH", default=None,
@@ -98,7 +115,8 @@ def main(argv=None) -> int:
     parser.add_argument("--out", metavar="PATH", default="BENCH.json",
                         help="trajectory file to write")
     args = parser.parse_args(argv)
-    trajectory = build(args.engine, args.runner, args.snapshot)
+    trajectory = build(args.engine, args.runner, args.snapshot,
+                       args.batched)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -8,6 +8,7 @@ from repro.analysis.capacity import (
     bsc_capacity,
     capacity_bps,
 )
+from repro.analysis.montecarlo import MonteCarloBER, monte_carlo_ber
 from repro.analysis.plots import ascii_plot, sparkline
 from repro.analysis.report import (
     render_report_html,
@@ -24,6 +25,8 @@ __all__ = [
     "bsc_capacity",
     "capacity_bps",
     "format_table",
+    "monte_carlo_ber",
+    "MonteCarloBER",
     "paper_comparison_row",
     "render_report_html",
     "render_report_markdown",

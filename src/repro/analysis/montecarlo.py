@@ -1,0 +1,121 @@
+"""Monte-Carlo BER estimation over seed-replica fleets.
+
+The paper reports bit error rates (Figure 5, Table 1) as point numbers
+measured on one physical card; on the simulator, the analogous number
+for one seed is a point sample from the jitter/launch-noise
+distribution.  :func:`monte_carlo_ber` turns that point sample into a
+distribution estimate: it runs the *same* transmission over K device
+replicas that differ only in derived seed
+(:data:`repro.seeds.REPLICA_STRIDE`), using the ``batched`` engine so
+the fleet costs a fraction of K solo runs, and aggregates per-replica
+BER plus the :func:`repro.obs.quality.rolling_ber` temporal profile.
+
+Each replica is bit-identical to a solo run of its seed (the
+equivalence invariant of :class:`repro.sim.batch.ReplicaBatch`), so the
+Monte-Carlo estimate is exactly what K independent ``fast``-engine runs
+would produce — only cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.channels.base import random_bits
+from repro.obs.quality import rolling_ber
+from repro.sim.batch import ReplicaBatch
+
+
+@dataclass
+class MonteCarloBER:
+    """Aggregate of one Monte-Carlo BER run (see :func:`monte_carlo_ber`).
+
+    ``rolling`` holds one :func:`~repro.obs.quality.rolling_ber` profile
+    per replica; ``rolling_mean`` averages them per window, exposing
+    systematic temporal structure (warm-up errors, drift) that survives
+    seed averaging.
+    """
+
+    spec_name: str
+    bits: List[int]
+    seeds: List[int] = field(default_factory=list)
+    bers: List[float] = field(default_factory=list)
+    received: List[List[int]] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+    rolling: List[List[float]] = field(default_factory=list)
+    rolling_mean: List[float] = field(default_factory=list)
+    window: int = 16
+
+    @property
+    def mean_ber(self) -> float:
+        return sum(self.bers) / len(self.bers) if self.bers else 0.0
+
+    @property
+    def std_ber(self) -> float:
+        if len(self.bers) < 2:
+            return 0.0
+        m = self.mean_ber
+        return (sum((b - m) ** 2 for b in self.bers)
+                / (len(self.bers) - 1)) ** 0.5
+
+    @property
+    def worst_ber(self) -> float:
+        return max(self.bers) if self.bers else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "n_bits": len(self.bits),
+            "batch": len(self.seeds),
+            "seeds": list(self.seeds),
+            "window": self.window,
+            "bers": [round(b, 6) for b in self.bers],
+            "mean_ber": round(self.mean_ber, 6),
+            "std_ber": round(self.std_ber, 6),
+            "worst_ber": round(self.worst_ber, 6),
+            "rolling_mean": [round(b, 6) for b in self.rolling_mean],
+        }
+
+
+def monte_carlo_ber(spec: Any,
+                    channel_factory: Callable[[Any], Any], *,
+                    bits: Optional[Sequence[int]] = None,
+                    n_bits: int = 48,
+                    base_seed: int = 0,
+                    batch: int = 8,
+                    window: int = 16,
+                    store: Optional[Any] = None,
+                    observe: Any = None) -> MonteCarloBER:
+    """Estimate a channel's BER distribution over ``batch`` seed replicas.
+
+    ``channel_factory(device)`` builds the channel under test on each
+    replica.  The message defaults to :func:`repro.channels.base.
+    random_bits(n_bits, seed=base_seed)` so runs are reproducible per
+    ``(spec, base_seed)``.  Replica seeds are
+    ``derive_seed(base_seed, REPLICA_STRIDE, i)`` — disjoint from the
+    sweep-grid seed lanes, so Monte-Carlo never aliases a sweep point.
+
+    Returns a :class:`MonteCarloBER`; ``results`` holds the full
+    per-replica :class:`~repro.channels.base.ChannelResult` objects for
+    downstream analytics (e.g. :func:`repro.obs.quality.channel_quality`
+    when the fleet is observed).
+    """
+    msg = [int(b) for b in (bits if bits is not None
+                            else random_bits(n_bits, seed=base_seed))]
+    fleet = ReplicaBatch(spec, batch=batch, base_seed=base_seed,
+                         store=store, observe=observe)
+    results = fleet.transmit(channel_factory, msg)
+    out = MonteCarloBER(spec_name=spec.name, bits=msg,
+                        seeds=list(fleet.seeds), window=window)
+    for res in results:
+        out.results.append(res)
+        out.received.append(list(res.received))
+        out.bers.append(res.ber)
+        out.rolling.append(rolling_ber(msg, res.received, window=window))
+    if out.rolling:
+        n_windows = len(out.rolling[0])
+        out.rolling_mean = [
+            sum(prof[w] for prof in out.rolling) / len(out.rolling)
+            for w in range(n_windows)
+        ]
+    return out

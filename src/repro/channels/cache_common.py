@@ -96,11 +96,29 @@ class BaselineCacheChannel(CovertChannel):
         return KernelConfig(grid=self.grid, block_threads=32)
 
     def _send_bit(self, bit: int) -> dict:
+        trojan_plan = spy_plan = None
+        if self.device.plan_lane_active():
+            # Batched engine, plain observability: attach pre-compiled
+            # issue plans (shared module-wide across launches, bits and
+            # replicas).  The plan interpreters replay the generator
+            # bodies' exact fast-path arithmetic, so results are
+            # bit-identical either way; every other configuration runs
+            # the generators below unchanged.
+            from repro.sim.plan import compile_spy_plan, compile_trojan_plan
+            spec = self.device.spec
+            trojan_plan = compile_trojan_plan(
+                self._trojan_addrs, self.iterations, bit,
+                spec.const_l1, spec.const_l2,
+                self._idle_cycles_per_iteration())
+            spy_plan = compile_spy_plan(
+                self._spy_addrs, self.iterations,
+                spec.const_l1, spec.const_l2)
         trojan = Kernel(self._trojan_body, self._configs(),
                         args={"bit": bit}, name=f"{self.name}.trojan",
-                        context=self.TROJAN_CONTEXT)
+                        context=self.TROJAN_CONTEXT, plan=trojan_plan)
         spy = Kernel(self._spy_body, self._configs(),
-                     name=f"{self.name}.spy", context=self.SPY_CONTEXT)
+                     name=f"{self.name}.spy", context=self.SPY_CONTEXT,
+                     plan=spy_plan)
         self._streams[0].launch(trojan)
         self._streams[1].launch(spy)
         self.device.synchronize(kernels=[trojan, spy])

@@ -136,6 +136,24 @@ def _resolve_spec(name: str):
                        f"{', '.join(sorted(SPEC_BY_NAME))}")
 
 
+def _apply_engine(engine: Optional[str]) -> None:
+    """Validate ``--engine`` and export it to every worker process.
+
+    Experiments construct their devices internally, so the selection
+    travels via ``REPRO_SIM_ENGINE`` — inherited by the sweep pool's
+    worker processes.  Validation happens here so a typo fails up front
+    with the full mode list instead of inside N workers.
+    """
+    if engine is None:
+        return
+    from repro.sim.gpu import resolve_engine_mode
+    try:
+        mode = resolve_engine_mode(engine)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    os.environ["REPRO_SIM_ENGINE"] = mode
+
+
 def _resolve_channel(name: str) -> Callable[..., object]:
     """Look up a channel factory with the same friendly failure mode."""
     try:
@@ -258,6 +276,7 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
+    _apply_engine(getattr(args, "engine", None))
     if args.all:
         ids = list(EXPERIMENTS)
     elif args.ids:
@@ -283,6 +302,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS
     from repro.runner import parse_seeds
+    _apply_engine(getattr(args, "engine", None))
     ids = (list(EXPERIMENTS) if args.experiments in (None, "all")
            else [e.strip() for e in args.experiments.split(",")
                  if e.strip()])
@@ -668,6 +688,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import pstats
 
     from repro.experiments import EXPERIMENTS, run_experiment
+    _apply_engine(getattr(args, "engine", None))
     if args.experiment not in EXPERIMENTS:
         raise CliError(f"unknown experiment {args.experiment!r}; "
                        f"available: {', '.join(EXPERIMENTS)}")
@@ -824,6 +845,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=None,
                        help="re-seed devices and messages (default: "
                             "paper calibration)")
+    p_run.add_argument("--engine", default=None,
+                       help="simulator engine mode (fast, batched, "
+                            "events, tick); exported as "
+                            "REPRO_SIM_ENGINE to workers")
     add_runner_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -835,6 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated device names")
     p_sweep.add_argument("--seeds", default="0",
                          help="seed list/range, e.g. 0..9 or 1,4,7")
+    p_sweep.add_argument("--engine", default=None,
+                         help="simulator engine mode (fast, batched, "
+                              "events, tick); exported as "
+                              "REPRO_SIM_ENGINE to workers")
     add_runner_flags(p_sweep, default_timeout=900.0)
     p_sweep.set_defaults(fn=cmd_sweep)
 
@@ -1045,6 +1074,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=None,
                         help="re-seed the run (default: paper "
                              "calibration)")
+    p_prof.add_argument("--engine", default=None,
+                        help="simulator engine mode to profile (fast, "
+                             "batched, events, tick)")
     p_prof.add_argument("--profile", default="smoke",
                         choices=["paper", "smoke"],
                         help="run size to profile (default: smoke)")

@@ -19,7 +19,10 @@ actually uses:
 * :data:`TUNING_STRIDE` (1), with ``offset=0`` —
   ``channels.tuning`` probes (historically ``seed + iterations``);
 * :data:`FABRIC_DEVICE_STRIDE` (43) — per-device seeds of a
-  multi-GPU :class:`~repro.sim.fabric.Fabric` (index = device id).
+  multi-GPU :class:`~repro.sim.fabric.Fabric` (index = device id);
+* :data:`REPLICA_STRIDE` (53) — per-replica seeds of a batched-engine
+  :class:`~repro.sim.batch.ReplicaBatch` (index = replica id), the
+  Monte-Carlo BER trial stream.
 
 These values are frozen: changing any of them changes every derived
 device seed and therefore every golden number.
@@ -34,6 +37,7 @@ __all__ = [
     "BER_SWEEP_STRIDE",
     "DEVICE_SWEEP_STRIDE",
     "FABRIC_DEVICE_STRIDE",
+    "REPLICA_STRIDE",
     "TUNING_STRIDE",
 ]
 
@@ -51,6 +55,13 @@ TUNING_STRIDE = 1
 #: other strides so a fabric's members never share an RNG stream with
 #: each other, with sweep trials, or with the message seed.
 FABRIC_DEVICE_STRIDE = 43
+
+#: Stream stride for seed replicas within a batched-engine
+#: :class:`~repro.sim.batch.ReplicaBatch` (index = replica id).  Prime
+#: and distinct from every other stride so Monte-Carlo replicas never
+#: share an RNG stream with sweep trials, fabric members, tuning probes
+#: or the message seed.
+REPLICA_STRIDE = 53
 
 
 def derive_seed(base: int, stride: int, index: int,

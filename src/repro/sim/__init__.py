@@ -18,6 +18,7 @@ Kernels are Python generator functions executed at warp granularity; see
 :mod:`repro.sim.kernel` for the programming model.
 """
 
+from repro.sim.batch import BatchedEngine, ReplicaBatch
 from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric, FabricError, Link, LinkSpec
 from repro.sim.gpu import Device
@@ -27,6 +28,7 @@ from repro.sim.stream import Stream
 from repro.sim import isa
 
 __all__ = [
+    "BatchedEngine",
     "Device",
     "DeviceSnapshot",
     "Engine",
@@ -37,6 +39,7 @@ __all__ = [
     "KernelConfig",
     "Link",
     "LinkSpec",
+    "ReplicaBatch",
     "SnapshotError",
     "Stream",
     "WarpContext",

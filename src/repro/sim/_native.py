@@ -1,0 +1,980 @@
+"""Compiled stretch runner for the ``batched`` engine mode.
+
+The plan lane (:mod:`repro.sim.plan`) removes generator dispatch from
+the Section 4 prime/probe hot loop, but each op still costs one Python
+heap round-trip whenever trojan and spy warps interleave — which, in a
+contention channel, is all the time.  This module compiles the exact
+plan-interpreter semantics (binary heap with FIFO-among-equals order,
+pipelined-port acquire, LRU set update, cycle-skip deferral, event
+budget) to C once per process via the system compiler, and runs whole
+*stretches* of plan-only simulation in a single call.
+
+Bit-identity is preserved by construction:
+
+* Event times never depend on observed clock values, so clock jitter
+  draws are deferred — C logs each read's raw completion time and
+  Python applies ``rng.normal`` to the whole log in one vectorized
+  call afterwards (stream-identical to per-read scalar draws).
+* Non-plan heap entries (stream submit closures, host-wait arms,
+  generator warps) are marshalled as opaque *sentinels*: the C loop
+  stops the moment one reaches the heap head, Python executes it
+  normally, and the next stretch resumes.  The inline deferral
+  condition therefore sees exactly the heap the reference engines see.
+* Kernel/block completions are logged and replayed in Python in event
+  order (completion callbacks, block retirement, scheduler dispatch),
+  and the C loop exits *at* any completion that has registered
+  callbacks, so callback-scheduled events interleave exactly as under
+  ``fast``/``events``/``tick``.
+
+The marshaller keeps persistent per-device buffers and touches only
+the cache sets the resident plans can reach (precomputed per plan), so
+per-stretch Python overhead is proportional to the handful of active
+warps, not to device size.
+
+Everything degrades gracefully: no compiler, an unwritable cache dir,
+or ``REPRO_BATCH_NATIVE=0`` fall back to the pure-Python plan lane
+(same results, less speed).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.sim.plan import PlanWarpRec
+from repro.sim.timing import ClockModel
+
+#: Stretch exit codes (mirrored in the C source).
+EXIT_HEAP_EMPTY = 0
+EXIT_HAZARD = 1
+EXIT_BUDGET = 2
+EXIT_LOG_OVERFLOW = 3
+EXIT_FOREIGN_DUE = 5
+
+_C_SOURCE = r"""
+#include <stddef.h>
+#include <stdint.h>
+
+typedef struct {
+    /* engine */
+    double now;
+    int64_t seq;
+    int64_t event_count;
+    int64_t max_events;          /* < 0: unlimited */
+    double horizon;
+    /* geometry / latencies (shared by every involved SM) */
+    int32_t l1_sets, l1_ways, l2_sets, l2_ways;
+    double l1_pc, l1_hl, l2_pc, l2_hl, mem_lat, clock_cost;
+    /* L1 state, one slot per SM:
+       tags[(slot*l1_sets + set)*l1_ways + way], LRU-first */
+    int64_t *l1_tags;
+    int32_t *l1_len;             /* [slot*l1_sets + set] */
+    int64_t *l1_set_miss;        /* [slot*l1_sets + set] */
+    int64_t *l1_hits;            /* [slot] */
+    int64_t *l1_miss;            /* [slot] */
+    double  *l1p_free;           /* [slot] */
+    double  *l1p_busy;
+    int64_t *l1p_req;
+    /* L2 (device-wide) */
+    int64_t *l2_tags;
+    int32_t *l2_len;
+    int64_t *l2_set_miss;
+    int64_t l2_hits, l2_miss;
+    double l2p_free, l2p_busy;
+    int64_t l2p_req;
+    /* issue ports, [sm * n_schedulers + scheduler] */
+    double  *isp_free;
+    double  *isp_busy;
+    int64_t *isp_req;
+    double  *isp_interval;
+    /* plan arena */
+    const int32_t *op_code;
+    const int64_t *op_s1;
+    const int64_t *op_t1;
+    const int64_t *op_s2;
+    const int64_t *op_t2;
+    const double  *op_f;
+    /* warp recs */
+    int32_t n_recs;
+    int32_t *rec_pc;
+    const int32_t *rec_off;
+    const int32_t *rec_len;
+    const int32_t *rec_sm;
+    const int32_t *rec_iport;
+    const int32_t *rec_block;
+    const uint8_t *rec_cancel;
+    int32_t *rec_a;              /* clock-log idx of last CLOCK0; -1: python latch */
+    int32_t *rec_b;
+    uint8_t *rec_done;
+    /* blocks / kernels */
+    int32_t *block_wr;           /* warps remaining */
+    const int32_t *block_kernel;
+    int32_t *kernel_left;        /* blocks not yet complete */
+    const uint8_t *kernel_hazard;
+    /* heap: (time, seq, rec); rec < 0 marks a foreign sentinel */
+    int32_t heap_n;
+    double  *heap_t;
+    int64_t *heap_s;
+    int32_t *heap_r;
+    /* logs */
+    int32_t clock_n, clock_cap;
+    double  *clock_raw;
+    int32_t emit_n, emit_cap;
+    int32_t *emit_rec;
+    int32_t *emit_a;
+    int32_t *emit_b;
+    double  *emit_den;
+    int32_t comp_n;              /* capacity == number of blocks */
+    int32_t *comp_block;
+    double  *comp_t;
+} Stretch;
+
+static void heap_push(Stretch *st, double t, int64_t s, int32_t r) {
+    int i = st->heap_n++;
+    while (i > 0) {
+        int p = (i - 1) >> 1;
+        double tp = st->heap_t[p];
+        if (tp < t || (tp == t && st->heap_s[p] < s)) break;
+        st->heap_t[i] = tp;
+        st->heap_s[i] = st->heap_s[p];
+        st->heap_r[i] = st->heap_r[p];
+        i = p;
+    }
+    st->heap_t[i] = t;
+    st->heap_s[i] = s;
+    st->heap_r[i] = r;
+}
+
+static int32_t heap_pop(Stretch *st, double *t_out) {
+    double t_top = st->heap_t[0];
+    int32_t r_top = st->heap_r[0];
+    int n = --st->heap_n;
+    if (n > 0) {
+        double t = st->heap_t[n];
+        int64_t s = st->heap_s[n];
+        int32_t r = st->heap_r[n];
+        int i = 0;
+        for (;;) {
+            int c = 2 * i + 1;
+            if (c >= n) break;
+            int g = c + 1;
+            if (g < n && (st->heap_t[g] < st->heap_t[c] ||
+                          (st->heap_t[g] == st->heap_t[c] &&
+                           st->heap_s[g] < st->heap_s[c])))
+                c = g;
+            if (t < st->heap_t[c] ||
+                (t == st->heap_t[c] && s < st->heap_s[c]))
+                break;
+            st->heap_t[i] = st->heap_t[c];
+            st->heap_s[i] = st->heap_s[c];
+            st->heap_r[i] = st->heap_r[c];
+            i = c;
+        }
+        st->heap_t[i] = t;
+        st->heap_s[i] = s;
+        st->heap_r[i] = r;
+    }
+    *t_out = t_top;
+    return r_top;
+}
+
+/* LRU access to one set; returns 1 on hit. */
+static int lru_access(int64_t *lines, int32_t *lenp, int ways, int64_t tag) {
+    int len = *lenp;
+    for (int w = 0; w < len; w++) {
+        if (lines[w] == tag) {
+            for (int v = w; v < len - 1; v++) lines[v] = lines[v + 1];
+            lines[len - 1] = tag;
+            return 1;
+        }
+    }
+    if (len >= ways) {
+        for (int v = 0; v < len - 1; v++) lines[v] = lines[v + 1];
+        lines[len - 1] = tag;
+    } else {
+        lines[len] = tag;
+        *lenp = len + 1;
+    }
+    return 0;
+}
+
+int run_stretch(Stretch *st) {
+    while (st->heap_n > 0) {
+        if (st->heap_r[0] < 0) return 5;   /* foreign event due */
+        double t;
+        int32_t r = heap_pop(st, &t);
+        st->now = t;
+        st->event_count++;
+        if (st->max_events >= 0 && st->event_count > st->max_events)
+            return 2;
+        if (st->rec_cancel[r]) continue;
+        double now = t;
+        int32_t pc = st->rec_pc[r];
+        const int32_t n_ops = st->rec_len[r];
+        const int32_t off = st->rec_off[r];
+        const int32_t slot = st->rec_sm[r];
+        int64_t *l1_base = st->l1_tags +
+            (size_t)slot * st->l1_sets * st->l1_ways;
+        int32_t *l1_lens = st->l1_len + (size_t)slot * st->l1_sets;
+        int64_t *l1_sm = st->l1_set_miss + (size_t)slot * st->l1_sets;
+        for (;;) {
+            if (pc == n_ops) {
+                st->rec_pc[r] = pc;
+                st->rec_done[r] = 1;
+                int32_t b = st->rec_block[r];
+                if (--st->block_wr[b] == 0) {
+                    st->comp_block[st->comp_n] = b;
+                    st->comp_t[st->comp_n] = now;
+                    st->comp_n++;
+                    int32_t k = st->block_kernel[b];
+                    if (--st->kernel_left[k] == 0 && st->kernel_hazard[k])
+                        return 1;
+                }
+                break;
+            }
+            const int32_t op = off + pc;
+            pc++;
+            const int32_t code = st->op_code[op];
+            double finish;
+            if (code == 0) {                      /* LOAD */
+                double free = st->l1p_free[slot];
+                double start1 = now > free ? now : free;
+                st->l1p_free[slot] = start1 + st->l1_pc;
+                st->l1p_busy[slot] += st->l1_pc;
+                st->l1p_req[slot]++;
+                int32_t set1 = (int32_t)st->op_s1[op];
+                if (lru_access(l1_base + (size_t)set1 * st->l1_ways,
+                               l1_lens + set1,
+                               st->l1_ways, st->op_t1[op])) {
+                    st->l1_hits[slot]++;
+                    finish = start1 + st->l1_hl;
+                } else {
+                    st->l1_miss[slot]++;
+                    l1_sm[set1]++;
+                    free = st->l2p_free;
+                    double start2 = start1 > free ? start1 : free;
+                    st->l2p_free = start2 + st->l2_pc;
+                    st->l2p_busy += st->l2_pc;
+                    st->l2p_req++;
+                    int32_t set2 = (int32_t)st->op_s2[op];
+                    if (lru_access(st->l2_tags + (size_t)set2 * st->l2_ways,
+                                   st->l2_len + set2,
+                                   st->l2_ways, st->op_t2[op])) {
+                        st->l2_hits++;
+                        finish = start2 + st->l2_hl;
+                    } else {
+                        st->l2_miss++;
+                        st->l2_set_miss[set2]++;
+                        finish = start2 + st->mem_lat;
+                    }
+                }
+            } else if (code == 1 || code == 2) {  /* CLOCK0 / CLOCK1 */
+                const int32_t ip = st->rec_iport[r];
+                const double interval = st->isp_interval[ip];
+                double free = st->isp_free[ip];
+                double start = now > free ? now : free;
+                st->isp_free[ip] = start + interval;
+                st->isp_busy[ip] += interval;
+                st->isp_req[ip]++;
+                finish = start + interval;
+                double floor_ = now + st->clock_cost;
+                if (floor_ > finish) finish = floor_;
+                if (st->clock_n >= st->clock_cap) return 3;
+                st->clock_raw[st->clock_n] = finish;
+                if (code == 1) st->rec_a[r] = st->clock_n;
+                else st->rec_b[r] = st->clock_n;
+                st->clock_n++;
+            } else if (code == 3) {               /* SLEEP */
+                finish = now + st->op_f[op];
+            } else {                              /* EMIT: host-side */
+                if (st->emit_n >= st->emit_cap) return 3;
+                st->emit_rec[st->emit_n] = r;
+                st->emit_a[st->emit_n] = st->rec_a[r];
+                st->emit_b[st->emit_n] = st->rec_b[r];
+                st->emit_den[st->emit_n] = st->op_f[op];
+                st->emit_n++;
+                continue;
+            }
+            if ((st->heap_n > 0 && st->heap_t[0] <= finish)
+                    || finish > st->horizon) {
+                st->rec_pc[r] = pc;
+                heap_push(st, finish, st->seq++, r);
+                break;
+            }
+            now = finish;
+            st->now = finish;
+            st->event_count++;
+            if (st->max_events >= 0 && st->event_count > st->max_events) {
+                st->rec_pc[r] = pc;
+                return 2;
+            }
+        }
+    }
+    return 0;
+}
+"""
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+_c_i64_p = ctypes.POINTER(ctypes.c_int64)
+_c_i32_p = ctypes.POINTER(ctypes.c_int32)
+_c_u8_p = ctypes.POINTER(ctypes.c_uint8)
+
+
+class _Stretch(ctypes.Structure):
+    """ctypes mirror of the C ``Stretch`` struct (field order matters)."""
+
+    _fields_ = [
+        ("now", ctypes.c_double),
+        ("seq", ctypes.c_int64),
+        ("event_count", ctypes.c_int64),
+        ("max_events", ctypes.c_int64),
+        ("horizon", ctypes.c_double),
+        ("l1_sets", ctypes.c_int32),
+        ("l1_ways", ctypes.c_int32),
+        ("l2_sets", ctypes.c_int32),
+        ("l2_ways", ctypes.c_int32),
+        ("l1_pc", ctypes.c_double),
+        ("l1_hl", ctypes.c_double),
+        ("l2_pc", ctypes.c_double),
+        ("l2_hl", ctypes.c_double),
+        ("mem_lat", ctypes.c_double),
+        ("clock_cost", ctypes.c_double),
+        ("l1_tags", _c_i64_p),
+        ("l1_len", _c_i32_p),
+        ("l1_set_miss", _c_i64_p),
+        ("l1_hits", _c_i64_p),
+        ("l1_miss", _c_i64_p),
+        ("l1p_free", _c_double_p),
+        ("l1p_busy", _c_double_p),
+        ("l1p_req", _c_i64_p),
+        ("l2_tags", _c_i64_p),
+        ("l2_len", _c_i32_p),
+        ("l2_set_miss", _c_i64_p),
+        ("l2_hits", ctypes.c_int64),
+        ("l2_miss", ctypes.c_int64),
+        ("l2p_free", ctypes.c_double),
+        ("l2p_busy", ctypes.c_double),
+        ("l2p_req", ctypes.c_int64),
+        ("isp_free", _c_double_p),
+        ("isp_busy", _c_double_p),
+        ("isp_req", _c_i64_p),
+        ("isp_interval", _c_double_p),
+        ("op_code", _c_i32_p),
+        ("op_s1", _c_i64_p),
+        ("op_t1", _c_i64_p),
+        ("op_s2", _c_i64_p),
+        ("op_t2", _c_i64_p),
+        ("op_f", _c_double_p),
+        ("n_recs", ctypes.c_int32),
+        ("rec_pc", _c_i32_p),
+        ("rec_off", _c_i32_p),
+        ("rec_len", _c_i32_p),
+        ("rec_sm", _c_i32_p),
+        ("rec_iport", _c_i32_p),
+        ("rec_block", _c_i32_p),
+        ("rec_cancel", _c_u8_p),
+        ("rec_a", _c_i32_p),
+        ("rec_b", _c_i32_p),
+        ("rec_done", _c_u8_p),
+        ("block_wr", _c_i32_p),
+        ("block_kernel", _c_i32_p),
+        ("kernel_left", _c_i32_p),
+        ("kernel_hazard", _c_u8_p),
+        ("heap_n", ctypes.c_int32),
+        ("heap_t", _c_double_p),
+        ("heap_s", _c_i64_p),
+        ("heap_r", _c_i32_p),
+        ("clock_n", ctypes.c_int32),
+        ("clock_cap", ctypes.c_int32),
+        ("clock_raw", _c_double_p),
+        ("emit_n", ctypes.c_int32),
+        ("emit_cap", ctypes.c_int32),
+        ("emit_rec", _c_i32_p),
+        ("emit_a", _c_i32_p),
+        ("emit_b", _c_i32_p),
+        ("emit_den", _c_double_p),
+        ("comp_n", ctypes.c_int32),
+        ("comp_block", _c_i32_p),
+        ("comp_t", _c_double_p),
+    ]
+
+
+def _native_cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        base = Path(override)
+    else:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = Path(xdg) if xdg else Path.home() / ".cache"
+        base = base / "repro"
+    return base / "native"
+
+
+def _compile_library() -> Optional[ctypes.CDLL]:
+    """Build (or reuse) the stretch-runner shared object; None on failure."""
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    for root in (_native_cache_dir(),
+                 Path(tempfile.gettempdir()) / "repro-native"):
+        so_path = root / f"stretch-{digest}.so"
+        try:
+            if not so_path.exists():
+                root.mkdir(parents=True, exist_ok=True)
+                src = root / f"stretch-{digest}.c"
+                src.write_text(_C_SOURCE)
+                compilers = [os.environ.get("CC"), "cc", "gcc", "clang"]
+                built = False
+                for cc in compilers:
+                    if not cc:
+                        continue
+                    tmp = root / f".stretch-{digest}.{os.getpid()}.so"
+                    try:
+                        subprocess.run(
+                            [cc, "-O2", "-shared", "-fPIC",
+                             "-o", str(tmp), str(src)],
+                            check=True, capture_output=True, timeout=120)
+                    except (OSError, subprocess.SubprocessError):
+                        continue
+                    os.replace(tmp, so_path)  # atomic for racing processes
+                    built = True
+                    break
+                if not built:
+                    continue
+            lib = ctypes.CDLL(str(so_path))
+            lib.run_stretch.argtypes = [ctypes.POINTER(_Stretch)]
+            lib.run_stretch.restype = ctypes.c_int
+            return lib
+        except OSError:
+            continue
+    return None
+
+
+_LIB: Any = None
+_LIB_TRIED = False
+
+
+def native_library() -> Optional[ctypes.CDLL]:
+    """Process-wide compiled stretch runner (None when unavailable).
+
+    ``REPRO_BATCH_NATIVE=0`` (or ``no``/``off``) disables compilation —
+    the kill switch the equivalence tests use to prove the pure-Python
+    plan lane and the compiled lane agree bit for bit.
+    """
+    global _LIB, _LIB_TRIED
+    if os.environ.get("REPRO_BATCH_NATIVE", "1").lower() in ("0", "no",
+                                                             "off"):
+        return None
+    if not _LIB_TRIED:
+        _LIB_TRIED = True
+        _LIB = _compile_library()
+    return _LIB
+
+
+def _ptr(arr: np.ndarray, ctype) -> Any:
+    return arr.ctypes.data_as(ctype)
+
+
+class NativeStretchRunner:
+    """Marshals one device's plan-lane state through ``run_stretch``.
+
+    One instance per :class:`~repro.sim.batch.BatchedEngine`.  Buffers
+    are persistent: device-geometry arrays (cache tags, port timings)
+    are allocated once at bind time, and per-stretch work touches only
+    the cache sets the resident plans can reach — precomputed per plan
+    — so the Python marshalling cost scales with active warps, not
+    device size.  The plan arena is accumulated across stretches since
+    plans are module-memoized.
+    """
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        self._st = _Stretch()
+        self._device: Any = None
+        # plan arena
+        self._arena_offsets: dict = {}
+        self._arena_plans: list = []
+        self._arena_size = 0
+        self._arena: dict = {}
+        #: id(plan) -> (sorted L1 set list, sorted L2 set list) a plan
+        #: can touch (strong plan refs held via _arena_plans).
+        self._plan_touched: dict = {}
+        self._rec_cap = 0
+        self._heap_cap = 0
+        self._log_cap = 0
+        self._blk_cap = 0
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def _bind(self, device: Any) -> None:
+        st = self._st
+        self._device = device
+        spec = device.spec
+        l1s, l2s = spec.const_l1, spec.const_l2
+        n = spec.n_sms
+        self._n_sched = spec.warp_schedulers
+        self._l1_sets_n, self._l1_ways = l1s.n_sets, l1s.ways
+        self._l2_sets_n, self._l2_ways = l2s.n_sets, l2s.ways
+        st.l1_sets, st.l1_ways = l1s.n_sets, l1s.ways
+        st.l2_sets, st.l2_ways = l2s.n_sets, l2s.ways
+        st.l1_pc, st.l1_hl = l1s.port_cycles, l1s.hit_latency
+        st.l2_pc, st.l2_hl = l2s.port_cycles, l2s.hit_latency
+        st.mem_lat = spec.const_mem_latency
+        st.clock_cost = 2.0  # repro.sim.sm.CLOCK_READ_COST
+        me = device.engine._max_events
+        st.max_events = -1 if me is None else me
+        self._l1_tags = np.zeros((n, l1s.n_sets, l1s.ways), np.int64)
+        self._l1_len = np.zeros((n, l1s.n_sets), np.int32)
+        self._l1_set_miss = np.zeros((n, l1s.n_sets), np.int64)
+        self._l1_hits = np.zeros(n, np.int64)
+        self._l1_miss = np.zeros(n, np.int64)
+        self._l1p_free = np.zeros(n, np.float64)
+        self._l1p_busy = np.zeros(n, np.float64)
+        self._l1p_req = np.zeros(n, np.int64)
+        self._l2_tags = np.zeros((l2s.n_sets, l2s.ways), np.int64)
+        self._l2_len = np.zeros(l2s.n_sets, np.int32)
+        self._l2_set_miss = np.zeros(l2s.n_sets, np.int64)
+        ni = n * self._n_sched
+        self._isp_free = np.zeros(ni, np.float64)
+        self._isp_busy = np.zeros(ni, np.float64)
+        self._isp_req = np.zeros(ni, np.int64)
+        self._isp_interval = np.zeros(ni, np.float64)
+        st.l1_tags = _ptr(self._l1_tags, _c_i64_p)
+        st.l1_len = _ptr(self._l1_len, _c_i32_p)
+        st.l1_set_miss = _ptr(self._l1_set_miss, _c_i64_p)
+        st.l1_hits = _ptr(self._l1_hits, _c_i64_p)
+        st.l1_miss = _ptr(self._l1_miss, _c_i64_p)
+        st.l1p_free = _ptr(self._l1p_free, _c_double_p)
+        st.l1p_busy = _ptr(self._l1p_busy, _c_double_p)
+        st.l1p_req = _ptr(self._l1p_req, _c_i64_p)
+        st.l2_tags = _ptr(self._l2_tags, _c_i64_p)
+        st.l2_len = _ptr(self._l2_len, _c_i32_p)
+        st.l2_set_miss = _ptr(self._l2_set_miss, _c_i64_p)
+        st.isp_free = _ptr(self._isp_free, _c_double_p)
+        st.isp_busy = _ptr(self._isp_busy, _c_double_p)
+        st.isp_req = _ptr(self._isp_req, _c_i64_p)
+        st.isp_interval = _ptr(self._isp_interval, _c_double_p)
+
+    def _ensure_recs(self, n: int) -> None:
+        if n <= self._rec_cap:
+            return
+        cap = self._rec_cap = max(64, 2 * n)
+        st = self._st
+        self._rec_pc = np.zeros(cap, np.int32)
+        self._rec_off = np.zeros(cap, np.int32)
+        self._rec_len = np.zeros(cap, np.int32)
+        self._rec_sm = np.zeros(cap, np.int32)
+        self._rec_iport = np.zeros(cap, np.int32)
+        self._rec_block = np.zeros(cap, np.int32)
+        self._rec_cancel = np.zeros(cap, np.uint8)
+        self._rec_a = np.zeros(cap, np.int32)
+        self._rec_b = np.zeros(cap, np.int32)
+        self._rec_done = np.zeros(cap, np.uint8)
+        st.rec_pc = _ptr(self._rec_pc, _c_i32_p)
+        st.rec_off = _ptr(self._rec_off, _c_i32_p)
+        st.rec_len = _ptr(self._rec_len, _c_i32_p)
+        st.rec_sm = _ptr(self._rec_sm, _c_i32_p)
+        st.rec_iport = _ptr(self._rec_iport, _c_i32_p)
+        st.rec_block = _ptr(self._rec_block, _c_i32_p)
+        st.rec_cancel = _ptr(self._rec_cancel, _c_u8_p)
+        st.rec_a = _ptr(self._rec_a, _c_i32_p)
+        st.rec_b = _ptr(self._rec_b, _c_i32_p)
+        st.rec_done = _ptr(self._rec_done, _c_u8_p)
+
+    def _ensure_heap(self, n: int) -> None:
+        if n <= self._heap_cap:
+            return
+        cap = self._heap_cap = max(128, 2 * n)
+        st = self._st
+        self._heap_t = np.zeros(cap, np.float64)
+        self._heap_s = np.zeros(cap, np.int64)
+        self._heap_r = np.zeros(cap, np.int32)
+        st.heap_t = _ptr(self._heap_t, _c_double_p)
+        st.heap_s = _ptr(self._heap_s, _c_i64_p)
+        st.heap_r = _ptr(self._heap_r, _c_i32_p)
+
+    def _ensure_logs(self, n: int) -> None:
+        if n <= self._log_cap:
+            return
+        cap = self._log_cap = max(4096, 2 * n)
+        st = self._st
+        self._clock_raw = np.zeros(cap, np.float64)
+        self._emit_rec = np.zeros(cap, np.int32)
+        self._emit_a = np.zeros(cap, np.int32)
+        self._emit_b = np.zeros(cap, np.int32)
+        self._emit_den = np.zeros(cap, np.float64)
+        st.clock_raw = _ptr(self._clock_raw, _c_double_p)
+        st.emit_rec = _ptr(self._emit_rec, _c_i32_p)
+        st.emit_a = _ptr(self._emit_a, _c_i32_p)
+        st.emit_b = _ptr(self._emit_b, _c_i32_p)
+        st.emit_den = _ptr(self._emit_den, _c_double_p)
+        st.clock_cap = cap
+        st.emit_cap = cap
+
+    def _ensure_blocks(self, n: int) -> None:
+        if n <= self._blk_cap:
+            return
+        cap = self._blk_cap = max(64, 2 * n)
+        st = self._st
+        self._block_wr = np.zeros(cap, np.int32)
+        self._block_kernel = np.zeros(cap, np.int32)
+        self._kernel_left = np.zeros(cap, np.int32)
+        self._kernel_hazard = np.zeros(cap, np.uint8)
+        self._comp_block = np.zeros(cap, np.int32)
+        self._comp_t = np.zeros(cap, np.float64)
+        st.block_wr = _ptr(self._block_wr, _c_i32_p)
+        st.block_kernel = _ptr(self._block_kernel, _c_i32_p)
+        st.kernel_left = _ptr(self._kernel_left, _c_i32_p)
+        st.kernel_hazard = _ptr(self._kernel_hazard, _c_u8_p)
+        st.comp_block = _ptr(self._comp_block, _c_i32_p)
+        st.comp_t = _ptr(self._comp_t, _c_double_p)
+
+    # ------------------------------------------------------------------
+    # Plan arena
+    # ------------------------------------------------------------------
+    def _register_plan(self, plan: Any) -> int:
+        off = self._arena_size
+        self._arena_offsets[id(plan)] = off
+        self._arena_plans.append(plan)
+        self._arena_size += plan.n_ops
+        load = plan.code == 0
+        self._plan_touched[id(plan)] = (
+            np.unique(plan.s1[load]).tolist(),
+            np.unique(plan.s2[load]).tolist(),
+        )
+        return off
+
+    def _rebuild_arena(self) -> None:
+        ps = self._arena_plans
+        st = self._st
+        arena = self._arena = {
+            "code": np.concatenate([p.code for p in ps]),
+            "s1": np.concatenate([p.s1 for p in ps]),
+            "t1": np.concatenate([p.t1 for p in ps]),
+            "s2": np.concatenate([p.s2 for p in ps]),
+            "t2": np.concatenate([p.t2 for p in ps]),
+            "f": np.concatenate([p.f for p in ps]),
+        }
+        st.op_code = _ptr(arena["code"], _c_i32_p)
+        st.op_s1 = _ptr(arena["s1"], _c_i64_p)
+        st.op_t1 = _ptr(arena["t1"], _c_i64_p)
+        st.op_s2 = _ptr(arena["s2"], _c_i64_p)
+        st.op_t2 = _ptr(arena["t2"], _c_i64_p)
+        st.op_f = _ptr(arena["f"], _c_double_p)
+
+    # ------------------------------------------------------------------
+    def eligible(self, engine: Any) -> bool:
+        """Cheap per-stretch preconditions beyond "heap head is a rec"."""
+        device = engine._device
+        return (device is not None
+                and type(device.clock) is ClockModel
+                and engine.profile_hook is None
+                and not device.block_scheduler.has_pending
+                and device.plan_lane_active())
+
+    # ------------------------------------------------------------------
+    def run(self, engine: Any) -> int:
+        """Execute one native stretch; returns the C exit code.
+
+        Marshals engine/cache/port/plan state into the persistent
+        arrays, runs ``run_stretch``, then pours everything back:
+        touched cache sets and counters, port timings, clock-jitter
+        resolution (one vectorized draw over the log — stream-identical
+        to per-read scalars), emit lists, the rebuilt heap, and block
+        completions replayed in logged event order with ``engine.now``
+        temporarily rewound so ``BlockRecord.stop_cycle`` and
+        completion callbacks observe exact times.  The heap is rebuilt
+        *before* the completion replay: callbacks may schedule events.
+        """
+        device = engine._device
+        if device is not self._device:
+            self._bind(device)
+        st = self._st
+        heap = engine._heap
+        sms = device.sms
+
+        # --- heap marshal ------------------------------------------------
+        # Accumulate in Python lists, then bulk-assign slices: one numpy
+        # call per column beats per-element ndarray stores by ~50x.
+        hn = len(heap)
+        self._ensure_heap(hn + 4)
+        ht: list = []
+        hs: list = []
+        hr: list = []
+        recs: List[PlanWarpRec] = []
+        foreign: List[Any] = []
+        for t, s, fn in heap:
+            ht.append(t)
+            hs.append(s)
+            if type(fn) is PlanWarpRec:
+                hr.append(len(recs))
+                recs.append(fn)
+            else:
+                hr.append(-1 - len(foreign))
+                foreign.append(fn)
+        self._heap_t[:hn] = ht
+        self._heap_s[:hn] = hs
+        self._heap_r[:hn] = hr
+        n_recs = len(recs)
+        self._ensure_recs(n_recs)
+
+        # --- rec registries ----------------------------------------------
+        rec_a, rec_b, rec_done = self._rec_a, self._rec_b, self._rec_done
+        rec_a[:n_recs] = -1
+        rec_b[:n_recs] = -1
+        rec_done[:n_recs] = 0
+        arena_off = self._arena_offsets
+        touched = self._plan_touched
+        n_sched = self._n_sched
+        arena_dirty = False
+        remaining_ops = 0
+        r_pc: list = []
+        r_off: list = []
+        r_len: list = []
+        r_sm: list = []
+        r_iport: list = []
+        r_block: list = []
+        r_cancel: list = []
+        sm_ids: set = set()
+        l1_touched: set = set()
+        l2_touched: set = set()
+        iports: dict = {}
+        block_ix: dict = {}
+        blocks: list = []
+        kernel_ix: dict = {}
+        kernels: list = []
+        for rec in recs:
+            pc = rec.pc
+            r_pc.append(pc)
+            r_len.append(rec.n_ops)
+            remaining_ops += rec.n_ops - pc
+            plan = rec.plan
+            off = arena_off.get(id(plan))
+            if off is None:
+                off = self._register_plan(plan)
+                arena_dirty = True
+            r_off.append(off)
+            sm_id = rec.sm.sm_id
+            r_sm.append(sm_id)
+            sm_ids.add(sm_id)
+            t1, t2 = touched[id(plan)]
+            for si in t1:
+                l1_touched.add((sm_id, si))
+            l2_touched.update(t2)
+            gi = sm_id * n_sched + rec.warp.scheduler_id
+            r_iport.append(gi)
+            if gi not in iports:
+                iports[gi] = (rec.issue_port, rec.issue_interval)
+            bid = id(rec.block)
+            b = block_ix.get(bid)
+            if b is None:
+                b = block_ix[bid] = len(blocks)
+                blocks.append((rec.block, rec.sm))
+                kernel = rec.block.kernel
+                kid = id(kernel)
+                if kid not in kernel_ix:
+                    kernel_ix[kid] = len(kernels)
+                    kernels.append(kernel)
+            r_block.append(b)
+            r_cancel.append(1 if rec.warp.cancelled else 0)
+        self._rec_pc[:n_recs] = r_pc
+        self._rec_off[:n_recs] = r_off
+        self._rec_len[:n_recs] = r_len
+        self._rec_sm[:n_recs] = r_sm
+        self._rec_iport[:n_recs] = r_iport
+        self._rec_block[:n_recs] = r_block
+        self._rec_cancel[:n_recs] = r_cancel
+        if arena_dirty:
+            self._rebuild_arena()
+        self._ensure_logs(remaining_ops + 1)
+        self._ensure_blocks(len(blocks))
+        nb = len(blocks)
+        self._block_wr[:nb] = [block.warps_remaining
+                               for block, _sm in blocks]
+        self._block_kernel[:nb] = [kernel_ix[id(block.kernel)]
+                                   for block, _sm in blocks]
+        nk = len(kernels)
+        self._kernel_left[:nk] = [k.config.grid - k._blocks_done
+                                  for k in kernels]
+        self._kernel_hazard[:nk] = [1 if k._on_complete else 0
+                                    for k in kernels]
+
+        # --- cache / port marshal (touched entries only) ------------------
+        l1_tags, l1_len = self._l1_tags, self._l1_len
+        l1_set_miss = self._l1_set_miss
+        for sm_id in sm_ids:
+            l1 = sms[sm_id].l1
+            self._l1_hits[sm_id] = int(l1.hit_counter.value)
+            self._l1_miss[sm_id] = int(l1.miss_counter.value)
+            port = l1.port
+            self._l1p_free[sm_id] = port.free_at
+            self._l1p_busy[sm_id] = port.busy_cycles
+            self._l1p_req[sm_id] = port.requests
+        for sm_id, si in l1_touched:
+            l1 = sms[sm_id].l1
+            lines = l1._sets[si]
+            ln = len(lines)
+            l1_len[sm_id, si] = ln
+            if ln:
+                l1_tags[sm_id, si, :ln] = lines
+            l1_set_miss[sm_id, si] = l1.set_misses[si]
+        l2 = device.const_l2
+        l2_tags, l2_len = self._l2_tags, self._l2_len
+        l2_set_miss = self._l2_set_miss
+        l2_sets = l2._sets
+        l2_sm = l2.set_misses
+        for si in l2_touched:
+            lines = l2_sets[si]
+            ln = len(lines)
+            l2_len[si] = ln
+            if ln:
+                l2_tags[si, :ln] = lines
+            l2_set_miss[si] = l2_sm[si]
+        st.l2_hits = int(l2.hit_counter.value)
+        st.l2_miss = int(l2.miss_counter.value)
+        st.l2p_free = l2.port.free_at
+        st.l2p_busy = l2.port.busy_cycles
+        st.l2p_req = l2.port.requests
+        isp_free, isp_busy = self._isp_free, self._isp_busy
+        isp_req, isp_interval = self._isp_req, self._isp_interval
+        for gi, (port, interval) in iports.items():
+            isp_free[gi] = port.free_at
+            isp_busy[gi] = port.busy_cycles
+            isp_req[gi] = port.requests
+            isp_interval[gi] = interval
+
+        # --- engine scalars ----------------------------------------------
+        st.now = engine.now
+        st.seq = engine._seq
+        st.event_count = engine._event_count
+        st.horizon = engine._horizon
+        st.n_recs = n_recs
+        st.heap_n = hn
+        st.clock_n = 0
+        st.emit_n = 0
+        st.comp_n = 0
+
+        code = self._lib.run_stretch(ctypes.byref(st))
+
+        # --- pour back: engine -------------------------------------------
+        engine._seq = int(st.seq)
+        engine._event_count = int(st.event_count)
+        final_now = float(st.now)
+        engine.now = final_now
+
+        # caches + ports (touched entries only; in-place list updates
+        # keep the aliases live PlanWarpRecs hold)
+        for sm_id in sm_ids:
+            l1 = sms[sm_id].l1
+            # Counter.value is a float; restore as float so snapshot
+            # fingerprints (canonical JSON) match the reference engines.
+            l1.hit_counter.value = float(self._l1_hits[sm_id])
+            l1.miss_counter.value = float(self._l1_miss[sm_id])
+            port = l1.port
+            port.free_at = float(self._l1p_free[sm_id])
+            port.busy_cycles = float(self._l1p_busy[sm_id])
+            port.requests = int(self._l1p_req[sm_id])
+        for sm_id, si in l1_touched:
+            l1 = sms[sm_id].l1
+            ln = l1_len[sm_id, si]
+            l1._sets[si][:] = l1_tags[sm_id, si, :ln].tolist()
+            l1.set_misses[si] = int(l1_set_miss[sm_id, si])
+        for si in l2_touched:
+            ln = l2_len[si]
+            l2_sets[si][:] = l2_tags[si, :ln].tolist()
+            l2_sm[si] = int(l2_set_miss[si])
+        l2.hit_counter.value = float(st.l2_hits)
+        l2.miss_counter.value = float(st.l2_miss)
+        l2.port.free_at = float(st.l2p_free)
+        l2.port.busy_cycles = float(st.l2p_busy)
+        l2.port.requests = int(st.l2p_req)
+        for gi, (port, _interval) in iports.items():
+            port.free_at = float(isp_free[gi])
+            port.busy_cycles = float(isp_busy[gi])
+            port.requests = int(isp_req[gi])
+
+        # clock jitter resolution (one bulk draw == per-read scalar draws)
+        cn = int(st.clock_n)
+        clock = device.clock
+        if cn:
+            arr = self._clock_raw[:cn]
+            if clock.jitter_cycles > 0.0:
+                arr = arr + clock._rng.normal(0.0, clock.jitter_cycles,
+                                              size=cn)
+            if clock.granularity != 1.0:
+                g = clock.granularity
+                arr = (arr // g) * g
+            vals = arr.tolist()
+        else:
+            vals = []
+
+        # emits, in execution order
+        en = int(st.emit_n)
+        if en:
+            emit_rec = self._emit_rec[:en].tolist()
+            emit_a = self._emit_a[:en].tolist()
+            emit_b = self._emit_b[:en].tolist()
+            emit_den = self._emit_den[:en].tolist()
+            for i in range(en):
+                rec = recs[emit_rec[i]]
+                a = emit_a[i]
+                b = emit_b[i]
+                t0 = vals[a] if a >= 0 else rec.t0
+                t1 = vals[b] if b >= 0 else rec.t1
+                rec.lats.append((t1 - t0) / emit_den[i])
+
+        # per-rec state
+        pcs = self._rec_pc[:n_recs].tolist()
+        avs = rec_a[:n_recs].tolist()
+        bvs = rec_b[:n_recs].tolist()
+        dones = rec_done[:n_recs].tolist()
+        for i, rec in enumerate(recs):
+            rec.pc = pcs[i]
+            a = avs[i]
+            if a >= 0:
+                rec.t0 = vals[a]
+            b = bvs[i]
+            if b >= 0:
+                rec.t1 = vals[b]
+            # finished warps: result write-back + warp accounting
+            if dones[i]:
+                warp = rec.warp
+                if rec.out_write is not None:
+                    rec.out_write(warp.kernel.out, warp.block_idx, rec.lats)
+                warp.done = True
+                rec.block.warp_finished()
+
+        # heap rebuild, BEFORE completion replay: completion callbacks
+        # may schedule new events and must land in the live heap.  The
+        # C array is a valid binary heap ((time, seq) keys are unique,
+        # so its pop order is identical to heapq's even if the array
+        # layout differs).
+        out_n = int(st.heap_n)
+        ht = self._heap_t[:out_n].tolist()
+        hs = self._heap_s[:out_n].tolist()
+        hr = self._heap_r[:out_n].tolist()
+        heap[:] = [
+            (ht[i], hs[i],
+             recs[hr[i]] if hr[i] >= 0 else foreign[-1 - hr[i]])
+            for i in range(out_n)
+        ]
+
+        # block completions, replayed in logged event order so
+        # stop_cycle / complete_cycle / callbacks see exact times
+        compn = int(st.comp_n)
+        if compn:
+            comp_block = self._comp_block[:compn].tolist()
+            comp_t = self._comp_t[:compn].tolist()
+            for i in range(compn):
+                block, sm = blocks[comp_block[i]]
+                engine.now = comp_t[i]
+                sm._retire_block(block)
+            engine.now = final_now
+
+        return code

@@ -1,0 +1,253 @@
+"""Batched lockstep engine mode and seed-replica fleets (ROADMAP item 3).
+
+The Monte-Carlo workload behind the paper's Figure 5 error bars runs
+the *same* Section 4 transmission under many device seeds.  This module
+provides both halves of that workload:
+
+* :class:`BatchedEngine` — the event engine behind
+  ``Device(engine="batched")``.  It inherits the fast engine's exact
+  semantics (the plan lane's interpreters replay the cycle-skipping
+  burst arithmetic op for op) and, when the heap's next event is a
+  pre-compiled plan warp, hands whole stretches of simulation to the
+  compiled runner in :mod:`repro.sim._native`.  Everything stays
+  bit-identical to ``fast``/``events``/``tick`` — enforced by
+  ``tests/test_engine_equivalence.py`` — because acceleration never
+  reorders events, only executes them faster.
+* :class:`ReplicaBatch` — K devices differing *only* in derived seed
+  (:data:`repro.seeds.REPLICA_STRIDE`), forked from one pristine
+  snapshot and driven in bit-level lockstep through a channel per
+  replica.  Replicas share the module-memoized issue plans, so the
+  per-bit kernel bodies are compiled once for the whole fleet.
+
+A reseeded pristine fork is bit-identical to cold-constructing
+``Device(spec, seed=seed)`` (see :func:`repro.sim.snapshot.fork_device`),
+so every batch replica reproduces the exact solo run of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.seeds import REPLICA_STRIDE, derive_seed
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.plan import PlanWarpRec
+
+#: Lazily-imported native exit codes (mirrors repro.sim._native).
+_EXIT_BUDGET = 2
+_EXIT_OVERFLOW = 3
+
+
+class BatchedEngine(Engine):
+    """Fast-engine semantics plus the native plan-stretch accelerator.
+
+    The engine itself adds no new scheduling behaviour: ``schedule``,
+    ``step`` and ``run`` are inherited unchanged, and a device in
+    ``batched`` mode with no plans attached behaves exactly like
+    ``fast``.  The override is :meth:`run_flag` — the synchronize
+    drain loop — which, whenever the next due event is a
+    :class:`~repro.sim.plan.PlanWarpRec` and the device state is
+    marshallable, executes a whole stretch of plan events in one
+    compiled call instead of one heap pop per op.  When the native
+    library is unavailable (no C compiler, or ``REPRO_BATCH_NATIVE=0``)
+    every event goes through the inherited pure-Python path with
+    identical results.
+    """
+
+    __slots__ = ("_device", "_native")
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        super().__init__(max_events=max_events)
+        #: Owning device, wired by the Device constructor.  The native
+        #: marshaller needs the cache/SM/scheduler object graph; a bare
+        #: BatchedEngine (no device) degrades to the inherited loop.
+        self._device: Optional[Any] = None
+        self._native: Any = None  # None=unprobed, False=unavailable
+
+    # ------------------------------------------------------------------
+    def _runner(self) -> Optional[Any]:
+        if self._native is None:
+            from repro.sim._native import NativeStretchRunner, native_library
+            lib = native_library()
+            self._native = (NativeStretchRunner(lib) if lib is not None
+                            else False)
+        return self._native or None
+
+    # ------------------------------------------------------------------
+    def run_flag(self, flag: List[bool]) -> None:
+        """Drain events until ``flag[0]`` turns true (see Engine).
+
+        Alternates between native stretches (while the heap head is a
+        plan warp) and exact single-event execution (for stream
+        submits, host waits and generator warps).  The native runner
+        returns control at every point where Python side effects can
+        occur — a foreign event reaching the heap head, or a kernel
+        with completion callbacks retiring — so callback scheduling
+        and RNG consumption interleave exactly as in the fast engine.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        max_events = self._max_events
+        hook = self.profile_hook
+        runner = self._runner() if self._device is not None else None
+        while not flag[0]:
+            if not heap:
+                return
+            if (runner is not None and hook is None
+                    and type(heap[0][2]) is PlanWarpRec
+                    and runner.eligible(self)):
+                code = runner.run(self)
+                if code == _EXIT_BUDGET:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); "
+                        "likely a runaway kernel or protocol livelock"
+                    )
+                if code >= _EXIT_OVERFLOW and code != 5:
+                    raise RuntimeError(
+                        f"native stretch runner log overflow (code {code})"
+                    )  # pragma: no cover - caps are sized to remaining ops
+                continue
+            time, _, fn = pop(heap)
+            self.now = time
+            self._event_count += 1
+            if max_events is not None and self._event_count > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a runaway kernel or protocol livelock"
+                )
+            fn()
+            if hook is not None:
+                hook(self)
+
+
+# ----------------------------------------------------------------------
+# Replica fleets
+# ----------------------------------------------------------------------
+class ReplicaBatch:
+    """K lockstep replicas of one device, differing only in seed.
+
+    Construction captures (or accepts) a *pristine* snapshot — a
+    never-run ``batched``-mode device — and forks it K times with seeds
+    ``derive_seed(base_seed, REPLICA_STRIDE, i)``.  Because a reseeded
+    pristine fork is bit-identical to ``Device(spec, seed=seed)``, each
+    replica's transmission reproduces the corresponding solo run bit
+    for bit; the batch only amortizes construction, plan compilation
+    and the native library across the fleet.
+
+    ``store`` (a :class:`repro.runner.cache.SnapshotStore`) memoizes
+    the pristine snapshot across processes; entries are verified by
+    fork-and-refingerprint before trust, exactly like
+    :func:`repro.sim.snapshot.memoized_point`.
+    """
+
+    def __init__(self, spec: Any, *, batch: int, base_seed: int = 0,
+                 snapshot: Optional[Any] = None,
+                 store: Optional[Any] = None,
+                 store_key: Optional[str] = None,
+                 observe: Any = None,
+                 max_events: Optional[int] = 50_000_000) -> None:
+        if batch < 1:
+            raise ValueError("batch must have at least one replica")
+        self.spec = spec
+        self.batch = batch
+        self.base_seed = base_seed
+        if snapshot is None:
+            snapshot = self._pristine_snapshot(
+                spec, base_seed, store, store_key, observe, max_events)
+        # Snapshots are engine-mode portable; the forks below pass
+        # engine="batched" explicitly so a fleet built off e.g. a
+        # "fast" capture still gets the plan lane.
+        self.snapshot = snapshot
+        self.seeds = [derive_seed(base_seed, REPLICA_STRIDE, i)
+                      for i in range(batch)]
+        from repro.sim.snapshot import fork_device
+        self.devices = [fork_device(snapshot, seed=s, engine="batched")
+                        for s in self.seeds]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pristine_snapshot(spec: Any, base_seed: int,
+                           store: Optional[Any], store_key: Optional[str],
+                           observe: Any,
+                           max_events: Optional[int]) -> Any:
+        from repro.sim.gpu import Device
+        from repro.sim.snapshot import fork_device, snapshot_device
+
+        key = store_key or f"replica-batch/{spec.name}/seed{base_seed}"
+        if store is not None:
+            entry = store.get(key)
+            if entry is not None:
+                snap = entry["snapshot"]
+                try:
+                    forked = fork_device(snap)
+                    if (snapshot_device(forked).fingerprint
+                            == snap.fingerprint):
+                        return snap
+                except Exception:
+                    pass
+                store.evict(key)
+        device = Device(spec, seed=base_seed, engine="batched",
+                        observe=observe, max_events=max_events)
+        snap = snapshot_device(device)
+        if store is not None:
+            store.put(key, snap, {"kind": "replica-batch-baseline"})
+        return snap
+
+    # ------------------------------------------------------------------
+    def channels(self, factory: Callable[[Any], Any]) -> List[Any]:
+        """Build one channel per replica (``factory(device)``)."""
+        return [factory(device) for device in self.devices]
+
+    def transmit(self, factory: Callable[[Any], Any],
+                 bits: Sequence[int]) -> List[Any]:
+        """Transmit ``bits`` over a fresh channel on every replica."""
+        return self.transmit_lockstep(self.channels(factory), bits)
+
+    def transmit_lockstep(self, channels: Sequence[Any],
+                          bits: Sequence[int]) -> List[Any]:
+        """Drive all channels through the message in bit-level lockstep.
+
+        For per-bit-relaunch cache channels
+        (:class:`~repro.channels.cache_common.BaselineCacheChannel`)
+        the fleet advances one bit at a time: replica 0 sends bit j,
+        then replica 1, ... — so the shared plan memo is warm from the
+        first replica on and wall-clock progress is visible per bit.
+        Each replica's device is independent, so the interleaving
+        cannot change any result: the per-replica
+        :class:`~repro.channels.base.ChannelResult` is identical to a
+        solo ``channel.transmit(bits)`` on that seed.  Channel types
+        without a per-bit round (the synchronized channels) fall back
+        to whole-message transmits per replica.
+        """
+        from repro.channels.cache_common import BaselineCacheChannel
+
+        if len(channels) != len(self.devices):
+            raise ValueError(
+                f"need one channel per replica ({len(self.devices)}), "
+                f"got {len(channels)}"
+            )
+        if not all(isinstance(ch, BaselineCacheChannel)
+                   for ch in channels):
+            return [ch.transmit(bits) for ch in channels]
+        starts = [ch.device.now for ch in channels]
+        received: List[List[int]] = [[] for _ in channels]
+        bit_latencies: List[Optional[List[Any]]] = [
+            [] if ch.device.obs.signal is not None else None
+            for ch in channels
+        ]
+        for bit in bits:
+            b = int(bit)
+            for i, ch in enumerate(channels):
+                out = ch._send_bit(b)
+                received[i].append(ch._decode(out))
+                lat = bit_latencies[i]
+                if lat is not None:
+                    lat.append(out["latencies"][ch.decode_block])
+        return [
+            ch._result(list(bits), received[i], starts[i],
+                       bit_latencies=bit_latencies[i],
+                       iterations=ch.iterations,
+                       level=ch.level,
+                       target_set=ch.target_set)
+            for i, ch in enumerate(channels)
+        ]

@@ -186,6 +186,14 @@ class Fabric:
         self.sync_period = sync_period
         self.seed = seed
         self.engine_mode = resolve_engine_mode(engine)
+        if self.engine_mode == "batched":
+            raise FabricError(
+                "engine mode 'batched' is single-device only: a fabric "
+                "shares one event engine across members, while the "
+                "batched engine's stretch runner assumes it owns the "
+                "whole heap.  Build the fabric with engine='fast' and "
+                "use repro.sim.batch.ReplicaBatch for replica fleets "
+                "of standalone devices.")
         engine_cls = TickEngine if self.engine_mode == "tick" else Engine
         #: The one shared engine every member device schedules on.
         self.engine = engine_cls(max_events=max_events)

@@ -39,12 +39,17 @@ from repro.sim.stream import Stream
 from repro.sim.timing import ClockModel
 
 #: Engine execution modes, from fastest to slowest:
-#: ``fast`` (default) bursts warp instructions inline and skips the
-#: clock straight to completion times; ``events`` schedules one heap
-#: event per instruction (the readable reference); ``tick`` advances
-#: the clock one cycle at a time (the debugging oracle).  All three are
-#: bit-identical in every observable timing.
-ENGINE_MODES = ("fast", "events", "tick")
+#: ``batched`` runs fast-path semantics plus the plan lane — kernels
+#: carrying pre-compiled issue plans execute through slotted
+#: interpreters and, where available, the compiled stretch runner
+#: (:mod:`repro.sim._native`); it is the engine
+#: :class:`~repro.sim.batch.ReplicaBatch` forks Monte-Carlo replicas
+#: onto.  ``fast`` (default) bursts warp instructions inline and skips
+#: the clock straight to completion times; ``events`` schedules one
+#: heap event per instruction (the readable reference); ``tick``
+#: advances the clock one cycle at a time (the debugging oracle).  All
+#: four are bit-identical in every observable timing.
+ENGINE_MODES = ("fast", "batched", "events", "tick")
 
 
 def resolve_engine_mode(engine: Optional[str] = None) -> str:
@@ -54,9 +59,21 @@ def resolve_engine_mode(engine: Optional[str] = None) -> str:
     without building a device (snapshot stores key entries by engine
     mode before any device exists).
     """
+    source = "engine"
     if engine is None:
-        engine = os.environ.get("REPRO_SIM_ENGINE") or "fast"
+        env = os.environ.get("REPRO_SIM_ENGINE")
+        if env:
+            engine, source = env, "env"
+        else:
+            engine = "fast"
     if engine not in ENGINE_MODES:
+        valid = ", ".join(ENGINE_MODES)
+        if source == "env":
+            raise ValueError(
+                f"invalid REPRO_SIM_ENGINE value {engine!r}: valid "
+                f"engine modes are {valid} (unset the variable to get "
+                "the default, 'fast')"
+            )
         raise ValueError(
             f"engine must be one of {ENGINE_MODES}, got {engine!r}"
         )
@@ -101,6 +118,10 @@ class Device:
             # Members share the fabric's engine so cross-device event
             # ordering is the one heap's deterministic FIFO order.
             self.engine = fabric.engine
+        elif engine == "batched":
+            from repro.sim.batch import BatchedEngine
+            self.engine = BatchedEngine(max_events=max_events)
+            self.engine._device = self
         else:
             engine_cls = TickEngine if engine == "tick" else Engine
             self.engine = engine_cls(max_events=max_events)
@@ -129,8 +150,32 @@ class Device:
         #: sampler hook is installed (trace mode with
         #: ``engine_sample_every > 0``) the per-event tap must see every
         #: event, so warps fall back to the reference driver.
-        self._fast_warps = (engine == "fast"
+        self._fast_warps = (engine in ("fast", "batched")
                             and self.engine.profile_hook is None)
+        #: Whether kernels carrying pre-compiled issue plans take the
+        #: batched engine's plan lane (see repro.sim.plan).  Requires
+        #: the burst loop — a sampler hook disables both.
+        self._plan_warps = engine == "batched" and self._fast_warps
+
+    def plan_lane_active(self) -> bool:
+        """Whether launches may attach pre-compiled issue plans *now*.
+
+        True only on a ``batched``-engine device in the plain
+        observability configuration — the plan interpreters replay the
+        fast path's inlined arithmetic, which (exactly like the
+        ``plain`` branch of ``SM._drive_warp_fast``) bypasses the
+        instruction counter, tracer, attribution ledgers, cache-access
+        capture and partition remapping.  Channels consult this per
+        launch and fall back to generator bodies when it is False.
+        """
+        if not self._plan_warps:
+            return False
+        obs = self.obs
+        return (not obs.trace_on
+                and not obs.metrics_on
+                and not obs.attribution_on
+                and obs._captured_caches is None
+                and self.cache_partition_fn is None)
 
     def _wire_observability(self) -> None:
         """Adopt always-on instruments and push wiring into subsystems."""

@@ -90,17 +90,24 @@ class Kernel:
 
     __slots__ = ("fn", "config", "args", "name", "context", "out",
                  "block_records", "kernel_id", "submit_cycle",
-                 "complete_cycle", "_blocks_done", "_on_complete")
+                 "complete_cycle", "plan", "_blocks_done", "_on_complete")
 
     _next_id = 0
 
     def __init__(self, fn: KernelFn, config: KernelConfig,
                  args: Optional[Dict[str, Any]] = None,
                  name: Optional[str] = None,
-                 context: int = 0) -> None:
+                 context: int = 0,
+                 plan: Optional[Any] = None) -> None:
         self.fn = fn
         self.config = config
         self.args: Dict[str, Any] = dict(args or {})
+        #: Optional pre-compiled issue plan (:class:`repro.sim.plan.
+        #: WarpPlan`).  Only honoured when the device's plan lane is
+        #: active (``engine="batched"`` with plain observability);
+        #: every other configuration runs ``fn`` as usual, so the same
+        #: Kernel is valid under all engine modes.
+        self.plan = plan
         self.name = name or getattr(fn, "__name__", "kernel")
         #: Process/context id — kernels from different contexts are the
         #: trojan/spy/bystander applications of the threat model.

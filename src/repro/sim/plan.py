@@ -1,0 +1,329 @@
+"""Issue plans: pre-compiled warp instruction lists for the batched engine.
+
+The Section 4 prime/probe kernels are loops over a handful of
+instruction shapes (constant loads on one cache set, ``clock()`` reads,
+idle sleeps).  The generator programming model re-creates those
+instruction objects on every warp of every launch of every bit; the
+``batched`` engine mode instead *compiles* each kernel body once into a
+flat tuple of opcode tuples — an issue plan — that is shared by every
+warp, every launch and every replica of a :class:`~repro.sim.batch.
+ReplicaBatch`, with the per-address cache set/tag geometry precomputed.
+
+A plan is interpreted by :class:`PlanWarpRec`, a slotted callable that
+replays the exact arithmetic of :meth:`repro.sim.sm.SM._drive_warp_fast`
+(port acquire, LRU update, clock floor, cycle-skip deferral), so a plan
+burst is bit-identical to driving the equivalent generator — guarded by
+``tests/test_engine_equivalence.py``.  The same packed plan arrays feed
+the compiled stretch runner in :mod:`repro.sim._native`.
+
+Plans only exist for the *plain* observability configuration (no
+instruction counter, tracer, attribution or cache partition); channels
+fall back to generator bodies otherwise (see
+``repro.channels.cache_common``).
+"""
+
+from __future__ import annotations
+
+from heapq import heappush as _heappush
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.specs import CacheSpec
+from repro.sim.engine import SimulationError
+
+#: Plan opcodes.  ``LOAD`` carries precomputed (addr, l1 set, l1 tag,
+#: l2 set, l2 tag); ``CLOCK0``/``CLOCK1`` read the clock into the
+#: warp's t0/t1 latch; ``SLEEP`` idles; ``EMIT`` is host-side only —
+#: it appends ``(t1 - t0) / n`` to the warp's latency list and costs
+#: neither time nor an event, exactly like the generator's arithmetic
+#: between yields.
+OP_LOAD = 0
+OP_CLOCK0 = 1
+OP_CLOCK1 = 2
+OP_SLEEP = 3
+OP_EMIT = 4
+
+#: Matches repro.sim.sm.CLOCK_READ_COST (imported there from here would
+#: be circular; pinned equal by tests/test_batched_engine.py).
+_CLOCK_READ_COST = 2.0
+
+
+def _spy_out(out: dict, block_idx: int, lats: list) -> None:
+    """The spy body's result write: per-block probe latency list."""
+    out.setdefault("latencies", {})[block_idx] = lats
+
+
+class WarpPlan:
+    """One compiled kernel body: opcode tuples plus packed arrays.
+
+    ``ops`` drives the pure-Python :class:`PlanWarpRec`; the packed
+    int/float arrays are the marshalling form the native stretch runner
+    consumes (built eagerly — plans are memoized module-wide, so the
+    cost is paid once per (shape, geometry)).
+    """
+
+    __slots__ = ("ops", "n_ops", "out_write",
+                 "code", "s1", "t1", "s2", "t2", "f")
+
+    def __init__(self, ops: Sequence[tuple],
+                 out_write: Optional[Callable] = None) -> None:
+        self.ops = tuple(ops)
+        self.n_ops = len(self.ops)
+        self.out_write = out_write
+        n = self.n_ops
+        self.code = np.zeros(n, dtype=np.int32)
+        self.s1 = np.zeros(n, dtype=np.int64)
+        self.t1 = np.zeros(n, dtype=np.int64)
+        self.s2 = np.zeros(n, dtype=np.int64)
+        self.t2 = np.zeros(n, dtype=np.int64)
+        self.f = np.zeros(n, dtype=np.float64)
+        for i, op in enumerate(self.ops):
+            c = op[0]
+            self.code[i] = c
+            if c == OP_LOAD:
+                _, _addr, s1, t1, s2, t2 = op
+                self.s1[i] = s1
+                self.t1[i] = t1
+                self.s2[i] = s2
+                self.t2[i] = t2
+            elif c == OP_SLEEP or c == OP_EMIT:
+                self.f[i] = op[1]
+
+
+#: Module-wide plan memo: every replica of a batch (and every launch of
+#: a transmission) shares one compiled plan per (kind, addrs,
+#: iterations, idle, geometry) — the "shared memoized issue plans" of
+#: ROADMAP item 3.
+_PLANS: Dict[tuple, WarpPlan] = {}
+
+
+def _load_op(addr: int, l1: CacheSpec, l2: CacheSpec) -> tuple:
+    return (OP_LOAD, addr,
+            (addr // l1.line_bytes) % l1.n_sets,
+            addr // (l1.line_bytes * l1.n_sets),
+            (addr // l2.line_bytes) % l2.n_sets,
+            addr // (l2.line_bytes * l2.n_sets))
+
+
+def _geometry_key(l1: CacheSpec, l2: CacheSpec) -> tuple:
+    return (l1.line_bytes, l1.n_sets, l2.line_bytes, l2.n_sets)
+
+
+def compile_trojan_plan(addrs: Sequence[int], iterations: int, bit: int,
+                        l1: CacheSpec, l2: CacheSpec,
+                        idle: float) -> WarpPlan:
+    """Plan for ``BaselineCacheChannel._trojan_body``.
+
+    bit=1 primes the target set ``iterations`` times; bit=0 idles for
+    the matching duration per iteration (keeping 0-bits co-resident).
+    """
+    key = ("trojan", tuple(addrs), iterations, int(bool(bit)), idle,
+           _geometry_key(l1, l2))
+    plan = _PLANS.get(key)
+    if plan is not None:
+        return plan
+    ops = []
+    if bit:
+        loads = [_load_op(a, l1, l2) for a in addrs]
+        for _ in range(iterations):
+            ops.extend(loads)
+    else:
+        for _ in range(iterations):
+            ops.append((OP_SLEEP, idle))
+    plan = _PLANS[key] = WarpPlan(ops)
+    return plan
+
+
+def compile_spy_plan(addrs: Sequence[int], iterations: int,
+                     l1: CacheSpec, l2: CacheSpec) -> WarpPlan:
+    """Plan for ``BaselineCacheChannel._spy_body``.
+
+    Warms the probe set once, then per iteration: clock, probe every
+    address, clock, emit the per-load latency.
+    """
+    key = ("spy", tuple(addrs), iterations, _geometry_key(l1, l2))
+    plan = _PLANS.get(key)
+    if plan is not None:
+        return plan
+    loads = [_load_op(a, l1, l2) for a in addrs]
+    ops = list(loads)
+    n = len(addrs)
+    for _ in range(iterations):
+        ops.append((OP_CLOCK0,))
+        ops.extend(loads)
+        ops.append((OP_CLOCK1,))
+        ops.append((OP_EMIT, n))
+    plan = _PLANS[key] = WarpPlan(ops, out_write=_spy_out)
+    return plan
+
+
+class PlanWarpRec:
+    """One warp executing a :class:`WarpPlan` — the plan-lane driver.
+
+    A slotted callable scheduled on the engine heap exactly where the
+    fast path schedules ``warp.resume``: each invocation bursts plan
+    ops inline (charging ``events_executed`` per op, like the fast
+    path charges per instruction) until the deferral condition — next
+    heap event due at or before this op's completion, or the run
+    horizon exceeded — pushes the rec back onto the heap at its finish
+    time.  State mirrored from the caches/ports is *aliased*, not
+    copied, so interleaving with generator-driven warps stays exact.
+    """
+
+    __slots__ = ("warp", "block", "sm", "engine", "ops", "n_ops", "pc",
+                 "t0", "t1", "lats", "out_write", "plan",
+                 "l1_sets", "l1_ways", "l1_port", "l1_pc", "l1_hl",
+                 "l1_hits", "l1_misses", "l1_set_misses",
+                 "l2_sets", "l2_ways", "l2_port", "l2_pc", "l2_hl",
+                 "l2_hits", "l2_misses", "l2_set_misses",
+                 "mem_lat", "issue_port", "issue_interval", "clock_read")
+
+    def __init__(self, sm, warp, block, plan: WarpPlan) -> None:
+        device = sm.device
+        self.warp = warp
+        self.block = block
+        self.sm = sm
+        self.engine = device.engine
+        self.plan = plan
+        self.ops = plan.ops
+        self.n_ops = plan.n_ops
+        self.pc = 0
+        self.t0 = 0.0
+        self.t1 = 0.0
+        self.lats: list = []
+        self.out_write = plan.out_write
+        l1 = sm.l1
+        self.l1_sets = l1._sets
+        self.l1_ways = l1._ways
+        self.l1_port = l1.port
+        self.l1_pc = l1.spec.port_cycles
+        self.l1_hl = l1.spec.hit_latency
+        self.l1_hits = l1.hit_counter
+        self.l1_misses = l1.miss_counter
+        self.l1_set_misses = l1.set_misses
+        l2 = device.const_l2
+        self.l2_sets = l2._sets
+        self.l2_ways = l2._ways
+        self.l2_port = l2.port
+        self.l2_pc = l2.spec.port_cycles
+        self.l2_hl = l2.spec.hit_latency
+        self.l2_hits = l2.hit_counter
+        self.l2_misses = l2.miss_counter
+        self.l2_set_misses = l2.set_misses
+        self.mem_lat = sm.spec.const_mem_latency
+        bank = sm.fu_banks[warp.scheduler_id]
+        self.issue_port = bank.issue_port
+        self.issue_interval = bank._issue_interval
+        self.clock_read = device.clock.read
+
+    def __call__(self) -> None:
+        warp = self.warp
+        if warp.cancelled:
+            return
+        engine = self.engine
+        heap = engine._heap
+        horizon = engine._horizon
+        max_events = engine._max_events
+        ops = self.ops
+        n_ops = self.n_ops
+        pc = self.pc
+        l1_sets = self.l1_sets
+        l2_sets = self.l2_sets
+        l1_ways = self.l1_ways
+        l2_ways = self.l2_ways
+        l1_port = self.l1_port
+        l2_port = self.l2_port
+        l1_pc = self.l1_pc
+        l1_hl = self.l1_hl
+        l2_pc = self.l2_pc
+        l2_hl = self.l2_hl
+        mem_lat = self.mem_lat
+        now = engine.now
+        push = _heappush
+        while True:
+            if pc == n_ops:
+                self.pc = pc
+                if self.out_write is not None:
+                    self.out_write(warp.kernel.out, warp.block_idx,
+                                   self.lats)
+                warp.done = True
+                if self.block.warp_finished():
+                    self.sm._retire_block(self.block)
+                return
+            op = ops[pc]
+            pc += 1
+            code = op[0]
+            if code == 0:  # OP_LOAD — inline L1→L2→mem, mirrors sm.py
+                free = l1_port.free_at
+                start1 = now if now > free else free
+                l1_port.free_at = start1 + l1_pc
+                l1_port.busy_cycles += l1_pc
+                l1_port.requests += 1
+                lines = l1_sets[op[2]]
+                tag = op[3]
+                if tag in lines:
+                    lines.remove(tag)
+                    lines.append(tag)
+                    self.l1_hits.value += 1
+                    finish = start1 + l1_hl
+                else:
+                    if len(lines) >= l1_ways:
+                        lines.pop(0)
+                    lines.append(tag)
+                    self.l1_misses.value += 1
+                    self.l1_set_misses[op[2]] += 1
+                    free = l2_port.free_at
+                    start2 = start1 if start1 > free else free
+                    l2_port.free_at = start2 + l2_pc
+                    l2_port.busy_cycles += l2_pc
+                    l2_port.requests += 1
+                    lines2 = l2_sets[op[4]]
+                    tag2 = op[5]
+                    if tag2 in lines2:
+                        lines2.remove(tag2)
+                        lines2.append(tag2)
+                        self.l2_hits.value += 1
+                        finish = start2 + l2_hl
+                    else:
+                        if len(lines2) >= l2_ways:
+                            lines2.pop(0)
+                        lines2.append(tag2)
+                        self.l2_misses.value += 1
+                        self.l2_set_misses[op[4]] += 1
+                        finish = start2 + mem_lat
+            elif code == 1 or code == 2:  # OP_CLOCK0 / OP_CLOCK1
+                iport = self.issue_port
+                interval = self.issue_interval
+                free = iport.free_at
+                start = now if now > free else free
+                iport.free_at = start + interval
+                iport.busy_cycles += interval
+                iport.requests += 1
+                finish = start + interval
+                floor = now + _CLOCK_READ_COST
+                if floor > finish:
+                    finish = floor
+                if code == 1:
+                    self.t0 = self.clock_read(finish)
+                else:
+                    self.t1 = self.clock_read(finish)
+            elif code == 3:  # OP_SLEEP
+                finish = now + op[1]
+            else:  # OP_EMIT — host-side, no time, no event
+                self.lats.append((self.t1 - self.t0) / op[1])
+                continue
+            if (heap and heap[0][0] <= finish) or finish > horizon:
+                self.pc = pc
+                push(heap, (finish, engine._seq, self))
+                engine._seq += 1
+                return
+            now = finish
+            engine.now = finish
+            count = engine._event_count + 1
+            engine._event_count = count
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a runaway kernel or protocol livelock"
+                )

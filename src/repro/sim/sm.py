@@ -192,6 +192,15 @@ class SM:
     # Warp driving
     # ------------------------------------------------------------------
     def _start_warp(self, warp: Warp, block: ResidentBlock) -> None:
+        if warp.kernel.plan is not None and self.device._plan_warps:
+            # Batched-engine plan lane: no generator, no WarpContext —
+            # a slotted PlanWarpRec replays the pre-compiled ops with
+            # the exact fast-path arithmetic (and is what the native
+            # stretch runner accelerates).
+            from repro.sim.plan import PlanWarpRec
+            rec = PlanWarpRec(self, warp, block, warp.kernel.plan)
+            self.device.engine.schedule(0.0, rec)
+            return
         ctx = WarpContext(
             kernel=warp.kernel,
             block_idx=warp.block_idx,

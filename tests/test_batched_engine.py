@@ -1,0 +1,231 @@
+"""The batched engine mode: stretch runner, replica fleets, Monte-Carlo.
+
+The contract under test is the tentpole invariant: ``batched`` is an
+*acceleration*, never a semantic — every replica, every fallback path
+and every aggregation must be bit-identical to solo ``fast`` runs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.arch.specs import KEPLER_K40C
+from repro.channels.base import random_bits
+from repro.channels.l1_cache import L1CacheChannel
+from repro.seeds import REPLICA_STRIDE, derive_seed
+from repro.sim.batch import BatchedEngine, ReplicaBatch
+from repro.sim.gpu import Device
+from repro.sim.snapshot import fork_device, snapshot_device
+
+BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+
+def _transmit(mode, seed=5, bits=BITS, iterations=8):
+    device = Device(KEPLER_K40C, seed=seed, engine=mode)
+    channel = L1CacheChannel(device, iterations=iterations)
+    result = channel.transmit(bits)
+    return device, result
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+def test_batched_device_uses_batched_engine():
+    device = Device(KEPLER_K40C, engine="batched")
+    assert isinstance(device.engine, BatchedEngine)
+    assert device.engine._device is device
+    assert device.engine_mode == "batched"
+    assert device._plan_warps
+
+
+def test_plan_lane_disabled_under_observation():
+    from repro.obs.core import ObserveConfig
+    device = Device(KEPLER_K40C, engine="batched",
+                    observe=ObserveConfig(metrics=True))
+    assert not device.plan_lane_active()
+    # ... and still produces fast-identical results via the
+    # generator path.
+    plain = Device(KEPLER_K40C, seed=5, engine="fast")
+    observed = Device(KEPLER_K40C, seed=5, engine="batched",
+                      observe=ObserveConfig(metrics=True))
+    r_plain = L1CacheChannel(plain, iterations=8).transmit(BITS)
+    r_obs = L1CacheChannel(observed, iterations=8).transmit(BITS)
+    assert r_plain.received == r_obs.received
+    assert r_plain.end_cycle == r_obs.end_cycle
+
+
+def test_clock_read_cost_constants_agree():
+    # The plan interpreter and the native runner both hard-code the
+    # issue cost of a clock read; they must track the SM's constant.
+    from repro.sim import sm
+    from repro.sim.plan import _CLOCK_READ_COST
+    assert _CLOCK_READ_COST == sm.CLOCK_READ_COST
+    from repro.sim import _native
+    assert "clock_cost = 2.0" in open(_native.__file__).read()
+    assert sm.CLOCK_READ_COST == 2.0
+
+
+def test_fabric_refuses_batched_mode():
+    from repro.sim import Fabric, FabricError
+    with pytest.raises(FabricError, match="single-device"):
+        Fabric(KEPLER_K40C, engine="batched")
+
+
+# ----------------------------------------------------------------------
+# Native lane vs pure-Python fallback
+# ----------------------------------------------------------------------
+def test_fallback_lane_matches_native(tmp_path):
+    """REPRO_BATCH_NATIVE=0 must not change a single bit.
+
+    The fallback is exercised in a subprocess because the compiled
+    library handle is cached process-wide.
+    """
+    code = (
+        "import sys; sys.path.insert(0, %r)\n"
+        "from repro.arch.specs import KEPLER_K40C\n"
+        "from repro.sim.gpu import Device\n"
+        "from repro.channels.l1_cache import L1CacheChannel\n"
+        "from repro.sim.snapshot import snapshot_device\n"
+        "d = Device(KEPLER_K40C, seed=5, engine='batched')\n"
+        "r = L1CacheChannel(d, iterations=8).transmit(%r)\n"
+        "print(repr((r.received, r.end_cycle,\n"
+        "            d.engine.events_executed,\n"
+        "            snapshot_device(d).fingerprint)))\n"
+    ) % (os.path.join(os.path.dirname(__file__), "..", "src"), BITS)
+    outs = {}
+    for native in ("1", "0"):
+        env = dict(os.environ, REPRO_BATCH_NATIVE=native)
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True,
+                              timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outs[native] = proc.stdout.strip()
+    assert outs["1"] == outs["0"]
+
+
+def test_native_kill_switch_disables_runner(monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH_NATIVE", "0")
+    from repro.sim._native import native_library
+    assert native_library() is None
+
+
+# ----------------------------------------------------------------------
+# Snapshots of batched devices
+# ----------------------------------------------------------------------
+def test_batched_snapshot_fork_roundtrip():
+    device, _ = _transmit("batched")
+    snap = snapshot_device(device)
+    assert snap.engine_mode == "batched"
+    fork = fork_device(snap)
+    assert fork.engine_mode == "batched"
+    assert snapshot_device(fork).fingerprint == snap.fingerprint
+
+
+def test_batched_and_fast_snapshots_interchange():
+    """A transmission continued from a fast-mode snapshot on a batched
+    fork (and vice versa) stays bit-identical."""
+    outcomes = {}
+    for first, second in (("fast", "batched"), ("batched", "fast")):
+        device = Device(KEPLER_K40C, seed=9, engine=first)
+        channel = L1CacheChannel(device, iterations=8)
+        channel.transmit(BITS[:4])
+        fork = fork_device(snapshot_device(device), engine=second)
+        forked_channel = L1CacheChannel(fork, iterations=8)
+        result = forked_channel.transmit(BITS[4:])
+        outcomes[(first, second)] = (result.received, fork.now)
+    assert (outcomes[("fast", "batched")]
+            == outcomes[("batched", "fast")])
+
+
+# ----------------------------------------------------------------------
+# ReplicaBatch
+# ----------------------------------------------------------------------
+def test_replica_batch_seed_derivation():
+    fleet = ReplicaBatch(KEPLER_K40C, batch=4, base_seed=17)
+    assert fleet.seeds == [derive_seed(17, REPLICA_STRIDE, i)
+                           for i in range(4)]
+    assert len(set(fleet.seeds)) == 4
+    assert [d.seed for d in fleet.devices] == fleet.seeds
+    assert all(d.engine_mode == "batched" for d in fleet.devices)
+
+
+def test_replica_batch_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        ReplicaBatch(KEPLER_K40C, batch=0)
+
+
+def test_replica_batch_rejects_channel_mismatch():
+    fleet = ReplicaBatch(KEPLER_K40C, batch=2)
+    channels = fleet.channels(lambda d: L1CacheChannel(d, iterations=8))
+    with pytest.raises(ValueError, match="one channel per replica"):
+        fleet.transmit_lockstep(channels[:1], BITS)
+
+
+def test_replica_batch_store_memoizes_baseline(tmp_path):
+    from repro.runner.cache import SnapshotStore
+    store = SnapshotStore(tmp_path)
+    fleet1 = ReplicaBatch(KEPLER_K40C, batch=2, base_seed=3,
+                          store=store)
+    assert store.misses == 1
+    fleet2 = ReplicaBatch(KEPLER_K40C, batch=2, base_seed=3,
+                          store=store)
+    assert store.hits == 1
+    assert fleet1.snapshot.fingerprint == fleet2.snapshot.fingerprint
+    r1 = fleet1.transmit(lambda d: L1CacheChannel(d, iterations=8),
+                         BITS[:4])
+    r2 = fleet2.transmit(lambda d: L1CacheChannel(d, iterations=8),
+                         BITS[:4])
+    assert [r.received for r in r1] == [r.received for r in r2]
+    assert [r.end_cycle for r in r1] == [r.end_cycle for r in r2]
+
+
+def test_replica_batch_lockstep_equals_whole_message():
+    """Bit-level lockstep interleaving across replicas cannot change
+    any replica's outcome vs transmitting its whole message alone."""
+    fleet = ReplicaBatch(KEPLER_K40C, batch=3, base_seed=8)
+    lockstep = fleet.transmit(
+        lambda d: L1CacheChannel(d, iterations=8), BITS)
+    solo_fleet = ReplicaBatch(KEPLER_K40C, batch=3, base_seed=8)
+    channels = solo_fleet.channels(
+        lambda d: L1CacheChannel(d, iterations=8))
+    solo = [ch.transmit(BITS) for ch in channels]
+    assert [r.received for r in lockstep] == [r.received for r in solo]
+    assert [r.end_cycle for r in lockstep] == [r.end_cycle
+                                               for r in solo]
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo BER (satellite: equals K solo runs aggregated)
+# ----------------------------------------------------------------------
+def test_monte_carlo_ber_equals_solo_runs():
+    from repro.analysis import monte_carlo_ber
+    from repro.obs.quality import rolling_ber
+    mc = monte_carlo_ber(
+        KEPLER_K40C, lambda d: L1CacheChannel(d, iterations=8),
+        n_bits=24, batch=3, base_seed=6, window=8)
+    bits = random_bits(24, seed=6)
+    assert mc.bits == bits
+    assert len(mc.seeds) == 3
+    solo_bers = []
+    for i, seed in enumerate(mc.seeds):
+        device = Device(KEPLER_K40C, seed=seed, engine="fast")
+        result = L1CacheChannel(device, iterations=8).transmit(bits)
+        assert mc.received[i] == result.received
+        assert mc.bers[i] == result.ber
+        assert mc.rolling[i] == rolling_ber(bits, result.received,
+                                            window=8)
+        solo_bers.append(result.ber)
+    assert mc.mean_ber == pytest.approx(sum(solo_bers) / 3)
+    assert mc.worst_ber == max(solo_bers)
+    n_windows = len(mc.rolling[0])
+    assert mc.rolling_mean == [
+        pytest.approx(sum(prof[w] for prof in mc.rolling) / 3)
+        for w in range(n_windows)
+    ]
+    doc = mc.to_dict()
+    assert doc["batch"] == 3 and doc["n_bits"] == 24
+    assert doc["mean_ber"] == pytest.approx(mc.mean_ber, abs=1e-6)

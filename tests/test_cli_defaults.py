@@ -169,3 +169,61 @@ def test_bench_defaults():
     assert args.root == "."
     assert args.speedup_floor == 0.5
     assert args.wall_ceiling == 3.0
+
+
+def test_engine_flag_defaults_to_env_resolution():
+    # run/sweep/profile all expose --engine, defaulting to None so the
+    # REPRO_SIM_ENGINE / 'fast' resolution in repro.sim.gpu applies.
+    parser = build_parser()
+    assert parser.parse_args(["run", "fig2"]).engine is None
+    assert parser.parse_args(["sweep"]).engine is None
+    assert parser.parse_args(["profile", "fig2"]).engine is None
+    assert parser.parse_args(
+        ["run", "fig2", "--engine", "batched"]).engine == "batched"
+    assert parser.parse_args(
+        ["sweep", "--engine", "batched"]).engine == "batched"
+    assert parser.parse_args(
+        ["profile", "fig2", "--engine", "batched"]).engine == "batched"
+
+
+def test_engine_flag_rejects_unknown_mode(capsys, monkeypatch):
+    # A typo fails up front (exit 2) with the full mode list, and must
+    # not leak a half-set REPRO_SIM_ENGINE into the environment.
+    monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+    assert main(["run", "fig2", "--engine", "warp9"]) == 2
+    err = capsys.readouterr().err
+    for mode in ("fast", "batched", "events", "tick"):
+        assert mode in err
+    assert "REPRO_SIM_ENGINE" not in os.environ
+
+
+def test_engine_env_invalid_value_is_friendly(monkeypatch):
+    # Device construction under a bad REPRO_SIM_ENGINE names every
+    # valid mode and the unset-to-default escape hatch.
+    import pytest as _pytest
+
+    from repro.arch.specs import KEPLER_K40C
+    from repro.sim.gpu import Device
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "warp9")
+    with _pytest.raises(ValueError) as exc:
+        Device(KEPLER_K40C)
+    msg = str(exc.value)
+    assert "invalid REPRO_SIM_ENGINE value 'warp9'" in msg
+    for mode in ("fast", "batched", "events", "tick"):
+        assert mode in msg
+    assert "unset the variable" in msg
+
+
+def test_engine_flag_exports_env_for_workers(monkeypatch):
+    from repro.cli import _apply_engine
+
+    # _apply_engine writes os.environ directly (workers must inherit
+    # it), so register the teardown restore *before* it runs, then
+    # start each case from an unset variable.
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "placeholder")
+    del os.environ["REPRO_SIM_ENGINE"]
+    _apply_engine("batched")
+    assert os.environ["REPRO_SIM_ENGINE"] == "batched"
+    del os.environ["REPRO_SIM_ENGINE"]
+    _apply_engine(None)
+    assert "REPRO_SIM_ENGINE" not in os.environ

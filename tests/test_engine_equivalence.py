@@ -78,15 +78,64 @@ def test_l2_channel_fast_vs_tick(gpu):
     assert prints["fast"] == prints["tick"]
 
 
-def test_l1_channel_three_modes_kepler():
+def test_l1_channel_four_modes_kepler():
     bits = [1, 1, 0, 1, 0, 0]
     prints = {}
-    for mode in ("fast", "events", "tick"):
+    for mode in ("fast", "batched", "events", "tick"):
         device = Device(get_spec("kepler"), seed=11, engine=mode)
         result = L1CacheChannel(device).transmit(bits)
         prints[mode] = (result.ber, result.received,
                         device_fingerprint(device))
-    assert prints["fast"] == prints["events"] == prints["tick"]
+    assert (prints["fast"] == prints["batched"] == prints["events"]
+            == prints["tick"])
+
+
+# ----------------------------------------------------------------------
+# Batched engine: the stretch runner against the reference engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gpu", SPEC_NAMES)
+@pytest.mark.parametrize("channel_cls", [L1CacheChannel, L2CacheChannel])
+def test_cache_channel_batched_vs_fast(gpu, channel_cls):
+    """The native stretch runner (or its pure-Python fallback) must be
+    bit-identical to the fast engine on the plan-lane hot path — the
+    exact workload it accelerates."""
+    bits = [1, 0, 1, 1, 0, 0, 1, 0] * 2
+    prints = {}
+    for mode in ("fast", "batched"):
+        device = Device(get_spec(gpu), seed=13, engine=mode)
+        result = channel_cls(device).transmit(bits)
+        prints[mode] = (result.ber, result.received,
+                        device_fingerprint(device))
+    assert prints["fast"] == prints["batched"]
+
+
+def _solo_replica_fingerprint(spec, seed, mode, bits):
+    device = Device(spec, seed=seed, engine=mode)
+    result = L1CacheChannel(device, iterations=8).transmit(bits)
+    from repro.sim.snapshot import snapshot_device
+    return (result.received, result.end_cycle,
+            snapshot_device(device).fingerprint)
+
+
+@pytest.mark.parametrize("gpu", ["kepler", "maxwell"])
+def test_replica_batch_matches_solo_runs_all_modes(gpu):
+    """Every batch replica is bit-identical — down to the snapshot
+    fingerprint — to a solo run of the same seed in each of the three
+    reference engine modes (the tentpole's correctness oracle)."""
+    from repro.sim.batch import ReplicaBatch
+    from repro.sim.snapshot import snapshot_device
+    spec = get_spec(gpu)
+    bits = [1, 0, 1]
+    fleet = ReplicaBatch(spec, batch=3, base_seed=21)
+    results = fleet.transmit(
+        lambda d: L1CacheChannel(d, iterations=8), bits)
+    for seed, device, result in zip(fleet.seeds, fleet.devices,
+                                    results):
+        batch_print = (result.received, result.end_cycle,
+                       snapshot_device(device).fingerprint)
+        for mode in ("fast", "events", "tick"):
+            assert batch_print == _solo_replica_fingerprint(
+                spec, seed, mode, bits), (gpu, seed, mode)
 
 
 # ----------------------------------------------------------------------
@@ -376,6 +425,21 @@ _INSTR = st.tuples(
 )
 
 
+def _run_random(spec, seed, instrs_a, instrs_b, grid_a, threads_b,
+                mode):
+    device = Device(spec, seed=seed, engine=mode)
+    ka = device.stream().launch(
+        Kernel(_random_body(instrs_a),
+               KernelConfig(grid=grid_a, block_threads=64),
+               name="a", context=0))
+    kb = device.stream().launch(
+        Kernel(_random_body(instrs_b),
+               KernelConfig(grid=2, block_threads=threads_b),
+               name="b", context=1))
+    device.synchronize()
+    return device_fingerprint(device, [ka, kb])
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     gpu=st.sampled_from(SPEC_NAMES),
@@ -389,17 +453,28 @@ def test_random_kernels_fast_equals_events(gpu, seed, instrs_a,
                                            instrs_b, grid_a, threads_b):
     """Final clock, per-warp retire times and cache hits always agree."""
     spec = get_spec(gpu)
-    prints = {}
-    for mode in ("fast", "events"):
-        device = Device(spec, seed=seed, engine=mode)
-        ka = device.stream().launch(
-            Kernel(_random_body(instrs_a),
-                   KernelConfig(grid=grid_a, block_threads=64),
-                   name="a", context=0))
-        kb = device.stream().launch(
-            Kernel(_random_body(instrs_b),
-                   KernelConfig(grid=2, block_threads=threads_b),
-                   name="b", context=1))
-        device.synchronize()
-        prints[mode] = device_fingerprint(device, [ka, kb])
-    assert prints["fast"] == prints["events"]
+    assert (_run_random(spec, seed, instrs_a, instrs_b, grid_a,
+                        threads_b, "fast")
+            == _run_random(spec, seed, instrs_a, instrs_b, grid_a,
+                           threads_b, "events"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    gpu=st.sampled_from(SPEC_NAMES),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+    instrs_a=st.lists(_INSTR, min_size=1, max_size=24),
+    instrs_b=st.lists(_INSTR, min_size=1, max_size=24),
+    grid_a=st.integers(min_value=1, max_value=3),
+    threads_b=st.sampled_from([32, 64, 128]),
+)
+def test_random_kernels_batched_equals_fast(gpu, seed, instrs_a,
+                                            instrs_b, grid_a,
+                                            threads_b):
+    """Randomized generator kernels (no plans attached) run through the
+    batched engine's inherited path and must match fast exactly."""
+    spec = get_spec(gpu)
+    assert (_run_random(spec, seed, instrs_a, instrs_b, grid_a,
+                        threads_b, "batched")
+            == _run_random(spec, seed, instrs_a, instrs_b, grid_a,
+                           threads_b, "fast"))

@@ -134,6 +134,24 @@ class TestRollingBer:
         with pytest.raises(ValueError):
             rolling_ber([0], [0], window=0)
 
+    def test_window_larger_than_stream_is_one_window(self):
+        # A window wider than the message degrades to one whole-stream
+        # window, not an error and not a padded denominator.
+        assert rolling_ber([0, 1, 1], [0, 1, 0], window=16) \
+            == [pytest.approx(1 / 3)]
+
+    def test_zero_length_stream_any_window(self):
+        assert rolling_ber([], [], window=1) == []
+        assert rolling_ber([], [], window=1000) == []
+
+    def test_all_error_window_saturates_at_one(self):
+        assert rolling_ber([0, 0, 0, 0], [1, 1, 1, 1], window=2) \
+            == [1.0, 1.0]
+
+    def test_mismatched_lengths_use_common_prefix(self):
+        # Extra received bits beyond the sent stream are ignored.
+        assert rolling_ber([0, 0], [1, 1, 1, 1], window=2) == [1.0]
+
 
 class TestDrift:
     def test_stationary_signal_does_not_drift(self):

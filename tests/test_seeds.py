@@ -14,6 +14,7 @@ from repro.seeds import (
     BER_SWEEP_STRIDE,
     DEVICE_SWEEP_STRIDE,
     FABRIC_DEVICE_STRIDE,
+    REPLICA_STRIDE,
     TUNING_STRIDE,
     derive_seed,
 )
@@ -24,6 +25,16 @@ def test_stream_strides_are_frozen():
     assert DEVICE_SWEEP_STRIDE == 31
     assert TUNING_STRIDE == 1
     assert FABRIC_DEVICE_STRIDE == 43
+    assert REPLICA_STRIDE == 53
+
+
+def test_replica_seeds():
+    # Monte-Carlo replica lanes: seed + 53 * replica + 1, disjoint from
+    # every other stride family for fleets of realistic size.
+    for seed in (0, 9):
+        for idx in range(4):
+            assert derive_seed(seed, REPLICA_STRIDE, idx) \
+                == seed + 53 * idx + 1
 
 
 def test_fabric_member_seeds():
