@@ -84,3 +84,44 @@ def bench_observability_overhead(benchmark):
     assert timings["off"] / base <= 1.10
     assert timings["metrics"] / base < 5.0
     assert timings["attribution"] / base < 5.0
+
+
+def bench_exposition_overhead(benchmark):
+    """Armed metrics endpoint vs the disabled-observability path.
+
+    The ``/metrics`` server thread idles in ``select`` between scrapes,
+    so simulating with observability *off* while the endpoint is armed
+    must stay within the same ≤1.10 disabled-path bound as the rest of
+    the instrumentation layer — a live exposition endpoint cannot tax
+    the simulator it is watching.
+    """
+    import urllib.request
+
+    from repro.obs.exposition import MetricsServer
+    from repro.obs.metrics import MetricsRegistry
+
+    timings = {}
+
+    def experiment():
+        timings["baseline"] = timed(None)
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("bench.scrapes")
+        with MetricsServer(registry, port=0) as server:
+            # One scrape proves the endpoint is actually live.
+            urllib.request.urlopen(f"{server.url}/metrics", timeout=5)
+            timings["armed"] = timed(None)
+        return timings
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    base = timings["baseline"]
+    report(
+        benchmark,
+        f"Exposition-endpoint overhead (sync-l1, {BITS} bits, "
+        f"observability off, /metrics thread serving)",
+        ["scenario", "wall ms", "slowdown"],
+        [[name, f"{t * 1e3:.1f}", f"{t / base:.2f}x"]
+         for name, t in timings.items()],
+        extra={"armed_ratio": round(timings["armed"] / base, 3)},
+    )
+    assert timings["armed"] / base <= 1.10

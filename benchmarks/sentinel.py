@@ -77,6 +77,24 @@ class Regression:
                 f"{direction} the {self.limit:g} band "
                 f"(baseline {self.baseline:g})")
 
+    def to_dict(self) -> Dict[str, object]:
+        """Structured verdict entry: measured vs bound, not just prose.
+
+        ``measured`` is ``None`` (JSON null — NaN is not valid JSON)
+        when the fresh run produced no number for this bench at all.
+        """
+        measured = None if self.fresh != self.fresh else self.fresh
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "measured": measured,
+            "bound": self.limit,
+            "direction": ("floor" if self.limit <= self.baseline
+                          else "ceiling"),
+            "description": self.describe(),
+        }
+
 
 def find_trajectories(root: str = ".") -> List[Path]:
     """Committed ``BENCH_<n>.json`` files, ordered by PR number."""
@@ -221,7 +239,7 @@ def main(argv=None) -> int:
             json.dump({
                 "baseline": str(baseline_path),
                 "fresh": fresh,
-                "regressions": [r.describe() for r in regressions],
+                "regressions": [r.to_dict() for r in regressions],
                 "ok": not regressions,
             }, fh, indent=2)
             fh.write("\n")

@@ -26,6 +26,7 @@ __all__ = [
     "svg_attribution_bars",
     "svg_eye_diagram",
     "svg_histogram",
+    "svg_sparkline",
     "write_report",
 ]
 
@@ -209,6 +210,43 @@ def svg_attribution_bars(by_context: Dict[str, Dict[str, float]], *,
                      f'height="10" fill="{color[group]}"/>')
         parts.append(f'<text x="{label_w + 15}" y="{ly}" font-size="10" '
                      f'fill="#555">{_esc(group)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_sparkline(values: Sequence[float], *, width: int = 160,
+                  height: int = 36, color: str = _CLASS0_COLOR) -> str:
+    """One metric trend across ledger runs as a tiny inline polyline.
+
+    The latest point is emphasized with a dot; a flat series draws a
+    midline.  Degenerate inputs (zero or one point) render a dot only.
+    """
+    pad = 4
+    if not values:
+        return (f'<svg width="{width}" height="{height}" '
+                f'xmlns="http://www.w3.org/2000/svg"></svg>')
+    lo, hi = min(values), max(values)
+    span = hi - lo
+
+    def x(i: int) -> float:
+        if len(values) == 1:
+            return width / 2
+        return pad + (width - 2 * pad) * i / (len(values) - 1)
+
+    def y(v: float) -> float:
+        if span <= 0:
+            return height / 2
+        return pad + (height - 2 * pad) * (hi - v) / span
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    if len(values) > 1:
+        points = " ".join(f"{x(i):.1f},{y(v):.1f}"
+                          for i, v in enumerate(values))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+    parts.append(f'<circle cx="{x(len(values) - 1):.1f}" '
+                 f'cy="{y(values[-1]):.1f}" r="2.5" fill="{color}"/>')
     parts.append("</svg>")
     return "".join(parts)
 
@@ -431,6 +469,60 @@ def _transfer_section_markdown(transfers: List[Dict[str, Any]]
     return out
 
 
+def _trend_label(trend: Dict[str, Any]) -> str:
+    dims = ":".join(d for d in (trend.get("channel", ""),
+                                trend.get("gpu", ""),
+                                trend.get("engine", "")) if d)
+    return dims or trend.get("series", "?")
+
+
+def _history_section_html(history: List[Dict[str, Any]]) -> List[str]:
+    """Cross-run trend tables with one sparkline per metric series."""
+    out = ["<h2>Cross-run history</h2>"]
+    by_series: Dict[str, List[Dict[str, Any]]] = {}
+    for trend in history:
+        by_series.setdefault(trend.get("series", "?"), []).append(trend)
+    for series in sorted(by_series):
+        out.append(f"<h3>{_esc(series)}</h3>")
+        rows = ["<tr><th>trend</th><th>metric</th><th>runs</th>"
+                "<th>first</th><th>latest</th><th>trend line</th></tr>"]
+        for trend in by_series[series]:
+            values = trend.get("values", [])
+            if not values:
+                continue
+            unit = f" {trend['unit']}" if trend.get("unit") else ""
+            rows.append(
+                "<tr>"
+                f"<td>{_esc(_trend_label(trend))}</td>"
+                f"<td>{_esc(trend.get('metric', '?'))}</td>"
+                f"<td>{len(values)}</td>"
+                f"<td>{_esc(_fmt(values[0]))}{_esc(unit)}</td>"
+                f"<td>{_esc(_fmt(values[-1]))}{_esc(unit)}</td>"
+                f"<td>{svg_sparkline(values)}</td>"
+                "</tr>")
+        out.append("<table>" + "".join(rows) + "</table>")
+    return out
+
+
+def _history_section_markdown(history: List[Dict[str, Any]]
+                              ) -> List[str]:
+    out = ["### Cross-run history", ""]
+    rows = []
+    for trend in history:
+        values = trend.get("values", [])
+        if not values:
+            continue
+        rows.append([
+            trend.get("series", "?"), _trend_label(trend),
+            trend.get("metric", "?"), len(values),
+            " ".join(_fmt(v) for v in values),
+        ])
+    out.extend(_md_table(["series", "trend", "metric", "runs",
+                          "values"], rows))
+    out.append("")
+    return out
+
+
 def render_report_html(manifests: List[Dict[str, Any]], *,
                        title: str = "repro run report") -> str:
     """One self-contained HTML dashboard over any number of manifests."""
@@ -483,6 +575,8 @@ def render_report_html(manifests: List[Dict[str, Any]], *,
                 _attribution_section_html(manifest["attribution"]))
         if manifest.get("transfers"):
             parts.extend(_transfer_section_html(manifest["transfers"]))
+        if manifest.get("history"):
+            parts.extend(_history_section_html(manifest["history"]))
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -543,6 +637,8 @@ def render_report_markdown(manifests: List[Dict[str, Any]], *,
         if manifest.get("transfers"):
             out.extend(
                 _transfer_section_markdown(manifest["transfers"]))
+        if manifest.get("history"):
+            out.extend(_history_section_markdown(manifest["history"]))
         attribution = manifest.get("attribution")
         if attribution and attribution.get("by_context"):
             out.append("### Contention attribution")

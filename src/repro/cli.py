@@ -41,6 +41,17 @@ Commands
     Perf-regression sentinel: compare a fresh benchmark trajectory
     against the committed ``BENCH_<n>.json`` baseline with per-metric
     tolerance bands; exits 1 on regression.
+``history {ingest,list,show,trend,diff,check} [--ledger PATH]``
+    Longitudinal run ledger: ``ingest`` manifests / telemetry logs /
+    BENCH trajectories (content-addressed, idempotent), ``list``/
+    ``show`` ingested runs, ``trend`` per-(series × channel × GPU ×
+    engine) metric series across runs (``--drift`` flags windowed
+    drift), ``diff`` two runs, and ``check`` a sentinel-style
+    regression verdict over every trend (exit 1 on regression).
+``serve-metrics [--port 9158] [--ledger PATH]``
+    Serve the live metrics registry plus ledger-derived gauges as
+    Prometheus text exposition at ``/metrics`` with a ``/healthz``
+    that reports the ledger's last-ingest provenance.
 ``profile fig5 [--top 25] [--trace profile.json]``
     Run one experiment under cProfile and print the hottest functions;
     ``--trace`` also exports the ranking as a Chrome trace-event file.
@@ -262,15 +273,34 @@ def _sweep_tasks(args: argparse.Namespace, ids, gpus, seeds):
             args.trace, spans, command=getattr(args, "_argv", None))
         print(f"span trace: {args.trace} "
               f"({len(doc['traceEvents'])} records)", file=sys.stderr)
-    if getattr(args, "manifest", None):
-        from repro.runner import build_manifest, write_manifest
+    manifest = None
+    if getattr(args, "manifest", None) or getattr(args, "ledger", None):
+        from repro.runner import build_manifest
         manifest = build_manifest(
             report,
             command=getattr(args, "_argv", None),
             wall_seconds=time.perf_counter() - start,
             profile=args.profile)
+    if getattr(args, "manifest", None):
+        from repro.runner import write_manifest
         write_manifest(args.manifest, manifest)
         print(f"manifest: {args.manifest}", file=sys.stderr)
+    if getattr(args, "ledger", None):
+        # Auto-ingest hook: record the finished sweep (and its
+        # telemetry summary, when a log was written) into the
+        # longitudinal run ledger for `repro history` trends.
+        from repro.obs.ledger import RunLedger
+        with RunLedger(args.ledger) as ledger:
+            ingested = ledger.ingest_manifest(
+                manifest, source=args.manifest or "",
+                label=os.path.basename(args.manifest)
+                if args.manifest else None)
+            print(f"ledger: {ingested.describe()} -> {ledger.path}",
+                  file=sys.stderr)
+            if getattr(args, "telemetry", None):
+                ingested = ledger.ingest_telemetry(args.telemetry)
+                print(f"ledger: {ingested.describe()} -> {ledger.path}",
+                      file=sys.stderr)
     return report
 
 
@@ -516,9 +546,11 @@ def cmd_report(args: argparse.Namespace) -> int:
         for name in (c.strip() for c in args.channels.split(",")):
             if name:
                 sections.append(_probe_channel(args, name))
+    if args.history:
+        sections.append(_history_section(args.history))
     if not sections:
         raise CliError("nothing to report: pass readable manifest "
-                       "paths and/or --channels")
+                       "paths, --channels and/or --history")
     fmt = "auto" if args.format == "auto" else args.format
     fmt = write_report(args.out, sections,
                        fmt=None if fmt == "auto" else fmt,
@@ -777,6 +809,193 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return sentinel.main(argv)
 
 
+def _open_ledger(args: argparse.Namespace):
+    """RunLedger per the ``--ledger`` flag (default cache location)."""
+    from repro.obs.ledger import LedgerError, RunLedger, \
+        default_ledger_path
+    path = args.ledger or default_ledger_path()
+    try:
+        ledger = RunLedger(path)
+    except LedgerError as exc:
+        raise CliError(str(exc))
+    if ledger.quarantined is not None:
+        print(f"warning: unreadable ledger quarantined as "
+              f"{ledger.quarantined}; starting fresh", file=sys.stderr)
+    return ledger
+
+
+def _history_section(ledger_path) -> dict:
+    """Manifest-shaped report section carrying ledger trend series."""
+    from repro.obs.history import trends
+    from repro.obs.ledger import LedgerError, RunLedger
+    try:
+        with RunLedger(ledger_path) as ledger:
+            series = [t.to_dict() for t in trends(ledger)]
+            counts = ledger.counts()
+    except LedgerError as exc:
+        raise CliError(str(exc))
+    return {
+        "label": f"history: {counts['runs']} run(s), "
+                 f"{counts['samples']} sample(s) in {ledger_path}",
+        "counts": {},
+        "tasks": [],
+        "results": [],
+        "history": series,
+    }
+
+
+def _fmt_value(value) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    import json as json_mod
+    from repro.obs.history import check_history, diff_runs, \
+        trend_drift, trends
+    from repro.obs.ledger import LedgerError
+
+    with _open_ledger(args) as ledger:
+        if args.history_cmd == "ingest":
+            failures = 0
+            for path in args.artifacts:
+                try:
+                    result = ledger.ingest_path(path)
+                except LedgerError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    failures += 1
+                    continue
+                print(result.describe())
+            return 1 if failures else 0
+
+        if args.history_cmd == "list":
+            runs = ledger.runs()
+            if not runs:
+                print(f"(empty ledger at {ledger.path})")
+                return 0
+            rows = [[r.run_id, r.kind, r.label, r.digest[:12],
+                     r.git_rev[:12] or "-", r.source or "-"]
+                    for r in runs]
+            print(format_table(
+                ["run", "kind", "label", "digest", "git rev", "source"],
+                rows, title=f"run ledger: {ledger.path}"))
+            return 0
+
+        if args.history_cmd == "show":
+            try:
+                run = ledger.run(args.run)
+            except LedgerError as exc:
+                raise CliError(str(exc))
+            print(f"run {run.run_id} [{run.kind}] {run.label}")
+            print(f"  digest:   {run.digest}")
+            print(f"  ingested: {run.ingested_unix}")
+            if run.code_version:
+                print(f"  code:     {run.code_version}")
+            if run.git_rev:
+                print(f"  git rev:  {run.git_rev}")
+            if run.source:
+                print(f"  source:   {run.source}")
+            samples = ledger.samples(run.run_id)
+            if samples:
+                rows = [[s.series, s.channel or "-", s.gpu or "-",
+                         s.engine or "-", s.metric,
+                         _fmt_value(s.value), s.unit or "-"]
+                        for s in samples]
+                print()
+                print(format_table(
+                    ["series", "channel", "gpu", "engine", "metric",
+                     "value", "unit"], rows))
+            return 0
+
+        if args.history_cmd == "trend":
+            found = trends(ledger, series=args.series,
+                           metric=args.metric, channel=args.channel,
+                           gpu=args.gpu, engine=args.engine)
+            if not found:
+                print("(no matching trends)")
+                return 0
+            for trend in found:
+                points = " ".join(_fmt_value(v) for v in trend.values)
+                unit = f" {trend.unit}" if trend.unit else ""
+                line = f"{trend.key.describe()}: {points}{unit}"
+                if args.drift and len(trend) >= 2:
+                    report = trend_drift(trend)
+                    if report.drifted:
+                        line += (f"  [drift: max shift "
+                                 f"{report.max_shift:g} > tolerance "
+                                 f"{report.tolerance:g}]")
+                print(line)
+            return 0
+
+        if args.history_cmd == "diff":
+            try:
+                rows = diff_runs(ledger, args.run_a, args.run_b)
+            except LedgerError as exc:
+                raise CliError(str(exc))
+            if not rows:
+                print("(no samples in either run)")
+                return 0
+            table = []
+            for key, a, b in rows:
+                delta = "-"
+                if a is not None and b is not None:
+                    delta = f"{b - a:+g}"
+                table.append([key.describe(), _fmt_value(a),
+                              _fmt_value(b), delta])
+            print(format_table(
+                ["trend", str(args.run_a), str(args.run_b), "delta"],
+                table))
+            return 0
+
+        # check
+        verdict = check_history(
+            ledger, floor_ratio=args.floor_ratio,
+            ceiling_ratio=args.ceiling_ratio, series=args.series)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json_mod.dump(verdict.to_dict(), fh, indent=2)
+                fh.write("\n")
+        for regression in verdict.regressions:
+            print(f"REGRESSION {regression.describe()}")
+        status = "OK" if verdict.ok else "REGRESSED"
+        print(f"{status}: {verdict.checked} trend(s) checked, "
+              f"{verdict.skipped} skipped, "
+              f"{len(verdict.regressions)} regression(s)")
+        return 0 if verdict.ok else 1
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import time
+    from repro.obs.exposition import MetricsServer
+    from repro.obs.ledger import default_ledger_path
+    from repro.obs.metrics import MetricsRegistry
+
+    ledger_path = args.ledger or default_ledger_path()
+    registry = MetricsRegistry(enabled=True)
+    registry.gauge("exposition.start_unix").set(time.time())
+    server = MetricsServer(registry, ledger_path=ledger_path,
+                           host=args.host, port=args.port,
+                           verbose=True)
+    server.start()
+    print(f"serving {server.url}/metrics and {server.url}/healthz "
+          f"(ledger: {ledger_path}; ctrl-c to stop)")
+    if args.once:
+        # Smoke mode: render one exposition document to stdout and
+        # exit — CI uses this to validate the endpoint without
+        # managing a background process.
+        from repro.obs.exposition import prometheus_metrics
+        print(prometheus_metrics(registry, ledger_path), end="")
+        server.stop()
+        return 0
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_specs(_args: argparse.Namespace) -> int:
     rows = []
     for spec in all_specs():
@@ -833,6 +1052,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export the sweep's merged cross-process "
                             "span timeline as a Chrome trace-event "
                             "file")
+        p.add_argument("--ledger", default=None, metavar="PATH",
+                       help="also ingest the finished sweep (and its "
+                            "--telemetry summary) into the run-history "
+                            "ledger for `repro history` trends")
 
     p_run = sub.add_parser("run", help="regenerate experiments")
     p_run.add_argument("ids", nargs="*",
@@ -993,12 +1216,82 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated channels to live-probe "
                                "for signal quality and contention "
                                "attribution sections")
+    p_report.add_argument("--history", default=None, metavar="LEDGER",
+                          help="append cross-run trend sections "
+                               "(sparkline per metric) from a run "
+                               "ledger")
     p_report.add_argument("--gpu", default="kepler",
                           help="device for --channels probes")
     p_report.add_argument("--bits", type=int, default=32,
                           help="message length for --channels probes")
     p_report.add_argument("--seed", type=int, default=0)
     p_report.set_defaults(fn=cmd_report)
+
+    p_hist = sub.add_parser(
+        "history", help="longitudinal run ledger: ingest, trends, "
+                        "regression check")
+    p_hist.add_argument("--ledger", default=None, metavar="PATH",
+                        help="ledger database (default: ledger.sqlite "
+                             "under $REPRO_CACHE_DIR, else "
+                             "$XDG_CACHE_HOME/repro, else "
+                             "~/.cache/repro)")
+    hist_sub = p_hist.add_subparsers(dest="history_cmd", required=True)
+    h_ingest = hist_sub.add_parser(
+        "ingest", help="ingest manifests, telemetry logs (.jsonl) or "
+                       "BENCH trajectories")
+    h_ingest.add_argument("artifacts", nargs="+", metavar="ARTIFACT",
+                          help="files to ingest (kind is sniffed)")
+    hist_sub.add_parser("list", help="list ingested runs")
+    h_show = hist_sub.add_parser(
+        "show", help="one run's provenance and samples")
+    h_show.add_argument("run", metavar="RUN",
+                        help="run id or digest prefix (>= 8 chars)")
+    h_trend = hist_sub.add_parser(
+        "trend", help="per-(series x channel x gpu x engine) metric "
+                      "series across runs")
+    h_trend.add_argument("--series", default=None,
+                         help="filter: experiment | quality | "
+                              "transfer | sweep | telemetry | bench")
+    h_trend.add_argument("--metric", default=None,
+                         help="filter: e.g. bandwidth_kbps, ber, "
+                              "speedup")
+    h_trend.add_argument("--channel", default=None)
+    h_trend.add_argument("--gpu", default=None)
+    h_trend.add_argument("--engine", default=None)
+    h_trend.add_argument("--drift", action="store_true",
+                         help="flag windowed drift per trend")
+    h_diff = hist_sub.add_parser(
+        "diff", help="metric-by-metric comparison of two runs")
+    h_diff.add_argument("run_a", metavar="RUN_A")
+    h_diff.add_argument("run_b", metavar="RUN_B")
+    h_check = hist_sub.add_parser(
+        "check", help="regression verdict over every ledger trend "
+                      "(exit 1 on regression)")
+    h_check.add_argument("--series", default=None,
+                         help="restrict the check to one series")
+    h_check.add_argument("--floor-ratio", type=float, default=0.5,
+                         help="regression when a bigger-is-better "
+                              "metric falls below baseline x this")
+    h_check.add_argument("--ceiling-ratio", type=float, default=3.0,
+                         help="regression when a smaller-is-better "
+                              "metric rises above baseline x this")
+    h_check.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the verdict as JSON")
+    p_hist.set_defaults(fn=cmd_history)
+
+    p_serve = sub.add_parser(
+        "serve-metrics", help="serve /metrics (Prometheus text) and "
+                              "/healthz over HTTP")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9158,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--ledger", default=None, metavar="PATH",
+                         help="run ledger to export gauges from "
+                              "(default: the cache-dir ledger)")
+    p_serve.add_argument("--once", action="store_true",
+                         help="print one exposition document and exit "
+                              "(endpoint smoke test)")
+    p_serve.set_defaults(fn=cmd_serve_metrics)
 
     p_send = sub.add_parser(
         "send", help="stream files over a covert channel end-to-end")

@@ -21,6 +21,13 @@ hardware actually did.  It provides:
   per-resource queueing components via port wait ledgers.
 * :mod:`repro.obs.provenance` — spec/seed/git-rev stamps embedded in
   every export.
+* :mod:`repro.obs.ledger` — append-only, content-addressed run-history
+  store (SQLite) ingesting manifests, telemetry summaries and bench
+  trajectories.
+* :mod:`repro.obs.history` — cross-run trend series, windowed drift
+  and the sentinel-style ledger regression verdict.
+* :mod:`repro.obs.exposition` — Prometheus text rendering of the live
+  registry plus ledger gauges, served at ``/metrics`` + ``/healthz``.
 
 See ``docs/observability.md`` for the instrument catalogue.
 """
@@ -48,6 +55,26 @@ from repro.obs.export import (
     write_metrics_csv,
     write_pstats_chrome_trace,
     write_spans_chrome_trace,
+)
+from repro.obs.exposition import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsServer,
+    prometheus_metrics,
+)
+from repro.obs.history import (
+    HistoryVerdict,
+    SeriesKey,
+    Trend,
+    check_history,
+    diff_runs,
+    trend_drift,
+    trends,
+)
+from repro.obs.ledger import (
+    IngestResult,
+    LedgerError,
+    RunLedger,
+    default_ledger_path,
 )
 from repro.obs.metrics import (
     Counter,
@@ -88,40 +115,54 @@ __all__ = [
     "ChannelQuality",
     "Counter",
     "DeviceObservability",
+    "EXPOSITION_CONTENT_TYPE",
     "Gauge",
     "Histogram",
+    "HistoryVerdict",
+    "IngestResult",
+    "LedgerError",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_SPAN_TRACER",
     "NULL_TRACER",
     "ObserveConfig",
+    "RunLedger",
+    "SeriesKey",
     "Span",
     "SpanTracer",
     "TraceContext",
     "TraceEvent",
     "Tracer",
+    "Trend",
     "ascii_timeline",
     "attribute_waits",
     "attribution_report",
     "build_provenance",
     "channel_quality",
+    "check_history",
     "chrome_trace",
     "classify_port",
     "code_version",
     "coerce_observe",
     "current_tracer",
+    "default_ledger_path",
     "detect_drift",
+    "diff_runs",
     "git_revision",
     "metrics_csv",
     "metrics_json",
     "new_sweep_id",
     "optimal_threshold",
+    "prometheus_metrics",
     "pstats_chrome_trace",
     "rolling_ber",
     "signal_stats",
     "spans_chrome_trace",
+    "trend_drift",
+    "trends",
     "use_tracer",
     "write_chrome_trace",
     "write_metrics_csv",

@@ -1,0 +1,265 @@
+"""Prometheus-text metrics exposition over stdlib HTTP.
+
+The first brick of the fleet-service tier (ROADMAP item 2): render a
+live :class:`~repro.obs.metrics.MetricsRegistry` plus ledger-derived
+gauges in the Prometheus text exposition format (version 0.0.4) and
+serve them from a stdlib ``http.server`` thread:
+
+* ``GET /metrics`` — ``text/plain; version=0.0.4`` exposition of the
+  registry (counters/gauges/histograms, with ``_bucket``/``_sum``/
+  ``_count`` series) plus, when a ledger path is configured, totals
+  and the latest value of every ledger trend as labelled gauges.
+* ``GET /healthz`` — ``200`` JSON with the ledger's last-ingest
+  provenance (digest, kind, code version, git rev); an empty or
+  absent ledger is still healthy (the service is up, history is not
+  yet populated).
+
+No third-party dependency, no persistent server state: the ledger is
+reopened read-only per scrape, so the endpoint thread never holds a
+SQLite handle across requests (SQLite connections are
+thread-confined).  CLI surface: ``repro serve-metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "MetricsServer",
+    "prometheus_metrics",
+]
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix for every exposed metric, preventing collisions on a shared
+#: Prometheus server.
+METRIC_PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPE = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def _metric_name(raw: str) -> str:
+    """Sanitize a registry name (``cache.hits`` → ``repro_cache_hits``)."""
+    name = _NAME_OK.sub("_", raw)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return METRIC_PREFIX + name
+
+
+def _label(value: str) -> str:
+    return '"' + str(value).translate(_LABEL_ESCAPE) + '"'
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float rendering (``+Inf`` spelling, %g otherwise)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return f"{value:g}"
+
+
+def _registry_lines(registry: MetricsRegistry) -> List[str]:
+    lines: List[str] = []
+    for raw, inst in registry:
+        name = _metric_name(raw)
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(inst.value)}")
+            lines.append(f"# TYPE {name}_peak gauge")
+            lines.append(f"{name}_peak {_fmt(inst.peak)}")
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(inst.bounds, inst.bucket_counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le={_label(_fmt(bound))}}}'
+                             f' {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{name}_sum {_fmt(inst.total)}")
+            lines.append(f"{name}_count {inst.count}")
+        # Null singletons (disabled registry) carry no data: skip.
+    return lines
+
+
+def _ledger_lines(ledger_path: Union[str, Path]) -> List[str]:
+    """Ledger-derived gauges; empty when the ledger cannot be read."""
+    from repro.obs.history import trends
+    from repro.obs.ledger import LedgerError, RunLedger
+    path = Path(ledger_path)
+    if not path.exists():
+        return []
+    try:
+        with RunLedger(path) as ledger:
+            counts = ledger.counts()
+            last = ledger.last_ingest()
+            all_trends = trends(ledger)
+    except LedgerError:
+        return []
+    lines = [
+        "# TYPE repro_ledger_runs_total gauge",
+        f"repro_ledger_runs_total {counts['runs']}",
+        "# TYPE repro_ledger_samples_total gauge",
+        f"repro_ledger_samples_total {counts['samples']}",
+    ]
+    if last is not None:
+        lines.append(
+            "# TYPE repro_ledger_last_ingest_timestamp_seconds gauge")
+        lines.append(f"repro_ledger_last_ingest_timestamp_seconds "
+                     f"{_fmt(last['ingested_unix'])}")
+    if all_trends:
+        lines.append("# TYPE repro_ledger_metric gauge")
+        for trend in all_trends:
+            labels = ", ".join(
+                f"{k}={_label(v)}" for k, v in (
+                    ("series", trend.key.series),
+                    ("metric", trend.key.metric),
+                    ("channel", trend.key.channel),
+                    ("gpu", trend.key.gpu),
+                    ("engine", trend.key.engine)) if v)
+            lines.append(f"repro_ledger_metric{{{labels}}} "
+                         f"{_fmt(trend.values[-1])}")
+    return lines
+
+
+def prometheus_metrics(registry: Optional[MetricsRegistry] = None,
+                       ledger_path: Optional[Union[str, Path]] = None
+                       ) -> str:
+    """Render the exposition document (trailing newline included)."""
+    lines: List[str] = []
+    if registry is not None:
+        lines.extend(_registry_lines(registry))
+    if ledger_path is not None:
+        lines.extend(_ledger_lines(ledger_path))
+    if not lines:
+        lines.append("# no metrics registered")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/metrics`` and ``/healthz``; everything else is 404."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_metrics(
+                self.server.registry,
+                self.server.ledger_path).encode("utf-8")
+            self._reply(200, EXPOSITION_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "application/json",
+                        json.dumps(self._health()).encode("utf-8"))
+        else:
+            self._reply(404, "text/plain; charset=utf-8",
+                        b"not found: try /metrics or /healthz\n")
+
+    def _health(self) -> dict:
+        health = {"status": "ok", "ledger": None, "last_ingest": None}
+        ledger_path = self.server.ledger_path
+        if ledger_path is not None:
+            health["ledger"] = str(ledger_path)
+            from repro.obs.ledger import LedgerError, RunLedger
+            if Path(ledger_path).exists():
+                try:
+                    with RunLedger(ledger_path) as ledger:
+                        health["last_ingest"] = ledger.last_ingest()
+                except LedgerError as exc:
+                    health["status"] = "degraded"
+                    health["error"] = str(exc)
+        return health
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        """Silence per-request stderr chatter (opt-in via server)."""
+        if self.server.verbose:  # pragma: no cover - manual serving
+            super().log_message(fmt, *args)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, registry, ledger_path, verbose):
+        self.registry = registry
+        self.ledger_path = ledger_path
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint.
+
+    >>> server = MetricsServer(registry, ledger_path=path, port=0)
+    >>> server.start()
+    >>> server.port          # the bound port (useful with port=0)
+    >>> server.stop()
+
+    The server thread is a daemon: it never blocks interpreter exit,
+    and scrapes read the registry live (no copy — the instruments are
+    plain floats, torn reads are harmless for monitoring).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, *,
+                 ledger_path: Optional[Union[str, Path]] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False) -> None:
+        self.registry = registry
+        self.ledger_path = ledger_path
+        self._server = _Server((host, port), registry, ledger_path,
+                               verbose)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Begin serving on a daemon thread; returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

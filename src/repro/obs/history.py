@@ -1,0 +1,316 @@
+"""Cross-run trend analytics over the run ledger.
+
+:mod:`repro.obs.ledger` stores every ingested run as normalized metric
+points; this module turns those points into *longitudinal* answers:
+
+* :func:`trends` — per-``(series × channel × GPU × engine × metric)``
+  value series in run order, e.g. the `engine` benchmark's speedup
+  across BENCH_4 → BENCH_6 → BENCH_9.
+* :func:`trend_drift` — windowed drift detection over one trend,
+  reusing the :class:`repro.obs.quality.DriftReport` machinery (window
+  means vs. the global mean, tolerance scaled to the value spread).
+* :func:`check_history` — a regression verdict generalizing
+  ``benchmarks/sentinel.py`` from two BENCH files to the full ledger:
+  the latest point of every trend is compared against the median of
+  its predecessors under asymmetric tolerance bands (floor metrics
+  such as bandwidth regress by *falling*; ceiling metrics such as BER
+  and wall time regress by *rising*).
+* :func:`diff_runs` — metric-by-metric comparison of two ledger runs.
+
+All functions are pure over a :class:`~repro.obs.ledger.RunLedger`;
+the CLI surface is ``repro history`` (:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.ledger import RunLedger
+from repro.obs.quality import DriftReport
+
+__all__ = [
+    "CEILING_METRICS",
+    "FLOOR_METRICS",
+    "HistoryRegression",
+    "HistoryVerdict",
+    "SeriesKey",
+    "Trend",
+    "check_history",
+    "diff_runs",
+    "trend_drift",
+    "trends",
+]
+
+#: Metrics that regress by *falling* (bigger is better): the latest
+#: point must stay above ``baseline * floor_ratio``.
+FLOOR_METRICS = frozenset({
+    "bandwidth_kbps", "speedup", "goodput_kbps", "snr", "eye_height",
+    "tasks_per_s", "cache_hit_rate", "worker_utilization", "efficiency",
+})
+
+#: Metrics that regress by *rising* (smaller is better): the latest
+#: point must stay below ``baseline * ceiling_ratio + slack``.
+CEILING_METRICS = frozenset({
+    "ber", "wire_ber", "payload_ber", "frame_loss", "wall_s",
+    "retries", "retransmissions", "latency", "skipped_lines",
+})
+
+#: Default asymmetric bands, matching the sentinel's philosophy: halve
+#: a floor metric or triple a ceiling metric before alarming — real
+#: regressions are step functions, CI jitter is not.
+FLOOR_RATIO = 0.5
+CEILING_RATIO = 3.0
+#: Absolute slack for ceiling metrics whose baseline is ~zero (a
+#: pinned error-free channel has BER 0.0; tripling zero is still
+#: zero, so any nonzero reading would otherwise alarm).
+CEILING_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """One trend dimension: what is being measured, where."""
+
+    series: str
+    metric: str
+    channel: str = ""
+    gpu: str = ""
+    engine: str = ""
+
+    def describe(self) -> str:
+        dims = ":".join(d for d in (self.channel, self.gpu, self.engine)
+                        if d)
+        return f"{self.series}[{dims}].{self.metric}" if dims \
+            else f"{self.series}.{self.metric}"
+
+
+@dataclass
+class Trend:
+    """One metric's value series across ledger runs, in run order."""
+
+    key: SeriesKey
+    run_ids: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    unit: str = ""
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "series": self.key.series,
+            "metric": self.key.metric,
+            "channel": self.key.channel,
+            "gpu": self.key.gpu,
+            "engine": self.key.engine,
+            "unit": self.unit,
+            "run_ids": list(self.run_ids),
+            "values": list(self.values),
+        }
+
+
+def trends(ledger: RunLedger, *, series: Optional[str] = None,
+           metric: Optional[str] = None,
+           channel: Optional[str] = None,
+           gpu: Optional[str] = None,
+           engine: Optional[str] = None) -> List[Trend]:
+    """Group ledger samples into per-dimension trends, run-ordered.
+
+    A run contributing several points to one dimension (e.g. many
+    seeds of one channel in a sweep manifest) is collapsed to the
+    mean, so each run is one x-position on the trend.
+    """
+    grouped: Dict[SeriesKey, Dict[int, List[float]]] = {}
+    units: Dict[SeriesKey, str] = {}
+    for s in ledger.samples(series=series, metric=metric,
+                            channel=channel, gpu=gpu, engine=engine):
+        key = SeriesKey(s.series, s.metric, s.channel, s.gpu, s.engine)
+        grouped.setdefault(key, {}).setdefault(s.run_id, []).append(
+            s.value)
+        units.setdefault(key, s.unit)
+    out = []
+    for key in sorted(grouped, key=lambda k: (k.series, k.channel,
+                                              k.gpu, k.engine,
+                                              k.metric)):
+        by_run = grouped[key]
+        trend = Trend(key, unit=units[key])
+        for run_id in sorted(by_run):
+            points = by_run[run_id]
+            trend.run_ids.append(run_id)
+            trend.values.append(sum(points) / len(points))
+        out.append(trend)
+    return out
+
+
+def trend_drift(trend: Trend, *, windows: int = 4,
+                rel_tolerance: float = 0.25) -> DriftReport:
+    """Windowed drift detection over one trend's value series.
+
+    Same contract as :func:`repro.obs.quality.detect_drift`, applied
+    to run-ordered metric values instead of per-bit latencies: the
+    series is split into ``windows`` equal spans, each span's mean is
+    compared against the global mean, and drift is flagged when any
+    span departs by more than ``rel_tolerance`` of the value spread
+    (max - min).  Series too short to window (fewer than ``windows``
+    points) or perfectly flat never drift.
+    """
+    if windows < 2:
+        raise ValueError("windows must be >= 2")
+    values = trend.values
+    report = DriftReport()
+    if not values:
+        return report
+    mean = sum(values) / len(values)
+    report.global_threshold = mean
+    spread = max(values) - min(values)
+    report.tolerance = rel_tolerance * spread
+    if len(values) < windows or spread <= 0:
+        return report
+    span = len(values) / windows
+    for w in range(windows):
+        chunk = values[int(w * span):int((w + 1) * span)]
+        if not chunk:
+            continue
+        report.window_thresholds.append(sum(chunk) / len(chunk))
+    if report.window_thresholds:
+        report.max_shift = max(abs(t - mean)
+                               for t in report.window_thresholds)
+        report.drifted = report.max_shift > report.tolerance
+    return report
+
+
+@dataclass(frozen=True)
+class HistoryRegression:
+    """One trend whose latest point broke its tolerance band."""
+
+    key: SeriesKey
+    baseline: float
+    latest: float
+    limit: float
+    direction: str            # "floor" | "ceiling"
+    run_id: int
+
+    def describe(self) -> str:
+        verb = "fell below" if self.direction == "floor" \
+            else "rose above"
+        return (f"{self.key.describe()}: {self.latest:g} {verb} the "
+                f"{self.limit:g} band (baseline {self.baseline:g}, "
+                f"run {self.run_id})")
+
+
+@dataclass
+class HistoryVerdict:
+    """Outcome of one ledger-wide regression check."""
+
+    checked: int = 0
+    skipped: int = 0
+    regressions: List[HistoryRegression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "skipped": self.skipped,
+            "regressions": [
+                {
+                    "trend": r.key.describe(),
+                    "series": r.key.series,
+                    "metric": r.key.metric,
+                    "channel": r.key.channel,
+                    "gpu": r.key.gpu,
+                    "engine": r.key.engine,
+                    "baseline": r.baseline,
+                    "measured": r.latest,
+                    "bound": r.limit,
+                    "direction": r.direction,
+                    "run_id": r.run_id,
+                } for r in self.regressions
+            ],
+        }
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def check_history(ledger: RunLedger, *,
+                  floor_ratio: float = FLOOR_RATIO,
+                  ceiling_ratio: float = CEILING_RATIO,
+                  ceiling_slack: float = CEILING_SLACK,
+                  series: Optional[str] = None
+                  ) -> HistoryVerdict:
+    """Regression verdict over every trend in the ledger.
+
+    For each trend with at least two points, the latest point is
+    compared against the *median* of all prior points (robust to one
+    historic outlier).  Floor metrics must stay above
+    ``baseline * floor_ratio``; ceiling metrics must stay below
+    ``baseline * ceiling_ratio + ceiling_slack``.  Metrics in neither
+    set, and single-point trends, are counted as skipped — a fresh
+    ledger passes vacuously.
+    """
+    verdict = HistoryVerdict()
+    for trend in trends(ledger, series=series):
+        metric = trend.key.metric
+        if len(trend) < 2 or (metric not in FLOOR_METRICS
+                              and metric not in CEILING_METRICS):
+            verdict.skipped += 1
+            continue
+        baseline = _median(trend.values[:-1])
+        latest = trend.values[-1]
+        if math.isnan(baseline) or math.isnan(latest):
+            verdict.skipped += 1
+            continue
+        verdict.checked += 1
+        if metric in FLOOR_METRICS:
+            limit = baseline * floor_ratio
+            if latest < limit:
+                verdict.regressions.append(HistoryRegression(
+                    trend.key, baseline, latest, limit, "floor",
+                    trend.run_ids[-1]))
+        else:
+            limit = baseline * ceiling_ratio + ceiling_slack
+            if latest > limit:
+                verdict.regressions.append(HistoryRegression(
+                    trend.key, baseline, latest, limit, "ceiling",
+                    trend.run_ids[-1]))
+    return verdict
+
+
+def diff_runs(ledger: RunLedger, ref_a: Any, ref_b: Any
+              ) -> List[Tuple[SeriesKey, Optional[float],
+                              Optional[float]]]:
+    """Metric-by-metric comparison of two ledger runs.
+
+    Returns ``(key, value_a, value_b)`` rows over the union of both
+    runs' dimensions (``None`` where a run has no such point), sorted
+    like :func:`trends`.  Multi-point dimensions collapse to the mean.
+    """
+    run_a = ledger.run(ref_a)
+    run_b = ledger.run(ref_b)
+    sides: List[Dict[SeriesKey, List[float]]] = [{}, {}]
+    for side, run in zip(sides, (run_a, run_b)):
+        for s in ledger.samples(run.run_id):
+            key = SeriesKey(s.series, s.metric, s.channel, s.gpu,
+                            s.engine)
+            side.setdefault(key, []).append(s.value)
+    keys = sorted(set(sides[0]) | set(sides[1]),
+                  key=lambda k: (k.series, k.channel, k.gpu, k.engine,
+                                 k.metric))
+    out = []
+    for key in keys:
+        a = sides[0].get(key)
+        b = sides[1].get(key)
+        out.append((key,
+                    sum(a) / len(a) if a else None,
+                    sum(b) / len(b) if b else None))
+    return out

@@ -1,0 +1,609 @@
+"""Persistent run ledger: append-only, content-addressed run history.
+
+Every observability artifact the repo produces is ephemeral and
+single-run: manifests describe one sweep, telemetry logs one fleet,
+``BENCH_<n>.json`` one benchmark pass.  The ledger is the longitudinal
+store underneath them — one SQLite database (under ``$REPRO_CACHE_DIR``
+by default) that *ingests* those artifacts into a queryable timeline:
+
+* **runs** — one row per ingested artifact, keyed by the SHA-256 digest
+  of its canonical JSON form.  Ingest is idempotent: feeding the same
+  manifest twice yields the same single row (``IngestResult.inserted``
+  is False the second time).
+* **samples** — normalized metric points extracted from each run,
+  dimensioned by ``(series, channel, gpu, engine, metric)`` so
+  cross-run trend queries (:mod:`repro.obs.history`) need no JSON
+  parsing.
+
+Supported artifacts (``RunLedger.ingest_path`` sniffs the kind):
+
+=============  ====================================================
+kind           source
+=============  ====================================================
+``manifest``   sweep run manifests (``repro run/sweep --manifest``)
+``transfer``   transfer manifests (``repro send --manifest``)
+``telemetry``  JSONL event logs (``--telemetry``), summarized via
+               :func:`repro.runner.dashboard.telemetry_summary`
+``trajectory`` ``BENCH_<n>.json`` benchmark trajectory points
+=============  ====================================================
+
+Crash and corruption tolerance mirrors the result cache
+(:mod:`repro.runner.cache`): a truncated or garbled database file is
+*quarantined* (renamed alongside the original) and a fresh ledger is
+rebuilt in its place, so a damaged history never blocks new ingests; a
+database written by a *newer* schema raises :class:`LedgerError`
+instead of silently destroying data this code cannot read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "IngestResult",
+    "LedgerError",
+    "LedgerRun",
+    "LedgerSample",
+    "RunLedger",
+    "default_ledger_path",
+]
+
+#: Schema version stamped into (and checked against) the ``meta`` table.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Known run kinds, in sniffing order.
+RUN_KINDS = ("manifest", "transfer", "telemetry", "trajectory")
+
+
+class LedgerError(Exception):
+    """Unusable ledger: future schema, unreadable artifact, bad query."""
+
+
+def default_ledger_path() -> Path:
+    """Ledger file under the cache root ($REPRO_CACHE_DIR et al.)."""
+    from repro.runner.cache import default_cache_dir
+    return default_cache_dir() / "ledger.sqlite"
+
+
+def _canonical_digest(doc: Any) -> str:
+    """Content address of one artifact: SHA-256 of canonical JSON."""
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What one ingest call did."""
+
+    run_id: int
+    digest: str
+    kind: str
+    #: False when the digest was already in the ledger (no-op replay).
+    inserted: bool
+    samples: int
+
+    def describe(self) -> str:
+        verb = "ingested" if self.inserted else "already present"
+        return (f"run {self.run_id} [{self.kind}] {verb} "
+                f"({self.samples} sample(s), {self.digest[:12]})")
+
+
+@dataclass(frozen=True)
+class LedgerRun:
+    """One ingested artifact."""
+
+    run_id: int
+    digest: str
+    kind: str
+    label: str
+    created_unix: float
+    ingested_unix: float
+    code_version: str
+    git_rev: str
+    source: str
+
+
+@dataclass(frozen=True)
+class LedgerSample:
+    """One normalized metric point."""
+
+    run_id: int
+    series: str
+    channel: str
+    gpu: str
+    engine: str
+    metric: str
+    value: float
+    unit: str
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    digest        TEXT NOT NULL UNIQUE,
+    kind          TEXT NOT NULL,
+    label         TEXT NOT NULL DEFAULT '',
+    created_unix  REAL,
+    ingested_unix REAL NOT NULL,
+    code_version  TEXT NOT NULL DEFAULT '',
+    git_rev       TEXT NOT NULL DEFAULT '',
+    source        TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS samples (
+    id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id  INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    series  TEXT NOT NULL,
+    channel TEXT NOT NULL DEFAULT '',
+    gpu     TEXT NOT NULL DEFAULT '',
+    engine  TEXT NOT NULL DEFAULT '',
+    metric  TEXT NOT NULL,
+    value   REAL NOT NULL,
+    unit    TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS samples_by_series
+    ON samples (series, metric, channel, gpu, engine, run_id);
+"""
+
+
+class RunLedger:
+    """Append-only SQLite run-history store.
+
+    >>> ledger = RunLedger(tmp / "ledger.sqlite")
+    >>> ledger.ingest_trajectory({"engine": {"speedup": 66.9}}, ...)
+    >>> ledger.runs()          # every ingested artifact
+    >>> ledger.series()        # trend points grouped by dimension
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None \
+            else default_ledger_path()
+        self.quarantined: Optional[Path] = None
+        self._conn = self._open()
+
+    # ------------------------------------------------------------------
+    # Opening, schema, corruption recovery
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path)
+        conn.execute("PRAGMA foreign_keys = ON")
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        try:
+            conn = self._connect()
+            version = self._schema_version(conn)
+        except sqlite3.DatabaseError:
+            # Truncated or garbled file (crash mid-write, disk fault):
+            # quarantine it and rebuild, mirroring the result cache's
+            # corrupt-entry eviction — history is lost, ingest is not.
+            self.quarantined = self._quarantine()
+            conn = self._connect()
+            version = self._schema_version(conn)
+        if version is None:
+            with conn:
+                conn.executescript(_SCHEMA)
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('schema_version', ?)",
+                    (str(LEDGER_SCHEMA_VERSION),))
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) "
+                    "VALUES ('created_unix', ?)",
+                    (repr(round(time.time(), 3)),))
+        elif version > LEDGER_SCHEMA_VERSION:
+            conn.close()
+            raise LedgerError(
+                f"{self.path} has ledger schema version {version}; "
+                f"this code reads up to version "
+                f"{LEDGER_SCHEMA_VERSION}")
+        return conn
+
+    @staticmethod
+    def _schema_version(conn: sqlite3.Connection) -> Optional[int]:
+        """Stored schema version, or None for a fresh database.
+
+        Raises ``sqlite3.DatabaseError`` when the file is not SQLite at
+        all — the signal :meth:`_open` quarantines on.
+        """
+        tables = {row[0] for row in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'")}
+        if "meta" not in tables:
+            if tables:
+                # A real SQLite file that is not a ledger: refuse to
+                # adopt (and implicitly overwrite) someone else's data.
+                raise sqlite3.DatabaseError("not a repro ledger")
+            return None
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row else None
+
+    def _quarantine(self) -> Path:
+        """Move the unreadable file aside; returns the new location."""
+        stamp = 0
+        while True:
+            target = self.path.with_name(
+                f"{self.path.name}.corrupt-{stamp}")
+            if not target.exists():
+                break
+            stamp += 1
+        os.replace(self.path, target)
+        return target
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _ingest(self, doc: Any, kind: str, *, label: str,
+                created_unix: Optional[float],
+                code_version: str, git_rev: str, source: str,
+                samples: Iterable[Tuple[str, str, str, str, str,
+                                        float, str]]) -> IngestResult:
+        digest = _canonical_digest(doc)
+        row = self._conn.execute(
+            "SELECT id FROM runs WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is not None:
+            n = self._conn.execute(
+                "SELECT COUNT(*) FROM samples WHERE run_id = ?",
+                (row[0],)).fetchone()[0]
+            return IngestResult(row[0], digest, kind, False, n)
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO runs (digest, kind, label, created_unix, "
+                "ingested_unix, code_version, git_rev, source) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (digest, kind, label, created_unix,
+                 round(time.time(), 3), code_version, git_rev, source))
+            run_id = cursor.lastrowid
+            rows = [(run_id,) + s for s in samples]
+            self._conn.executemany(
+                "INSERT INTO samples (run_id, series, channel, gpu, "
+                "engine, metric, value, unit) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows)
+        return IngestResult(run_id, digest, kind, True, len(rows))
+
+    # -- manifests ------------------------------------------------------
+    def ingest_manifest(self, manifest: Dict[str, Any], *,
+                        source: str = "",
+                        label: Optional[str] = None) -> IngestResult:
+        """Ingest a sweep or transfer manifest document.
+
+        Extracts bandwidth/BER series from the embedded result tables,
+        SNR/BER/threshold points from channel-quality bundles, and
+        goodput/BER/loss from transfer sessions.
+        """
+        if not isinstance(manifest, dict):
+            raise LedgerError("manifest must be a JSON object")
+        kind = "transfer" if manifest.get("transfers") else "manifest"
+        prov = manifest.get("provenance", {})
+        engine = str(manifest.get("extra", {}).get("engine", ""))
+        samples: List[Tuple[str, str, str, str, str, float, str]] = []
+        for result in manifest.get("results", []):
+            samples.extend(_result_samples(result, engine))
+        for q in manifest.get("quality", []):
+            samples.extend(_quality_samples(q, engine))
+        for t in manifest.get("transfers", []):
+            samples.extend(_transfer_samples(t, engine))
+        counts = manifest.get("counts", {})
+        if counts:
+            for name, count in sorted(counts.items()):
+                samples.append(("sweep", "", "", engine,
+                                f"tasks_{name}", float(count), "tasks"))
+        if manifest.get("wall_seconds") is not None:
+            samples.append(("sweep", "", "", engine, "wall_s",
+                            float(manifest["wall_seconds"]), "s"))
+        return self._ingest(
+            manifest, kind,
+            label=label or manifest.get("label", "")
+            or (manifest.get("command") and
+                " ".join(manifest["command"])) or kind,
+            created_unix=manifest.get("created_unix"),
+            code_version=str(prov.get("code_version", "")),
+            git_rev=str(prov.get("git_rev", "")),
+            source=source,
+            samples=samples)
+
+    # -- telemetry ------------------------------------------------------
+    def ingest_telemetry(self, path: os.PathLike, *,
+                         label: Optional[str] = None) -> IngestResult:
+        """Ingest a JSONL telemetry log as one summarized fleet run.
+
+        The summary (tasks/s, cache hit rate, retries, per-worker
+        utilization) comes from
+        :func:`repro.runner.dashboard.telemetry_summary`, so the ledger
+        row and ``repro top`` agree on every number.
+        """
+        from repro.runner.dashboard import telemetry_summary
+        summary = telemetry_summary(path)
+        samples = [
+            ("telemetry", "", "", "", metric, float(value), unit)
+            for metric, value, unit in (
+                ("tasks_per_s", summary.get("tasks_per_s") or 0.0,
+                 "tasks/s"),
+                ("cache_hit_rate",
+                 summary.get("cache_hit_rate") or 0.0, "ratio"),
+                ("retries", summary.get("retries", 0), "tasks"),
+                ("worker_utilization",
+                 summary.get("worker_utilization") or 0.0, "ratio"),
+                ("workers", summary.get("workers", 0), "processes"),
+                ("tasks_done", summary.get("done", 0), "tasks"),
+                ("elapsed_s", summary.get("elapsed", 0.0), "s"),
+                ("skipped_lines", summary.get("skipped_lines", 0),
+                 "lines"),
+            )
+        ]
+        return self._ingest(
+            summary, "telemetry",
+            label=label or f"sweep {summary.get('sweep_id', '?')}",
+            created_unix=None,
+            code_version="", git_rev="", source=str(path),
+            samples=samples)
+
+    # -- benchmark trajectories ----------------------------------------
+    def ingest_trajectory(self, trajectory: Dict[str, Any], *,
+                          source: str = "",
+                          label: Optional[str] = None) -> IngestResult:
+        """Ingest one ``BENCH_<n>.json`` trajectory point.
+
+        Each tracked benchmark becomes two samples, carrying the same
+        asymmetric semantics the sentinel applies: ``speedup`` regresses
+        by falling, ``wall_s`` by rising.
+        """
+        if not _looks_like_trajectory(trajectory):
+            raise LedgerError(
+                "not a benchmark trajectory: expected "
+                "{bench: {wall_s, speedup}, ...}")
+        samples = []
+        for bench, metrics in sorted(trajectory.items()):
+            for metric, unit in (("speedup", "x"), ("wall_s", "s")):
+                value = metrics.get(metric)
+                if value is not None:
+                    samples.append(("bench", bench, "", "", metric,
+                                    float(value), unit))
+        return self._ingest(
+            trajectory, "trajectory",
+            label=label or os.path.basename(source) or "trajectory",
+            created_unix=None, code_version="", git_rev="",
+            source=source, samples=samples)
+
+    # -- sniffing front door -------------------------------------------
+    def ingest_path(self, path: os.PathLike) -> IngestResult:
+        """Ingest any supported artifact file, sniffing its kind.
+
+        ``*.jsonl`` is a telemetry log; JSON documents are manifests
+        (by their ``kind`` field) or trajectories (by shape).  Anything
+        else raises :class:`LedgerError` naming the path.
+        """
+        path = str(path)
+        if path.endswith(".jsonl"):
+            return self.ingest_telemetry(path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise LedgerError(f"cannot read {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise LedgerError(
+                f"{path} is not valid JSON ({exc}); the ledger ingests "
+                f"manifests, telemetry .jsonl logs and BENCH "
+                f"trajectories")
+        from repro.runner.manifest import MANIFEST_KIND
+        if isinstance(doc, dict) and doc.get("kind") == MANIFEST_KIND:
+            from repro.runner.manifest import load_manifest
+            # Re-load through the validating reader for version checks.
+            return self.ingest_manifest(
+                load_manifest(path), source=path,
+                label=os.path.basename(path))
+        if _looks_like_trajectory(doc):
+            return self.ingest_trajectory(doc, source=path)
+        raise LedgerError(
+            f"{path} is not an ingestable artifact (run/transfer "
+            f"manifest, telemetry .jsonl, or BENCH trajectory)")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def runs(self) -> List[LedgerRun]:
+        """Every ingested artifact, in ingest order."""
+        rows = self._conn.execute(
+            "SELECT id, digest, kind, label, created_unix, "
+            "ingested_unix, code_version, git_rev, source "
+            "FROM runs ORDER BY id").fetchall()
+        return [LedgerRun(r[0], r[1], r[2], r[3], r[4] or 0.0, r[5],
+                          r[6], r[7], r[8]) for r in rows]
+
+    def run(self, ref: Any) -> LedgerRun:
+        """One run by id or digest (prefixes >= 8 chars accepted)."""
+        query = "SELECT id, digest, kind, label, created_unix, " \
+                "ingested_unix, code_version, git_rev, source FROM runs "
+        row = None
+        if isinstance(ref, int) or str(ref).isdigit():
+            row = self._conn.execute(
+                query + "WHERE id = ?", (int(ref),)).fetchone()
+        elif len(str(ref)) >= 8:
+            rows = self._conn.execute(
+                query + "WHERE digest LIKE ?",
+                (str(ref) + "%",)).fetchall()
+            if len(rows) > 1:
+                raise LedgerError(
+                    f"digest prefix {ref!r} is ambiguous "
+                    f"({len(rows)} matches)")
+            row = rows[0] if rows else None
+        if row is None:
+            raise LedgerError(f"no ledger run matching {ref!r}")
+        return LedgerRun(row[0], row[1], row[2], row[3], row[4] or 0.0,
+                         row[5], row[6], row[7], row[8])
+
+    def samples(self, run_id: Optional[int] = None, *,
+                series: Optional[str] = None,
+                metric: Optional[str] = None,
+                channel: Optional[str] = None,
+                gpu: Optional[str] = None,
+                engine: Optional[str] = None) -> List[LedgerSample]:
+        """Normalized metric points, filtered by any dimension."""
+        clauses, params = [], []
+        for column, value in (("run_id", run_id), ("series", series),
+                              ("metric", metric), ("channel", channel),
+                              ("gpu", gpu), ("engine", engine)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        rows = self._conn.execute(
+            "SELECT run_id, series, channel, gpu, engine, metric, "
+            f"value, unit FROM samples{where} ORDER BY run_id, id",
+            params).fetchall()
+        return [LedgerSample(*row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{"runs": ..., "samples": ...}`` totals."""
+        return {
+            "runs": self._conn.execute(
+                "SELECT COUNT(*) FROM runs").fetchone()[0],
+            "samples": self._conn.execute(
+                "SELECT COUNT(*) FROM samples").fetchone()[0],
+        }
+
+    def last_ingest(self) -> Optional[Dict[str, Any]]:
+        """Provenance of the most recent ingest (``/healthz`` payload)."""
+        rows = self.runs()
+        if not rows:
+            return None
+        last = rows[-1]
+        return {
+            "run_id": last.run_id,
+            "digest": last.digest,
+            "kind": last.kind,
+            "label": last.label,
+            "ingested_unix": last.ingested_unix,
+            "code_version": last.code_version,
+            "git_rev": last.git_rev,
+            "source": last.source,
+        }
+
+
+# ----------------------------------------------------------------------
+# Sample extraction from artifact payloads
+# ----------------------------------------------------------------------
+#: Result-table headers recognized as metric columns: header (lowered)
+#: -> (ledger metric name, unit).
+_METRIC_HEADERS = {
+    "kbps": ("bandwidth_kbps", "kbps"),
+    "ber": ("ber", "ratio"),
+    "latency (clk)": ("latency", "cycles"),
+}
+
+#: Result-table headers treated as the device dimension.
+_GPU_HEADERS = ("gpu", "device")
+
+
+def _looks_like_trajectory(doc: Any) -> bool:
+    """Shape check for ``BENCH_<n>.json`` documents."""
+    return (isinstance(doc, dict) and bool(doc)
+            and all(isinstance(v, dict)
+                    and ("wall_s" in v or "speedup" in v)
+                    for v in doc.values()))
+
+
+def _result_samples(result: Dict[str, Any], engine: str
+                    ) -> List[Tuple[str, str, str, str, str, float, str]]:
+    """Metric points from one manifest result table.
+
+    Metric columns are recognized by header (``Kbps``, ``BER``); the
+    remaining label columns form the channel dimension (prefixed with
+    the experiment id), except a ``GPU`` column which becomes the
+    device dimension.  Latency staircases (fig2/fig3) are skipped: a
+    per-array-size curve is not a scalar trend.
+    """
+    headers = [str(h) for h in result.get("headers", [])]
+    lowered = [h.lower() for h in headers]
+    metric_cols = [(i, _METRIC_HEADERS[h]) for i, h in enumerate(lowered)
+                   if h in _METRIC_HEADERS and h != "latency (clk)"]
+    if not metric_cols:
+        return []
+    gpu_col = next((i for i, h in enumerate(lowered)
+                    if h in _GPU_HEADERS), None)
+    label_cols = [i for i, h in enumerate(lowered)
+                  if i != gpu_col
+                  and not any(i == mi for mi, _ in metric_cols)]
+    experiment = str(result.get("experiment_id", ""))
+    gpu_default = str(result.get("spec_name") or "")
+    out = []
+    for row in result.get("rows", []):
+        labels = [str(row[i]) for i in label_cols if i < len(row)]
+        channel = ":".join([experiment] + labels) if labels \
+            else experiment
+        gpu = str(row[gpu_col]) if gpu_col is not None \
+            and gpu_col < len(row) else gpu_default
+        for col, (metric, unit) in metric_cols:
+            if col >= len(row):
+                continue
+            try:
+                value = float(row[col])
+            except (TypeError, ValueError):
+                continue
+            out.append(("experiment", channel, gpu, engine, metric,
+                        value, unit))
+    return out
+
+
+def _quality_samples(q: Dict[str, Any], engine: str
+                     ) -> List[Tuple[str, str, str, str, str, float, str]]:
+    """Metric points from one channel-quality bundle."""
+    channel = str(q.get("channel", ""))
+    stats = q.get("stats", {})
+    out = []
+    for metric, value, unit in (
+            ("ber", q.get("ber"), "ratio"),
+            ("bandwidth_kbps", q.get("bandwidth_kbps"), "kbps"),
+            ("snr", stats.get("snr"), "ratio"),
+            ("eye_height", stats.get("eye_height"), "cycles"),
+            ("threshold", stats.get("threshold"), "cycles")):
+        if value is None or not isinstance(value, (int, float)):
+            continue        # "inf" SNR serializes as a string
+        out.append(("quality", channel, "", engine, metric,
+                    float(value), unit))
+    return out
+
+
+def _transfer_samples(t: Dict[str, Any], engine: str
+                      ) -> List[Tuple[str, str, str, str, str, float, str]]:
+    """Metric points from one transport session payload."""
+    channel = str(t.get("channel", ""))
+    out = []
+    for metric, value, unit in (
+            ("goodput_kbps", (t.get("goodput_bps") or 0.0) / 1e3,
+             "kbps"),
+            ("wire_ber", t.get("wire_ber"), "ratio"),
+            ("payload_ber", t.get("payload_ber"), "ratio"),
+            ("frame_loss", t.get("frame_loss"), "ratio"),
+            ("efficiency", t.get("efficiency"), "ratio"),
+            ("retransmissions", t.get("retransmissions"), "frames")):
+        if value is None:
+            continue
+        out.append(("transfer", channel, "", engine, metric,
+                    float(value), unit))
+    return out

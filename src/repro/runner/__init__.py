@@ -25,7 +25,12 @@ from repro.runner.cache import (
     SnapshotStore,
     default_cache_dir,
 )
-from repro.runner.dashboard import SweepView, WorkerView, fleet_snapshot
+from repro.runner.dashboard import (
+    SweepView,
+    WorkerView,
+    fleet_snapshot,
+    telemetry_summary,
+)
 from repro.runner.dashboard import render as render_dashboard
 from repro.runner.grid import Task, expand_grid, parse_seeds
 from repro.runner.keys import cache_key, snapshot_key, spec_fingerprint
@@ -77,5 +82,6 @@ __all__ = [
     "run_tasks",
     "spec_fingerprint",
     "stderr_reporter",
+    "telemetry_summary",
     "write_manifest",
 ]

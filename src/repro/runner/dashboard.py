@@ -28,7 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["WorkerView", "SweepView", "fleet_snapshot", "render"]
+__all__ = ["SweepView", "WorkerView", "fleet_snapshot", "render",
+           "telemetry_summary"]
 
 #: Completions the rolling task rate is computed over.
 RATE_WINDOW = 8
@@ -279,14 +280,19 @@ def render(view: SweepView) -> str:
     if view.eta_seconds is not None:
         line += f" · eta {_fmt_seconds(view.eta_seconds)}"
     head.append(line)
-    if view.skipped_lines:
-        head.append(f"({view.skipped_lines} undecodable log line(s) "
-                    f"skipped)")
     stalled = view.stalled
     if stalled:
         pids = ", ".join(str(w.pid) for w in stalled)
         head.append(f"STALLED worker(s): {pids} — no heartbeat; "
                     f"check the processes")
+
+    # The footer carries log-health notes (undecodable lines from a
+    # crashed writer or torn append) so they survive at the bottom of
+    # every frame instead of scrolling away with the header.
+    foot = []
+    if view.skipped_lines:
+        foot.append(f"({view.skipped_lines} undecodable log line(s) "
+                    f"skipped)")
 
     rows = []
     for w in view.workers:
@@ -299,9 +305,43 @@ def render(view: SweepView) -> str:
             f"{w.utilization:.0%}",
             _fmt_seconds(w.beat_age),
         ])
+    parts = ["\n".join(head)]
     if rows:
-        table = format_table(
+        parts.append(format_table(
             ["pid", "state", "task", "done", "busy", "util", "beat"],
-            rows)
-        return "\n".join(head) + "\n\n" + table
-    return "\n".join(head)
+            rows))
+    if foot:
+        parts.append("\n".join(foot))
+    return "\n\n".join(parts)
+
+
+def telemetry_summary(path: Any) -> Dict[str, Any]:
+    """Summarize a telemetry log file for ledger ingestion.
+
+    Reads the JSONL log leniently (undecodable lines are counted, not
+    fatal), folds it through :func:`fleet_snapshot`, and flattens the
+    numbers ``repro top`` would show into one dict — so the ledger row
+    and the dashboard agree on every value.  Mean worker utilization
+    covers the workers the dashboard would list.
+    """
+    from repro.runner.telemetry import read_events_with_skips
+
+    events, skipped = read_events_with_skips(path)
+    view = fleet_snapshot(events)
+    workers = view.workers
+    utilization = (sum(w.utilization for w in workers) / len(workers)
+                   if workers else None)
+    return {
+        "sweep_id": view.sweep_id,
+        "finished": view.finished,
+        "elapsed": round(view.elapsed, 3),
+        "queued": view.queued,
+        "done": view.done,
+        "counts": dict(view.counts),
+        "retries": view.retries,
+        "cache_hit_rate": view.cache_hit_rate,
+        "tasks_per_s": view.tasks_per_s,
+        "workers": len(workers),
+        "worker_utilization": utilization,
+        "skipped_lines": skipped,
+    }

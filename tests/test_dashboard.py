@@ -176,6 +176,32 @@ class TestFleetSnapshot:
         assert worker.task == "a"
 
 
+class TestTelemetrySummary:
+    def test_summary_matches_the_dashboard_numbers(self, tmp_path):
+        from repro.runner import telemetry_summary
+        log = tmp_path / "events.jsonl"
+        events = _sweep_events() + [
+            _ev("task", "finished", ts=9.0, task="d", seconds=4.4),
+            _ev("sweep", "finished", ts=9.0, ran=3, cache=1,
+                failed=0),
+        ]
+        lines = [json.dumps(e) for e in events]
+        lines.append("not json at all")
+        log.write_text("\n".join(lines) + "\n")
+        summary = telemetry_summary(log)
+        view = fleet_snapshot(events)
+        assert summary["sweep_id"] == "s1"
+        assert summary["finished"] is True
+        assert summary["done"] == view.done == 4
+        assert summary["queued"] == 4
+        assert summary["cache_hit_rate"] == view.cache_hit_rate
+        assert summary["tasks_per_s"] == view.tasks_per_s
+        assert summary["workers"] == len(view.workers) == 2
+        assert summary["worker_utilization"] is not None
+        assert 0.0 < summary["worker_utilization"] <= 1.0
+        assert summary["skipped_lines"] == 1
+
+
 class TestRender:
     def test_render_running_frame(self):
         view = fleet_snapshot(_sweep_events(), now=8.0)
@@ -197,11 +223,15 @@ class TestRender:
     def test_render_empty_log(self):
         assert "no telemetry" in render_dashboard(fleet_snapshot([]))
 
-    def test_render_notes_skipped_lines(self):
+    def test_render_notes_skipped_lines_in_footer(self):
         view = fleet_snapshot(_sweep_events(), now=8.0)
         view.skipped_lines = 1
-        assert "1 undecodable log line(s) skipped" \
-            in render_dashboard(view)
+        frame = render_dashboard(view)
+        note = "1 undecodable log line(s) skipped"
+        assert note in frame
+        # The log-health note is the frame's footer: after the worker
+        # table, not buried in the header lines.
+        assert frame.rstrip().endswith(f"({note})")
 
 
 class TestTopCli:
@@ -230,6 +260,24 @@ class TestTopCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "STALLED" in out
+
+    def test_top_once_surfaces_skipped_lines(self, tmp_path, capsys):
+        # A log with a torn/garbled line (crashed writer) still
+        # renders, and the skip count lands in the frame's footer.
+        log = tmp_path / "events.jsonl"
+        events = _sweep_events() + [
+            _ev("sweep", "finished", ts=9.0, ran=3, cache=1,
+                failed=0),
+        ]
+        lines = [json.dumps(e) for e in events]
+        lines.insert(3, '{"v": 1, "kind": "task", "ev')  # torn append
+        log.write_text("\n".join(lines) + "\n")
+        code = main(["top", "--log", str(log), "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep s1 [finished]" in out
+        assert out.rstrip().endswith(
+            "(1 undecodable log line(s) skipped)")
 
     def test_top_once_missing_log_fails_cleanly(self, tmp_path,
                                                 capsys):

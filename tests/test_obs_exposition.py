@@ -1,0 +1,143 @@
+"""Prometheus exposition rendering and the /metrics endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.exposition import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsServer,
+    prometheus_metrics,
+)
+from repro.obs.ledger import RunLedger
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("cache.hits").inc(5)
+    reg.gauge("queue.depth").set(3)
+    hist = reg.histogram("wait.cycles")
+    hist.observe(2.0)
+    hist.observe(100.0)
+    return reg
+
+
+def _parse(text):
+    """Light-weight exposition validation: name -> value for plain
+    (unlabelled) series, plus every line for format assertions."""
+    values = {}
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            parts = line.split()
+            assert parts[1] == "TYPE", f"bad comment line: {line!r}"
+            continue
+        name, value = line.rsplit(" ", 1)
+        float(value)           # every sample parses as a number
+        if "{" not in name:
+            values[name] = float(value)
+    return values
+
+
+class TestRendering:
+    def test_counter_and_gauge(self, registry):
+        values = _parse(prometheus_metrics(registry))
+        assert values["repro_cache_hits"] == 5.0
+        assert values["repro_queue_depth"] == 3.0
+        assert values["repro_queue_depth_peak"] == 3.0
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        text = prometheus_metrics(registry)
+        assert 'repro_wait_cycles_bucket{le="4"} 1' in text
+        assert 'repro_wait_cycles_bucket{le="256"} 2' in text
+        assert 'repro_wait_cycles_bucket{le="+Inf"} 2' in text
+        values = _parse(text)
+        assert values["repro_wait_cycles_sum"] == 102.0
+        assert values["repro_wait_cycles_count"] == 2.0
+
+    def test_names_are_sanitized(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("l1.sets/evicted-total").inc()
+        text = prometheus_metrics(reg)
+        assert "repro_l1_sets_evicted_total 1" in text
+
+    def test_empty_registry_renders_placeholder(self):
+        text = prometheus_metrics(MetricsRegistry(enabled=True))
+        assert text == "# no metrics registered\n"
+
+    def test_ledger_gauges(self, registry, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as ledger:
+            ledger.ingest_trajectory(
+                {"engine": {"wall_s": 2.0, "speedup": 66.92}})
+        text = prometheus_metrics(registry, path)
+        values = _parse(text)
+        assert values["repro_ledger_runs_total"] == 1.0
+        assert values["repro_ledger_samples_total"] == 2.0
+        assert values["repro_ledger_last_ingest_timestamp_seconds"] > 0
+        assert ('repro_ledger_metric{series="bench", '
+                'metric="speedup", channel="engine"} 66.92') in text
+
+    def test_missing_ledger_is_not_fatal(self, registry, tmp_path):
+        text = prometheus_metrics(registry,
+                                  tmp_path / "absent.sqlite")
+        assert "repro_cache_hits" in text
+        assert "repro_ledger" not in text
+
+
+class TestMetricsServer:
+    def test_metrics_and_healthz_endpoints(self, registry, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as ledger:
+            ingested = ledger.ingest_trajectory(
+                {"engine": {"wall_s": 2.0, "speedup": 66.92}})
+        with MetricsServer(registry, ledger_path=path,
+                           port=0) as server:
+            response = urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=5)
+            assert response.status == 200
+            assert response.headers["Content-Type"] == \
+                EXPOSITION_CONTENT_TYPE
+            body = response.read().decode()
+            assert "repro_cache_hits 5" in body
+            assert "repro_ledger_runs_total 1" in body
+
+            health = urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=5)
+            assert health.status == 200
+            doc = json.loads(health.read())
+            assert doc["status"] == "ok"
+            assert doc["last_ingest"]["digest"] == ingested.digest
+            assert doc["last_ingest"]["kind"] == "trajectory"
+
+    def test_scrape_sees_live_instrument_updates(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            registry.counter("cache.hits").inc(10)
+            body = urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=5).read().decode()
+            assert "repro_cache_hits 15" in body
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope",
+                                       timeout=5)
+            assert err.value.code == 404
+
+    def test_healthz_without_ledger_is_still_ok(self, registry,
+                                                tmp_path):
+        with MetricsServer(registry,
+                           ledger_path=tmp_path / "none.sqlite",
+                           port=0) as server:
+            doc = json.loads(urllib.request.urlopen(
+                f"{server.url}/healthz", timeout=5).read())
+            assert doc["status"] == "ok"
+            assert doc["last_ingest"] is None
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry, port=0).start()
+        server.stop()
+        server.stop()

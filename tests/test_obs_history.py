@@ -1,0 +1,160 @@
+"""Cross-run history: trends, drift, diff and the regression check."""
+
+import pytest
+
+from repro.obs.history import (
+    SeriesKey,
+    Trend,
+    check_history,
+    diff_runs,
+    trend_drift,
+    trends,
+)
+from repro.obs.ledger import RunLedger
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with RunLedger(tmp_path / "ledger.sqlite") as led:
+        yield led
+
+
+def _bench(speedup, wall_s=2.0, tag=0):
+    # `tag` varies the document so each point gets a fresh digest; the
+    # tag bench has one point per unique name, so it never forms a
+    # checkable trend of its own.
+    return {"engine": {"wall_s": wall_s, "speedup": speedup},
+            f"seq{tag}": {"speedup": 1.0}}
+
+
+class TestTrends:
+    def test_run_ordered_series_per_dimension(self, ledger):
+        for i, speedup in enumerate([66.92, 71.27, 69.5]):
+            ledger.ingest_trajectory(_bench(speedup, tag=i))
+        trend = next(t for t in trends(ledger, series="bench",
+                                       metric="speedup")
+                     if t.key.channel == "engine")
+        assert trend.values == [66.92, 71.27, 69.5]
+        assert trend.run_ids == sorted(trend.run_ids)
+        assert trend.unit == "x"
+
+    def test_multiple_points_per_run_collapse_to_mean(self, ledger):
+        manifest = {
+            "kind": "repro-run-manifest", "version": 2,
+            "results": [{
+                "experiment_id": "fig4",
+                "headers": ["GPU", "Kbps"],
+                "rows": [["Kepler", 10.0], ["Kepler", 30.0]],
+            }],
+        }
+        ledger.ingest_manifest(manifest)
+        trend = trends(ledger, metric="bandwidth_kbps")[0]
+        assert trend.values == [20.0]
+
+    def test_filters_compose(self, ledger):
+        ledger.ingest_trajectory(_bench(50.0))
+        assert trends(ledger, series="bench", channel="engine",
+                      metric="speedup")
+        assert trends(ledger, series="bench", channel="nope") == []
+
+
+class TestTrendDrift:
+    def test_flat_series_never_drifts(self):
+        trend = Trend(SeriesKey("bench", "speedup"),
+                      values=[50.0] * 8, run_ids=list(range(8)))
+        assert trend_drift(trend).drifted is False
+
+    def test_step_change_drifts(self):
+        trend = Trend(SeriesKey("bench", "speedup"),
+                      values=[50.0] * 4 + [10.0] * 4,
+                      run_ids=list(range(8)))
+        report = trend_drift(trend)
+        assert report.drifted is True
+        assert report.max_shift > report.tolerance
+
+    def test_short_series_is_skipped(self):
+        trend = Trend(SeriesKey("bench", "speedup"),
+                      values=[50.0, 10.0], run_ids=[1, 2])
+        assert trend_drift(trend).drifted is False
+
+    def test_windows_validated(self):
+        trend = Trend(SeriesKey("bench", "speedup"), values=[1.0])
+        with pytest.raises(ValueError):
+            trend_drift(trend, windows=1)
+
+
+class TestCheckHistory:
+    def test_clean_ledger_passes(self, ledger):
+        for i, speedup in enumerate([66.92, 71.27, 69.5]):
+            ledger.ingest_trajectory(_bench(speedup, tag=i))
+        verdict = check_history(ledger)
+        assert verdict.ok is True
+        assert verdict.checked > 0
+
+    def test_injected_3x_capacity_drop_fails(self, ledger):
+        # The acceptance scenario: capacity quietly fell 3x.
+        for i, speedup in enumerate([66.92, 71.27, 69.5]):
+            ledger.ingest_trajectory(_bench(speedup, tag=i))
+        ledger.ingest_trajectory(_bench(69.5 / 3.0, tag=99))
+        verdict = check_history(ledger)
+        assert verdict.ok is False
+        regression = next(r for r in verdict.regressions
+                          if r.key.metric == "speedup")
+        assert regression.direction == "floor"
+        assert regression.latest < regression.limit
+        assert "fell below" in regression.describe()
+
+    def test_ceiling_metric_regresses_by_rising(self, ledger):
+        for i, wall in enumerate([2.0, 2.1, 1.9]):
+            ledger.ingest_trajectory(_bench(50.0, wall_s=wall, tag=i))
+        ledger.ingest_trajectory(_bench(50.0, wall_s=50.0, tag=99))
+        verdict = check_history(ledger)
+        walls = [r for r in verdict.regressions
+                 if r.key.metric == "wall_s"
+                 and r.key.channel == "engine"]
+        assert len(walls) == 1
+        assert walls[0].direction == "ceiling"
+
+    def test_zero_ber_baseline_tolerates_zero(self, ledger):
+        # Tripling a 0.0 baseline is still 0.0; the absolute slack
+        # keeps an error-free channel from alarming on itself.
+        for tag in range(3):
+            ledger.ingest_manifest({
+                "kind": "repro-run-manifest", "version": 2,
+                "created_unix": float(tag),
+                "quality": [{"channel": "sync-l1", "ber": 0.0,
+                             "bandwidth_kbps": 40.0, "stats": {}}],
+            })
+        assert check_history(ledger).ok is True
+
+    def test_single_point_trends_are_skipped(self, ledger):
+        ledger.ingest_trajectory(_bench(66.92))
+        verdict = check_history(ledger)
+        assert verdict.ok is True
+        assert verdict.checked == 0
+        assert verdict.skipped > 0
+
+    def test_verdict_serializes_measured_vs_bound(self, ledger):
+        for i, speedup in enumerate([60.0, 60.0, 10.0]):
+            ledger.ingest_trajectory(_bench(speedup, tag=i))
+        doc = check_history(ledger).to_dict()
+        assert doc["ok"] is False
+        entry = next(r for r in doc["regressions"]
+                     if r["metric"] == "speedup")
+        assert entry["baseline"] == 60.0
+        assert entry["measured"] == 10.0
+        assert entry["bound"] == 30.0
+
+
+class TestDiffRuns:
+    def test_union_of_dimensions_with_deltas(self, ledger):
+        a = ledger.ingest_trajectory(_bench(50.0, tag=0))
+        b = ledger.ingest_trajectory(
+            {"engine": {"speedup": 60.0},
+             "extra": {"wall_s": 1.0}})
+        rows = diff_runs(ledger, a.run_id, b.run_id)
+        by_key = {key: (va, vb) for key, va, vb in rows}
+        speed_key = SeriesKey("bench", "speedup", channel="engine")
+        assert by_key[speed_key] == (50.0, 60.0)
+        extra_key = SeriesKey("bench", "wall_s", channel="extra")
+        assert by_key[extra_key] == (None, 1.0)

@@ -1,0 +1,232 @@
+"""Run ledger: idempotent content-addressed ingest and corruption
+recovery."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+)
+
+MANIFEST = {
+    "kind": "repro-run-manifest",
+    "version": 2,
+    "created_unix": 1767000000.0,
+    "provenance": {"code_version": "repro 1.0", "git_rev": "abc123"},
+    "command": ["repro", "sweep", "--experiments", "fig4"],
+    "wall_seconds": 12.5,
+    "counts": {"ran": 2, "cache": 1, "failed": 0},
+    "tasks": [],
+    "results": [
+        {
+            "experiment_id": "fig4",
+            "description": "L2 bandwidth vs BER",
+            "headers": ["GPU", "Kbps", "BER"],
+            "rows": [["Kepler", 81.5, 0.0], ["Maxwell", 74.2, 0.001]],
+            "spec_name": None,
+            "seed": 0,
+            "profile": "paper",
+            "provenance": {},
+        },
+    ],
+    "quality": [
+        {
+            "channel": "sync-l1",
+            "n_bits": 64,
+            "ber": 0.0,
+            "bandwidth_kbps": 40.2,
+            "stats": {"snr": 12.0, "eye_height": 30.0,
+                      "threshold": 210.0},
+        },
+    ],
+}
+
+TRAJECTORY = {
+    "engine": {"wall_s": 2.0, "speedup": 66.92},
+    "runner": {"wall_s": 5.0, "speedup": 100.0},
+}
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with RunLedger(tmp_path / "ledger.sqlite") as led:
+        yield led
+
+
+class TestIngestIdempotency:
+    def test_same_manifest_twice_is_one_row(self, ledger):
+        first = ledger.ingest_manifest(MANIFEST)
+        again = ledger.ingest_manifest(MANIFEST)
+        assert first.inserted is True
+        assert again.inserted is False
+        assert again.run_id == first.run_id
+        assert again.digest == first.digest
+        assert ledger.counts()["runs"] == 1
+
+    def test_replay_does_not_duplicate_samples(self, ledger):
+        ledger.ingest_manifest(MANIFEST)
+        before = ledger.counts()["samples"]
+        result = ledger.ingest_manifest(MANIFEST)
+        assert ledger.counts()["samples"] == before
+        assert result.samples == before
+
+    def test_digest_is_content_addressed_not_source_addressed(
+            self, ledger, tmp_path):
+        # The same document ingested from two different files is the
+        # same run; a changed document is a new one.
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(TRAJECTORY))
+        b.write_text(json.dumps(TRAJECTORY))
+        assert ledger.ingest_path(a).inserted is True
+        assert ledger.ingest_path(b).inserted is False
+        changed = {"engine": {"wall_s": 2.0, "speedup": 70.0}}
+        assert ledger.ingest_trajectory(changed).inserted is True
+        assert ledger.counts()["runs"] == 2
+
+    def test_idempotency_survives_reopen(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as led:
+            led.ingest_manifest(MANIFEST)
+        with RunLedger(path) as led:
+            assert led.ingest_manifest(MANIFEST).inserted is False
+            assert led.counts()["runs"] == 1
+
+
+class TestSampleExtraction:
+    def test_result_tables_become_metric_points(self, ledger):
+        ledger.ingest_manifest(MANIFEST)
+        kbps = ledger.samples(series="experiment",
+                              metric="bandwidth_kbps")
+        assert {(s.gpu, s.value) for s in kbps} == \
+            {("Kepler", 81.5), ("Maxwell", 74.2)}
+        assert all(s.channel == "fig4" for s in kbps)
+        ber = ledger.samples(series="experiment", metric="ber")
+        assert sorted(s.value for s in ber) == [0.0, 0.001]
+
+    def test_quality_bundles_become_metric_points(self, ledger):
+        ledger.ingest_manifest(MANIFEST)
+        snr = ledger.samples(series="quality", metric="snr")
+        assert len(snr) == 1
+        assert snr[0].channel == "sync-l1"
+        assert snr[0].value == 12.0
+
+    def test_sweep_counts_and_wall_time(self, ledger):
+        ledger.ingest_manifest(MANIFEST)
+        wall = ledger.samples(series="sweep", metric="wall_s")
+        assert [s.value for s in wall] == [12.5]
+
+    def test_trajectory_points(self, ledger):
+        ledger.ingest_trajectory(TRAJECTORY)
+        speedups = ledger.samples(series="bench", metric="speedup")
+        assert {(s.channel, s.value) for s in speedups} == \
+            {("engine", 66.92), ("runner", 100.0)}
+
+    def test_provenance_recorded(self, ledger):
+        result = ledger.ingest_manifest(MANIFEST, source="m.json")
+        run = ledger.run(result.run_id)
+        assert run.git_rev == "abc123"
+        assert run.code_version == "repro 1.0"
+        assert run.source == "m.json"
+
+    def test_run_lookup_by_digest_prefix(self, ledger):
+        result = ledger.ingest_manifest(MANIFEST)
+        assert ledger.run(result.digest[:12]).run_id == result.run_id
+        with pytest.raises(LedgerError):
+            ledger.run("0123456789ab")
+
+
+class TestIngestPathSniffing:
+    def test_jsonl_is_telemetry(self, ledger, tmp_path):
+        log = tmp_path / "events.jsonl"
+        log.write_text(json.dumps(
+            {"v": 1, "kind": "sweep", "event": "started", "ts": 0.0,
+             "sweep": "s1", "pid": 1, "tasks": 1, "jobs": 1}) + "\n")
+        result = ledger.ingest_path(log)
+        assert result.kind == "telemetry"
+
+    def test_unrecognized_json_raises(self, ledger, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"neither": "manifest", "nor": "bench"}')
+        with pytest.raises(LedgerError, match="not an ingestable"):
+            ledger.ingest_path(path)
+
+    def test_invalid_json_raises_with_path(self, ledger, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"tru')
+        with pytest.raises(LedgerError, match="torn.json"):
+            ledger.ingest_path(path)
+
+
+class TestCorruptionRecovery:
+    def test_garbled_file_is_quarantined_and_rebuilt(self, tmp_path):
+        # Mirrors the result cache's corrupt-entry eviction: damage
+        # must never block new ingests.
+        path = tmp_path / "ledger.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all\x00\xff")
+        with RunLedger(path) as led:
+            assert led.quarantined is not None
+            assert led.quarantined.exists()
+            assert led.quarantined.name.startswith(
+                "ledger.sqlite.corrupt-")
+            assert led.ingest_manifest(MANIFEST).inserted is True
+            assert led.counts()["runs"] == 1
+
+    def test_truncated_database_is_quarantined(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as led:
+            led.ingest_manifest(MANIFEST)
+        # Truncate mid-file: the header survives but the pages do not,
+        # which is what a crash mid-write leaves behind.
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 16])
+        with RunLedger(path) as led:
+            assert led.quarantined is not None
+            assert led.counts()["runs"] == 0
+            led.ingest_manifest(MANIFEST)
+            assert led.counts()["runs"] == 1
+
+    def test_healthy_ledger_is_not_quarantined(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as led:
+            led.ingest_manifest(MANIFEST)
+        with RunLedger(path) as led:
+            assert led.quarantined is None
+            assert led.counts()["runs"] == 1
+
+    def test_foreign_sqlite_database_is_not_adopted(self, tmp_path):
+        # A real SQLite file that is not a ledger gets quarantined
+        # rather than silently gaining our tables.
+        path = tmp_path / "other.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE users (id INTEGER)")
+        conn.commit()
+        conn.close()
+        with RunLedger(path) as led:
+            assert led.quarantined is not None
+        with sqlite3.connect(led.quarantined) as conn:
+            names = {row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'")}
+        assert "users" in names
+
+    def test_future_schema_version_refuses_not_destroys(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as led:
+            led.ingest_manifest(MANIFEST)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = ? "
+                     "WHERE key = 'schema_version'",
+                     (str(LEDGER_SCHEMA_VERSION + 1),))
+        conn.commit()
+        conn.close()
+        with pytest.raises(LedgerError, match="schema version"):
+            RunLedger(path)
+        # The newer-versioned data is untouched.
+        conn = sqlite3.connect(path)
+        assert conn.execute("SELECT COUNT(*) FROM runs") \
+            .fetchone()[0] == 1
+        conn.close()

@@ -160,8 +160,31 @@ class TestMain:
         assert code == 1
         assert verdict["ok"] is False
         assert verdict["baseline"].endswith("BENCH_1.json")
-        assert any("engine.speedup" in line
-                   for line in verdict["regressions"])
+        # Entries are structured: measured vs bound, not just prose.
+        entry = next(r for r in verdict["regressions"]
+                     if r["bench"] == "engine"
+                     and r["metric"] == "speedup")
+        assert entry["baseline"] == 40.0
+        assert entry["measured"] == 1.0
+        assert entry["bound"] == 20.0
+        assert entry["direction"] == "floor"
+        assert "engine.speedup" in entry["description"]
+
+    def test_json_verdict_missing_bench_is_null(self, tmp_path):
+        # A bench that vanished has no measured value; the verdict
+        # must stay valid JSON (null, not NaN).
+        fresh = _fresh()
+        del fresh["snapshot"]
+        fresh_path = self._setup(tmp_path, fresh)
+        verdict_path = tmp_path / "verdict.json"
+        assert sentinel.main(["--fresh", str(fresh_path),
+                              "--root", str(tmp_path),
+                              "--json", str(verdict_path)]) == 1
+        verdict = json.loads(verdict_path.read_text())
+        assert all(r["measured"] is None
+                   for r in verdict["regressions"])
+        assert {r["bench"] for r in verdict["regressions"]} == \
+            {"snapshot"}
 
 
 class TestBenchCli:
